@@ -1,0 +1,72 @@
+// Shared helpers for the table/figure harnesses.
+
+#ifndef REGCLUSTER_BENCH_BENCH_COMMON_H_
+#define REGCLUSTER_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/bicluster.h"
+#include "core/miner.h"
+#include "eval/match.h"
+#include "synth/generator.h"
+
+namespace regcluster {
+namespace bench {
+
+/// Parses "--flag=value" style arguments; returns fallback when absent.
+inline std::string FlagValue(int argc, char** argv, const char* name,
+                             const std::string& fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline int IntFlag(int argc, char** argv, const char* name, int fallback) {
+  const std::string v = FlagValue(argc, argv, name, "");
+  return v.empty() ? fallback : std::atoi(v.c_str());
+}
+
+inline double DoubleFlag(int argc, char** argv, const char* name,
+                         double fallback) {
+  const std::string v = FlagValue(argc, argv, name, "");
+  return v.empty() ? fallback : std::atof(v.c_str());
+}
+
+inline bool BoolFlag(int argc, char** argv, const char* name) {
+  const std::string probe = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (probe == argv[i]) return true;
+  }
+  return false;
+}
+
+/// Footprints of a synthetic dataset's implants.
+inline std::vector<core::Bicluster> Footprints(
+    const synth::SyntheticDataset& ds) {
+  std::vector<core::Bicluster> out;
+  out.reserve(ds.implants.size());
+  for (const auto& imp : ds.implants) out.push_back(imp.Footprint());
+  return out;
+}
+
+/// Footprints of mined reg-clusters.
+inline std::vector<core::Bicluster> Footprints(
+    const std::vector<core::RegCluster>& clusters) {
+  std::vector<core::Bicluster> out;
+  out.reserve(clusters.size());
+  for (const auto& c : clusters) out.push_back(core::ToBicluster(c));
+  return out;
+}
+
+}  // namespace bench
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,161 @@
+// Micro-benchmarks (google-benchmark) for the core primitives: RWave model
+// construction, regulation lookups, coherence scoring and end-to-end mining
+// at several dataset sizes.  These back the cost model claimed in DESIGN.md
+// (model build O(C log C) per gene, lookups O(log P)).
+
+#include <benchmark/benchmark.h>
+
+#include <limits>
+
+#include "core/coherence.h"
+#include "core/miner.h"
+#include "core/rwave.h"
+#include "matrix/transforms.h"
+#include "synth/generator.h"
+#include "util/math_util.h"
+#include "util/prng.h"
+
+namespace regcluster {
+namespace {
+
+std::vector<double> RandomProfile(int n, uint64_t seed) {
+  util::Prng prng(seed);
+  std::vector<double> v(static_cast<size_t>(n));
+  for (double& x : v) x = prng.Uniform(0, 10);
+  return v;
+}
+
+void BM_RWaveBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::vector<double> v = RandomProfile(n, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::RWaveModel::Build(v.data(), n, 1.0));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RWaveBuild)->Arg(17)->Arg(30)->Arg(100)->Arg(1000);
+
+void BM_RWaveIsUpRegulated(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::vector<double> v = RandomProfile(n, 43);
+  const core::RWaveModel w = core::RWaveModel::Build(v.data(), n, 1.0);
+  util::Prng prng(7);
+  int a = 0, b = 1;
+  for (auto _ : state) {
+    a = static_cast<int>(prng.UniformInt(0, n - 1));
+    b = static_cast<int>(prng.UniformInt(0, n - 1));
+    benchmark::DoNotOptimize(w.IsUpRegulated(a, b));
+  }
+}
+BENCHMARK(BM_RWaveIsUpRegulated)->Arg(30)->Arg(1000);
+
+void BM_RWaveSetBuild(benchmark::State& state) {
+  const int genes = static_cast<int>(state.range(0));
+  synth::SyntheticConfig cfg;
+  cfg.num_genes = genes;
+  cfg.num_conditions = 30;
+  cfg.num_clusters = 0;
+  auto ds = synth::GenerateSynthetic(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::RWaveSet(ds->data, 0.1));
+  }
+  state.SetItemsProcessed(state.iterations() * genes);
+}
+BENCHMARK(BM_RWaveSetBuild)->Arg(500)->Arg(3000);
+
+void BM_MineSynthetic(benchmark::State& state) {
+  const int genes = static_cast<int>(state.range(0));
+  synth::SyntheticConfig cfg;
+  cfg.num_genes = genes;
+  cfg.num_conditions = 30;
+  cfg.num_clusters = std::max(1, genes / 100);
+  cfg.seed = 99;
+  auto ds = synth::GenerateSynthetic(cfg);
+  core::MinerOptions opts;
+  opts.min_genes = std::max(2, static_cast<int>(0.01 * genes));
+  opts.min_conditions = 6;
+  opts.gamma = 0.1;
+  opts.epsilon = 0.01;
+  for (auto _ : state) {
+    core::RegClusterMiner miner(ds->data, opts);
+    auto clusters = miner.Mine();
+    benchmark::DoNotOptimize(clusters);
+  }
+}
+BENCHMARK(BM_MineSynthetic)->Arg(500)->Arg(1500)->Arg(3000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CoherenceWindowExtension(benchmark::State& state) {
+  // The dominant inner operation: extending a chain over many genes.
+  synth::SyntheticConfig cfg;
+  cfg.num_genes = 2000;
+  cfg.num_conditions = 20;
+  cfg.num_clusters = 5;
+  auto ds = synth::GenerateSynthetic(cfg);
+  core::MinerOptions opts;
+  opts.min_genes = 20;
+  opts.min_conditions = 5;
+  opts.gamma = 0.1;
+  opts.epsilon = 0.05;
+  for (auto _ : state) {
+    core::RegClusterMiner miner(ds->data, opts);
+    benchmark::DoNotOptimize(miner.Mine());
+  }
+}
+BENCHMARK(BM_CoherenceWindowExtension)->Unit(benchmark::kMillisecond);
+
+void BM_CoherenceScore(benchmark::State& state) {
+  const std::vector<double> row = RandomProfile(64, 77);
+  util::Prng prng(3);
+  for (auto _ : state) {
+    const int a = static_cast<int>(prng.UniformInt(0, 31));
+    const int b = 32 + static_cast<int>(prng.UniformInt(0, 31));
+    benchmark::DoNotOptimize(core::CoherenceScore(row.data(), a, b, b, a));
+  }
+}
+BENCHMARK(BM_CoherenceScore);
+
+void BM_HypergeomUpperTail(benchmark::State& state) {
+  // Genome-scale enrichment query: k of 21 drawn, 60 of 6000 annotated.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::HypergeomUpperTail(15, 6000, 60, 21));
+  }
+}
+BENCHMARK(BM_HypergeomUpperTail);
+
+void BM_ImputeKnn(benchmark::State& state) {
+  const int genes = static_cast<int>(state.range(0));
+  util::Prng prng(8);
+  matrix::ExpressionMatrix m(genes, 17);
+  for (int g = 0; g < genes; ++g) {
+    for (int c = 0; c < 17; ++c) {
+      m(g, c) = prng.Bernoulli(0.03)
+                    ? std::numeric_limits<double>::quiet_NaN()
+                    : prng.Uniform(0, 10);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matrix::ImputeKnn(m, 10));
+  }
+}
+BENCHMARK(BM_ImputeKnn)->Arg(200)->Arg(800)->Unit(benchmark::kMillisecond);
+
+void BM_ValidateRegCluster(benchmark::State& state) {
+  synth::SyntheticConfig cfg;
+  cfg.num_genes = 500;
+  cfg.num_conditions = 20;
+  cfg.num_clusters = 1;
+  cfg.avg_cluster_genes_fraction = 0.06;
+  auto ds = synth::GenerateSynthetic(cfg);
+  const core::RegCluster cluster = ds->implants[0].ToRegCluster();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::ValidateRegCluster(ds->data, cluster, 0.1, 0.01));
+  }
+}
+BENCHMARK(BM_ValidateRegCluster);
+
+}  // namespace
+}  // namespace regcluster
+
+BENCHMARK_MAIN();

@@ -1,0 +1,262 @@
+// Model comparison (Sections 1.1 / 3.3 claims): which cluster models can
+// recover which pattern families?
+//
+// The paper argues that pCluster / delta-cluster handle only pure shifting,
+// TriCluster-style models only pure positive scaling, tendency models have
+// no coherence or regulation guarantee, and none handle negative
+// correlation -- while reg-cluster handles the general shifting-and-scaling
+// family including negative scaling.  This harness implants one pattern
+// family at a time into background noise and reports each miner's cell-level
+// recovery of the implants:
+//
+//   pattern family      reg-cluster   pCluster   scaling   OP-cluster
+//   pure shifting           high         high       low        high*
+//   pure scaling            high         low        high       high*
+//   shift-and-scale         high         low        low        high*
+//   negative mixed          high         low        low        low
+//
+// (*tendency recovers gene sets but over-broad condition sets and with no
+// coherence guarantee; its relevance column exposes that.)
+
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/cheng_church.h"
+#include "baselines/floc.h"
+#include "baselines/fullspace.h"
+#include "baselines/opcluster.h"
+#include "baselines/opsm.h"
+#include "baselines/pcluster.h"
+#include "baselines/scaling_cluster.h"
+#include "bench_common.h"
+#include "util/prng.h"
+
+namespace regcluster {
+namespace bench {
+namespace {
+
+enum class Family { kShift, kScale, kShiftScale, kNegativeMixed };
+
+const char* FamilyName(Family f) {
+  switch (f) {
+    case Family::kShift:
+      return "pure-shifting";
+    case Family::kScale:
+      return "pure-scaling";
+    case Family::kShiftScale:
+      return "shift-and-scale";
+    case Family::kNegativeMixed:
+      return "negative-mixed";
+  }
+  return "?";
+}
+
+/// Builds a dataset with `num_implants` implanted clusters of the given
+/// family over a uniform background, and returns truth footprints.
+struct FamilyDataset {
+  matrix::ExpressionMatrix data;
+  std::vector<core::Bicluster> truth;
+};
+
+FamilyDataset MakeFamilyDataset(Family family, uint64_t seed) {
+  const int kGenes = 200, kConds = 16, kImplants = 3, kPerCluster = 10,
+            kChain = 6;
+  util::Prng prng(seed);
+  FamilyDataset out;
+  out.data = matrix::ExpressionMatrix(kGenes, kConds);
+  for (int g = 0; g < kGenes; ++g) {
+    for (int c = 0; c < kConds; ++c) out.data(g, c) = prng.Uniform(0, 10);
+  }
+
+  std::vector<int> pool(kGenes);
+  for (int g = 0; g < kGenes; ++g) pool[static_cast<size_t>(g)] = g;
+  prng.Shuffle(&pool);
+  size_t next = 0;
+
+  for (int k = 0; k < kImplants; ++k) {
+    std::vector<int> conds = prng.SampleWithoutReplacement(kConds, kChain);
+    prng.Shuffle(&conds);
+    // Base profile spanning well past the background, steps >= 15% of span.
+    std::vector<double> base(kChain);
+    base[0] = 0.0;
+    for (int i = 1; i < kChain; ++i) {
+      base[static_cast<size_t>(i)] =
+          base[static_cast<size_t>(i - 1)] + prng.Uniform(4.5, 8.0);
+    }
+    core::Bicluster footprint;
+    for (int gi = 0; gi < kPerCluster; ++gi) {
+      const int gene = pool[next++];
+      footprint.genes.push_back(gene);
+      double s1 = 1.0, s2 = 0.0;
+      switch (family) {
+        case Family::kShift:
+          s1 = 1.0;
+          s2 = prng.Uniform(-10, 10);
+          break;
+        case Family::kScale:
+          s1 = prng.Uniform(0.5, 2.0);
+          s2 = 0.0;
+          break;
+        case Family::kShiftScale:
+          s1 = prng.Uniform(0.5, 2.0);
+          s2 = prng.Uniform(-10, 10);
+          break;
+        case Family::kNegativeMixed:
+          s1 = (gi % 2 == 0 ? 1.0 : -1.0) * prng.Uniform(0.5, 2.0);
+          s2 = prng.Uniform(-10, 10) + (s1 < 0 ? 40.0 : 0.0);
+          break;
+      }
+      for (int i = 0; i < kChain; ++i) {
+        out.data(gene, conds[static_cast<size_t>(i)]) =
+            s1 * base[static_cast<size_t>(i)] + s2;
+      }
+    }
+    std::sort(footprint.genes.begin(), footprint.genes.end());
+    footprint.conditions = conds;
+    std::sort(footprint.conditions.begin(), footprint.conditions.end());
+    out.truth.push_back(std::move(footprint));
+  }
+  return out;
+}
+
+struct Row {
+  double regcluster = 0, pcluster = 0, scaling = 0, opcluster = 0;
+  double opsm = 0, cheng_church = 0, floc = 0, kmeans = 0;
+};
+
+Row Evaluate(Family family, uint64_t seed) {
+  const FamilyDataset ds = MakeFamilyDataset(family, seed);
+  Row row;
+
+  {
+    core::MinerOptions o;
+    o.min_genes = 5;
+    o.min_conditions = 5;
+    o.gamma = 0.08;
+    o.epsilon = 0.05;
+    o.remove_dominated = true;
+    auto found = core::RegClusterMiner(ds.data, o).Mine();
+    if (found.ok()) {
+      row.regcluster = eval::CellMatchScore(ds.truth, Footprints(*found));
+    }
+  }
+  {
+    baselines::PClusterOptions o;
+    o.delta = 0.8;
+    o.min_genes = 5;
+    o.min_conditions = 5;
+    o.max_nodes = 500000;
+    auto found = baselines::PClusterMiner(ds.data, o).Mine();
+    if (found.ok()) row.pcluster = eval::CellMatchScore(ds.truth, *found);
+  }
+  {
+    baselines::ScalingClusterOptions o;
+    o.epsilon = 0.08;
+    o.min_genes = 5;
+    o.min_conditions = 5;
+    o.max_nodes = 500000;
+    auto found = baselines::ScalingClusterMiner(ds.data, o).Mine();
+    if (found.ok()) row.scaling = eval::CellMatchScore(ds.truth, *found);
+  }
+  {
+    baselines::OpClusterOptions o;
+    o.min_genes = 8;
+    o.min_conditions = 5;
+    o.max_nodes = 500000;
+    auto found = baselines::OpClusterMiner(ds.data, o).Mine();
+    if (found.ok()) {
+      std::vector<core::Bicluster> feet;
+      for (const auto& c : *found) feet.push_back(c.ToBicluster());
+      row.opcluster = eval::CellMatchScore(ds.truth, feet);
+    }
+  }
+  {
+    baselines::OpsmOptions o;
+    o.sequence_length = 5;
+    o.beam_width = 100;
+    o.max_models = 6;
+    auto found = baselines::MineOpsm(ds.data, o);
+    if (found.ok()) {
+      std::vector<core::Bicluster> feet;
+      for (const auto& model : *found) {
+        feet.push_back(model.ToOpCluster().ToBicluster());
+      }
+      row.opsm = eval::CellMatchScore(ds.truth, feet);
+    }
+  }
+  {
+    baselines::ChengChurchOptions o;
+    o.delta = 0.05;  // pure-shifting blocks score MSR ~ 0
+    o.num_biclusters = 6;
+    auto found = baselines::MineChengChurch(ds.data, o);
+    if (found.ok()) row.cheng_church = eval::CellMatchScore(ds.truth, *found);
+  }
+  {
+    baselines::FlocOptions o;
+    o.num_clusters = 6;
+    o.init_row_probability = 0.08;
+    o.init_col_probability = 0.4;
+    o.max_sweeps = 100;
+    auto found = baselines::MineFloc(ds.data, o);
+    if (found.ok()) row.floc = eval::CellMatchScore(ds.truth, *found);
+  }
+  {
+    baselines::KMeansOptions o;
+    o.k = 6;
+    auto found = baselines::KMeansRows(ds.data, o);
+    if (found.ok()) {
+      row.kmeans = eval::CellMatchScore(
+          ds.truth, baselines::ToFullSpaceBiclusters(
+                        found->clusters, ds.data.num_conditions()));
+    }
+  }
+  return row;
+}
+
+int Main(int argc, char** argv) {
+  const uint64_t seed = static_cast<uint64_t>(IntFlag(argc, argv, "seed", 7));
+  std::printf("== bench_model_comparison (Sections 1.1 / 3.3) ==\n");
+  std::printf("cell-level recovery of 3 implanted 10x6 clusters per family\n\n");
+  std::printf("%-18s %12s %10s %9s %11s %6s %8s %7s %8s\n",
+              "pattern family", "reg-cluster", "pCluster", "scaling",
+              "OP-cluster", "OPSM", "ChengCh", "FLOC", "k-means");
+  const Family families[] = {Family::kShift, Family::kScale,
+                             Family::kShiftScale, Family::kNegativeMixed};
+  bool ok = true;
+  for (Family f : families) {
+    const Row r = Evaluate(f, seed);
+    std::printf("%-18s %12.3f %10.3f %9.3f %11.3f %6.3f %8.3f %7.3f %8.3f\n",
+                FamilyName(f), r.regcluster, r.pcluster, r.scaling,
+                r.opcluster, r.opsm, r.cheng_church, r.floc, r.kmeans);
+    if (r.regcluster < 0.5) ok = false;
+    if (f == Family::kShiftScale && (r.pcluster > 0.3 || r.scaling > 0.3)) {
+      ok = false;
+    }
+    if (f == Family::kNegativeMixed && (r.pcluster > 0.3 || r.scaling > 0.3)) {
+      ok = false;
+    }
+  }
+  std::printf(
+      "\nexpected shape: reg-cluster high everywhere; pCluster only on "
+      "pure-shifting; scaling only on pure-scaling; OP-cluster ignores "
+      "coherence (condition sets over-broad) and misses negative mixing.\n"
+      "Cheng-Church / FLOC scores near zero are the classic greedy-MSR "
+      "failure on small implanted modules (cf. Prelic et al. 2006): their "
+      "global deletion / local moves have no mechanism to isolate a 10x6 "
+      "block among 200 noise genes.  k-means sees only full-space "
+      "distance.\n");
+  if (!ok) {
+    std::fprintf(stderr, "FAILED: comparison shape does not match the "
+                         "paper's claims\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace regcluster
+
+int main(int argc, char** argv) {
+  return regcluster::bench::Main(argc, argv);
+}

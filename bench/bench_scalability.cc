@@ -1,0 +1,143 @@
+// Figure 7: efficiency of the reg-cluster algorithm on synthetic datasets.
+//
+// Reproduces the three panels of Figure 7 -- average runtime while varying
+// (a) the number of genes, (b) the number of conditions and (c) the number
+// of embedded clusters, holding the other generator parameters at the
+// paper's defaults (#g = 3000, #cond = 30, #clus = 30) and mining with
+// MinG = 0.01 * #g, MinC = 6, gamma = 0.1, epsilon = 0.01.
+//
+// Usage:
+//   bench_scalability                 # all three sweeps at --scale=1
+//   bench_scalability --sweep=genes   # one panel
+//   bench_scalability --scale=0.25    # shrink the dataset for quick runs
+//
+// Absolute numbers differ from the paper's 2006-era 3 GHz Windows PC; the
+// claims under reproduction are the *shapes*: slightly superlinear in #g,
+// superlinear in #cond, roughly linear in #clus (see EXPERIMENTS.md).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "io/gnuplot.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace regcluster {
+namespace bench {
+namespace {
+
+struct RunResult {
+  double seconds = 0.0;
+  int64_t clusters = 0;
+  double recovery = 0.0;
+};
+
+RunResult RunOnce(int num_genes, int num_conditions, int num_clusters,
+                  uint64_t seed) {
+  synth::SyntheticConfig cfg;
+  cfg.num_genes = num_genes;
+  cfg.num_conditions = num_conditions;
+  cfg.num_clusters = num_clusters;
+  cfg.seed = seed;
+  auto ds = synth::GenerateSynthetic(cfg);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "generator: %s\n", ds.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  core::MinerOptions opts;
+  opts.min_genes = std::max(2, static_cast<int>(0.01 * num_genes));
+  opts.min_conditions = 6;
+  opts.gamma = 0.1;
+  opts.epsilon = 0.01;
+  core::RegClusterMiner miner(ds->data, opts);
+
+  util::WallTimer timer;
+  auto clusters = miner.Mine();
+  RunResult r;
+  r.seconds = timer.ElapsedSeconds();
+  if (!clusters.ok()) {
+    std::fprintf(stderr, "miner: %s\n", clusters.status().ToString().c_str());
+    std::exit(1);
+  }
+  r.clusters = static_cast<int64_t>(clusters->size());
+  r.recovery = eval::CellMatchScore(Footprints(*ds), Footprints(*clusters));
+  return r;
+}
+
+void Sweep(const char* name, const std::vector<int>& values, double scale,
+           int repeats, int which, const std::string& out_dir) {
+  std::printf("\n# Figure 7(%c): runtime vs %s\n",
+              static_cast<char>('a' + which), name);
+  std::printf("%-12s %12s %10s %10s\n", name, "runtime_s", "clusters",
+              "recovery");
+  io::DataSeries runtime_series;
+  runtime_series.name = "reg-cluster";
+  for (int v : values) {
+    double total = 0.0;
+    RunResult last;
+    for (int rep = 0; rep < repeats; ++rep) {
+      const int g = static_cast<int>(
+          scale * (which == 0 ? v : 3000));
+      const int c = which == 1 ? v : 30;
+      const int k = static_cast<int>(
+          scale * (which == 2 ? v : 30));
+      last = RunOnce(std::max(g, 50), c, std::max(k, 1),
+                     1000 + static_cast<uint64_t>(v) * 7 +
+                         static_cast<uint64_t>(rep));
+      total += last.seconds;
+    }
+    std::printf("%-12d %12.4f %10lld %10.3f\n", v, total / repeats,
+                static_cast<long long>(last.clusters), last.recovery);
+    runtime_series.points.push_back({static_cast<double>(v), total / repeats});
+  }
+  if (!out_dir.empty()) {
+    io::PlotSpec spec;
+    spec.title = util::StrFormat("Figure 7(%c): runtime vs %s",
+                                 static_cast<char>('a' + which), name);
+    spec.xlabel = name;
+    spec.ylabel = "seconds";
+    const std::string stem = util::StrFormat("fig7%c",
+                                             static_cast<char>('a' + which));
+    auto st = io::WriteFigure(spec, {runtime_series}, out_dir, stem);
+    if (!st.ok()) {
+      std::fprintf(stderr, "figure emission: %s\n", st.ToString().c_str());
+    } else {
+      std::printf("(figure archived: %s/%s.dat + .gp)\n", out_dir.c_str(),
+                  stem.c_str());
+    }
+  }
+}
+
+int Main(int argc, char** argv) {
+  const std::string sweep = FlagValue(argc, argv, "sweep", "all");
+  const double scale = DoubleFlag(argc, argv, "scale", 1.0);
+  const int repeats = IntFlag(argc, argv, "repeats", 2);
+  const std::string out_dir = FlagValue(argc, argv, "out-dir", "");
+
+  std::printf("== bench_scalability (Figure 7) ==\n");
+  std::printf(
+      "generator defaults scaled by %.2f; mining MinG=0.01*#g, MinC=6, "
+      "gamma=0.1, epsilon=0.01\n",
+      scale);
+
+  if (sweep == "all" || sweep == "genes") {
+    Sweep("genes", {1000, 2000, 3000, 4000, 5000}, scale, repeats, 0,
+          out_dir);
+  }
+  if (sweep == "all" || sweep == "conditions") {
+    Sweep("conditions", {10, 20, 30, 40, 50}, scale, repeats, 1, out_dir);
+  }
+  if (sweep == "all" || sweep == "clusters") {
+    Sweep("clusters", {10, 20, 30, 40, 50}, scale, repeats, 2, out_dir);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace regcluster
+
+int main(int argc, char** argv) {
+  return regcluster::bench::Main(argc, argv);
+}

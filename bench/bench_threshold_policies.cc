@@ -1,0 +1,81 @@
+// Ablation: the Section 3.1 regulation-threshold menu.
+//
+// The paper defaults to gamma_i = gamma * range_i (Eq. 4) and notes that
+// other per-gene thresholds (normalized/stddev, mean-relative, closest-gap,
+// absolute) "can be used where appropriate".  This harness mines the same
+// synthetic dataset under each policy at several gamma levels and reports
+// cluster counts and recovery, showing how policy choice trades selectivity
+// against sensitivity for genes with different dynamic ranges.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/threshold.h"
+
+namespace regcluster {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  synth::SyntheticConfig cfg;
+  cfg.num_genes = IntFlag(argc, argv, "genes", 600);
+  cfg.num_conditions = 20;
+  cfg.num_clusters = 8;
+  cfg.avg_cluster_genes_fraction = 0.03;
+  cfg.seed = 515;
+  auto ds = synth::GenerateSynthetic(cfg);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "generator: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  const auto truth = Footprints(*ds);
+
+  std::printf("== bench_threshold_policies (Section 3.1 menu) ==\n");
+  std::printf("dataset %dx%d with %zu implants; MinG=8 MinC=5 epsilon=0.02\n\n",
+              cfg.num_genes, cfg.num_conditions, truth.size());
+  std::printf("%-12s %8s | %9s %10s %10s\n", "policy", "gamma", "clusters",
+              "recovery", "relevance");
+
+  const core::GammaPolicy policies[] = {
+      core::GammaPolicy::kRangeFraction, core::GammaPolicy::kStdDevFraction,
+      core::GammaPolicy::kMeanFraction, core::GammaPolicy::kClosestGapFraction,
+      core::GammaPolicy::kAbsolute};
+  for (core::GammaPolicy policy : policies) {
+    for (double gamma : {0.05, 0.1, 0.2}) {
+      core::MinerOptions o;
+      o.min_genes = 8;
+      o.min_conditions = 5;
+      o.gamma_policy = policy;
+      // The absolute policy needs an expression-unit threshold; the others
+      // take a fraction.
+      o.gamma = policy == core::GammaPolicy::kAbsolute ? gamma * 30.0 : gamma;
+      o.epsilon = 0.02;
+      o.remove_dominated = true;
+      core::RegClusterMiner miner(ds->data, o);
+      auto clusters = miner.Mine();
+      if (!clusters.ok()) {
+        std::fprintf(stderr, "miner: %s\n",
+                     clusters.status().ToString().c_str());
+        return 1;
+      }
+      const auto r = eval::ScoreAgainstTruth(Footprints(*clusters), truth);
+      std::printf("%-12s %8.3f | %9zu %10.3f %10.3f\n",
+                  core::GammaPolicyName(policy), o.gamma, clusters->size(),
+                  r.cell_recovery, r.cell_relevance);
+    }
+  }
+  std::printf(
+      "\nreading: the range policy (Eq. 4) is scale-free per gene and keeps "
+      "recovery stable; stddev/mean policies shift selectivity with profile "
+      "shape; the absolute policy penalizes low-amplitude genes -- the "
+      "paper's argument for per-gene thresholds (Sec 3.1).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace regcluster
+
+int main(int argc, char** argv) {
+  return regcluster::bench::Main(argc, argv);
+}

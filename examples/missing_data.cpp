@@ -1,0 +1,91 @@
+// Handling missing values: the real-data on-ramp.
+//
+// Microarray matrices ship with NA cells; every miner in this library
+// requires a complete matrix.  This example punches realistic holes into a
+// synthetic dataset, repairs them with the two built-in imputation
+// strategies (row mean vs KNN), and measures how much of the implanted
+// cluster structure each strategy preserves end-to-end -- demonstrating why
+// KNN imputation (Troyanskaya et al. 2001) is the default recommendation
+// for expression data.
+
+#include <cstdio>
+#include <limits>
+
+#include "core/bicluster.h"
+#include "core/miner.h"
+#include "eval/match.h"
+#include "matrix/transforms.h"
+#include "synth/generator.h"
+#include "util/prng.h"
+
+using namespace regcluster;
+
+namespace {
+
+double MineAndScore(const matrix::ExpressionMatrix& data,
+                    const std::vector<core::Bicluster>& truth) {
+  core::MinerOptions o;
+  o.min_genes = 8;
+  o.min_conditions = 5;
+  o.gamma = 0.1;
+  o.epsilon = 0.35;  // roomy: imputation error perturbs coherence
+  o.remove_dominated = true;
+  auto clusters = core::RegClusterMiner(data, o).Mine();
+  if (!clusters.ok()) {
+    std::fprintf(stderr, "%s\n", clusters.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::vector<core::Bicluster> found;
+  for (const auto& c : *clusters) found.push_back(core::ToBicluster(c));
+  return eval::CellMatchScore(truth, found);
+}
+
+}  // namespace
+
+int main() {
+  synth::SyntheticConfig cfg;
+  cfg.num_genes = 400;
+  cfg.num_conditions = 18;
+  cfg.num_clusters = 5;
+  cfg.avg_cluster_genes_fraction = 0.04;
+  cfg.seed = 31;
+  auto ds = synth::GenerateSynthetic(cfg);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<core::Bicluster> truth;
+  for (const auto& imp : ds->implants) truth.push_back(imp.Footprint());
+
+  const double clean_recovery = MineAndScore(ds->data, truth);
+  std::printf("recovery on the complete matrix:     %.3f\n", clean_recovery);
+
+  std::printf("\n%10s | %12s %12s\n", "missing", "row-mean", "KNN (k=8)");
+  for (double missing_rate : {0.02, 0.05, 0.10}) {
+    matrix::ExpressionMatrix holey = ds->data;
+    util::Prng prng(77);
+    for (int g = 0; g < holey.num_genes(); ++g) {
+      for (int c = 0; c < holey.num_conditions(); ++c) {
+        if (prng.Bernoulli(missing_rate)) {
+          holey(g, c) = std::numeric_limits<double>::quiet_NaN();
+        }
+      }
+    }
+    const matrix::ExpressionMatrix rowmean = matrix::ImputeRowMean(holey);
+    auto knn = matrix::ImputeKnn(holey, 8);
+    if (!knn.ok()) {
+      std::fprintf(stderr, "%s\n", knn.status().ToString().c_str());
+      return 1;
+    }
+    const double r_mean = MineAndScore(rowmean, truth);
+    const double r_knn = MineAndScore(*knn, truth);
+    std::printf("%9.0f%% | %12.3f %12.3f\n", 100 * missing_rate, r_mean,
+                r_knn);
+  }
+  std::printf(
+      "\nKNN exploits the co-regulation structure itself to reconstruct "
+      "missing cells; its per-cell reconstruction error is several times "
+      "lower than row means (see tests/matrix/impute_test.cc), which shows "
+      "up here as consistently higher end-to-end recovery.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Negative co-regulation discovery (the Section 1.1 "Negative Correlation"
+// motivation).
+//
+// Genes in the same pathway can be anti-correlated: a repressor rises while
+// its targets fall.  Pattern models limited to positive scaling (pCluster,
+// TriCluster) cannot put the repressor and targets into one cluster; the
+// reg-cluster model does, as n-members with negative scaling factors.
+//
+// This example synthesizes a small "pathway" -- an activator module, its
+// induced targets and its repressed targets, all affine transforms of one
+// latent activity signal over a condition subset -- and shows that one
+// mined reg-cluster recovers the entire pathway with the correct member
+// signs, while a pCluster baseline at any reasonable delta recovers none.
+
+#include <cstdio>
+
+#include "baselines/pcluster.h"
+#include "core/coherence.h"
+#include "core/miner.h"
+#include "matrix/expression_matrix.h"
+#include "util/prng.h"
+#include "util/string_util.h"
+
+using namespace regcluster;
+
+int main() {
+  const int kGenes = 60, kConds = 14;
+  util::Prng prng(2026);
+  matrix::ExpressionMatrix data(kGenes, kConds);
+  for (int g = 0; g < kGenes; ++g) {
+    for (int c = 0; c < kConds; ++c) data(g, c) = prng.Uniform(0, 10);
+  }
+
+  // The latent pathway activity over 6 of the 14 conditions.
+  const std::vector<int> active_conds{11, 3, 7, 0, 9, 5};
+  const std::vector<double> activity{0, 4, 9, 13, 18, 24};
+
+  // Genes 0-5: induced targets (positive scaling).  Genes 6-9: repressed
+  // targets (negative scaling).  Everything is d = s1 * activity + s2.
+  std::vector<std::string> names(static_cast<size_t>(kGenes));
+  for (int g = 0; g < kGenes; ++g) {
+    names[static_cast<size_t>(g)] = util::StrFormat("gene%02d", g);
+  }
+  for (int g = 0; g < 10; ++g) {
+    const bool repressed = g >= 6;
+    const double s1 =
+        (repressed ? -1.0 : 1.0) * prng.Uniform(0.6, 1.8);
+    const double s2 = prng.Uniform(-4, 4) + (repressed ? 30.0 : 0.0);
+    for (size_t i = 0; i < active_conds.size(); ++i) {
+      data(g, active_conds[i]) = s1 * activity[i] + s2;
+    }
+    names[static_cast<size_t>(g)] =
+        util::StrFormat("%s%02d", repressed ? "repressed" : "induced", g);
+  }
+  (void)data.SetGeneNames(names);
+
+  std::printf("pathway: induced00..05 (+), repressed06..09 (-) over 6 of %d "
+              "conditions\n\n",
+              kConds);
+
+  // --- reg-cluster ---------------------------------------------------------
+  core::MinerOptions opts;
+  opts.min_genes = 10;
+  opts.min_conditions = 6;
+  opts.gamma = 0.12;
+  opts.epsilon = 0.05;
+  opts.remove_dominated = true;
+  core::RegClusterMiner miner(data, opts);
+  auto clusters = miner.Mine();
+  if (!clusters.ok()) {
+    std::fprintf(stderr, "%s\n", clusters.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("reg-cluster found %zu cluster(s)\n", clusters->size());
+  for (const auto& c : *clusters) {
+    std::printf("  chain:");
+    for (int cond : c.chain) std::printf(" c%d", cond);
+    std::printf("\n  p-members:");
+    for (int g : c.p_genes) std::printf(" %s", data.gene_name(g).c_str());
+    std::printf("\n  n-members:");
+    for (int g : c.n_genes) std::printf(" %s", data.gene_name(g).c_str());
+    std::printf("\n");
+
+    // Show a fitted cross-sign relationship.
+    if (!c.p_genes.empty() && !c.n_genes.empty()) {
+      double s1 = 0, s2 = 0;
+      if (core::FitPairShiftScale(data, c.p_genes[0], c.n_genes[0], c.chain,
+                                  &s1, &s2)) {
+        std::printf("  e.g. %s = %+.2f * %s %+.2f  (negative scaling)\n",
+                    data.gene_name(c.n_genes[0]).c_str(), s1,
+                    data.gene_name(c.p_genes[0]).c_str(), s2);
+      }
+    }
+  }
+
+  // --- pCluster baseline ---------------------------------------------------
+  baselines::PClusterOptions po;
+  po.delta = 1.0;
+  po.min_genes = 10;
+  po.min_conditions = 6;
+  po.max_nodes = 200000;
+  auto pfound = baselines::PClusterMiner(data, po).Mine();
+  std::printf("\npCluster (delta=%.1f, same size thresholds) found %zu "
+              "cluster(s) -- the pathway mixes scaling factors and signs, "
+              "which pScore cannot express.\n",
+              po.delta, pfound.ok() ? pfound->size() : 0);
+
+  const bool recovered =
+      clusters->size() >= 1 &&
+      (*clusters)[0].num_genes() == 10;
+  if (!recovered) {
+    std::fprintf(stderr, "FAILED to recover the pathway as one cluster\n");
+    return 1;
+  }
+  std::printf("\nOK: the full pathway (both signs) is one reg-cluster.\n");
+  return 0;
+}

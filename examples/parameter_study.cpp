@@ -1,0 +1,73 @@
+// Parameter study: how gamma and epsilon shape the output.
+//
+// The two thresholds of the reg-cluster model play different roles:
+//   * gamma (regulation)  -- filters out biologically meaningless "flat"
+//     patterns whose expression changes are small relative to the gene's
+//     range (the paper's Regulation Test motivation);
+//   * epsilon (coherence) -- bounds how far members may deviate from a
+//     perfect shifting-and-scaling relationship.
+//
+// This example mines one synthetic dataset under a grid of (gamma, epsilon)
+// values and prints cluster counts plus recovery/relevance against the
+// implanted ground truth, illustrating the precision/recall trade-off a
+// user navigates when tuning the miner.
+
+#include <cstdio>
+
+#include "core/bicluster.h"
+#include "core/miner.h"
+#include "eval/match.h"
+#include "synth/generator.h"
+
+using namespace regcluster;
+
+int main() {
+  synth::SyntheticConfig cfg;
+  cfg.num_genes = 400;
+  cfg.num_conditions = 20;
+  cfg.num_clusters = 6;
+  cfg.avg_cluster_genes_fraction = 0.03;
+  cfg.noise_fraction = 0.05;  // mildly noisy implants
+  cfg.seed = 77;
+  auto ds = synth::GenerateSynthetic(cfg);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<core::Bicluster> truth;
+  for (const auto& imp : ds->implants) truth.push_back(imp.Footprint());
+
+  std::printf("dataset: %d x %d with %zu noisy implants\n\n", cfg.num_genes,
+              cfg.num_conditions, truth.size());
+  std::printf("%8s %8s | %9s %10s %10s %12s\n", "gamma", "epsilon",
+              "clusters", "recovery", "relevance", "runtime_ms");
+
+  for (double gamma : {0.0, 0.05, 0.1, 0.2}) {
+    for (double epsilon : {0.001, 0.05, 0.25, 1.0}) {
+      core::MinerOptions o;
+      o.min_genes = 8;
+      o.min_conditions = 5;
+      o.gamma = gamma;
+      o.epsilon = epsilon;
+      o.remove_dominated = true;
+      o.max_nodes = 2000000;  // keep the gamma=0 corner bounded
+      core::RegClusterMiner miner(ds->data, o);
+      auto clusters = miner.Mine();
+      if (!clusters.ok()) {
+        std::fprintf(stderr, "%s\n", clusters.status().ToString().c_str());
+        return 1;
+      }
+      std::vector<core::Bicluster> found;
+      for (const auto& c : *clusters) found.push_back(core::ToBicluster(c));
+      const auto r = eval::ScoreAgainstTruth(found, truth);
+      std::printf("%8.3f %8.3f | %9zu %10.3f %10.3f %12.1f\n", gamma, epsilon,
+                  clusters->size(), r.cell_recovery, r.cell_relevance,
+                  miner.stats().mine_seconds * 1e3);
+    }
+  }
+  std::printf(
+      "\nreading the grid: tiny epsilon misses noisy members (low recovery); "
+      "huge epsilon admits spurious members (lower relevance); gamma well "
+      "above the implants' step ratio destroys the chains entirely.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Gene-centric analysis: "what co-regulation modules contain my gene?"
+//
+// The workflow a biologist actually runs after sequencing a candidate:
+//   1. targeted mining -- reg-clusters constrained to contain the probe
+//      gene (orders of magnitude less search than a full run),
+//   2. a permutation test to separate statistically significant modules
+//      from search artifacts,
+//   3. the cluster index to list the probe's co-clustered partner genes
+//      (its putative pathway).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/miner.h"
+#include "eval/cluster_index.h"
+#include "eval/significance.h"
+#include "synth/generator.h"
+
+using namespace regcluster;
+
+int main() {
+  // A 500-gene dataset with 6 hidden modules.
+  synth::SyntheticConfig cfg;
+  cfg.num_genes = 500;
+  cfg.num_conditions = 20;
+  cfg.num_clusters = 6;
+  cfg.avg_cluster_genes_fraction = 0.03;
+  cfg.gene_reuse_fraction = 0.3;  // genes may sit in several modules
+  cfg.seed = 1234;
+  auto ds = synth::GenerateSynthetic(cfg);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+
+  // Probe: a gene the ground truth placed in at least one module.
+  const int probe = ds->implants[2].p_genes[0];
+  std::printf("probe gene: %s\n\n", ds->data.gene_name(probe).c_str());
+
+  // 1. Targeted mining.
+  core::MinerOptions opts;
+  opts.min_genes = 8;
+  opts.min_conditions = 5;
+  opts.gamma = 0.1;
+  opts.epsilon = 0.05;
+  opts.remove_dominated = true;
+  opts.required_genes = {probe};
+  core::RegClusterMiner miner(ds->data, opts);
+  auto clusters = miner.Mine();
+  if (!clusters.ok()) {
+    std::fprintf(stderr, "%s\n", clusters.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("targeted mining: %zu clusters containing the probe "
+              "(%lld nodes searched)\n",
+              clusters->size(),
+              static_cast<long long>(miner.stats().nodes_expanded));
+
+  // 2. Significance per cluster.
+  eval::SignificanceOptions sig;
+  sig.gamma_spec = {core::GammaPolicy::kRangeFraction, opts.gamma};
+  sig.epsilon = opts.epsilon;
+  int significant = 0;
+  for (size_t i = 0; i < clusters->size(); ++i) {
+    auto result = eval::PermutationSignificance(ds->data, (*clusters)[i], sig);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const bool ok = result->p_value < 1e-4;
+    significant += ok;
+    std::printf("  cluster %zu: %dx%d  null-rate=%.4f  p=%.2e %s\n", i,
+                (*clusters)[i].num_genes(), (*clusters)[i].num_conditions(),
+                result->null_full_rate, result->p_value,
+                ok ? "SIGNIFICANT" : "(not significant)");
+  }
+
+  // 3. Pathway partners via the index.
+  const eval::ClusterIndex index(*clusters, ds->data.num_genes(),
+                                 ds->data.num_conditions());
+  const auto partners = index.CoClusteredGenes(probe);
+  std::printf("\nprobe co-clusters with %zu genes; membership degree %d\n",
+              partners.size(), index.MembershipDegree(probe));
+
+  // Cross-check against the ground truth module.
+  int true_partners = 0;
+  const auto truth = ds->implants[2].Footprint();
+  for (int g : partners) {
+    if (std::binary_search(truth.genes.begin(), truth.genes.end(), g)) {
+      ++true_partners;
+    }
+  }
+  std::printf("of the true module's %zu other members, %d were recovered as "
+              "partners\n",
+              truth.genes.size() - 1, true_partners);
+  if (significant == 0 || true_partners == 0) {
+    std::fprintf(stderr, "FAILED: expected significant modules containing "
+                         "the probe\n");
+    return 1;
+  }
+  return 0;
+}

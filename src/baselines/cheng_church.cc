@@ -1,0 +1,324 @@
+#include "baselines/cheng_church.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/prng.h"
+
+namespace regcluster {
+namespace baselines {
+namespace {
+
+/// Residue bookkeeping for one candidate bicluster over a working matrix.
+class Residues {
+ public:
+  Residues(const matrix::ExpressionMatrix& data, std::vector<int> genes,
+           std::vector<int> conds)
+      : data_(data),
+        genes_(std::move(genes)),
+        signs_(genes_.size(), 1.0),
+        conds_(std::move(conds)) {
+    Recompute();
+  }
+
+  const std::vector<int>& genes() const { return genes_; }
+  const std::vector<int>& conds() const { return conds_; }
+  double msr() const { return msr_; }
+
+  /// Mean squared residue contributed by one row (gene).
+  double RowScore(int gi) const {
+    double s = 0.0;
+    for (size_t j = 0; j < conds_.size(); ++j) {
+      const double r = Residue(gi, static_cast<int>(j));
+      s += r * r;
+    }
+    return s / static_cast<double>(conds_.size());
+  }
+
+  /// Mean squared residue contributed by one column (condition).
+  double ColScore(int cj) const {
+    double s = 0.0;
+    for (size_t i = 0; i < genes_.size(); ++i) {
+      const double r = Residue(static_cast<int>(i), cj);
+      s += r * r;
+    }
+    return s / static_cast<double>(genes_.size());
+  }
+
+  /// Score of an outside gene against the current column means (direct row).
+  double OutsideRowScore(int gene) const { return OutsideScore(gene, 1.0); }
+
+  /// Score of an outside gene added as an *inverted* row (Cheng & Church's
+  /// mechanism for shift-type negative correlation: the row participates
+  /// with its values negated).
+  double OutsideInvertedRowScore(int gene) const {
+    return OutsideScore(gene, -1.0);
+  }
+
+  /// Score of an outside column against the current row means.
+  double OutsideColScore(int cond) const {
+    double mean = 0.0;
+    for (int g : genes_) mean += data_(g, cond);
+    mean /= static_cast<double>(genes_.size());
+    double s = 0.0;
+    for (size_t i = 0; i < genes_.size(); ++i) {
+      const double r = data_(genes_[i], cond) - row_means_[i] - mean + all_mean_;
+      s += r * r;
+    }
+    return s / static_cast<double>(genes_.size());
+  }
+
+  void RemoveGenes(const std::vector<char>& kill) {
+    std::vector<int> keep;
+    std::vector<double> keep_signs;
+    for (size_t i = 0; i < genes_.size(); ++i) {
+      if (!kill[i]) {
+        keep.push_back(genes_[i]);
+        keep_signs.push_back(signs_[i]);
+      }
+    }
+    genes_ = std::move(keep);
+    signs_ = std::move(keep_signs);
+    Recompute();
+  }
+
+  void RemoveConds(const std::vector<char>& kill) {
+    std::vector<int> keep;
+    for (size_t j = 0; j < conds_.size(); ++j) {
+      if (!kill[j]) keep.push_back(conds_[j]);
+    }
+    conds_ = std::move(keep);
+    Recompute();
+  }
+
+  void AddGene(int gene, bool inverted) {
+    genes_.push_back(gene);
+    signs_.push_back(inverted ? -1.0 : 1.0);
+    Recompute();
+  }
+
+  void AddCond(int cond) {
+    conds_.push_back(cond);
+    Recompute();
+  }
+
+  void Recompute() {
+    const size_t nr = genes_.size();
+    const size_t nc = conds_.size();
+    row_means_.assign(nr, 0.0);
+    col_means_.assign(nc, 0.0);
+    all_mean_ = 0.0;
+    if (nr == 0 || nc == 0) {
+      msr_ = 0.0;
+      return;
+    }
+    for (size_t i = 0; i < nr; ++i) {
+      for (size_t j = 0; j < nc; ++j) {
+        const double v = Cell(static_cast<int>(i), static_cast<int>(j));
+        row_means_[i] += v;
+        col_means_[j] += v;
+        all_mean_ += v;
+      }
+    }
+    for (double& m : row_means_) m /= static_cast<double>(nc);
+    for (double& m : col_means_) m /= static_cast<double>(nr);
+    all_mean_ /= static_cast<double>(nr * nc);
+    double s = 0.0;
+    for (size_t i = 0; i < nr; ++i) {
+      for (size_t j = 0; j < nc; ++j) {
+        const double r = Residue(static_cast<int>(i), static_cast<int>(j));
+        s += r * r;
+      }
+    }
+    msr_ = s / static_cast<double>(nr * nc);
+  }
+
+ private:
+  double Cell(int gi, int cj) const {
+    return signs_[static_cast<size_t>(gi)] *
+           data_(genes_[static_cast<size_t>(gi)],
+                 conds_[static_cast<size_t>(cj)]);
+  }
+
+  double Residue(int gi, int cj) const {
+    return Cell(gi, cj) - row_means_[static_cast<size_t>(gi)] -
+           col_means_[static_cast<size_t>(cj)] + all_mean_;
+  }
+
+  double OutsideScore(int gene, double sign) const {
+    double mean = 0.0;
+    for (int c : conds_) mean += sign * data_(gene, c);
+    mean /= static_cast<double>(conds_.size());
+    double s = 0.0;
+    for (size_t j = 0; j < conds_.size(); ++j) {
+      const double r =
+          sign * data_(gene, conds_[j]) - mean - col_means_[j] + all_mean_;
+      s += r * r;
+    }
+    return s / static_cast<double>(conds_.size());
+  }
+
+  const matrix::ExpressionMatrix& data_;
+  std::vector<int> genes_;
+  std::vector<double> signs_;  // +1 direct row, -1 inverted row
+  std::vector<int> conds_;
+  std::vector<double> row_means_;
+  std::vector<double> col_means_;
+  double all_mean_ = 0.0;
+  double msr_ = 0.0;
+};
+
+}  // namespace
+
+double MeanSquaredResidue(const matrix::ExpressionMatrix& data,
+                          const std::vector<int>& genes,
+                          const std::vector<int>& conds) {
+  Residues r(data, genes, conds);
+  return r.msr();
+}
+
+util::StatusOr<std::vector<core::Bicluster>> MineChengChurch(
+    const matrix::ExpressionMatrix& data, const ChengChurchOptions& options) {
+  if (options.delta < 0.0) {
+    return util::Status::InvalidArgument("delta must be >= 0");
+  }
+  if (options.alpha < 1.0) {
+    return util::Status::InvalidArgument("alpha must be >= 1");
+  }
+  if (options.num_biclusters < 1) {
+    return util::Status::InvalidArgument("num_biclusters must be >= 1");
+  }
+  if (data.HasMissingValues()) {
+    return util::Status::FailedPrecondition(
+        "matrix contains missing values; impute first");
+  }
+
+  matrix::ExpressionMatrix work = data;  // masking mutates a copy
+  util::Prng prng(options.seed);
+  std::vector<core::Bicluster> out;
+
+  for (int round = 0; round < options.num_biclusters; ++round) {
+    std::vector<int> genes(static_cast<size_t>(work.num_genes()));
+    std::vector<int> conds(static_cast<size_t>(work.num_conditions()));
+    for (int g = 0; g < work.num_genes(); ++g) genes[static_cast<size_t>(g)] = g;
+    for (int c = 0; c < work.num_conditions(); ++c) conds[static_cast<size_t>(c)] = c;
+    Residues r(work, std::move(genes), std::move(conds));
+
+    // Phase 1: multiple node deletion.
+    while (r.msr() > options.delta &&
+           (static_cast<int>(r.genes().size()) >
+                options.multiple_deletion_threshold ||
+            static_cast<int>(r.conds().size()) >
+                options.multiple_deletion_threshold)) {
+      bool changed = false;
+      if (static_cast<int>(r.genes().size()) >
+          options.multiple_deletion_threshold) {
+        std::vector<char> kill(r.genes().size(), 0);
+        for (size_t i = 0; i < r.genes().size(); ++i) {
+          if (r.RowScore(static_cast<int>(i)) > options.alpha * r.msr()) {
+            kill[i] = 1;
+            changed = true;
+          }
+        }
+        if (changed) r.RemoveGenes(kill);
+      }
+      if (r.msr() <= options.delta) break;
+      if (static_cast<int>(r.conds().size()) >
+          options.multiple_deletion_threshold) {
+        std::vector<char> kill(r.conds().size(), 0);
+        bool col_changed = false;
+        for (size_t j = 0; j < r.conds().size(); ++j) {
+          if (r.ColScore(static_cast<int>(j)) > options.alpha * r.msr()) {
+            kill[j] = 1;
+            col_changed = true;
+          }
+        }
+        if (col_changed) {
+          r.RemoveConds(kill);
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+
+    // Phase 2: single node deletion.
+    while (r.msr() > options.delta && r.genes().size() > 1 &&
+           r.conds().size() > 1) {
+      double worst_row = -1.0;
+      int worst_row_idx = -1;
+      for (size_t i = 0; i < r.genes().size(); ++i) {
+        const double s = r.RowScore(static_cast<int>(i));
+        if (s > worst_row) {
+          worst_row = s;
+          worst_row_idx = static_cast<int>(i);
+        }
+      }
+      double worst_col = -1.0;
+      int worst_col_idx = -1;
+      for (size_t j = 0; j < r.conds().size(); ++j) {
+        const double s = r.ColScore(static_cast<int>(j));
+        if (s > worst_col) {
+          worst_col = s;
+          worst_col_idx = static_cast<int>(j);
+        }
+      }
+      if (worst_row >= worst_col) {
+        std::vector<char> kill(r.genes().size(), 0);
+        kill[static_cast<size_t>(worst_row_idx)] = 1;
+        r.RemoveGenes(kill);
+      } else {
+        std::vector<char> kill(r.conds().size(), 0);
+        kill[static_cast<size_t>(worst_col_idx)] = 1;
+        r.RemoveConds(kill);
+      }
+    }
+
+    // Phase 3: node addition (columns first, then rows, per the paper).
+    bool added = true;
+    while (added) {
+      added = false;
+      std::vector<char> in_conds(static_cast<size_t>(work.num_conditions()), 0);
+      for (int c : r.conds()) in_conds[static_cast<size_t>(c)] = 1;
+      for (int c = 0; c < work.num_conditions(); ++c) {
+        if (in_conds[static_cast<size_t>(c)]) continue;
+        if (r.OutsideColScore(c) <= r.msr()) {
+          r.AddCond(c);
+          added = true;
+        }
+      }
+      std::vector<char> in_genes(static_cast<size_t>(work.num_genes()), 0);
+      for (int g : r.genes()) in_genes[static_cast<size_t>(g)] = 1;
+      for (int g = 0; g < work.num_genes(); ++g) {
+        if (in_genes[static_cast<size_t>(g)]) continue;
+        const bool direct_ok = r.OutsideRowScore(g) <= r.msr();
+        const bool inverted_ok =
+            options.add_inverted_rows && r.OutsideInvertedRowScore(g) <= r.msr();
+        if (direct_ok || inverted_ok) {
+          r.AddGene(g, /*inverted=*/!direct_ok);
+          added = true;
+        }
+      }
+    }
+
+    if (r.genes().empty() || r.conds().empty()) break;
+
+    core::Bicluster b;
+    b.genes = r.genes();
+    b.conditions = r.conds();
+    std::sort(b.genes.begin(), b.genes.end());
+    std::sort(b.conditions.begin(), b.conditions.end());
+
+    // Mask the found bicluster with random values so the next round finds
+    // something else.
+    for (int g : b.genes) {
+      for (int c : b.conditions) {
+        work(g, c) = prng.Uniform(options.mask_lo, options.mask_hi);
+      }
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace regcluster

@@ -1,0 +1,58 @@
+// Cheng & Church delta-bicluster baseline (ISMB 2000).
+//
+// Finds k biclusters with mean squared residue H(X, Y) <= delta:
+//
+//   H = (1/|X||Y|) * sum_{i,j} (d_ij - rowmean_i - colmean_j + allmean)^2
+//
+// via the published greedy pipeline: multiple node deletion -> single node
+// deletion -> node addition (including inverted rows, the paper's mechanism
+// for *shift-type* negative correlation), then masking the found bicluster
+// with random values and repeating.  The MSR criterion tolerates shifting
+// patterns but penalizes scaling -- the reg-cluster paper cites it as the
+// classic regulation-motivated but coherence-limited model.
+
+#ifndef REGCLUSTER_BASELINES_CHENG_CHURCH_H_
+#define REGCLUSTER_BASELINES_CHENG_CHURCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bicluster.h"
+#include "matrix/expression_matrix.h"
+#include "util/status.h"
+
+namespace regcluster {
+namespace baselines {
+
+struct ChengChurchOptions {
+  /// MSR acceptance threshold.
+  double delta = 0.5;
+  /// Multiple-node-deletion aggressiveness (paper's alpha, > 1).
+  double alpha = 1.2;
+  /// Number of biclusters to report.
+  int num_biclusters = 10;
+  /// Use multiple node deletion only while dimensions exceed this.
+  int multiple_deletion_threshold = 100;
+  /// Allow adding inverted rows during node addition.
+  bool add_inverted_rows = true;
+  /// Masking noise range (uniform) for cells of found biclusters.
+  double mask_lo = 0.0;
+  double mask_hi = 10.0;
+  uint64_t seed = 17;
+};
+
+/// Mean squared residue of the submatrix genes x conds.
+double MeanSquaredResidue(const matrix::ExpressionMatrix& data,
+                          const std::vector<int>& genes,
+                          const std::vector<int>& conds);
+
+/// Runs the Cheng-Church pipeline.  Returns up to num_biclusters biclusters
+/// (fewer if the whole matrix drops below delta first).  Operates on a
+/// private copy of the data (masking mutates it).
+util::StatusOr<std::vector<core::Bicluster>> MineChengChurch(
+    const matrix::ExpressionMatrix& data, const ChengChurchOptions& options);
+
+}  // namespace baselines
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_BASELINES_CHENG_CHURCH_H_

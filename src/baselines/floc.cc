@@ -1,0 +1,194 @@
+#include "baselines/floc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/cheng_church.h"
+#include "util/prng.h"
+
+namespace regcluster {
+namespace baselines {
+namespace {
+
+/// Mutable bicluster with membership masks and MSR recomputation.
+struct Candidate {
+  std::vector<char> rows;  // gene membership mask
+  std::vector<char> cols;  // condition membership mask
+  int row_count = 0;
+  int col_count = 0;
+  double msr = 0.0;
+
+  std::vector<int> RowList() const {
+    std::vector<int> out;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i]) out.push_back(static_cast<int>(i));
+    }
+    return out;
+  }
+  std::vector<int> ColList() const {
+    std::vector<int> out;
+    for (size_t j = 0; j < cols.size(); ++j) {
+      if (cols[j]) out.push_back(static_cast<int>(j));
+    }
+    return out;
+  }
+
+  void Rescore(const matrix::ExpressionMatrix& data) {
+    msr = (row_count >= 1 && col_count >= 1)
+              ? MeanSquaredResidue(data, RowList(), ColList())
+              : 0.0;
+  }
+};
+
+}  // namespace
+
+util::StatusOr<std::vector<core::Bicluster>> MineFloc(
+    const matrix::ExpressionMatrix& data, const FlocOptions& options,
+    FlocStats* stats) {
+  const int rows = data.num_genes();
+  const int cols = data.num_conditions();
+  if (options.num_clusters < 1) {
+    return util::Status::InvalidArgument("num_clusters must be >= 1");
+  }
+  if (options.min_genes < 1 || options.min_conditions < 1) {
+    return util::Status::InvalidArgument("minimum sizes must be >= 1");
+  }
+  if (options.min_genes > rows || options.min_conditions > cols) {
+    return util::Status::InvalidArgument("minimum sizes exceed the matrix");
+  }
+  if (options.init_row_probability <= 0.0 ||
+      options.init_row_probability > 1.0 ||
+      options.init_col_probability <= 0.0 ||
+      options.init_col_probability > 1.0) {
+    return util::Status::InvalidArgument("init probabilities must be (0,1]");
+  }
+  if (data.HasMissingValues()) {
+    return util::Status::FailedPrecondition(
+        "matrix contains missing values; impute first");
+  }
+
+  util::Prng prng(options.seed);
+  std::vector<Candidate> cands(static_cast<size_t>(options.num_clusters));
+  for (Candidate& c : cands) {
+    c.rows.assign(static_cast<size_t>(rows), 0);
+    c.cols.assign(static_cast<size_t>(cols), 0);
+    // Random initialization; enforce the minimum sizes.
+    while (c.row_count < options.min_genes) {
+      for (int g = 0; g < rows; ++g) {
+        if (!c.rows[static_cast<size_t>(g)] &&
+            prng.Bernoulli(options.init_row_probability)) {
+          c.rows[static_cast<size_t>(g)] = 1;
+          ++c.row_count;
+        }
+      }
+    }
+    while (c.col_count < options.min_conditions) {
+      for (int j = 0; j < cols; ++j) {
+        if (!c.cols[static_cast<size_t>(j)] &&
+            prng.Bernoulli(options.init_col_probability)) {
+          c.cols[static_cast<size_t>(j)] = 1;
+          ++c.col_count;
+        }
+      }
+    }
+    c.Rescore(data);
+  }
+
+  auto mean_residue = [&]() {
+    double total = 0.0;
+    for (const Candidate& c : cands) total += c.msr;
+    return total / static_cast<double>(cands.size());
+  };
+  if (stats != nullptr) stats->initial_mean_residue = mean_residue();
+
+  int sweeps = 0;
+  for (; sweeps < options.max_sweeps; ++sweeps) {
+    bool improved = false;
+
+    // Row actions: for each gene, the best membership toggle across
+    // clusters (including "do nothing").
+    for (int g = 0; g < rows; ++g) {
+      double best_gain = 1e-12;  // require a strict improvement
+      int best_cluster = -1;
+      double best_new_msr = 0.0;
+      for (size_t k = 0; k < cands.size(); ++k) {
+        Candidate& c = cands[k];
+        const bool member = c.rows[static_cast<size_t>(g)];
+        if (member && c.row_count <= options.min_genes) continue;
+        // Toggle, rescore, untoggle.
+        c.rows[static_cast<size_t>(g)] ^= 1;
+        c.row_count += member ? -1 : 1;
+        const double new_msr =
+            MeanSquaredResidue(data, c.RowList(), c.ColList());
+        c.rows[static_cast<size_t>(g)] ^= 1;
+        c.row_count += member ? 1 : -1;
+        const double gain = c.msr - new_msr;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_cluster = static_cast<int>(k);
+          best_new_msr = new_msr;
+        }
+      }
+      if (best_cluster >= 0) {
+        Candidate& c = cands[static_cast<size_t>(best_cluster)];
+        const bool member = c.rows[static_cast<size_t>(g)];
+        c.rows[static_cast<size_t>(g)] ^= 1;
+        c.row_count += member ? -1 : 1;
+        c.msr = best_new_msr;
+        improved = true;
+      }
+    }
+
+    // Column actions.
+    for (int j = 0; j < cols; ++j) {
+      double best_gain = 1e-12;
+      int best_cluster = -1;
+      double best_new_msr = 0.0;
+      for (size_t k = 0; k < cands.size(); ++k) {
+        Candidate& c = cands[k];
+        const bool member = c.cols[static_cast<size_t>(j)];
+        if (member && c.col_count <= options.min_conditions) continue;
+        c.cols[static_cast<size_t>(j)] ^= 1;
+        c.col_count += member ? -1 : 1;
+        const double new_msr =
+            MeanSquaredResidue(data, c.RowList(), c.ColList());
+        c.cols[static_cast<size_t>(j)] ^= 1;
+        c.col_count += member ? 1 : -1;
+        const double gain = c.msr - new_msr;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_cluster = static_cast<int>(k);
+          best_new_msr = new_msr;
+        }
+      }
+      if (best_cluster >= 0) {
+        Candidate& c = cands[static_cast<size_t>(best_cluster)];
+        const bool member = c.cols[static_cast<size_t>(j)];
+        c.cols[static_cast<size_t>(j)] ^= 1;
+        c.col_count += member ? -1 : 1;
+        c.msr = best_new_msr;
+        improved = true;
+      }
+    }
+
+    if (!improved) break;
+  }
+
+  if (stats != nullptr) {
+    stats->sweeps = sweeps;
+    stats->final_mean_residue = mean_residue();
+  }
+
+  std::vector<core::Bicluster> out;
+  out.reserve(cands.size());
+  for (const Candidate& c : cands) {
+    core::Bicluster b;
+    b.genes = c.RowList();
+    b.conditions = c.ColList();
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace regcluster

@@ -1,0 +1,263 @@
+#include "baselines/fullspace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "matrix/transforms.h"
+#include "util/math_util.h"
+#include "util/prng.h"
+
+namespace regcluster {
+namespace baselines {
+namespace {
+
+double SquaredDistance(const double* a, const double* b, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+util::StatusOr<KMeansResult> KMeansRows(const matrix::ExpressionMatrix& data,
+                                        const KMeansOptions& options) {
+  const int n = data.num_genes();
+  const int dim = data.num_conditions();
+  if (options.k < 1) {
+    return util::Status::InvalidArgument("k must be >= 1");
+  }
+  if (options.k > n) {
+    return util::Status::InvalidArgument("k exceeds the number of genes");
+  }
+  if (options.max_iterations < 1 || options.restarts < 1) {
+    return util::Status::InvalidArgument("iterations/restarts must be >= 1");
+  }
+  if (data.HasMissingValues()) {
+    return util::Status::FailedPrecondition(
+        "matrix contains missing values; impute first");
+  }
+
+  const matrix::ExpressionMatrix work =
+      options.zscore_rows ? matrix::ZScoreRows(data) : data;
+
+  util::Prng prng(options.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    // k-means++ seeding.
+    std::vector<std::vector<double>> centroids;
+    centroids.reserve(static_cast<size_t>(options.k));
+    {
+      const int first = static_cast<int>(prng.UniformInt(0, n - 1));
+      centroids.emplace_back(work.row_data(first), work.row_data(first) + dim);
+      std::vector<double> d2(static_cast<size_t>(n));
+      while (static_cast<int>(centroids.size()) < options.k) {
+        double total = 0.0;
+        for (int g = 0; g < n; ++g) {
+          double nearest = std::numeric_limits<double>::infinity();
+          for (const auto& c : centroids) {
+            nearest = std::min(
+                nearest, SquaredDistance(work.row_data(g), c.data(), dim));
+          }
+          d2[static_cast<size_t>(g)] = nearest;
+          total += nearest;
+        }
+        int chosen = 0;
+        if (total > 0.0) {
+          double target = prng.NextDouble() * total;
+          for (int g = 0; g < n; ++g) {
+            target -= d2[static_cast<size_t>(g)];
+            if (target <= 0.0) {
+              chosen = g;
+              break;
+            }
+          }
+        } else {
+          chosen = static_cast<int>(prng.UniformInt(0, n - 1));
+        }
+        centroids.emplace_back(work.row_data(chosen),
+                               work.row_data(chosen) + dim);
+      }
+    }
+
+    // Lloyd iterations.
+    std::vector<int> assignment(static_cast<size_t>(n), 0);
+    double inertia = 0.0;
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+      bool changed = false;
+      inertia = 0.0;
+      for (int g = 0; g < n; ++g) {
+        double nearest = std::numeric_limits<double>::infinity();
+        int arg = 0;
+        for (int c = 0; c < options.k; ++c) {
+          const double d = SquaredDistance(
+              work.row_data(g), centroids[static_cast<size_t>(c)].data(), dim);
+          if (d < nearest) {
+            nearest = d;
+            arg = c;
+          }
+        }
+        if (assignment[static_cast<size_t>(g)] != arg) {
+          assignment[static_cast<size_t>(g)] = arg;
+          changed = true;
+        }
+        inertia += nearest;
+      }
+      if (!changed && iter > 0) break;
+      // Recompute centroids.
+      std::vector<std::vector<double>> sums(
+          static_cast<size_t>(options.k),
+          std::vector<double>(static_cast<size_t>(dim), 0.0));
+      std::vector<int> counts(static_cast<size_t>(options.k), 0);
+      for (int g = 0; g < n; ++g) {
+        const int c = assignment[static_cast<size_t>(g)];
+        ++counts[static_cast<size_t>(c)];
+        const double* row = work.row_data(g);
+        for (int j = 0; j < dim; ++j) {
+          sums[static_cast<size_t>(c)][static_cast<size_t>(j)] += row[j];
+        }
+      }
+      for (int c = 0; c < options.k; ++c) {
+        if (counts[static_cast<size_t>(c)] == 0) continue;  // empty: keep old
+        for (int j = 0; j < dim; ++j) {
+          centroids[static_cast<size_t>(c)][static_cast<size_t>(j)] =
+              sums[static_cast<size_t>(c)][static_cast<size_t>(j)] /
+              counts[static_cast<size_t>(c)];
+        }
+      }
+    }
+
+    if (inertia < best.inertia) {
+      best.inertia = inertia;
+      best.assignment = assignment;
+    }
+  }
+
+  best.clusters.assign(static_cast<size_t>(options.k), {});
+  for (int g = 0; g < n; ++g) {
+    best.clusters[static_cast<size_t>(best.assignment[static_cast<size_t>(g)])]
+        .push_back(g);
+  }
+  return best;
+}
+
+util::StatusOr<std::vector<std::vector<int>>> HierarchicalRows(
+    const matrix::ExpressionMatrix& data,
+    const HierarchicalOptions& options) {
+  const int n = data.num_genes();
+  if (options.num_clusters < 1) {
+    return util::Status::InvalidArgument("num_clusters must be >= 1");
+  }
+  if (options.num_clusters > n) {
+    return util::Status::InvalidArgument("num_clusters exceeds gene count");
+  }
+  if (data.HasMissingValues()) {
+    return util::Status::FailedPrecondition(
+        "matrix contains missing values; impute first");
+  }
+
+  // Pairwise distances.
+  std::vector<std::vector<double>> dist(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n), 0));
+  for (int i = 0; i < n; ++i) {
+    const std::vector<double> ri = data.Row(i);
+    for (int j = i + 1; j < n; ++j) {
+      const std::vector<double> rj = data.Row(j);
+      double d;
+      if (options.correlation_distance) {
+        d = 1.0 - util::PearsonCorrelation(ri, rj);
+      } else {
+        d = std::sqrt(
+            SquaredDistance(ri.data(), rj.data(), data.num_conditions()));
+      }
+      dist[static_cast<size_t>(i)][static_cast<size_t>(j)] = d;
+      dist[static_cast<size_t>(j)][static_cast<size_t>(i)] = d;
+    }
+  }
+
+  // Naive agglomeration with Lance-Williams updates.
+  std::vector<std::vector<int>> clusters;
+  clusters.reserve(static_cast<size_t>(n));
+  for (int g = 0; g < n; ++g) clusters.push_back({g});
+  std::vector<bool> alive(static_cast<size_t>(n), true);
+  int remaining = n;
+
+  while (remaining > options.num_clusters) {
+    double best_d = std::numeric_limits<double>::infinity();
+    int a = -1, b = -1;
+    for (int i = 0; i < n; ++i) {
+      if (!alive[static_cast<size_t>(i)]) continue;
+      for (int j = i + 1; j < n; ++j) {
+        if (!alive[static_cast<size_t>(j)]) continue;
+        if (dist[static_cast<size_t>(i)][static_cast<size_t>(j)] < best_d) {
+          best_d = dist[static_cast<size_t>(i)][static_cast<size_t>(j)];
+          a = i;
+          b = j;
+        }
+      }
+    }
+    // Merge b into a with the selected linkage.
+    const double na = static_cast<double>(clusters[static_cast<size_t>(a)].size());
+    const double nb = static_cast<double>(clusters[static_cast<size_t>(b)].size());
+    for (int j = 0; j < n; ++j) {
+      if (!alive[static_cast<size_t>(j)] || j == a || j == b) continue;
+      const double daj = dist[static_cast<size_t>(a)][static_cast<size_t>(j)];
+      const double dbj = dist[static_cast<size_t>(b)][static_cast<size_t>(j)];
+      double merged;
+      switch (options.linkage) {
+        case Linkage::kSingle:
+          merged = std::min(daj, dbj);
+          break;
+        case Linkage::kComplete:
+          merged = std::max(daj, dbj);
+          break;
+        case Linkage::kAverage:
+        default:
+          merged = (na * daj + nb * dbj) / (na + nb);
+          break;
+      }
+      dist[static_cast<size_t>(a)][static_cast<size_t>(j)] = merged;
+      dist[static_cast<size_t>(j)][static_cast<size_t>(a)] = merged;
+    }
+    clusters[static_cast<size_t>(a)].insert(
+        clusters[static_cast<size_t>(a)].end(),
+        clusters[static_cast<size_t>(b)].begin(),
+        clusters[static_cast<size_t>(b)].end());
+    clusters[static_cast<size_t>(b)].clear();
+    alive[static_cast<size_t>(b)] = false;
+    --remaining;
+  }
+
+  std::vector<std::vector<int>> out;
+  for (int i = 0; i < n; ++i) {
+    if (!alive[static_cast<size_t>(i)]) continue;
+    std::sort(clusters[static_cast<size_t>(i)].begin(),
+              clusters[static_cast<size_t>(i)].end());
+    out.push_back(std::move(clusters[static_cast<size_t>(i)]));
+  }
+  return out;
+}
+
+std::vector<core::Bicluster> ToFullSpaceBiclusters(
+    const std::vector<std::vector<int>>& gene_clusters, int num_conditions) {
+  std::vector<core::Bicluster> out;
+  out.reserve(gene_clusters.size());
+  for (const std::vector<int>& genes : gene_clusters) {
+    core::Bicluster b;
+    b.genes = genes;
+    std::sort(b.genes.begin(), b.genes.end());
+    b.conditions.resize(static_cast<size_t>(num_conditions));
+    std::iota(b.conditions.begin(), b.conditions.end(), 0);
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace regcluster

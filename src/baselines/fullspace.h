@@ -1,0 +1,75 @@
+// Full-space clustering baselines (Section 2's first family): k-means and
+// Eisen-style agglomerative hierarchical clustering.
+//
+// These methods evaluate similarity over *all* conditions, which is exactly
+// the limitation the subspace models address: a module co-regulated on 6 of
+// 30 conditions is invisible to them because the other 24 background
+// columns dominate the distance.  They are included so the comparison
+// benchmark can demonstrate that gap, and because any production clustering
+// toolkit ships them.
+//
+// Both operate on genes (rows).  For comparability with biclusters, each
+// result cluster is a gene set implicitly paired with the full condition
+// set.
+
+#ifndef REGCLUSTER_BASELINES_FULLSPACE_H_
+#define REGCLUSTER_BASELINES_FULLSPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bicluster.h"
+#include "matrix/expression_matrix.h"
+#include "util/status.h"
+
+namespace regcluster {
+namespace baselines {
+
+struct KMeansOptions {
+  int k = 8;
+  int max_iterations = 100;
+  /// Number of random restarts; the best (lowest inertia) run wins.
+  int restarts = 3;
+  /// Z-score rows first (the usual preprocessing for expression profiles).
+  bool zscore_rows = true;
+  uint64_t seed = 5;
+};
+
+struct KMeansResult {
+  /// assignment[g] = cluster id in [0, k).
+  std::vector<int> assignment;
+  /// Sum of squared distances to the assigned centroids.
+  double inertia = 0.0;
+  /// Gene sets per cluster (sorted).
+  std::vector<std::vector<int>> clusters;
+};
+
+/// Lloyd's algorithm with k-means++ seeding.
+util::StatusOr<KMeansResult> KMeansRows(const matrix::ExpressionMatrix& data,
+                                        const KMeansOptions& options);
+
+/// Linkage criteria for hierarchical clustering.
+enum class Linkage : int { kSingle = 0, kComplete = 1, kAverage = 2 };
+
+struct HierarchicalOptions {
+  /// Cut the dendrogram into this many clusters.
+  int num_clusters = 8;
+  Linkage linkage = Linkage::kAverage;
+  /// Distance: 1 - Pearson correlation (Eisen et al.) when true, Euclidean
+  /// otherwise.
+  bool correlation_distance = true;
+};
+
+/// Agglomerative clustering over genes; O(n^2 log n)-ish with a naive
+/// distance matrix, fine for a few thousand genes.
+util::StatusOr<std::vector<std::vector<int>>> HierarchicalRows(
+    const matrix::ExpressionMatrix& data, const HierarchicalOptions& options);
+
+/// Adapts full-space gene clusters to biclusters spanning all conditions.
+std::vector<core::Bicluster> ToFullSpaceBiclusters(
+    const std::vector<std::vector<int>>& gene_clusters, int num_conditions);
+
+}  // namespace baselines
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_BASELINES_FULLSPACE_H_

@@ -1,0 +1,104 @@
+#include "baselines/opcluster.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace regcluster {
+namespace baselines {
+
+core::Bicluster OpCluster::ToBicluster() const {
+  core::Bicluster b;
+  b.genes = genes;
+  b.conditions = sequence;
+  std::sort(b.conditions.begin(), b.conditions.end());
+  return b;
+}
+
+OpClusterMiner::OpClusterMiner(const matrix::ExpressionMatrix& data,
+                               OpClusterOptions options)
+    : data_(data), options_(options) {}
+
+bool OpClusterMiner::Supports(int gene, int last, int cand) const {
+  return data_(gene, cand) >= data_(gene, last) - options_.grouping_threshold;
+}
+
+util::StatusOr<std::vector<OpCluster>> OpClusterMiner::Mine() {
+  if (options_.min_genes < 1 || options_.min_conditions < 2) {
+    return util::Status::InvalidArgument(
+        "OP-cluster needs min_genes >= 1 and min_conditions >= 2");
+  }
+  if (options_.grouping_threshold < 0.0) {
+    return util::Status::InvalidArgument("grouping_threshold must be >= 0");
+  }
+  if (data_.HasMissingValues()) {
+    return util::Status::FailedPrecondition(
+        "matrix contains missing values; impute first");
+  }
+  stats_ = OpClusterStats();
+  seen_keys_.clear();
+  util::WallTimer timer;
+
+  std::vector<OpCluster> out;
+  std::vector<int> all_genes(static_cast<size_t>(data_.num_genes()));
+  for (int g = 0; g < data_.num_genes(); ++g) {
+    all_genes[static_cast<size_t>(g)] = g;
+  }
+  for (int c = 0; c < data_.num_conditions(); ++c) {
+    Node node;
+    node.sequence.push_back(c);
+    node.genes = all_genes;
+    Extend(&node, &out);
+  }
+  stats_.mine_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+void OpClusterMiner::Extend(Node* node, std::vector<OpCluster>* out) {
+  if (options_.max_nodes >= 0 && stats_.nodes_expanded >= options_.max_nodes) {
+    return;
+  }
+  ++stats_.nodes_expanded;
+
+  const int last = node->sequence.back();
+  bool closed = true;  // no extension preserves the full gene set
+  std::vector<char> in_seq(static_cast<size_t>(data_.num_conditions()), 0);
+  for (int c : node->sequence) in_seq[static_cast<size_t>(c)] = 1;
+
+  for (int cand = 0; cand < data_.num_conditions(); ++cand) {
+    if (in_seq[static_cast<size_t>(cand)]) continue;
+    Node child;
+    child.sequence = node->sequence;
+    child.sequence.push_back(cand);
+    for (int g : node->genes) {
+      if (Supports(g, last, cand)) child.genes.push_back(g);
+    }
+    if (child.genes.size() == node->genes.size()) closed = false;
+    if (static_cast<int>(child.genes.size()) < options_.min_genes) continue;
+    Extend(&child, out);
+    if (options_.max_nodes >= 0 &&
+        stats_.nodes_expanded >= options_.max_nodes) {
+      return;
+    }
+  }
+
+  if (closed &&
+      static_cast<int>(node->sequence.size()) >= options_.min_conditions &&
+      static_cast<int>(node->genes.size()) >= options_.min_genes) {
+    std::string key;
+    for (int c : node->sequence) key += util::StrFormat("%d,", c);
+    key += '|';
+    for (int g : node->genes) key += util::StrFormat("%d,", g);
+    if (seen_keys_.insert(std::move(key)).second) {
+      OpCluster cluster;
+      cluster.sequence = node->sequence;
+      cluster.genes = node->genes;
+      out->push_back(std::move(cluster));
+      ++stats_.clusters_emitted;
+    }
+  }
+}
+
+}  // namespace baselines
+}  // namespace regcluster

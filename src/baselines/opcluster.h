@@ -1,0 +1,84 @@
+// Tendency baseline in the style of OP-Cluster (Liu & Wang, ICDM 2003) and
+// OPSM (Ben-Dor et al., RECOMB 2002): order-preserving submatrices.
+//
+// A submatrix X x (c1..cm) is an order-preserving cluster if every gene in
+// X has non-decreasing expression along the condition sequence, optionally
+// treating differences below a grouping threshold as equal.  The model
+// captures synchronous *tendency* only -- no coherence and no regulation
+// guarantee -- which is the third gap discussed in Sections 1.1/3.3: a gene
+// whose steps are wildly disproportionate still joins the cluster, and with
+// a non-zero regulation threshold the model cannot express "this pair of
+// conditions is regulated, that one is not".
+//
+// Implementation: depth-first enumeration of condition sequences with gene
+// support sets; a node is emitted when it is *closed* (no extension keeps
+// the full gene set) and meets the size thresholds.
+
+#ifndef REGCLUSTER_BASELINES_OPCLUSTER_H_
+#define REGCLUSTER_BASELINES_OPCLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/bicluster.h"
+#include "matrix/expression_matrix.h"
+#include "util/status.h"
+
+namespace regcluster {
+namespace baselines {
+
+struct OpClusterOptions {
+  int min_genes = 2;
+  int min_conditions = 2;
+  /// Differences with absolute value <= grouping_threshold count as "equal"
+  /// and do not break the order (OP-Cluster's similarity grouping).
+  double grouping_threshold = 0.0;
+  int64_t max_nodes = -1;
+};
+
+struct OpClusterStats {
+  int64_t nodes_expanded = 0;
+  int64_t clusters_emitted = 0;
+  double mine_seconds = 0.0;
+};
+
+/// An order-preserving cluster: the gene set plus the supporting condition
+/// sequence (ascending expression for every gene).
+struct OpCluster {
+  std::vector<int> sequence;  ///< ordered conditions
+  std::vector<int> genes;     ///< sorted
+
+  core::Bicluster ToBicluster() const;
+};
+
+class OpClusterMiner {
+ public:
+  OpClusterMiner(const matrix::ExpressionMatrix& data,
+                 OpClusterOptions options);
+
+  util::StatusOr<std::vector<OpCluster>> Mine();
+  const OpClusterStats& stats() const { return stats_; }
+
+ private:
+  struct Node {
+    std::vector<int> sequence;
+    std::vector<int> genes;
+  };
+
+  void Extend(Node* node, std::vector<OpCluster>* out);
+
+  /// True iff `gene`'s expression admits the step last -> cand.
+  bool Supports(int gene, int last, int cand) const;
+
+  const matrix::ExpressionMatrix& data_;
+  OpClusterOptions options_;
+  OpClusterStats stats_;
+  std::unordered_set<std::string> seen_keys_;
+};
+
+}  // namespace baselines
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_BASELINES_OPCLUSTER_H_

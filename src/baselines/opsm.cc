@@ -1,0 +1,140 @@
+#include "baselines/opsm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace regcluster {
+namespace baselines {
+namespace {
+
+struct Beam {
+  std::vector<int> sequence;
+  std::vector<int> genes;  // supporting genes, sorted
+};
+
+/// Support of `sequence` extended by `cand`, restricted to `genes`.
+std::vector<int> ExtendSupport(const matrix::ExpressionMatrix& data,
+                               const std::vector<int>& genes, int last,
+                               int cand, double tol) {
+  std::vector<int> out;
+  out.reserve(genes.size());
+  for (int g : genes) {
+    if (data(g, cand) >= data(g, last) - tol) out.push_back(g);
+  }
+  return out;
+}
+
+}  // namespace
+
+OpCluster OpsmModel::ToOpCluster() const {
+  OpCluster c;
+  c.sequence = sequence;
+  c.genes = genes;
+  return c;
+}
+
+util::StatusOr<std::vector<OpsmModel>> MineOpsm(
+    const matrix::ExpressionMatrix& data, const OpsmOptions& options) {
+  const int conds = data.num_conditions();
+  const int genes = data.num_genes();
+  if (options.sequence_length < 2 || options.sequence_length > conds) {
+    return util::Status::InvalidArgument(
+        "sequence_length must be in [2, num_conditions]");
+  }
+  if (options.beam_width < 1 || options.max_models < 1) {
+    return util::Status::InvalidArgument(
+        "beam_width and max_models must be >= 1");
+  }
+  if (options.tie_tolerance < 0.0) {
+    return util::Status::InvalidArgument("tie_tolerance must be >= 0");
+  }
+  if (data.HasMissingValues()) {
+    return util::Status::FailedPrecondition(
+        "matrix contains missing values; impute first");
+  }
+
+  // Round 1: all ordered pairs, ranked by support.
+  std::vector<Beam> beams;
+  std::vector<int> all(static_cast<size_t>(genes));
+  for (int g = 0; g < genes; ++g) all[static_cast<size_t>(g)] = g;
+  for (int a = 0; a < conds; ++a) {
+    for (int b = 0; b < conds; ++b) {
+      if (a == b) continue;
+      Beam beam;
+      beam.sequence = {a, b};
+      beam.genes = ExtendSupport(data, all, a, b, options.tie_tolerance);
+      if (!beam.genes.empty()) beams.push_back(std::move(beam));
+    }
+  }
+
+  auto by_support = [](const Beam& x, const Beam& y) {
+    if (x.genes.size() != y.genes.size()) {
+      return x.genes.size() > y.genes.size();
+    }
+    return x.sequence < y.sequence;  // deterministic ties
+  };
+  auto shrink = [&](std::vector<Beam>* b, size_t width) {
+    std::sort(b->begin(), b->end(), by_support);
+    if (b->size() > width) b->resize(width);
+  };
+  shrink(&beams, static_cast<size_t>(options.beam_width));
+
+  // Rounds 3..k: extend each beam with every unused column, keep the best.
+  for (int len = 3; len <= options.sequence_length; ++len) {
+    std::vector<Beam> next;
+    for (const Beam& beam : beams) {
+      for (int cand = 0; cand < conds; ++cand) {
+        if (std::find(beam.sequence.begin(), beam.sequence.end(), cand) !=
+            beam.sequence.end()) {
+          continue;
+        }
+        Beam extended;
+        extended.sequence = beam.sequence;
+        extended.sequence.push_back(cand);
+        extended.genes = ExtendSupport(data, beam.genes,
+                                       beam.sequence.back(), cand,
+                                       options.tie_tolerance);
+        if (!extended.genes.empty()) next.push_back(std::move(extended));
+      }
+    }
+    if (next.empty()) break;
+    shrink(&next, static_cast<size_t>(options.beam_width));
+    beams = std::move(next);
+  }
+
+  // Score and report.
+  std::vector<OpsmModel> out;
+  double log_kfact = 0.0;
+  for (int i = 2; i <= options.sequence_length; ++i) {
+    log_kfact += std::log(static_cast<double>(i));
+  }
+  const double p_support = std::exp(-log_kfact);  // 1/k!
+  for (const Beam& beam : beams) {
+    if (static_cast<int>(beam.sequence.size()) != options.sequence_length) {
+      continue;
+    }
+    OpsmModel model;
+    model.sequence = beam.sequence;
+    model.genes = beam.genes;
+    // Binomial upper tail in log space; clamp for display.
+    double tail = 0.0;
+    const int m = static_cast<int>(beam.genes.size());
+    for (int i = m; i <= genes; ++i) {
+      const double log_term = util::LogBinomial(genes, i) +
+                              i * std::log(p_support) +
+                              (genes - i) * std::log1p(-p_support);
+      tail += std::exp(log_term);
+      if (i > m + 40) break;  // terms vanish fast
+    }
+    model.neg_log10_p =
+        tail > 0.0 ? -std::log10(std::min(1.0, tail)) : 320.0;
+    out.push_back(std::move(model));
+    if (static_cast<int>(out.size()) == options.max_models) break;
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace regcluster

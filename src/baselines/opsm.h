@@ -1,0 +1,60 @@
+// OPSM baseline (Ben-Dor, Chor, Karp & Yakhini, RECOMB 2002): the
+// order-preserving submatrix problem.
+//
+// OPSM searches for a *single* ordered column set of a given length with
+// the statistically most surprising support -- the set of genes whose
+// values strictly increase along it.  Ben-Dor et al. grow "partial models"
+// (prefixes and suffixes of the hidden order) keeping the l
+// highest-scoring ones per round; this implementation keeps the same
+// keep-the-best-l structure as a beam search over ordered column
+// sequences, extending one column per round, ranked by support.  It is the
+// third tendency-family baseline cited by the reg-cluster paper ([3]) and,
+// like OP-Cluster, carries no coherence or regulation guarantee.
+
+#ifndef REGCLUSTER_BASELINES_OPSM_H_
+#define REGCLUSTER_BASELINES_OPSM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/opcluster.h"
+#include "matrix/expression_matrix.h"
+#include "util/status.h"
+
+namespace regcluster {
+namespace baselines {
+
+struct OpsmOptions {
+  /// Length of the hidden column order being sought (Ben-Dor's k).
+  int sequence_length = 5;
+  /// Beam width: partial models kept per round (Ben-Dor's l).
+  int beam_width = 50;
+  /// Report at most this many final models (<= beam_width), best first.
+  int max_models = 5;
+  /// Values within this of each other count as ordered either way
+  /// (strictly 0 in the original).
+  double tie_tolerance = 0.0;
+};
+
+struct OpsmModel {
+  /// The ordered columns of the model.
+  std::vector<int> sequence;
+  /// Supporting genes (values non-decreasing along the sequence), sorted.
+  std::vector<int> genes;
+  /// Upper-tail binomial surprise: -log10 P(support >= |genes|) under the
+  /// null where a random gene supports a fixed k-order with prob 1/k!.
+  double neg_log10_p = 0.0;
+
+  OpCluster ToOpCluster() const;
+};
+
+/// Runs the beam search.  Returns up to max_models models sorted by
+/// support (desc), ties by sequence.  Fails on invalid options or matrices
+/// with missing values.
+util::StatusOr<std::vector<OpsmModel>> MineOpsm(
+    const matrix::ExpressionMatrix& data, const OpsmOptions& options);
+
+}  // namespace baselines
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_BASELINES_OPSM_H_

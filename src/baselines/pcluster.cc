@@ -1,0 +1,155 @@
+#include "baselines/pcluster.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace regcluster {
+namespace baselines {
+namespace {
+
+std::string MakeKey(const std::vector<int>& conds,
+                    const std::vector<int>& genes) {
+  std::string key;
+  key.reserve((conds.size() + genes.size()) * 6);
+  for (int c : conds) key += util::StrFormat("%d,", c);
+  key += '|';
+  for (int g : genes) key += util::StrFormat("%d,", g);
+  return key;
+}
+
+}  // namespace
+
+bool IsDeltaPCluster(const matrix::ExpressionMatrix& data,
+                     const std::vector<int>& genes,
+                     const std::vector<int>& conds, double delta) {
+  // For every condition pair, the gene-wise range of the column difference
+  // must be within delta.
+  for (size_t a = 0; a < conds.size(); ++a) {
+    for (size_t b = a + 1; b < conds.size(); ++b) {
+      double lo = 0.0, hi = 0.0;
+      bool first = true;
+      for (int g : genes) {
+        const double diff = data(g, conds[a]) - data(g, conds[b]);
+        if (first) {
+          lo = hi = diff;
+          first = false;
+        } else {
+          lo = std::min(lo, diff);
+          hi = std::max(hi, diff);
+        }
+        if (hi - lo > delta) return false;
+      }
+    }
+  }
+  return true;
+}
+
+PClusterMiner::PClusterMiner(const matrix::ExpressionMatrix& data,
+                             PClusterOptions options)
+    : data_(data), options_(options) {}
+
+util::StatusOr<std::vector<core::Bicluster>> PClusterMiner::Mine() {
+  if (options_.delta < 0.0) {
+    return util::Status::InvalidArgument("delta must be >= 0");
+  }
+  if (options_.min_genes < 2 || options_.min_conditions < 2) {
+    return util::Status::InvalidArgument(
+        "pCluster needs min_genes >= 2 and min_conditions >= 2");
+  }
+  if (data_.HasMissingValues()) {
+    return util::Status::FailedPrecondition(
+        "matrix contains missing values; impute first");
+  }
+  stats_ = PClusterStats();
+  seen_keys_.clear();
+  util::WallTimer timer;
+
+  std::vector<core::Bicluster> out;
+  std::vector<int> all_genes(static_cast<size_t>(data_.num_genes()));
+  for (int g = 0; g < data_.num_genes(); ++g) {
+    all_genes[static_cast<size_t>(g)] = g;
+  }
+  // Anchors: a cluster's smallest condition id.  The anchor must leave at
+  // least MinC-1 larger condition ids available.
+  for (int a = 0; a + options_.min_conditions <= data_.num_conditions(); ++a) {
+    Node node;
+    node.conds.push_back(a);
+    node.genes = all_genes;
+    Extend(&node, &out);
+  }
+  stats_.mine_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+void PClusterMiner::Extend(Node* node, std::vector<core::Bicluster>* out) {
+  if (options_.max_nodes >= 0 && stats_.nodes_expanded >= options_.max_nodes) {
+    return;
+  }
+  ++stats_.nodes_expanded;
+
+  const int m = static_cast<int>(node->conds.size());
+  if (m >= options_.min_conditions &&
+      static_cast<int>(node->genes.size()) >= options_.min_genes) {
+    // Exact all-pairs verification; the window invariant only bounds pScore
+    // by 2*delta.
+    if (IsDeltaPCluster(data_, node->genes, node->conds, options_.delta)) {
+      const std::string key = MakeKey(node->conds, node->genes);
+      if (seen_keys_.insert(key).second) {
+        core::Bicluster b;
+        b.genes = node->genes;
+        b.conditions = node->conds;
+        out->push_back(std::move(b));
+        ++stats_.clusters_emitted;
+      }
+    } else {
+      ++stats_.verification_failures;
+    }
+  }
+
+  const int anchor = node->conds[0];
+  struct Scored {
+    double v;
+    int gene;
+  };
+  std::vector<Scored> scored;
+  for (int cand = node->conds.back() + 1; cand < data_.num_conditions();
+       ++cand) {
+    // Anchored differences; genes within a window of span <= delta satisfy
+    // the (anchor, cand) constraint exactly and all other pairs within
+    // 2*delta (verified exactly on emission).
+    scored.clear();
+    scored.reserve(node->genes.size());
+    for (int g : node->genes) {
+      scored.push_back(Scored{data_(g, cand) - data_(g, anchor), g});
+    }
+    std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+      if (a.v != b.v) return a.v < b.v;
+      return a.gene < b.gene;
+    });
+    const size_t n = scored.size();
+    size_t hi = 0, prev_hi = 0;
+    for (size_t lo = 0; lo < n; ++lo) {
+      if (hi < lo + 1) hi = lo + 1;
+      while (hi < n && scored[hi].v - scored[lo].v <= options_.delta) ++hi;
+      const bool maximal = lo == 0 || hi > prev_hi;
+      prev_hi = hi;
+      if (!maximal || static_cast<int>(hi - lo) < options_.min_genes) continue;
+      Node child;
+      child.conds = node->conds;
+      child.conds.push_back(cand);
+      child.genes.reserve(hi - lo);
+      for (size_t i = lo; i < hi; ++i) child.genes.push_back(scored[i].gene);
+      std::sort(child.genes.begin(), child.genes.end());
+      Extend(&child, out);
+      if (options_.max_nodes >= 0 &&
+          stats_.nodes_expanded >= options_.max_nodes) {
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace baselines
+}  // namespace regcluster

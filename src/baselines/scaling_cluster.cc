@@ -1,0 +1,170 @@
+#include "baselines/scaling_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace regcluster {
+namespace baselines {
+namespace {
+
+std::string MakeKey(const std::vector<int>& conds,
+                    const std::vector<int>& genes) {
+  std::string key;
+  key.reserve((conds.size() + genes.size()) * 6);
+  for (int c : conds) key += util::StrFormat("%d,", c);
+  key += '|';
+  for (int g : genes) key += util::StrFormat("%d,", g);
+  return key;
+}
+
+}  // namespace
+
+bool IsScalingCluster(const matrix::ExpressionMatrix& data,
+                      const std::vector<int>& genes,
+                      const std::vector<int>& conds, double epsilon,
+                      double zero_tolerance) {
+  for (size_t a = 0; a < conds.size(); ++a) {
+    for (size_t b = a + 1; b < conds.size(); ++b) {
+      double lo = 0.0, hi = 0.0;
+      bool first = true;
+      for (int g : genes) {
+        const double denom = data(g, conds[b]);
+        if (std::fabs(denom) <= zero_tolerance) return false;
+        const double r = data(g, conds[a]) / denom;
+        if (first) {
+          lo = hi = r;
+          first = false;
+        } else {
+          lo = std::min(lo, r);
+          hi = std::max(hi, r);
+        }
+      }
+      if (first) continue;
+      // Ratios must share a sign and stay within the relative window.
+      if (lo <= 0.0 && hi >= 0.0) return false;
+      const double alo = std::min(std::fabs(lo), std::fabs(hi));
+      const double ahi = std::max(std::fabs(lo), std::fabs(hi));
+      if (ahi > alo * (1.0 + epsilon)) return false;
+    }
+  }
+  return true;
+}
+
+ScalingClusterMiner::ScalingClusterMiner(const matrix::ExpressionMatrix& data,
+                                         ScalingClusterOptions options)
+    : data_(data), options_(options) {}
+
+util::StatusOr<std::vector<core::Bicluster>> ScalingClusterMiner::Mine() {
+  if (options_.epsilon < 0.0) {
+    return util::Status::InvalidArgument("epsilon must be >= 0");
+  }
+  if (options_.min_genes < 2 || options_.min_conditions < 2) {
+    return util::Status::InvalidArgument(
+        "scaling miner needs min_genes >= 2 and min_conditions >= 2");
+  }
+  if (data_.HasMissingValues()) {
+    return util::Status::FailedPrecondition(
+        "matrix contains missing values; impute first");
+  }
+  stats_ = ScalingClusterStats();
+  seen_keys_.clear();
+  util::WallTimer timer;
+
+  std::vector<core::Bicluster> out;
+  for (int a = 0; a + options_.min_conditions <= data_.num_conditions(); ++a) {
+    Node node;
+    node.conds.push_back(a);
+    node.genes.reserve(static_cast<size_t>(data_.num_genes()));
+    for (int g = 0; g < data_.num_genes(); ++g) {
+      if (std::fabs(data_(g, a)) > options_.zero_tolerance) {
+        node.genes.push_back(g);
+      }
+    }
+    Extend(&node, &out);
+  }
+  stats_.mine_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+void ScalingClusterMiner::Extend(Node* node, std::vector<core::Bicluster>* out) {
+  if (options_.max_nodes >= 0 && stats_.nodes_expanded >= options_.max_nodes) {
+    return;
+  }
+  ++stats_.nodes_expanded;
+
+  const int m = static_cast<int>(node->conds.size());
+  if (m >= options_.min_conditions &&
+      static_cast<int>(node->genes.size()) >= options_.min_genes) {
+    if (IsScalingCluster(data_, node->genes, node->conds, options_.epsilon,
+                         options_.zero_tolerance)) {
+      const std::string key = MakeKey(node->conds, node->genes);
+      if (seen_keys_.insert(key).second) {
+        core::Bicluster b;
+        b.genes = node->genes;
+        b.conditions = node->conds;
+        out->push_back(std::move(b));
+        ++stats_.clusters_emitted;
+      }
+    } else {
+      ++stats_.verification_failures;
+    }
+  }
+
+  const int anchor = node->conds[0];
+  struct Scored {
+    double v;  // log |ratio|
+    int gene;
+  };
+  std::vector<Scored> scored;
+  const double log_window = std::log1p(options_.epsilon);
+  for (int cand = node->conds.back() + 1; cand < data_.num_conditions();
+       ++cand) {
+    // Partition genes by the sign of the (cand / anchor) ratio, then apply
+    // log-ratio windows of width log(1 + epsilon) within each sign class.
+    for (int sign_class = 0; sign_class < 2; ++sign_class) {
+      scored.clear();
+      for (int g : node->genes) {
+        const double num = data_(g, cand);
+        if (std::fabs(num) <= options_.zero_tolerance) continue;
+        const double ratio = num / data_(g, anchor);
+        const bool negative = ratio < 0.0;
+        if (static_cast<int>(negative) != sign_class) continue;
+        scored.push_back(Scored{std::log(std::fabs(ratio)), g});
+      }
+      if (static_cast<int>(scored.size()) < options_.min_genes) continue;
+      std::sort(scored.begin(), scored.end(),
+                [](const Scored& a, const Scored& b) {
+                  if (a.v != b.v) return a.v < b.v;
+                  return a.gene < b.gene;
+                });
+      const size_t n = scored.size();
+      size_t hi = 0, prev_hi = 0;
+      for (size_t lo = 0; lo < n; ++lo) {
+        if (hi < lo + 1) hi = lo + 1;
+        while (hi < n && scored[hi].v - scored[lo].v <= log_window) ++hi;
+        const bool maximal = lo == 0 || hi > prev_hi;
+        prev_hi = hi;
+        if (!maximal || static_cast<int>(hi - lo) < options_.min_genes) {
+          continue;
+        }
+        Node child;
+        child.conds = node->conds;
+        child.conds.push_back(cand);
+        child.genes.reserve(hi - lo);
+        for (size_t i = lo; i < hi; ++i) child.genes.push_back(scored[i].gene);
+        std::sort(child.genes.begin(), child.genes.end());
+        Extend(&child, out);
+        if (options_.max_nodes >= 0 &&
+            stats_.nodes_expanded >= options_.max_nodes) {
+          return;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace baselines
+}  // namespace regcluster

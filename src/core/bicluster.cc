@@ -1,0 +1,124 @@
+#include "core/bicluster.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace regcluster {
+namespace core {
+
+std::vector<int> RegCluster::AllGenes() const {
+  std::vector<int> out;
+  out.reserve(p_genes.size() + n_genes.size());
+  std::merge(p_genes.begin(), p_genes.end(), n_genes.begin(), n_genes.end(),
+             std::back_inserter(out));
+  return out;
+}
+
+std::vector<int> RegCluster::SortedConditions() const {
+  std::vector<int> out = chain;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string RegCluster::Key() const {
+  std::string key;
+  key.reserve((chain.size() + p_genes.size() + n_genes.size()) * 6);
+  for (int c : chain) key += util::StrFormat("%d,", c);
+  key += '|';
+  for (int g : AllGenes()) key += util::StrFormat("%d,", g);
+  return key;
+}
+
+Bicluster ToBicluster(const RegCluster& c) {
+  Bicluster b;
+  b.genes = c.AllGenes();
+  b.conditions = c.SortedConditions();
+  return b;
+}
+
+namespace {
+
+/// Size of the intersection of two sorted int vectors.
+int64_t IntersectionSize(const std::vector<int>& a, const std::vector<int>& b) {
+  int64_t n = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+/// True iff sorted `a` is a subset of sorted `b`.
+bool IsSubset(const std::vector<int>& a, const std::vector<int>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+/// True iff `sub` occurs as a contiguous run inside `seq`.
+bool IsContiguousSubsequence(const std::vector<int>& sub,
+                             const std::vector<int>& seq) {
+  if (sub.empty()) return true;
+  if (sub.size() > seq.size()) return false;
+  return std::search(seq.begin(), seq.end(), sub.begin(), sub.end()) !=
+         seq.end();
+}
+
+}  // namespace
+
+int64_t SharedCells(const Bicluster& a, const Bicluster& b) {
+  return IntersectionSize(a.genes, b.genes) *
+         IntersectionSize(a.conditions, b.conditions);
+}
+
+double OverlapFraction(const Bicluster& a, const Bicluster& b) {
+  const int64_t cells_a = a.NumCells();
+  const int64_t cells_b = b.NumCells();
+  const int64_t smaller = std::min(cells_a, cells_b);
+  if (smaller == 0) return 0.0;
+  return static_cast<double>(SharedCells(a, b)) /
+         static_cast<double>(smaller);
+}
+
+bool IsSubcluster(const Bicluster& inner, const Bicluster& outer) {
+  return IsSubset(inner.genes, outer.genes) &&
+         IsSubset(inner.conditions, outer.conditions);
+}
+
+bool IsDominated(const RegCluster& a, const RegCluster& b) {
+  if (!IsSubset(a.AllGenes(), b.AllGenes())) return false;
+  if (IsContiguousSubsequence(a.chain, b.chain)) return true;
+  std::vector<int> reversed(b.chain.rbegin(), b.chain.rend());
+  return IsContiguousSubsequence(a.chain, reversed);
+}
+
+std::vector<RegCluster> RemoveDominated(std::vector<RegCluster> clusters) {
+  std::vector<bool> dead(clusters.size(), false);
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    if (dead[i]) continue;
+    for (size_t j = 0; j < clusters.size(); ++j) {
+      if (i == j || dead[j]) continue;
+      if (clusters[i] == clusters[j]) {
+        // Exact duplicate: keep the earlier one.
+        if (j > i) dead[j] = true;
+        continue;
+      }
+      if (IsDominated(clusters[j], clusters[i])) dead[j] = true;
+    }
+  }
+  std::vector<RegCluster> out;
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    if (!dead[i]) out.push_back(std::move(clusters[i]));
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace regcluster

@@ -1,0 +1,129 @@
+#include "core/coherence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace regcluster {
+namespace core {
+
+double CoherenceScore(const double* row, int c1, int c2, int ck, int ck1) {
+  const double denom = row[c2] - row[c1];
+  const double numer = row[ck1] - row[ck];
+  return numer / denom;
+}
+
+std::vector<double> ChainCoherenceScores(const double* row,
+                                         const std::vector<int>& chain) {
+  std::vector<double> out;
+  if (chain.size() < 2) return out;
+  out.reserve(chain.size() - 1);
+  for (size_t k = 0; k + 1 < chain.size(); ++k) {
+    out.push_back(
+        CoherenceScore(row, chain[0], chain[1], chain[k], chain[k + 1]));
+  }
+  return out;
+}
+
+bool FitPairShiftScale(const matrix::ExpressionMatrix& data, int gene_i,
+                       int gene_j, const std::vector<int>& conds, double* s1,
+                       double* s2) {
+  const std::vector<double> x = data.RowOnConditions(gene_i, conds);
+  const std::vector<double> y = data.RowOnConditions(gene_j, conds);
+  return util::FitShiftScale(x, y, s1, s2);
+}
+
+namespace {
+
+/// Checks constraint (1) for one gene: expression strictly monotone along
+/// the chain in the given direction, with all pairwise gaps > gamma_abs.
+/// Since values are monotone along the chain, the minimum pairwise gap is
+/// attained by an adjacent pair, so adjacent checks suffice.
+bool CheckRegulation(const double* row, const std::vector<int>& chain,
+                     double gamma_abs, bool increasing, std::string* why,
+                     int gene) {
+  for (size_t k = 0; k + 1 < chain.size(); ++k) {
+    const double delta = row[chain[k + 1]] - row[chain[k]];
+    const double step = increasing ? delta : -delta;
+    if (!(step > gamma_abs)) {
+      if (why != nullptr) {
+        *why = util::StrFormat(
+            "gene %d: step %zu->%zu (%g) not %s-regulated beyond gamma=%g",
+            gene, k, k + 1, delta, increasing ? "up" : "down", gamma_abs);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ValidateRegCluster(const matrix::ExpressionMatrix& data,
+                        const RegCluster& cluster, double gamma,
+                        double epsilon, std::string* why, double slack) {
+  return ValidateRegCluster(data, cluster,
+                            GammaSpec{GammaPolicy::kRangeFraction, gamma},
+                            epsilon, why, slack);
+}
+
+bool ValidateRegCluster(const matrix::ExpressionMatrix& data,
+                        const RegCluster& cluster, const GammaSpec& spec,
+                        double epsilon, std::string* why, double slack) {
+  if (cluster.chain.size() < 2) {
+    if (why != nullptr) *why = "chain shorter than 2 conditions";
+    return false;
+  }
+  for (int c : cluster.chain) {
+    if (c < 0 || c >= data.num_conditions()) {
+      if (why != nullptr) *why = util::StrFormat("condition %d out of range", c);
+      return false;
+    }
+  }
+
+  // (1) Regulation constraint.
+  for (int g : cluster.p_genes) {
+    if (!CheckRegulation(data.row_data(g), cluster.chain,
+                         AbsoluteGamma(data, g, spec),
+                         /*increasing=*/true, why, g)) {
+      return false;
+    }
+  }
+  for (int g : cluster.n_genes) {
+    if (!CheckRegulation(data.row_data(g), cluster.chain,
+                         AbsoluteGamma(data, g, spec),
+                         /*increasing=*/false, why, g)) {
+      return false;
+    }
+  }
+
+  // (2) Coherence constraint: per adjacent pair, the spread of scores over
+  // all member genes must be within epsilon.
+  const std::vector<int> genes = cluster.AllGenes();
+  for (size_t k = 0; k + 1 < cluster.chain.size(); ++k) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (int g : genes) {
+      const double h =
+          CoherenceScore(data.row_data(g), cluster.chain[0], cluster.chain[1],
+                         cluster.chain[k], cluster.chain[k + 1]);
+      lo = std::min(lo, h);
+      hi = std::max(hi, h);
+    }
+    if (hi - lo > epsilon + slack) {
+      if (why != nullptr) {
+        *why = util::StrFormat(
+            "coherence spread %g > epsilon %g at adjacent pair %zu", hi - lo,
+            epsilon, k);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace core
+}  // namespace regcluster

@@ -1,0 +1,68 @@
+// Shifting-and-scaling coherence scoring (Section 3.2) and an independent
+// reg-cluster validity oracle used by the tests.
+
+#ifndef REGCLUSTER_CORE_COHERENCE_H_
+#define REGCLUSTER_CORE_COHERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/bicluster.h"
+#include "core/threshold.h"
+#include "matrix/expression_matrix.h"
+
+namespace regcluster {
+namespace core {
+
+/// The coherence score of Equation 7:
+///
+///   H(i, c1, c2, ck, ck1) = (d_i,ck1 - d_i,ck) / (d_i,c2 - d_i,c1)
+///
+/// where (c1, c2) is the baseline condition pair of the chain and
+/// (ck, ck1) the adjacent pair being scored.  `row` is the gene's profile
+/// indexed by condition id.  By Lemma 3.2, two genes are in a
+/// shifting-and-scaling relationship on the chain iff all their adjacent
+/// scores agree; n-members produce the same positive scores as p-members
+/// because numerator and denominator flip sign together.
+double CoherenceScore(const double* row, int c1, int c2, int ck, int ck1);
+
+/// All adjacent coherence scores of `row` along `chain` (size chain-1, the
+/// first entry is always exactly 1 by construction).
+std::vector<double> ChainCoherenceScores(const double* row,
+                                         const std::vector<int>& chain);
+
+/// Fits d_j = s1 * d_i + s2 between two gene profiles restricted to `conds`
+/// and reports the scaling/shifting factors.  Returns false if degenerate.
+bool FitPairShiftScale(const matrix::ExpressionMatrix& data, int gene_i,
+                       int gene_j, const std::vector<int>& conds, double* s1,
+                       double* s2);
+
+/// Independent oracle for Definition 3.2: checks that `cluster` is a valid
+/// reg-cluster of `data` under thresholds (gamma, epsilon), using only
+/// first-principles pairwise checks (no RWave machinery):
+///
+///  (1) every p-member's expression strictly increases along the chain and
+///      every pairwise difference exceeds gamma_i = gamma * row-range
+///      (equivalent to the chain being pointer-linked in RWave^gamma);
+///      n-members symmetric, decreasing;
+///  (2) for every adjacent chain pair, the coherence scores of all member
+///      genes lie within a window of width epsilon (+ tolerance `slack` for
+///      floating-point robustness).
+///
+/// On failure returns false and, if `why` is non-null, stores a description.
+bool ValidateRegCluster(const matrix::ExpressionMatrix& data,
+                        const RegCluster& cluster, double gamma,
+                        double epsilon, std::string* why = nullptr,
+                        double slack = 1e-9);
+
+/// As above, but with an explicit regulation-threshold policy (the plain
+/// overload uses the paper's default range-fraction policy, Eq. 4).
+bool ValidateRegCluster(const matrix::ExpressionMatrix& data,
+                        const RegCluster& cluster, const GammaSpec& spec,
+                        double epsilon, std::string* why = nullptr,
+                        double slack = 1e-9);
+
+}  // namespace core
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_CORE_COHERENCE_H_

@@ -1,0 +1,432 @@
+#include "core/miner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "core/coherence.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace regcluster {
+namespace core {
+namespace {
+
+/// One (gene, coherence score) entry for the sliding window.
+struct Scored {
+  double h;
+  int gene;
+  int head_pos;  // position of the candidate condition in the gene's model
+  bool positive;
+};
+
+/// True iff the chain is lexicographically smaller than its reversal
+/// (condition ids).  Used for the tie-break of the representative rule.
+bool LexSmallerThanReversed(const std::vector<int>& chain) {
+  const size_t n = chain.size();
+  for (size_t i = 0; i < n; ++i) {
+    const int fwd = chain[i];
+    const int rev = chain[n - 1 - i];
+    if (fwd != rev) return fwd < rev;
+  }
+  return false;  // palindromic (only possible for length 1)
+}
+
+void AccumulateStats(const MinerStats& from, MinerStats* to) {
+  to->nodes_expanded += from.nodes_expanded;
+  to->extensions_tested += from.extensions_tested;
+  to->pruned_min_genes += from.pruned_min_genes;
+  to->pruned_p_majority += from.pruned_p_majority;
+  to->pruned_duplicate += from.pruned_duplicate;
+  to->pruned_coherence += from.pruned_coherence;
+  to->genes_dropped_min_conds += from.genes_dropped_min_conds;
+  to->clusters_emitted += from.clusters_emitted;
+}
+
+}  // namespace
+
+RegClusterMiner::RegClusterMiner(const matrix::ExpressionMatrix& data,
+                                 MinerOptions options)
+    : data_(data), options_(options) {}
+
+util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Mine() {
+  if (options_.min_genes < 1) {
+    return util::Status::InvalidArgument("MinG must be >= 1");
+  }
+  if (options_.min_conditions < 2) {
+    return util::Status::InvalidArgument(
+        "MinC must be >= 2 (a chain needs at least one regulation step)");
+  }
+  const bool relative_gamma =
+      options_.gamma_policy != GammaPolicy::kAbsolute;
+  if (options_.gamma < 0.0 || (relative_gamma && options_.gamma > 1.0)) {
+    return util::Status::InvalidArgument(
+        relative_gamma ? "gamma must be in [0, 1] for relative policies"
+                       : "absolute gamma must be >= 0");
+  }
+  if (options_.epsilon < 0.0) {
+    return util::Status::InvalidArgument("epsilon must be >= 0");
+  }
+  if (options_.num_threads < 0) {
+    return util::Status::InvalidArgument("num_threads must be >= 0");
+  }
+  if (data_.HasMissingValues()) {
+    return util::Status::FailedPrecondition(
+        "matrix contains missing values; impute first "
+        "(matrix::ImputeRowMean)");
+  }
+  for (int g : options_.required_genes) {
+    if (g < 0 || g >= data_.num_genes()) {
+      return util::Status::OutOfRange("required gene outside the matrix");
+    }
+  }
+  for (int c : options_.allowed_conditions) {
+    if (c < 0 || c >= data_.num_conditions()) {
+      return util::Status::OutOfRange("allowed condition outside the matrix");
+    }
+  }
+  allowed_cond_.assign(static_cast<size_t>(data_.num_conditions()),
+                       options_.allowed_conditions.empty() ? 1 : 0);
+  for (int c : options_.allowed_conditions) {
+    allowed_cond_[static_cast<size_t>(c)] = 1;
+  }
+  required_gene_.assign(static_cast<size_t>(data_.num_genes()), 0);
+  num_required_ = 0;
+  for (int g : options_.required_genes) {
+    if (!required_gene_[static_cast<size_t>(g)]) {
+      required_gene_[static_cast<size_t>(g)] = 1;
+      ++num_required_;
+    }
+  }
+
+  stats_ = MinerStats();
+  nodes_guard_.store(0, std::memory_order_relaxed);
+  clusters_guard_.store(0, std::memory_order_relaxed);
+
+  util::WallTimer timer;
+  const GammaSpec spec{options_.gamma_policy, options_.gamma};
+  rwaves_.clear();
+  rwaves_.reserve(static_cast<size_t>(data_.num_genes()));
+  for (int g = 0; g < data_.num_genes(); ++g) {
+    rwaves_.push_back(RWaveModel::Build(data_.row_data(g),
+                                        data_.num_conditions(),
+                                        AbsoluteGamma(data_, g, spec)));
+  }
+  stats_.rwave_build_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  const int num_conds = data_.num_conditions();
+  std::vector<SearchContext> contexts(static_cast<size_t>(num_conds));
+
+  int threads = options_.num_threads;
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+  }
+  threads = std::min(threads, std::max(num_conds, 1));
+
+  if (threads <= 1) {
+    for (int c = 0; c < num_conds; ++c) {
+      MineRoot(c, &contexts[static_cast<size_t>(c)]);
+    }
+  } else {
+    std::atomic<int> next_root{0};
+    auto worker = [&]() {
+      while (true) {
+        const int c = next_root.fetch_add(1, std::memory_order_relaxed);
+        if (c >= num_conds) return;
+        MineRoot(c, &contexts[static_cast<size_t>(c)]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Merge in root order: deterministic regardless of thread count.
+  std::vector<RegCluster> out;
+  for (SearchContext& ctx : contexts) {
+    AccumulateStats(ctx.stats, &stats_);
+    out.insert(out.end(), std::make_move_iterator(ctx.out.begin()),
+               std::make_move_iterator(ctx.out.end()));
+  }
+  if (options_.remove_dominated) out = RemoveDominated(std::move(out));
+  stats_.mine_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+bool RegClusterMiner::BudgetExceeded() const {
+  return (options_.max_nodes >= 0 &&
+          nodes_guard_.load(std::memory_order_relaxed) >=
+              options_.max_nodes) ||
+         (options_.max_clusters >= 0 &&
+          clusters_guard_.load(std::memory_order_relaxed) >=
+              options_.max_clusters);
+}
+
+bool RegClusterMiner::HasAllRequired(const std::vector<Member>& p,
+                                     const std::vector<Member>& n) const {
+  if (num_required_ == 0) return true;
+  int found = 0;
+  for (const Member& m : p) {
+    found += required_gene_[static_cast<size_t>(m.gene)];
+  }
+  for (const Member& m : n) {
+    found += required_gene_[static_cast<size_t>(m.gene)];
+  }
+  // At level 1 a required gene can sit in both lists; count distinct genes.
+  if (found >= num_required_) {
+    std::vector<char> seen(required_gene_);
+    int distinct = 0;
+    for (const Member& m : p) {
+      if (seen[static_cast<size_t>(m.gene)]) {
+        seen[static_cast<size_t>(m.gene)] = 0;
+        ++distinct;
+      }
+    }
+    for (const Member& m : n) {
+      if (seen[static_cast<size_t>(m.gene)]) {
+        seen[static_cast<size_t>(m.gene)] = 0;
+        ++distinct;
+      }
+    }
+    return distinct == num_required_;
+  }
+  return false;
+}
+
+void RegClusterMiner::MineRoot(int root_condition, SearchContext* ctx) {
+  if (BudgetExceeded()) return;
+  if (!allowed_cond_[static_cast<size_t>(root_condition)]) return;
+  // Level-1 chain: the root condition, with the genes that can still grow a
+  // chain of length MinC through it upward (p) or downward (n).
+  Node node;
+  node.chain.push_back(root_condition);
+  const int num_genes = data_.num_genes();
+  for (int g = 0; g < num_genes; ++g) {
+    const RWaveModel& w = rwaves_[static_cast<size_t>(g)];
+    const int pos = w.position(root_condition);
+    const bool up_ok = !options_.prune_min_conds ||
+                       w.MaxChainUp(pos) >= options_.min_conditions;
+    const bool down_ok = !options_.prune_min_conds ||
+                         w.MaxChainDown(pos) >= options_.min_conditions;
+    if (up_ok) node.p_members.push_back(Member{g, pos});
+    if (down_ok) node.n_members.push_back(Member{g, pos});
+    ctx->stats.genes_dropped_min_conds += (up_ok ? 0 : 1) + (down_ok ? 0 : 1);
+  }
+  Extend(&node, ctx);
+}
+
+void RegClusterMiner::Extend(Node* node, SearchContext* ctx) {
+  if (BudgetExceeded()) return;
+  if (!HasAllRequired(node->p_members, node->n_members)) return;
+  ++ctx->stats.nodes_expanded;
+  nodes_guard_.fetch_add(1, std::memory_order_relaxed);
+
+  const int min_g = options_.min_genes;
+  const int min_c = options_.min_conditions;
+  const int m = static_cast<int>(node->chain.size());
+
+  // Pruning (1): not enough genes overall.  At level 1 a gene may appear in
+  // both member lists; the sum is then an over-estimate of the union, which
+  // is safe (prunes less), and it is exact for m >= 2 where the lists are
+  // disjoint.
+  const int total_members =
+      static_cast<int>(node->p_members.size() + node->n_members.size());
+  if (options_.prune_min_genes && total_members < min_g) {
+    ++ctx->stats.pruned_min_genes;
+    return;
+  }
+  // Pruning (3a): fewer than MinG/2 p-members can never be a majority.
+  if (options_.prune_p_majority &&
+      2 * static_cast<int>(node->p_members.size()) < min_g) {
+    ++ctx->stats.pruned_p_majority;
+    return;
+  }
+
+  // Step 3: emit if validated and representative; a duplicate prunes the
+  // whole branch (pruning 3b).  Under closed_chains_only the emission is
+  // deferred until we know whether some extension keeps the full member
+  // set (in which case this node is subsumed and stays silent).
+  const bool emit_candidate = m >= min_c && total_members >= min_g;
+  if (emit_candidate && !options_.closed_chains_only) {
+    if (!MaybeEmit(*node, ctx)) return;
+  }
+  bool child_kept_all = false;
+
+  // Step 4: candidate generation.  Scan p-members only (licensed by pruning
+  // 3a): collect every condition reachable by one regulated step up from
+  // the chain head that can still complete a MinC chain.
+  const int num_conds = data_.num_conditions();
+  std::vector<char> is_candidate(static_cast<size_t>(num_conds), 0);
+  std::vector<int> first_succ(node->p_members.size());
+  for (size_t i = 0; i < node->p_members.size(); ++i) {
+    const Member& mem = node->p_members[i];
+    const RWaveModel& w = rwaves_[static_cast<size_t>(mem.gene)];
+    const int h = w.FirstSuccessorPos(mem.head_pos);
+    first_succ[i] = h;
+    if (h < 0) continue;
+    for (int q = h; q < num_conds; ++q) {
+      if (options_.prune_min_conds && m + w.MaxChainUp(q) < min_c) {
+        // Chains through this position cannot reach MinC conditions.
+        continue;
+      }
+      is_candidate[static_cast<size_t>(w.condition_at(q))] = 1;
+    }
+  }
+  // Cache each n-member's one-step-down frontier.
+  std::vector<int> last_pred(node->n_members.size());
+  for (size_t i = 0; i < node->n_members.size(); ++i) {
+    const Member& mem = node->n_members[i];
+    last_pred[i] =
+        rwaves_[static_cast<size_t>(mem.gene)].LastPredecessorPos(mem.head_pos);
+  }
+
+  std::vector<Scored> scored;
+  for (int cand = 0; cand < num_conds; ++cand) {
+    if (!is_candidate[static_cast<size_t>(cand)]) continue;
+    if (!allowed_cond_[static_cast<size_t>(cand)]) continue;
+    if (BudgetExceeded()) return;
+    ++ctx->stats.extensions_tested;
+
+    // Genes of X^cand: p-members stepping up to cand, n-members stepping
+    // down to cand, both still able to reach MinC (pruning 2).
+    scored.clear();
+    for (size_t i = 0; i < node->p_members.size(); ++i) {
+      const Member& mem = node->p_members[i];
+      if (first_succ[i] < 0) continue;
+      const RWaveModel& w = rwaves_[static_cast<size_t>(mem.gene)];
+      const int q = w.position(cand);
+      if (q < first_succ[i]) continue;  // not a regulation successor
+      if (options_.prune_min_conds && m + w.MaxChainUp(q) < min_c) {
+        ++ctx->stats.genes_dropped_min_conds;
+        continue;
+      }
+      scored.push_back(Scored{0.0, mem.gene, q, true});
+    }
+    for (size_t i = 0; i < node->n_members.size(); ++i) {
+      const Member& mem = node->n_members[i];
+      if (last_pred[i] < 0) continue;
+      const RWaveModel& w = rwaves_[static_cast<size_t>(mem.gene)];
+      const int q = w.position(cand);
+      if (q > last_pred[i]) continue;  // not a regulation predecessor
+      if (options_.prune_min_conds && m + w.MaxChainDown(q) < min_c) {
+        ++ctx->stats.genes_dropped_min_conds;
+        continue;
+      }
+      scored.push_back(Scored{0.0, mem.gene, q, false});
+    }
+
+    if (options_.prune_min_genes && static_cast<int>(scored.size()) < min_g) {
+      ++ctx->stats.pruned_min_genes;
+      continue;
+    }
+
+    if (m == 1) {
+      // First extension: the new pair *is* the baseline, every gene's score
+      // is identically 1 (Eq. 7), so there is a single all-inclusive window.
+      if (static_cast<int>(scored.size()) == total_members) {
+        child_kept_all = true;
+      }
+      Node child;
+      child.chain = node->chain;
+      child.chain.push_back(cand);
+      for (const Scored& s : scored) {
+        (s.positive ? child.p_members : child.n_members)
+            .push_back(Member{s.gene, s.head_pos});
+      }
+      Extend(&child, ctx);
+      continue;
+    }
+
+    // Coherence scores H(j, ck1, ck2, ckm, cand) -- identical formula for p-
+    // and n-members (numerator and denominator of an n-member both flip
+    // sign, Lemma 3.2).
+    const int ck1 = node->chain[0];
+    const int ck2 = node->chain[1];
+    const int ckm = node->chain[static_cast<size_t>(m) - 1];
+    for (Scored& s : scored) {
+      s.h = CoherenceScore(data_.row_data(s.gene), ck1, ck2, ckm, cand);
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const Scored& a, const Scored& b) {
+                if (a.h != b.h) return a.h < b.h;
+                return a.gene < b.gene;
+              });
+
+    // Sliding window (step 5): maximal intervals of score span <= epsilon
+    // with at least MinG genes; each spawns a child node.
+    const double eps = options_.epsilon;
+    bool any_window = false;
+    const size_t n_scored = scored.size();
+    size_t hi = 0;
+    size_t prev_hi = 0;  // hi of the previous lo, for the maximality test
+    for (size_t lo = 0; lo < n_scored; ++lo) {
+      if (hi < lo + 1) hi = lo + 1;
+      while (hi < n_scored && scored[hi].h - scored[lo].h <= eps) ++hi;
+      // [lo, hi) is the widest window starting at lo; hi is non-decreasing
+      // in lo, so the window is maximal (not contained in the previous
+      // window) iff hi advanced.
+      const bool maximal = lo == 0 || hi > prev_hi;
+      prev_hi = hi;
+      if (!maximal || static_cast<int>(hi - lo) < min_g) continue;
+      any_window = true;
+      if (lo == 0 && hi == n_scored &&
+          static_cast<int>(n_scored) == total_members) {
+        child_kept_all = true;
+      }
+      Node child;
+      child.chain = node->chain;
+      child.chain.push_back(cand);
+      for (size_t i = lo; i < hi; ++i) {
+        (scored[i].positive ? child.p_members : child.n_members)
+            .push_back(Member{scored[i].gene, scored[i].head_pos});
+      }
+      // Keep member lists sorted by gene id for deterministic output.
+      auto by_gene = [](const Member& a, const Member& b) {
+        return a.gene < b.gene;
+      };
+      std::sort(child.p_members.begin(), child.p_members.end(), by_gene);
+      std::sort(child.n_members.begin(), child.n_members.end(), by_gene);
+      Extend(&child, ctx);
+      if (BudgetExceeded()) return;
+    }
+    if (!any_window) ++ctx->stats.pruned_coherence;
+  }
+
+  if (emit_candidate && options_.closed_chains_only && !child_kept_all) {
+    (void)MaybeEmit(*node, ctx);
+  }
+}
+
+bool RegClusterMiner::MaybeEmit(const Node& node, SearchContext* ctx) {
+  const size_t np = node.p_members.size();
+  const size_t nn = node.n_members.size();
+  const bool representative =
+      np > nn || (np == nn && LexSmallerThanReversed(node.chain));
+  if (!representative) return true;  // keep searching; no output here
+
+  RegCluster cluster;
+  cluster.chain = node.chain;
+  cluster.p_genes.reserve(np);
+  for (const Member& mem : node.p_members) cluster.p_genes.push_back(mem.gene);
+  cluster.n_genes.reserve(nn);
+  for (const Member& mem : node.n_members) cluster.n_genes.push_back(mem.gene);
+
+  if (options_.prune_duplicates) {
+    auto [it, inserted] = ctx->seen_keys.insert(cluster.Key());
+    (void)it;
+    if (!inserted) {
+      ++ctx->stats.pruned_duplicate;
+      return false;  // prune the branch rooted at this duplicate
+    }
+  }
+  ctx->out.push_back(std::move(cluster));
+  ++ctx->stats.clusters_emitted;
+  clusters_guard_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace core
+}  // namespace regcluster

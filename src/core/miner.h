@@ -1,0 +1,185 @@
+// The reg-cluster mining algorithm (Figure 5 of the paper).
+//
+// The miner performs a bi-directional depth-first search over representative
+// regulation chains.  A chain C.Y = c_k1 <- c_k2 <- ... <- c_km grows one
+// condition at a time; at each node the algorithm tracks
+//   * p-members: genes whose RWave^gamma model links the chain upward
+//     (expression strictly increasing, every step crossing >= 1 pointer),
+//   * n-members: genes linking the *inverted* chain (strictly decreasing).
+//
+// Pruning strategies (paper numbering, all individually toggleable for the
+// ablation benchmarks):
+//   (1)  MinG: prune when |pX| + |nX| < MinG.
+//   (2)  MinC: drop a gene when its longest remaining chain cannot reach
+//        MinC conditions (RWaveModel::MaxChainUp / MaxChainDown bound).
+//   (3a) p-majority: prune when 2*|pX| < MinG -- a representative chain
+//        needs at least as many p- as n-members, so fewer than MinG/2
+//        p-members can never validate; this also licenses scanning only
+//        p-members for extension candidates.
+//   (3b) duplicate: stop a branch whose validated cluster was already
+//        emitted (identical chain + gene set), which happens when sliding
+//        windows overlap.
+//   (4)  coherence: candidate extensions whose sorted coherence scores admit
+//        no window of width <= epsilon holding >= MinG genes are dropped.
+//
+// Representative rule: a validated cluster is emitted only from the chain
+// direction with |pX| > |nX|; on a tie, from the direction whose condition
+// id sequence is lexicographically smaller than its reversal.  (The paper's
+// pseudocode breaks ties with "k1 < k2", which can select both or neither
+// direction for some chains; the lexicographic rule keeps the same intent --
+// a deterministic choice between the two directions -- while guaranteeing
+// exactly-once emission.  See DESIGN.md.)
+
+#ifndef REGCLUSTER_CORE_MINER_H_
+#define REGCLUSTER_CORE_MINER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/bicluster.h"
+#include "core/rwave.h"
+#include "core/threshold.h"
+#include "matrix/expression_matrix.h"
+#include "util/status.h"
+
+namespace regcluster {
+namespace core {
+
+/// Mining parameters (paper notation in comments).
+struct MinerOptions {
+  /// MinG: minimum number of genes (p-members + n-members) per cluster.
+  int min_genes = 2;
+  /// MinC: minimum number of conditions (chain length) per cluster.
+  int min_conditions = 2;
+  /// Regulation threshold scale.  Under the default kRangeFraction policy
+  /// this is the paper's gamma in [0, 1]: a fraction of each gene's
+  /// expression range (Eq. 4).  Other policies (Section 3.1's menu) are
+  /// selected via gamma_policy; for GammaPolicy::kAbsolute this is an
+  /// absolute expression difference.
+  double gamma = 0.1;
+  /// How gamma maps to the per-gene absolute threshold gamma_i.
+  GammaPolicy gamma_policy = GammaPolicy::kRangeFraction;
+  /// epsilon >= 0: maximum spread of coherence scores within a cluster.
+  double epsilon = 0.1;
+  /// Worker threads for the root-level search (each level-1 condition roots
+  /// an independent subtree).  1 = serial; 0 = hardware concurrency.
+  /// Output is deterministic and identical for any thread count unless a
+  /// max_clusters / max_nodes cap truncates the search (caps are enforced
+  /// with global atomic counters, so which branch hits the cap first then
+  /// depends on scheduling).
+  int num_threads = 1;
+
+  /// Ablation toggles -- leave on for the paper's algorithm.
+  bool prune_min_genes = true;   ///< pruning (1)
+  bool prune_min_conds = true;   ///< pruning (2)
+  bool prune_p_majority = true;  ///< pruning (3a)
+  bool prune_duplicates = true;  ///< pruning (3b)
+
+  /// Post-pass removing clusters dominated by another output (subset genes,
+  /// chain contained in the other chain).  Off by default: the paper reports
+  /// raw overlapping output.
+  bool remove_dominated = false;
+
+  /// Emit only *chain-closed* clusters: suppress a node's output when some
+  /// single-condition extension keeps the entire member set (the extended
+  /// cluster strictly subsumes it cell-wise).  A lighter, online variant of
+  /// remove_dominated that never buffers the raw output.  Off by default
+  /// (the paper reports all validated chains).
+  bool closed_chains_only = false;
+
+  /// Targeted mining: when non-empty, only clusters containing *all* of
+  /// these genes are produced, and every branch that has lost one of them
+  /// is cut immediately (member sets only shrink along a branch, so the cut
+  /// is lossless).  Typical use: "which modules contain my gene of
+  /// interest?".
+  std::vector<int> required_genes;
+  /// Targeted mining: when non-empty, chains may only use these conditions.
+  std::vector<int> allowed_conditions;
+
+  /// Safety caps for interactive use; -1 disables.
+  int64_t max_clusters = -1;
+  int64_t max_nodes = -1;
+};
+
+/// Search-effort and pruning counters, populated by Mine().
+struct MinerStats {
+  int64_t nodes_expanded = 0;       ///< chain nodes visited (incl. level 1)
+  int64_t extensions_tested = 0;    ///< (node, candidate) pairs examined
+  int64_t pruned_min_genes = 0;     ///< branches cut by pruning (1)
+  int64_t pruned_p_majority = 0;    ///< branches cut by pruning (3a)
+  int64_t pruned_duplicate = 0;     ///< branches cut by pruning (3b)
+  int64_t pruned_coherence = 0;     ///< candidates with no valid window (4)
+  int64_t genes_dropped_min_conds = 0;  ///< gene drops by pruning (2)
+  int64_t clusters_emitted = 0;     ///< outputs before any post-pass
+  double rwave_build_seconds = 0.0;
+  double mine_seconds = 0.0;
+};
+
+/// Mines all validated reg-clusters of `data` under `options`.
+class RegClusterMiner {
+ public:
+  /// The matrix must outlive the miner.
+  RegClusterMiner(const matrix::ExpressionMatrix& data, MinerOptions options);
+
+  /// Runs the search.  Fails (InvalidArgument / FailedPrecondition) on bad
+  /// parameters or a matrix with missing values.  Deterministic: output
+  /// order depends only on the input.
+  util::StatusOr<std::vector<RegCluster>> Mine();
+
+  /// Counters from the last Mine() call.
+  const MinerStats& stats() const { return stats_; }
+
+ private:
+  struct Member {
+    int gene;      ///< gene id
+    int head_pos;  ///< position of the chain's last condition in the gene's
+                   ///< RWave order (for n-members this is the low-value end)
+  };
+
+  struct Node {
+    std::vector<int> chain;
+    std::vector<Member> p_members;
+    std::vector<Member> n_members;
+  };
+
+  /// Per-root search state.  Roots are independent: a chain is enumerated
+  /// exactly once, from its first condition, and duplicate keys cannot
+  /// collide across roots (the key begins with the chain).
+  struct SearchContext {
+    MinerStats stats;
+    std::unordered_set<std::string> seen_keys;
+    std::vector<RegCluster> out;
+  };
+
+  void MineRoot(int root_condition, SearchContext* ctx);
+  void Extend(Node* node, SearchContext* ctx);
+
+  /// Emits the node's cluster if it validates and is representative.
+  /// Returns false when the branch should be pruned (duplicate or caps hit).
+  bool MaybeEmit(const Node& node, SearchContext* ctx);
+
+  bool BudgetExceeded() const;
+
+  /// True iff the node (or a scored window) retains every required gene.
+  bool HasAllRequired(const std::vector<Member>& p,
+                      const std::vector<Member>& n) const;
+
+  const matrix::ExpressionMatrix& data_;
+  MinerOptions options_;
+  MinerStats stats_;
+  std::vector<RWaveModel> rwaves_;
+  std::vector<char> allowed_cond_;    // condition id -> allowed in chains
+  std::vector<char> required_gene_;   // gene id -> must stay in the branch
+  int num_required_ = 0;
+  // Global budget guards (atomic so the caps also work multi-threaded).
+  std::atomic<int64_t> nodes_guard_{0};
+  std::atomic<int64_t> clusters_guard_{0};
+};
+
+}  // namespace core
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_CORE_MINER_H_

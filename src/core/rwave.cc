@@ -1,0 +1,116 @@
+#include "core/rwave.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace regcluster {
+namespace core {
+
+RWaveModel RWaveModel::Build(const double* values, int n, double gamma_abs) {
+  assert(n >= 0);
+  assert(gamma_abs >= 0.0);
+  RWaveModel m;
+  m.gamma_abs_ = gamma_abs;
+  m.order_.resize(static_cast<size_t>(n));
+  std::iota(m.order_.begin(), m.order_.end(), 0);
+  // Non-descending by value; ties broken by condition id for determinism.
+  std::sort(m.order_.begin(), m.order_.end(), [&](int a, int b) {
+    if (values[a] != values[b]) return values[a] < values[b];
+    return a < b;
+  });
+  m.pos_.resize(static_cast<size_t>(n));
+  m.sorted_values_.resize(static_cast<size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    const int cond = m.order_[static_cast<size_t>(p)];
+    assert(std::isfinite(values[cond]) && "RWave input must be imputed");
+    m.pos_[static_cast<size_t>(cond)] = p;
+    m.sorted_values_[static_cast<size_t>(p)] = values[cond];
+  }
+
+  // Pointer construction (Figure 5, model-construction phase): walk the
+  // sorted order; for each position j locate the closest regulation
+  // predecessor k (largest position with value < value[j] - gamma); insert a
+  // bordering pointer (k, j) unless the previous pointer already certifies
+  // the pair, i.e. its tail >= k (its head is always <= j since heads are
+  // the positions at which pointers were inserted, in increasing order).
+  for (int j = 1; j < n; ++j) {
+    const double vj = m.sorted_values_[static_cast<size_t>(j)];
+    // Largest k < j whose value is regulated against vj, using the exact
+    // Eq. 3 comparison (vj - vk > gamma) so that floating-point rounding
+    // cannot disagree with direct pairwise checks.
+    auto it = std::partition_point(
+        m.sorted_values_.begin(), m.sorted_values_.begin() + j,
+        [&](double vk) { return vj - vk > gamma_abs; });
+    if (it == m.sorted_values_.begin()) continue;  // no predecessor
+    const int k = static_cast<int>(it - m.sorted_values_.begin()) - 1;
+    if (!m.pointers_.empty() && m.pointers_.back().tail_pos >= k) continue;
+    m.pointers_.push_back(RegulationPointer{k, j});
+  }
+
+  // Longest-chain tables.  A regulated step up from position p lands at any
+  // position >= head of the first pointer with tail >= p; jumping to exactly
+  // that head is optimal because the reachable-length function is
+  // non-increasing in position (heads/tails are monotone).
+  m.max_up_.assign(static_cast<size_t>(n), 1);
+  for (int p = n - 1; p >= 0; --p) {
+    const int h = m.FirstSuccessorPos(p);
+    if (h >= 0) {
+      m.max_up_[static_cast<size_t>(p)] = 1 + m.max_up_[static_cast<size_t>(h)];
+    }
+  }
+  m.max_down_.assign(static_cast<size_t>(n), 1);
+  for (int p = 0; p < n; ++p) {
+    const int t = m.LastPredecessorPos(p);
+    if (t >= 0) {
+      m.max_down_[static_cast<size_t>(p)] =
+          1 + m.max_down_[static_cast<size_t>(t)];
+    }
+  }
+  return m;
+}
+
+RWaveModel RWaveModel::BuildForGene(const matrix::ExpressionMatrix& data,
+                                    int gene, double gamma) {
+  const auto [lo, hi] = data.RowRange(gene);
+  const double gamma_abs = gamma * (hi - lo);
+  return Build(data.row_data(gene), data.num_conditions(), gamma_abs);
+}
+
+bool RWaveModel::IsUpRegulated(int cond_lo, int cond_hi) const {
+  const int a = position(cond_lo);
+  const int b = position(cond_hi);
+  if (a >= b) return false;
+  const int h = FirstSuccessorPos(a);
+  return h >= 0 && h <= b;
+}
+
+int RWaveModel::FirstSuccessorPos(int pos) const {
+  // First pointer with tail >= pos; pointers sorted by tail.
+  auto it = std::lower_bound(
+      pointers_.begin(), pointers_.end(), pos,
+      [](const RegulationPointer& ptr, int p) { return ptr.tail_pos < p; });
+  if (it == pointers_.end()) return -1;
+  return it->head_pos;
+}
+
+int RWaveModel::LastPredecessorPos(int pos) const {
+  // Last pointer with head <= pos; pointers sorted by head.
+  auto it = std::upper_bound(
+      pointers_.begin(), pointers_.end(), pos,
+      [](int p, const RegulationPointer& ptr) { return p < ptr.head_pos; });
+  if (it == pointers_.begin()) return -1;
+  return std::prev(it)->tail_pos;
+}
+
+RWaveSet::RWaveSet(const matrix::ExpressionMatrix& data, double gamma)
+    : gamma_(gamma) {
+  models_.reserve(static_cast<size_t>(data.num_genes()));
+  for (int g = 0; g < data.num_genes(); ++g) {
+    models_.push_back(RWaveModel::BuildForGene(data, g, gamma));
+  }
+}
+
+}  // namespace core
+}  // namespace regcluster

@@ -1,0 +1,80 @@
+#include "core/threshold.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/math_util.h"
+
+namespace regcluster {
+namespace core {
+
+const char* GammaPolicyName(GammaPolicy policy) {
+  switch (policy) {
+    case GammaPolicy::kRangeFraction:
+      return "range";
+    case GammaPolicy::kStdDevFraction:
+      return "stddev";
+    case GammaPolicy::kMeanFraction:
+      return "mean";
+    case GammaPolicy::kClosestGapFraction:
+      return "closest-gap";
+    case GammaPolicy::kAbsolute:
+      return "absolute";
+  }
+  return "?";
+}
+
+bool ParseGammaPolicy(const std::string& name, GammaPolicy* policy) {
+  if (name == "range") {
+    *policy = GammaPolicy::kRangeFraction;
+  } else if (name == "stddev") {
+    *policy = GammaPolicy::kStdDevFraction;
+  } else if (name == "mean") {
+    *policy = GammaPolicy::kMeanFraction;
+  } else if (name == "closest-gap") {
+    *policy = GammaPolicy::kClosestGapFraction;
+  } else if (name == "absolute") {
+    *policy = GammaPolicy::kAbsolute;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+double AbsoluteGamma(const matrix::ExpressionMatrix& data, int gene,
+                     const GammaSpec& spec) {
+  if (spec.policy == GammaPolicy::kAbsolute) return spec.gamma;
+
+  std::vector<double> row;
+  row.reserve(static_cast<size_t>(data.num_conditions()));
+  for (int c = 0; c < data.num_conditions(); ++c) {
+    const double v = data(gene, c);
+    if (!std::isnan(v)) row.push_back(v);
+  }
+  if (row.size() < 2) return 0.0;
+
+  switch (spec.policy) {
+    case GammaPolicy::kRangeFraction: {
+      const auto [lo, hi] = std::minmax_element(row.begin(), row.end());
+      return spec.gamma * (*hi - *lo);
+    }
+    case GammaPolicy::kStdDevFraction:
+      return spec.gamma * util::StdDev(row);
+    case GammaPolicy::kMeanFraction:
+      return spec.gamma * std::fabs(util::Mean(row));
+    case GammaPolicy::kClosestGapFraction: {
+      std::sort(row.begin(), row.end());
+      double total = 0.0;
+      for (size_t i = 1; i < row.size(); ++i) total += row[i] - row[i - 1];
+      return spec.gamma * total / static_cast<double>(row.size() - 1);
+    }
+    case GammaPolicy::kAbsolute:
+      break;  // handled above
+  }
+  return spec.gamma;
+}
+
+}  // namespace core
+}  // namespace regcluster

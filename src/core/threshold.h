@@ -1,0 +1,60 @@
+// Per-gene regulation threshold policies (Section 3.1).
+//
+// The paper defines gamma_i as a fraction of the gene's expression range
+// (Eq. 4) but notes that "other regulation thresholds, such as the average
+// difference between every pair of conditions whose values are closest
+// [OP-cluster], normalized threshold [Ji & Tan], average expression value
+// [Chen et al.], etc., can be used where appropriate".  This module
+// implements that menu; every policy maps (gene profile, gamma) to an
+// absolute threshold gamma_i that the RWave model and the validity oracle
+// consume.
+
+#ifndef REGCLUSTER_CORE_THRESHOLD_H_
+#define REGCLUSTER_CORE_THRESHOLD_H_
+
+#include "matrix/expression_matrix.h"
+
+namespace regcluster {
+namespace core {
+
+/// How the per-gene regulation threshold gamma_i is derived.
+enum class GammaPolicy : int {
+  /// gamma_i = gamma * (row max - row min).  Equation 4, the default.
+  kRangeFraction = 0,
+  /// gamma_i = gamma * stddev(row) -- the normalized threshold of Ji & Tan.
+  kStdDevFraction = 1,
+  /// gamma_i = gamma * |mean(row)| -- threshold relative to the average
+  /// expression level (Chen, Filkov & Skiena).
+  kMeanFraction = 2,
+  /// gamma_i = gamma * mean adjacent gap of the sorted profile -- the
+  /// OP-cluster-style "closest pairs" threshold.  With gamma = 1 this is
+  /// exactly their similarity-grouping width.
+  kClosestGapFraction = 3,
+  /// gamma_i = gamma, taken as an absolute expression difference.
+  kAbsolute = 4,
+};
+
+/// Returns a stable name for logging / CLI parsing ("range", "stddev",
+/// "mean", "closest-gap", "absolute").
+const char* GammaPolicyName(GammaPolicy policy);
+
+/// Parses the names accepted by GammaPolicyName; returns false on unknown.
+bool ParseGammaPolicy(const std::string& name, GammaPolicy* policy);
+
+/// A policy plus its scale parameter.
+struct GammaSpec {
+  GammaPolicy policy = GammaPolicy::kRangeFraction;
+  /// Fraction in [0, 1] for the relative policies; an absolute expression
+  /// difference (>= 0) for kAbsolute.
+  double gamma = 0.1;
+};
+
+/// Absolute threshold gamma_i for one gene under the spec.  NaN cells are
+/// ignored; an all-NaN or constant row yields 0 for the relative policies.
+double AbsoluteGamma(const matrix::ExpressionMatrix& data, int gene,
+                     const GammaSpec& spec);
+
+}  // namespace core
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_CORE_THRESHOLD_H_

@@ -1,0 +1,95 @@
+#include "eval/annotation_gen.h"
+
+#include <array>
+#include <cmath>
+
+#include "util/prng.h"
+#include "util/string_util.h"
+
+namespace regcluster {
+namespace eval {
+namespace {
+
+const char* kCategorySuffix[3] = {"process", "function", "component"};
+
+}  // namespace
+
+GoAnnotationDb GenerateAnnotations(
+    int population_size, const std::vector<std::vector<int>>& modules,
+    const AnnotationGenConfig& config) {
+  util::Prng prng(config.seed);
+  GoAnnotationDb db(population_size);
+
+  // Background terms with Zipf-ish population frequencies.
+  std::vector<int> background_terms;
+  std::vector<double> background_rates;
+  for (int cat = 0; cat < 3; ++cat) {
+    for (int i = 0; i < config.background_terms_per_category; ++i) {
+      GoTerm term;
+      term.id = util::StrFormat("GO:9%02d%04d", cat, i);
+      term.name = util::StrFormat("background %s term %d",
+                                  kCategorySuffix[cat], i);
+      term.category = static_cast<GoCategory>(cat);
+      background_terms.push_back(db.AddTerm(std::move(term)));
+      // Frequencies from ~20% (rank 1) down, heavy-tailed.
+      background_rates.push_back(0.2 / (1.0 + i));
+    }
+  }
+
+  // Characteristic module terms.
+  std::vector<std::array<int, 3>> module_terms;
+  for (size_t m = 0; m < modules.size(); ++m) {
+    std::array<int, 3> per_cat{};
+    for (int cat = 0; cat < 3; ++cat) {
+      GoTerm term;
+      term.id = util::StrFormat("GO:1%02d%04d", cat, static_cast<int>(m));
+      term.name = util::StrFormat("module%d %s", static_cast<int>(m),
+                                  kCategorySuffix[cat]);
+      term.category = static_cast<GoCategory>(cat);
+      per_cat[static_cast<size_t>(cat)] = db.AddTerm(std::move(term));
+    }
+    module_terms.push_back(per_cat);
+  }
+
+  // Random background annotations: expected avg_annotations_per_gene per
+  // gene, drawn proportionally to the term rates.
+  double rate_sum = 0.0;
+  for (double r : background_rates) rate_sum += r;
+  const double scale =
+      rate_sum > 0.0 ? config.avg_annotations_per_gene / rate_sum : 0.0;
+  for (int g = 0; g < population_size; ++g) {
+    for (size_t t = 0; t < background_terms.size(); ++t) {
+      if (prng.Bernoulli(std::min(1.0, background_rates[t] * scale))) {
+        (void)db.Annotate(g, background_terms[t]);
+      }
+    }
+  }
+
+  // Module annotations: members with high coverage, plus a thin background.
+  for (size_t m = 0; m < modules.size(); ++m) {
+    for (int cat = 0; cat < 3; ++cat) {
+      const int term = module_terms[m][static_cast<size_t>(cat)];
+      for (int g : modules[m]) {
+        if (prng.Bernoulli(config.module_term_coverage)) {
+          (void)db.Annotate(g, term);
+        }
+      }
+      const int extra = static_cast<int>(
+          std::lround(config.module_term_background_rate * population_size));
+      for (int i = 0; i < extra; ++i) {
+        (void)db.Annotate(
+            static_cast<int>(prng.UniformInt(0, population_size - 1)), term);
+      }
+    }
+  }
+  return db;
+}
+
+int ModuleTermIndex(const AnnotationGenConfig& config, int module_id,
+                    GoCategory category) {
+  return 3 * config.background_terms_per_category + 3 * module_id +
+         static_cast<int>(category);
+}
+
+}  // namespace eval
+}  // namespace regcluster

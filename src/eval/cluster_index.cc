@@ -1,0 +1,77 @@
+#include "eval/cluster_index.h"
+
+#include <algorithm>
+#include <set>
+
+namespace regcluster {
+namespace eval {
+
+ClusterIndex::ClusterIndex(const std::vector<core::RegCluster>& clusters,
+                           int num_genes, int num_conditions)
+    : num_clusters_(static_cast<int>(clusters.size())),
+      gene_to_clusters_(static_cast<size_t>(std::max(num_genes, 0))),
+      cond_to_clusters_(static_cast<size_t>(std::max(num_conditions, 0))),
+      cluster_to_genes_(clusters.size()) {
+  for (size_t k = 0; k < clusters.size(); ++k) {
+    const auto genes = clusters[k].AllGenes();
+    cluster_to_genes_[k] = genes;
+    for (int g : genes) {
+      if (g >= 0 && g < num_genes) {
+        gene_to_clusters_[static_cast<size_t>(g)].push_back(
+            static_cast<int>(k));
+      }
+    }
+    for (int c : clusters[k].chain) {
+      if (c >= 0 && c < num_conditions) {
+        cond_to_clusters_[static_cast<size_t>(c)].push_back(
+            static_cast<int>(k));
+      }
+    }
+  }
+}
+
+const std::vector<int>& ClusterIndex::ClustersWithGene(int gene) const {
+  if (gene < 0 || gene >= static_cast<int>(gene_to_clusters_.size())) {
+    return empty_;
+  }
+  return gene_to_clusters_[static_cast<size_t>(gene)];
+}
+
+const std::vector<int>& ClusterIndex::ClustersWithCondition(int cond) const {
+  if (cond < 0 || cond >= static_cast<int>(cond_to_clusters_.size())) {
+    return empty_;
+  }
+  return cond_to_clusters_[static_cast<size_t>(cond)];
+}
+
+int ClusterIndex::CoClusterCount(int gene_a, int gene_b) const {
+  const std::vector<int>& a = ClustersWithGene(gene_a);
+  const std::vector<int>& b = ClustersWithGene(gene_b);
+  int n = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+std::vector<int> ClusterIndex::CoClusteredGenes(int gene) const {
+  std::set<int> out;
+  for (int k : ClustersWithGene(gene)) {
+    for (int g : cluster_to_genes_[static_cast<size_t>(k)]) {
+      if (g != gene) out.insert(g);
+    }
+  }
+  return std::vector<int>(out.begin(), out.end());
+}
+
+}  // namespace eval
+}  // namespace regcluster

@@ -1,0 +1,58 @@
+// Post-mining query index over a cluster set.
+//
+// Downstream analyses ask membership questions constantly ("which clusters
+// contain YAL005C?", "how often do these two genes co-cluster?", "which
+// genes does gene g share modules with?").  This index answers them in
+// O(log) / O(result) after one O(total membership) build.
+
+#ifndef REGCLUSTER_EVAL_CLUSTER_INDEX_H_
+#define REGCLUSTER_EVAL_CLUSTER_INDEX_H_
+
+#include <vector>
+
+#include "core/bicluster.h"
+
+namespace regcluster {
+namespace eval {
+
+class ClusterIndex {
+ public:
+  /// Builds the index; `num_genes` / `num_conditions` size the lookup
+  /// tables (ids outside the range are rejected by the queries).
+  ClusterIndex(const std::vector<core::RegCluster>& clusters, int num_genes,
+               int num_conditions);
+
+  int num_clusters() const { return num_clusters_; }
+
+  /// Cluster ids containing the gene (sorted ascending); empty for unknown
+  /// or out-of-range genes.
+  const std::vector<int>& ClustersWithGene(int gene) const;
+
+  /// Cluster ids whose chain uses the condition (sorted ascending).
+  const std::vector<int>& ClustersWithCondition(int cond) const;
+
+  /// Number of clusters containing both genes.
+  int CoClusterCount(int gene_a, int gene_b) const;
+
+  /// Genes sharing at least one cluster with `gene` (sorted, excluding the
+  /// gene itself).
+  std::vector<int> CoClusteredGenes(int gene) const;
+
+  /// Number of clusters the gene belongs to (its "pathway multiplicity" --
+  /// the overlap property motivating biclustering over partitioning).
+  int MembershipDegree(int gene) const {
+    return static_cast<int>(ClustersWithGene(gene).size());
+  }
+
+ private:
+  int num_clusters_;
+  std::vector<std::vector<int>> gene_to_clusters_;
+  std::vector<std::vector<int>> cond_to_clusters_;
+  std::vector<std::vector<int>> cluster_to_genes_;  // sorted
+  std::vector<int> empty_;
+};
+
+}  // namespace eval
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_EVAL_CLUSTER_INDEX_H_

@@ -1,0 +1,112 @@
+#include "eval/consensus.h"
+
+#include <algorithm>
+
+#include "core/coherence.h"
+
+namespace regcluster {
+namespace eval {
+namespace {
+
+/// +1 / -1 / 0 direction of gene g along the chain at the given thresholds.
+int Direction(const matrix::ExpressionMatrix& data, int g,
+              const std::vector<int>& chain,
+              const core::GammaSpec& gamma_spec) {
+  const double gabs = core::AbsoluteGamma(data, g, gamma_spec);
+  bool up = true, down = true;
+  for (size_t k = 0; k + 1 < chain.size(); ++k) {
+    const double delta = data(g, chain[k + 1]) - data(g, chain[k]);
+    if (!(delta > gabs)) up = false;
+    if (!(-delta > gabs)) down = false;
+  }
+  return up ? 1 : (down ? -1 : 0);
+}
+
+void InsertSorted(std::vector<int>* v, int x) {
+  auto it = std::lower_bound(v->begin(), v->end(), x);
+  if (it == v->end() || *it != x) v->insert(it, x);
+}
+
+bool Contains(const std::vector<int>& v, int x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+}  // namespace
+
+bool TryMerge(const matrix::ExpressionMatrix& data,
+              const core::RegCluster& a, const core::RegCluster& b,
+              const core::GammaSpec& gamma_spec, double epsilon,
+              core::RegCluster* merged) {
+  // Keep the chain of the larger-conditions cluster (a's by convention: the
+  // caller passes them ordered).
+  core::RegCluster candidate = a;
+  for (int g : b.AllGenes()) {
+    if (Contains(candidate.p_genes, g) || Contains(candidate.n_genes, g)) {
+      continue;
+    }
+    const int dir = Direction(data, g, candidate.chain, gamma_spec);
+    if (dir > 0) {
+      InsertSorted(&candidate.p_genes, g);
+    } else if (dir < 0) {
+      InsertSorted(&candidate.n_genes, g);
+    } else {
+      return false;  // a member of b cannot follow a's chain
+    }
+  }
+  if (!core::ValidateRegCluster(data, candidate, gamma_spec, epsilon)) {
+    return false;
+  }
+  *merged = std::move(candidate);
+  return true;
+}
+
+std::vector<core::RegCluster> MergeOverlapping(
+    const matrix::ExpressionMatrix& data,
+    std::vector<core::RegCluster> clusters, const ConsensusOptions& options) {
+  bool changed = true;
+  std::vector<bool> dead(clusters.size(), false);
+  while (changed) {
+    changed = false;
+    // Pick the highest-overlap mergeable pair.
+    double best = options.min_overlap;
+    int bi = -1, bj = -1;
+    core::RegCluster best_merged;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      if (dead[i]) continue;
+      const core::Bicluster fi = core::ToBicluster(clusters[i]);
+      for (size_t j = 0; j < clusters.size(); ++j) {
+        if (i == j || dead[j]) continue;
+        // Only fold the shorter-or-equal chain into the longer one.
+        if (clusters[j].chain.size() > clusters[i].chain.size()) continue;
+        const double o =
+            core::OverlapFraction(fi, core::ToBicluster(clusters[j]));
+        if (o < best) continue;
+        core::RegCluster merged;
+        if (!TryMerge(data, clusters[i], clusters[j], options.gamma_spec,
+                      options.epsilon, &merged)) {
+          continue;
+        }
+        // Prefer strictly higher overlap; ties keep the first found.
+        if (o > best || bi < 0) {
+          best = o;
+          bi = static_cast<int>(i);
+          bj = static_cast<int>(j);
+          best_merged = std::move(merged);
+        }
+      }
+    }
+    if (bi >= 0) {
+      clusters[static_cast<size_t>(bi)] = std::move(best_merged);
+      dead[static_cast<size_t>(bj)] = true;
+      changed = true;
+    }
+  }
+  std::vector<core::RegCluster> out;
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    if (!dead[i]) out.push_back(std::move(clusters[i]));
+  }
+  return out;
+}
+
+}  // namespace eval
+}  // namespace regcluster

@@ -1,0 +1,52 @@
+// Post-processing of overlapping cluster output: merging and filtering.
+//
+// The paper reports raw output ("we did not perform any splitting and
+// merging of clusters", Section 5.2) with pairwise overlaps up to 85%.
+// Production users usually want a smaller consensus set; this module
+// provides the standard greedy merge: repeatedly union the pair of clusters
+// with the highest cell overlap, re-validating the merged candidate against
+// the reg-cluster model so merging never produces an invalid cluster, until
+// no pair exceeds the threshold.
+
+#ifndef REGCLUSTER_EVAL_CONSENSUS_H_
+#define REGCLUSTER_EVAL_CONSENSUS_H_
+
+#include <vector>
+
+#include "core/bicluster.h"
+#include "core/threshold.h"
+#include "matrix/expression_matrix.h"
+
+namespace regcluster {
+namespace eval {
+
+struct ConsensusOptions {
+  /// Merge a pair when its cell overlap (relative to the smaller cluster)
+  /// is at least this.
+  double min_overlap = 0.5;
+  /// Validation thresholds the merged cluster must satisfy (it inherits the
+  /// longer chain of the pair, with the other's genes folded in when they
+  /// comply with it).
+  core::GammaSpec gamma_spec{};
+  double epsilon = 1.0;
+};
+
+/// Greedy overlap merging.  Clusters whose union does not validate stay
+/// separate.  Output order: survivors in their original order.
+std::vector<core::RegCluster> MergeOverlapping(
+    const matrix::ExpressionMatrix& data,
+    std::vector<core::RegCluster> clusters, const ConsensusOptions& options);
+
+/// Attempts to fold cluster `b` into cluster `a`: keeps a's chain and adds
+/// every gene of b (deduplicated) whose profile complies with a's chain in
+/// either direction, then validates the result.  Returns true and writes
+/// *merged on success.
+bool TryMerge(const matrix::ExpressionMatrix& data,
+              const core::RegCluster& a, const core::RegCluster& b,
+              const core::GammaSpec& gamma_spec, double epsilon,
+              core::RegCluster* merged);
+
+}  // namespace eval
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_EVAL_CONSENSUS_H_

@@ -1,0 +1,99 @@
+#include "eval/go_enrichment.h"
+
+#include <algorithm>
+
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace regcluster {
+namespace eval {
+
+const char* GoCategoryName(GoCategory c) {
+  switch (c) {
+    case GoCategory::kBiologicalProcess:
+      return "Process";
+    case GoCategory::kMolecularFunction:
+      return "Function";
+    case GoCategory::kCellularComponent:
+      return "Cellular Component";
+  }
+  return "?";
+}
+
+GoAnnotationDb::GoAnnotationDb(int population_size)
+    : population_size_(population_size),
+      gene_terms_(static_cast<size_t>(population_size)) {}
+
+int GoAnnotationDb::AddTerm(GoTerm term) {
+  terms_.push_back(std::move(term));
+  term_counts_.push_back(0);
+  return static_cast<int>(terms_.size()) - 1;
+}
+
+util::Status GoAnnotationDb::Annotate(int gene, int term) {
+  if (gene < 0 || gene >= population_size_) {
+    return util::Status::OutOfRange(
+        util::StrFormat("gene %d outside population", gene));
+  }
+  if (term < 0 || term >= num_terms()) {
+    return util::Status::OutOfRange(util::StrFormat("unknown term %d", term));
+  }
+  std::vector<int>& terms = gene_terms_[static_cast<size_t>(gene)];
+  auto it = std::lower_bound(terms.begin(), terms.end(), term);
+  if (it != terms.end() && *it == term) return util::Status::OK();
+  terms.insert(it, term);
+  ++term_counts_[static_cast<size_t>(term)];
+  return util::Status::OK();
+}
+
+util::StatusOr<std::vector<EnrichmentResult>> FindEnrichedTerms(
+    const GoAnnotationDb& db, const std::vector<int>& genes,
+    const EnrichmentOptions& options) {
+  // Count, per term, the annotated genes inside the cluster.
+  std::unordered_map<int, int> counts;
+  for (int g : genes) {
+    if (g < 0 || g >= db.population_size()) {
+      return util::Status::OutOfRange(
+          util::StrFormat("gene %d outside population", g));
+    }
+    for (int t : db.GeneTerms(g)) ++counts[t];
+  }
+
+  const int num_candidates = static_cast<int>(counts.size());
+  std::vector<EnrichmentResult> out;
+  for (const auto& [term, k] : counts) {
+    if (k < options.min_cluster_count) continue;
+    EnrichmentResult r;
+    r.term = term;
+    r.cluster_count = k;
+    r.population_count = db.TermPopulationCount(term);
+    r.p_value = util::HypergeomUpperTail(
+        k, db.population_size(), r.population_count,
+        static_cast<int64_t>(genes.size()));
+    r.corrected_p_value =
+        options.bonferroni
+            ? std::min(1.0, r.p_value * std::max(1, num_candidates))
+            : r.p_value;
+    const double effective =
+        options.bonferroni ? r.corrected_p_value : r.p_value;
+    if (effective <= options.max_p_value) out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EnrichmentResult& a, const EnrichmentResult& b) {
+              if (a.p_value != b.p_value) return a.p_value < b.p_value;
+              return a.term < b.term;
+            });
+  return out;
+}
+
+EnrichmentResult TopTermOfCategory(
+    const GoAnnotationDb& db, const std::vector<EnrichmentResult>& results,
+    GoCategory category) {
+  for (const EnrichmentResult& r : results) {
+    if (db.term(r.term).category == category) return r;
+  }
+  return EnrichmentResult();
+}
+
+}  // namespace eval
+}  // namespace regcluster

@@ -1,0 +1,108 @@
+// Gene Ontology term-enrichment substrate (the Table 2 experiment).
+//
+// The paper scores its yeast clusters with the SGD "GO Term Finder" web
+// service, which computes, for each GO term, the hypergeometric upper-tail
+// probability of observing at least k annotated genes in a cluster of n
+// genes drawn from a population of N genes of which K carry the term.  This
+// module implements the same statistic (with optional Bonferroni
+// correction) over an in-memory annotation database, so the enrichment
+// pipeline runs offline.
+
+#ifndef REGCLUSTER_EVAL_GO_ENRICHMENT_H_
+#define REGCLUSTER_EVAL_GO_ENRICHMENT_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace regcluster {
+namespace eval {
+
+/// The three GO namespaces reported in Table 2.
+enum class GoCategory : int {
+  kBiologicalProcess = 0,
+  kMolecularFunction = 1,
+  kCellularComponent = 2,
+};
+
+const char* GoCategoryName(GoCategory c);
+
+/// One ontology term.
+struct GoTerm {
+  std::string id;        ///< e.g. "GO:0006260"
+  std::string name;      ///< e.g. "DNA replication"
+  GoCategory category = GoCategory::kBiologicalProcess;
+};
+
+/// Gene -> term annotation database over a fixed gene population [0, N).
+class GoAnnotationDb {
+ public:
+  /// Creates a database over `population_size` genes.
+  explicit GoAnnotationDb(int population_size);
+
+  /// Registers a term; returns its dense term index.
+  int AddTerm(GoTerm term);
+
+  /// Annotates `gene` with term index `term`.  Duplicate annotations are
+  /// ignored.  Fails on out-of-range ids.
+  util::Status Annotate(int gene, int term);
+
+  int population_size() const { return population_size_; }
+  int num_terms() const { return static_cast<int>(terms_.size()); }
+  const GoTerm& term(int t) const { return terms_[static_cast<size_t>(t)]; }
+
+  /// Number of genes in the population annotated with `term`.
+  int TermPopulationCount(int term) const {
+    return term_counts_[static_cast<size_t>(term)];
+  }
+
+  /// Term indices annotated to `gene` (sorted).
+  const std::vector<int>& GeneTerms(int gene) const {
+    return gene_terms_[static_cast<size_t>(gene)];
+  }
+
+ private:
+  int population_size_;
+  std::vector<GoTerm> terms_;
+  std::vector<int> term_counts_;
+  std::vector<std::vector<int>> gene_terms_;
+};
+
+/// One enrichment result row.
+struct EnrichmentResult {
+  int term = -1;            ///< index into the database
+  int cluster_count = 0;    ///< annotated genes inside the cluster (k)
+  int population_count = 0; ///< annotated genes in the population (K)
+  double p_value = 1.0;           ///< raw hypergeometric upper tail
+  double corrected_p_value = 1.0; ///< Bonferroni over tested terms
+};
+
+/// Options for FindEnrichedTerms.
+struct EnrichmentOptions {
+  /// Report only terms whose (corrected, if enabled) p-value is below this.
+  double max_p_value = 0.05;
+  /// Apply Bonferroni correction over the number of candidate terms (terms
+  /// with at least one annotated gene in the cluster), like GO Term Finder.
+  bool bonferroni = true;
+  /// Ignore terms annotating fewer than this many cluster genes.
+  int min_cluster_count = 2;
+};
+
+/// Computes enriched terms for a gene set.  Results sorted by ascending
+/// p-value (raw), ties by term index.  Genes outside [0, population) fail.
+util::StatusOr<std::vector<EnrichmentResult>> FindEnrichedTerms(
+    const GoAnnotationDb& db, const std::vector<int>& genes,
+    const EnrichmentOptions& options = {});
+
+/// Convenience: the single most enriched term of a category, or term == -1
+/// if none passes the filter.  (The "top GO term" columns of Table 2.)
+EnrichmentResult TopTermOfCategory(
+    const GoAnnotationDb& db, const std::vector<EnrichmentResult>& results,
+    GoCategory category);
+
+}  // namespace eval
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_EVAL_GO_ENRICHMENT_H_

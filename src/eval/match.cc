@@ -1,0 +1,90 @@
+#include "eval/match.h"
+
+#include <algorithm>
+
+namespace regcluster {
+namespace eval {
+namespace {
+
+int64_t IntersectionSize(const std::vector<int>& a, const std::vector<int>& b) {
+  int64_t n = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+double Jaccard(const std::vector<int>& a, const std::vector<int>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const int64_t inter = IntersectionSize(a, b);
+  const int64_t uni =
+      static_cast<int64_t>(a.size()) + static_cast<int64_t>(b.size()) - inter;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double GeneJaccard(const core::Bicluster& a, const core::Bicluster& b) {
+  return Jaccard(a.genes, b.genes);
+}
+
+double CellJaccard(const core::Bicluster& a, const core::Bicluster& b) {
+  const int64_t inter = core::SharedCells(a, b);
+  const int64_t uni = a.NumCells() + b.NumCells() - inter;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+namespace {
+
+template <typename ScoreFn>
+double MatchScore(const std::vector<core::Bicluster>& from,
+                  const std::vector<core::Bicluster>& against,
+                  ScoreFn score) {
+  if (from.empty()) return 1.0;
+  if (against.empty()) return 0.0;
+  double total = 0.0;
+  for (const core::Bicluster& a : from) {
+    double best = 0.0;
+    for (const core::Bicluster& b : against) {
+      best = std::max(best, score(a, b));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(from.size());
+}
+
+}  // namespace
+
+double GeneMatchScore(const std::vector<core::Bicluster>& from,
+                      const std::vector<core::Bicluster>& against) {
+  return MatchScore(from, against, GeneJaccard);
+}
+
+double CellMatchScore(const std::vector<core::Bicluster>& from,
+                      const std::vector<core::Bicluster>& against) {
+  return MatchScore(from, against, CellJaccard);
+}
+
+MatchReport ScoreAgainstTruth(const std::vector<core::Bicluster>& found,
+                              const std::vector<core::Bicluster>& truth) {
+  MatchReport r;
+  r.gene_relevance = GeneMatchScore(found, truth);
+  r.gene_recovery = GeneMatchScore(truth, found);
+  r.cell_relevance = CellMatchScore(found, truth);
+  r.cell_recovery = CellMatchScore(truth, found);
+  return r;
+}
+
+}  // namespace eval
+}  // namespace regcluster

@@ -1,0 +1,53 @@
+// Cluster-quality scoring: how well does a mined cluster set recover a
+// ground-truth (implanted) cluster set?
+//
+// We use the standard Prelic-style gene match score plus a cell-level
+// variant; both are symmetric building blocks:
+//   Relevance  = S(found, truth): are found clusters real?
+//   Recovery   = S(truth, found): are real clusters found?
+// with S(A, B) = avg over a in A of max over b in B of Jaccard(a, b).
+
+#ifndef REGCLUSTER_EVAL_MATCH_H_
+#define REGCLUSTER_EVAL_MATCH_H_
+
+#include <vector>
+
+#include "core/bicluster.h"
+
+namespace regcluster {
+namespace eval {
+
+/// Jaccard index of two sorted int sets.
+double Jaccard(const std::vector<int>& a, const std::vector<int>& b);
+
+/// Gene-dimension Jaccard of two biclusters.
+double GeneJaccard(const core::Bicluster& a, const core::Bicluster& b);
+
+/// Cell-level Jaccard: |cells(a) n cells(b)| / |cells(a) u cells(b)|.
+double CellJaccard(const core::Bicluster& a, const core::Bicluster& b);
+
+/// Average over `from` of the best gene-Jaccard against `against`.
+/// Returns 1.0 when `from` is empty (vacuous truth), 0.0 when only
+/// `against` is empty.
+double GeneMatchScore(const std::vector<core::Bicluster>& from,
+                      const std::vector<core::Bicluster>& against);
+
+/// Average over `from` of the best cell-Jaccard against `against`.
+double CellMatchScore(const std::vector<core::Bicluster>& from,
+                      const std::vector<core::Bicluster>& against);
+
+/// Both directions at once.
+struct MatchReport {
+  double gene_relevance = 0.0;  ///< GeneMatchScore(found, truth)
+  double gene_recovery = 0.0;   ///< GeneMatchScore(truth, found)
+  double cell_relevance = 0.0;
+  double cell_recovery = 0.0;
+};
+
+MatchReport ScoreAgainstTruth(const std::vector<core::Bicluster>& found,
+                              const std::vector<core::Bicluster>& truth);
+
+}  // namespace eval
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_EVAL_MATCH_H_

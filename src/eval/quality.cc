@@ -1,0 +1,141 @@
+#include "eval/quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/coherence.h"
+#include "util/math_util.h"
+
+namespace regcluster {
+namespace eval {
+
+ClusterQuality ScoreCluster(const matrix::ExpressionMatrix& data,
+                            const core::RegCluster& cluster,
+                            const core::GammaSpec& spec) {
+  ClusterQuality q;
+  const std::vector<int>& chain = cluster.chain;
+  const std::vector<int> genes = cluster.AllGenes();
+  if (chain.size() < 2 || genes.empty()) return q;
+
+  // Coherence spread.
+  for (size_t k = 0; k + 1 < chain.size(); ++k) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (int g : genes) {
+      const double h = core::CoherenceScore(data.row_data(g), chain[0],
+                                            chain[1], chain[k], chain[k + 1]);
+      lo = std::min(lo, h);
+      hi = std::max(hi, h);
+    }
+    q.coherence_spread = std::max(q.coherence_spread, hi - lo);
+  }
+
+  // Regulation margin.
+  q.regulation_margin = std::numeric_limits<double>::infinity();
+  for (int g : genes) {
+    const double gamma_i = core::AbsoluteGamma(data, g, spec);
+    for (size_t k = 0; k + 1 < chain.size(); ++k) {
+      const double step = std::fabs(data(g, chain[k + 1]) - data(g, chain[k]));
+      const double margin = gamma_i > 0.0
+                                ? step / gamma_i
+                                : std::numeric_limits<double>::infinity();
+      q.regulation_margin = std::min(q.regulation_margin, margin);
+    }
+  }
+
+  // Pairwise fit residual and correlation.
+  double residual_total = 0.0, corr_total = 0.0;
+  int pairs = 0;
+  for (size_t i = 0; i < genes.size(); ++i) {
+    const std::vector<double> x = data.RowOnConditions(genes[i], chain);
+    for (size_t j = i + 1; j < genes.size(); ++j) {
+      const std::vector<double> y = data.RowOnConditions(genes[j], chain);
+      double s1 = 0, s2 = 0;
+      if (util::FitShiftScale(x, y, &s1, &s2)) {
+        const double range =
+            *std::max_element(y.begin(), y.end()) -
+            *std::min_element(y.begin(), y.end());
+        const double denom = range > 0 ? range : 1.0;
+        residual_total += util::MaxAbsResidual(x, y, s1, s2) / denom;
+      }
+      corr_total += std::fabs(util::PearsonCorrelation(x, y));
+      ++pairs;
+    }
+  }
+  if (pairs > 0) {
+    q.mean_fit_residual = residual_total / pairs;
+    q.mean_abs_correlation = corr_total / pairs;
+  }
+  return q;
+}
+
+ClusterSetSummary Summarize(const std::vector<core::RegCluster>& clusters) {
+  ClusterSetSummary s;
+  s.num_clusters = static_cast<int>(clusters.size());
+  if (clusters.empty()) return s;
+
+  s.min_genes = s.max_genes = clusters[0].num_genes();
+  s.min_conditions = s.max_conditions = clusters[0].num_conditions();
+  double gene_total = 0.0, cond_total = 0.0;
+  int with_negative = 0;
+  for (const core::RegCluster& c : clusters) {
+    s.min_genes = std::min(s.min_genes, c.num_genes());
+    s.max_genes = std::max(s.max_genes, c.num_genes());
+    s.min_conditions = std::min(s.min_conditions, c.num_conditions());
+    s.max_conditions = std::max(s.max_conditions, c.num_conditions());
+    gene_total += c.num_genes();
+    cond_total += c.num_conditions();
+    with_negative += !c.n_genes.empty();
+  }
+  s.mean_genes = gene_total / static_cast<double>(clusters.size());
+  s.mean_conditions = cond_total / static_cast<double>(clusters.size());
+  s.negative_fraction =
+      static_cast<double>(with_negative) / static_cast<double>(clusters.size());
+
+  if (clusters.size() > 1) {
+    s.min_overlap = 1.0;
+    s.max_overlap = 0.0;
+    std::vector<core::Bicluster> feet;
+    feet.reserve(clusters.size());
+    for (const auto& c : clusters) feet.push_back(core::ToBicluster(c));
+    for (size_t i = 0; i < feet.size(); ++i) {
+      for (size_t j = i + 1; j < feet.size(); ++j) {
+        const double o = core::OverlapFraction(feet[i], feet[j]);
+        s.min_overlap = std::min(s.min_overlap, o);
+        s.max_overlap = std::max(s.max_overlap, o);
+      }
+    }
+  }
+  return s;
+}
+
+std::vector<int> RankClusters(const matrix::ExpressionMatrix& data,
+                              const std::vector<core::RegCluster>& clusters) {
+  struct Entry {
+    int index;
+    int64_t cells;
+    double spread;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(clusters.size());
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    const ClusterQuality q = ScoreCluster(data, clusters[i]);
+    entries.push_back(Entry{static_cast<int>(i),
+                            static_cast<int64_t>(clusters[i].num_genes()) *
+                                clusters[i].num_conditions(),
+                            q.coherence_spread});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.cells != b.cells) return a.cells > b.cells;
+    if (a.spread != b.spread) return a.spread < b.spread;
+    return a.index < b.index;
+  });
+  std::vector<int> out;
+  out.reserve(entries.size());
+  for (const Entry& e : entries) out.push_back(e.index);
+  return out;
+}
+
+}  // namespace eval
+}  // namespace regcluster

@@ -1,0 +1,67 @@
+// Intrinsic quality metrics for mined reg-clusters and summaries over whole
+// cluster sets.  Used for ranking output (the paper reports its three "best"
+// clusters), for regression-style assertions in tests, and by the CLI's
+// `evaluate` subcommand.
+
+#ifndef REGCLUSTER_EVAL_QUALITY_H_
+#define REGCLUSTER_EVAL_QUALITY_H_
+
+#include <vector>
+
+#include "core/bicluster.h"
+#include "core/threshold.h"
+#include "matrix/expression_matrix.h"
+
+namespace regcluster {
+namespace eval {
+
+/// Intrinsic scores of one cluster.
+struct ClusterQuality {
+  /// Max over adjacent chain pairs of the spread of coherence scores across
+  /// members.  A valid reg-cluster has spread <= epsilon; smaller = tighter.
+  double coherence_spread = 0.0;
+  /// Min over members and adjacent chain steps of |step| / gamma_i -- how
+  /// comfortably the cluster clears the regulation threshold (> 1 iff
+  /// valid; infinite when gamma_i == 0).
+  double regulation_margin = 0.0;
+  /// Mean over member pairs of the max |residual| of the least-squares
+  /// shifting-and-scaling fit, normalized by the pair's value range on the
+  /// chain.  0 for perfect patterns.
+  double mean_fit_residual = 0.0;
+  /// Mean absolute pairwise Pearson correlation on the chain (1 for perfect
+  /// patterns of either sign).
+  double mean_abs_correlation = 0.0;
+};
+
+/// Computes the intrinsic scores.  `spec` supplies the regulation-threshold
+/// policy used for the margin.
+ClusterQuality ScoreCluster(const matrix::ExpressionMatrix& data,
+                            const core::RegCluster& cluster,
+                            const core::GammaSpec& spec = {});
+
+/// Aggregate statistics over a mined cluster set.
+struct ClusterSetSummary {
+  int num_clusters = 0;
+  int min_genes = 0, max_genes = 0;
+  double mean_genes = 0.0;
+  int min_conditions = 0, max_conditions = 0;
+  double mean_conditions = 0.0;
+  /// Fraction of clusters with at least one n-member.
+  double negative_fraction = 0.0;
+  /// Min / max pairwise cell-overlap fraction (relative to the smaller
+  /// cluster), the Section 5.2 statistic.  0/0 for fewer than two clusters.
+  double min_overlap = 0.0, max_overlap = 0.0;
+};
+
+ClusterSetSummary Summarize(const std::vector<core::RegCluster>& clusters);
+
+/// Returns indices of `clusters` sorted best-first by a composite quality
+/// rank: primarily more genes x conditions, ties broken by tighter
+/// coherence spread.
+std::vector<int> RankClusters(const matrix::ExpressionMatrix& data,
+                              const std::vector<core::RegCluster>& clusters);
+
+}  // namespace eval
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_EVAL_QUALITY_H_

@@ -1,0 +1,55 @@
+// Permutation-based statistical significance of a mined reg-cluster.
+//
+// A cluster discovered by an exhaustive search over many chains needs a
+// null model before calling it "significant".  The standard empirical test
+// for biclusters: repeatedly shuffle each gene's profile independently
+// (destroying condition structure while preserving each gene's value
+// distribution) and ask how often a random gene matches the cluster's chain
+// as well as its real members do.  From the per-gene match probability p0
+// the expected number of matching genes in the population is N * p0; the
+// binomial tail gives the probability of seeing >= |X| matches by chance.
+
+#ifndef REGCLUSTER_EVAL_SIGNIFICANCE_H_
+#define REGCLUSTER_EVAL_SIGNIFICANCE_H_
+
+#include <cstdint>
+
+#include "core/bicluster.h"
+#include "core/threshold.h"
+#include "matrix/expression_matrix.h"
+#include "util/status.h"
+
+namespace regcluster {
+namespace eval {
+
+struct SignificanceOptions {
+  /// Number of shuffled gene profiles sampled for the null distribution.
+  int permutations = 2000;
+  /// Mining thresholds the null profiles are tested against.
+  core::GammaSpec gamma_spec{};
+  double epsilon = 0.1;
+  uint64_t seed = 101;
+};
+
+struct SignificanceResult {
+  /// Fraction of shuffled profiles that comply with the cluster's chain
+  /// (either direction, regulation only).
+  double null_chain_rate = 0.0;
+  /// Fraction that additionally stay epsilon-coherent with the cluster's
+  /// member consensus.
+  double null_full_rate = 0.0;
+  /// Binomial upper-tail probability of >= num_genes matches among the
+  /// population under null_full_rate.
+  double p_value = 1.0;
+};
+
+/// Runs the permutation test for one cluster.  Fails on invalid clusters
+/// (empty chain / genes) or matrices with missing values.
+util::StatusOr<SignificanceResult> PermutationSignificance(
+    const matrix::ExpressionMatrix& data, const core::RegCluster& cluster,
+    const SignificanceOptions& options = {});
+
+}  // namespace eval
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_EVAL_SIGNIFICANCE_H_

@@ -1,0 +1,116 @@
+#include "io/annotation_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace regcluster {
+namespace io {
+namespace {
+
+util::StatusOr<eval::GoCategory> ParseCategory(const std::string& s) {
+  if (s == "process") return eval::GoCategory::kBiologicalProcess;
+  if (s == "function") return eval::GoCategory::kMolecularFunction;
+  if (s == "component") return eval::GoCategory::kCellularComponent;
+  return util::Status::Corruption("unknown GO category: '" + s + "'");
+}
+
+const char* CategoryToken(eval::GoCategory c) {
+  switch (c) {
+    case eval::GoCategory::kBiologicalProcess:
+      return "process";
+    case eval::GoCategory::kMolecularFunction:
+      return "function";
+    case eval::GoCategory::kCellularComponent:
+      return "component";
+  }
+  return "?";
+}
+
+}  // namespace
+
+util::StatusOr<AnnotationLoadResult> ReadAnnotations(
+    std::istream& in, const matrix::ExpressionMatrix& data) {
+  AnnotationLoadResult result;
+  result.db = eval::GoAnnotationDb(data.num_genes());
+
+  std::unordered_map<std::string, int> gene_index;
+  for (int g = 0; g < data.num_genes(); ++g) {
+    gene_index.emplace(data.gene_name(g), g);
+  }
+  std::unordered_map<std::string, int> term_index;
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const std::vector<std::string> fields = util::Split(line, '\t');
+    if (fields.size() != 4) {
+      return util::Status::Corruption(util::StrFormat(
+          "line %d: expected 4 tab-separated fields, got %d", line_no,
+          static_cast<int>(fields.size())));
+    }
+    auto category = ParseCategory(std::string(util::Trim(fields[3])));
+    if (!category.ok()) {
+      return util::Status::Corruption(
+          util::StrFormat("line %d: %s", line_no,
+                          category.status().message().c_str()));
+    }
+
+    const auto gene_it = gene_index.find(fields[0]);
+    if (gene_it == gene_index.end()) {
+      ++result.unknown_genes_skipped;
+      continue;
+    }
+
+    int term;
+    const auto term_it = term_index.find(fields[1]);
+    if (term_it == term_index.end()) {
+      eval::GoTerm t;
+      t.id = fields[1];
+      t.name = fields[2];
+      t.category = *category;
+      term = result.db.AddTerm(std::move(t));
+      term_index.emplace(fields[1], term);
+    } else {
+      term = term_it->second;
+    }
+    REGCLUSTER_RETURN_IF_ERROR(result.db.Annotate(gene_it->second, term));
+    ++result.annotations_loaded;
+  }
+  return result;
+}
+
+util::StatusOr<AnnotationLoadResult> LoadAnnotations(
+    const std::string& path, const matrix::ExpressionMatrix& data) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open for reading: " + path);
+  return ReadAnnotations(in, data);
+}
+
+util::Status WriteAnnotations(const eval::GoAnnotationDb& db,
+                              const matrix::ExpressionMatrix& data,
+                              std::ostream& out) {
+  if (db.population_size() != data.num_genes()) {
+    return util::Status::InvalidArgument(
+        "annotation population does not match the matrix");
+  }
+  for (int g = 0; g < db.population_size(); ++g) {
+    for (int t : db.GeneTerms(g)) {
+      const eval::GoTerm& term = db.term(t);
+      out << data.gene_name(g) << '\t' << term.id << '\t' << term.name << '\t'
+          << CategoryToken(term.category) << '\n';
+    }
+  }
+  if (!out) return util::Status::IoError("stream write failed");
+  return util::Status::OK();
+}
+
+}  // namespace io
+}  // namespace regcluster

@@ -1,0 +1,48 @@
+// Loading GO-style annotation files into eval::GoAnnotationDb.
+//
+// Format: tab-separated, one annotation per line, '#' comments allowed:
+//
+//     <gene-name> <TAB> <term-id> <TAB> <term-name> <TAB> <category>
+//
+// with category one of "process", "function", "component".  Gene names are
+// resolved against the matrix's gene labels; unknown genes are reported in
+// the result (they are common in real annotation dumps) rather than being
+// an error.
+
+#ifndef REGCLUSTER_IO_ANNOTATION_IO_H_
+#define REGCLUSTER_IO_ANNOTATION_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "eval/go_enrichment.h"
+#include "matrix/expression_matrix.h"
+#include "util/status.h"
+
+namespace regcluster {
+namespace io {
+
+struct AnnotationLoadResult {
+  eval::GoAnnotationDb db{0};
+  int64_t annotations_loaded = 0;
+  int64_t unknown_genes_skipped = 0;
+};
+
+/// Parses the annotation stream against `data`'s gene names.
+util::StatusOr<AnnotationLoadResult> ReadAnnotations(
+    std::istream& in, const matrix::ExpressionMatrix& data);
+
+/// Loads from a file path.
+util::StatusOr<AnnotationLoadResult> LoadAnnotations(
+    const std::string& path, const matrix::ExpressionMatrix& data);
+
+/// Writes a database back out in the same format (used to archive the
+/// synthetic database so enrichment runs are reproducible from files).
+util::Status WriteAnnotations(const eval::GoAnnotationDb& db,
+                              const matrix::ExpressionMatrix& data,
+                              std::ostream& out);
+
+}  // namespace io
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_IO_ANNOTATION_IO_H_

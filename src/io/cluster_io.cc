@@ -1,0 +1,195 @@
+#include "io/cluster_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace regcluster {
+namespace io {
+
+util::Status WriteReport(const std::vector<core::RegCluster>& clusters,
+                         const matrix::ExpressionMatrix* data,
+                         std::ostream& out) {
+  if (data != nullptr) {
+    for (const core::RegCluster& c : clusters) {
+      for (int g : c.AllGenes()) {
+        if (g < 0 || g >= data->num_genes()) {
+          return util::Status::InvalidArgument(
+              util::StrFormat("gene %d outside the matrix", g));
+        }
+      }
+      for (int cond : c.chain) {
+        if (cond < 0 || cond >= data->num_conditions()) {
+          return util::Status::InvalidArgument(
+              util::StrFormat("condition %d outside the matrix", cond));
+        }
+      }
+    }
+  }
+  out << "# " << clusters.size() << " reg-cluster(s)\n";
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    const core::RegCluster& c = clusters[i];
+    out << "\ncluster " << i << ": " << c.num_genes() << " genes x "
+        << c.num_conditions() << " conditions\n";
+    out << "  chain:";
+    for (int cond : c.chain) {
+      if (data != nullptr) {
+        out << " " << data->condition_name(cond);
+      } else {
+        out << " c" << cond;
+      }
+    }
+    out << "\n  p-members (" << c.p_genes.size() << "):";
+    for (int g : c.p_genes) {
+      out << " " << (data != nullptr ? data->gene_name(g)
+                                     : util::StrFormat("g%d", g));
+    }
+    out << "\n  n-members (" << c.n_genes.size() << "):";
+    for (int g : c.n_genes) {
+      out << " " << (data != nullptr ? data->gene_name(g)
+                                     : util::StrFormat("g%d", g));
+    }
+    out << "\n";
+    if (data != nullptr) {
+      for (int g : c.p_genes) {
+        out << "    " << data->gene_name(g) << " (+):";
+        for (int cond : c.chain) {
+          out << util::StrFormat(" %8.3f", (*data)(g, cond));
+        }
+        out << "\n";
+      }
+      for (int g : c.n_genes) {
+        out << "    " << data->gene_name(g) << " (-):";
+        for (int cond : c.chain) {
+          out << util::StrFormat(" %8.3f", (*data)(g, cond));
+        }
+        out << "\n";
+      }
+    }
+  }
+  if (!out) return util::Status::IoError("stream write failed");
+  return util::Status::OK();
+}
+
+util::Status WriteClusters(const std::vector<core::RegCluster>& clusters,
+                           std::ostream& out) {
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    const core::RegCluster& c = clusters[i];
+    out << "cluster " << i << "\n";
+    out << "chain";
+    for (int cond : c.chain) out << " " << cond;
+    out << "\np";
+    for (int g : c.p_genes) out << " " << g;
+    out << "\nn";
+    for (int g : c.n_genes) out << " " << g;
+    out << "\n";
+  }
+  if (!out) return util::Status::IoError("stream write failed");
+  return util::Status::OK();
+}
+
+util::Status SaveClusters(const std::vector<core::RegCluster>& clusters,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot open for writing: " + path);
+  return WriteClusters(clusters, out);
+}
+
+util::StatusOr<std::vector<core::RegCluster>> ReadClusters(std::istream& in) {
+  std::vector<core::RegCluster> out;
+  std::string line;
+  int line_no = 0;
+  core::RegCluster current;
+  bool have_cluster = false;
+
+  auto flush = [&]() {
+    if (have_cluster) out.push_back(std::move(current));
+    current = core::RegCluster();
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view t = util::Trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    std::vector<std::string> fields = util::Split(std::string(t), ' ');
+    const std::string& tag = fields[0];
+    if (tag == "cluster") {
+      flush();
+      have_cluster = true;
+      continue;
+    }
+    if (!have_cluster) {
+      return util::Status::Corruption(
+          util::StrFormat("line %d: '%s' before any 'cluster' header",
+                          line_no, tag.c_str()));
+    }
+    std::vector<int>* target = nullptr;
+    if (tag == "chain") {
+      target = &current.chain;
+    } else if (tag == "p") {
+      target = &current.p_genes;
+    } else if (tag == "n") {
+      target = &current.n_genes;
+    } else {
+      return util::Status::Corruption(
+          util::StrFormat("line %d: unknown tag '%s'", line_no, tag.c_str()));
+    }
+    for (size_t i = 1; i < fields.size(); ++i) {
+      if (fields[i].empty()) continue;
+      auto v = util::ParseInt(fields[i]);
+      if (!v.ok()) {
+        return util::Status::Corruption(util::StrFormat(
+            "line %d: %s", line_no, v.status().message().c_str()));
+      }
+      target->push_back(static_cast<int>(*v));
+    }
+  }
+  flush();
+  return out;
+}
+
+util::StatusOr<std::vector<core::RegCluster>> LoadClusters(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open for reading: " + path);
+  return ReadClusters(in);
+}
+
+util::Status WriteProfileCsv(const core::RegCluster& cluster,
+                             const matrix::ExpressionMatrix& data,
+                             std::ostream& out) {
+  for (int g : cluster.AllGenes()) {
+    if (g < 0 || g >= data.num_genes()) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("gene %d outside the matrix", g));
+    }
+  }
+  for (int c : cluster.chain) {
+    if (c < 0 || c >= data.num_conditions()) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("condition %d outside the matrix", c));
+    }
+  }
+  out << "gene,member";
+  for (int c : cluster.chain) out << ',' << data.condition_name(c);
+  out << '\n';
+  auto write_rows = [&](const std::vector<int>& genes, const char* tag) {
+    for (int g : genes) {
+      out << data.gene_name(g) << ',' << tag;
+      for (int c : cluster.chain) {
+        out << ',' << util::StrFormat("%.10g", data(g, c));
+      }
+      out << '\n';
+    }
+  };
+  write_rows(cluster.p_genes, "p");
+  write_rows(cluster.n_genes, "n");
+  if (!out) return util::Status::IoError("stream write failed");
+  return util::Status::OK();
+}
+
+}  // namespace io
+}  // namespace regcluster

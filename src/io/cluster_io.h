@@ -1,0 +1,61 @@
+// Serialization of mined cluster sets.
+//
+// Two formats:
+//  * a human-readable text report (one block per cluster, with gene /
+//    condition names resolved against the source matrix), and
+//  * a line-oriented machine format that round-trips exactly:
+//
+//      cluster <id>
+//      chain <c1> <c2> ...
+//      p <g...>
+//      n <g...>
+//
+// The machine format is what the benchmark harnesses archive.
+
+#ifndef REGCLUSTER_IO_CLUSTER_IO_H_
+#define REGCLUSTER_IO_CLUSTER_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/bicluster.h"
+#include "matrix/expression_matrix.h"
+#include "util/status.h"
+
+namespace regcluster {
+namespace io {
+
+/// Writes the human-readable report.  `data` supplies names and values for
+/// the per-cluster profile dump; pass nullptr to omit values.
+util::Status WriteReport(const std::vector<core::RegCluster>& clusters,
+                         const matrix::ExpressionMatrix* data,
+                         std::ostream& out);
+
+/// Writes the machine format.
+util::Status WriteClusters(const std::vector<core::RegCluster>& clusters,
+                           std::ostream& out);
+
+/// Writes the machine format to a file.
+util::Status SaveClusters(const std::vector<core::RegCluster>& clusters,
+                          const std::string& path);
+
+/// Parses the machine format.
+util::StatusOr<std::vector<core::RegCluster>> ReadClusters(std::istream& in);
+
+/// Loads the machine format from a file.
+util::StatusOr<std::vector<core::RegCluster>> LoadClusters(
+    const std::string& path);
+
+/// Writes one cluster's expression profiles as CSV, ready for plotting the
+/// Figure-8 style chart: header `gene,member,<cond names along the chain>`,
+/// then one row per member gene ("member" is "p" or "n") with its values on
+/// the chain's conditions in chain order.
+util::Status WriteProfileCsv(const core::RegCluster& cluster,
+                             const matrix::ExpressionMatrix& data,
+                             std::ostream& out);
+
+}  // namespace io
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_IO_CLUSTER_IO_H_

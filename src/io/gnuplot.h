@@ -1,0 +1,60 @@
+// Figure emission: tabular .dat files plus gnuplot scripts.
+//
+// The benchmark harnesses print their tables to stdout; with an output
+// directory they also archive each figure as a (data, script) pair so the
+// paper's plots can be regenerated with stock gnuplot:
+//
+//     gnuplot fig7a.gp     # reads fig7a.dat, writes fig7a.png
+//
+// No gnuplot dependency at build or test time -- these are plain text
+// emitters.
+
+#ifndef REGCLUSTER_IO_GNUPLOT_H_
+#define REGCLUSTER_IO_GNUPLOT_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace regcluster {
+namespace io {
+
+/// One plotted line: a name and (x, y) points.
+struct DataSeries {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Plot-level options.
+struct PlotSpec {
+  std::string title;
+  std::string xlabel;
+  std::string ylabel;
+  bool logscale_y = false;
+  /// Style: "linespoints" (default), "lines", "points".
+  std::string style = "linespoints";
+};
+
+/// Writes the series as whitespace-separated columns: x, then one y column
+/// per series (rows are the union of x values; missing y printed as "?",
+/// which gnuplot skips).  Series names go into a header comment.
+util::Status WriteDatFile(const std::vector<DataSeries>& series,
+                          const std::string& path);
+
+/// Writes a gnuplot script plotting `dat_filename` (a relative name, so the
+/// pair is relocatable) to <path minus .gp>.png.
+util::Status WriteGnuplotScript(const PlotSpec& spec,
+                                const std::string& dat_filename,
+                                const std::vector<DataSeries>& series,
+                                const std::string& path);
+
+/// Convenience: writes <dir>/<stem>.dat and <dir>/<stem>.gp.
+util::Status WriteFigure(const PlotSpec& spec,
+                         const std::vector<DataSeries>& series,
+                         const std::string& dir, const std::string& stem);
+
+}  // namespace io
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_IO_GNUPLOT_H_

@@ -1,0 +1,116 @@
+#include "io/json_export.h"
+
+#include <ostream>
+
+#include "util/string_util.h"
+
+namespace regcluster {
+namespace io {
+namespace {
+
+void WriteIntArray(std::ostream& out, const std::vector<int>& v) {
+  out << '[';
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out << ',';
+    out << v[i];
+  }
+  out << ']';
+}
+
+void WriteNameArray(std::ostream& out, const matrix::ExpressionMatrix& data,
+                    const std::vector<int>& ids, bool genes) {
+  out << '[';
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out << ',';
+    const std::string& name =
+        genes ? data.gene_name(ids[i]) : data.condition_name(ids[i]);
+    out << '"' << JsonEscape(name) << '"';
+  }
+  out << ']';
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+util::Status WriteClustersJson(const std::vector<core::RegCluster>& clusters,
+                               const matrix::ExpressionMatrix* data,
+                               std::ostream& out) {
+  if (data != nullptr) {
+    for (const core::RegCluster& c : clusters) {
+      for (int g : c.AllGenes()) {
+        if (g < 0 || g >= data->num_genes()) {
+          return util::Status::InvalidArgument(
+              util::StrFormat("gene %d outside the matrix", g));
+        }
+      }
+      for (int cond : c.chain) {
+        if (cond < 0 || cond >= data->num_conditions()) {
+          return util::Status::InvalidArgument(
+              util::StrFormat("condition %d outside the matrix", cond));
+        }
+      }
+    }
+  }
+
+  out << "{\n  \"num_clusters\": " << clusters.size()
+      << ",\n  \"clusters\": [";
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    const core::RegCluster& c = clusters[i];
+    out << (i > 0 ? ",\n    {" : "\n    {");
+    out << "\"chain\": ";
+    WriteIntArray(out, c.chain);
+    if (data != nullptr) {
+      out << ", \"chain_names\": ";
+      WriteNameArray(out, *data, c.chain, /*genes=*/false);
+    }
+    out << ", \"p_genes\": ";
+    WriteIntArray(out, c.p_genes);
+    if (data != nullptr) {
+      out << ", \"p_gene_names\": ";
+      WriteNameArray(out, *data, c.p_genes, /*genes=*/true);
+    }
+    out << ", \"n_genes\": ";
+    WriteIntArray(out, c.n_genes);
+    if (data != nullptr) {
+      out << ", \"n_gene_names\": ";
+      WriteNameArray(out, *data, c.n_genes, /*genes=*/true);
+    }
+    out << '}';
+  }
+  out << "\n  ]\n}\n";
+  if (!out) return util::Status::IoError("stream write failed");
+  return util::Status::OK();
+}
+
+}  // namespace io
+}  // namespace regcluster

@@ -1,0 +1,45 @@
+// JSON export of mined cluster sets -- for notebooks, web viewers and any
+// downstream tool that does not want to parse the line format.
+//
+// Output schema (stable):
+//   {
+//     "num_clusters": N,
+//     "clusters": [
+//       {
+//         "chain": [ids...],
+//         "chain_names": ["..."],      // only when a matrix is supplied
+//         "p_genes": [ids...], "p_gene_names": [...],
+//         "n_genes": [ids...], "n_gene_names": [...]
+//       }, ...
+//     ]
+//   }
+//
+// Writing only -- the machine line format (cluster_io.h) is the round-trip
+// archive format.
+
+#ifndef REGCLUSTER_IO_JSON_EXPORT_H_
+#define REGCLUSTER_IO_JSON_EXPORT_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/bicluster.h"
+#include "matrix/expression_matrix.h"
+#include "util/status.h"
+
+namespace regcluster {
+namespace io {
+
+/// Writes the JSON document.  `data` (optional) supplies names; ids must be
+/// valid for it when given.
+util::Status WriteClustersJson(const std::vector<core::RegCluster>& clusters,
+                               const matrix::ExpressionMatrix* data,
+                               std::ostream& out);
+
+/// Escapes a string for inclusion in a JSON string literal.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace io
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_IO_JSON_EXPORT_H_

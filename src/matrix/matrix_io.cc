@@ -1,0 +1,156 @@
+#include "matrix/matrix_io.h"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace regcluster {
+namespace matrix {
+
+util::StatusOr<ExpressionMatrix> ReadMatrix(std::istream& in,
+                                            const TextFormat& format) {
+  if (format.skip_annotation_columns < 0 || format.skip_leading_rows < 0) {
+    return util::Status::InvalidArgument("negative skip counts");
+  }
+  std::vector<std::string> condition_names;
+  std::vector<std::string> gene_names;
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  bool header_pending = format.has_header;
+  int rows_to_skip = format.skip_leading_rows;
+  int line_no = 0;
+  int expected_fields = -1;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+
+    std::vector<std::string> fields = util::Split(line, format.delimiter);
+    if (header_pending) {
+      header_pending = false;
+      const size_t first = (format.has_gene_names ? 1u : 0u) +
+                           static_cast<size_t>(format.skip_annotation_columns);
+      if (fields.size() < first) {
+        return util::Status::Corruption(
+            util::StrFormat("line %d: header narrower than the skipped "
+                            "annotation columns", line_no));
+      }
+      condition_names.assign(fields.begin() + static_cast<long>(first),
+                             fields.end());
+      continue;
+    }
+    if (rows_to_skip > 0) {
+      --rows_to_skip;
+      continue;
+    }
+
+    if (expected_fields < 0) {
+      expected_fields = static_cast<int>(fields.size());
+    } else if (static_cast<int>(fields.size()) != expected_fields) {
+      return util::Status::Corruption(util::StrFormat(
+          "line %d: expected %d fields, got %d", line_no, expected_fields,
+          static_cast<int>(fields.size())));
+    }
+
+    size_t first = 0;
+    if (format.has_gene_names) {
+      if (fields.empty()) {
+        return util::Status::Corruption(
+            util::StrFormat("line %d: empty row", line_no));
+      }
+      gene_names.push_back(fields[0]);
+      first = 1;
+    }
+    first += static_cast<size_t>(format.skip_annotation_columns);
+    if (fields.size() < first) {
+      return util::Status::Corruption(util::StrFormat(
+          "line %d: row narrower than the skipped annotation columns",
+          line_no));
+    }
+    std::vector<double> row;
+    row.reserve(fields.size() - first);
+    for (size_t i = first; i < fields.size(); ++i) {
+      auto v = util::ParseDouble(fields[i]);
+      if (!v.ok()) {
+        return util::Status::Corruption(util::StrFormat(
+            "line %d, field %d: %s", line_no, static_cast<int>(i),
+            v.status().message().c_str()));
+      }
+      row.push_back(*v);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  auto m = ExpressionMatrix::FromRows(rows);
+  if (!m.ok()) return m.status();
+
+  if (format.has_header) {
+    if (static_cast<int>(condition_names.size()) != m->num_conditions()) {
+      return util::Status::Corruption(util::StrFormat(
+          "header has %d condition names but rows have %d values",
+          static_cast<int>(condition_names.size()), m->num_conditions()));
+    }
+    REGCLUSTER_RETURN_IF_ERROR(m->SetConditionNames(condition_names));
+  }
+  if (format.has_gene_names) {
+    REGCLUSTER_RETURN_IF_ERROR(m->SetGeneNames(gene_names));
+  }
+  return m;
+}
+
+util::StatusOr<ExpressionMatrix> ReadMatrixFromString(
+    const std::string& text, const TextFormat& format) {
+  std::istringstream in(text);
+  return ReadMatrix(in, format);
+}
+
+util::StatusOr<ExpressionMatrix> LoadMatrix(const std::string& path,
+                                            const TextFormat& format) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open for reading: " + path);
+  return ReadMatrix(in, format);
+}
+
+util::Status WriteMatrix(const ExpressionMatrix& m, std::ostream& out,
+                         const TextFormat& format) {
+  const char d = format.delimiter;
+  if (format.has_header) {
+    if (format.has_gene_names) out << "gene";
+    for (int j = 0; j < m.num_conditions(); ++j) {
+      if (j > 0 || format.has_gene_names) out << d;
+      out << m.condition_name(j);
+    }
+    out << "\n";
+  }
+  for (int i = 0; i < m.num_genes(); ++i) {
+    if (format.has_gene_names) out << m.gene_name(i);
+    for (int j = 0; j < m.num_conditions(); ++j) {
+      if (j > 0 || format.has_gene_names) out << d;
+      const double v = m(i, j);
+      if (std::isnan(v)) {
+        out << "NA";
+      } else {
+        out << util::StrFormat("%.10g", v);
+      }
+    }
+    out << "\n";
+  }
+  if (!out) return util::Status::IoError("stream write failed");
+  return util::Status::OK();
+}
+
+util::Status SaveMatrix(const ExpressionMatrix& m, const std::string& path,
+                        const TextFormat& format) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot open for writing: " + path);
+  return WriteMatrix(m, out, format);
+}
+
+}  // namespace matrix
+}  // namespace regcluster

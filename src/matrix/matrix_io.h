@@ -1,0 +1,62 @@
+// Reading and writing expression matrices as delimited text.
+//
+// The on-disk format matches the usual microarray distribution format (and
+// the Church-lab yeast file the paper uses): a header line
+//
+//     <id-col-name> <TAB> cond1 <TAB> cond2 ...
+//
+// followed by one line per gene: gene name, then one value per condition.
+// Fields "NA", "NaN", "?" and empty fields parse as missing (NaN).  Lines
+// starting with '#' are comments.
+
+#ifndef REGCLUSTER_MATRIX_MATRIX_IO_H_
+#define REGCLUSTER_MATRIX_MATRIX_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/expression_matrix.h"
+#include "util/status.h"
+
+namespace regcluster {
+namespace matrix {
+
+/// Options controlling delimited-text parsing.
+struct TextFormat {
+  /// Field delimiter ('\t' for TSV, ',' for CSV).
+  char delimiter = '\t';
+  /// Whether the first line is a header with condition names.
+  bool has_header = true;
+  /// Whether the first column holds gene names.
+  bool has_gene_names = true;
+  /// Annotation columns to skip between the gene name and the first value
+  /// (the Church-lab yeast distribution has NAME and GWEIGHT columns).
+  int skip_annotation_columns = 0;
+  /// Data rows to skip after the header (e.g. an EWEIGHT row).
+  int skip_leading_rows = 0;
+};
+
+/// Parses a matrix from an input stream.
+util::StatusOr<ExpressionMatrix> ReadMatrix(std::istream& in,
+                                            const TextFormat& format = {});
+
+/// Parses a matrix from a string (convenience for tests).
+util::StatusOr<ExpressionMatrix> ReadMatrixFromString(
+    const std::string& text, const TextFormat& format = {});
+
+/// Loads a matrix from a file path.
+util::StatusOr<ExpressionMatrix> LoadMatrix(const std::string& path,
+                                            const TextFormat& format = {});
+
+/// Writes a matrix to a stream in the same format.
+util::Status WriteMatrix(const ExpressionMatrix& m, std::ostream& out,
+                         const TextFormat& format = {});
+
+/// Saves a matrix to a file path.
+util::Status SaveMatrix(const ExpressionMatrix& m, const std::string& path,
+                        const TextFormat& format = {});
+
+}  // namespace matrix
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_MATRIX_MATRIX_IO_H_

@@ -1,0 +1,137 @@
+#include "matrix/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace regcluster {
+namespace matrix {
+namespace {
+
+SeriesStats FromValues(const std::vector<double>& values, int missing) {
+  SeriesStats s;
+  s.count = static_cast<int>(values.size());
+  s.missing = missing;
+  if (values.empty()) return s;
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  s.mean = util::Mean(values);
+  s.stddev = util::StdDev(values);
+  return s;
+}
+
+}  // namespace
+
+SeriesStats GeneStats(const ExpressionMatrix& m, int gene) {
+  std::vector<double> values;
+  int missing = 0;
+  for (int c = 0; c < m.num_conditions(); ++c) {
+    const double v = m(gene, c);
+    if (std::isnan(v)) {
+      ++missing;
+    } else {
+      values.push_back(v);
+    }
+  }
+  return FromValues(values, missing);
+}
+
+SeriesStats ConditionStats(const ExpressionMatrix& m, int cond) {
+  std::vector<double> values;
+  int missing = 0;
+  for (int g = 0; g < m.num_genes(); ++g) {
+    const double v = m(g, cond);
+    if (std::isnan(v)) {
+      ++missing;
+    } else {
+      values.push_back(v);
+    }
+  }
+  return FromValues(values, missing);
+}
+
+MatrixStats Summarize(const ExpressionMatrix& m) {
+  MatrixStats s;
+  s.num_genes = m.num_genes();
+  s.num_conditions = m.num_conditions();
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  int64_t count = 0;
+  for (int g = 0; g < m.num_genes(); ++g) {
+    const SeriesStats row = GeneStats(m, g);
+    s.missing_cells += row.missing;
+    s.genes_with_missing += row.missing > 0;
+    if (row.count > 0) {
+      s.constant_genes += row.min == row.max;
+      s.min = std::min(s.min, row.min);
+      s.max = std::max(s.max, row.max);
+      total += row.mean * row.count;
+      count += row.count;
+    } else {
+      ++s.constant_genes;  // all-missing row has no range either
+    }
+  }
+  if (count == 0) {
+    s.min = s.max = 0.0;
+  } else {
+    s.mean = total / static_cast<double>(count);
+  }
+  return s;
+}
+
+util::Status WriteStatsReport(const ExpressionMatrix& m, std::ostream& out,
+                              int worst) {
+  const MatrixStats s = Summarize(m);
+  out << util::StrFormat(
+      "matrix: %d genes x %d conditions\n"
+      "values: min=%.4g max=%.4g mean=%.4g\n"
+      "missing: %lld cells in %d genes\n"
+      "constant (unminable) genes: %d\n",
+      s.num_genes, s.num_conditions, s.min, s.max, s.mean,
+      static_cast<long long>(s.missing_cells), s.genes_with_missing,
+      s.constant_genes);
+
+  out << "\nper-condition:\n";
+  out << util::StrFormat("%-16s %8s %8s %10s %10s %10s %10s\n", "condition",
+                         "n", "missing", "min", "max", "mean", "stddev");
+  for (int c = 0; c < m.num_conditions(); ++c) {
+    const SeriesStats cs = ConditionStats(m, c);
+    out << util::StrFormat("%-16s %8d %8d %10.4g %10.4g %10.4g %10.4g\n",
+                           m.condition_name(c).c_str(), cs.count, cs.missing,
+                           cs.min, cs.max, cs.mean, cs.stddev);
+  }
+
+  if (worst > 0 && m.num_genes() > 0) {
+    struct Flat {
+      double range;
+      int gene;
+    };
+    std::vector<Flat> flats;
+    flats.reserve(static_cast<size_t>(m.num_genes()));
+    for (int g = 0; g < m.num_genes(); ++g) {
+      const SeriesStats gs = GeneStats(m, g);
+      flats.push_back(Flat{gs.count > 0 ? gs.max - gs.min : 0.0, g});
+    }
+    std::sort(flats.begin(), flats.end(), [](const Flat& a, const Flat& b) {
+      if (a.range != b.range) return a.range < b.range;
+      return a.gene < b.gene;
+    });
+    out << util::StrFormat("\nflattest %d genes (smallest dynamic range):\n",
+                           worst);
+    for (int i = 0; i < worst && i < static_cast<int>(flats.size()); ++i) {
+      out << util::StrFormat("  %-16s range=%.4g\n",
+                             m.gene_name(flats[static_cast<size_t>(i)].gene).c_str(),
+                             flats[static_cast<size_t>(i)].range);
+    }
+  }
+  if (!out) return util::Status::IoError("stream write failed");
+  return util::Status::OK();
+}
+
+}  // namespace matrix
+}  // namespace regcluster

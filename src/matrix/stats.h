@@ -1,0 +1,58 @@
+// Descriptive statistics of an expression matrix -- the data-QC step before
+// mining (spotting dead arrays, saturated conditions, missing-value
+// hotspots, genes with no dynamic range).
+
+#ifndef REGCLUSTER_MATRIX_STATS_H_
+#define REGCLUSTER_MATRIX_STATS_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "matrix/expression_matrix.h"
+#include "util/status.h"
+
+namespace regcluster {
+namespace matrix {
+
+/// Five-number-ish summary of one row or column, NaN-aware.
+struct SeriesStats {
+  int count = 0;    ///< non-missing values
+  int missing = 0;  ///< NaN cells
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Stats of one gene's profile.
+SeriesStats GeneStats(const ExpressionMatrix& m, int gene);
+
+/// Stats of one condition's column.
+SeriesStats ConditionStats(const ExpressionMatrix& m, int cond);
+
+/// Whole-matrix summary.
+struct MatrixStats {
+  int num_genes = 0;
+  int num_conditions = 0;
+  int64_t missing_cells = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  /// Genes whose non-missing values are all identical (unminable: their
+  /// regulation threshold collapses to zero range).
+  int constant_genes = 0;
+  /// Genes with at least one missing cell.
+  int genes_with_missing = 0;
+};
+
+MatrixStats Summarize(const ExpressionMatrix& m);
+
+/// Prints a QC report: the matrix summary plus a per-condition table (one
+/// line each) and the `worst` flattest genes by range.
+util::Status WriteStatsReport(const ExpressionMatrix& m, std::ostream& out,
+                              int worst = 5);
+
+}  // namespace matrix
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_MATRIX_STATS_H_

@@ -1,0 +1,218 @@
+#include "matrix/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace regcluster {
+namespace matrix {
+
+util::StatusOr<ExpressionMatrix> LogTransform(const ExpressionMatrix& m) {
+  ExpressionMatrix out = m;
+  for (int i = 0; i < m.num_genes(); ++i) {
+    for (int j = 0; j < m.num_conditions(); ++j) {
+      const double v = m(i, j);
+      if (std::isnan(v)) continue;
+      if (v <= 0.0) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "LogTransform: non-positive value %g at (%d, %d)", v, i, j));
+      }
+      out(i, j) = std::log(v);
+    }
+  }
+  return out;
+}
+
+util::StatusOr<ExpressionMatrix> ExpTransform(const ExpressionMatrix& m) {
+  ExpressionMatrix out = m;
+  for (int i = 0; i < m.num_genes(); ++i) {
+    for (int j = 0; j < m.num_conditions(); ++j) {
+      const double v = m(i, j);
+      if (std::isnan(v)) continue;
+      const double e = std::exp(v);
+      if (std::isinf(e)) {
+        return util::Status::OutOfRange(util::StrFormat(
+            "ExpTransform: exp(%g) overflows at (%d, %d)", v, i, j));
+      }
+      out(i, j) = e;
+    }
+  }
+  return out;
+}
+
+ExpressionMatrix Shift(const ExpressionMatrix& m, double offset) {
+  ExpressionMatrix out = m;
+  for (int i = 0; i < m.num_genes(); ++i) {
+    for (int j = 0; j < m.num_conditions(); ++j) out(i, j) = m(i, j) + offset;
+  }
+  return out;
+}
+
+ExpressionMatrix Scale(const ExpressionMatrix& m, double factor) {
+  ExpressionMatrix out = m;
+  for (int i = 0; i < m.num_genes(); ++i) {
+    for (int j = 0; j < m.num_conditions(); ++j) out(i, j) = m(i, j) * factor;
+  }
+  return out;
+}
+
+ExpressionMatrix ZScoreRows(const ExpressionMatrix& m) {
+  ExpressionMatrix out = m;
+  for (int i = 0; i < m.num_genes(); ++i) {
+    std::vector<double> row;
+    row.reserve(static_cast<size_t>(m.num_conditions()));
+    for (int j = 0; j < m.num_conditions(); ++j) {
+      if (!std::isnan(m(i, j))) row.push_back(m(i, j));
+    }
+    const double mean = util::Mean(row);
+    const double sd = util::StdDev(row);
+    for (int j = 0; j < m.num_conditions(); ++j) {
+      if (std::isnan(m(i, j))) continue;
+      out(i, j) = sd > 0.0 ? (m(i, j) - mean) / sd : 0.0;
+    }
+  }
+  return out;
+}
+
+ExpressionMatrix ImputeRowMean(const ExpressionMatrix& m) {
+  ExpressionMatrix out = m;
+  for (int i = 0; i < m.num_genes(); ++i) {
+    std::vector<double> present;
+    present.reserve(static_cast<size_t>(m.num_conditions()));
+    for (int j = 0; j < m.num_conditions(); ++j) {
+      if (!std::isnan(m(i, j))) present.push_back(m(i, j));
+    }
+    const double mean = util::Mean(present);
+    for (int j = 0; j < m.num_conditions(); ++j) {
+      if (std::isnan(m(i, j))) out(i, j) = mean;
+    }
+  }
+  return out;
+}
+
+util::StatusOr<ExpressionMatrix> ImputeKnn(const ExpressionMatrix& m, int k) {
+  if (k < 1) return util::Status::InvalidArgument("k must be >= 1");
+  const int rows = m.num_genes();
+  const int cols = m.num_conditions();
+  ExpressionMatrix out = m;
+
+  // Genes that need imputation.
+  std::vector<int> incomplete;
+  for (int g = 0; g < rows; ++g) {
+    for (int c = 0; c < cols; ++c) {
+      if (std::isnan(m(g, c))) {
+        incomplete.push_back(g);
+        break;
+      }
+    }
+  }
+  if (incomplete.empty()) return out;
+
+  struct Neighbor {
+    double distance;
+    int gene;
+  };
+  for (int g : incomplete) {
+    // Mean-normalized Euclidean distance over co-observed conditions.
+    std::vector<Neighbor> neighbors;
+    neighbors.reserve(static_cast<size_t>(rows));
+    for (int other = 0; other < rows; ++other) {
+      if (other == g) continue;
+      double ss = 0.0;
+      int shared = 0;
+      for (int c = 0; c < cols; ++c) {
+        const double a = m(g, c);
+        const double b = m(other, c);
+        if (std::isnan(a) || std::isnan(b)) continue;
+        ss += (a - b) * (a - b);
+        ++shared;
+      }
+      if (shared == 0) continue;
+      neighbors.push_back(
+          Neighbor{std::sqrt(ss / shared), other});
+    }
+    std::sort(neighbors.begin(), neighbors.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.gene < b.gene;
+              });
+
+    for (int c = 0; c < cols; ++c) {
+      if (!std::isnan(m(g, c))) continue;
+      double weight_total = 0.0, value_total = 0.0;
+      int used = 0;
+      for (const Neighbor& nb : neighbors) {
+        const double v = m(nb.gene, c);
+        if (std::isnan(v)) continue;
+        const double w = 1.0 / (nb.distance + 1e-9);
+        weight_total += w;
+        value_total += w * v;
+        if (++used == k) break;
+      }
+      if (used > 0) {
+        out(g, c) = value_total / weight_total;
+      } else {
+        // No neighbour observes this condition: row-mean fallback.
+        std::vector<double> present;
+        for (int cc = 0; cc < cols; ++cc) {
+          if (!std::isnan(m(g, cc))) present.push_back(m(g, cc));
+        }
+        out(g, c) = util::Mean(present);
+      }
+    }
+  }
+  return out;
+}
+
+util::StatusOr<ExpressionMatrix> QuantileNormalizeColumns(
+    const ExpressionMatrix& m) {
+  if (m.HasMissingValues()) {
+    return util::Status::FailedPrecondition(
+        "quantile normalization requires a complete matrix; impute first");
+  }
+  const int rows = m.num_genes();
+  const int cols = m.num_conditions();
+  if (rows == 0 || cols == 0) return m;
+
+  // Rank each column; the target distribution is the mean of the sorted
+  // columns.
+  std::vector<std::vector<int>> order(
+      static_cast<size_t>(cols), std::vector<int>(static_cast<size_t>(rows)));
+  std::vector<double> target(static_cast<size_t>(rows), 0.0);
+  for (int c = 0; c < cols; ++c) {
+    std::vector<int>& idx = order[static_cast<size_t>(c)];
+    for (int g = 0; g < rows; ++g) idx[static_cast<size_t>(g)] = g;
+    std::sort(idx.begin(), idx.end(), [&](int a, int b) {
+      if (m(a, c) != m(b, c)) return m(a, c) < m(b, c);
+      return a < b;
+    });
+    for (int r = 0; r < rows; ++r) {
+      target[static_cast<size_t>(r)] += m(idx[static_cast<size_t>(r)], c);
+    }
+  }
+  for (double& t : target) t /= static_cast<double>(cols);
+
+  ExpressionMatrix out = m;
+  for (int c = 0; c < cols; ++c) {
+    const std::vector<int>& idx = order[static_cast<size_t>(c)];
+    for (int r = 0; r < rows; ++r) {
+      out(idx[static_cast<size_t>(r)], c) = target[static_cast<size_t>(r)];
+    }
+  }
+  return out;
+}
+
+int64_t CountMissing(const ExpressionMatrix& m) {
+  int64_t n = 0;
+  for (int i = 0; i < m.num_genes(); ++i) {
+    for (int j = 0; j < m.num_conditions(); ++j) {
+      if (std::isnan(m(i, j))) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace matrix
+}  // namespace regcluster

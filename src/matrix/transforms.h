@@ -1,0 +1,63 @@
+// Whole-matrix preprocessing transforms.
+//
+// The paper (Section 1.1, Eq. 1-2) discusses the global log / exp transforms
+// that pCluster and TriCluster rely on to turn scaling into shifting and
+// vice versa; these are provided here both for the baseline implementations
+// and so users can replicate those pipelines.  Missing-value imputation is
+// also provided because real microarray matrices (like the yeast benchmark)
+// contain NaNs which no miner in this library accepts.
+
+#ifndef REGCLUSTER_MATRIX_TRANSFORMS_H_
+#define REGCLUSTER_MATRIX_TRANSFORMS_H_
+
+#include "matrix/expression_matrix.h"
+#include "util/status.h"
+
+namespace regcluster {
+namespace matrix {
+
+/// Returns log(x) applied cell-wise.  Fails (InvalidArgument) if any cell is
+/// <= 0, since the pure-scaling -> pure-shifting reduction (Eq. 1) is only
+/// defined for positive matrices.
+util::StatusOr<ExpressionMatrix> LogTransform(const ExpressionMatrix& m);
+
+/// Returns exp(x) applied cell-wise (Eq. 2, shifting -> scaling reduction).
+/// Fails if any cell is large enough to overflow.
+util::StatusOr<ExpressionMatrix> ExpTransform(const ExpressionMatrix& m);
+
+/// Adds `offset` to every cell.
+ExpressionMatrix Shift(const ExpressionMatrix& m, double offset);
+
+/// Multiplies every cell by `factor`.
+ExpressionMatrix Scale(const ExpressionMatrix& m, double factor);
+
+/// Z-score normalizes each gene (row): (x - mean) / stddev.  Constant rows
+/// become all-zero rows.
+ExpressionMatrix ZScoreRows(const ExpressionMatrix& m);
+
+/// Replaces NaN cells with the mean of the non-missing values in the same
+/// row (row-mean imputation; the standard simple choice for microarrays).
+/// All-NaN rows become all-zero rows.
+ExpressionMatrix ImputeRowMean(const ExpressionMatrix& m);
+
+/// KNN imputation (Troyanskaya et al. 2001, the standard for microarrays):
+/// each missing cell is filled with the inverse-distance-weighted average of
+/// the k nearest genes (Euclidean over commonly observed conditions,
+/// normalized by overlap count) that observe the cell.  Cells with no usable
+/// neighbour fall back to the row mean.  Fails for k < 1.
+util::StatusOr<ExpressionMatrix> ImputeKnn(const ExpressionMatrix& m, int k);
+
+/// Quantile normalization across conditions (columns): every column is
+/// forced to share the same empirical distribution (the mean of the sorted
+/// columns).  The standard cross-array normalization before mining.  Fails
+/// if the matrix has missing values (impute first).
+util::StatusOr<ExpressionMatrix> QuantileNormalizeColumns(
+    const ExpressionMatrix& m);
+
+/// Counts NaN cells.
+int64_t CountMissing(const ExpressionMatrix& m);
+
+}  // namespace matrix
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_MATRIX_TRANSFORMS_H_

@@ -1,0 +1,220 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/prng.h"
+#include "util/string_util.h"
+
+namespace regcluster {
+namespace synth {
+
+core::Bicluster ImplantedCluster::Footprint() const {
+  core::Bicluster b;
+  b.genes.reserve(p_genes.size() + n_genes.size());
+  std::merge(p_genes.begin(), p_genes.end(), n_genes.begin(), n_genes.end(),
+             std::back_inserter(b.genes));
+  b.conditions = chain;
+  std::sort(b.conditions.begin(), b.conditions.end());
+  return b;
+}
+
+core::RegCluster ImplantedCluster::ToRegCluster() const {
+  core::RegCluster c;
+  c.chain = chain;
+  c.p_genes = p_genes;
+  c.n_genes = n_genes;
+  return c;
+}
+
+namespace {
+
+/// Step fractions for a chain with `steps` steps: each fraction >= min_ratio,
+/// fractions sum to 1, remainder spread by uniform weights.
+std::vector<double> SampleStepFractions(util::Prng* prng, int steps,
+                                        double min_ratio) {
+  std::vector<double> w(static_cast<size_t>(steps));
+  double wsum = 0.0;
+  for (double& x : w) {
+    x = prng->Uniform(0.05, 1.0);
+    wsum += x;
+  }
+  const double spare = 1.0 - min_ratio * steps;
+  std::vector<double> out(static_cast<size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    out[static_cast<size_t>(i)] =
+        min_ratio + spare * w[static_cast<size_t>(i)] / wsum;
+  }
+  return out;
+}
+
+}  // namespace
+
+util::StatusOr<SyntheticDataset> GenerateSynthetic(
+    const SyntheticConfig& config) {
+  if (config.num_genes < 1 || config.num_conditions < 2) {
+    return util::Status::InvalidArgument("dataset too small");
+  }
+  if (config.num_clusters < 0) {
+    return util::Status::InvalidArgument("num_clusters must be >= 0");
+  }
+  if (config.min_step_ratio <= 0.0 || config.min_step_ratio >= 0.5) {
+    return util::Status::InvalidArgument(
+        "min_step_ratio must be in (0, 0.5)");
+  }
+  if (config.negative_fraction < 0.0 || config.negative_fraction > 1.0) {
+    return util::Status::InvalidArgument("negative_fraction must be in [0,1]");
+  }
+  if (config.gene_reuse_fraction < 0.0 || config.gene_reuse_fraction > 1.0) {
+    return util::Status::InvalidArgument(
+        "gene_reuse_fraction must be in [0,1]");
+  }
+  if (config.background_lo >= config.background_hi) {
+    return util::Status::InvalidArgument("empty background range");
+  }
+
+  // Longest chain whose steps can all exceed min_step_ratio of the range.
+  const int max_steps =
+      static_cast<int>(std::floor(0.95 / config.min_step_ratio));
+  const int max_chain = std::min(max_steps + 1, config.num_conditions);
+  if (config.avg_cluster_conditions < 2) {
+    return util::Status::InvalidArgument("avg_cluster_conditions must be >= 2");
+  }
+
+  util::Prng prng(config.seed);
+  SyntheticDataset ds;
+  ds.data = matrix::ExpressionMatrix(config.num_genes, config.num_conditions);
+  for (int g = 0; g < config.num_genes; ++g) {
+    for (int c = 0; c < config.num_conditions; ++c) {
+      ds.data(g, c) = prng.Uniform(config.background_lo, config.background_hi);
+    }
+  }
+
+  // Fresh genes are dealt from a shuffled pool; with gene_reuse_fraction > 0
+  // some members are drawn from already-implanted genes whose existing
+  // implant conditions do not collide with the new cluster's.
+  std::vector<int> gene_pool(static_cast<size_t>(config.num_genes));
+  for (int g = 0; g < config.num_genes; ++g) {
+    gene_pool[static_cast<size_t>(g)] = g;
+  }
+  prng.Shuffle(&gene_pool);
+  size_t next_gene = 0;
+  // Per-gene mask of conditions already owned by an implant.
+  std::vector<std::vector<char>> used_conditions(
+      static_cast<size_t>(config.num_genes),
+      std::vector<char>(static_cast<size_t>(config.num_conditions), 0));
+  std::vector<int> reusable;  // genes used by at least one implant
+
+  const double avg_genes =
+      config.avg_cluster_genes_fraction * config.num_genes;
+  for (int k = 0; k < config.num_clusters; ++k) {
+    // Cluster shape.
+    int n_conds = static_cast<int>(prng.UniformInt(
+        config.avg_cluster_conditions - 1, config.avg_cluster_conditions + 1));
+    n_conds = std::clamp(n_conds, 2, max_chain);
+    int n_genes = static_cast<int>(std::lround(
+        prng.Uniform(0.75 * avg_genes, 1.25 * avg_genes)));
+    n_genes = std::max(n_genes, 2);
+
+    ImplantedCluster implant;
+    // Conditions: a random subset, in random chain order.
+    std::vector<int> conds = prng.SampleWithoutReplacement(
+        config.num_conditions, n_conds);
+    prng.Shuffle(&conds);
+    implant.chain = conds;
+
+    // Member selection: reused genes first (condition-compatible), then
+    // fresh genes from the pool.
+    std::vector<int> member_genes;
+    std::vector<char> is_reused;
+    if (config.gene_reuse_fraction > 0.0 && !reusable.empty()) {
+      const int want_reused = static_cast<int>(
+          std::lround(config.gene_reuse_fraction * n_genes));
+      for (int g : reusable) {
+        if (static_cast<int>(member_genes.size()) >= want_reused) break;
+        bool clash = false;
+        for (int c : implant.chain) {
+          if (used_conditions[static_cast<size_t>(g)][static_cast<size_t>(c)]) {
+            clash = true;
+            break;
+          }
+        }
+        if (!clash) {
+          member_genes.push_back(g);
+          is_reused.push_back(1);
+        }
+      }
+    }
+    while (static_cast<int>(member_genes.size()) < n_genes) {
+      if (next_gene >= gene_pool.size()) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "implants need more than %d genes; lower num_clusters or "
+            "avg_cluster_genes_fraction",
+            config.num_genes));
+      }
+      member_genes.push_back(gene_pool[next_gene++]);
+      is_reused.push_back(0);
+    }
+
+    // Shared relative step pattern; cumulative fractions in [0, 1].
+    const std::vector<double> steps =
+        SampleStepFractions(&prng, n_conds - 1, config.min_step_ratio);
+    std::vector<double> cum(static_cast<size_t>(n_conds), 0.0);
+    for (int i = 1; i < n_conds; ++i) {
+      cum[static_cast<size_t>(i)] =
+          cum[static_cast<size_t>(i) - 1] + steps[static_cast<size_t>(i) - 1];
+    }
+
+    const int n_negative = static_cast<int>(
+        std::lround(config.negative_fraction * n_genes));
+    std::vector<char> in_chain(static_cast<size_t>(config.num_conditions), 0);
+    for (int c : implant.chain) in_chain[static_cast<size_t>(c)] = 1;
+    for (size_t gi = 0; gi < member_genes.size(); ++gi) {
+      const int gene = member_genes[gi];
+      const bool negative = static_cast<int>(gi) < n_negative;
+      (negative ? implant.n_genes : implant.p_genes).push_back(gene);
+
+      double lo, span;
+      if (is_reused[gi]) {
+        // Reuse the gene's existing expression range exactly so the earlier
+        // implant's gamma_i guarantee is untouched.
+        const auto [row_lo, row_hi] = ds.data.RowRange(gene);
+        lo = row_lo;
+        span = std::max(row_hi - row_lo, 1e-6);
+      } else {
+        // The implant must dominate the gene's final expression range so
+        // that gamma_i = gamma * range is measured against the implant
+        // span.  Find the background extremes on the untouched cells.
+        double bg_lo = config.background_hi, bg_hi = config.background_lo;
+        for (int c = 0; c < config.num_conditions; ++c) {
+          if (in_chain[static_cast<size_t>(c)]) continue;
+          bg_lo = std::min(bg_lo, ds.data(gene, c));
+          bg_hi = std::max(bg_hi, ds.data(gene, c));
+        }
+        const double bg_span = std::max(bg_hi - bg_lo, 1e-6);
+        lo = bg_lo - prng.Uniform(0.05, 0.3) * bg_span;
+        span = bg_span * prng.Uniform(1.5, 3.0);
+      }
+      const double min_step = span * config.min_step_ratio;
+      for (int i = 0; i < n_conds; ++i) {
+        const double frac = cum[static_cast<size_t>(i)];
+        double v = negative ? (lo + span) - span * frac : lo + span * frac;
+        if (config.noise_fraction > 0.0 && !is_reused[gi]) {
+          v += prng.Gaussian(0.0, config.noise_fraction * min_step);
+        }
+        ds.data(gene, implant.chain[static_cast<size_t>(i)]) = v;
+      }
+      for (int c : implant.chain) {
+        used_conditions[static_cast<size_t>(gene)][static_cast<size_t>(c)] = 1;
+      }
+      if (!is_reused[gi]) reusable.push_back(gene);
+    }
+    std::sort(implant.p_genes.begin(), implant.p_genes.end());
+    std::sort(implant.n_genes.begin(), implant.n_genes.end());
+    ds.implants.push_back(std::move(implant));
+  }
+  return ds;
+}
+
+}  // namespace synth
+}  // namespace regcluster

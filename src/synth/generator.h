@@ -1,0 +1,98 @@
+// Synthetic dataset generator (Section 5 of the paper).
+//
+// "The synthetic dataset is initialized with random values ranging from 0 to
+//  10.  Then a number of #clus perfect shifting-and-scaling clusters of
+//  average dimensionality 6 and average number of genes (including both
+//  p-member genes and n-member genes) equal to 0.01 * #g are embedded into
+//  the data, which are reg-clusters with parameter settings epsilon = 0 and
+//  gamma = 0.15."
+//
+// Implanted clusters are perfect by construction: all member genes of a
+// cluster are affine transforms (positive scaling for p-members, negative
+// for n-members) of a shared step pattern whose smallest relative step
+// exceeds `min_step_ratio` of the gene's final expression range, so every
+// adjacent chain pair is regulated at any gamma < min_step_ratio and the
+// coherence spread is exactly zero.  Optional Gaussian noise can be added on
+// implant cells for recovery experiments.
+
+#ifndef REGCLUSTER_SYNTH_GENERATOR_H_
+#define REGCLUSTER_SYNTH_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bicluster.h"
+#include "matrix/expression_matrix.h"
+#include "util/status.h"
+
+namespace regcluster {
+namespace synth {
+
+/// Parameters of the Section-5 data generator.
+struct SyntheticConfig {
+  int num_genes = 3000;       ///< #g
+  int num_conditions = 30;    ///< #cond
+  int num_clusters = 30;      ///< #clus
+  /// Average number of conditions per implanted cluster ("dimensionality").
+  /// Actual sizes are uniform in [avg-1, avg+1], clamped to what
+  /// min_step_ratio allows (see below).
+  int avg_cluster_conditions = 6;
+  /// Average genes per implanted cluster as a fraction of num_genes
+  /// (p-members + n-members); actual sizes uniform within +-25%.
+  double avg_cluster_genes_fraction = 0.01;
+  /// Fraction of each cluster's genes that are negatively correlated.
+  double negative_fraction = 0.3;
+  /// Background cells are uniform in [background_lo, background_hi].
+  double background_lo = 0.0;
+  double background_hi = 10.0;
+  /// Every adjacent step of an implanted chain exceeds this fraction of the
+  /// owning gene's expression range, i.e. implants are valid reg-clusters
+  /// for any gamma < min_step_ratio (the paper embeds at gamma = 0.15).
+  /// Chains are capped at floor(0.95 / min_step_ratio) steps so the
+  /// guarantee is satisfiable.
+  double min_step_ratio = 0.15;
+  /// Standard deviation of additive Gaussian noise on implant cells,
+  /// expressed as a fraction of the gene's smallest chain step (0 = the
+  /// paper's perfect clusters).
+  double noise_fraction = 0.0;
+  /// Fraction of each cluster's genes drawn from genes already used by
+  /// earlier implants (producing overlapping ground-truth clusters, like
+  /// the 0-85% overlaps of Section 5.2).  A gene is only reused when the
+  /// new cluster's condition set is disjoint from its existing implant
+  /// conditions, and the reused gene's new implant reuses its existing
+  /// expression range so earlier implants stay valid.  0 = disjoint genes.
+  double gene_reuse_fraction = 0.0;
+  /// PRNG seed; every run with the same config is identical.
+  uint64_t seed = 42;
+};
+
+/// Ground-truth record of one implanted cluster.
+struct ImplantedCluster {
+  /// Conditions ordered as the regulation chain (p-members increase).
+  std::vector<int> chain;
+  std::vector<int> p_genes;  ///< sorted
+  std::vector<int> n_genes;  ///< sorted
+
+  /// The unordered footprint, for match-scoring against mined output.
+  core::Bicluster Footprint() const;
+  /// As a ground-truth RegCluster.
+  core::RegCluster ToRegCluster() const;
+};
+
+/// A generated dataset plus its ground truth.
+struct SyntheticDataset {
+  matrix::ExpressionMatrix data;
+  std::vector<ImplantedCluster> implants;
+};
+
+/// Generates a dataset per `config`.  Fails (InvalidArgument) when the
+/// requested implants cannot fit (gene demand exceeds num_genes, cluster
+/// dimensionality exceeds num_conditions, or parameters are out of range).
+/// Implant gene sets are pairwise disjoint; condition sets may overlap.
+util::StatusOr<SyntheticDataset> GenerateSynthetic(
+    const SyntheticConfig& config);
+
+}  // namespace synth
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_SYNTH_GENERATOR_H_

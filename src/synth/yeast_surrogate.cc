@@ -1,0 +1,146 @@
+#include "synth/yeast_surrogate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/prng.h"
+#include "util/string_util.h"
+
+namespace regcluster {
+namespace synth {
+
+util::StatusOr<SyntheticDataset> MakeYeastSurrogate(
+    const YeastSurrogateConfig& config) {
+  if (config.num_genes < 1 || config.num_conditions < 2) {
+    return util::Status::InvalidArgument("dataset too small");
+  }
+  if (config.avg_module_conditions < 2 ||
+      config.avg_module_conditions > config.num_conditions) {
+    return util::Status::InvalidArgument("bad avg_module_conditions");
+  }
+
+  util::Prng prng(config.seed);
+  SyntheticDataset ds;
+  ds.data =
+      matrix::ExpressionMatrix(config.num_genes, config.num_conditions);
+  if (config.background == YeastBackground::kLogNormal) {
+    for (int g = 0; g < config.num_genes; ++g) {
+      for (int c = 0; c < config.num_conditions; ++c) {
+        const double v = std::exp(prng.Gaussian(4.0, 0.6));
+        ds.data(g, c) = std::clamp(v, 1.0, 600.0);
+      }
+    }
+  } else {
+    // Cell-cycle-like series: baseline + amplitude * sin(2*pi*t/period +
+    // phase) + noise, all positive.
+    for (int g = 0; g < config.num_genes; ++g) {
+      const double baseline = std::exp(prng.Gaussian(4.0, 0.5));
+      const double amplitude = baseline * prng.Uniform(0.1, 0.6);
+      const double period = prng.Uniform(6.0, 12.0);  // conditions per cycle
+      const double phase = prng.Uniform(0.0, 2.0 * M_PI);
+      for (int c = 0; c < config.num_conditions; ++c) {
+        const double wave =
+            amplitude * std::sin(2.0 * M_PI * c / period + phase);
+        const double noise = prng.Gaussian(0.0, 0.05 * baseline);
+        ds.data(g, c) = std::clamp(baseline + wave + noise, 1.0, 600.0);
+      }
+    }
+  }
+  std::vector<std::string> gene_names;
+  gene_names.reserve(static_cast<size_t>(config.num_genes));
+  for (int g = 0; g < config.num_genes; ++g) {
+    gene_names.push_back(util::StrFormat("ORF%04d", g));
+  }
+  REGCLUSTER_RETURN_IF_ERROR(ds.data.SetGeneNames(std::move(gene_names)));
+  std::vector<std::string> cond_names;
+  cond_names.reserve(static_cast<size_t>(config.num_conditions));
+  for (int c = 0; c < config.num_conditions; ++c) {
+    cond_names.push_back(util::StrFormat("cdc15_%d", 10 * (c + 1)));
+  }
+  REGCLUSTER_RETURN_IF_ERROR(ds.data.SetConditionNames(std::move(cond_names)));
+
+  // Implant modules with the generator's machinery, re-done locally because
+  // the background here is per-row heavy-tailed rather than uniform.
+  std::vector<int> gene_pool(static_cast<size_t>(config.num_genes));
+  for (int g = 0; g < config.num_genes; ++g) {
+    gene_pool[static_cast<size_t>(g)] = g;
+  }
+  prng.Shuffle(&gene_pool);
+  size_t next_gene = 0;
+
+  const double min_step_ratio = 0.12;
+  for (int k = 0; k < config.num_modules; ++k) {
+    int n_conds = static_cast<int>(
+        prng.UniformInt(config.avg_module_conditions - 1,
+                        config.avg_module_conditions + 1));
+    n_conds = std::clamp(n_conds, 2, config.num_conditions);
+    n_conds = std::min(
+        n_conds, 1 + static_cast<int>(std::floor(0.95 / min_step_ratio)));
+    int n_genes = static_cast<int>(std::lround(prng.Uniform(
+        0.75 * config.avg_module_genes, 1.25 * config.avg_module_genes)));
+    n_genes = std::max(n_genes, 2);
+    if (next_gene + static_cast<size_t>(n_genes) > gene_pool.size()) {
+      return util::Status::InvalidArgument(
+          "yeast surrogate: module gene demand exceeds gene count");
+    }
+
+    ImplantedCluster implant;
+    std::vector<int> conds =
+        prng.SampleWithoutReplacement(config.num_conditions, n_conds);
+    prng.Shuffle(&conds);
+    implant.chain = conds;
+
+    // Shared step pattern.
+    std::vector<double> steps(static_cast<size_t>(n_conds - 1));
+    {
+      double wsum = 0.0;
+      for (double& x : steps) {
+        x = prng.Uniform(0.05, 1.0);
+        wsum += x;
+      }
+      const double spare = 1.0 - min_step_ratio * (n_conds - 1);
+      for (double& x : steps) x = min_step_ratio + spare * x / wsum;
+    }
+    std::vector<double> cum(static_cast<size_t>(n_conds), 0.0);
+    for (int i = 1; i < n_conds; ++i) {
+      cum[static_cast<size_t>(i)] =
+          cum[static_cast<size_t>(i - 1)] + steps[static_cast<size_t>(i - 1)];
+    }
+
+    const int n_negative = static_cast<int>(
+        std::lround(config.negative_fraction * n_genes));
+    std::vector<char> in_chain(static_cast<size_t>(config.num_conditions), 0);
+    for (int c : implant.chain) in_chain[static_cast<size_t>(c)] = 1;
+    for (int gi = 0; gi < n_genes; ++gi) {
+      const int gene = gene_pool[next_gene++];
+      const bool negative = gi < n_negative;
+      (negative ? implant.n_genes : implant.p_genes).push_back(gene);
+
+      double bg_lo = 600.0, bg_hi = 1.0;
+      for (int c = 0; c < config.num_conditions; ++c) {
+        if (in_chain[static_cast<size_t>(c)]) continue;
+        bg_lo = std::min(bg_lo, ds.data(gene, c));
+        bg_hi = std::max(bg_hi, ds.data(gene, c));
+      }
+      const double bg_span = std::max(bg_hi - bg_lo, 1.0);
+      const double lo = bg_lo - prng.Uniform(0.05, 0.3) * bg_span;
+      const double span = bg_span * prng.Uniform(1.5, 3.0);
+      const double min_step = span * min_step_ratio;
+      for (int i = 0; i < n_conds; ++i) {
+        const double frac = cum[static_cast<size_t>(i)];
+        double v = negative ? (lo + span) - span * frac : lo + span * frac;
+        if (config.noise_fraction > 0.0) {
+          v += prng.Gaussian(0.0, config.noise_fraction * min_step);
+        }
+        ds.data(gene, implant.chain[static_cast<size_t>(i)]) = v;
+      }
+    }
+    std::sort(implant.p_genes.begin(), implant.p_genes.end());
+    std::sort(implant.n_genes.begin(), implant.n_genes.end());
+    ds.implants.push_back(std::move(implant));
+  }
+  return ds;
+}
+
+}  // namespace synth
+}  // namespace regcluster

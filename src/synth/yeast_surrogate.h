@@ -1,0 +1,62 @@
+// Surrogate for the benchmark yeast dataset of Section 5.2.
+//
+// The paper evaluates on the Tavazoie/Church 2884-gene x 17-condition yeast
+// cell-cycle matrix (arep.med.harvard.edu/biclustering).  That file cannot
+// be fetched in this offline reproduction, so this module generates a
+// surrogate with the same shape and a comparable structure: a heavy-tailed
+// (log-normal) background resembling raw expression intensities, plus a set
+// of implanted noisy shifting-and-scaling co-regulation modules (most with
+// negatively correlated members, mirroring Figure 8).  The substitution is
+// documented in DESIGN.md; every code path exercised by the paper's yeast
+// experiment (real-scaled values, mixed p/n clusters, overlapping output) is
+// exercised here as well.
+
+#ifndef REGCLUSTER_SYNTH_YEAST_SURROGATE_H_
+#define REGCLUSTER_SYNTH_YEAST_SURROGATE_H_
+
+#include <cstdint>
+
+#include "synth/generator.h"
+
+namespace regcluster {
+namespace synth {
+
+/// Parameters of the yeast-shaped surrogate.
+/// Background process for the surrogate's non-implant cells.
+enum class YeastBackground : int {
+  /// Independent log-normal intensities per cell (raw hybridization-like).
+  kLogNormal = 0,
+  /// Cell-cycle-like time series: per gene a baseline plus a sinusoid with
+  /// random amplitude, period and phase over the condition axis, plus
+  /// noise.  Mirrors the temporal structure of the cdc15 experiment the
+  /// paper's dataset comes from.
+  kCellCycle = 1,
+};
+
+struct YeastSurrogateConfig {
+  int num_genes = 2884;
+  int num_conditions = 17;
+  YeastBackground background = YeastBackground::kLogNormal;
+  /// Number of implanted co-regulation modules.
+  int num_modules = 25;
+  /// Genes per module (approximately; +-25%).
+  int avg_module_genes = 24;
+  /// Conditions per module (the paper's reported clusters have 6).
+  int avg_module_conditions = 6;
+  /// Fraction of negatively correlated genes per module.
+  double negative_fraction = 0.35;
+  /// Relative per-cell noise on implants (fraction of the smallest step).
+  double noise_fraction = 0.05;
+  uint64_t seed = 1999;  ///< Tavazoie et al. publication year.
+};
+
+/// Generates the surrogate dataset with ground truth.  The background is
+/// log-normal per cell: exp(N(mu, sigma)) with mu = 4, sigma = 0.6, clipped
+/// to [1, 600], roughly matching raw hybridization intensities.
+util::StatusOr<SyntheticDataset> MakeYeastSurrogate(
+    const YeastSurrogateConfig& config = {});
+
+}  // namespace synth
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_SYNTH_YEAST_SURROGATE_H_

@@ -1,0 +1,47 @@
+// Minimal leveled logging to stderr.
+//
+// Usage:  REGCLUSTER_LOG(kInfo) << "mined " << n << " clusters";
+// The default threshold is kWarning so library users are not spammed;
+// benchmarks raise it to kInfo.
+
+#ifndef REGCLUSTER_UTIL_LOGGING_H_
+#define REGCLUSTER_UTIL_LOGGING_H_
+
+#include <sstream>
+
+namespace regcluster {
+namespace util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that will actually be emitted.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel GetLogLevel();
+
+/// One log statement; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace util
+}  // namespace regcluster
+
+#define REGCLUSTER_LOG(severity)                                     \
+  ::regcluster::util::LogMessage(                                    \
+      ::regcluster::util::LogLevel::severity, __FILE__, __LINE__)    \
+      .stream()
+
+#endif  // REGCLUSTER_UTIL_LOGGING_H_

@@ -1,0 +1,111 @@
+#include "util/math_util.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace regcluster {
+namespace util {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  const size_t n = v.size();
+  if (n < 2) return 0.0;
+  const double m = Mean(v);
+  double ss = 0.0;
+  for (double x : v) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(n - 1);
+}
+
+double StdDev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double LogFactorial(int64_t n) {
+  assert(n >= 0);
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogBinomial(int64_t n, int64_t k) {
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double HypergeomPmf(int64_t k, int64_t population, int64_t successes,
+                    int64_t draws) {
+  const double log_p = LogBinomial(successes, k) +
+                       LogBinomial(population - successes, draws - k) -
+                       LogBinomial(population, draws);
+  if (std::isinf(log_p)) return 0.0;
+  return std::exp(log_p);
+}
+
+double HypergeomUpperTail(int64_t k, int64_t population, int64_t successes,
+                          int64_t draws) {
+  if (k <= 0) return 1.0;
+  const int64_t k_max = std::min(successes, draws);
+  if (k > k_max) return 0.0;
+  // Sum in log space from the mode outwards would be fancier; the direct sum
+  // over at most min(successes, draws) terms is exact enough and cheap for
+  // genome-scale populations (tens of thousands).
+  double total = 0.0;
+  for (int64_t i = k; i <= k_max; ++i) {
+    total += HypergeomPmf(i, population, successes, draws);
+  }
+  return std::min(1.0, total);
+}
+
+bool FitShiftScale(const std::vector<double>& x, const std::vector<double>& y,
+                   double* s1, double* s2) {
+  assert(x.size() == y.size());
+  const size_t n = x.size();
+  if (n < 2) return false;
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+  }
+  if (sxx == 0.0) return false;
+  *s1 = sxy / sxx;
+  *s2 = my - *s1 * mx;
+  return true;
+}
+
+double MaxAbsResidual(const std::vector<double>& x,
+                      const std::vector<double>& y, double s1, double s2) {
+  assert(x.size() == y.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    worst = std::max(worst, std::fabs(y[i] - (s1 * x[i] + s2)));
+  }
+  return worst;
+}
+
+}  // namespace util
+}  // namespace regcluster

@@ -1,0 +1,57 @@
+// Numerics shared across modules: descriptive statistics, correlation, and
+// log-space combinatorics for the hypergeometric enrichment test.
+
+#ifndef REGCLUSTER_UTIL_MATH_UTIL_H_
+#define REGCLUSTER_UTIL_MATH_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace regcluster {
+namespace util {
+
+/// Arithmetic mean of `v`.  Returns 0 for an empty vector.
+double Mean(const std::vector<double>& v);
+
+/// Unbiased sample variance (n-1 denominator).  Returns 0 for n < 2.
+double Variance(const std::vector<double>& v);
+
+/// Sample standard deviation.
+double StdDev(const std::vector<double>& v);
+
+/// Pearson correlation of two equal-length vectors; 0 if either is constant.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// log(n!) via lgamma.  Requires n >= 0.
+double LogFactorial(int64_t n);
+
+/// log(C(n, k)).  Returns -inf when k < 0 or k > n.
+double LogBinomial(int64_t n, int64_t k);
+
+/// Hypergeometric point probability P(X = k) of drawing k annotated items in
+/// a sample of size `draws` from a population of size `population` containing
+/// `successes` annotated items.
+double HypergeomPmf(int64_t k, int64_t population, int64_t successes,
+                    int64_t draws);
+
+/// Upper-tail hypergeometric p-value P(X >= k) -- the enrichment statistic
+/// computed by GO term finders.  Computed by summing pmf terms in log space;
+/// exact for the population sizes used in gene-expression analysis.
+double HypergeomUpperTail(int64_t k, int64_t population, int64_t successes,
+                          int64_t draws);
+
+/// Least-squares fit of y = s1 * x + s2.  Writes the scaling factor to *s1
+/// and the shifting factor to *s2; returns false when x is constant (fit is
+/// degenerate) in which case outputs are untouched.
+bool FitShiftScale(const std::vector<double>& x, const std::vector<double>& y,
+                   double* s1, double* s2);
+
+/// Maximum absolute residual of y against the fitted line s1*x + s2.
+double MaxAbsResidual(const std::vector<double>& x,
+                      const std::vector<double>& y, double s1, double s2);
+
+}  // namespace util
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_UTIL_MATH_UTIL_H_

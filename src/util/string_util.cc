@@ -1,0 +1,100 @@
+#include "util/string_util.h"
+
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace regcluster {
+namespace util {
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  const char* ws = " \t\r\n\v\f";
+  const size_t b = s.find_first_not_of(ws);
+  if (b == std::string_view::npos) return std::string_view();
+  const size_t e = s.find_last_not_of(ws);
+  return s.substr(b, e - b + 1);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+StatusOr<double> ParseDouble(std::string_view s) {
+  const std::string_view t = Trim(s);
+  if (t.empty() || t == "NA" || t == "NaN" || t == "nan" || t == "?") {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const std::string buf(t);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not a number: '" + buf + "'");
+  }
+  if (errno == ERANGE) {
+    return Status::OutOfRange("number out of range: '" + buf + "'");
+  }
+  return v;
+}
+
+StatusOr<int64_t> ParseInt(std::string_view s) {
+  const std::string_view t = Trim(s);
+  if (t.empty()) return Status::InvalidArgument("empty integer field");
+  const std::string buf(t);
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (end == buf.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not an integer: '" + buf + "'");
+  }
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of range: '" + buf + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), static_cast<size_t>(n) + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace util
+}  // namespace regcluster

@@ -1,0 +1,41 @@
+// Small string helpers used by the TSV/CSV readers and output formatters.
+
+#ifndef REGCLUSTER_UTIL_STRING_UTIL_H_
+#define REGCLUSTER_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace regcluster {
+namespace util {
+
+/// Splits `s` on `delim`, keeping empty fields.  "a,,b" -> {"a", "", "b"}.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parses a double, rejecting trailing garbage.  Accepts "NA", "NaN", "nan",
+/// "?" and the empty string as missing values, returned as quiet NaN.
+StatusOr<double> ParseDouble(std::string_view s);
+
+/// Parses a non-negative integer.
+StatusOr<int64_t> ParseInt(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace util
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_UTIL_STRING_UTIL_H_

@@ -1,0 +1,35 @@
+// Wall-clock timing for the benchmark harnesses.
+
+#ifndef REGCLUSTER_UTIL_TIMER_H_
+#define REGCLUSTER_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace regcluster {
+namespace util {
+
+/// A simple stopwatch measuring wall time.  Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace util
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_UTIL_TIMER_H_

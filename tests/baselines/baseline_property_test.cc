@@ -1,0 +1,172 @@
+// Property sweeps over the pattern-based baselines, including the paper's
+// Equation 1 / Equation 2 duality: a pure-scaling dataset becomes
+// pCluster-minable after a log transform (Eq. 1) and a pure-shifting
+// dataset becomes scaling-minable after an exp transform (Eq. 2) -- while
+// shifting-AND-scaling data is reachable through neither transform, which
+// is the paper's central argument for the reg-cluster model.
+
+#include <gtest/gtest.h>
+
+#include "baselines/pcluster.h"
+#include "baselines/scaling_cluster.h"
+#include "core/miner.h"
+#include "eval/match.h"
+#include "matrix/transforms.h"
+#include "util/prng.h"
+
+namespace regcluster {
+namespace baselines {
+namespace {
+
+/// 60x12 noise with a 8x5 implanted block of the requested kind.
+struct Planted {
+  matrix::ExpressionMatrix data;
+  core::Bicluster truth;
+};
+
+enum class Kind { kShift, kScale, kShiftScale };
+
+Planted Plant(Kind kind, uint64_t seed) {
+  util::Prng prng(seed);
+  Planted out;
+  out.data = matrix::ExpressionMatrix(60, 12);
+  for (int g = 0; g < 60; ++g) {
+    for (int c = 0; c < 12; ++c) {
+      out.data(g, c) = prng.Uniform(1.0, 10.0);  // positive (logs must work)
+    }
+  }
+  const std::vector<double> base{1.0, 2.0, 3.5, 5.0, 7.0};
+  for (int g = 0; g < 8; ++g) {
+    double s1 = 1.0, s2 = 0.0;
+    if (kind == Kind::kShift) s2 = prng.Uniform(0.5, 5.0);
+    if (kind == Kind::kScale) s1 = prng.Uniform(0.5, 2.0);
+    if (kind == Kind::kShiftScale) {
+      s1 = prng.Uniform(0.5, 2.0);
+      s2 = prng.Uniform(0.5, 5.0);
+    }
+    for (int c = 0; c < 5; ++c) {
+      out.data(g, c) = s1 * base[static_cast<size_t>(c)] + s2;
+    }
+    out.truth.genes.push_back(g);
+  }
+  for (int c = 0; c < 5; ++c) out.truth.conditions.push_back(c);
+  return out;
+}
+
+double PClusterRecovery(const matrix::ExpressionMatrix& data,
+                        const core::Bicluster& truth) {
+  PClusterOptions o;
+  o.delta = 0.02;
+  o.min_genes = 5;
+  o.min_conditions = 4;
+  o.max_nodes = 300000;
+  auto found = PClusterMiner(data, o).Mine();
+  if (!found.ok()) return 0.0;
+  return eval::CellMatchScore({truth}, *found);
+}
+
+double ScalingRecovery(const matrix::ExpressionMatrix& data,
+                       const core::Bicluster& truth) {
+  ScalingClusterOptions o;
+  o.epsilon = 0.01;
+  o.min_genes = 5;
+  o.min_conditions = 4;
+  o.max_nodes = 300000;
+  auto found = ScalingClusterMiner(data, o).Mine();
+  if (!found.ok()) return 0.0;
+  return eval::CellMatchScore({truth}, *found);
+}
+
+TEST(Equation1Test, LogTransformMakesScalingMinableByPCluster) {
+  const Planted planted = Plant(Kind::kScale, 71);
+  // Raw: pCluster misses the scaling block...
+  EXPECT_LT(PClusterRecovery(planted.data, planted.truth), 0.3);
+  // ...after the global log transform it recovers it (Eq. 1).
+  auto logged = matrix::LogTransform(planted.data);
+  ASSERT_TRUE(logged.ok());
+  EXPECT_GT(PClusterRecovery(*logged, planted.truth), 0.8);
+}
+
+TEST(Equation2Test, ExpTransformMakesShiftingMinableByScalingMiner) {
+  const Planted planted = Plant(Kind::kShift, 72);
+  EXPECT_LT(ScalingRecovery(planted.data, planted.truth), 0.3);
+  auto exped = matrix::ExpTransform(planted.data);
+  ASSERT_TRUE(exped.ok());
+  EXPECT_GT(ScalingRecovery(*exped, planted.truth), 0.8);
+}
+
+TEST(ShiftScaleGapTest, NeitherTransformRescuesTheBaselines) {
+  // The Section 1.1 punchline: shifting-AND-scaling blocks stay invisible
+  // to the pure models in raw, log and exp space -- but not to reg-cluster.
+  const Planted planted = Plant(Kind::kShiftScale, 73);
+  EXPECT_LT(PClusterRecovery(planted.data, planted.truth), 0.3);
+  EXPECT_LT(ScalingRecovery(planted.data, planted.truth), 0.3);
+  auto logged = matrix::LogTransform(planted.data);
+  ASSERT_TRUE(logged.ok());
+  EXPECT_LT(PClusterRecovery(*logged, planted.truth), 0.3);
+  auto exped = matrix::ExpTransform(planted.data);
+  ASSERT_TRUE(exped.ok());
+  EXPECT_LT(ScalingRecovery(*exped, planted.truth), 0.3);
+
+  core::MinerOptions o;
+  o.min_genes = 5;
+  o.min_conditions = 4;
+  o.gamma = 0.1;
+  o.epsilon = 0.02;
+  o.remove_dominated = true;
+  auto found = core::RegClusterMiner(planted.data, o).Mine();
+  ASSERT_TRUE(found.ok());
+  std::vector<core::Bicluster> feet;
+  for (const auto& c : *found) feet.push_back(core::ToBicluster(c));
+  EXPECT_GE(eval::CellMatchScore({planted.truth}, feet), 0.6);
+}
+
+// Verification sweep: every emitted baseline cluster satisfies its model
+// definition across a threshold grid.
+class BaselineVerificationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BaselineVerificationSweep, PClusterOutputsAlwaysVerify) {
+  const double delta = GetParam();
+  util::Prng prng(200 + static_cast<uint64_t>(delta * 100));
+  matrix::ExpressionMatrix data(25, 8);
+  for (int g = 0; g < 25; ++g) {
+    for (int c = 0; c < 8; ++c) data(g, c) = prng.Uniform(0, 10);
+  }
+  PClusterOptions o;
+  o.delta = delta;
+  o.min_genes = 2;
+  o.min_conditions = 2;
+  o.max_nodes = 100000;
+  auto found = PClusterMiner(data, o).Mine();
+  ASSERT_TRUE(found.ok());
+  for (const core::Bicluster& b : *found) {
+    ASSERT_TRUE(IsDeltaPCluster(data, b.genes, b.conditions, delta));
+  }
+}
+
+TEST_P(BaselineVerificationSweep, ScalingOutputsAlwaysVerify) {
+  const double eps = GetParam();
+  util::Prng prng(300 + static_cast<uint64_t>(eps * 100));
+  matrix::ExpressionMatrix data(25, 8);
+  for (int g = 0; g < 25; ++g) {
+    for (int c = 0; c < 8; ++c) data(g, c) = prng.Uniform(0.5, 10);
+  }
+  ScalingClusterOptions o;
+  o.epsilon = eps;
+  o.min_genes = 2;
+  o.min_conditions = 2;
+  o.max_nodes = 100000;
+  auto found = ScalingClusterMiner(data, o).Mine();
+  ASSERT_TRUE(found.ok());
+  for (const core::Bicluster& b : *found) {
+    ASSERT_TRUE(
+        IsScalingCluster(data, b.genes, b.conditions, eps, o.zero_tolerance));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, BaselineVerificationSweep,
+                         ::testing::Values(0.05, 0.2, 0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace baselines
+}  // namespace regcluster

@@ -1,0 +1,114 @@
+#include "baselines/floc.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/cheng_church.h"
+#include "eval/match.h"
+#include "util/prng.h"
+
+namespace regcluster {
+namespace baselines {
+namespace {
+
+matrix::ExpressionMatrix NoiseWithAdditiveBlock(int genes, int conds,
+                                                int block_genes,
+                                                int block_conds,
+                                                uint64_t seed) {
+  util::Prng prng(seed);
+  matrix::ExpressionMatrix m(genes, conds);
+  for (int g = 0; g < genes; ++g) {
+    for (int c = 0; c < conds; ++c) m(g, c) = prng.Uniform(0, 10);
+  }
+  for (int g = 0; g < block_genes; ++g) {
+    for (int c = 0; c < block_conds; ++c) m(g, c) = 2.0 * g + 1.5 * c;
+  }
+  return m;
+}
+
+TEST(FlocTest, ReducesMeanResidue) {
+  const auto data = NoiseWithAdditiveBlock(40, 12, 8, 6, 5);
+  FlocOptions o;
+  o.num_clusters = 4;
+  FlocStats stats;
+  auto out = MineFloc(data, o, &stats);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->size(), 4u);
+  EXPECT_GT(stats.sweeps, 0);
+  EXPECT_LT(stats.final_mean_residue, stats.initial_mean_residue);
+}
+
+TEST(FlocTest, RespectsMinimumSizes) {
+  const auto data = NoiseWithAdditiveBlock(30, 10, 6, 5, 6);
+  FlocOptions o;
+  o.num_clusters = 3;
+  o.min_genes = 3;
+  o.min_conditions = 3;
+  auto out = MineFloc(data, o);
+  ASSERT_TRUE(out.ok());
+  for (const core::Bicluster& b : *out) {
+    EXPECT_GE(b.num_genes(), 3);
+    EXPECT_GE(b.num_conditions(), 3);
+  }
+}
+
+TEST(FlocTest, FindsTheAdditiveBlock) {
+  const auto data = NoiseWithAdditiveBlock(40, 12, 10, 6, 7);
+  FlocOptions o;
+  o.num_clusters = 5;
+  o.max_sweeps = 80;
+  auto out = MineFloc(data, o);
+  ASSERT_TRUE(out.ok());
+  core::Bicluster truth;
+  for (int g = 0; g < 10; ++g) truth.genes.push_back(g);
+  for (int c = 0; c < 6; ++c) truth.conditions.push_back(c);
+  double best = 0.0;
+  for (const core::Bicluster& b : *out) {
+    best = std::max(best, eval::CellJaccard(b, truth));
+  }
+  // Move-based local search from a random start is approximate (this is
+  // the known weakness of the delta-cluster/FLOC family); demand clearly
+  // more overlap than a random 10x6 placement (~0.05 expected Jaccard).
+  EXPECT_GT(best, 0.25);
+}
+
+TEST(FlocTest, FinalClustersHaveLowResidue) {
+  const auto data = NoiseWithAdditiveBlock(30, 10, 8, 5, 8);
+  FlocOptions o;
+  o.num_clusters = 3;
+  auto out = MineFloc(data, o);
+  ASSERT_TRUE(out.ok());
+  for (const core::Bicluster& b : *out) {
+    // Background uniform noise has MSR ~ variance ~ 8.3; converged clusters
+    // must be well below it.
+    EXPECT_LT(MeanSquaredResidue(data, b.genes, b.conditions), 6.0);
+  }
+}
+
+TEST(FlocTest, DeterministicForSeed) {
+  const auto data = NoiseWithAdditiveBlock(25, 8, 5, 4, 9);
+  FlocOptions o;
+  o.num_clusters = 3;
+  auto a = MineFloc(data, o);
+  auto b = MineFloc(data, o);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) EXPECT_EQ((*a)[i], (*b)[i]);
+}
+
+TEST(FlocTest, RejectsBadOptions) {
+  const auto data = NoiseWithAdditiveBlock(10, 5, 2, 2, 10);
+  FlocOptions o;
+  o.num_clusters = 0;
+  EXPECT_FALSE(MineFloc(data, o).ok());
+  o = FlocOptions();
+  o.min_genes = 100;
+  EXPECT_FALSE(MineFloc(data, o).ok());
+  o = FlocOptions();
+  o.init_row_probability = 0.0;
+  EXPECT_FALSE(MineFloc(data, o).ok());
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace regcluster

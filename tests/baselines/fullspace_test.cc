@@ -1,0 +1,176 @@
+#include "baselines/fullspace.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "eval/match.h"
+#include "synth/generator.h"
+#include "util/prng.h"
+
+namespace regcluster {
+namespace baselines {
+namespace {
+
+/// Three well-separated full-space groups of 5 genes each.
+matrix::ExpressionMatrix ThreeBlobs() {
+  util::Prng prng(4);
+  matrix::ExpressionMatrix m(15, 8);
+  for (int g = 0; g < 15; ++g) {
+    const double center = (g / 5) * 50.0;
+    for (int c = 0; c < 8; ++c) {
+      m(g, c) = center + c + prng.Uniform(-0.5, 0.5);
+    }
+  }
+  return m;
+}
+
+TEST(KMeansTest, SeparatesCleanBlobs) {
+  const auto data = ThreeBlobs();
+  KMeansOptions o;
+  o.k = 3;
+  o.zscore_rows = false;  // the blobs differ by offset, keep it
+  auto result = KMeansRows(data, o);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Every blob must map to a single cluster id.
+  for (int blob = 0; blob < 3; ++blob) {
+    std::set<int> ids;
+    for (int g = blob * 5; g < (blob + 1) * 5; ++g) {
+      ids.insert(result->assignment[static_cast<size_t>(g)]);
+    }
+    EXPECT_EQ(ids.size(), 1u) << "blob " << blob;
+  }
+}
+
+TEST(KMeansTest, ClusterListsPartitionGenes) {
+  const auto data = ThreeBlobs();
+  KMeansOptions o;
+  o.k = 4;
+  auto result = KMeansRows(data, o);
+  ASSERT_TRUE(result.ok());
+  int total = 0;
+  std::set<int> seen;
+  for (const auto& cluster : result->clusters) {
+    for (int g : cluster) {
+      EXPECT_TRUE(seen.insert(g).second);
+      ++total;
+    }
+    EXPECT_TRUE(std::is_sorted(cluster.begin(), cluster.end()));
+  }
+  EXPECT_EQ(total, data.num_genes());
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  const auto data = ThreeBlobs();
+  KMeansOptions o;
+  o.k = 3;
+  auto a = KMeansRows(data, o);
+  auto b = KMeansRows(data, o);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+}
+
+TEST(KMeansTest, RejectsBadOptions) {
+  const auto data = ThreeBlobs();
+  KMeansOptions o;
+  o.k = 0;
+  EXPECT_FALSE(KMeansRows(data, o).ok());
+  o.k = 100;
+  EXPECT_FALSE(KMeansRows(data, o).ok());
+}
+
+TEST(HierarchicalTest, CorrelationDistanceGroupsScaledProfiles) {
+  // Genes 0-2 share one shape (scaled copies), 3-5 another; correlation
+  // distance ignores the scaling.
+  auto m = *matrix::ExpressionMatrix::FromRows({
+      {1, 2, 3, 4},
+      {2, 4, 6, 8},
+      {0.5, 1, 1.5, 2},
+      {4, 3, 2, 1},
+      {8, 6, 4, 2},
+      {2, 1.5, 1, 0.5},
+  });
+  HierarchicalOptions o;
+  o.num_clusters = 2;
+  auto clusters = HierarchicalRows(m, o);
+  ASSERT_TRUE(clusters.ok()) << clusters.status().ToString();
+  ASSERT_EQ(clusters->size(), 2u);
+  std::set<std::vector<int>> got((*clusters).begin(), (*clusters).end());
+  EXPECT_TRUE(got.count({0, 1, 2}));
+  EXPECT_TRUE(got.count({3, 4, 5}));
+}
+
+TEST(HierarchicalTest, LinkageVariantsRun) {
+  const auto data = ThreeBlobs();
+  for (Linkage linkage :
+       {Linkage::kSingle, Linkage::kComplete, Linkage::kAverage}) {
+    HierarchicalOptions o;
+    o.num_clusters = 3;
+    o.linkage = linkage;
+    o.correlation_distance = false;
+    auto clusters = HierarchicalRows(data, o);
+    ASSERT_TRUE(clusters.ok());
+    EXPECT_EQ(clusters->size(), 3u);
+  }
+}
+
+TEST(HierarchicalTest, RejectsBadOptions) {
+  const auto data = ThreeBlobs();
+  HierarchicalOptions o;
+  o.num_clusters = 0;
+  EXPECT_FALSE(HierarchicalRows(data, o).ok());
+  o.num_clusters = 100;
+  EXPECT_FALSE(HierarchicalRows(data, o).ok());
+}
+
+TEST(FullSpaceBiclustersTest, SpansAllConditions) {
+  const auto b = ToFullSpaceBiclusters({{2, 0}, {1}}, 4);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0].genes, (std::vector<int>{0, 2}));
+  EXPECT_EQ(b[0].conditions, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(FullSpaceVsSubspaceTest, FullSpaceMissesSubspaceModules) {
+  // The Section 2 motivation: modules co-regulated on 6 of 24 conditions
+  // drown in full-space distance.  Cell recovery must be far below the
+  // reg-cluster miner's.
+  synth::SyntheticConfig cfg;
+  cfg.num_genes = 150;
+  cfg.num_conditions = 24;
+  cfg.num_clusters = 3;
+  cfg.avg_cluster_genes_fraction = 0.06;
+  cfg.seed = 99;
+  auto ds = synth::GenerateSynthetic(cfg);
+  ASSERT_TRUE(ds.ok());
+  std::vector<core::Bicluster> truth;
+  for (const auto& imp : ds->implants) truth.push_back(imp.Footprint());
+
+  KMeansOptions ko;
+  ko.k = 6;
+  auto km = KMeansRows(ds->data, ko);
+  ASSERT_TRUE(km.ok());
+  const double km_recovery = eval::CellMatchScore(
+      truth, ToFullSpaceBiclusters(km->clusters, ds->data.num_conditions()));
+
+  core::MinerOptions mo;
+  mo.min_genes = 6;
+  mo.min_conditions = 5;
+  mo.gamma = 0.1;
+  mo.epsilon = 0.01;
+  mo.remove_dominated = true;
+  auto mined = core::RegClusterMiner(ds->data, mo).Mine();
+  ASSERT_TRUE(mined.ok());
+  std::vector<core::Bicluster> found;
+  for (const auto& c : *mined) found.push_back(core::ToBicluster(c));
+  const double reg_recovery = eval::CellMatchScore(truth, found);
+
+  EXPECT_GT(reg_recovery, 0.75);
+  EXPECT_LT(km_recovery, 0.4);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace regcluster

@@ -1,0 +1,150 @@
+// Property sweeps for the MSR-based baselines (Cheng-Church, FLOC) and the
+// order-preserving miner: model-definition invariants over random inputs.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/cheng_church.h"
+#include "baselines/floc.h"
+#include "baselines/opcluster.h"
+#include "util/prng.h"
+
+namespace regcluster {
+namespace baselines {
+namespace {
+
+matrix::ExpressionMatrix RandomMatrix(uint64_t seed, int genes, int conds) {
+  util::Prng prng(seed);
+  matrix::ExpressionMatrix m(genes, conds);
+  for (int g = 0; g < genes; ++g) {
+    for (int c = 0; c < conds; ++c) m(g, c) = prng.Uniform(0, 10);
+  }
+  return m;
+}
+
+class MsrAxioms : public ::testing::TestWithParam<int> {};
+
+TEST_P(MsrAxioms, MsrIsNonNegativeAndZeroForAdditiveModels) {
+  util::Prng prng(GetParam());
+  const auto m = RandomMatrix(GetParam(), 20, 8);
+  // Random submatrices: MSR >= 0.
+  for (int t = 0; t < 10; ++t) {
+    const auto genes = prng.SampleWithoutReplacement(
+        20, 2 + static_cast<int>(prng.UniformInt(0, 10)));
+    const auto conds = prng.SampleWithoutReplacement(
+        8, 2 + static_cast<int>(prng.UniformInt(0, 5)));
+    ASSERT_GE(MeanSquaredResidue(m, genes, conds), 0.0);
+  }
+  // Additive construction: MSR == 0.
+  matrix::ExpressionMatrix additive(6, 5);
+  for (int g = 0; g < 6; ++g) {
+    for (int c = 0; c < 5; ++c) {
+      additive(g, c) = 3.0 * g + 1.7 * c + static_cast<double>(GetParam());
+    }
+  }
+  ASSERT_NEAR(MeanSquaredResidue(additive, {0, 1, 2, 3, 4, 5},
+                                 {0, 1, 2, 3, 4}),
+              0.0, 1e-18);
+}
+
+TEST_P(MsrAxioms, MsrInvariantUnderRowAndColumnShifts) {
+  // Adding per-row or per-column constants never changes the residue.
+  const auto m = RandomMatrix(40 + GetParam(), 10, 6);
+  util::Prng prng(77 + GetParam());
+  matrix::ExpressionMatrix shifted = m;
+  for (int g = 0; g < 10; ++g) {
+    const double row_shift = prng.Uniform(-5, 5);
+    for (int c = 0; c < 6; ++c) shifted(g, c) += row_shift;
+  }
+  for (int c = 0; c < 6; ++c) {
+    const double col_shift = prng.Uniform(-5, 5);
+    for (int g = 0; g < 10; ++g) shifted(g, c) += col_shift;
+  }
+  std::vector<int> genes{0, 2, 4, 6, 8};
+  std::vector<int> conds{1, 3, 5};
+  EXPECT_NEAR(MeanSquaredResidue(m, genes, conds),
+              MeanSquaredResidue(shifted, genes, conds), 1e-9);
+}
+
+TEST_P(MsrAxioms, ChengChurchOutputsMeetDeltaWithoutInvertedRows) {
+  const auto m = RandomMatrix(90 + GetParam(), 30, 10);
+  ChengChurchOptions o;
+  o.delta = 1.5;
+  o.num_biclusters = 2;
+  o.add_inverted_rows = false;
+  auto out = MineChengChurch(m, o);
+  ASSERT_TRUE(out.ok());
+  ASSERT_FALSE(out->empty());
+  // The first bicluster is measured against untouched data; later ones
+  // against masked data, so only the first is externally checkable.
+  EXPECT_LE(MeanSquaredResidue(m, (*out)[0].genes, (*out)[0].conditions),
+            o.delta + 1e-9);
+}
+
+TEST_P(MsrAxioms, FlocNeverWorsensTheMeanResidue) {
+  const auto m = RandomMatrix(130 + GetParam(), 25, 8);
+  FlocOptions o;
+  o.num_clusters = 3;
+  o.seed = static_cast<uint64_t>(GetParam());
+  FlocStats stats;
+  auto out = MineFloc(m, o, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_LE(stats.final_mean_residue, stats.initial_mean_residue + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MsrAxioms, ::testing::Range(1, 6));
+
+class OpClusterSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OpClusterSweep, EverySupportIsOrderCompatible) {
+  const double grouping = GetParam();
+  const auto m = RandomMatrix(500 + static_cast<uint64_t>(grouping * 100),
+                              15, 7);
+  OpClusterOptions o;
+  o.min_genes = 2;
+  o.min_conditions = 3;
+  o.grouping_threshold = grouping;
+  o.max_nodes = 50000;
+  auto out = OpClusterMiner(m, o).Mine();
+  ASSERT_TRUE(out.ok());
+  for (const OpCluster& c : *out) {
+    ASSERT_GE(c.genes.size(), 2u);
+    ASSERT_GE(c.sequence.size(), 3u);
+    for (int g : c.genes) {
+      for (size_t k = 0; k + 1 < c.sequence.size(); ++k) {
+        ASSERT_GE(m(g, c.sequence[k + 1]),
+                  m(g, c.sequence[k]) - grouping - 1e-12);
+      }
+    }
+  }
+}
+
+TEST_P(OpClusterSweep, LargerGroupingNeverShrinksBestSupport) {
+  // The grouping threshold only relaxes the order constraint, so the
+  // largest support over full-length sequences cannot shrink.
+  const auto m = RandomMatrix(4242, 12, 5);
+  auto best_support = [&](double grouping) {
+    OpClusterOptions o;
+    o.min_genes = 1;
+    o.min_conditions = 5;
+    o.grouping_threshold = grouping;
+    o.max_nodes = 100000;
+    auto out = OpClusterMiner(m, o).Mine();
+    size_t best = 0;
+    if (out.ok()) {
+      for (const OpCluster& c : *out) best = std::max(best, c.genes.size());
+    }
+    return best;
+  };
+  const double grouping = GetParam();
+  EXPECT_GE(best_support(grouping + 0.5), best_support(grouping));
+}
+
+INSTANTIATE_TEST_SUITE_P(Groupings, OpClusterSweep,
+                         ::testing::Values(0.0, 0.1, 0.5, 1.0));
+
+}  // namespace
+}  // namespace baselines
+}  // namespace regcluster

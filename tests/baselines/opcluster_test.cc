@@ -1,0 +1,169 @@
+#include "baselines/opcluster.h"
+
+#include <gtest/gtest.h>
+
+#include "matrix/expression_matrix.h"
+#include "testing/paper_data.h"
+
+namespace regcluster {
+namespace baselines {
+namespace {
+
+using regcluster::testing::C;
+using regcluster::testing::RunningDataset;
+
+TEST(OpClusterMinerTest, FindsCommonOrder) {
+  auto m = *matrix::ExpressionMatrix::FromRows({
+      {1, 3, 2, 4},
+      {10, 30, 20, 40},
+      {5, 100, 50, 200},
+      {4, 3, 2, 1},  // reversed
+  });
+  OpClusterOptions o;
+  o.min_genes = 3;
+  o.min_conditions = 4;
+  OpClusterMiner miner(m, o);
+  auto out = miner.Mine();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  bool found = false;
+  for (const OpCluster& c : *out) {
+    if (c.sequence == std::vector<int>{0, 2, 1, 3} &&
+        c.genes == std::vector<int>{0, 1, 2}) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(OpClusterMinerTest, SupportsAreActuallyMonotone) {
+  auto data = RunningDataset();
+  OpClusterOptions o;
+  o.min_genes = 2;
+  o.min_conditions = 4;
+  OpClusterMiner miner(data, o);
+  auto out = miner.Mine();
+  ASSERT_TRUE(out.ok());
+  ASSERT_FALSE(out->empty());
+  for (const OpCluster& c : *out) {
+    for (int g : c.genes) {
+      for (size_t k = 0; k + 1 < c.sequence.size(); ++k) {
+        EXPECT_GE(data(g, c.sequence[k + 1]), data(g, c.sequence[k]));
+      }
+    }
+  }
+}
+
+TEST(OpClusterMinerTest, TendencyIgnoresDisproportion) {
+  // The Section 3.3 contrast: tendency models cluster genes with the same
+  // order even when coherence is wildly violated.  g1, g2, g3 share the
+  // order c2 < c10 < c8 < c4 (Figure 4) despite g2's different geometry.
+  auto data = RunningDataset();
+  OpClusterOptions o;
+  o.min_genes = 3;
+  o.min_conditions = 4;
+  OpClusterMiner miner(data, o);
+  auto out = miner.Mine();
+  ASSERT_TRUE(out.ok());
+  bool clustered_together = false;
+  for (const OpCluster& c : *out) {
+    if (c.genes == std::vector<int>{0, 1, 2}) {
+      // Check the Figure 4 condition set is inside the sequence.
+      int hits = 0;
+      for (int cond : c.sequence) {
+        for (int want : {C(2), C(10), C(8), C(4)}) {
+          if (cond == want) ++hits;
+        }
+      }
+      if (hits == 4) clustered_together = true;
+    }
+  }
+  EXPECT_TRUE(clustered_together);
+}
+
+TEST(OpClusterMinerTest, GroupingThresholdMergesNearTies) {
+  auto m = *matrix::ExpressionMatrix::FromRows({
+      {1, 2, 1.95, 3},  // slight dip breaks strict order at c1->c2
+      {1, 2, 2.05, 3},
+  });
+  OpClusterOptions strict;
+  strict.min_genes = 2;
+  strict.min_conditions = 4;
+  strict.grouping_threshold = 0.0;
+  auto out_strict = OpClusterMiner(m, strict).Mine();
+  ASSERT_TRUE(out_strict.ok());
+  bool strict_has_full = false;
+  for (const OpCluster& c : *out_strict) {
+    if (c.sequence == std::vector<int>{0, 1, 2, 3} && c.genes.size() == 2) {
+      strict_has_full = true;
+    }
+  }
+  EXPECT_FALSE(strict_has_full);
+
+  OpClusterOptions loose = strict;
+  loose.grouping_threshold = 0.1;
+  auto out_loose = OpClusterMiner(m, loose).Mine();
+  ASSERT_TRUE(out_loose.ok());
+  bool loose_has_full = false;
+  for (const OpCluster& c : *out_loose) {
+    if (c.sequence == std::vector<int>{0, 1, 2, 3} && c.genes.size() == 2) {
+      loose_has_full = true;
+    }
+  }
+  EXPECT_TRUE(loose_has_full);
+}
+
+TEST(OpClusterMinerTest, EmitsOnlyEndClosedPatterns) {
+  // Closure is with respect to appending: an emitted sequence must not be
+  // extensible at the end without losing a supporting gene.
+  auto m = *matrix::ExpressionMatrix::FromRows({
+      {1, 2, 3},
+      {10, 20, 30},
+  });
+  OpClusterOptions o;
+  o.min_genes = 2;
+  o.min_conditions = 2;
+  OpClusterMiner miner(m, o);
+  auto out = miner.Mine();
+  ASSERT_TRUE(out.ok());
+  // The full ascending order and its end-closed subsequences [0,2], [1,2].
+  ASSERT_EQ(out->size(), 3u);
+  bool has_full = false;
+  for (const OpCluster& c : *out) {
+    if (c.sequence == std::vector<int>{0, 1, 2}) has_full = true;
+    // End-closure: every condition not in the sequence must break support.
+    for (int cand = 0; cand < 3; ++cand) {
+      bool in_seq = false;
+      for (int s : c.sequence) in_seq |= (s == cand);
+      if (in_seq) continue;
+      int supporters = 0;
+      for (int g : c.genes) {
+        if (m(g, cand) >= m(g, c.sequence.back())) ++supporters;
+      }
+      EXPECT_LT(supporters, static_cast<int>(c.genes.size()));
+    }
+  }
+  EXPECT_TRUE(has_full);
+}
+
+TEST(OpClusterMinerTest, ToBiclusterSortsConditions) {
+  OpCluster c;
+  c.sequence = {3, 0, 2};
+  c.genes = {1, 5};
+  const core::Bicluster b = c.ToBicluster();
+  EXPECT_EQ(b.conditions, (std::vector<int>{0, 2, 3}));
+  EXPECT_EQ(b.genes, (std::vector<int>{1, 5}));
+}
+
+TEST(OpClusterMinerTest, RejectsBadOptions) {
+  auto data = RunningDataset();
+  OpClusterOptions o;
+  o.min_conditions = 1;
+  EXPECT_FALSE(OpClusterMiner(data, o).Mine().ok());
+  o = OpClusterOptions();
+  o.grouping_threshold = -1;
+  EXPECT_FALSE(OpClusterMiner(data, o).Mine().ok());
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace regcluster

@@ -1,0 +1,147 @@
+#include "baselines/opsm.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "util/prng.h"
+
+namespace regcluster {
+namespace baselines {
+namespace {
+
+/// 50x10 noise; genes 0-11 share the hidden order c7 < c2 < c9 < c4 < c0.
+matrix::ExpressionMatrix PlantedOrder(uint64_t seed) {
+  util::Prng prng(seed);
+  matrix::ExpressionMatrix m(50, 10);
+  for (int g = 0; g < 50; ++g) {
+    for (int c = 0; c < 10; ++c) m(g, c) = prng.Uniform(0, 10);
+  }
+  const std::vector<int> order{7, 2, 9, 4, 0};
+  for (int g = 0; g < 12; ++g) {
+    double v = prng.Uniform(0, 2);
+    for (int c : order) {
+      m(g, c) = v;
+      v += prng.Uniform(0.5, 2.0);  // strictly increasing, gene-specific
+    }
+  }
+  return m;
+}
+
+TEST(OpsmTest, RecoversThePlantedOrder) {
+  const auto data = PlantedOrder(5);
+  OpsmOptions o;
+  o.sequence_length = 5;
+  o.beam_width = 64;
+  auto models = MineOpsm(data, o);
+  ASSERT_TRUE(models.ok()) << models.status().ToString();
+  ASSERT_FALSE(models->empty());
+  const OpsmModel& best = (*models)[0];
+  EXPECT_EQ(best.sequence, (std::vector<int>{7, 2, 9, 4, 0}));
+  // All 12 planted genes support it.
+  int planted = 0;
+  for (int g : best.genes) planted += g < 12;
+  EXPECT_EQ(planted, 12);
+}
+
+TEST(OpsmTest, SupportsAreActuallyOrdered) {
+  const auto data = PlantedOrder(6);
+  OpsmOptions o;
+  o.sequence_length = 4;
+  auto models = MineOpsm(data, o);
+  ASSERT_TRUE(models.ok());
+  for (const OpsmModel& model : *models) {
+    ASSERT_EQ(model.sequence.size(), 4u);
+    for (int g : model.genes) {
+      for (size_t k = 0; k + 1 < model.sequence.size(); ++k) {
+        ASSERT_GE(data(g, model.sequence[k + 1]),
+                  data(g, model.sequence[k]));
+      }
+    }
+  }
+}
+
+TEST(OpsmTest, PlantedOrderIsStatisticallySurprising) {
+  const auto data = PlantedOrder(7);
+  OpsmOptions o;
+  o.sequence_length = 5;
+  o.beam_width = 64;
+  auto models = MineOpsm(data, o);
+  ASSERT_TRUE(models.ok());
+  ASSERT_FALSE(models->empty());
+  // 12 planted + random supporters out of 50 genes at 1/120 per gene: the
+  // upper-tail probability is astronomically small.
+  EXPECT_GT((*models)[0].neg_log10_p, 6.0);
+}
+
+TEST(OpsmTest, ModelsSortedBySupport) {
+  const auto data = PlantedOrder(8);
+  OpsmOptions o;
+  o.sequence_length = 3;
+  o.max_models = 5;
+  auto models = MineOpsm(data, o);
+  ASSERT_TRUE(models.ok());
+  for (size_t i = 1; i < models->size(); ++i) {
+    EXPECT_GE((*models)[i - 1].genes.size(), (*models)[i].genes.size());
+  }
+}
+
+TEST(OpsmTest, BeamWidthOneStillReturnsAModel) {
+  const auto data = PlantedOrder(9);
+  OpsmOptions o;
+  o.sequence_length = 3;
+  o.beam_width = 1;
+  o.max_models = 1;
+  auto models = MineOpsm(data, o);
+  ASSERT_TRUE(models.ok());
+  EXPECT_EQ(models->size(), 1u);
+}
+
+TEST(OpsmTest, ToOpClusterBridgesToTheTendencyTypes) {
+  OpsmModel model;
+  model.sequence = {3, 1, 2};
+  model.genes = {0, 5};
+  const OpCluster c = model.ToOpCluster();
+  EXPECT_EQ(c.sequence, model.sequence);
+  EXPECT_EQ(c.genes, model.genes);
+  EXPECT_EQ(c.ToBicluster().conditions, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(OpsmTest, RejectsBadOptions) {
+  const auto data = PlantedOrder(10);
+  OpsmOptions o;
+  o.sequence_length = 1;
+  EXPECT_FALSE(MineOpsm(data, o).ok());
+  o = OpsmOptions();
+  o.sequence_length = 99;
+  EXPECT_FALSE(MineOpsm(data, o).ok());
+  o = OpsmOptions();
+  o.beam_width = 0;
+  EXPECT_FALSE(MineOpsm(data, o).ok());
+  o = OpsmOptions();
+  o.tie_tolerance = -1;
+  EXPECT_FALSE(MineOpsm(data, o).ok());
+}
+
+TEST(OpsmTest, NoCoherenceGuarantee) {
+  // The reg-cluster paper's point about tendency models: wildly
+  // disproportionate genes share an OPSM.  Construct two genes with the
+  // same order but a 100x step disparity; both support the best model.
+  matrix::ExpressionMatrix m(2, 4);
+  const double a[4] = {0, 1, 2, 3};
+  const double b[4] = {0, 100, 101, 300};
+  for (int c = 0; c < 4; ++c) {
+    m(0, c) = a[c];
+    m(1, c) = b[c];
+  }
+  OpsmOptions o;
+  o.sequence_length = 4;
+  auto models = MineOpsm(m, o);
+  ASSERT_TRUE(models.ok());
+  ASSERT_FALSE(models->empty());
+  EXPECT_EQ((*models)[0].genes, (std::vector<int>{0, 1}));
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace regcluster

@@ -1,0 +1,130 @@
+#include "baselines/pcluster.h"
+
+#include <gtest/gtest.h>
+
+#include "matrix/expression_matrix.h"
+#include "matrix/transforms.h"
+#include "testing/paper_data.h"
+
+namespace regcluster {
+namespace baselines {
+namespace {
+
+TEST(IsDeltaPClusterTest, PureShiftingScoresZero) {
+  auto m = *matrix::ExpressionMatrix::FromRows(
+      {{0, 5, 2, 9}, {10, 15, 12, 19}});
+  EXPECT_TRUE(IsDeltaPCluster(m, {0, 1}, {0, 1, 2, 3}, 0.0));
+}
+
+TEST(IsDeltaPClusterTest, ScalingViolates) {
+  auto m = *matrix::ExpressionMatrix::FromRows({{1, 2, 4}, {3, 6, 12}});
+  EXPECT_FALSE(IsDeltaPCluster(m, {0, 1}, {0, 1, 2}, 1.0));
+}
+
+TEST(IsDeltaPClusterTest, ToleranceBoundary) {
+  auto m = *matrix::ExpressionMatrix::FromRows({{0, 1}, {0, 1.5}});
+  // pScore = |(0-1) - (0-1.5)| = 0.5.
+  EXPECT_TRUE(IsDeltaPCluster(m, {0, 1}, {0, 1}, 0.5));
+  EXPECT_FALSE(IsDeltaPCluster(m, {0, 1}, {0, 1}, 0.49));
+}
+
+TEST(PClusterMinerTest, FindsEmbeddedShiftingCluster) {
+  auto m = *matrix::ExpressionMatrix::FromRows({
+      {0, 5, 2, 9, 100},
+      {10, 15, 12, 19, -3},
+      {20, 25, 22, 29, 55},
+      {0, 99, 1, 17, 2},  // unrelated
+  });
+  PClusterOptions o;
+  o.delta = 0.01;
+  o.min_genes = 3;
+  o.min_conditions = 4;
+  PClusterMiner miner(m, o);
+  auto out = miner.Mine();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_FALSE(out->empty());
+  bool found = false;
+  for (const core::Bicluster& b : *out) {
+    if (b.genes == std::vector<int>{0, 1, 2} &&
+        b.conditions == std::vector<int>{0, 1, 2, 3}) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PClusterMinerTest, MissesShiftAndScalePattern) {
+  // d2 = 2*d1 + 5: a perfect reg-cluster pattern invisible to pScore.
+  auto m = *matrix::ExpressionMatrix::FromRows({
+      {0, 10, 25, 40},
+      {5, 25, 55, 85},
+  });
+  PClusterOptions o;
+  o.delta = 1.0;
+  o.min_genes = 2;
+  o.min_conditions = 3;
+  PClusterMiner miner(m, o);
+  auto out = miner.Mine();
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(PClusterMinerTest, MissesNegativeCorrelation) {
+  auto m = *matrix::ExpressionMatrix::FromRows({
+      {0, 10, 20, 30},
+      {30, 20, 10, 0},
+  });
+  PClusterOptions o;
+  o.delta = 1.0;
+  o.min_genes = 2;
+  o.min_conditions = 3;
+  auto out = PClusterMiner(m, o).Mine();
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(PClusterMinerTest, EveryOutputVerifiesExactly) {
+  auto data = regcluster::testing::RunningDataset();
+  PClusterOptions o;
+  o.delta = 2.0;
+  o.min_genes = 2;
+  o.min_conditions = 2;
+  PClusterMiner miner(data, o);
+  auto out = miner.Mine();
+  ASSERT_TRUE(out.ok());
+  for (const core::Bicluster& b : *out) {
+    EXPECT_TRUE(IsDeltaPCluster(data, b.genes, b.conditions, o.delta));
+    EXPECT_GE(b.num_genes(), o.min_genes);
+    EXPECT_GE(b.num_conditions(), o.min_conditions);
+  }
+}
+
+TEST(PClusterMinerTest, RejectsBadOptions) {
+  auto data = regcluster::testing::RunningDataset();
+  PClusterOptions o;
+  o.delta = -1;
+  EXPECT_FALSE(PClusterMiner(data, o).Mine().ok());
+  o = PClusterOptions();
+  o.min_genes = 1;
+  EXPECT_FALSE(PClusterMiner(data, o).Mine().ok());
+}
+
+TEST(PClusterMinerTest, LogTransformRecoversScalingAsShifting) {
+  // The Eq. 1 pipeline: log-transform makes pure scaling minable by
+  // pCluster -- but only because the pattern was *pure* scaling.
+  auto m = *matrix::ExpressionMatrix::FromRows({{1, 2, 4, 8}, {3, 6, 12, 24}});
+  auto logm = matrix::LogTransform(m);
+  ASSERT_TRUE(logm.ok());
+  PClusterOptions o;
+  o.delta = 1e-9;
+  o.min_genes = 2;
+  o.min_conditions = 4;
+  auto out = PClusterMiner(*logm, o).Mine();
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].genes, (std::vector<int>{0, 1}));
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace regcluster

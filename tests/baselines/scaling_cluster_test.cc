@@ -1,0 +1,108 @@
+#include "baselines/scaling_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "matrix/expression_matrix.h"
+#include "testing/paper_data.h"
+
+namespace regcluster {
+namespace baselines {
+namespace {
+
+TEST(IsScalingClusterTest, PureScalingPasses) {
+  auto m = *matrix::ExpressionMatrix::FromRows({{1, 2, 4}, {3, 6, 12}});
+  EXPECT_TRUE(IsScalingCluster(m, {0, 1}, {0, 1, 2}, 1e-9, 1e-9));
+}
+
+TEST(IsScalingClusterTest, ShiftingViolates) {
+  auto m = *matrix::ExpressionMatrix::FromRows({{1, 2, 3}, {11, 12, 13}});
+  EXPECT_FALSE(IsScalingCluster(m, {0, 1}, {0, 1, 2}, 0.05, 1e-9));
+}
+
+TEST(IsScalingClusterTest, MixedSignRatiosViolate) {
+  auto m = *matrix::ExpressionMatrix::FromRows({{1, 2}, {1, -2}});
+  EXPECT_FALSE(IsScalingCluster(m, {0, 1}, {0, 1}, 10.0, 1e-9));
+}
+
+TEST(IsScalingClusterTest, ZeroCellViolates) {
+  auto m = *matrix::ExpressionMatrix::FromRows({{1, 0}, {2, 0}});
+  EXPECT_FALSE(IsScalingCluster(m, {0, 1}, {0, 1}, 10.0, 1e-9));
+}
+
+TEST(ScalingClusterMinerTest, FindsEmbeddedScalingCluster) {
+  auto m = *matrix::ExpressionMatrix::FromRows({
+      {1, 2, 4, 8},
+      {3, 6, 12, 24},
+      {0.5, 1, 2, 4},
+      {7, 1, 9, 2},  // unrelated
+  });
+  ScalingClusterOptions o;
+  o.epsilon = 0.01;
+  o.min_genes = 3;
+  o.min_conditions = 4;
+  ScalingClusterMiner miner(m, o);
+  auto out = miner.Mine();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  bool found = false;
+  for (const core::Bicluster& b : *out) {
+    if (b.genes == std::vector<int>{0, 1, 2} &&
+        b.conditions == std::vector<int>{0, 1, 2, 3}) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ScalingClusterMinerTest, MissesShiftAndScalePattern) {
+  auto m = *matrix::ExpressionMatrix::FromRows({
+      {1, 10, 25, 40},
+      {7, 25, 55, 85},  // = 2*x + 5
+  });
+  ScalingClusterOptions o;
+  o.epsilon = 0.05;
+  o.min_genes = 2;
+  o.min_conditions = 3;
+  auto out = ScalingClusterMiner(m, o).Mine();
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(ScalingClusterMinerTest, MissesPureShifting) {
+  auto m = *matrix::ExpressionMatrix::FromRows({
+      {1, 5, 9},
+      {11, 15, 19},
+  });
+  ScalingClusterOptions o;
+  o.epsilon = 0.05;
+  o.min_genes = 2;
+  o.min_conditions = 3;
+  auto out = ScalingClusterMiner(m, o).Mine();
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(ScalingClusterMinerTest, EveryOutputVerifies) {
+  auto data = regcluster::testing::RunningDataset();
+  ScalingClusterOptions o;
+  o.epsilon = 0.3;
+  o.min_genes = 2;
+  o.min_conditions = 2;
+  ScalingClusterMiner miner(data, o);
+  auto out = miner.Mine();
+  ASSERT_TRUE(out.ok());
+  for (const core::Bicluster& b : *out) {
+    EXPECT_TRUE(IsScalingCluster(data, b.genes, b.conditions, o.epsilon,
+                                 o.zero_tolerance));
+  }
+}
+
+TEST(ScalingClusterMinerTest, RejectsBadOptions) {
+  auto data = regcluster::testing::RunningDataset();
+  ScalingClusterOptions o;
+  o.epsilon = -0.5;
+  EXPECT_FALSE(ScalingClusterMiner(data, o).Mine().ok());
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace regcluster

@@ -1,0 +1,140 @@
+#include "core/bicluster.h"
+
+#include <gtest/gtest.h>
+
+namespace regcluster {
+namespace core {
+namespace {
+
+RegCluster MakeCluster(std::vector<int> chain, std::vector<int> p,
+                       std::vector<int> n) {
+  RegCluster c;
+  c.chain = std::move(chain);
+  c.p_genes = std::move(p);
+  c.n_genes = std::move(n);
+  return c;
+}
+
+TEST(RegClusterTest, Counts) {
+  const RegCluster c = MakeCluster({6, 8, 4}, {0, 2}, {1});
+  EXPECT_EQ(c.num_genes(), 3);
+  EXPECT_EQ(c.num_conditions(), 3);
+}
+
+TEST(RegClusterTest, AllGenesMergesSorted) {
+  const RegCluster c = MakeCluster({1, 2}, {0, 4, 9}, {2, 7});
+  EXPECT_EQ(c.AllGenes(), (std::vector<int>{0, 2, 4, 7, 9}));
+}
+
+TEST(RegClusterTest, SortedConditions) {
+  const RegCluster c = MakeCluster({6, 8, 4, 0, 2}, {0}, {});
+  EXPECT_EQ(c.SortedConditions(), (std::vector<int>{0, 2, 4, 6, 8}));
+}
+
+TEST(RegClusterTest, KeyDistinguishesChainOrder) {
+  const RegCluster a = MakeCluster({1, 2, 3}, {0}, {5});
+  const RegCluster b = MakeCluster({3, 2, 1}, {0}, {5});
+  EXPECT_NE(a.Key(), b.Key());
+}
+
+TEST(RegClusterTest, KeyIgnoresPnSplit) {
+  // Key identifies (chain, gene set); the p/n split is determined by the
+  // chain direction, so two nodes with the same chain+genes are duplicates.
+  const RegCluster a = MakeCluster({1, 2, 3}, {0, 5}, {});
+  const RegCluster b = MakeCluster({1, 2, 3}, {0}, {5});
+  EXPECT_EQ(a.Key(), b.Key());
+}
+
+TEST(ToBiclusterTest, Converts) {
+  const Bicluster b = ToBicluster(MakeCluster({6, 8, 4}, {0, 2}, {1}));
+  EXPECT_EQ(b.genes, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(b.conditions, (std::vector<int>{4, 6, 8}));
+  EXPECT_EQ(b.NumCells(), 9);
+}
+
+TEST(SharedCellsTest, Basic) {
+  Bicluster a{{0, 1, 2}, {0, 1}};
+  Bicluster b{{1, 2, 3}, {1, 2}};
+  EXPECT_EQ(SharedCells(a, b), 2);  // genes {1,2} x conds {1}
+}
+
+TEST(SharedCellsTest, Disjoint) {
+  Bicluster a{{0, 1}, {0, 1}};
+  Bicluster b{{2, 3}, {0, 1}};
+  EXPECT_EQ(SharedCells(a, b), 0);
+}
+
+TEST(OverlapFractionTest, RelativeToSmaller) {
+  Bicluster big{{0, 1, 2, 3}, {0, 1, 2, 3}};   // 16 cells
+  Bicluster small{{0, 1}, {0, 1}};             // 4 cells, fully inside
+  EXPECT_DOUBLE_EQ(OverlapFraction(big, small), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapFraction(small, big), 1.0);
+}
+
+TEST(OverlapFractionTest, PartialAndEmpty) {
+  Bicluster a{{0, 1}, {0, 1}};
+  Bicluster b{{1, 2}, {1, 2}};
+  EXPECT_DOUBLE_EQ(OverlapFraction(a, b), 0.25);
+  Bicluster empty;
+  EXPECT_DOUBLE_EQ(OverlapFraction(a, empty), 0.0);
+}
+
+TEST(IsSubclusterTest, Basic) {
+  Bicluster inner{{1, 2}, {3}};
+  Bicluster outer{{0, 1, 2}, {3, 4}};
+  EXPECT_TRUE(IsSubcluster(inner, outer));
+  EXPECT_FALSE(IsSubcluster(outer, inner));
+  EXPECT_TRUE(IsSubcluster(inner, inner));
+}
+
+TEST(IsDominatedTest, PrefixChainAndSubsetGenes) {
+  const RegCluster small = MakeCluster({1, 2, 3}, {0, 5}, {});
+  const RegCluster big = MakeCluster({1, 2, 3, 4}, {0, 5, 7}, {});
+  EXPECT_TRUE(IsDominated(small, big));
+  EXPECT_FALSE(IsDominated(big, small));
+}
+
+TEST(IsDominatedTest, InfixChain) {
+  const RegCluster small = MakeCluster({2, 3}, {0}, {});
+  const RegCluster big = MakeCluster({1, 2, 3, 4}, {0, 1}, {});
+  EXPECT_TRUE(IsDominated(small, big));
+}
+
+TEST(IsDominatedTest, ReversedChainCounts) {
+  const RegCluster small = MakeCluster({3, 2}, {0}, {});
+  const RegCluster big = MakeCluster({1, 2, 3, 4}, {0, 1}, {});
+  EXPECT_TRUE(IsDominated(small, big));
+}
+
+TEST(IsDominatedTest, NonContiguousChainDoesNotDominate) {
+  const RegCluster small = MakeCluster({1, 3}, {0}, {});
+  const RegCluster big = MakeCluster({1, 2, 3}, {0, 1}, {});
+  EXPECT_FALSE(IsDominated(small, big));
+}
+
+TEST(IsDominatedTest, GeneSupersetBlocksDomination) {
+  const RegCluster small = MakeCluster({1, 2}, {0, 9}, {});
+  const RegCluster big = MakeCluster({1, 2, 3}, {0, 1}, {});
+  EXPECT_FALSE(IsDominated(small, big));  // gene 9 not in big
+}
+
+TEST(RemoveDominatedTest, DropsContainedAndDuplicates) {
+  std::vector<RegCluster> clusters{
+      MakeCluster({1, 2, 3, 4}, {0, 1, 2}, {}),  // keeper
+      MakeCluster({2, 3}, {0, 1}, {}),           // dominated by keeper
+      MakeCluster({1, 2, 3, 4}, {0, 1, 2}, {}),  // exact duplicate
+      MakeCluster({5, 6}, {8, 9}, {}),           // independent
+  };
+  const auto out = RemoveDominated(clusters);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].chain, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(out[1].chain, (std::vector<int>{5, 6}));
+}
+
+TEST(RemoveDominatedTest, EmptyInput) {
+  EXPECT_TRUE(RemoveDominated({}).empty());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace regcluster

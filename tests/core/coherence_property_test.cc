@@ -1,0 +1,141 @@
+// Algebraic properties of the coherence machinery (Section 3.2) over
+// randomized inputs: the exact invariances that make Lemma 3.2 usable as a
+// clustering criterion.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/coherence.h"
+#include "util/math_util.h"
+#include "util/prng.h"
+
+namespace regcluster {
+namespace core {
+namespace {
+
+std::vector<double> RandomStrictlyIncreasing(util::Prng* prng, int n) {
+  std::vector<double> v(static_cast<size_t>(n));
+  v[0] = prng->Uniform(-5, 5);
+  for (int i = 1; i < n; ++i) {
+    v[static_cast<size_t>(i)] =
+        v[static_cast<size_t>(i - 1)] + prng->Uniform(0.2, 3.0);
+  }
+  return v;
+}
+
+class CoherenceAlgebra : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoherenceAlgebra, ScoresInvariantUnderAffineTransforms) {
+  // H(s1*x + s2) == H(x) for every s1 != 0 -- including negative s1.
+  util::Prng prng(GetParam());
+  const int n = static_cast<int>(prng.UniformInt(3, 12));
+  const std::vector<double> x = RandomStrictlyIncreasing(&prng, n);
+  std::vector<int> chain(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) chain[static_cast<size_t>(i)] = i;
+  const auto hx = ChainCoherenceScores(x.data(), chain);
+
+  for (double s1 : {2.5, -1.0, -0.3, 0.01}) {
+    const double s2 = prng.Uniform(-100, 100);
+    std::vector<double> y(x.size());
+    for (size_t i = 0; i < x.size(); ++i) y[i] = s1 * x[i] + s2;
+    const auto hy = ChainCoherenceScores(y.data(), chain);
+    ASSERT_EQ(hx.size(), hy.size());
+    for (size_t k = 0; k < hx.size(); ++k) {
+      ASSERT_NEAR(hx[k], hy[k], 1e-9 * (1 + std::fabs(hx[k])))
+          << "s1=" << s1 << " k=" << k;
+    }
+  }
+}
+
+TEST_P(CoherenceAlgebra, ScoresSumToSpanRatio) {
+  // Telescoping (used in the Lemma 3.2 proof): sum of adjacent scores ==
+  // (d_cn - d_c1) / (d_c2 - d_c1).
+  util::Prng prng(100 + GetParam());
+  const int n = static_cast<int>(prng.UniformInt(3, 12));
+  const std::vector<double> x = RandomStrictlyIncreasing(&prng, n);
+  std::vector<int> chain(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) chain[static_cast<size_t>(i)] = i;
+  const auto h = ChainCoherenceScores(x.data(), chain);
+  double total = 0.0;
+  for (double v : h) total += v;
+  const double expected =
+      (x[static_cast<size_t>(n - 1)] - x[0]) / (x[1] - x[0]);
+  EXPECT_NEAR(total, expected, 1e-9 * (1 + std::fabs(expected)));
+}
+
+TEST_P(CoherenceAlgebra, EqualScoresImplyExactAffineFit) {
+  // Lemma 3.2 reverse direction, numerically: if two random profiles share
+  // all scores (by construction), the least-squares fit is exact.
+  util::Prng prng(200 + GetParam());
+  const int n = static_cast<int>(prng.UniformInt(3, 10));
+  const std::vector<double> x = RandomStrictlyIncreasing(&prng, n);
+  const double s1 = prng.Bernoulli(0.5) ? prng.Uniform(0.3, 3.0)
+                                        : -prng.Uniform(0.3, 3.0);
+  const double s2 = prng.Uniform(-50, 50);
+  std::vector<double> y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] = s1 * x[i] + s2;
+
+  double fit_s1 = 0, fit_s2 = 0;
+  ASSERT_TRUE(util::FitShiftScale(x, y, &fit_s1, &fit_s2));
+  EXPECT_NEAR(fit_s1, s1, 1e-9);
+  EXPECT_NEAR(fit_s2, s2, 1e-7);
+  EXPECT_NEAR(util::MaxAbsResidual(x, y, fit_s1, fit_s2), 0.0, 1e-8);
+}
+
+TEST_P(CoherenceAlgebra, PerturbationShowsUpInExactlyTheTouchedScores) {
+  util::Prng prng(300 + GetParam());
+  const int n = 8;
+  const std::vector<double> x = RandomStrictlyIncreasing(&prng, n);
+  std::vector<int> chain(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) chain[static_cast<size_t>(i)] = i;
+  const auto h0 = ChainCoherenceScores(x.data(), chain);
+
+  // Perturb one interior condition (not in the baseline pair).
+  const int touched = 3 + static_cast<int>(prng.UniformInt(0, n - 5));
+  std::vector<double> y = x;
+  y[static_cast<size_t>(touched)] += 0.05;
+  const auto h1 = ChainCoherenceScores(y.data(), chain);
+  for (size_t k = 0; k < h0.size(); ++k) {
+    // Score k involves conditions k and k+1.
+    const bool involved = static_cast<int>(k) == touched - 1 ||
+                          static_cast<int>(k) == touched;
+    if (involved) {
+      EXPECT_GT(std::fabs(h1[k] - h0[k]), 1e-6) << k;
+    } else {
+      EXPECT_NEAR(h1[k], h0[k], 1e-12) << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoherenceAlgebra, ::testing::Range(1, 13));
+
+TEST(CoherenceEdgeTest, NegativeBaselineDenominatorStillConsistent) {
+  // For a decreasing profile the baseline difference is negative; scores
+  // stay positive and mirror the increasing twin's scores.
+  const std::vector<double> up{0, 2, 5, 9};
+  const std::vector<double> down{9, 7, 4, 0};  // = 9 - up (s1 = -1)
+  const std::vector<int> chain{0, 1, 2, 3};
+  const auto hu = ChainCoherenceScores(up.data(), chain);
+  const auto hd = ChainCoherenceScores(down.data(), chain);
+  for (size_t k = 0; k < hu.size(); ++k) {
+    EXPECT_GT(hu[k], 0.0);
+    EXPECT_NEAR(hu[k], hd[k], 1e-12);
+  }
+}
+
+TEST(CoherenceEdgeTest, ValidateAcceptsTinySlack) {
+  // The oracle's slack must absorb float noise right at the epsilon edge.
+  auto m = *matrix::ExpressionMatrix::FromRows({
+      {0.0, 1.0, 2.0},
+      {0.0, 1.0, 2.0 + 1e-13},
+  });
+  RegCluster c;
+  c.chain = {0, 1, 2};
+  c.p_genes = {0, 1};
+  EXPECT_TRUE(ValidateRegCluster(m, c, 0.0, 0.0));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace regcluster

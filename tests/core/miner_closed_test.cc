@@ -1,0 +1,131 @@
+// closed_chains_only: a cluster is suppressed exactly when some emitted
+// cluster extends its chain by one condition (at either end, depending on
+// representative direction) with the identical gene set.
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/coherence.h"
+#include "core/miner.h"
+#include "synth/generator.h"
+#include "testing/paper_data.h"
+
+namespace regcluster {
+namespace core {
+namespace {
+
+using regcluster::testing::RunningDataset;
+
+MinerOptions Options(bool closed) {
+  MinerOptions o;
+  o.min_genes = 3;
+  o.min_conditions = 4;
+  o.gamma = 0.15;
+  o.epsilon = 0.1;
+  o.closed_chains_only = closed;
+  return o;
+}
+
+/// True iff `shorter` extended by one condition equals `longer` (same gene
+/// set, chain a one-step end-extension, up to orientation flip).
+bool OneStepSubsumes(const RegCluster& shorter, const RegCluster& longer) {
+  if (longer.chain.size() != shorter.chain.size() + 1) return false;
+  if (longer.AllGenes() != shorter.AllGenes()) return false;
+  std::vector<int> fwd(longer.chain.begin(), longer.chain.end() - 1);
+  std::vector<int> rev(longer.chain.rbegin(), longer.chain.rend() - 1);
+  return fwd == shorter.chain || rev == shorter.chain;
+}
+
+TEST(ClosedChainsTest, ClosedIsSubsetOfRaw) {
+  const auto data = RunningDataset();
+  auto raw = RegClusterMiner(data, Options(false)).Mine();
+  auto closed = RegClusterMiner(data, Options(true)).Mine();
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(closed.ok());
+  EXPECT_LT(closed->size(), raw->size());
+  std::set<std::string> raw_keys;
+  for (const auto& c : *raw) raw_keys.insert(c.Key());
+  for (const auto& c : *closed) {
+    EXPECT_TRUE(raw_keys.count(c.Key())) << c.Key();
+  }
+}
+
+TEST(ClosedChainsTest, SuppressedClustersAreOneStepSubsumed) {
+  const auto data = RunningDataset();
+  auto raw = RegClusterMiner(data, Options(false)).Mine();
+  auto closed = RegClusterMiner(data, Options(true)).Mine();
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(closed.ok());
+  std::set<std::string> closed_keys;
+  for (const auto& c : *closed) closed_keys.insert(c.Key());
+  for (const auto& suppressed : *raw) {
+    if (closed_keys.count(suppressed.Key())) continue;
+    bool subsumed = false;
+    for (const auto& other : *raw) {
+      if (OneStepSubsumes(suppressed, other)) {
+        subsumed = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(subsumed) << "suppressed but not subsumed: "
+                          << suppressed.Key();
+  }
+}
+
+TEST(ClosedChainsTest, MaximalChainSurvives) {
+  const auto data = RunningDataset();
+  auto closed = RegClusterMiner(data, Options(true)).Mine();
+  ASSERT_TRUE(closed.ok());
+  bool found = false;
+  for (const auto& c : *closed) {
+    if (c.chain == regcluster::testing::ExpectedChain()) found = true;
+    // The 4-long contiguous prefix with the same genes must be gone.
+    const std::vector<int> full = regcluster::testing::ExpectedChain();
+    EXPECT_NE(c.chain, std::vector<int>(full.begin(), full.end() - 1));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ClosedChainsTest, OutputsStillValidateOnSynthetic) {
+  synth::SyntheticConfig cfg;
+  cfg.num_genes = 150;
+  cfg.num_conditions = 16;
+  cfg.num_clusters = 3;
+  cfg.avg_cluster_genes_fraction = 0.06;
+  cfg.seed = 2025;
+  auto ds = synth::GenerateSynthetic(cfg);
+  ASSERT_TRUE(ds.ok());
+  MinerOptions o;
+  o.min_genes = 5;
+  o.min_conditions = 5;
+  o.gamma = 0.1;
+  o.epsilon = 0.02;
+  o.closed_chains_only = true;
+  auto closed = RegClusterMiner(ds->data, o).Mine();
+  ASSERT_TRUE(closed.ok());
+  ASSERT_FALSE(closed->empty());
+  std::string why;
+  for (const auto& c : *closed) {
+    ASSERT_TRUE(ValidateRegCluster(ds->data, c, o.gamma, o.epsilon, &why))
+        << why;
+  }
+}
+
+TEST(ClosedChainsTest, ComposesWithThreads) {
+  const auto data = RunningDataset();
+  MinerOptions serial = Options(true);
+  MinerOptions threaded = serial;
+  threaded.num_threads = 4;
+  auto a = RegClusterMiner(data, serial).Mine();
+  auto b = RegClusterMiner(data, threaded).Mine();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) EXPECT_EQ((*a)[i], (*b)[i]);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace regcluster

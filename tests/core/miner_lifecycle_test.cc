@@ -1,0 +1,117 @@
+// Object-lifecycle behaviour of the miner: repeated Mine() calls, stats
+// resets, and interaction of option combinations not covered elsewhere.
+
+#include <gtest/gtest.h>
+
+#include "core/coherence.h"
+#include "core/miner.h"
+#include "testing/paper_data.h"
+
+namespace regcluster {
+namespace core {
+namespace {
+
+using regcluster::testing::RunningDataset;
+
+MinerOptions PaperOptions() {
+  MinerOptions o;
+  o.min_genes = 3;
+  o.min_conditions = 5;
+  o.gamma = 0.15;
+  o.epsilon = 0.1;
+  return o;
+}
+
+TEST(MinerLifecycle, RepeatedMineCallsAreIdenticalAndIndependent) {
+  const auto data = RunningDataset();
+  RegClusterMiner miner(data, PaperOptions());
+  auto first = miner.Mine();
+  ASSERT_TRUE(first.ok());
+  const auto first_stats = miner.stats();
+  auto second = miner.Mine();
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first->size(), second->size());
+  for (size_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ((*first)[i], (*second)[i]);
+  }
+  // Stats are reset, not accumulated, between calls.
+  EXPECT_EQ(miner.stats().nodes_expanded, first_stats.nodes_expanded);
+  EXPECT_EQ(miner.stats().clusters_emitted, first_stats.clusters_emitted);
+  EXPECT_EQ(miner.stats().pruned_coherence, first_stats.pruned_coherence);
+}
+
+TEST(MinerLifecycle, MineAfterFailedValidationWorks) {
+  const auto data = RunningDataset();
+  MinerOptions bad = PaperOptions();
+  bad.gamma = 5.0;  // invalid
+  RegClusterMiner miner(data, bad);
+  EXPECT_FALSE(miner.Mine().ok());
+  // A fresh miner with good options on the same matrix is unaffected.
+  RegClusterMiner good(data, PaperOptions());
+  auto result = good.Mine();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST(MinerLifecycle, CapsResetBetweenRuns) {
+  const auto data = RunningDataset();
+  MinerOptions o = PaperOptions();
+  o.min_conditions = 3;
+  o.max_clusters = 2;
+  RegClusterMiner miner(data, o);
+  auto first = miner.Mine();
+  ASSERT_TRUE(first.ok());
+  EXPECT_LE(first->size(), 2u);
+  // Second run starts from a zeroed budget: same truncated output.
+  auto second = miner.Mine();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->size(), second->size());
+}
+
+TEST(MinerLifecycle, DominatedFilterComposesWithThreads) {
+  const auto data = RunningDataset();
+  MinerOptions serial = PaperOptions();
+  serial.min_conditions = 4;
+  serial.remove_dominated = true;
+  MinerOptions threaded = serial;
+  threaded.num_threads = 4;
+  auto a = RegClusterMiner(data, serial).Mine();
+  auto b = RegClusterMiner(data, threaded).Mine();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) EXPECT_EQ((*a)[i], (*b)[i]);
+}
+
+TEST(MinerLifecycle, TargetedMiningComposesWithThreads) {
+  const auto data = RunningDataset();
+  MinerOptions o = PaperOptions();
+  o.min_conditions = 3;
+  o.required_genes = {1};
+  MinerOptions threaded = o;
+  threaded.num_threads = 3;
+  auto a = RegClusterMiner(data, o).Mine();
+  auto b = RegClusterMiner(data, threaded).Mine();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) EXPECT_EQ((*a)[i], (*b)[i]);
+}
+
+TEST(MinerLifecycle, MatrixOutlivesMinerOutput) {
+  // The output owns its data (no dangling references into the miner).
+  std::vector<RegCluster> clusters;
+  {
+    const auto data = RunningDataset();
+    RegClusterMiner miner(data, PaperOptions());
+    auto result = miner.Mine();
+    ASSERT_TRUE(result.ok());
+    clusters = *std::move(result);
+  }  // miner and matrix gone
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].chain, regcluster::testing::ExpectedChain());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace regcluster

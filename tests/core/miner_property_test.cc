@@ -1,0 +1,241 @@
+// Property-based tests of the miner over randomized inputs and a parameter
+// sweep: every emitted cluster must satisfy Definition 3.2 (checked by the
+// independent first-principles oracle), meet the size thresholds, be
+// representative, and be emitted exactly once.
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/coherence.h"
+#include "core/miner.h"
+#include "matrix/expression_matrix.h"
+#include "util/prng.h"
+
+namespace regcluster {
+namespace core {
+namespace {
+
+struct SweepParams {
+  double gamma;
+  double epsilon;
+  int min_genes;
+  int min_conditions;
+  uint64_t seed;
+};
+
+std::string SweepName(const ::testing::TestParamInfo<SweepParams>& info) {
+  const SweepParams& p = info.param;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "g%02d_e%03d_MinG%d_MinC%d_s%d",
+                static_cast<int>(p.gamma * 100),
+                static_cast<int>(p.epsilon * 100), p.min_genes,
+                p.min_conditions, static_cast<int>(p.seed));
+  return buf;
+}
+
+matrix::ExpressionMatrix RandomMatrix(uint64_t seed, int genes, int conds) {
+  util::Prng prng(seed);
+  matrix::ExpressionMatrix m(genes, conds);
+  for (int g = 0; g < genes; ++g) {
+    for (int c = 0; c < conds; ++c) m(g, c) = prng.Uniform(0, 10);
+  }
+  return m;
+}
+
+class MinerSweep : public ::testing::TestWithParam<SweepParams> {};
+
+TEST_P(MinerSweep, AllOutputsSatisfyDefinition32) {
+  const SweepParams& p = GetParam();
+  const auto data = RandomMatrix(p.seed, 40, 12);
+  MinerOptions o;
+  o.gamma = p.gamma;
+  o.epsilon = p.epsilon;
+  o.min_genes = p.min_genes;
+  o.min_conditions = p.min_conditions;
+  RegClusterMiner miner(data, o);
+  auto clusters = miner.Mine();
+  ASSERT_TRUE(clusters.ok()) << clusters.status().ToString();
+
+  std::set<std::string> keys;
+  for (const RegCluster& c : *clusters) {
+    // Size thresholds.
+    EXPECT_GE(c.num_genes(), p.min_genes);
+    EXPECT_GE(c.num_conditions(), p.min_conditions);
+    // Representative: p-members dominate or tie.
+    EXPECT_GE(c.p_genes.size(), c.n_genes.size());
+    // Exactly-once emission.
+    EXPECT_TRUE(keys.insert(c.Key()).second) << "duplicate " << c.Key();
+    // Definition 3.2 from first principles.
+    std::string why;
+    EXPECT_TRUE(ValidateRegCluster(data, c, p.gamma, p.epsilon, &why)) << why;
+  }
+}
+
+TEST_P(MinerSweep, InvertedChainNeverAlsoEmitted) {
+  const SweepParams& p = GetParam();
+  const auto data = RandomMatrix(p.seed ^ 0xabcdef, 30, 10);
+  MinerOptions o;
+  o.gamma = p.gamma;
+  o.epsilon = p.epsilon;
+  o.min_genes = p.min_genes;
+  o.min_conditions = p.min_conditions;
+  RegClusterMiner miner(data, o);
+  auto clusters = miner.Mine();
+  ASSERT_TRUE(clusters.ok());
+  // A cluster and its mirror (reversed chain, p/n swapped) describe the same
+  // pattern; the representative rule must pick exactly one.
+  std::set<std::string> keys;
+  for (const RegCluster& c : *clusters) keys.insert(c.Key());
+  for (const RegCluster& c : *clusters) {
+    RegCluster mirror;
+    mirror.chain.assign(c.chain.rbegin(), c.chain.rend());
+    mirror.p_genes = c.n_genes;
+    mirror.n_genes = c.p_genes;
+    EXPECT_EQ(keys.count(mirror.Key()), 0u)
+        << "both directions emitted for " << c.Key();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamSweep, MinerSweep,
+    ::testing::Values(
+        SweepParams{0.0, 0.0, 2, 2, 1}, SweepParams{0.0, 0.1, 2, 3, 2},
+        SweepParams{0.05, 0.05, 2, 3, 3}, SweepParams{0.1, 0.1, 3, 3, 4},
+        SweepParams{0.1, 0.5, 2, 4, 5}, SweepParams{0.15, 0.1, 3, 4, 6},
+        SweepParams{0.2, 1.0, 2, 3, 7}, SweepParams{0.3, 0.2, 2, 2, 8},
+        SweepParams{0.15, 0.0, 2, 3, 9}, SweepParams{0.25, 2.0, 4, 3, 10}),
+    SweepName);
+
+TEST(MinerPropertyTest, OutputInvariantUnderGeneShuffle) {
+  // Mining a row-permuted matrix must find the same clusters modulo the
+  // gene relabeling.
+  const auto data = RandomMatrix(99, 25, 10);
+  const int n = data.num_genes();
+  std::vector<int> perm(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+  util::Prng prng(5);
+  prng.Shuffle(&perm);
+  matrix::ExpressionMatrix shuffled(n, data.num_conditions());
+  for (int g = 0; g < n; ++g) {
+    for (int c = 0; c < data.num_conditions(); ++c) {
+      shuffled(perm[static_cast<size_t>(g)], c) = data(g, c);
+    }
+  }
+
+  MinerOptions o;
+  o.gamma = 0.1;
+  o.epsilon = 0.2;
+  o.min_genes = 2;
+  o.min_conditions = 3;
+  auto orig = RegClusterMiner(data, o).Mine();
+  auto shuf = RegClusterMiner(shuffled, o).Mine();
+  ASSERT_TRUE(orig.ok());
+  ASSERT_TRUE(shuf.ok());
+  ASSERT_EQ(orig->size(), shuf->size());
+
+  auto remap = [&](const RegCluster& c) {
+    RegCluster out;
+    out.chain = c.chain;
+    for (int g : c.p_genes) out.p_genes.push_back(perm[static_cast<size_t>(g)]);
+    for (int g : c.n_genes) out.n_genes.push_back(perm[static_cast<size_t>(g)]);
+    std::sort(out.p_genes.begin(), out.p_genes.end());
+    std::sort(out.n_genes.begin(), out.n_genes.end());
+    return out;
+  };
+  std::set<std::string> shuf_keys;
+  for (const RegCluster& c : *shuf) {
+    RegCluster k = c;
+    shuf_keys.insert(k.Key() + "#p" + std::to_string(k.p_genes.size()));
+  }
+  for (const RegCluster& c : *orig) {
+    const RegCluster m = remap(c);
+    EXPECT_EQ(shuf_keys.count(m.Key() + "#p" + std::to_string(m.p_genes.size())),
+              1u);
+  }
+}
+
+TEST(MinerPropertyTest, ScalingTheMatrixPreservesClusters) {
+  // gamma is relative (Eq. 4) and coherence is a ratio, so scaling the whole
+  // matrix by a positive constant must not change anything.
+  const auto data = RandomMatrix(123, 30, 10);
+  matrix::ExpressionMatrix scaled = data;
+  for (int g = 0; g < data.num_genes(); ++g) {
+    for (int c = 0; c < data.num_conditions(); ++c) {
+      scaled(g, c) = data(g, c) * 3.5;
+    }
+  }
+  MinerOptions o;
+  o.gamma = 0.12;
+  o.epsilon = 0.3;
+  o.min_genes = 2;
+  o.min_conditions = 3;
+  auto a = RegClusterMiner(data, o).Mine();
+  auto b = RegClusterMiner(scaled, o).Mine();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) EXPECT_EQ((*a)[i], (*b)[i]);
+}
+
+TEST(MinerPropertyTest, ShiftingTheMatrixPreservesClusters) {
+  const auto data = RandomMatrix(321, 30, 10);
+  matrix::ExpressionMatrix shifted = data;
+  for (int g = 0; g < data.num_genes(); ++g) {
+    for (int c = 0; c < data.num_conditions(); ++c) {
+      shifted(g, c) = data(g, c) - 42.0;
+    }
+  }
+  MinerOptions o;
+  o.gamma = 0.12;
+  o.epsilon = 0.3;
+  o.min_genes = 2;
+  o.min_conditions = 3;
+  auto a = RegClusterMiner(data, o).Mine();
+  auto b = RegClusterMiner(shifted, o).Mine();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) EXPECT_EQ((*a)[i], (*b)[i]);
+}
+
+TEST(MinerPropertyTest, MonotoneInEpsilon) {
+  // A larger epsilon can only admit more (or equal) gene-chain combinations;
+  // every cluster found at epsilon=0 must be covered at epsilon=0.5 by a
+  // cluster with the same chain and a superset of genes.
+  const auto data = RandomMatrix(55, 30, 9);
+  MinerOptions tight;
+  tight.gamma = 0.1;
+  tight.epsilon = 0.0;
+  tight.min_genes = 2;
+  tight.min_conditions = 3;
+  MinerOptions loose = tight;
+  loose.epsilon = 0.5;
+  auto a = RegClusterMiner(data, tight).Mine();
+  auto b = RegClusterMiner(data, loose).Mine();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (const RegCluster& ca : *a) {
+    bool covered = false;
+    const auto genes_a = ca.AllGenes();
+    for (const RegCluster& cb : *b) {
+      if (cb.chain != ca.chain &&
+          !std::equal(cb.chain.rbegin(), cb.chain.rend(), ca.chain.begin(),
+                      ca.chain.end())) {
+        continue;
+      }
+      const auto genes_b = cb.AllGenes();
+      if (std::includes(genes_b.begin(), genes_b.end(), genes_a.begin(),
+                        genes_a.end())) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "cluster lost when relaxing epsilon: " << ca.Key();
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace regcluster

@@ -1,0 +1,171 @@
+// Golden end-to-end check of the paper's worked example (Section 4,
+// Figure 6): mining the running dataset at gamma=0.15, epsilon=0.1,
+// MinG=3, MinC=5 must output exactly one reg-cluster -- the chain
+// c7 <- c9 <- c5 <- c1 <- c3 with p-members {g1, g3} and n-members {g2}.
+
+#include <gtest/gtest.h>
+
+#include "core/coherence.h"
+#include "core/miner.h"
+#include "testing/paper_data.h"
+
+namespace regcluster {
+namespace core {
+namespace {
+
+using regcluster::testing::C;
+using regcluster::testing::G;
+using regcluster::testing::RunningDataset;
+
+MinerOptions PaperOptions() {
+  MinerOptions opts;
+  opts.min_genes = 3;
+  opts.min_conditions = 5;
+  opts.gamma = 0.15;
+  opts.epsilon = 0.1;
+  return opts;
+}
+
+TEST(RunningExampleMiner, FindsExactlyThePaperCluster) {
+  const auto data = RunningDataset();
+  RegClusterMiner miner(data, PaperOptions());
+  auto clusters = miner.Mine();
+  ASSERT_TRUE(clusters.ok()) << clusters.status().ToString();
+  ASSERT_EQ(clusters->size(), 1u);
+
+  const RegCluster& c = (*clusters)[0];
+  EXPECT_EQ(c.chain, regcluster::testing::ExpectedChain());
+  EXPECT_EQ(c.p_genes, regcluster::testing::ExpectedPMembers());
+  EXPECT_EQ(c.n_genes, regcluster::testing::ExpectedNMembers());
+}
+
+TEST(RunningExampleMiner, OutputValidatesAgainstOracle) {
+  const auto data = RunningDataset();
+  RegClusterMiner miner(data, PaperOptions());
+  auto clusters = miner.Mine();
+  ASSERT_TRUE(clusters.ok());
+  std::string why;
+  for (const RegCluster& c : *clusters) {
+    EXPECT_TRUE(ValidateRegCluster(data, c, 0.15, 0.1, &why)) << why;
+  }
+}
+
+TEST(RunningExampleMiner, StatsReflectFigure6Prunings) {
+  const auto data = RunningDataset();
+  RegClusterMiner miner(data, PaperOptions());
+  auto clusters = miner.Mine();
+  ASSERT_TRUE(clusters.ok());
+  const MinerStats& s = miner.stats();
+  EXPECT_EQ(s.clusters_emitted, 1);
+  // Figure 6 prunes node c2c10c5 via the coherence test (strategy 4).
+  EXPECT_GE(s.pruned_coherence, 1);
+  // Nodes like c3 (1 p-member < MinG/2) are pruned by strategy 3(a).
+  EXPECT_GE(s.pruned_p_majority, 1);
+  // Nodes like c2c1 / c2c9 / c7c10 are pruned by strategy 1.
+  EXPECT_GE(s.pruned_min_genes, 1);
+  EXPECT_GT(s.nodes_expanded, 0);
+  EXPECT_GE(s.mine_seconds, 0.0);
+}
+
+TEST(RunningExampleMiner, LowerMinCFindsSubchainsToo) {
+  const auto data = RunningDataset();
+  MinerOptions opts = PaperOptions();
+  opts.min_conditions = 4;
+  RegClusterMiner miner(data, opts);
+  auto clusters = miner.Mine();
+  ASSERT_TRUE(clusters.ok());
+  // The 5-chain must still be present among the outputs.
+  bool found = false;
+  for (const RegCluster& c : *clusters) {
+    if (c.chain == regcluster::testing::ExpectedChain()) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GE(clusters->size(), 2u);  // at least the 4-prefix and the 5-chain
+}
+
+TEST(RunningExampleMiner, RemoveDominatedCollapsesPrefixes) {
+  const auto data = RunningDataset();
+  MinerOptions opts = PaperOptions();
+  opts.min_conditions = 4;
+  opts.remove_dominated = true;
+  RegClusterMiner miner(data, opts);
+  auto clusters = miner.Mine();
+  ASSERT_TRUE(clusters.ok());
+  // The contiguous 4-prefix / 4-suffix of the 5-chain with the same gene
+  // set are dominated and must be gone.  (Chains skipping a middle
+  // condition, e.g. c7 c9 c1 c3, are NOT contiguous subsequences and may
+  // legitimately remain.)
+  const std::vector<int> full = regcluster::testing::ExpectedChain();
+  const std::vector<int> prefix(full.begin(), full.end() - 1);
+  const std::vector<int> suffix(full.begin() + 1, full.end());
+  for (const RegCluster& c : *clusters) {
+    if (c.AllGenes() == std::vector<int>{G(1), G(2), G(3)}) {
+      EXPECT_NE(c.chain, prefix);
+      EXPECT_NE(c.chain, suffix);
+    }
+  }
+}
+
+TEST(RunningExampleMiner, TighterGammaKillsTheCluster) {
+  // At gamma = 0.4 the steps of the chain (e.g. 5 units for g1 against a
+  // 30-unit range) are no longer regulated; nothing is found.
+  const auto data = RunningDataset();
+  MinerOptions opts = PaperOptions();
+  opts.gamma = 0.4;
+  RegClusterMiner miner(data, opts);
+  auto clusters = miner.Mine();
+  ASSERT_TRUE(clusters.ok());
+  EXPECT_TRUE(clusters->empty());
+}
+
+TEST(RunningExampleMiner, MinG4IsUnsatisfiable) {
+  const auto data = RunningDataset();
+  MinerOptions opts = PaperOptions();
+  opts.min_genes = 4;  // only 3 genes exist
+  RegClusterMiner miner(data, opts);
+  auto clusters = miner.Mine();
+  ASSERT_TRUE(clusters.ok());
+  EXPECT_TRUE(clusters->empty());
+}
+
+TEST(RunningExampleMiner, Figure4OutlierIsNotClustered) {
+  // On conditions c2 c4 c8 c10, g1 and g3 satisfy d3 = 0.4*d1 + 2 but g2
+  // does not; at MinG=3 no cluster over those conditions may appear with
+  // all three genes.
+  const auto data = RunningDataset();
+  MinerOptions opts;
+  opts.min_genes = 3;
+  opts.min_conditions = 4;
+  opts.gamma = 0.15;
+  opts.epsilon = 0.1;
+  RegClusterMiner miner(data, opts);
+  auto clusters = miner.Mine();
+  ASSERT_TRUE(clusters.ok());
+  const std::vector<int> fig4_conds{C(2), C(4), C(8), C(10)};
+  for (const RegCluster& c : *clusters) {
+    EXPECT_NE(c.SortedConditions(),
+              [&] {
+                auto v = fig4_conds;
+                std::sort(v.begin(), v.end());
+                return v;
+              }());
+  }
+}
+
+TEST(RunningExampleMiner, DeterministicAcrossRuns) {
+  const auto data = RunningDataset();
+  RegClusterMiner a(data, PaperOptions());
+  RegClusterMiner b(data, PaperOptions());
+  auto ra = a.Mine();
+  auto rb = b.Mine();
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ASSERT_EQ(ra->size(), rb->size());
+  for (size_t i = 0; i < ra->size(); ++i) {
+    EXPECT_EQ((*ra)[i], (*rb)[i]);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace regcluster

@@ -1,0 +1,161 @@
+// Targeted mining: required_genes and allowed_conditions must behave as
+// exact filters of the unrestricted output (the prunings they enable are
+// lossless).
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "synth/generator.h"
+#include "testing/paper_data.h"
+
+namespace regcluster {
+namespace core {
+namespace {
+
+using regcluster::testing::RunningDataset;
+
+MinerOptions BaseOptions() {
+  MinerOptions o;
+  o.min_genes = 2;
+  o.min_conditions = 3;
+  o.gamma = 0.15;
+  o.epsilon = 0.1;
+  return o;
+}
+
+std::set<std::string> Keys(const std::vector<RegCluster>& clusters) {
+  std::set<std::string> out;
+  for (const auto& c : clusters) out.insert(c.Key());
+  return out;
+}
+
+TEST(TargetedMiningTest, RequiredGeneEqualsFilteredOutput) {
+  const auto data = RunningDataset();
+  auto unrestricted = RegClusterMiner(data, BaseOptions()).Mine();
+  ASSERT_TRUE(unrestricted.ok());
+
+  for (int gene = 0; gene < 3; ++gene) {
+    MinerOptions o = BaseOptions();
+    o.required_genes = {gene};
+    auto targeted = RegClusterMiner(data, o).Mine();
+    ASSERT_TRUE(targeted.ok());
+
+    std::set<std::string> expected;
+    for (const auto& c : *unrestricted) {
+      const auto genes = c.AllGenes();
+      if (std::binary_search(genes.begin(), genes.end(), gene)) {
+        expected.insert(c.Key());
+      }
+    }
+    EXPECT_EQ(Keys(*targeted), expected) << "gene " << gene;
+  }
+}
+
+TEST(TargetedMiningTest, MultipleRequiredGenes) {
+  const auto data = RunningDataset();
+  MinerOptions o = BaseOptions();
+  o.min_genes = 3;
+  o.min_conditions = 5;
+  o.required_genes = {0, 1, 2};
+  auto targeted = RegClusterMiner(data, o).Mine();
+  ASSERT_TRUE(targeted.ok());
+  ASSERT_EQ(targeted->size(), 1u);
+  EXPECT_EQ((*targeted)[0].chain, regcluster::testing::ExpectedChain());
+}
+
+TEST(TargetedMiningTest, RequiredGeneNotInAnyCluster) {
+  const auto data = RunningDataset();
+  MinerOptions o = BaseOptions();
+  o.gamma = 0.4;        // at MinC = 5 nothing survives this threshold
+  o.min_conditions = 5;
+  o.required_genes = {0};
+  auto targeted = RegClusterMiner(data, o).Mine();
+  ASSERT_TRUE(targeted.ok());
+  EXPECT_TRUE(targeted->empty());
+}
+
+TEST(TargetedMiningTest, AllowedConditionsEqualsFilteredOutput) {
+  const auto data = RunningDataset();
+  auto unrestricted = RegClusterMiner(data, BaseOptions()).Mine();
+  ASSERT_TRUE(unrestricted.ok());
+
+  const std::vector<int> allowed = regcluster::testing::ExpectedChain();
+  MinerOptions o = BaseOptions();
+  o.allowed_conditions = allowed;
+  auto targeted = RegClusterMiner(data, o).Mine();
+  ASSERT_TRUE(targeted.ok());
+
+  std::set<int> allowed_set(allowed.begin(), allowed.end());
+  std::set<std::string> expected;
+  for (const auto& c : *unrestricted) {
+    bool inside = true;
+    for (int cond : c.chain) inside &= allowed_set.count(cond) > 0;
+    if (inside) expected.insert(c.Key());
+  }
+  EXPECT_EQ(Keys(*targeted), expected);
+  // The paper cluster survives the restriction.
+  bool found = false;
+  for (const auto& c : *targeted) {
+    if (c.chain == regcluster::testing::ExpectedChain()) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TargetedMiningTest, CombinedRestrictionsOnSynthetic) {
+  synth::SyntheticConfig cfg;
+  cfg.num_genes = 200;
+  cfg.num_conditions = 16;
+  cfg.num_clusters = 4;
+  cfg.avg_cluster_genes_fraction = 0.05;
+  cfg.seed = 404;
+  auto ds = synth::GenerateSynthetic(cfg);
+  ASSERT_TRUE(ds.ok());
+  const auto& implant = ds->implants[0];
+  const int probe_gene = implant.p_genes[0];
+
+  MinerOptions o;
+  o.min_genes = 6;
+  o.min_conditions = 5;
+  o.gamma = 0.1;
+  o.epsilon = 0.01;
+  auto unrestricted = RegClusterMiner(ds->data, o).Mine();
+  ASSERT_TRUE(unrestricted.ok());
+
+  MinerOptions t = o;
+  t.required_genes = {probe_gene};
+  RegClusterMiner targeted_miner(ds->data, t);
+  auto targeted = targeted_miner.Mine();
+  ASSERT_TRUE(targeted.ok());
+  EXPECT_FALSE(targeted->empty());
+  // Equal to the filter of the unrestricted output...
+  std::set<std::string> expected;
+  for (const auto& c : *unrestricted) {
+    const auto genes = c.AllGenes();
+    if (std::binary_search(genes.begin(), genes.end(), probe_gene)) {
+      expected.insert(c.Key());
+    }
+  }
+  EXPECT_EQ(Keys(*targeted), expected);
+  // ...with less search effort.
+  RegClusterMiner full_miner(ds->data, o);
+  ASSERT_TRUE(full_miner.Mine().ok());
+  EXPECT_LT(targeted_miner.stats().nodes_expanded,
+            full_miner.stats().nodes_expanded);
+}
+
+TEST(TargetedMiningTest, RejectsOutOfRangeTargets) {
+  const auto data = RunningDataset();
+  MinerOptions o = BaseOptions();
+  o.required_genes = {99};
+  EXPECT_FALSE(RegClusterMiner(data, o).Mine().ok());
+  o = BaseOptions();
+  o.allowed_conditions = {-1};
+  EXPECT_FALSE(RegClusterMiner(data, o).Mine().ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace regcluster

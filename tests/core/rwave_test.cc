@@ -1,0 +1,286 @@
+#include "core/rwave.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_data.h"
+#include "util/prng.h"
+
+namespace regcluster {
+namespace core {
+namespace {
+
+using regcluster::testing::C;
+using regcluster::testing::RunningDataset;
+
+// ---------------------------------------------------------------------------
+// Golden checks against Figure 3 (RWave^0.15 models of the running dataset).
+// gamma_1 = gamma_2 = 0.15 * 30 = 4.5, gamma_3 = 0.15 * 12 = 1.8.
+// ---------------------------------------------------------------------------
+
+class RunningExampleRWave : public ::testing::Test {
+ protected:
+  RunningExampleRWave() : data_(RunningDataset()), waves_(data_, 0.15) {}
+
+  matrix::ExpressionMatrix data_;
+  RWaveSet waves_;
+};
+
+TEST_F(RunningExampleRWave, GammaAbsMatchesEquation4) {
+  EXPECT_DOUBLE_EQ(waves_.model(0).gamma_abs(), 4.5);
+  EXPECT_DOUBLE_EQ(waves_.model(1).gamma_abs(), 4.5);
+  EXPECT_DOUBLE_EQ(waves_.model(2).gamma_abs(), 1.8);
+}
+
+TEST_F(RunningExampleRWave, G1SortedOrder) {
+  // g1 values: c7(-15) c2(-14.5) c9(-5) c10(-5) c5(0) c8(0) c1(10)
+  // c4(10.5) c6(14.5) c3(15); ties broken by condition id.
+  const RWaveModel& w = waves_.model(0);
+  const std::vector<int> expected{C(7), C(2), C(9), C(10), C(5),
+                                  C(8), C(1), C(4), C(6),  C(3)};
+  for (int p = 0; p < 10; ++p) {
+    EXPECT_EQ(w.condition_at(p), expected[static_cast<size_t>(p)]) << p;
+  }
+}
+
+TEST_F(RunningExampleRWave, G1Pointers) {
+  // Bordering pointers in position coordinates (c2<-c9), (c10<-c5),
+  // (c8<-c1), (c1<-c3).  (The paper's figure shows the tail of the third
+  // pointer at c5; c5 and c8 are tied at value 0 so the certified regulation
+  // relationships are identical.)
+  const RWaveModel& w = waves_.model(0);
+  const std::vector<RegulationPointer> expected{{1, 2}, {3, 4}, {5, 6}, {6, 9}};
+  EXPECT_EQ(w.pointers(), expected);
+}
+
+TEST_F(RunningExampleRWave, G2Pointers) {
+  // g2 sorted: c2(15) c3(15) c1(20) c10(20) c5(30) c9(35) c8(43) c4(43.5)
+  // c6(44) c7(45); pointers (c3<-c1), (c10<-c5), (c5<-c9), (c9<-c8).
+  const RWaveModel& w = waves_.model(1);
+  const std::vector<RegulationPointer> expected{{1, 2}, {3, 4}, {4, 5}, {5, 6}};
+  EXPECT_EQ(w.pointers(), expected);
+}
+
+TEST_F(RunningExampleRWave, G3PointersMirrorG1) {
+  // g3 has the same rank structure as g1 (Figure 2): same pointer positions.
+  const std::vector<RegulationPointer> expected{{1, 2}, {3, 4}, {5, 6}, {6, 9}};
+  EXPECT_EQ(waves_.model(2).pointers(), expected);
+}
+
+TEST_F(RunningExampleRWave, PredecessorsOfC6ForG1) {
+  // Paper, Section 3.1: the regulation predecessors of c6 for g1 are
+  // exactly c7, c2, c10, c9, c8 and c5.
+  const RWaveModel& w = waves_.model(0);
+  for (int paper_c : {7, 2, 10, 9, 8, 5}) {
+    EXPECT_TRUE(w.IsUpRegulated(C(paper_c), C(6))) << "c" << paper_c;
+  }
+  for (int paper_c : {1, 4, 3}) {
+    EXPECT_FALSE(w.IsUpRegulated(C(paper_c), C(6))) << "c" << paper_c;
+  }
+}
+
+TEST_F(RunningExampleRWave, NoSuccessorsOfC6ForG1) {
+  // "there are no regulation successors of c6" -- no pointer after it.
+  const RWaveModel& w = waves_.model(0);
+  EXPECT_EQ(w.FirstSuccessorPos(w.position(C(6))), -1);
+}
+
+TEST_F(RunningExampleRWave, ChainOfFigure2IsLinkedForAllGenes) {
+  // c7 <- c9 <- c5 <- c1 <- c3 upward for g1, g3; downward for g2.
+  const std::vector<int> chain{C(7), C(9), C(5), C(1), C(3)};
+  for (int g : {0, 2}) {
+    for (size_t k = 0; k + 1 < chain.size(); ++k) {
+      EXPECT_TRUE(waves_.model(g).IsUpRegulated(chain[k], chain[k + 1]))
+          << "g" << g + 1 << " step " << k;
+    }
+  }
+  for (size_t k = 0; k + 1 < chain.size(); ++k) {
+    EXPECT_TRUE(waves_.model(1).IsUpRegulated(chain[k + 1], chain[k]))
+        << "g2 step " << k;
+  }
+}
+
+TEST_F(RunningExampleRWave, RegulationAgreesWithDirectDifferences) {
+  // Lemma 3.1 exhaustively: pointer lookup == direct value comparison.
+  for (int g = 0; g < 3; ++g) {
+    const RWaveModel& w = waves_.model(g);
+    for (int a = 0; a < 10; ++a) {
+      for (int b = 0; b < 10; ++b) {
+        const bool direct = data_(g, b) - data_(g, a) > w.gamma_abs();
+        EXPECT_EQ(w.IsUpRegulated(a, b), direct)
+            << "g" << g + 1 << " c" << a + 1 << " c" << b + 1;
+      }
+    }
+  }
+}
+
+TEST_F(RunningExampleRWave, MaxChainLengths) {
+  // g1 can run a 5-chain upward from c7 and g2 a 5-chain downward from c7.
+  const RWaveModel& w1 = waves_.model(0);
+  EXPECT_EQ(w1.MaxChainUp(w1.position(C(7))), 5);
+  const RWaveModel& w2 = waves_.model(1);
+  EXPECT_EQ(w2.MaxChainDown(w2.position(C(7))), 5);
+  EXPECT_EQ(w2.MaxChainUp(w2.position(C(2))), 5);
+  // From the top position no upward chain longer than 1 exists.
+  EXPECT_EQ(w1.MaxChainUp(w1.position(C(3))), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Structural properties on small hand-built inputs.
+// ---------------------------------------------------------------------------
+
+TEST(RWaveModelTest, EmptyAndSingle) {
+  const double one[] = {3.0};
+  RWaveModel w = RWaveModel::Build(one, 1, 0.5);
+  EXPECT_EQ(w.num_conditions(), 1);
+  EXPECT_TRUE(w.pointers().empty());
+  EXPECT_EQ(w.MaxChainUp(0), 1);
+  EXPECT_EQ(w.MaxChainDown(0), 1);
+
+  RWaveModel empty = RWaveModel::Build(one, 0, 0.5);
+  EXPECT_EQ(empty.num_conditions(), 0);
+}
+
+TEST(RWaveModelTest, GammaZeroLinksAllDistinctValues) {
+  const double v[] = {3.0, 1.0, 2.0};
+  RWaveModel w = RWaveModel::Build(v, 3, 0.0);
+  EXPECT_TRUE(w.IsUpRegulated(1, 2));
+  EXPECT_TRUE(w.IsUpRegulated(2, 0));
+  EXPECT_TRUE(w.IsUpRegulated(1, 0));
+  EXPECT_FALSE(w.IsUpRegulated(0, 1));
+  EXPECT_EQ(w.MaxChainUp(0), 3);
+}
+
+TEST(RWaveModelTest, GammaZeroTiesAreNotRegulated) {
+  // Regulation is strict (Eq. 3): equal values never regulate.
+  const double v[] = {1.0, 1.0};
+  RWaveModel w = RWaveModel::Build(v, 2, 0.0);
+  EXPECT_FALSE(w.IsUpRegulated(0, 1));
+  EXPECT_FALSE(w.IsUpRegulated(1, 0));
+  EXPECT_TRUE(w.pointers().empty());
+}
+
+TEST(RWaveModelTest, LargeGammaYieldsNoPointers) {
+  const double v[] = {0.0, 1.0, 2.0, 3.0};
+  RWaveModel w = RWaveModel::Build(v, 4, 10.0);
+  EXPECT_TRUE(w.pointers().empty());
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(w.MaxChainUp(p), 1);
+    EXPECT_EQ(w.MaxChainDown(p), 1);
+  }
+}
+
+TEST(RWaveModelTest, PointersAreStrictlyIncreasingAndNonEmbedded) {
+  util::Prng prng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> v(20);
+    for (double& x : v) x = prng.Uniform(0, 10);
+    RWaveModel w = RWaveModel::Build(v.data(), 20, 1.0);
+    const auto& ptrs = w.pointers();
+    for (size_t i = 0; i < ptrs.size(); ++i) {
+      EXPECT_LT(ptrs[i].tail_pos, ptrs[i].head_pos);
+      if (i > 0) {
+        EXPECT_LT(ptrs[i - 1].tail_pos, ptrs[i].tail_pos);
+        EXPECT_LT(ptrs[i - 1].head_pos, ptrs[i].head_pos);
+      }
+      // Bordering (Def 3.1): the pointed pair itself is regulated ...
+      EXPECT_GT(w.value_at(ptrs[i].head_pos) - w.value_at(ptrs[i].tail_pos),
+                w.gamma_abs());
+      // ... and it is tight: (tail+1, head) is not a regulated pair.
+      if (ptrs[i].tail_pos + 1 < ptrs[i].head_pos) {
+        EXPECT_LE(
+            w.value_at(ptrs[i].head_pos) - w.value_at(ptrs[i].tail_pos + 1),
+            w.gamma_abs());
+      }
+    }
+  }
+}
+
+// Property sweep: the Lemma 3.1 lookup must agree with direct pairwise
+// comparison for random inputs at many gamma levels.
+class RWavePropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RWavePropertyTest, LookupMatchesDirectComparison) {
+  const double gamma = GetParam();
+  util::Prng prng(1234 + static_cast<uint64_t>(gamma * 1000));
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = static_cast<int>(prng.UniformInt(1, 25));
+    std::vector<double> v(static_cast<size_t>(n));
+    for (double& x : v) {
+      // Mix continuous values and deliberate ties.
+      x = prng.Bernoulli(0.3) ? prng.UniformInt(0, 5)
+                              : prng.Uniform(0, 10);
+    }
+    double lo = v[0], hi = v[0];
+    for (double x : v) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    const double gamma_abs = gamma * (hi - lo);
+    RWaveModel w = RWaveModel::Build(v.data(), n, gamma_abs);
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        const bool direct = v[static_cast<size_t>(b)] -
+                                v[static_cast<size_t>(a)] >
+                            gamma_abs;
+        ASSERT_EQ(w.IsUpRegulated(a, b), direct)
+            << "gamma=" << gamma << " trial=" << trial << " a=" << a
+            << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST_P(RWavePropertyTest, MaxChainMatchesBruteForce) {
+  const double gamma = GetParam();
+  util::Prng prng(777 + static_cast<uint64_t>(gamma * 1000));
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(prng.UniformInt(1, 14));
+    std::vector<double> v(static_cast<size_t>(n));
+    for (double& x : v) x = prng.Uniform(0, 10);
+    double lo = v[0], hi = v[0];
+    for (double x : v) {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    const double gamma_abs = gamma * (hi - lo);
+    RWaveModel w = RWaveModel::Build(v.data(), n, gamma_abs);
+
+    // Brute-force longest regulated chain from each sorted position, upward:
+    // DP over positions right-to-left where a step p->q needs
+    // value(q) - value(p) > gamma_abs.
+    std::vector<int> best_up(static_cast<size_t>(n), 1);
+    for (int p = n - 1; p >= 0; --p) {
+      for (int q = p + 1; q < n; ++q) {
+        if (w.value_at(q) - w.value_at(p) > gamma_abs) {
+          best_up[static_cast<size_t>(p)] =
+              std::max(best_up[static_cast<size_t>(p)],
+                       1 + best_up[static_cast<size_t>(q)]);
+        }
+      }
+    }
+    std::vector<int> best_down(static_cast<size_t>(n), 1);
+    for (int p = 0; p < n; ++p) {
+      for (int q = 0; q < p; ++q) {
+        if (w.value_at(p) - w.value_at(q) > gamma_abs) {
+          best_down[static_cast<size_t>(p)] =
+              std::max(best_down[static_cast<size_t>(p)],
+                       1 + best_down[static_cast<size_t>(q)]);
+        }
+      }
+    }
+    for (int p = 0; p < n; ++p) {
+      ASSERT_EQ(w.MaxChainUp(p), best_up[static_cast<size_t>(p)])
+          << "up gamma=" << gamma << " trial=" << trial << " pos=" << p;
+      ASSERT_EQ(w.MaxChainDown(p), best_down[static_cast<size_t>(p)])
+          << "down gamma=" << gamma << " trial=" << trial << " pos=" << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GammaSweep, RWavePropertyTest,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.15, 0.25, 0.5,
+                                           1.0));
+
+}  // namespace
+}  // namespace core
+}  // namespace regcluster

@@ -1,0 +1,141 @@
+#include "core/threshold.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/coherence.h"
+#include "core/miner.h"
+#include "testing/paper_data.h"
+#include "util/math_util.h"
+
+namespace regcluster {
+namespace core {
+namespace {
+
+using regcluster::testing::RunningDataset;
+
+TEST(GammaPolicyTest, NamesRoundTrip) {
+  for (GammaPolicy p :
+       {GammaPolicy::kRangeFraction, GammaPolicy::kStdDevFraction,
+        GammaPolicy::kMeanFraction, GammaPolicy::kClosestGapFraction,
+        GammaPolicy::kAbsolute}) {
+    GammaPolicy parsed;
+    ASSERT_TRUE(ParseGammaPolicy(GammaPolicyName(p), &parsed));
+    EXPECT_EQ(parsed, p);
+  }
+  GammaPolicy dummy;
+  EXPECT_FALSE(ParseGammaPolicy("bogus", &dummy));
+}
+
+TEST(AbsoluteGammaTest, RangeFractionMatchesEquation4) {
+  const auto data = RunningDataset();
+  // gamma_1 = gamma_2 = 0.15 * 30 = 4.5, gamma_3 = 0.15 * 12 = 1.8.
+  const GammaSpec spec{GammaPolicy::kRangeFraction, 0.15};
+  EXPECT_DOUBLE_EQ(AbsoluteGamma(data, 0, spec), 4.5);
+  EXPECT_DOUBLE_EQ(AbsoluteGamma(data, 1, spec), 4.5);
+  EXPECT_DOUBLE_EQ(AbsoluteGamma(data, 2, spec), 1.8);
+}
+
+TEST(AbsoluteGammaTest, StdDevFraction) {
+  auto m = *matrix::ExpressionMatrix::FromRows({{1, 2, 3, 4, 5}});
+  const GammaSpec spec{GammaPolicy::kStdDevFraction, 2.0};
+  EXPECT_NEAR(AbsoluteGamma(m, 0, spec),
+              2.0 * util::StdDev({1, 2, 3, 4, 5}), 1e-12);
+}
+
+TEST(AbsoluteGammaTest, MeanFractionUsesAbsoluteMean) {
+  auto m = *matrix::ExpressionMatrix::FromRows({{-2, -4, -6}});
+  const GammaSpec spec{GammaPolicy::kMeanFraction, 0.5};
+  EXPECT_DOUBLE_EQ(AbsoluteGamma(m, 0, spec), 0.5 * 4.0);
+}
+
+TEST(AbsoluteGammaTest, ClosestGapIsMeanAdjacentGap) {
+  auto m = *matrix::ExpressionMatrix::FromRows({{10, 0, 1, 3}});
+  // sorted: 0 1 3 10; gaps 1, 2, 7; mean 10/3.
+  const GammaSpec spec{GammaPolicy::kClosestGapFraction, 1.0};
+  EXPECT_NEAR(AbsoluteGamma(m, 0, spec), 10.0 / 3.0, 1e-12);
+}
+
+TEST(AbsoluteGammaTest, AbsoluteIgnoresProfile) {
+  const auto data = RunningDataset();
+  const GammaSpec spec{GammaPolicy::kAbsolute, 7.25};
+  for (int g = 0; g < 3; ++g) {
+    EXPECT_DOUBLE_EQ(AbsoluteGamma(data, g, spec), 7.25);
+  }
+}
+
+TEST(AbsoluteGammaTest, DegenerateRows) {
+  auto constant = *matrix::ExpressionMatrix::FromRows({{5, 5, 5}});
+  EXPECT_DOUBLE_EQ(
+      AbsoluteGamma(constant, 0, {GammaPolicy::kRangeFraction, 0.3}), 0.0);
+  auto nan_row = *matrix::ExpressionMatrix::FromRows(
+      {{std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::quiet_NaN()}});
+  EXPECT_DOUBLE_EQ(
+      AbsoluteGamma(nan_row, 0, {GammaPolicy::kStdDevFraction, 0.3}), 0.0);
+}
+
+TEST(MinerGammaPolicyTest, AbsolutePolicyMatchesEquivalentRelativeRun) {
+  // On the running dataset an absolute gamma of 4.5 equals the relative
+  // 0.15 for g1/g2 but is stricter for g3 (whose range-based gamma is 1.8):
+  // g3's chain steps (2, 2, 4, 2) no longer clear the bar, so the paper
+  // cluster disappears.
+  const auto data = RunningDataset();
+  MinerOptions o;
+  o.min_genes = 3;
+  o.min_conditions = 5;
+  o.gamma_policy = GammaPolicy::kAbsolute;
+  o.gamma = 4.5;
+  o.epsilon = 0.1;
+  auto result = RegClusterMiner(data, o).Mine();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->empty());
+
+  // At an absolute threshold below g3's smallest step the cluster returns.
+  o.gamma = 1.5;
+  o.min_genes = 3;
+  auto relaxed = RegClusterMiner(data, o).Mine();
+  ASSERT_TRUE(relaxed.ok());
+  bool found = false;
+  for (const RegCluster& c : *relaxed) {
+    if (c.chain == regcluster::testing::ExpectedChain()) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MinerGammaPolicyTest, OutputsValidateUnderTheirPolicy) {
+  const auto data = RunningDataset();
+  for (GammaPolicy policy :
+       {GammaPolicy::kStdDevFraction, GammaPolicy::kMeanFraction,
+        GammaPolicy::kClosestGapFraction}) {
+    MinerOptions o;
+    o.min_genes = 2;
+    o.min_conditions = 3;
+    o.gamma_policy = policy;
+    o.gamma = 0.3;
+    o.epsilon = 0.2;
+    auto result = RegClusterMiner(data, o).Mine();
+    ASSERT_TRUE(result.ok()) << GammaPolicyName(policy);
+    std::string why;
+    for (const RegCluster& c : *result) {
+      EXPECT_TRUE(ValidateRegCluster(data, c, GammaSpec{policy, o.gamma},
+                                     o.epsilon, &why))
+          << GammaPolicyName(policy) << ": " << why;
+    }
+  }
+}
+
+TEST(MinerGammaPolicyTest, RelativeGammaAboveOneRejected) {
+  const auto data = RunningDataset();
+  MinerOptions o;
+  o.gamma = 1.5;
+  EXPECT_FALSE(RegClusterMiner(data, o).Mine().ok());
+  // ... but fine for the absolute policy.
+  o.gamma_policy = GammaPolicy::kAbsolute;
+  EXPECT_TRUE(RegClusterMiner(data, o).Mine().ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace regcluster

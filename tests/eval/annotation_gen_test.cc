@@ -1,0 +1,109 @@
+#include "eval/annotation_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace regcluster {
+namespace eval {
+namespace {
+
+std::vector<std::vector<int>> TwoModules() {
+  std::vector<int> m0, m1;
+  for (int g = 0; g < 20; ++g) m0.push_back(g);
+  for (int g = 100; g < 125; ++g) m1.push_back(g);
+  return {m0, m1};
+}
+
+TEST(AnnotationGenTest, TermCountStructure) {
+  AnnotationGenConfig cfg;
+  GoAnnotationDb db = GenerateAnnotations(1000, TwoModules(), cfg);
+  // 3 categories x background + 3 per module.
+  EXPECT_EQ(db.num_terms(), 3 * cfg.background_terms_per_category + 3 * 2);
+  EXPECT_EQ(db.population_size(), 1000);
+}
+
+TEST(AnnotationGenTest, ModuleTermIndexPointsAtModuleTerm) {
+  AnnotationGenConfig cfg;
+  GoAnnotationDb db = GenerateAnnotations(1000, TwoModules(), cfg);
+  const int t = ModuleTermIndex(cfg, 1, GoCategory::kMolecularFunction);
+  EXPECT_EQ(db.term(t).name, "module1 function");
+  EXPECT_EQ(db.term(t).category, GoCategory::kMolecularFunction);
+}
+
+TEST(AnnotationGenTest, ModuleMembersCarryTheirTerm) {
+  AnnotationGenConfig cfg;
+  const auto modules = TwoModules();
+  GoAnnotationDb db = GenerateAnnotations(1000, modules, cfg);
+  const int t = ModuleTermIndex(cfg, 0, GoCategory::kBiologicalProcess);
+  int carriers = 0;
+  for (int g : modules[0]) {
+    for (int term : db.GeneTerms(g)) carriers += (term == t);
+  }
+  // coverage = 0.85 over 20 genes: expect clearly more than half.
+  EXPECT_GE(carriers, 12);
+}
+
+TEST(AnnotationGenTest, ModuleTermIsRareOutsideModule) {
+  AnnotationGenConfig cfg;
+  const auto modules = TwoModules();
+  GoAnnotationDb db = GenerateAnnotations(1000, modules, cfg);
+  const int t = ModuleTermIndex(cfg, 0, GoCategory::kBiologicalProcess);
+  // Population count ~ module hits + 0.5% of 1000 = ~22.
+  EXPECT_LT(db.TermPopulationCount(t), 40);
+}
+
+TEST(AnnotationGenTest, ModuleGenesAreEnriched) {
+  AnnotationGenConfig cfg;
+  const auto modules = TwoModules();
+  GoAnnotationDb db = GenerateAnnotations(2000, modules, cfg);
+  auto results = FindEnrichedTerms(db, modules[0]);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  // Top hit must be one of module 0's characteristic terms with a tiny p.
+  const int top = (*results)[0].term;
+  bool is_module0_term = false;
+  for (int cat = 0; cat < 3; ++cat) {
+    if (top == ModuleTermIndex(cfg, 0, static_cast<GoCategory>(cat))) {
+      is_module0_term = true;
+    }
+  }
+  EXPECT_TRUE(is_module0_term);
+  EXPECT_LT((*results)[0].p_value, 1e-10);
+}
+
+TEST(AnnotationGenTest, RandomGeneSetNotEnrichedInModuleTerms) {
+  AnnotationGenConfig cfg;
+  const auto modules = TwoModules();
+  GoAnnotationDb db = GenerateAnnotations(2000, modules, cfg);
+  std::vector<int> random_set;
+  for (int g = 500; g < 520; ++g) random_set.push_back(g);
+  EnrichmentOptions opts;
+  opts.max_p_value = 1e-6;
+  auto results = FindEnrichedTerms(db, random_set, opts);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+}
+
+TEST(AnnotationGenTest, BackgroundAnnotationRateRoughlyAsConfigured) {
+  AnnotationGenConfig cfg;
+  cfg.avg_annotations_per_gene = 3.0;
+  GoAnnotationDb db = GenerateAnnotations(2000, {}, cfg);
+  int64_t total = 0;
+  for (int g = 0; g < 2000; ++g) {
+    total += static_cast<int64_t>(db.GeneTerms(g).size());
+  }
+  const double avg = static_cast<double>(total) / 2000.0;
+  EXPECT_NEAR(avg, 3.0, 0.5);
+}
+
+TEST(AnnotationGenTest, Deterministic) {
+  AnnotationGenConfig cfg;
+  GoAnnotationDb a = GenerateAnnotations(500, TwoModules(), cfg);
+  GoAnnotationDb b = GenerateAnnotations(500, TwoModules(), cfg);
+  for (int g = 0; g < 500; ++g) {
+    ASSERT_EQ(a.GeneTerms(g), b.GeneTerms(g));
+  }
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace regcluster

@@ -1,0 +1,77 @@
+#include "eval/cluster_index.h"
+
+#include <gtest/gtest.h>
+
+namespace regcluster {
+namespace eval {
+namespace {
+
+std::vector<core::RegCluster> SampleClusters() {
+  core::RegCluster a;  // genes {0,1,2}, conds {0,1,2}
+  a.chain = {2, 0, 1};
+  a.p_genes = {0, 1};
+  a.n_genes = {2};
+  core::RegCluster b;  // genes {1,3}, conds {1,3}
+  b.chain = {3, 1};
+  b.p_genes = {1, 3};
+  core::RegCluster c;  // genes {4}, conds {4}
+  c.chain = {4, 0};
+  c.p_genes = {4};
+  return {a, b, c};
+}
+
+TEST(ClusterIndexTest, GeneLookups) {
+  const ClusterIndex index(SampleClusters(), 6, 6);
+  EXPECT_EQ(index.num_clusters(), 3);
+  EXPECT_EQ(index.ClustersWithGene(0), (std::vector<int>{0}));
+  EXPECT_EQ(index.ClustersWithGene(1), (std::vector<int>{0, 1}));
+  EXPECT_EQ(index.ClustersWithGene(4), (std::vector<int>{2}));
+  EXPECT_TRUE(index.ClustersWithGene(5).empty());
+}
+
+TEST(ClusterIndexTest, OutOfRangeIsEmpty) {
+  const ClusterIndex index(SampleClusters(), 6, 6);
+  EXPECT_TRUE(index.ClustersWithGene(-1).empty());
+  EXPECT_TRUE(index.ClustersWithGene(100).empty());
+  EXPECT_TRUE(index.ClustersWithCondition(-1).empty());
+  EXPECT_TRUE(index.ClustersWithCondition(100).empty());
+}
+
+TEST(ClusterIndexTest, ConditionLookups) {
+  const ClusterIndex index(SampleClusters(), 6, 6);
+  EXPECT_EQ(index.ClustersWithCondition(1), (std::vector<int>{0, 1}));
+  EXPECT_EQ(index.ClustersWithCondition(4), (std::vector<int>{2}));
+  EXPECT_EQ(index.ClustersWithCondition(0), (std::vector<int>{0, 2}));
+}
+
+TEST(ClusterIndexTest, CoClusterCount) {
+  const ClusterIndex index(SampleClusters(), 6, 6);
+  EXPECT_EQ(index.CoClusterCount(0, 1), 1);
+  EXPECT_EQ(index.CoClusterCount(1, 3), 1);
+  EXPECT_EQ(index.CoClusterCount(0, 3), 0);
+  EXPECT_EQ(index.CoClusterCount(0, 4), 0);
+}
+
+TEST(ClusterIndexTest, CoClusteredGenes) {
+  const ClusterIndex index(SampleClusters(), 6, 6);
+  EXPECT_EQ(index.CoClusteredGenes(1), (std::vector<int>{0, 2, 3}));
+  EXPECT_EQ(index.CoClusteredGenes(4), (std::vector<int>{}));
+  EXPECT_EQ(index.CoClusteredGenes(5), (std::vector<int>{}));
+}
+
+TEST(ClusterIndexTest, MembershipDegree) {
+  const ClusterIndex index(SampleClusters(), 6, 6);
+  EXPECT_EQ(index.MembershipDegree(1), 2);  // the overlap property
+  EXPECT_EQ(index.MembershipDegree(0), 1);
+  EXPECT_EQ(index.MembershipDegree(5), 0);
+}
+
+TEST(ClusterIndexTest, EmptyClusterSet) {
+  const ClusterIndex index({}, 4, 4);
+  EXPECT_EQ(index.num_clusters(), 0);
+  EXPECT_TRUE(index.ClustersWithGene(0).empty());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace regcluster

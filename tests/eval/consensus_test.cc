@@ -1,0 +1,135 @@
+#include "eval/consensus.h"
+
+#include <gtest/gtest.h>
+
+#include "core/coherence.h"
+#include "core/miner.h"
+#include "matrix/expression_matrix.h"
+#include "testing/paper_data.h"
+
+namespace regcluster {
+namespace eval {
+namespace {
+
+using regcluster::testing::RunningDataset;
+
+/// Matrix with 4 genes all perfectly affine on the full condition set.
+matrix::ExpressionMatrix AffineFour() {
+  return *matrix::ExpressionMatrix::FromRows({
+      {0, 10, 20, 30, 40},
+      {5, 25, 45, 65, 85},    // 2x + 5
+      {100, 80, 60, 40, 20},  // -2x + 100
+      {1, 11, 21, 31, 41},    // x + 1
+  });
+}
+
+TEST(TryMergeTest, FoldsCompatibleGenes) {
+  const auto data = AffineFour();
+  core::RegCluster a;
+  a.chain = {0, 1, 2, 3, 4};
+  a.p_genes = {0, 1};
+  core::RegCluster b;
+  b.chain = {0, 1, 2, 3};
+  b.p_genes = {3};
+  b.n_genes = {2};
+  core::RegCluster merged;
+  ASSERT_TRUE(TryMerge(data, a, b,
+                       {core::GammaPolicy::kRangeFraction, 0.2}, 1e-9,
+                       &merged));
+  EXPECT_EQ(merged.chain, a.chain);
+  EXPECT_EQ(merged.p_genes, (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(merged.n_genes, (std::vector<int>{2}));
+}
+
+TEST(TryMergeTest, RefusesNonCompliantGene) {
+  // g2 of the running dataset cannot follow the Figure 4 chain at gamma.15.
+  const auto data = RunningDataset();
+  core::RegCluster a;
+  a.chain = regcluster::testing::ExpectedChain();
+  a.p_genes = {0, 2};
+  core::RegCluster b;
+  b.chain = {regcluster::testing::C(2), regcluster::testing::C(10)};
+  b.p_genes = {1};
+  core::RegCluster merged;
+  // g2 follows a's chain inverted, so the merge succeeds as an n-member.
+  ASSERT_TRUE(TryMerge(data, a, b,
+                       {core::GammaPolicy::kRangeFraction, 0.15}, 0.1,
+                       &merged));
+  EXPECT_EQ(merged.n_genes, (std::vector<int>{1}));
+  // Refusal case: perturb the data so g2 no longer complies with the chain.
+  matrix::ExpressionMatrix noisy = data;
+  noisy(1, regcluster::testing::C(5)) = 60;  // breaks g2's chain compliance
+  EXPECT_FALSE(TryMerge(noisy, a, b,
+                        {core::GammaPolicy::kRangeFraction, 0.15}, 0.1,
+                        &merged));
+}
+
+TEST(MergeOverlappingTest, MergesNestedOutput) {
+  const auto data = AffineFour();
+  core::RegCluster big;
+  big.chain = {0, 1, 2, 3, 4};
+  big.p_genes = {0, 1, 3};
+  big.n_genes = {2};
+  core::RegCluster prefix;
+  prefix.chain = {0, 1, 2, 3};
+  prefix.p_genes = {0, 1};
+  ConsensusOptions opts;
+  opts.min_overlap = 0.5;
+  opts.gamma_spec = {core::GammaPolicy::kRangeFraction, 0.2};
+  opts.epsilon = 1e-9;
+  const auto merged = MergeOverlapping(data, {big, prefix}, opts);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].AllGenes(), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(MergeOverlappingTest, KeepsDisjointClusters) {
+  const auto data = AffineFour();
+  core::RegCluster a;
+  a.chain = {0, 1, 2};
+  a.p_genes = {0, 1};
+  core::RegCluster b;
+  b.chain = {3, 4};
+  b.p_genes = {2, 3};
+  ConsensusOptions opts;
+  opts.min_overlap = 0.5;
+  opts.gamma_spec = {core::GammaPolicy::kRangeFraction, 0.0};
+  opts.epsilon = 10.0;
+  // b's genes/conditions overlap a's only partially (genes disjoint):
+  // overlap 0 -> no merge.
+  const auto merged = MergeOverlapping(data, {a, b}, opts);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(MergeOverlappingTest, ReducesMinedYeastStyleOutput) {
+  // End-to-end: overlapping raw miner output shrinks, and every survivor
+  // still validates.
+  const auto data = RunningDataset();
+  core::MinerOptions o;
+  o.min_genes = 3;
+  o.min_conditions = 4;
+  o.gamma = 0.15;
+  o.epsilon = 0.1;
+  auto mined = core::RegClusterMiner(data, o).Mine();
+  ASSERT_TRUE(mined.ok());
+  ASSERT_GT(mined->size(), 1u);
+
+  ConsensusOptions opts;
+  opts.min_overlap = 0.4;
+  opts.gamma_spec = {core::GammaPolicy::kRangeFraction, 0.15};
+  opts.epsilon = 0.1;
+  const auto merged = MergeOverlapping(data, *mined, opts);
+  EXPECT_LT(merged.size(), mined->size());
+  for (const auto& c : merged) {
+    std::string why;
+    EXPECT_TRUE(core::ValidateRegCluster(data, c, 0.15, 0.1, &why)) << why;
+  }
+}
+
+TEST(MergeOverlappingTest, EmptyInput) {
+  const auto data = AffineFour();
+  EXPECT_TRUE(MergeOverlapping(data, {}, {}).empty());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace regcluster

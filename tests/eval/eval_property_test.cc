@@ -1,0 +1,179 @@
+// Property sweeps over the evaluation stack: metric axioms for the match
+// scores, consensus-merge invariants, and significance-test monotonicity.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/coherence.h"
+#include "core/miner.h"
+#include "eval/consensus.h"
+#include "eval/match.h"
+#include "eval/significance.h"
+#include "synth/generator.h"
+#include "util/prng.h"
+
+namespace regcluster {
+namespace eval {
+namespace {
+
+core::Bicluster RandomBicluster(util::Prng* prng, int genes, int conds) {
+  core::Bicluster b;
+  b.genes = prng->SampleWithoutReplacement(
+      genes, 1 + static_cast<int>(prng->UniformInt(0, genes - 1)));
+  b.conditions = prng->SampleWithoutReplacement(
+      conds, 1 + static_cast<int>(prng->UniformInt(0, conds - 1)));
+  return b;
+}
+
+class MatchMetricAxioms : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatchMetricAxioms, JaccardAxioms) {
+  util::Prng prng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    const core::Bicluster a = RandomBicluster(&prng, 20, 8);
+    const core::Bicluster b = RandomBicluster(&prng, 20, 8);
+    // Range.
+    const double gj = GeneJaccard(a, b);
+    const double cj = CellJaccard(a, b);
+    ASSERT_GE(gj, 0.0);
+    ASSERT_LE(gj, 1.0);
+    ASSERT_GE(cj, 0.0);
+    ASSERT_LE(cj, 1.0);
+    // Symmetry.
+    ASSERT_DOUBLE_EQ(gj, GeneJaccard(b, a));
+    ASSERT_DOUBLE_EQ(cj, CellJaccard(b, a));
+    // Identity.
+    ASSERT_DOUBLE_EQ(GeneJaccard(a, a), 1.0);
+    ASSERT_DOUBLE_EQ(CellJaccard(a, a), 1.0);
+    // Cell <= min(gene overlap exists): if gene sets are disjoint, cells
+    // share nothing.
+    std::vector<int> inter;
+    std::set_intersection(a.genes.begin(), a.genes.end(), b.genes.begin(),
+                          b.genes.end(), std::back_inserter(inter));
+    if (inter.empty()) {
+      ASSERT_DOUBLE_EQ(cj, 0.0);
+    }
+  }
+}
+
+TEST_P(MatchMetricAxioms, MatchScoreMonotoneInFoundSet) {
+  // Adding clusters to `found` cannot lower recovery of the truth.
+  util::Prng prng(50 + GetParam());
+  std::vector<core::Bicluster> truth, found;
+  for (int i = 0; i < 3; ++i) truth.push_back(RandomBicluster(&prng, 20, 8));
+  double prev = CellMatchScore(truth, found);
+  for (int i = 0; i < 6; ++i) {
+    found.push_back(RandomBicluster(&prng, 20, 8));
+    const double now = CellMatchScore(truth, found);
+    ASSERT_GE(now + 1e-12, prev);
+    prev = now;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchMetricAxioms, ::testing::Range(1, 7));
+
+class ConsensusSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConsensusSweep, MergeNeverInvalidatesAndNeverGrowsCount) {
+  const double threshold = GetParam();
+  synth::SyntheticConfig cfg;
+  cfg.num_genes = 120;
+  cfg.num_conditions = 14;
+  cfg.num_clusters = 3;
+  cfg.avg_cluster_genes_fraction = 0.07;
+  cfg.seed = 900 + static_cast<uint64_t>(threshold * 100);
+  auto ds = synth::GenerateSynthetic(cfg);
+  ASSERT_TRUE(ds.ok());
+
+  core::MinerOptions o;
+  o.min_genes = 5;
+  o.min_conditions = 4;
+  o.gamma = 0.1;
+  o.epsilon = 0.05;
+  auto raw = core::RegClusterMiner(ds->data, o).Mine();
+  ASSERT_TRUE(raw.ok());
+
+  ConsensusOptions copts;
+  copts.min_overlap = threshold;
+  copts.gamma_spec = {core::GammaPolicy::kRangeFraction, o.gamma};
+  copts.epsilon = o.epsilon;
+  const auto merged = MergeOverlapping(ds->data, *raw, copts);
+  EXPECT_LE(merged.size(), raw->size());
+  std::string why;
+  for (const auto& c : merged) {
+    ASSERT_TRUE(
+        core::ValidateRegCluster(ds->data, c, o.gamma, o.epsilon, &why))
+        << why;
+  }
+  // Gene coverage never shrinks: every gene clustered before is clustered
+  // after (merging only unions gene sets).
+  std::set<int> before, after;
+  for (const auto& c : *raw) {
+    for (int g : c.AllGenes()) before.insert(g);
+  }
+  for (const auto& c : merged) {
+    for (int g : c.AllGenes()) after.insert(g);
+  }
+  for (int g : before) ASSERT_TRUE(after.count(g)) << g;
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ConsensusSweep,
+                         ::testing::Values(0.25, 0.5, 0.75, 0.95));
+
+TEST(SignificanceMonotonicity, MorePermutationsStabilizeTheNullRate) {
+  synth::SyntheticConfig cfg;
+  cfg.num_genes = 200;
+  cfg.num_conditions = 16;
+  cfg.num_clusters = 1;
+  cfg.avg_cluster_genes_fraction = 0.06;
+  cfg.seed = 61;
+  auto ds = synth::GenerateSynthetic(cfg);
+  ASSERT_TRUE(ds.ok());
+  const core::RegCluster cluster = ds->implants[0].ToRegCluster();
+
+  SignificanceOptions a;
+  a.gamma_spec = {core::GammaPolicy::kRangeFraction, 0.1};
+  a.epsilon = 0.05;
+  a.permutations = 500;
+  SignificanceOptions b = a;
+  b.permutations = 5000;
+  auto ra = PermutationSignificance(ds->data, cluster, a);
+  auto rb = PermutationSignificance(ds->data, cluster, b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  // Both runs agree the cluster is overwhelmingly significant.
+  EXPECT_LT(ra->p_value, 1e-6);
+  EXPECT_LT(rb->p_value, 1e-6);
+}
+
+TEST(SignificanceMonotonicity, LooserEpsilonRaisesNullRate) {
+  synth::SyntheticConfig cfg;
+  cfg.num_genes = 150;
+  cfg.num_conditions = 12;
+  cfg.num_clusters = 1;
+  cfg.avg_cluster_genes_fraction = 0.08;
+  cfg.avg_cluster_conditions = 4;
+  cfg.seed = 62;
+  auto ds = synth::GenerateSynthetic(cfg);
+  ASSERT_TRUE(ds.ok());
+  const core::RegCluster cluster = ds->implants[0].ToRegCluster();
+
+  SignificanceOptions tight;
+  tight.gamma_spec = {core::GammaPolicy::kRangeFraction, 0.0};
+  tight.epsilon = 0.05;
+  tight.permutations = 3000;
+  SignificanceOptions loose = tight;
+  loose.epsilon = 10.0;
+  auto rt = PermutationSignificance(ds->data, cluster, tight);
+  auto rl = PermutationSignificance(ds->data, cluster, loose);
+  ASSERT_TRUE(rt.ok());
+  ASSERT_TRUE(rl.ok());
+  EXPECT_LE(rt->null_full_rate, rl->null_full_rate);
+  EXPECT_DOUBLE_EQ(rt->null_chain_rate, rl->null_chain_rate);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace regcluster

@@ -1,0 +1,150 @@
+#include "eval/go_enrichment.h"
+
+#include <gtest/gtest.h>
+
+namespace regcluster {
+namespace eval {
+namespace {
+
+GoAnnotationDb MakeSmallDb() {
+  // Population of 100 genes; term 0 annotates genes 0..9, term 1 annotates
+  // evens, term 2 annotates 0..49.
+  GoAnnotationDb db(100);
+  db.AddTerm({"GO:0000001", "dna replication", GoCategory::kBiologicalProcess});
+  db.AddTerm({"GO:0000002", "kinase activity", GoCategory::kMolecularFunction});
+  db.AddTerm({"GO:0000003", "cytoplasm", GoCategory::kCellularComponent});
+  for (int g = 0; g < 10; ++g) EXPECT_TRUE(db.Annotate(g, 0).ok());
+  for (int g = 0; g < 100; g += 2) EXPECT_TRUE(db.Annotate(g, 1).ok());
+  for (int g = 0; g < 50; ++g) EXPECT_TRUE(db.Annotate(g, 2).ok());
+  return db;
+}
+
+TEST(GoAnnotationDbTest, CountsAndLookups) {
+  GoAnnotationDb db = MakeSmallDb();
+  EXPECT_EQ(db.population_size(), 100);
+  EXPECT_EQ(db.num_terms(), 3);
+  EXPECT_EQ(db.TermPopulationCount(0), 10);
+  EXPECT_EQ(db.TermPopulationCount(1), 50);
+  EXPECT_EQ(db.GeneTerms(0), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(db.GeneTerms(99), (std::vector<int>{}));
+  EXPECT_EQ(db.GeneTerms(98), (std::vector<int>{1}));
+}
+
+TEST(GoAnnotationDbTest, DuplicateAnnotationIgnored) {
+  GoAnnotationDb db(10);
+  db.AddTerm({"GO:1", "t", GoCategory::kBiologicalProcess});
+  EXPECT_TRUE(db.Annotate(3, 0).ok());
+  EXPECT_TRUE(db.Annotate(3, 0).ok());
+  EXPECT_EQ(db.TermPopulationCount(0), 1);
+}
+
+TEST(GoAnnotationDbTest, RangeChecks) {
+  GoAnnotationDb db(10);
+  db.AddTerm({"GO:1", "t", GoCategory::kBiologicalProcess});
+  EXPECT_FALSE(db.Annotate(-1, 0).ok());
+  EXPECT_FALSE(db.Annotate(10, 0).ok());
+  EXPECT_FALSE(db.Annotate(0, 5).ok());
+}
+
+TEST(EnrichmentTest, EnrichedTermDetected) {
+  GoAnnotationDb db = MakeSmallDb();
+  // Cluster = exactly the 10 genes of term 0: maximally enriched.
+  std::vector<int> cluster;
+  for (int g = 0; g < 10; ++g) cluster.push_back(g);
+  auto results = FindEnrichedTerms(db, cluster);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  EXPECT_EQ((*results)[0].term, 0);
+  EXPECT_EQ((*results)[0].cluster_count, 10);
+  EXPECT_LT((*results)[0].p_value, 1e-10);
+  EXPECT_LE((*results)[0].p_value, (*results)[0].corrected_p_value);
+}
+
+TEST(EnrichmentTest, RandomSpreadTermNotReported) {
+  GoAnnotationDb db = MakeSmallDb();
+  // Genes 50..59 carry only term 1 at its background rate.
+  std::vector<int> cluster;
+  for (int g = 50; g < 60; ++g) cluster.push_back(g);
+  EnrichmentOptions opts;
+  opts.max_p_value = 0.01;
+  auto results = FindEnrichedTerms(db, cluster, opts);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+}
+
+TEST(EnrichmentTest, MinClusterCountFilters) {
+  GoAnnotationDb db = MakeSmallDb();
+  EnrichmentOptions opts;
+  opts.max_p_value = 1.0;
+  opts.min_cluster_count = 3;
+  auto results = FindEnrichedTerms(db, {0, 60}, opts);  // term0 hit once
+  ASSERT_TRUE(results.ok());
+  for (const auto& r : *results) EXPECT_GE(r.cluster_count, 3);
+}
+
+TEST(EnrichmentTest, BonferroniInflatesPValue) {
+  GoAnnotationDb db = MakeSmallDb();
+  std::vector<int> cluster{0, 1, 2, 3, 4};
+  EnrichmentOptions with;
+  with.max_p_value = 1.0;
+  EnrichmentOptions without = with;
+  without.bonferroni = false;
+  auto a = FindEnrichedTerms(db, cluster, with);
+  auto b = FindEnrichedTerms(db, cluster, without);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_FALSE(a->empty());
+  ASSERT_FALSE(b->empty());
+  EXPECT_GE((*a)[0].corrected_p_value, (*b)[0].corrected_p_value);
+}
+
+TEST(EnrichmentTest, ResultsSortedByPValue) {
+  GoAnnotationDb db = MakeSmallDb();
+  std::vector<int> cluster;
+  for (int g = 0; g < 10; ++g) cluster.push_back(g);
+  EnrichmentOptions opts;
+  opts.max_p_value = 1.0;
+  auto results = FindEnrichedTerms(db, cluster, opts);
+  ASSERT_TRUE(results.ok());
+  for (size_t i = 1; i < results->size(); ++i) {
+    EXPECT_LE((*results)[i - 1].p_value, (*results)[i].p_value);
+  }
+}
+
+TEST(EnrichmentTest, RejectsOutOfPopulationGene) {
+  GoAnnotationDb db = MakeSmallDb();
+  EXPECT_FALSE(FindEnrichedTerms(db, {0, 200}).ok());
+}
+
+TEST(TopTermTest, PicksMostSignificantPerCategory) {
+  GoAnnotationDb db = MakeSmallDb();
+  std::vector<int> cluster;
+  for (int g = 0; g < 10; ++g) cluster.push_back(g);
+  EnrichmentOptions opts;
+  opts.max_p_value = 1.0;
+  auto results = FindEnrichedTerms(db, cluster, opts);
+  ASSERT_TRUE(results.ok());
+  const auto proc =
+      TopTermOfCategory(db, *results, GoCategory::kBiologicalProcess);
+  EXPECT_EQ(proc.term, 0);
+  const auto func =
+      TopTermOfCategory(db, *results, GoCategory::kMolecularFunction);
+  EXPECT_EQ(func.term, 1);
+}
+
+TEST(TopTermTest, MissingCategoryReturnsSentinel) {
+  GoAnnotationDb db(10);
+  const auto r = TopTermOfCategory(db, {}, GoCategory::kCellularComponent);
+  EXPECT_EQ(r.term, -1);
+}
+
+TEST(GoCategoryTest, Names) {
+  EXPECT_STREQ(GoCategoryName(GoCategory::kBiologicalProcess), "Process");
+  EXPECT_STREQ(GoCategoryName(GoCategory::kMolecularFunction), "Function");
+  EXPECT_STREQ(GoCategoryName(GoCategory::kCellularComponent),
+               "Cellular Component");
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace regcluster

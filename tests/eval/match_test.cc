@@ -1,0 +1,87 @@
+#include "eval/match.h"
+
+#include <gtest/gtest.h>
+
+namespace regcluster {
+namespace eval {
+namespace {
+
+using core::Bicluster;
+
+TEST(JaccardTest, Basics) {
+  EXPECT_DOUBLE_EQ(Jaccard({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(Jaccard({1, 2}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(Jaccard({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(Jaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(Jaccard({}, {1}), 0.0);
+}
+
+TEST(GeneJaccardTest, IgnoresConditions) {
+  Bicluster a{{1, 2}, {0, 1}};
+  Bicluster b{{1, 2}, {7, 8, 9}};
+  EXPECT_DOUBLE_EQ(GeneJaccard(a, b), 1.0);
+}
+
+TEST(CellJaccardTest, Basics) {
+  Bicluster a{{0, 1}, {0, 1}};       // 4 cells
+  Bicluster b{{1, 2}, {1, 2}};       // 4 cells, shares cell (1,1)
+  EXPECT_DOUBLE_EQ(CellJaccard(a, b), 1.0 / 7.0);
+  EXPECT_DOUBLE_EQ(CellJaccard(a, a), 1.0);
+}
+
+TEST(MatchScoreTest, PerfectRecovery) {
+  std::vector<Bicluster> truth{{{0, 1, 2}, {0, 1}}, {{5, 6}, {2, 3}}};
+  EXPECT_DOUBLE_EQ(GeneMatchScore(truth, truth), 1.0);
+  EXPECT_DOUBLE_EQ(CellMatchScore(truth, truth), 1.0);
+}
+
+TEST(MatchScoreTest, EmptySidesAreVacuous) {
+  std::vector<Bicluster> some{{{0, 1}, {0, 1}}};
+  EXPECT_DOUBLE_EQ(GeneMatchScore({}, some), 1.0);
+  EXPECT_DOUBLE_EQ(GeneMatchScore(some, {}), 0.0);
+}
+
+TEST(MatchScoreTest, PartialOverlapScoresBetween) {
+  std::vector<Bicluster> found{{{0, 1, 2, 3}, {0, 1}}};
+  std::vector<Bicluster> truth{{{2, 3, 4, 5}, {0, 1}}};
+  const double s = GeneMatchScore(found, truth);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+  EXPECT_DOUBLE_EQ(s, 2.0 / 6.0);
+}
+
+TEST(MatchScoreTest, BestMatchIsChosen) {
+  std::vector<Bicluster> found{{{0, 1}, {0, 1}}};
+  std::vector<Bicluster> truth{
+      {{8, 9}, {0, 1}},     // no overlap
+      {{0, 1, 2}, {0, 1}},  // good overlap
+  };
+  EXPECT_DOUBLE_EQ(GeneMatchScore(found, truth), 2.0 / 3.0);
+}
+
+TEST(ScoreAgainstTruthTest, AsymmetryDetectsOverAndUnderReporting) {
+  // One truth cluster, found twice plus one junk cluster: relevance drops,
+  // recovery stays perfect.
+  std::vector<Bicluster> truth{{{0, 1, 2}, {0, 1, 2}}};
+  std::vector<Bicluster> found{
+      {{0, 1, 2}, {0, 1, 2}},
+      {{0, 1, 2}, {0, 1, 2}},
+      {{7, 8, 9}, {3, 4}},
+  };
+  const MatchReport r = ScoreAgainstTruth(found, truth);
+  EXPECT_DOUBLE_EQ(r.gene_recovery, 1.0);
+  EXPECT_LT(r.gene_relevance, 1.0);
+  EXPECT_NEAR(r.gene_relevance, 2.0 / 3.0, 1e-12);
+}
+
+TEST(ScoreAgainstTruthTest, CellScoresUseConditionsToo) {
+  std::vector<Bicluster> truth{{{0, 1}, {0, 1}}};
+  std::vector<Bicluster> right_genes_wrong_conds{{{0, 1}, {5, 6}}};
+  const MatchReport r = ScoreAgainstTruth(right_genes_wrong_conds, truth);
+  EXPECT_DOUBLE_EQ(r.gene_relevance, 1.0);
+  EXPECT_DOUBLE_EQ(r.cell_relevance, 0.0);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace regcluster

@@ -1,0 +1,108 @@
+#include "eval/quality.h"
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "testing/paper_data.h"
+
+namespace regcluster {
+namespace eval {
+namespace {
+
+using regcluster::testing::RunningDataset;
+
+core::RegCluster PaperCluster() {
+  core::RegCluster c;
+  c.chain = regcluster::testing::ExpectedChain();
+  c.p_genes = regcluster::testing::ExpectedPMembers();
+  c.n_genes = regcluster::testing::ExpectedNMembers();
+  return c;
+}
+
+TEST(ScoreClusterTest, PerfectPatternScoresPerfectly) {
+  const auto data = RunningDataset();
+  const ClusterQuality q = ScoreCluster(data, PaperCluster());
+  // The running example's cluster is a perfect shifting-and-scaling pattern.
+  EXPECT_NEAR(q.coherence_spread, 0.0, 1e-12);
+  EXPECT_NEAR(q.mean_fit_residual, 0.0, 1e-12);
+  EXPECT_NEAR(q.mean_abs_correlation, 1.0, 1e-12);
+}
+
+TEST(ScoreClusterTest, RegulationMarginMatchesHandComputation) {
+  const auto data = RunningDataset();
+  core::GammaSpec spec{core::GammaPolicy::kRangeFraction, 0.15};
+  const ClusterQuality q = ScoreCluster(data, PaperCluster(), spec);
+  // Smallest step relative to gamma_i: g3 has steps {4,2,4,2}, gamma_3=1.8
+  // -> margin 2/1.8; g1 steps {10,5,10,5} over 4.5 -> 5/4.5; g2 the same.
+  EXPECT_NEAR(q.regulation_margin, 2.0 / 1.8, 1e-12);
+}
+
+TEST(ScoreClusterTest, IncoherentClusterHasLargeSpread) {
+  const auto data = RunningDataset();
+  core::RegCluster c;
+  c.chain = {regcluster::testing::C(2), regcluster::testing::C(10),
+             regcluster::testing::C(8), regcluster::testing::C(4)};
+  c.p_genes = {0, 1, 2};  // Figure 4's outlier situation
+  const ClusterQuality q = ScoreCluster(data, c);
+  EXPECT_GT(q.coherence_spread, 4.0);  // 4.6 - 0.5263
+  EXPECT_GT(q.mean_fit_residual, 0.0);
+}
+
+TEST(ScoreClusterTest, DegenerateInputs) {
+  const auto data = RunningDataset();
+  core::RegCluster tiny;
+  tiny.chain = {0};
+  tiny.p_genes = {0};
+  const ClusterQuality q = ScoreCluster(data, tiny);
+  EXPECT_DOUBLE_EQ(q.coherence_spread, 0.0);
+  EXPECT_DOUBLE_EQ(q.regulation_margin, 0.0);
+}
+
+TEST(SummarizeTest, EmptySet) {
+  const ClusterSetSummary s = Summarize({});
+  EXPECT_EQ(s.num_clusters, 0);
+}
+
+TEST(SummarizeTest, CountsAndExtremes) {
+  core::RegCluster a;
+  a.chain = {0, 1, 2};
+  a.p_genes = {0, 1};
+  core::RegCluster b;
+  b.chain = {0, 1, 2, 3, 4};
+  b.p_genes = {0, 1, 2};
+  b.n_genes = {3};
+  const ClusterSetSummary s = Summarize({a, b});
+  EXPECT_EQ(s.num_clusters, 2);
+  EXPECT_EQ(s.min_genes, 2);
+  EXPECT_EQ(s.max_genes, 4);
+  EXPECT_DOUBLE_EQ(s.mean_genes, 3.0);
+  EXPECT_EQ(s.min_conditions, 3);
+  EXPECT_EQ(s.max_conditions, 5);
+  EXPECT_DOUBLE_EQ(s.negative_fraction, 0.5);
+  // a's cells {0,1}x{0,1,2} fully inside b's {0..3}x{0..4}: overlap 1.0.
+  EXPECT_DOUBLE_EQ(s.max_overlap, 1.0);
+  EXPECT_DOUBLE_EQ(s.min_overlap, 1.0);
+}
+
+TEST(RankClustersTest, BiggerThenTighterFirst) {
+  const auto data = RunningDataset();
+  core::RegCluster big = PaperCluster();                 // 3 x 5 perfect
+  core::RegCluster small;                                // 2 x 5 perfect
+  small.chain = regcluster::testing::ExpectedChain();
+  small.p_genes = {0, 2};
+  const std::vector<int> order = RankClusters(data, {small, big});
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);  // big first
+  EXPECT_EQ(order[1], 0);
+}
+
+TEST(RankClustersTest, DeterministicOnTies) {
+  const auto data = RunningDataset();
+  const core::RegCluster c = PaperCluster();
+  const std::vector<int> order = RankClusters(data, {c, c, c});
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace regcluster

@@ -1,0 +1,111 @@
+#include "eval/significance.h"
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "synth/generator.h"
+#include "testing/paper_data.h"
+#include "util/prng.h"
+
+namespace regcluster {
+namespace eval {
+namespace {
+
+TEST(SignificanceTest, ImplantedClusterIsSignificant) {
+  synth::SyntheticConfig cfg;
+  cfg.num_genes = 300;
+  cfg.num_conditions = 20;
+  cfg.num_clusters = 2;
+  cfg.avg_cluster_genes_fraction = 0.05;
+  cfg.seed = 63;
+  auto ds = synth::GenerateSynthetic(cfg);
+  ASSERT_TRUE(ds.ok());
+
+  SignificanceOptions opts;
+  opts.gamma_spec = {core::GammaPolicy::kRangeFraction, 0.1};
+  opts.epsilon = 0.05;
+  auto result =
+      PermutationSignificance(ds->data, ds->implants[0].ToRegCluster(), opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LT(result->p_value, 1e-6);
+  EXPECT_LE(result->null_full_rate, result->null_chain_rate);
+}
+
+TEST(SignificanceTest, FakeClusterOnNoiseIsNotSignificant) {
+  // A "cluster" assembled from random noise genes on a 2-condition chain:
+  // half of all shuffled profiles follow a 2-chain at gamma=0, so the
+  // binomial tail must be large.
+  util::Prng prng(8);
+  matrix::ExpressionMatrix data(100, 8);
+  for (int g = 0; g < 100; ++g) {
+    for (int c = 0; c < 8; ++c) data(g, c) = prng.Uniform(0, 10);
+  }
+  core::RegCluster c;
+  c.chain = {0, 1};
+  c.p_genes = {1, 2, 3};
+  SignificanceOptions opts;
+  opts.gamma_spec = {core::GammaPolicy::kRangeFraction, 0.0};
+  opts.epsilon = 10.0;  // no coherence constraint to speak of
+  auto result = PermutationSignificance(data, c, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->null_chain_rate, 0.3);
+  EXPECT_GT(result->p_value, 0.5);
+}
+
+TEST(SignificanceTest, LongerChainsLowerNullRate) {
+  const auto data = regcluster::testing::RunningDataset();
+  core::RegCluster short_chain;
+  short_chain.chain = {regcluster::testing::C(7), regcluster::testing::C(9)};
+  short_chain.p_genes = {0, 2};
+  core::RegCluster long_chain;
+  long_chain.chain = regcluster::testing::ExpectedChain();
+  long_chain.p_genes = {0, 2};
+  long_chain.n_genes = {1};
+
+  SignificanceOptions opts;
+  opts.gamma_spec = {core::GammaPolicy::kRangeFraction, 0.15};
+  opts.epsilon = 0.1;
+  opts.permutations = 4000;
+  auto s = PermutationSignificance(data, short_chain, opts);
+  auto l = PermutationSignificance(data, long_chain, opts);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(l.ok());
+  EXPECT_LE(l->null_chain_rate, s->null_chain_rate);
+}
+
+TEST(SignificanceTest, DeterministicForSeed) {
+  const auto data = regcluster::testing::RunningDataset();
+  core::RegCluster c;
+  c.chain = regcluster::testing::ExpectedChain();
+  c.p_genes = {0, 2};
+  c.n_genes = {1};
+  SignificanceOptions opts;
+  opts.permutations = 500;
+  auto a = PermutationSignificance(data, c, opts);
+  auto b = PermutationSignificance(data, c, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->p_value, b->p_value);
+  EXPECT_DOUBLE_EQ(a->null_full_rate, b->null_full_rate);
+}
+
+TEST(SignificanceTest, RejectsDegenerateInputs) {
+  const auto data = regcluster::testing::RunningDataset();
+  core::RegCluster c;
+  c.chain = {0};  // too short
+  c.p_genes = {0};
+  EXPECT_FALSE(PermutationSignificance(data, c).ok());
+  c.chain = {0, 1};
+  c.p_genes = {};
+  c.n_genes = {};
+  EXPECT_FALSE(PermutationSignificance(data, c).ok());
+  c.p_genes = {99};
+  EXPECT_FALSE(PermutationSignificance(data, c).ok());
+  c.p_genes = {0};
+  c.chain = {0, 42};
+  EXPECT_FALSE(PermutationSignificance(data, c).ok());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace regcluster

@@ -1,0 +1,174 @@
+// Integration of the analysis stack on one yeast-scale run: ranking,
+// indexing, significance, consensus and enrichment must compose -- the
+// full post-mining workflow a user chains after RegClusterMiner::Mine().
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/coherence.h"
+#include "core/miner.h"
+#include "eval/annotation_gen.h"
+#include "eval/cluster_index.h"
+#include "eval/consensus.h"
+#include "eval/go_enrichment.h"
+#include "eval/quality.h"
+#include "eval/significance.h"
+#include "synth/yeast_surrogate.h"
+
+namespace regcluster {
+namespace {
+
+struct Stack {
+  synth::SyntheticDataset ds;
+  std::vector<core::RegCluster> clusters;
+  core::MinerOptions options;
+};
+
+const Stack& GetStack() {
+  static const Stack* stack = [] {
+    auto* s = new Stack();
+    synth::YeastSurrogateConfig cfg;
+    cfg.num_genes = 400;
+    cfg.num_conditions = 17;
+    cfg.num_modules = 5;
+    cfg.background = synth::YeastBackground::kCellCycle;
+    auto ds = synth::MakeYeastSurrogate(cfg);
+    EXPECT_TRUE(ds.ok());
+    s->ds = *std::move(ds);
+    s->options.min_genes = 12;
+    s->options.min_conditions = 5;
+    s->options.gamma = 0.08;
+    s->options.epsilon = 0.25;
+    s->options.remove_dominated = true;
+    auto clusters = core::RegClusterMiner(s->ds.data, s->options).Mine();
+    EXPECT_TRUE(clusters.ok());
+    s->clusters = *std::move(clusters);
+    EXPECT_FALSE(s->clusters.empty());
+    return s;
+  }();
+  return *stack;
+}
+
+TEST(AnalysisStack, MiningWorksOnCellCycleBackground) {
+  const Stack& s = GetStack();
+  ASSERT_GE(s.clusters.size(), 3u);
+  std::string why;
+  for (const auto& c : s.clusters) {
+    ASSERT_TRUE(core::ValidateRegCluster(s.ds.data, c, s.options.gamma,
+                                         s.options.epsilon, &why))
+        << why;
+  }
+}
+
+TEST(AnalysisStack, RankingPutsLargestTightestFirst) {
+  const Stack& s = GetStack();
+  const auto order = eval::RankClusters(s.ds.data, s.clusters);
+  ASSERT_EQ(order.size(), s.clusters.size());
+  // Ranking is a permutation.
+  std::set<int> seen(order.begin(), order.end());
+  EXPECT_EQ(seen.size(), order.size());
+  // Non-increasing in cell count.
+  for (size_t i = 1; i < order.size(); ++i) {
+    const auto& prev = s.clusters[static_cast<size_t>(order[i - 1])];
+    const auto& curr = s.clusters[static_cast<size_t>(order[i])];
+    EXPECT_GE(
+        static_cast<int64_t>(prev.num_genes()) * prev.num_conditions(),
+        static_cast<int64_t>(curr.num_genes()) * curr.num_conditions());
+  }
+}
+
+TEST(AnalysisStack, IndexAnswersMembershipConsistently) {
+  const Stack& s = GetStack();
+  const eval::ClusterIndex index(s.clusters, s.ds.data.num_genes(),
+                                 s.ds.data.num_conditions());
+  for (size_t k = 0; k < s.clusters.size(); ++k) {
+    for (int g : s.clusters[k].AllGenes()) {
+      const auto& hits = index.ClustersWithGene(g);
+      EXPECT_TRUE(std::find(hits.begin(), hits.end(),
+                            static_cast<int>(k)) != hits.end());
+    }
+    for (int c : s.clusters[k].chain) {
+      const auto& hits = index.ClustersWithCondition(c);
+      EXPECT_TRUE(std::find(hits.begin(), hits.end(),
+                            static_cast<int>(k)) != hits.end());
+    }
+  }
+  // Co-clustered genes of any member include its fellow members.
+  const auto& first = s.clusters[0];
+  const auto genes = first.AllGenes();
+  const auto partners = index.CoClusteredGenes(genes[0]);
+  for (size_t i = 1; i < genes.size(); ++i) {
+    EXPECT_TRUE(std::binary_search(partners.begin(), partners.end(),
+                                   genes[i]));
+  }
+}
+
+TEST(AnalysisStack, TopRankedClusterIsSignificant) {
+  const Stack& s = GetStack();
+  const auto order = eval::RankClusters(s.ds.data, s.clusters);
+  eval::SignificanceOptions opts;
+  opts.gamma_spec = {core::GammaPolicy::kRangeFraction, s.options.gamma};
+  opts.epsilon = s.options.epsilon;
+  opts.permutations = 1500;
+  auto result = eval::PermutationSignificance(
+      s.ds.data, s.clusters[static_cast<size_t>(order[0])], opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->p_value, 1e-6);
+}
+
+TEST(AnalysisStack, ConsensusThenEnrichmentStillFindsModules) {
+  const Stack& s = GetStack();
+  eval::ConsensusOptions copts;
+  copts.min_overlap = 0.5;
+  copts.gamma_spec = {core::GammaPolicy::kRangeFraction, s.options.gamma};
+  copts.epsilon = s.options.epsilon;
+  const auto merged = eval::MergeOverlapping(s.ds.data, s.clusters, copts);
+  ASSERT_FALSE(merged.empty());
+  EXPECT_LE(merged.size(), s.clusters.size());
+
+  std::vector<std::vector<int>> modules;
+  for (const auto& imp : s.ds.implants) {
+    modules.push_back(imp.Footprint().genes);
+  }
+  const eval::GoAnnotationDb db =
+      eval::GenerateAnnotations(s.ds.data.num_genes(), modules);
+  int enriched = 0;
+  for (const auto& c : merged) {
+    auto results = eval::FindEnrichedTerms(db, c.AllGenes());
+    ASSERT_TRUE(results.ok());
+    enriched += !results->empty() && (*results)[0].p_value < 1e-6;
+  }
+  EXPECT_GT(enriched, 0);
+}
+
+TEST(AnalysisStack, TargetedMiningAgreesWithTheIndex) {
+  // Mining with required_genes = {g} must produce exactly the clusters the
+  // full run's index attributes to g.
+  const Stack& s = GetStack();
+  const eval::ClusterIndex index(s.clusters, s.ds.data.num_genes(),
+                                 s.ds.data.num_conditions());
+  // Pick a gene that is clustered at least once.
+  int probe = -1;
+  for (int g = 0; g < s.ds.data.num_genes() && probe < 0; ++g) {
+    if (index.MembershipDegree(g) > 0) probe = g;
+  }
+  ASSERT_GE(probe, 0);
+
+  core::MinerOptions o = s.options;
+  o.required_genes = {probe};
+  auto targeted = core::RegClusterMiner(s.ds.data, o).Mine();
+  ASSERT_TRUE(targeted.ok());
+
+  std::set<std::string> expected;
+  for (int k : index.ClustersWithGene(probe)) {
+    expected.insert(s.clusters[static_cast<size_t>(k)].Key());
+  }
+  std::set<std::string> got;
+  for (const auto& c : *targeted) got.insert(c.Key());
+  EXPECT_EQ(got, expected);
+}
+
+}  // namespace
+}  // namespace regcluster

@@ -1,0 +1,126 @@
+// Randomized robustness sweep: many generator/preprocessing/miner
+// configurations, including missing values, constant rows, extreme
+// thresholds and tiny matrices.  The pipeline must never crash, every
+// Status must be propagated (not silently ignored), and every successful
+// run's outputs must satisfy Definition 3.2.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/coherence.h"
+#include "core/miner.h"
+#include "matrix/transforms.h"
+#include "synth/generator.h"
+#include "util/prng.h"
+
+namespace regcluster {
+namespace {
+
+class FuzzPipeline : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzPipeline, NeverCrashesOutputsAlwaysValid) {
+  util::Prng prng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+
+  // Random dataset: sometimes synthetic-with-implants, sometimes raw noise,
+  // with random holes, constants and ties.
+  matrix::ExpressionMatrix data;
+  if (prng.Bernoulli(0.5)) {
+    synth::SyntheticConfig cfg;
+    cfg.num_genes = static_cast<int>(prng.UniformInt(5, 120));
+    cfg.num_conditions = static_cast<int>(prng.UniformInt(4, 20));
+    cfg.num_clusters = static_cast<int>(prng.UniformInt(0, 3));
+    cfg.avg_cluster_genes_fraction =
+        std::min(0.4, 4.0 / cfg.num_genes + 0.05);
+    cfg.avg_cluster_conditions =
+        static_cast<int>(prng.UniformInt(2, 5));
+    cfg.noise_fraction = prng.Uniform(0.0, 0.2);
+    cfg.gene_reuse_fraction = prng.Bernoulli(0.3) ? 0.4 : 0.0;
+    cfg.seed = prng.Next64();
+    auto ds = synth::GenerateSynthetic(cfg);
+    if (!ds.ok()) {
+      // Over-demand configurations are legitimate Status failures.
+      SUCCEED() << ds.status().ToString();
+      return;
+    }
+    data = std::move(ds->data);
+  } else {
+    const int genes = static_cast<int>(prng.UniformInt(1, 60));
+    const int conds = static_cast<int>(prng.UniformInt(2, 16));
+    data = matrix::ExpressionMatrix(genes, conds);
+    for (int g = 0; g < genes; ++g) {
+      const bool constant_row = prng.Bernoulli(0.1);
+      const double c0 = prng.Uniform(0, 10);
+      for (int c = 0; c < conds; ++c) {
+        data(g, c) = constant_row
+                         ? c0
+                         : (prng.Bernoulli(0.25)
+                                ? static_cast<double>(prng.UniformInt(0, 4))
+                                : prng.Uniform(0, 10));
+      }
+    }
+  }
+
+  // Random holes.
+  if (prng.Bernoulli(0.5)) {
+    for (int g = 0; g < data.num_genes(); ++g) {
+      for (int c = 0; c < data.num_conditions(); ++c) {
+        if (prng.Bernoulli(0.05)) {
+          data(g, c) = std::numeric_limits<double>::quiet_NaN();
+        }
+      }
+    }
+  }
+
+  // Random preprocessing.
+  if (data.HasMissingValues()) {
+    if (prng.Bernoulli(0.5)) {
+      auto imputed = matrix::ImputeKnn(data, 1 + static_cast<int>(
+                                                 prng.UniformInt(0, 5)));
+      ASSERT_TRUE(imputed.ok());
+      data = *std::move(imputed);
+    } else {
+      data = matrix::ImputeRowMean(data);
+    }
+  }
+  if (prng.Bernoulli(0.3)) {
+    auto normalized = matrix::QuantileNormalizeColumns(data);
+    ASSERT_TRUE(normalized.ok());
+    data = *std::move(normalized);
+  }
+
+  // Random miner configuration.
+  core::MinerOptions o;
+  o.min_genes = static_cast<int>(prng.UniformInt(1, 6));
+  o.min_conditions = static_cast<int>(prng.UniformInt(2, 6));
+  o.gamma = prng.Uniform(0.0, 1.0);
+  o.epsilon = prng.Uniform(0.0, 2.0);
+  o.gamma_policy = static_cast<core::GammaPolicy>(prng.UniformInt(0, 4));
+  if (o.gamma_policy == core::GammaPolicy::kAbsolute) {
+    o.gamma = prng.Uniform(0.0, 10.0);
+  }
+  o.num_threads = static_cast<int>(prng.UniformInt(1, 4));
+  o.remove_dominated = prng.Bernoulli(0.5);
+  // Bound the gamma ~ 0 corner: node and output caps keep the worst random
+  // configuration (everything regulated, huge epsilon) test-sized.
+  o.max_nodes = 50000;
+  o.max_clusters = 2000;
+
+  core::RegClusterMiner miner(data, o);
+  auto clusters = miner.Mine();
+  ASSERT_TRUE(clusters.ok()) << clusters.status().ToString();
+
+  const core::GammaSpec spec{o.gamma_policy, o.gamma};
+  std::string why;
+  for (const auto& c : *clusters) {
+    ASSERT_GE(c.num_genes(), o.min_genes);
+    ASSERT_GE(c.num_conditions(), o.min_conditions);
+    ASSERT_TRUE(core::ValidateRegCluster(data, c, spec, o.epsilon, &why))
+        << why;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace regcluster

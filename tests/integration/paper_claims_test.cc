@@ -1,0 +1,153 @@
+// The paper's Section 5 claims, encoded as fast regression tests (the
+// bench/ binaries print the full tables; these tests pin the shapes so
+// `ctest` alone guards the reproduction).
+
+#include <gtest/gtest.h>
+
+#include "core/coherence.h"
+#include "core/miner.h"
+#include "eval/annotation_gen.h"
+#include "eval/go_enrichment.h"
+#include "eval/match.h"
+#include "eval/quality.h"
+#include "synth/yeast_surrogate.h"
+#include "util/prng.h"
+
+namespace regcluster {
+namespace {
+
+/// Shared small-scale yeast-style run (Section 5.2 parameters on a reduced
+/// surrogate so the suite stays fast).
+struct YeastRun {
+  synth::SyntheticDataset ds;
+  std::vector<core::RegCluster> clusters;
+};
+
+const YeastRun& GetYeastRun() {
+  static const YeastRun* run = [] {
+    auto* r = new YeastRun();
+    synth::YeastSurrogateConfig cfg;
+    cfg.num_genes = 800;
+    cfg.num_conditions = 17;
+    cfg.num_modules = 8;
+    auto ds = synth::MakeYeastSurrogate(cfg);
+    EXPECT_TRUE(ds.ok());
+    r->ds = *std::move(ds);
+    core::MinerOptions o;
+    o.min_genes = 15;
+    o.min_conditions = 6;
+    o.gamma = 0.05;
+    o.epsilon = 1.0;
+    o.remove_dominated = true;
+    auto clusters = core::RegClusterMiner(r->ds.data, o).Mine();
+    EXPECT_TRUE(clusters.ok());
+    r->clusters = *std::move(clusters);
+    return r;
+  }();
+  return *run;
+}
+
+TEST(PaperClaims, Section52_FindsClustersOnYeastScaleData) {
+  const YeastRun& run = GetYeastRun();
+  EXPECT_GE(run.clusters.size(), 4u);
+  // Output is real: gene-level relevance vs the implanted truth is high.
+  std::vector<core::Bicluster> found, truth;
+  for (const auto& c : run.clusters) found.push_back(core::ToBicluster(c));
+  for (const auto& imp : run.ds.implants) truth.push_back(imp.Footprint());
+  const auto report = eval::ScoreAgainstTruth(found, truth);
+  EXPECT_GT(report.gene_relevance, 0.8);
+}
+
+TEST(PaperClaims, Section52_EveryClusterValidates) {
+  const YeastRun& run = GetYeastRun();
+  std::string why;
+  for (const auto& c : run.clusters) {
+    ASSERT_TRUE(core::ValidateRegCluster(run.ds.data, c, 0.05, 1.0, &why))
+        << why;
+  }
+}
+
+TEST(PaperClaims, Figure8_ClustersMixPositiveAndNegativeMembers) {
+  const YeastRun& run = GetYeastRun();
+  int with_negative = 0;
+  for (const auto& c : run.clusters) with_negative += !c.n_genes.empty();
+  EXPECT_GT(with_negative, 0);
+  // Crossovers: a p-member and n-member profile must cross somewhere on the
+  // chain (the "remarkable characteristic" the paper highlights).
+  int crossovers = 0;
+  for (const auto& c : run.clusters) {
+    if (c.p_genes.empty() || c.n_genes.empty()) continue;
+    const int p = c.p_genes[0], n = c.n_genes[0];
+    bool p_above_somewhere = false, n_above_somewhere = false;
+    for (int cond : c.chain) {
+      if (run.ds.data(p, cond) > run.ds.data(n, cond)) p_above_somewhere = true;
+      if (run.ds.data(n, cond) > run.ds.data(p, cond)) n_above_somewhere = true;
+    }
+    crossovers += p_above_somewhere && n_above_somewhere;
+  }
+  EXPECT_GT(crossovers, 0);
+}
+
+TEST(PaperClaims, Section52_OverlapWithinReportedBand) {
+  const YeastRun& run = GetYeastRun();
+  const auto summary = eval::Summarize(run.clusters);
+  EXPECT_GE(summary.min_overlap, 0.0);
+  EXPECT_LE(summary.max_overlap, 1.0);
+}
+
+TEST(PaperClaims, Table2_MinedClustersAreGoEnriched) {
+  const YeastRun& run = GetYeastRun();
+  std::vector<std::vector<int>> modules;
+  for (const auto& imp : run.ds.implants) {
+    modules.push_back(imp.Footprint().genes);
+  }
+  const eval::GoAnnotationDb db =
+      eval::GenerateAnnotations(run.ds.data.num_genes(), modules);
+  int enriched = 0;
+  for (const auto& c : run.clusters) {
+    auto results = eval::FindEnrichedTerms(db, c.AllGenes());
+    ASSERT_TRUE(results.ok());
+    if (!results->empty() && (*results)[0].p_value < 1e-4) ++enriched;
+  }
+  EXPECT_GT(enriched, 0);
+  // Negative control: random sets are not enriched at that level.
+  util::Prng prng(17);
+  int control_hits = 0;
+  for (int t = 0; t < 10; ++t) {
+    auto random_set =
+        prng.SampleWithoutReplacement(run.ds.data.num_genes(), 20);
+    auto results = eval::FindEnrichedTerms(db, random_set);
+    ASSERT_TRUE(results.ok());
+    if (!results->empty() && (*results)[0].p_value < 1e-4) ++control_hits;
+  }
+  EXPECT_EQ(control_hits, 0);
+}
+
+TEST(PaperClaims, Figure7a_RuntimeRoughlyLinearInGenes) {
+  // Mine two sizes; the runtime ratio must stay well below quadratic.
+  auto run_one = [](int genes) {
+    synth::SyntheticConfig cfg;
+    cfg.num_genes = genes;
+    cfg.num_conditions = 24;
+    cfg.num_clusters = genes / 100;
+    cfg.seed = 5;
+    auto ds = synth::GenerateSynthetic(cfg);
+    EXPECT_TRUE(ds.ok());
+    core::MinerOptions o;
+    o.min_genes = std::max(2, genes / 100);
+    o.min_conditions = 6;
+    o.gamma = 0.1;
+    o.epsilon = 0.01;
+    core::RegClusterMiner miner(ds->data, o);
+    EXPECT_TRUE(miner.Mine().ok());
+    return miner.stats().mine_seconds;
+  };
+  const double t1 = run_one(600);
+  const double t4 = run_one(2400);
+  // 4x genes: linear predicts 4x; demand < 10x to keep the test robust on
+  // noisy CI machines.
+  EXPECT_LT(t4, 10.0 * t1 + 0.05);
+}
+
+}  // namespace
+}  // namespace regcluster

@@ -1,0 +1,100 @@
+// End-to-end pipeline: generate -> save matrix -> load -> impute -> mine ->
+// save clusters -> load -> enrich.  Exercises every module boundary the way
+// a downstream user would.
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "eval/annotation_gen.h"
+#include "eval/go_enrichment.h"
+#include "io/cluster_io.h"
+#include "matrix/matrix_io.h"
+#include "matrix/transforms.h"
+#include "synth/generator.h"
+
+namespace regcluster {
+namespace {
+
+TEST(PipelineTest, FullWorkflow) {
+  // 1. Generate synthetic data with ground truth.
+  synth::SyntheticConfig cfg;
+  cfg.num_genes = 120;
+  cfg.num_conditions = 14;
+  cfg.num_clusters = 3;
+  cfg.avg_cluster_genes_fraction = 0.08;
+  cfg.seed = 424242;
+  auto ds = synth::GenerateSynthetic(cfg);
+  ASSERT_TRUE(ds.ok());
+
+  // 2. Round-trip the matrix through disk.
+  const std::string matrix_path = ::testing::TempDir() + "/pipeline.tsv";
+  ASSERT_TRUE(matrix::SaveMatrix(ds->data, matrix_path).ok());
+  auto loaded = matrix::LoadMatrix(matrix_path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_genes(), 120);
+
+  // 3. Impute (no-op here, but the real pipeline always runs it).
+  const matrix::ExpressionMatrix clean = matrix::ImputeRowMean(*loaded);
+
+  // 4. Mine.
+  core::MinerOptions o;
+  o.min_genes = 6;
+  o.min_conditions = 5;
+  o.gamma = 0.1;
+  o.epsilon = 0.05;
+  o.remove_dominated = true;
+  core::RegClusterMiner miner(clean, o);
+  auto clusters = miner.Mine();
+  ASSERT_TRUE(clusters.ok());
+  ASSERT_FALSE(clusters->empty());
+
+  // 5. Round-trip the clusters through disk.
+  const std::string cluster_path = ::testing::TempDir() + "/pipeline.clusters";
+  ASSERT_TRUE(io::SaveClusters(*clusters, cluster_path).ok());
+  auto reloaded = io::LoadClusters(cluster_path);
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_EQ(reloaded->size(), clusters->size());
+
+  // 6. Human-readable report renders without error.
+  std::ostringstream report;
+  ASSERT_TRUE(io::WriteReport(*reloaded, &clean, report).ok());
+  EXPECT_FALSE(report.str().empty());
+
+  // 7. GO enrichment against annotations seeded from the ground truth: the
+  // mined clusters (which recover the implants) must be enriched.
+  std::vector<std::vector<int>> modules;
+  for (const auto& imp : ds->implants) modules.push_back(imp.Footprint().genes);
+  const eval::GoAnnotationDb db =
+      eval::GenerateAnnotations(clean.num_genes(), modules);
+  int enriched_clusters = 0;
+  for (const auto& c : *reloaded) {
+    auto results = eval::FindEnrichedTerms(db, c.AllGenes());
+    ASSERT_TRUE(results.ok());
+    if (!results->empty() && (*results)[0].p_value < 1e-6) {
+      ++enriched_clusters;
+    }
+  }
+  EXPECT_GT(enriched_clusters, 0);
+
+  std::remove(matrix_path.c_str());
+  std::remove(cluster_path.c_str());
+}
+
+TEST(PipelineTest, MissingValuePipelineRequiresImputation) {
+  auto m = *matrix::ExpressionMatrix::FromRows(
+      {{1, std::numeric_limits<double>::quiet_NaN(), 3, 4},
+       {2, 3, 4, 5}});
+  core::MinerOptions o;
+  auto direct = core::RegClusterMiner(m, o).Mine();
+  EXPECT_FALSE(direct.ok());
+
+  const matrix::ExpressionMatrix clean = matrix::ImputeRowMean(m);
+  auto imputed = core::RegClusterMiner(clean, o).Mine();
+  EXPECT_TRUE(imputed.ok());
+}
+
+}  // namespace
+}  // namespace regcluster

@@ -1,0 +1,183 @@
+// Integration: the reg-cluster miner must recover implanted
+// shifting-and-scaling clusters from synthetic data, while the baseline
+// models (pure shifting / pure scaling) recover pure patterns but miss
+// shifting-and-scaling and negative correlation -- the paper's central
+// comparative claim (Sections 1.1, 3.3, 5.2).
+
+#include <gtest/gtest.h>
+
+#include "baselines/pcluster.h"
+#include "baselines/scaling_cluster.h"
+#include "core/coherence.h"
+#include "core/miner.h"
+#include "eval/match.h"
+#include "synth/generator.h"
+
+namespace regcluster {
+namespace {
+
+synth::SyntheticConfig SmallConfig(uint64_t seed) {
+  synth::SyntheticConfig cfg;
+  cfg.num_genes = 150;
+  cfg.num_conditions = 16;
+  cfg.num_clusters = 4;
+  cfg.avg_cluster_genes_fraction = 0.06;  // ~9 genes each
+  cfg.avg_cluster_conditions = 6;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::vector<core::Bicluster> Footprints(const synth::SyntheticDataset& ds) {
+  std::vector<core::Bicluster> out;
+  for (const auto& imp : ds.implants) out.push_back(imp.Footprint());
+  return out;
+}
+
+TEST(RecoveryTest, MinerRecoversAllImplants) {
+  auto ds = synth::GenerateSynthetic(SmallConfig(101));
+  ASSERT_TRUE(ds.ok());
+
+  core::MinerOptions o;
+  o.min_genes = 6;
+  o.min_conditions = 5;
+  o.gamma = 0.1;
+  o.epsilon = 0.01;
+  o.remove_dominated = true;
+  core::RegClusterMiner miner(ds->data, o);
+  auto clusters = miner.Mine();
+  ASSERT_TRUE(clusters.ok()) << clusters.status().ToString();
+  ASSERT_FALSE(clusters->empty());
+
+  std::vector<core::Bicluster> found;
+  for (const auto& c : *clusters) found.push_back(core::ToBicluster(c));
+  const auto report = eval::ScoreAgainstTruth(found, Footprints(*ds));
+  EXPECT_GT(report.gene_recovery, 0.95);
+  EXPECT_GT(report.cell_recovery, 0.8);
+}
+
+TEST(RecoveryTest, MinerSeparatesPAndNMembersCorrectly) {
+  auto ds = synth::GenerateSynthetic(SmallConfig(202));
+  ASSERT_TRUE(ds.ok());
+
+  core::MinerOptions o;
+  o.min_genes = 6;
+  o.min_conditions = 5;
+  o.gamma = 0.1;
+  o.epsilon = 0.01;
+  o.remove_dominated = true;
+  core::RegClusterMiner miner(ds->data, o);
+  auto clusters = miner.Mine();
+  ASSERT_TRUE(clusters.ok());
+
+  // For each implant, find the best-matching output and check the p/n split
+  // matches (up to global inversion of the chain).
+  for (const auto& imp : ds->implants) {
+    const auto truth = imp.Footprint();
+    const core::RegCluster* best = nullptr;
+    double best_score = 0;
+    for (const auto& c : *clusters) {
+      const double s = eval::CellJaccard(core::ToBicluster(c), truth);
+      if (s > best_score) {
+        best_score = s;
+        best = &c;
+      }
+    }
+    ASSERT_NE(best, nullptr);
+    ASSERT_GT(best_score, 0.5);
+    const bool same = best->p_genes == imp.p_genes &&
+                      best->n_genes == imp.n_genes;
+    const bool flipped = best->p_genes == imp.n_genes &&
+                         best->n_genes == imp.p_genes;
+    EXPECT_TRUE(same || flipped)
+        << "member split mismatch for implant chain of size "
+        << imp.chain.size();
+  }
+}
+
+TEST(RecoveryTest, PClusterMissesShiftAndScaleImplants) {
+  auto ds = synth::GenerateSynthetic(SmallConfig(303));
+  ASSERT_TRUE(ds.ok());
+
+  baselines::PClusterOptions o;
+  o.delta = 0.5;
+  o.min_genes = 6;
+  o.min_conditions = 5;
+  o.max_nodes = 200000;
+  baselines::PClusterMiner miner(ds->data, o);
+  auto found = miner.Mine();
+  ASSERT_TRUE(found.ok());
+  const double recovery = eval::CellMatchScore(Footprints(*ds), *found);
+  EXPECT_LT(recovery, 0.2);
+}
+
+TEST(RecoveryTest, ScalingMinerMissesShiftAndScaleImplants) {
+  auto ds = synth::GenerateSynthetic(SmallConfig(404));
+  ASSERT_TRUE(ds.ok());
+
+  baselines::ScalingClusterOptions o;
+  o.epsilon = 0.05;
+  o.min_genes = 6;
+  o.min_conditions = 5;
+  o.max_nodes = 200000;
+  baselines::ScalingClusterMiner miner(ds->data, o);
+  auto found = miner.Mine();
+  ASSERT_TRUE(found.ok());
+  const double recovery = eval::CellMatchScore(Footprints(*ds), *found);
+  EXPECT_LT(recovery, 0.2);
+}
+
+TEST(RecoveryTest, MinerOutputsAllValidateOnSynthetic) {
+  auto ds = synth::GenerateSynthetic(SmallConfig(505));
+  ASSERT_TRUE(ds.ok());
+  core::MinerOptions o;
+  o.min_genes = 6;
+  o.min_conditions = 5;
+  o.gamma = 0.1;
+  o.epsilon = 0.01;
+  core::RegClusterMiner miner(ds->data, o);
+  auto clusters = miner.Mine();
+  ASSERT_TRUE(clusters.ok());
+  std::string why;
+  for (const auto& c : *clusters) {
+    ASSERT_TRUE(core::ValidateRegCluster(ds->data, c, o.gamma, o.epsilon,
+                                         &why))
+        << why;
+  }
+}
+
+TEST(RecoveryTest, NoisyImplantsRecoveredWithLooserEpsilon) {
+  synth::SyntheticConfig cfg = SmallConfig(606);
+  cfg.noise_fraction = 0.05;
+  auto ds = synth::GenerateSynthetic(cfg);
+  ASSERT_TRUE(ds.ok());
+
+  core::MinerOptions strict;
+  strict.min_genes = 6;
+  strict.min_conditions = 5;
+  strict.gamma = 0.1;
+  strict.epsilon = 1e-6;
+  auto strict_out = core::RegClusterMiner(ds->data, strict).Mine();
+  ASSERT_TRUE(strict_out.ok());
+  std::vector<core::Bicluster> strict_found;
+  for (const auto& c : *strict_out) {
+    strict_found.push_back(core::ToBicluster(c));
+  }
+
+  core::MinerOptions loose = strict;
+  loose.epsilon = 0.5;
+  auto loose_out = core::RegClusterMiner(ds->data, loose).Mine();
+  ASSERT_TRUE(loose_out.ok());
+  std::vector<core::Bicluster> loose_found;
+  for (const auto& c : *loose_out) {
+    loose_found.push_back(core::ToBicluster(c));
+  }
+
+  const double strict_rec =
+      eval::CellMatchScore(Footprints(*ds), strict_found);
+  const double loose_rec = eval::CellMatchScore(Footprints(*ds), loose_found);
+  EXPECT_GT(loose_rec, strict_rec);
+  EXPECT_GT(loose_rec, 0.6);
+}
+
+}  // namespace
+}  // namespace regcluster

@@ -1,0 +1,108 @@
+#include "io/annotation_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "eval/annotation_gen.h"
+#include "testing/paper_data.h"
+
+namespace regcluster {
+namespace io {
+namespace {
+
+matrix::ExpressionMatrix NamedMatrix() {
+  matrix::ExpressionMatrix m(3, 2);
+  (void)m.SetGeneNames({"YAL001C", "YAL002W", "YAL003W"});
+  return m;
+}
+
+TEST(AnnotationIoTest, ParsesBasicFile) {
+  const std::string text =
+      "# comment\n"
+      "YAL001C\tGO:0006260\tDNA replication\tprocess\n"
+      "YAL002W\tGO:0006260\tDNA replication\tprocess\n"
+      "YAL001C\tGO:0003887\tDNA polymerase\tfunction\n";
+  std::istringstream in(text);
+  auto result = ReadAnnotations(in, NamedMatrix());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->annotations_loaded, 3);
+  EXPECT_EQ(result->unknown_genes_skipped, 0);
+  EXPECT_EQ(result->db.num_terms(), 2);
+  EXPECT_EQ(result->db.TermPopulationCount(0), 2);
+  EXPECT_EQ(result->db.term(0).name, "DNA replication");
+  EXPECT_EQ(result->db.term(1).category,
+            eval::GoCategory::kMolecularFunction);
+}
+
+TEST(AnnotationIoTest, SkipsUnknownGenes) {
+  std::istringstream in("NOPE\tGO:1\tterm\tprocess\n");
+  auto result = ReadAnnotations(in, NamedMatrix());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->annotations_loaded, 0);
+  EXPECT_EQ(result->unknown_genes_skipped, 1);
+}
+
+TEST(AnnotationIoTest, RejectsBadCategory) {
+  std::istringstream in("YAL001C\tGO:1\tterm\tbogus\n");
+  EXPECT_FALSE(ReadAnnotations(in, NamedMatrix()).ok());
+}
+
+TEST(AnnotationIoTest, RejectsWrongFieldCount) {
+  std::istringstream in("YAL001C\tGO:1\tprocess\n");
+  EXPECT_FALSE(ReadAnnotations(in, NamedMatrix()).ok());
+}
+
+TEST(AnnotationIoTest, RoundTripThroughWriter) {
+  const auto data = NamedMatrix();
+  eval::GoAnnotationDb db(3);
+  db.AddTerm({"GO:1", "alpha", eval::GoCategory::kBiologicalProcess});
+  db.AddTerm({"GO:2", "beta", eval::GoCategory::kCellularComponent});
+  ASSERT_TRUE(db.Annotate(0, 0).ok());
+  ASSERT_TRUE(db.Annotate(2, 0).ok());
+  ASSERT_TRUE(db.Annotate(1, 1).ok());
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteAnnotations(db, data, out).ok());
+  std::istringstream in(out.str());
+  auto back = ReadAnnotations(in, data);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->annotations_loaded, 3);
+  EXPECT_EQ(back->db.num_terms(), 2);
+  // Population counts preserved (term order may renumber; check by id).
+  int alpha = -1;
+  for (int t = 0; t < back->db.num_terms(); ++t) {
+    if (back->db.term(t).id == "GO:1") alpha = t;
+  }
+  ASSERT_GE(alpha, 0);
+  EXPECT_EQ(back->db.TermPopulationCount(alpha), 2);
+}
+
+TEST(AnnotationIoTest, WriterRejectsPopulationMismatch) {
+  eval::GoAnnotationDb db(5);
+  std::ostringstream out;
+  EXPECT_FALSE(WriteAnnotations(db, NamedMatrix(), out).ok());
+}
+
+TEST(AnnotationIoTest, SyntheticDatabaseRoundTrips) {
+  matrix::ExpressionMatrix m(50, 2);
+  const eval::GoAnnotationDb db = eval::GenerateAnnotations(50, {{1, 2, 3}});
+  std::ostringstream out;
+  ASSERT_TRUE(WriteAnnotations(db, m, out).ok());
+  std::istringstream in(out.str());
+  auto back = ReadAnnotations(in, m);
+  ASSERT_TRUE(back.ok());
+  int64_t total = 0;
+  for (int g = 0; g < 50; ++g) {
+    total += static_cast<int64_t>(db.GeneTerms(g).size());
+  }
+  EXPECT_EQ(back->annotations_loaded, total);
+}
+
+TEST(AnnotationIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadAnnotations("/no/such/file", NamedMatrix()).ok());
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace regcluster

@@ -1,0 +1,156 @@
+#include "io/cluster_io.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_data.h"
+#include "util/string_util.h"
+
+namespace regcluster {
+namespace io {
+namespace {
+
+std::vector<core::RegCluster> SampleClusters() {
+  core::RegCluster a;
+  a.chain = {6, 8, 4, 0, 2};
+  a.p_genes = {0, 2};
+  a.n_genes = {1};
+  core::RegCluster b;
+  b.chain = {1, 9};
+  b.p_genes = {0, 1};
+  return {a, b};
+}
+
+TEST(ClusterIoTest, MachineRoundTripThroughStream) {
+  const auto clusters = SampleClusters();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteClusters(clusters, out).ok());
+  std::istringstream in(out.str());
+  auto back = ReadClusters(in);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), clusters.size());
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    EXPECT_EQ((*back)[i], clusters[i]);
+  }
+}
+
+TEST(ClusterIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/regcluster_clusters.txt";
+  ASSERT_TRUE(SaveClusters(SampleClusters(), path).ok());
+  auto back = LoadClusters(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].chain, (std::vector<int>{6, 8, 4, 0, 2}));
+  std::remove(path.c_str());
+}
+
+TEST(ClusterIoTest, EmptySetRoundTrips) {
+  std::ostringstream out;
+  ASSERT_TRUE(WriteClusters({}, out).ok());
+  std::istringstream in(out.str());
+  auto back = ReadClusters(in);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(ClusterIoTest, EmptyMemberListsPreserved) {
+  core::RegCluster c;
+  c.chain = {0, 1};
+  c.p_genes = {7};
+  // no n-members
+  std::ostringstream out;
+  ASSERT_TRUE(WriteClusters({c}, out).ok());
+  std::istringstream in(out.str());
+  auto back = ReadClusters(in);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 1u);
+  EXPECT_TRUE((*back)[0].n_genes.empty());
+}
+
+TEST(ClusterIoTest, ParserSkipsCommentsAndBlanks) {
+  std::istringstream in(
+      "# archive\n\ncluster 0\nchain 1 2\np 0\nn\n\n# end\n");
+  auto back = ReadClusters(in);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 1u);
+}
+
+TEST(ClusterIoTest, ParserRejectsTagBeforeCluster) {
+  std::istringstream in("chain 1 2\n");
+  EXPECT_FALSE(ReadClusters(in).ok());
+}
+
+TEST(ClusterIoTest, ParserRejectsUnknownTag) {
+  std::istringstream in("cluster 0\nbogus 1\n");
+  EXPECT_FALSE(ReadClusters(in).ok());
+}
+
+TEST(ClusterIoTest, ParserRejectsNonInteger) {
+  std::istringstream in("cluster 0\nchain 1 x\n");
+  EXPECT_FALSE(ReadClusters(in).ok());
+}
+
+TEST(ClusterIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadClusters("/no/such/file.txt").ok());
+}
+
+TEST(ClusterIoTest, ReportContainsNamesAndProfiles) {
+  const auto data = regcluster::testing::RunningDataset();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteReport(SampleClusters(), &data, out).ok());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("2 reg-cluster(s)"), std::string::npos);
+  EXPECT_NE(text.find("chain: c6 c8 c4 c0 c2"), std::string::npos);
+  EXPECT_NE(text.find("(+)"), std::string::npos);
+  EXPECT_NE(text.find("(-)"), std::string::npos);
+}
+
+TEST(ClusterIoTest, ReportRejectsOutOfRangeIds) {
+  const auto data = regcluster::testing::RunningDataset();
+  core::RegCluster bad;
+  bad.chain = {0, 1};
+  bad.p_genes = {99};
+  std::ostringstream out;
+  EXPECT_FALSE(WriteReport({bad}, &data, out).ok());
+  bad.p_genes = {0};
+  bad.chain = {0, 42};
+  EXPECT_FALSE(WriteReport({bad}, &data, out).ok());
+}
+
+TEST(ClusterIoTest, ProfileCsvShape) {
+  const auto data = regcluster::testing::RunningDataset();
+  core::RegCluster c;
+  c.chain = {6, 8, 4, 0, 2};
+  c.p_genes = {0, 2};
+  c.n_genes = {1};
+  std::ostringstream out;
+  ASSERT_TRUE(WriteProfileCsv(c, data, out).ok());
+  const auto lines = util::Split(out.str(), '\n');
+  // header + 3 genes + trailing empty.
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[0], "gene,member,c6,c8,c4,c0,c2");
+  EXPECT_EQ(lines[1], "g0,p,-15,-5,0,10,15");
+  EXPECT_EQ(lines[3], "g1,n,45,35,30,20,15");
+}
+
+TEST(ClusterIoTest, ProfileCsvRejectsBadIds) {
+  const auto data = regcluster::testing::RunningDataset();
+  core::RegCluster c;
+  c.chain = {0};
+  c.p_genes = {42};
+  std::ostringstream out;
+  EXPECT_FALSE(WriteProfileCsv(c, data, out).ok());
+}
+
+TEST(ClusterIoTest, ReportWithoutDataUsesIndices) {
+  std::ostringstream out;
+  ASSERT_TRUE(WriteReport(SampleClusters(), nullptr, out).ok());
+  EXPECT_NE(out.str().find("c6"), std::string::npos);
+  EXPECT_NE(out.str().find("g0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace regcluster

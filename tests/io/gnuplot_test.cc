@@ -1,0 +1,93 @@
+#include "io/gnuplot.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+namespace regcluster {
+namespace io {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<DataSeries> SampleSeries() {
+  DataSeries a;
+  a.name = "reg-cluster";
+  a.points = {{1000, 0.1}, {2000, 0.2}, {3000, 0.33}};
+  DataSeries b;
+  b.name = "baseline";
+  b.points = {{1000, 0.5}, {3000, 1.5}};  // missing x=2000
+  return {a, b};
+}
+
+TEST(GnuplotTest, DatFileLayout) {
+  const std::string path = ::testing::TempDir() + "/fig_test.dat";
+  ASSERT_TRUE(WriteDatFile(SampleSeries(), path).ok());
+  const std::string text = Slurp(path);
+  const auto lines = util::Split(text, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "# x\treg-cluster\tbaseline");
+  EXPECT_EQ(lines[1], "1000\t0.1\t0.5");
+  EXPECT_EQ(lines[2], "2000\t0.2\t?");  // missing value marker
+  EXPECT_EQ(lines[3], "3000\t0.33\t1.5");
+  std::remove(path.c_str());
+}
+
+TEST(GnuplotTest, ScriptReferencesDataAndSeries) {
+  const std::string path = ::testing::TempDir() + "/fig_test.gp";
+  PlotSpec spec;
+  spec.title = "Figure 7(a)";
+  spec.xlabel = "genes";
+  spec.ylabel = "seconds";
+  ASSERT_TRUE(
+      WriteGnuplotScript(spec, "fig_test.dat", SampleSeries(), path).ok());
+  const std::string text = Slurp(path);
+  EXPECT_NE(text.find("set output 'fig_test.png'"), std::string::npos);
+  EXPECT_NE(text.find("set title 'Figure 7(a)'"), std::string::npos);
+  EXPECT_NE(text.find("'fig_test.dat' using 1:2"), std::string::npos);
+  EXPECT_NE(text.find("using 1:3"), std::string::npos);
+  EXPECT_NE(text.find("title 'baseline'"), std::string::npos);
+  EXPECT_EQ(text.find("logscale"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(GnuplotTest, LogscaleOption) {
+  const std::string path = ::testing::TempDir() + "/fig_log.gp";
+  PlotSpec spec;
+  spec.logscale_y = true;
+  ASSERT_TRUE(WriteGnuplotScript(spec, "d.dat", SampleSeries(), path).ok());
+  EXPECT_NE(Slurp(path).find("set logscale y"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(GnuplotTest, WriteFigurePair) {
+  const std::string dir = ::testing::TempDir();
+  PlotSpec spec;
+  spec.title = "t";
+  ASSERT_TRUE(WriteFigure(spec, SampleSeries(), dir, "figpair").ok());
+  EXPECT_FALSE(Slurp(dir + "/figpair.dat").empty());
+  const std::string gp = Slurp(dir + "/figpair.gp");
+  EXPECT_NE(gp.find("'figpair.dat'"), std::string::npos);  // relocatable
+  std::remove((dir + "/figpair.dat").c_str());
+  std::remove((dir + "/figpair.gp").c_str());
+}
+
+TEST(GnuplotTest, BadPathFails) {
+  EXPECT_FALSE(WriteDatFile(SampleSeries(), "/no/such/dir/x.dat").ok());
+  EXPECT_FALSE(
+      WriteGnuplotScript({}, "d.dat", SampleSeries(), "/no/such/dir/x.gp")
+          .ok());
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace regcluster

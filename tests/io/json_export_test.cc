@@ -1,0 +1,88 @@
+#include "io/json_export.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "testing/paper_data.h"
+
+namespace regcluster {
+namespace io {
+namespace {
+
+core::RegCluster Sample() {
+  core::RegCluster c;
+  c.chain = {6, 8, 4};
+  c.p_genes = {0, 2};
+  c.n_genes = {1};
+  return c;
+}
+
+TEST(JsonEscapeTest, PassThrough) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+}
+
+TEST(JsonEscapeTest, SpecialCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape("a\tb"), "a\\tb");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonExportTest, StructureWithoutMatrix) {
+  std::ostringstream out;
+  ASSERT_TRUE(WriteClustersJson({Sample()}, nullptr, out).ok());
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"num_clusters\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"chain\": [6,8,4]"), std::string::npos);
+  EXPECT_NE(json.find("\"p_genes\": [0,2]"), std::string::npos);
+  EXPECT_NE(json.find("\"n_genes\": [1]"), std::string::npos);
+  EXPECT_EQ(json.find("chain_names"), std::string::npos);
+}
+
+TEST(JsonExportTest, NamesWithMatrix) {
+  const auto data = regcluster::testing::RunningDataset();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteClustersJson({Sample()}, &data, out).ok());
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"chain_names\": [\"c6\",\"c8\",\"c4\"]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p_gene_names\": [\"g0\",\"g2\"]"),
+            std::string::npos);
+}
+
+TEST(JsonExportTest, EmptySet) {
+  std::ostringstream out;
+  ASSERT_TRUE(WriteClustersJson({}, nullptr, out).ok());
+  EXPECT_NE(out.str().find("\"num_clusters\": 0"), std::string::npos);
+}
+
+TEST(JsonExportTest, RejectsOutOfRangeIds) {
+  const auto data = regcluster::testing::RunningDataset();
+  core::RegCluster bad = Sample();
+  bad.p_genes = {99};
+  std::ostringstream out;
+  EXPECT_FALSE(WriteClustersJson({bad}, &data, out).ok());
+}
+
+TEST(JsonExportTest, BalancedBracesAndQuotes) {
+  const auto data = regcluster::testing::RunningDataset();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteClustersJson({Sample(), Sample()}, &data, out).ok());
+  const std::string json = out.str();
+  int depth = 0;
+  int quotes = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (c == '"') ++quotes;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(quotes % 2, 0);
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace regcluster

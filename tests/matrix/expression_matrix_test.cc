@@ -1,0 +1,140 @@
+#include "matrix/expression_matrix.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace regcluster {
+namespace matrix {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(ExpressionMatrixTest, DefaultIsEmpty) {
+  ExpressionMatrix m;
+  EXPECT_EQ(m.num_genes(), 0);
+  EXPECT_EQ(m.num_conditions(), 0);
+}
+
+TEST(ExpressionMatrixTest, FillConstructor) {
+  ExpressionMatrix m(2, 3, 1.5);
+  EXPECT_EQ(m.num_genes(), 2);
+  EXPECT_EQ(m.num_conditions(), 3);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m(i, j), 1.5);
+  }
+}
+
+TEST(ExpressionMatrixTest, DefaultNames) {
+  ExpressionMatrix m(2, 3);
+  EXPECT_EQ(m.gene_name(0), "g0");
+  EXPECT_EQ(m.gene_name(1), "g1");
+  EXPECT_EQ(m.condition_name(2), "c2");
+}
+
+TEST(ExpressionMatrixTest, FromRows) {
+  auto m = ExpressionMatrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_genes(), 3);
+  EXPECT_EQ(m->num_conditions(), 2);
+  EXPECT_DOUBLE_EQ((*m)(2, 1), 6);
+}
+
+TEST(ExpressionMatrixTest, FromRowsRejectsRagged) {
+  EXPECT_FALSE(ExpressionMatrix::FromRows({{1, 2}, {3}}).ok());
+}
+
+TEST(ExpressionMatrixTest, FromRowsEmpty) {
+  auto m = ExpressionMatrix::FromRows({});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_genes(), 0);
+}
+
+TEST(ExpressionMatrixTest, WriteThenRead) {
+  ExpressionMatrix m(2, 2);
+  m(0, 1) = 42.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 42.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(ExpressionMatrixTest, RowCopy) {
+  auto m = *ExpressionMatrix::FromRows({{1, 2, 3}});
+  EXPECT_EQ(m.Row(0), (std::vector<double>{1, 2, 3}));
+}
+
+TEST(ExpressionMatrixTest, RowOnConditionsRespectsOrder) {
+  auto m = *ExpressionMatrix::FromRows({{10, 20, 30, 40}});
+  EXPECT_EQ(m.RowOnConditions(0, {3, 0, 2}), (std::vector<double>{40, 10, 30}));
+}
+
+TEST(ExpressionMatrixTest, SetNamesValidatesSize) {
+  ExpressionMatrix m(2, 2);
+  EXPECT_TRUE(m.SetGeneNames({"a", "b"}).ok());
+  EXPECT_FALSE(m.SetGeneNames({"a"}).ok());
+  EXPECT_TRUE(m.SetConditionNames({"x", "y"}).ok());
+  EXPECT_FALSE(m.SetConditionNames({"x", "y", "z"}).ok());
+  EXPECT_EQ(m.gene_name(1), "b");
+}
+
+TEST(ExpressionMatrixTest, FindByName) {
+  ExpressionMatrix m(2, 2);
+  ASSERT_TRUE(m.SetGeneNames({"YAL001C", "YAL002W"}).ok());
+  EXPECT_EQ(m.FindGene("YAL002W"), 1);
+  EXPECT_EQ(m.FindGene("nope"), -1);
+  EXPECT_EQ(m.FindCondition("c0"), 0);
+  EXPECT_EQ(m.FindCondition("zzz"), -1);
+}
+
+TEST(ExpressionMatrixTest, RowRange) {
+  auto m = *ExpressionMatrix::FromRows({{3, -7, 12, 0}});
+  const auto [lo, hi] = m.RowRange(0);
+  EXPECT_DOUBLE_EQ(lo, -7);
+  EXPECT_DOUBLE_EQ(hi, 12);
+}
+
+TEST(ExpressionMatrixTest, RowRangeIgnoresNaN) {
+  auto m = *ExpressionMatrix::FromRows({{kNaN, 2, 8, kNaN}});
+  const auto [lo, hi] = m.RowRange(0);
+  EXPECT_DOUBLE_EQ(lo, 2);
+  EXPECT_DOUBLE_EQ(hi, 8);
+}
+
+TEST(ExpressionMatrixTest, RowRangeAllNaN) {
+  auto m = *ExpressionMatrix::FromRows({{kNaN, kNaN}});
+  const auto [lo, hi] = m.RowRange(0);
+  EXPECT_DOUBLE_EQ(lo, 0);
+  EXPECT_DOUBLE_EQ(hi, 0);
+}
+
+TEST(ExpressionMatrixTest, HasMissingValues) {
+  auto clean = *ExpressionMatrix::FromRows({{1, 2}});
+  EXPECT_FALSE(clean.HasMissingValues());
+  auto dirty = *ExpressionMatrix::FromRows({{1, kNaN}});
+  EXPECT_TRUE(dirty.HasMissingValues());
+}
+
+TEST(ExpressionMatrixTest, SubmatrixValuesAndLabels) {
+  auto m = *ExpressionMatrix::FromRows({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  ASSERT_TRUE(m.SetGeneNames({"a", "b", "c"}).ok());
+  ASSERT_TRUE(m.SetConditionNames({"x", "y", "z"}).ok());
+  ExpressionMatrix s = m.Submatrix({2, 0}, {1, 2});
+  EXPECT_EQ(s.num_genes(), 2);
+  EXPECT_EQ(s.num_conditions(), 2);
+  EXPECT_DOUBLE_EQ(s(0, 0), 8);
+  EXPECT_DOUBLE_EQ(s(0, 1), 9);
+  EXPECT_DOUBLE_EQ(s(1, 0), 2);
+  EXPECT_EQ(s.gene_name(0), "c");
+  EXPECT_EQ(s.condition_name(1), "z");
+}
+
+TEST(ExpressionMatrixTest, RowDataIsContiguous) {
+  auto m = *ExpressionMatrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const double* p = m.row_data(1);
+  EXPECT_DOUBLE_EQ(p[0], 4);
+  EXPECT_DOUBLE_EQ(p[2], 6);
+}
+
+}  // namespace
+}  // namespace matrix
+}  // namespace regcluster

@@ -1,0 +1,176 @@
+// Tests for the advanced preprocessing: KNN imputation and quantile
+// normalization (row-mean imputation is covered in transforms_test.cc).
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "matrix/transforms.h"
+#include "util/prng.h"
+
+namespace regcluster {
+namespace matrix {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(ImputeKnnTest, CompleteMatrixUnchanged) {
+  auto m = *ExpressionMatrix::FromRows({{1, 2}, {3, 4}});
+  auto out = ImputeKnn(m, 3);
+  ASSERT_TRUE(out.ok());
+  for (int g = 0; g < 2; ++g) {
+    for (int c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ((*out)(g, c), m(g, c));
+  }
+}
+
+TEST(ImputeKnnTest, UsesNearestNeighborValue) {
+  // Gene 0 is identical to gene 1 except for the missing cell; gene 2 is
+  // far away.  k=1 must copy gene 1's value.
+  auto m = *ExpressionMatrix::FromRows({
+      {1, 2, kNaN, 4},
+      {1, 2, 3, 4},
+      {100, 200, 300, 400},
+  });
+  auto out = ImputeKnn(m, 1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)(0, 2), 3.0);
+}
+
+TEST(ImputeKnnTest, WeightsCloserNeighborsMore) {
+  auto m = *ExpressionMatrix::FromRows({
+      {0, 0, kNaN},
+      {0.1, 0.1, 10},   // close
+      {5, 5, 20},       // far
+  });
+  auto out = ImputeKnn(m, 2);
+  ASSERT_TRUE(out.ok());
+  const double v = (*out)(0, 2);
+  EXPECT_GT(v, 10.0);
+  EXPECT_LT(v, 15.0);  // pulled toward the close neighbour's 10
+}
+
+TEST(ImputeKnnTest, FallsBackToRowMeanWhenNoNeighborObserves) {
+  auto m = *ExpressionMatrix::FromRows({
+      {2, 4, kNaN},
+      {1, 1, kNaN},
+  });
+  auto out = ImputeKnn(m, 5);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)(0, 2), 3.0);  // mean of {2, 4}
+  EXPECT_DOUBLE_EQ((*out)(1, 2), 1.0);
+}
+
+TEST(ImputeKnnTest, ResultIsComplete) {
+  util::Prng prng(12);
+  ExpressionMatrix m(30, 10);
+  for (int g = 0; g < 30; ++g) {
+    for (int c = 0; c < 10; ++c) {
+      m(g, c) = prng.Bernoulli(0.15) ? kNaN : prng.Uniform(0, 10);
+    }
+  }
+  auto out = ImputeKnn(m, 4);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->HasMissingValues());
+  // Observed cells are untouched.
+  for (int g = 0; g < 30; ++g) {
+    for (int c = 0; c < 10; ++c) {
+      if (!std::isnan(m(g, c))) {
+        EXPECT_DOUBLE_EQ((*out)(g, c), m(g, c));
+      }
+    }
+  }
+}
+
+TEST(ImputeKnnTest, BetterThanRowMeanOnStructuredData) {
+  // Rows are affine copies of a common pattern; KNN exploits that, row-mean
+  // cannot.
+  util::Prng prng(9);
+  const std::vector<double> base{0, 3, 1, 7, 2, 9, 4, 6};
+  ExpressionMatrix truth(20, 8);
+  for (int g = 0; g < 20; ++g) {
+    const double a = prng.Uniform(0.5, 2.0);
+    const double b = prng.Uniform(-3, 3);
+    for (int c = 0; c < 8; ++c) {
+      truth(g, c) = a * base[static_cast<size_t>(c)] + b;
+    }
+  }
+  ExpressionMatrix holey = truth;
+  // Punch one hole per even row.
+  for (int g = 0; g < 20; g += 2) holey(g, g % 8) = kNaN;
+
+  auto knn = ImputeKnn(holey, 3);
+  ASSERT_TRUE(knn.ok());
+  const ExpressionMatrix rowmean = ImputeRowMean(holey);
+  double knn_err = 0, mean_err = 0;
+  for (int g = 0; g < 20; g += 2) {
+    knn_err += std::fabs((*knn)(g, g % 8) - truth(g, g % 8));
+    mean_err += std::fabs(rowmean(g, g % 8) - truth(g, g % 8));
+  }
+  EXPECT_LT(knn_err, mean_err * 0.5);
+}
+
+TEST(ImputeKnnTest, RejectsBadK) {
+  auto m = *ExpressionMatrix::FromRows({{1, 2}});
+  EXPECT_FALSE(ImputeKnn(m, 0).ok());
+}
+
+TEST(QuantileNormalizeTest, ColumnsShareDistribution) {
+  auto m = *ExpressionMatrix::FromRows({
+      {5, 400},
+      {2, 100},
+      {3, 200},
+      {4, 300},
+  });
+  auto out = QuantileNormalizeColumns(m);
+  ASSERT_TRUE(out.ok());
+  // Per-column sorted values must be identical across columns.
+  std::vector<double> c0, c1;
+  for (int g = 0; g < 4; ++g) {
+    c0.push_back((*out)(g, 0));
+    c1.push_back((*out)(g, 1));
+  }
+  std::sort(c0.begin(), c0.end());
+  std::sort(c1.begin(), c1.end());
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(c0[static_cast<size_t>(i)], c1[static_cast<size_t>(i)]);
+  // Ranks preserved within each column.
+  EXPECT_GT((*out)(0, 0), (*out)(3, 0));  // 5 was the max of column 0
+  EXPECT_GT((*out)(0, 1), (*out)(3, 1));  // 400 was the max of column 1
+}
+
+TEST(QuantileNormalizeTest, TargetIsMeanOfSortedColumns) {
+  auto m = *ExpressionMatrix::FromRows({
+      {1, 10},
+      {2, 20},
+  });
+  auto out = QuantileNormalizeColumns(m);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)(0, 0), 5.5);   // mean(1, 10)
+  EXPECT_DOUBLE_EQ((*out)(1, 0), 11.0);  // mean(2, 20)
+  EXPECT_DOUBLE_EQ((*out)(0, 1), 5.5);
+  EXPECT_DOUBLE_EQ((*out)(1, 1), 11.0);
+}
+
+TEST(QuantileNormalizeTest, AlreadyIdenticalColumnsUnchanged) {
+  auto m = *ExpressionMatrix::FromRows({{1, 1}, {7, 7}, {3, 3}});
+  auto out = QuantileNormalizeColumns(m);
+  ASSERT_TRUE(out.ok());
+  for (int g = 0; g < 3; ++g) {
+    for (int c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ((*out)(g, c), m(g, c));
+  }
+}
+
+TEST(QuantileNormalizeTest, RejectsMissingValues) {
+  auto m = *ExpressionMatrix::FromRows({{1, kNaN}});
+  EXPECT_FALSE(QuantileNormalizeColumns(m).ok());
+}
+
+TEST(QuantileNormalizeTest, EmptyMatrixOk) {
+  ExpressionMatrix m;
+  auto out = QuantileNormalizeColumns(m);
+  EXPECT_TRUE(out.ok());
+}
+
+}  // namespace
+}  // namespace matrix
+}  // namespace regcluster

@@ -1,0 +1,83 @@
+// Property sweep: random matrices round-trip bit-comparably through every
+// supported text format combination.
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "matrix/matrix_io.h"
+#include "util/prng.h"
+
+namespace regcluster {
+namespace matrix {
+namespace {
+
+struct FormatParams {
+  char delimiter;
+  bool header;
+  bool names;
+};
+
+class RoundTripSweep : public ::testing::TestWithParam<FormatParams> {};
+
+TEST_P(RoundTripSweep, RandomMatricesSurvive) {
+  const FormatParams& p = GetParam();
+  TextFormat fmt;
+  fmt.delimiter = p.delimiter;
+  fmt.has_header = p.header;
+  fmt.has_gene_names = p.names;
+
+  util::Prng prng(1000 + static_cast<uint64_t>(p.delimiter) +
+                  2 * p.header + 4 * p.names);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int rows = static_cast<int>(prng.UniformInt(1, 12));
+    const int cols = static_cast<int>(prng.UniformInt(1, 9));
+    ExpressionMatrix m(rows, cols);
+    for (int g = 0; g < rows; ++g) {
+      for (int c = 0; c < cols; ++c) {
+        if (prng.Bernoulli(0.1)) {
+          m(g, c) = std::numeric_limits<double>::quiet_NaN();
+        } else if (prng.Bernoulli(0.2)) {
+          m(g, c) = prng.UniformInt(-5, 5);  // integers / zeros
+        } else if (prng.Bernoulli(0.1)) {
+          m(g, c) = prng.Uniform(-1, 1) * 1e-7;  // tiny magnitudes
+        } else {
+          m(g, c) = prng.Uniform(-1000, 1000);
+        }
+      }
+    }
+
+    std::ostringstream out;
+    ASSERT_TRUE(WriteMatrix(m, out, fmt).ok());
+    auto back = ReadMatrixFromString(out.str(), fmt);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    ASSERT_EQ(back->num_genes(), rows);
+    ASSERT_EQ(back->num_conditions(), cols);
+    for (int g = 0; g < rows; ++g) {
+      for (int c = 0; c < cols; ++c) {
+        if (std::isnan(m(g, c))) {
+          ASSERT_TRUE(std::isnan((*back)(g, c)));
+        } else {
+          // %.10g loses below ~1e-10 relative precision.
+          ASSERT_NEAR((*back)(g, c), m(g, c),
+                      std::fabs(m(g, c)) * 1e-9 + 1e-12);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, RoundTripSweep,
+    ::testing::Values(FormatParams{'\t', true, true},
+                      FormatParams{'\t', true, false},
+                      FormatParams{'\t', false, true},
+                      FormatParams{'\t', false, false},
+                      FormatParams{',', true, true},
+                      FormatParams{',', false, false},
+                      FormatParams{';', true, true}));
+
+}  // namespace
+}  // namespace matrix
+}  // namespace regcluster

@@ -1,0 +1,89 @@
+#include "matrix/stats.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace regcluster {
+namespace matrix {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(GeneStatsTest, Basic) {
+  auto m = *ExpressionMatrix::FromRows({{1, 5, 3, kNaN}});
+  const SeriesStats s = GeneStats(m, 0);
+  EXPECT_EQ(s.count, 3);
+  EXPECT_EQ(s.missing, 1);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+  EXPECT_DOUBLE_EQ(s.mean, 3);
+  EXPECT_DOUBLE_EQ(s.stddev, 2);
+}
+
+TEST(GeneStatsTest, AllMissing) {
+  auto m = *ExpressionMatrix::FromRows({{kNaN, kNaN}});
+  const SeriesStats s = GeneStats(m, 0);
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.missing, 2);
+}
+
+TEST(ConditionStatsTest, Basic) {
+  auto m = *ExpressionMatrix::FromRows({{1, 9}, {3, 9}, {kNaN, 9}});
+  const SeriesStats s = ConditionStats(m, 0);
+  EXPECT_EQ(s.count, 2);
+  EXPECT_EQ(s.missing, 1);
+  EXPECT_DOUBLE_EQ(s.mean, 2);
+}
+
+TEST(SummarizeMatrixTest, CountsEverything) {
+  auto m = *ExpressionMatrix::FromRows({
+      {1, 2, 3},       // normal
+      {5, 5, 5},       // constant
+      {kNaN, 4, 8},    // missing
+      {kNaN, kNaN, kNaN},  // all-missing (counts as constant too)
+  });
+  const MatrixStats s = Summarize(m);
+  EXPECT_EQ(s.num_genes, 4);
+  EXPECT_EQ(s.num_conditions, 3);
+  EXPECT_EQ(s.missing_cells, 4);
+  EXPECT_EQ(s.genes_with_missing, 2);
+  EXPECT_EQ(s.constant_genes, 2);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 8);
+  EXPECT_NEAR(s.mean, (1 + 2 + 3 + 15 + 12) / 8.0, 1e-12);
+}
+
+TEST(SummarizeMatrixTest, EmptyMatrix) {
+  ExpressionMatrix m;
+  const MatrixStats s = Summarize(m);
+  EXPECT_EQ(s.num_genes, 0);
+  EXPECT_DOUBLE_EQ(s.min, 0);
+  EXPECT_DOUBLE_EQ(s.max, 0);
+}
+
+TEST(StatsReportTest, ContainsTheSections) {
+  auto m = *ExpressionMatrix::FromRows({{1, 2, 3}, {4, 4, 4}});
+  ASSERT_TRUE(m.SetGeneNames({"busy", "flat"}).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteStatsReport(m, out, 1).ok());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("2 genes x 3 conditions"), std::string::npos);
+  EXPECT_NE(text.find("per-condition:"), std::string::npos);
+  EXPECT_NE(text.find("flattest 1 genes"), std::string::npos);
+  EXPECT_NE(text.find("flat"), std::string::npos);  // the constant gene
+  EXPECT_NE(text.find("constant (unminable) genes: 1"), std::string::npos);
+}
+
+TEST(StatsReportTest, WorstZeroSkipsSection) {
+  auto m = *ExpressionMatrix::FromRows({{1, 2}});
+  std::ostringstream out;
+  ASSERT_TRUE(WriteStatsReport(m, out, 0).ok());
+  EXPECT_EQ(out.str().find("flattest"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace matrix
+}  // namespace regcluster

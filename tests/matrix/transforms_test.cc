@@ -1,0 +1,113 @@
+#include "matrix/transforms.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace regcluster {
+namespace matrix {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(TransformsTest, LogTransformValues) {
+  auto m = *ExpressionMatrix::FromRows({{1.0, std::exp(1.0), 10.0}});
+  auto t = LogTransform(m);
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR((*t)(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR((*t)(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR((*t)(0, 2), std::log(10.0), 1e-12);
+}
+
+TEST(TransformsTest, LogTransformRejectsNonPositive) {
+  EXPECT_FALSE(LogTransform(*ExpressionMatrix::FromRows({{1.0, 0.0}})).ok());
+  EXPECT_FALSE(LogTransform(*ExpressionMatrix::FromRows({{-3.0}})).ok());
+}
+
+TEST(TransformsTest, LogTransformSkipsNaN) {
+  auto t = LogTransform(*ExpressionMatrix::FromRows({{kNaN, 2.0}}));
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(std::isnan((*t)(0, 0)));
+}
+
+TEST(TransformsTest, ExpTransformInvertsLog) {
+  auto m = *ExpressionMatrix::FromRows({{0.5, 2.0, -1.0}});
+  auto e = ExpTransform(m);
+  ASSERT_TRUE(e.ok());
+  auto back = LogTransform(*e);
+  ASSERT_TRUE(back.ok());
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR((*back)(0, j), m(0, j), 1e-12);
+}
+
+TEST(TransformsTest, ExpTransformOverflowRejected) {
+  EXPECT_FALSE(ExpTransform(*ExpressionMatrix::FromRows({{1e10}})).ok());
+}
+
+TEST(TransformsTest, PaperEquation1_ScalingBecomesShifting) {
+  // d_i = s1 * d_j  =>  log d_i = log d_j + log s1 (Eq. 1).
+  auto m = *ExpressionMatrix::FromRows({{2, 4, 8}, {6, 12, 24}});  // s1 = 3
+  auto t = LogTransform(m);
+  ASSERT_TRUE(t.ok());
+  const double shift0 = (*t)(1, 0) - (*t)(0, 0);
+  for (int j = 1; j < 3; ++j) {
+    EXPECT_NEAR((*t)(1, j) - (*t)(0, j), shift0, 1e-12);
+  }
+  EXPECT_NEAR(shift0, std::log(3.0), 1e-12);
+}
+
+TEST(TransformsTest, PaperEquation2_ShiftingBecomesScaling) {
+  // d_i = d_j + s2  =>  e^{d_i} = e^{d_j} * e^{s2} (Eq. 2).
+  auto m = *ExpressionMatrix::FromRows({{1, 2, 3}, {3, 4, 5}});  // s2 = 2
+  auto e = ExpTransform(m);
+  ASSERT_TRUE(e.ok());
+  const double ratio0 = (*e)(1, 0) / (*e)(0, 0);
+  for (int j = 1; j < 3; ++j) {
+    EXPECT_NEAR((*e)(1, j) / (*e)(0, j), ratio0, 1e-12);
+  }
+  EXPECT_NEAR(ratio0, std::exp(2.0), 1e-12);
+}
+
+TEST(TransformsTest, ShiftAndScale) {
+  auto m = *ExpressionMatrix::FromRows({{1, 2}});
+  EXPECT_DOUBLE_EQ(Shift(m, 5.0)(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(Scale(m, -2.0)(0, 0), -2.0);
+}
+
+TEST(TransformsTest, ZScoreRows) {
+  auto m = *ExpressionMatrix::FromRows({{1, 2, 3}});
+  ExpressionMatrix z = ZScoreRows(m);
+  EXPECT_NEAR(z(0, 0) + z(0, 2), 0.0, 1e-12);
+  EXPECT_NEAR(z(0, 1), 0.0, 1e-12);
+  EXPECT_LT(z(0, 0), 0.0);
+}
+
+TEST(TransformsTest, ZScoreConstantRowBecomesZero) {
+  auto m = *ExpressionMatrix::FromRows({{4, 4, 4}});
+  ExpressionMatrix z = ZScoreRows(m);
+  for (int j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(z(0, j), 0.0);
+}
+
+TEST(TransformsTest, ImputeRowMean) {
+  auto m = *ExpressionMatrix::FromRows({{1, kNaN, 3}});
+  ExpressionMatrix imp = ImputeRowMean(m);
+  EXPECT_DOUBLE_EQ(imp(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(imp(0, 0), 1.0);
+  EXPECT_FALSE(imp.HasMissingValues());
+}
+
+TEST(TransformsTest, ImputeAllNaNRowBecomesZero) {
+  auto m = *ExpressionMatrix::FromRows({{kNaN, kNaN}});
+  ExpressionMatrix imp = ImputeRowMean(m);
+  EXPECT_DOUBLE_EQ(imp(0, 0), 0.0);
+}
+
+TEST(TransformsTest, CountMissing) {
+  auto m = *ExpressionMatrix::FromRows({{kNaN, 1}, {kNaN, kNaN}});
+  EXPECT_EQ(CountMissing(m), 3);
+  EXPECT_EQ(CountMissing(ImputeRowMean(m)), 0);
+}
+
+}  // namespace
+}  // namespace matrix
+}  // namespace regcluster

@@ -1,0 +1,247 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/coherence.h"
+
+namespace regcluster {
+namespace synth {
+namespace {
+
+SyntheticConfig SmallConfig() {
+  SyntheticConfig cfg;
+  cfg.num_genes = 200;
+  cfg.num_conditions = 20;
+  cfg.num_clusters = 5;
+  cfg.avg_cluster_genes_fraction = 0.05;  // ~10 genes per cluster
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(GeneratorTest, ShapeAndImplantCount) {
+  auto ds = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ(ds->data.num_genes(), 200);
+  EXPECT_EQ(ds->data.num_conditions(), 20);
+  EXPECT_EQ(ds->implants.size(), 5u);
+}
+
+TEST(GeneratorTest, Deterministic) {
+  auto a = GenerateSynthetic(SmallConfig());
+  auto b = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int g = 0; g < a->data.num_genes(); ++g) {
+    for (int c = 0; c < a->data.num_conditions(); ++c) {
+      ASSERT_DOUBLE_EQ(a->data(g, c), b->data(g, c));
+    }
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  SyntheticConfig cfg = SmallConfig();
+  auto a = GenerateSynthetic(cfg);
+  cfg.seed = 12;
+  auto b = GenerateSynthetic(cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_diff = false;
+  for (int g = 0; g < a->data.num_genes() && !any_diff; ++g) {
+    for (int c = 0; c < a->data.num_conditions(); ++c) {
+      if (a->data(g, c) != b->data(g, c)) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, ImplantGeneSetsDisjoint) {
+  auto ds = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(ds.ok());
+  std::set<int> seen;
+  for (const ImplantedCluster& imp : ds->implants) {
+    for (int g : imp.Footprint().genes) {
+      EXPECT_TRUE(seen.insert(g).second) << "gene " << g << " reused";
+    }
+  }
+}
+
+TEST(GeneratorTest, ImplantsHaveBothMemberKinds) {
+  auto ds = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(ds.ok());
+  for (const ImplantedCluster& imp : ds->implants) {
+    EXPECT_FALSE(imp.p_genes.empty());
+    EXPECT_FALSE(imp.n_genes.empty());  // negative_fraction = 0.3 default
+  }
+}
+
+TEST(GeneratorTest, ImplantsValidateAsPerfectRegClusters) {
+  // The paper's generator embeds clusters valid at epsilon=0, gamma=0.15.
+  auto ds = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(ds.ok());
+  for (const ImplantedCluster& imp : ds->implants) {
+    std::string why;
+    EXPECT_TRUE(core::ValidateRegCluster(ds->data, imp.ToRegCluster(), 0.1,
+                                         1e-9, &why))
+        << why;
+    // And just below the generator's guarantee threshold:
+    EXPECT_TRUE(core::ValidateRegCluster(ds->data, imp.ToRegCluster(), 0.149,
+                                         1e-9, &why))
+        << why;
+  }
+}
+
+TEST(GeneratorTest, NoisyImplantsNeedLooserEpsilon) {
+  SyntheticConfig cfg = SmallConfig();
+  cfg.noise_fraction = 0.1;
+  auto ds = GenerateSynthetic(cfg);
+  ASSERT_TRUE(ds.ok());
+  int strict_failures = 0;
+  for (const ImplantedCluster& imp : ds->implants) {
+    if (!core::ValidateRegCluster(ds->data, imp.ToRegCluster(), 0.1, 1e-9)) {
+      ++strict_failures;
+    }
+    // A generous epsilon absorbs the noise (regulation may still fail for
+    // extreme draws, so only check coherence-dominated settings).
+    EXPECT_TRUE(
+        core::ValidateRegCluster(ds->data, imp.ToRegCluster(), 0.05, 1.5));
+  }
+  EXPECT_GT(strict_failures, 0);  // noise must actually perturb coherence
+}
+
+TEST(GeneratorTest, BackgroundStaysInRangeOutsideImplants) {
+  auto ds = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(ds.ok());
+  std::set<std::pair<int, int>> implant_cells;
+  for (const ImplantedCluster& imp : ds->implants) {
+    for (int g : imp.Footprint().genes) {
+      for (int c : imp.chain) implant_cells.insert({g, c});
+    }
+  }
+  for (int g = 0; g < ds->data.num_genes(); ++g) {
+    for (int c = 0; c < ds->data.num_conditions(); ++c) {
+      if (implant_cells.count({g, c})) continue;
+      EXPECT_GE(ds->data(g, c), 0.0);
+      EXPECT_LE(ds->data(g, c), 10.0);
+    }
+  }
+}
+
+TEST(GeneratorTest, ChainLengthRespectsStepRatioCap) {
+  // min_step_ratio = 0.15 allows at most floor(0.95/0.15) = 6 steps.
+  SyntheticConfig cfg = SmallConfig();
+  cfg.avg_cluster_conditions = 12;
+  auto ds = GenerateSynthetic(cfg);
+  ASSERT_TRUE(ds.ok());
+  for (const ImplantedCluster& imp : ds->implants) {
+    EXPECT_LE(imp.chain.size(), 7u);
+  }
+}
+
+TEST(GeneratorTest, RejectsOverdemand) {
+  SyntheticConfig cfg = SmallConfig();
+  cfg.num_clusters = 100;
+  cfg.avg_cluster_genes_fraction = 0.2;
+  EXPECT_FALSE(GenerateSynthetic(cfg).ok());
+}
+
+TEST(GeneratorTest, RejectsBadParameters) {
+  {
+    SyntheticConfig cfg = SmallConfig();
+    cfg.num_genes = 0;
+    EXPECT_FALSE(GenerateSynthetic(cfg).ok());
+  }
+  {
+    SyntheticConfig cfg = SmallConfig();
+    cfg.min_step_ratio = 0.0;
+    EXPECT_FALSE(GenerateSynthetic(cfg).ok());
+  }
+  {
+    SyntheticConfig cfg = SmallConfig();
+    cfg.min_step_ratio = 0.7;
+    EXPECT_FALSE(GenerateSynthetic(cfg).ok());
+  }
+  {
+    SyntheticConfig cfg = SmallConfig();
+    cfg.negative_fraction = 1.5;
+    EXPECT_FALSE(GenerateSynthetic(cfg).ok());
+  }
+  {
+    SyntheticConfig cfg = SmallConfig();
+    cfg.background_lo = 5;
+    cfg.background_hi = 5;
+    EXPECT_FALSE(GenerateSynthetic(cfg).ok());
+  }
+}
+
+TEST(GeneratorTest, GeneReuseProducesOverlappingImplants) {
+  SyntheticConfig cfg = SmallConfig();
+  cfg.num_conditions = 24;
+  cfg.avg_cluster_conditions = 5;
+  cfg.gene_reuse_fraction = 0.5;
+  auto ds = GenerateSynthetic(cfg);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+
+  // Some gene must appear in more than one implant.
+  std::map<int, int> gene_uses;
+  for (const ImplantedCluster& imp : ds->implants) {
+    for (int g : imp.Footprint().genes) ++gene_uses[g];
+  }
+  int reused = 0;
+  for (const auto& [g, uses] : gene_uses) {
+    (void)g;
+    reused += uses > 1;
+  }
+  EXPECT_GT(reused, 0);
+
+  // A reused gene's implants never share conditions.
+  for (size_t i = 0; i < ds->implants.size(); ++i) {
+    for (size_t j = i + 1; j < ds->implants.size(); ++j) {
+      const auto fi = ds->implants[i].Footprint();
+      const auto fj = ds->implants[j].Footprint();
+      std::vector<int> shared_genes;
+      std::set_intersection(fi.genes.begin(), fi.genes.end(),
+                            fj.genes.begin(), fj.genes.end(),
+                            std::back_inserter(shared_genes));
+      if (shared_genes.empty()) continue;
+      std::vector<int> shared_conds;
+      std::set_intersection(fi.conditions.begin(), fi.conditions.end(),
+                            fj.conditions.begin(), fj.conditions.end(),
+                            std::back_inserter(shared_conds));
+      EXPECT_TRUE(shared_conds.empty())
+          << "implants " << i << ", " << j << " share genes and conditions";
+    }
+  }
+
+  // EVERY implant must still validate -- reuse may not corrupt older ones.
+  for (const ImplantedCluster& imp : ds->implants) {
+    std::string why;
+    EXPECT_TRUE(core::ValidateRegCluster(ds->data, imp.ToRegCluster(), 0.1,
+                                         1e-9, &why))
+        << why;
+  }
+}
+
+TEST(GeneratorTest, GeneReuseRejectsBadFraction) {
+  SyntheticConfig cfg = SmallConfig();
+  cfg.gene_reuse_fraction = 1.5;
+  EXPECT_FALSE(GenerateSynthetic(cfg).ok());
+}
+
+TEST(GeneratorTest, ZeroClustersIsPureBackground) {
+  SyntheticConfig cfg = SmallConfig();
+  cfg.num_clusters = 0;
+  auto ds = GenerateSynthetic(cfg);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(ds->implants.empty());
+}
+
+}  // namespace
+}  // namespace synth
+}  // namespace regcluster

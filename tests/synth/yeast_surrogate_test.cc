@@ -1,0 +1,150 @@
+#include "synth/yeast_surrogate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/coherence.h"
+#include "util/math_util.h"
+
+namespace regcluster {
+namespace synth {
+namespace {
+
+YeastSurrogateConfig SmallConfig() {
+  YeastSurrogateConfig cfg;
+  cfg.num_genes = 300;
+  cfg.num_conditions = 17;
+  cfg.num_modules = 6;
+  cfg.avg_module_genes = 15;
+  return cfg;
+}
+
+TEST(YeastSurrogateTest, DefaultShapeMatchesPaperDataset) {
+  YeastSurrogateConfig cfg;  // defaults
+  cfg.num_genes = 2884;
+  cfg.num_conditions = 17;
+  cfg.num_modules = 3;  // keep the test fast
+  auto ds = MakeYeastSurrogate(cfg);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->data.num_genes(), 2884);
+  EXPECT_EQ(ds->data.num_conditions(), 17);
+}
+
+TEST(YeastSurrogateTest, HasOrfStyleNames) {
+  auto ds = MakeYeastSurrogate(SmallConfig());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->data.gene_name(0), "ORF0000");
+  EXPECT_EQ(ds->data.condition_name(0), "cdc15_10");
+}
+
+TEST(YeastSurrogateTest, BackgroundIsPositiveAndBounded) {
+  auto ds = MakeYeastSurrogate(SmallConfig());
+  ASSERT_TRUE(ds.ok());
+  // All implant cells included, values must stay finite; background cells in
+  // [1, 600].
+  int out_of_band = 0;
+  for (int g = 0; g < ds->data.num_genes(); ++g) {
+    for (int c = 0; c < ds->data.num_conditions(); ++c) {
+      ASSERT_TRUE(std::isfinite(ds->data(g, c)));
+      if (ds->data(g, c) < 1.0 || ds->data(g, c) > 600.0) ++out_of_band;
+    }
+  }
+  // Only implant cells may leave the clip band.
+  int implant_cells = 0;
+  for (const auto& imp : ds->implants) {
+    implant_cells += static_cast<int>(imp.Footprint().genes.size() *
+                                      imp.chain.size());
+  }
+  EXPECT_LE(out_of_band, implant_cells);
+}
+
+TEST(YeastSurrogateTest, ModulesValidateUnderPaperParameters) {
+  // The Section 5.2 run uses gamma = 0.05; the surrogate's modules carry
+  // noise, so validate with the run's generous epsilon = 1.0.
+  auto ds = MakeYeastSurrogate(SmallConfig());
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds->implants.size(), 6u);
+  for (const auto& imp : ds->implants) {
+    std::string why;
+    EXPECT_TRUE(core::ValidateRegCluster(ds->data, imp.ToRegCluster(), 0.05,
+                                         1.0, &why))
+        << why;
+  }
+}
+
+TEST(YeastSurrogateTest, MixedCorrelationSigns) {
+  auto ds = MakeYeastSurrogate(SmallConfig());
+  ASSERT_TRUE(ds.ok());
+  for (const auto& imp : ds->implants) {
+    EXPECT_FALSE(imp.p_genes.empty());
+    EXPECT_FALSE(imp.n_genes.empty());
+  }
+}
+
+TEST(YeastSurrogateTest, Deterministic) {
+  auto a = MakeYeastSurrogate(SmallConfig());
+  auto b = MakeYeastSurrogate(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int g = 0; g < a->data.num_genes(); ++g) {
+    for (int c = 0; c < a->data.num_conditions(); ++c) {
+      ASSERT_DOUBLE_EQ(a->data(g, c), b->data(g, c));
+    }
+  }
+}
+
+TEST(YeastSurrogateTest, CellCycleBackgroundIsSmooth) {
+  YeastSurrogateConfig cfg = SmallConfig();
+  cfg.background = YeastBackground::kCellCycle;
+  cfg.num_modules = 0;  // pure background for this check
+  auto ds = MakeYeastSurrogate(cfg);
+  ASSERT_TRUE(ds.ok());
+  // Temporal-structure proxy: mean lag-1 autocorrelation per gene.  The
+  // sinusoidal background is strongly autocorrelated, the i.i.d. log-normal
+  // is not.
+  auto mean_lag1 = [](const matrix::ExpressionMatrix& m) {
+    double total = 0.0;
+    for (int g = 0; g < m.num_genes(); ++g) {
+      std::vector<double> a, b;
+      for (int c = 0; c + 1 < m.num_conditions(); ++c) {
+        a.push_back(m(g, c));
+        b.push_back(m(g, c + 1));
+      }
+      total += util::PearsonCorrelation(a, b);
+    }
+    return total / m.num_genes();
+  };
+  YeastSurrogateConfig iid = cfg;
+  iid.background = YeastBackground::kLogNormal;
+  auto ds_iid = MakeYeastSurrogate(iid);
+  ASSERT_TRUE(ds_iid.ok());
+  EXPECT_GT(mean_lag1(ds->data), 0.5);
+  EXPECT_LT(std::fabs(mean_lag1(ds_iid->data)), 0.2);
+}
+
+TEST(YeastSurrogateTest, CellCycleModulesStillValidate) {
+  YeastSurrogateConfig cfg = SmallConfig();
+  cfg.background = YeastBackground::kCellCycle;
+  auto ds = MakeYeastSurrogate(cfg);
+  ASSERT_TRUE(ds.ok());
+  for (const auto& imp : ds->implants) {
+    std::string why;
+    EXPECT_TRUE(core::ValidateRegCluster(ds->data, imp.ToRegCluster(), 0.05,
+                                         1.0, &why))
+        << why;
+  }
+}
+
+TEST(YeastSurrogateTest, RejectsBadConfig) {
+  YeastSurrogateConfig cfg = SmallConfig();
+  cfg.avg_module_conditions = 1;
+  EXPECT_FALSE(MakeYeastSurrogate(cfg).ok());
+  cfg = SmallConfig();
+  cfg.num_genes = 0;
+  EXPECT_FALSE(MakeYeastSurrogate(cfg).ok());
+}
+
+}  // namespace
+}  // namespace synth
+}  // namespace regcluster

@@ -1,0 +1,42 @@
+// Shared fixtures: the paper's running dataset (Table 1) and expected
+// artifacts from its worked examples (Figures 2, 3, 4, 6).
+
+#ifndef REGCLUSTER_TESTS_TESTING_PAPER_DATA_H_
+#define REGCLUSTER_TESTS_TESTING_PAPER_DATA_H_
+
+#include <vector>
+
+#include "matrix/expression_matrix.h"
+
+namespace regcluster {
+namespace testing {
+
+/// Table 1: 3 genes x 10 conditions.  Index i corresponds to the paper's
+/// g_{i+1}; condition index j to c_{j+1}.
+inline matrix::ExpressionMatrix RunningDataset() {
+  auto m = matrix::ExpressionMatrix::FromRows({
+      /* g1 */ {10, -14.5, 15, 10.5, 0, 14.5, -15, 0, -5, -5},
+      /* g2 */ {20, 15, 15, 43.5, 30, 44, 45, 43, 35, 20},
+      /* g3 */ {6, -3.8, 8, 6.2, 2, 7.8, -4, 2, 0, 0},
+  });
+  return *std::move(m);
+}
+
+/// The paper's condition naming: c1..c10 map to indices 0..9.
+inline constexpr int C(int paper_id) { return paper_id - 1; }
+/// Gene naming: g1..g3 map to indices 0..2.
+inline constexpr int G(int paper_id) { return paper_id - 1; }
+
+/// Figure 2 / Section 4: the only reg-cluster of the running dataset at
+/// gamma=0.15, epsilon=0.1, MinG=3, MinC=5 is the chain c7 c9 c5 c1 c3 with
+/// p-members {g1, g3} and n-members {g2}.
+inline std::vector<int> ExpectedChain() {
+  return {C(7), C(9), C(5), C(1), C(3)};
+}
+inline std::vector<int> ExpectedPMembers() { return {G(1), G(3)}; }
+inline std::vector<int> ExpectedNMembers() { return {G(2)}; }
+
+}  // namespace testing
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_TESTS_TESTING_PAPER_DATA_H_

@@ -1,0 +1,143 @@
+#include "util/math_util.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace regcluster {
+namespace util {
+namespace {
+
+TEST(DescriptiveTest, Mean) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({-5}), -5.0);
+}
+
+TEST(DescriptiveTest, Variance) {
+  EXPECT_DOUBLE_EQ(Variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(Variance({3}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({5, 5, 5}), 0.0);
+}
+
+TEST(DescriptiveTest, StdDev) {
+  EXPECT_NEAR(StdDev({1, 3}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(PearsonTest, PerfectPositive) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {10, 20, 30}), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegative) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {5, 3, 1}), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ShiftScaleInvariance) {
+  // r(x, s1*x + s2) = sign(s1).
+  const std::vector<double> x{0.3, 1.7, -2.0, 4.1, 0.0};
+  std::vector<double> y;
+  for (double v : x) y.push_back(-2.5 * v + 7.0);
+  EXPECT_NEAR(PearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantVectorIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(LogFactorialTest, SmallValues) {
+  EXPECT_NEAR(LogFactorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-10);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-8);
+}
+
+TEST(LogBinomialTest, MatchesDirect) {
+  EXPECT_NEAR(std::exp(LogBinomial(10, 3)), 120.0, 1e-8);
+  EXPECT_NEAR(std::exp(LogBinomial(52, 5)), 2598960.0, 1e-4);
+}
+
+TEST(LogBinomialTest, OutOfRangeIsMinusInf) {
+  EXPECT_TRUE(std::isinf(LogBinomial(5, 6)));
+  EXPECT_TRUE(std::isinf(LogBinomial(5, -1)));
+}
+
+TEST(HypergeomTest, PmfSumsToOne) {
+  // Population 20, successes 7, draws 5: sum over k of pmf = 1.
+  double total = 0.0;
+  for (int k = 0; k <= 5; ++k) total += HypergeomPmf(k, 20, 7, 5);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(HypergeomTest, PmfKnownValue) {
+  // P(X = 2) drawing 4 from population 10 with 5 successes:
+  // C(5,2)*C(5,2)/C(10,4) = 10*10/210.
+  EXPECT_NEAR(HypergeomPmf(2, 10, 5, 4), 100.0 / 210.0, 1e-12);
+}
+
+TEST(HypergeomTest, UpperTailEdges) {
+  EXPECT_DOUBLE_EQ(HypergeomUpperTail(0, 100, 10, 5), 1.0);
+  EXPECT_DOUBLE_EQ(HypergeomUpperTail(-3, 100, 10, 5), 1.0);
+  EXPECT_DOUBLE_EQ(HypergeomUpperTail(6, 100, 5, 10), 0.0);  // k > successes
+  EXPECT_DOUBLE_EQ(HypergeomUpperTail(6, 100, 10, 5), 0.0);  // k > draws
+}
+
+TEST(HypergeomTest, UpperTailComplement) {
+  // P(X >= 1) = 1 - P(X = 0).
+  const double p0 = HypergeomPmf(0, 50, 8, 6);
+  EXPECT_NEAR(HypergeomUpperTail(1, 50, 8, 6), 1.0 - p0, 1e-12);
+}
+
+TEST(HypergeomTest, EnrichedSetHasTinyPValue) {
+  // 18 of 20 sampled genes carry a term annotating only 60 of 6000 genes:
+  // astronomically unlikely by chance.
+  const double p = HypergeomUpperTail(18, 6000, 60, 20);
+  EXPECT_LT(p, 1e-20);
+  EXPECT_GT(p, 0.0);
+}
+
+TEST(HypergeomTest, RandomSetHasLargePValue) {
+  // 1 of 20 genes carrying a term annotating 300 of 6000 is unremarkable.
+  EXPECT_GT(HypergeomUpperTail(1, 6000, 300, 20), 0.3);
+}
+
+TEST(FitShiftScaleTest, ExactAffine) {
+  const std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y;
+  for (double v : x) y.push_back(-2.5 * v + 35.0);
+  double s1 = 0, s2 = 0;
+  ASSERT_TRUE(FitShiftScale(x, y, &s1, &s2));
+  EXPECT_NEAR(s1, -2.5, 1e-12);
+  EXPECT_NEAR(s2, 35.0, 1e-12);
+  EXPECT_NEAR(MaxAbsResidual(x, y, s1, s2), 0.0, 1e-12);
+}
+
+TEST(FitShiftScaleTest, PaperFigure2Relationship) {
+  // d_1 = 2.5 * d_3 - 5 on conditions {c5, c1, c3, c9, c7} (Section 1.1).
+  const std::vector<double> g3{2, 6, 8, 0, -4};
+  const std::vector<double> g1{0, 10, 15, -5, -15};
+  double s1 = 0, s2 = 0;
+  ASSERT_TRUE(FitShiftScale(g3, g1, &s1, &s2));
+  EXPECT_NEAR(s1, 2.5, 1e-12);
+  EXPECT_NEAR(s2, -5.0, 1e-12);
+}
+
+TEST(FitShiftScaleTest, DegenerateConstantX) {
+  double s1 = 0, s2 = 0;
+  EXPECT_FALSE(FitShiftScale({3, 3, 3}, {1, 2, 3}, &s1, &s2));
+}
+
+TEST(FitShiftScaleTest, TooFewPoints) {
+  double s1 = 0, s2 = 0;
+  EXPECT_FALSE(FitShiftScale({3}, {1}, &s1, &s2));
+}
+
+TEST(MaxAbsResidualTest, ReportsWorstPoint) {
+  const std::vector<double> x{0, 1, 2};
+  const std::vector<double> y{0, 1, 2.75};
+  EXPECT_NEAR(MaxAbsResidual(x, y, 1.0, 0.0), 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace regcluster

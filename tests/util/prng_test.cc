@@ -1,0 +1,174 @@
+#include "util/prng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace regcluster {
+namespace util {
+namespace {
+
+TEST(PrngTest, DeterministicForSameSeed) {
+  Prng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(PrngTest, DifferentSeedsDiffer) {
+  Prng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next64() == b.Next64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(PrngTest, NextDoubleInUnitInterval) {
+  Prng p(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = p.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(PrngTest, UniformRespectsBounds) {
+  Prng p(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = p.Uniform(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(PrngTest, UniformMeanIsCentered) {
+  Prng p(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += p.Uniform(0.0, 10.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(PrngTest, UniformIntCoversInclusiveRange) {
+  Prng p(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = p.UniformInt(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(PrngTest, UniformIntDegenerate) {
+  Prng p(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(p.UniformInt(9, 9), 9);
+}
+
+TEST(PrngTest, UniformIntNegativeBounds) {
+  Prng p(5);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = p.UniformInt(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(PrngTest, GaussianMomentsRoughlyStandard) {
+  Prng p(13);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = p.Gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(PrngTest, GaussianWithParams) {
+  Prng p(13);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += p.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(PrngTest, BernoulliExtremes) {
+  Prng p(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(p.Bernoulli(0.0));
+    EXPECT_TRUE(p.Bernoulli(1.0));
+  }
+}
+
+TEST(PrngTest, BernoulliFrequency) {
+  Prng p(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += p.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(PrngTest, ShufflePreservesMultiset) {
+  Prng p(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  p.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(PrngTest, ShuffleActuallyPermutes) {
+  Prng p(29);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<size_t>(i)] = i;
+  const std::vector<int> orig = v;
+  p.Shuffle(&v);
+  EXPECT_NE(v, orig);  // probability of identity is ~1/50!
+}
+
+TEST(PrngTest, SampleWithoutReplacementBasics) {
+  Prng p(31);
+  const std::vector<int> s = p.SampleWithoutReplacement(10, 4);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  std::set<int> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 4u);
+  for (int x : s) {
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 10);
+  }
+}
+
+TEST(PrngTest, SampleWithoutReplacementFull) {
+  Prng p(37);
+  const std::vector<int> s = p.SampleWithoutReplacement(5, 5);
+  EXPECT_EQ(s, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(PrngTest, SampleWithoutReplacementEmpty) {
+  Prng p(37);
+  EXPECT_TRUE(p.SampleWithoutReplacement(5, 0).empty());
+  EXPECT_TRUE(p.SampleWithoutReplacement(0, 0).empty());
+}
+
+TEST(PrngTest, SampleWithoutReplacementUniform) {
+  // Every element should appear with frequency ~ k/n.
+  Prng p(41);
+  std::vector<int> counts(10, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (int x : p.SampleWithoutReplacement(10, 3)) {
+      ++counts[static_cast<size_t>(x)];
+    }
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.3, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace regcluster

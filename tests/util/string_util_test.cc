@@ -1,0 +1,116 @@
+#include "util/string_util.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace regcluster {
+namespace util {
+namespace {
+
+TEST(SplitTest, Basic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, NoDelimiter) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitTest, EmptyString) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitTest, TabDelimiter) {
+  EXPECT_EQ(Split("g1\t1.5\t2", '\t'),
+            (std::vector<std::string>{"g1", "1.5", "2"}));
+}
+
+TEST(TrimTest, Basic) {
+  EXPECT_EQ(Trim("  abc  "), "abc");
+  EXPECT_EQ(Trim("\t\r\nabc\n"), "abc");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(TrimTest, AllWhitespace) {
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(TrimTest, InternalWhitespaceKept) { EXPECT_EQ(Trim(" a b "), "a b"); }
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("cluster 3", "cluster"));
+  EXPECT_FALSE(StartsWith("clu", "cluster"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(ParseDoubleTest, Plain) {
+  auto v = ParseDouble("3.25");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(*v, 3.25);
+}
+
+TEST(ParseDoubleTest, Negative) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("-14.5"), -14.5);
+}
+
+TEST(ParseDoubleTest, Scientific) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.64e-07"), 3.64e-07);
+}
+
+TEST(ParseDoubleTest, LeadingTrailingSpace) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("  7.5 "), 7.5);
+}
+
+TEST(ParseDoubleTest, MissingValueTokens) {
+  for (const char* tok : {"", "NA", "NaN", "nan", "?", "  "}) {
+    auto v = ParseDouble(tok);
+    ASSERT_TRUE(v.ok()) << tok;
+    EXPECT_TRUE(std::isnan(*v)) << tok;
+  }
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("1.5 2.5").ok());
+}
+
+TEST(ParseIntTest, Basic) {
+  EXPECT_EQ(*ParseInt("42"), 42);
+  EXPECT_EQ(*ParseInt("-7"), -7);
+  EXPECT_EQ(*ParseInt(" 0 "), 0);
+}
+
+TEST(ParseIntTest, Rejects) {
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("3.5").ok());
+  EXPECT_FALSE(ParseInt("12a").ok());
+}
+
+TEST(StrFormatTest, Basic) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  const std::string s = StrFormat("%0512d", 1);
+  EXPECT_EQ(s.size(), 512u);
+  EXPECT_EQ(s.back(), '1');
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace regcluster

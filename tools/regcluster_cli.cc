@@ -1,0 +1,749 @@
+// regcluster -- command-line interface to the reg-cluster library.
+//
+// Subcommands:
+//   generate   write a synthetic dataset (+ ground truth) to disk
+//   mine       mine reg-clusters from a TSV expression matrix
+//   evaluate   score a mined cluster file against a ground-truth file
+//   enrich     GO-term enrichment of mined clusters from an annotation file
+//   summarize  aggregate statistics of a cluster file
+//
+// Run `regcluster <subcommand> --help` for per-command flags.  All flags
+// are --name=value; every run is deterministic given its --seed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/coherence.h"
+#include "core/miner.h"
+#include "core/rwave.h"
+#include "eval/annotation_gen.h"
+#include "eval/consensus.h"
+#include "eval/go_enrichment.h"
+#include "eval/match.h"
+#include "eval/quality.h"
+#include "eval/significance.h"
+#include "io/annotation_io.h"
+#include "io/cluster_io.h"
+#include "io/json_export.h"
+#include "matrix/matrix_io.h"
+#include "matrix/stats.h"
+#include "matrix/transforms.h"
+#include "synth/generator.h"
+#include "synth/yeast_surrogate.h"
+#include "util/string_util.h"
+
+namespace regcluster {
+namespace cli {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Flag plumbing.
+// ---------------------------------------------------------------------------
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "true";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) {
+    used_.insert(name);
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int GetInt(const std::string& name, int fallback) {
+    const std::string v = GetString(name, "");
+    return v.empty() ? fallback : std::atoi(v.c_str());
+  }
+
+  double GetDouble(const std::string& name, double fallback) {
+    const std::string v = GetString(name, "");
+    return v.empty() ? fallback : std::atof(v.c_str());
+  }
+
+  bool GetBool(const std::string& name, bool fallback = false) {
+    const std::string v = GetString(name, "");
+    if (v.empty()) return fallback;
+    return v == "true" || v == "1" || v == "yes";
+  }
+
+  /// Exits with an error when an unconsumed flag remains (typo protection).
+  void RejectUnknown() const {
+    for (const auto& [name, value] : values_) {
+      (void)value;
+      if (used_.find(name) == used_.end()) {
+        std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+        std::exit(2);
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> used_;
+};
+
+int Fail(const util::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+matrix::ExpressionMatrix LoadMatrixOrDie(const std::string& path) {
+  auto m = matrix::LoadMatrix(path);
+  if (!m.ok()) {
+    std::fprintf(stderr, "error loading %s: %s\n", path.c_str(),
+                 m.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(m);
+}
+
+std::vector<core::RegCluster> LoadClustersOrDie(const std::string& path) {
+  auto c = io::LoadClusters(path);
+  if (!c.ok()) {
+    std::fprintf(stderr, "error loading %s: %s\n", path.c_str(),
+                 c.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(c);
+}
+
+// ---------------------------------------------------------------------------
+// generate
+// ---------------------------------------------------------------------------
+
+int CmdGenerate(Flags* flags) {
+  if (flags->GetBool("help")) {
+    std::puts(
+        "regcluster generate --out-matrix=PATH [--out-truth=PATH]\n"
+        "  [--yeast] [--genes=3000] [--conditions=30] [--clusters=30]\n"
+        "  [--gene-fraction=0.01] [--dim=6] [--negative-fraction=0.3]\n"
+        "  [--noise=0.0] [--seed=42]\n"
+        "Writes a synthetic dataset (Section 5 generator; --yeast for the\n"
+        "2884x17 surrogate) and optionally its ground-truth clusters.");
+    return 0;
+  }
+  const std::string out_matrix = flags->GetString("out-matrix", "");
+  const std::string out_truth = flags->GetString("out-truth", "");
+  if (out_matrix.empty()) {
+    std::fprintf(stderr, "--out-matrix is required\n");
+    return 2;
+  }
+
+  synth::SyntheticDataset ds;
+  if (flags->GetBool("yeast")) {
+    synth::YeastSurrogateConfig cfg;
+    cfg.seed = static_cast<uint64_t>(flags->GetInt("seed", 1999));
+    cfg.num_modules = flags->GetInt("clusters", 25);
+    cfg.noise_fraction = flags->GetDouble("noise", 0.05);
+    flags->RejectUnknown();
+    auto made = synth::MakeYeastSurrogate(cfg);
+    if (!made.ok()) return Fail(made.status());
+    ds = *std::move(made);
+  } else {
+    synth::SyntheticConfig cfg;
+    cfg.num_genes = flags->GetInt("genes", 3000);
+    cfg.num_conditions = flags->GetInt("conditions", 30);
+    cfg.num_clusters = flags->GetInt("clusters", 30);
+    cfg.avg_cluster_genes_fraction = flags->GetDouble("gene-fraction", 0.01);
+    cfg.avg_cluster_conditions = flags->GetInt("dim", 6);
+    cfg.negative_fraction = flags->GetDouble("negative-fraction", 0.3);
+    cfg.noise_fraction = flags->GetDouble("noise", 0.0);
+    cfg.seed = static_cast<uint64_t>(flags->GetInt("seed", 42));
+    flags->RejectUnknown();
+    auto made = synth::GenerateSynthetic(cfg);
+    if (!made.ok()) return Fail(made.status());
+    ds = *std::move(made);
+  }
+
+  if (auto st = matrix::SaveMatrix(ds.data, out_matrix); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("wrote %d x %d matrix to %s\n", ds.data.num_genes(),
+              ds.data.num_conditions(), out_matrix.c_str());
+  if (!out_truth.empty()) {
+    std::vector<core::RegCluster> truth;
+    for (const auto& imp : ds.implants) truth.push_back(imp.ToRegCluster());
+    if (auto st = io::SaveClusters(truth, out_truth); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("wrote %zu ground-truth clusters to %s\n", truth.size(),
+                out_truth.c_str());
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// mine
+// ---------------------------------------------------------------------------
+
+int CmdMine(Flags* flags) {
+  if (flags->GetBool("help")) {
+    std::puts(
+        "regcluster mine --matrix=PATH --out=PATH\n"
+        "  [--ming=20] [--minc=6] [--gamma=0.05]\n"
+        "  [--gamma-policy=range|stddev|mean|closest-gap|absolute]\n"
+        "  [--epsilon=1.0] [--threads=1] [--remove-dominated=true]\n"
+        "  [--impute=rowmean|knn] [--knn-k=10] [--normalize=none|quantile]\n"
+        "  [--merge-overlap=0] [--require-gene=NAME_OR_INDEX]\n"
+        "  [--report=PATH] [--json=PATH] [--max-clusters=-1]\n"
+        "Mines reg-clusters and writes the machine-format archive to --out.\n"
+        "--merge-overlap > 0 runs the consensus merge post-pass.");
+    return 0;
+  }
+  const std::string matrix_path = flags->GetString("matrix", "");
+  const std::string out_path = flags->GetString("out", "");
+  if (matrix_path.empty() || out_path.empty()) {
+    std::fprintf(stderr, "--matrix and --out are required\n");
+    return 2;
+  }
+
+  core::MinerOptions opts;
+  opts.min_genes = flags->GetInt("ming", 20);
+  opts.min_conditions = flags->GetInt("minc", 6);
+  opts.gamma = flags->GetDouble("gamma", 0.05);
+  opts.epsilon = flags->GetDouble("epsilon", 1.0);
+  opts.num_threads = flags->GetInt("threads", 1);
+  opts.remove_dominated = flags->GetBool("remove-dominated", true);
+  opts.max_clusters = flags->GetInt("max-clusters", -1);
+  const std::string policy = flags->GetString("gamma-policy", "range");
+  if (!core::ParseGammaPolicy(policy, &opts.gamma_policy)) {
+    std::fprintf(stderr, "unknown --gamma-policy=%s\n", policy.c_str());
+    return 2;
+  }
+  const std::string report_path = flags->GetString("report", "");
+  const std::string json_path = flags->GetString("json", "");
+  const std::string impute = flags->GetString("impute", "rowmean");
+  const int knn_k = flags->GetInt("knn-k", 10);
+  const std::string normalize = flags->GetString("normalize", "none");
+  const double merge_overlap = flags->GetDouble("merge-overlap", 0.0);
+  const std::string require_gene = flags->GetString("require-gene", "");
+  flags->RejectUnknown();
+
+  matrix::ExpressionMatrix data = LoadMatrixOrDie(matrix_path);
+  if (!require_gene.empty()) {
+    int gene = data.FindGene(require_gene);
+    if (gene < 0) {
+      char* end = nullptr;
+      gene = static_cast<int>(std::strtol(require_gene.c_str(), &end, 10));
+      if (*end != '\0' || gene < 0 || gene >= data.num_genes()) {
+        std::fprintf(stderr, "unknown gene: %s\n", require_gene.c_str());
+        return 1;
+      }
+    }
+    opts.required_genes = {gene};
+    std::printf("targeted mining: clusters must contain %s\n",
+                data.gene_name(gene).c_str());
+  }
+  if (data.HasMissingValues()) {
+    const int64_t missing = matrix::CountMissing(data);
+    if (impute == "knn") {
+      auto imputed = matrix::ImputeKnn(data, knn_k);
+      if (!imputed.ok()) return Fail(imputed.status());
+      data = *std::move(imputed);
+      std::printf("imputed %lld missing cells with %d-NN\n",
+                  static_cast<long long>(missing), knn_k);
+    } else if (impute == "rowmean") {
+      data = matrix::ImputeRowMean(data);
+      std::printf("imputed %lld missing cells with row means\n",
+                  static_cast<long long>(missing));
+    } else {
+      std::fprintf(stderr, "unknown --impute=%s\n", impute.c_str());
+      return 2;
+    }
+  }
+  if (normalize == "quantile") {
+    auto normalized = matrix::QuantileNormalizeColumns(data);
+    if (!normalized.ok()) return Fail(normalized.status());
+    data = *std::move(normalized);
+    std::printf("quantile-normalized columns\n");
+  } else if (normalize != "none") {
+    std::fprintf(stderr, "unknown --normalize=%s\n", normalize.c_str());
+    return 2;
+  }
+
+  core::RegClusterMiner miner(data, opts);
+  auto clusters = miner.Mine();
+  if (!clusters.ok()) return Fail(clusters.status());
+  if (merge_overlap > 0.0) {
+    eval::ConsensusOptions copts;
+    copts.min_overlap = merge_overlap;
+    copts.gamma_spec = {opts.gamma_policy, opts.gamma};
+    copts.epsilon = opts.epsilon;
+    const size_t before = clusters->size();
+    *clusters = eval::MergeOverlapping(data, *std::move(clusters), copts);
+    std::printf("consensus merge at overlap >= %.2f: %zu -> %zu clusters\n",
+                merge_overlap, before, clusters->size());
+  }
+  const auto& stats = miner.stats();
+  std::printf(
+      "mined %zu clusters in %.3f s (model build %.3f s, %lld nodes, "
+      "%lld extensions)\n",
+      clusters->size(), stats.mine_seconds, stats.rwave_build_seconds,
+      static_cast<long long>(stats.nodes_expanded),
+      static_cast<long long>(stats.extensions_tested));
+
+  if (auto st = io::SaveClusters(*clusters, out_path); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("archive: %s\n", out_path.c_str());
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out) return Fail(util::Status::IoError("cannot open " + report_path));
+    if (auto st = io::WriteReport(*clusters, &data, out); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("report: %s\n", report_path.c_str());
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) return Fail(util::Status::IoError("cannot open " + json_path));
+    if (auto st = io::WriteClustersJson(*clusters, &data, out); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("json: %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// evaluate
+// ---------------------------------------------------------------------------
+
+int CmdEvaluate(Flags* flags) {
+  if (flags->GetBool("help")) {
+    std::puts(
+        "regcluster evaluate --found=PATH --truth=PATH [--matrix=PATH]\n"
+        "Prints gene/cell relevance & recovery of the found clusters against\n"
+        "the truth; with --matrix also validates every found cluster\n"
+        "(gamma/epsilon from --gamma=/--epsilon=, defaults 0.05 / 1.0).");
+    return 0;
+  }
+  const std::string found_path = flags->GetString("found", "");
+  const std::string truth_path = flags->GetString("truth", "");
+  if (found_path.empty() || truth_path.empty()) {
+    std::fprintf(stderr, "--found and --truth are required\n");
+    return 2;
+  }
+  const std::string matrix_path = flags->GetString("matrix", "");
+  const double gamma = flags->GetDouble("gamma", 0.05);
+  const double epsilon = flags->GetDouble("epsilon", 1.0);
+  flags->RejectUnknown();
+
+  const auto found = LoadClustersOrDie(found_path);
+  const auto truth = LoadClustersOrDie(truth_path);
+  std::vector<core::Bicluster> found_feet, truth_feet;
+  for (const auto& c : found) found_feet.push_back(core::ToBicluster(c));
+  for (const auto& c : truth) truth_feet.push_back(core::ToBicluster(c));
+
+  const eval::MatchReport r = eval::ScoreAgainstTruth(found_feet, truth_feet);
+  std::printf("found=%zu truth=%zu\n", found.size(), truth.size());
+  std::printf("gene  relevance=%.4f recovery=%.4f\n", r.gene_relevance,
+              r.gene_recovery);
+  std::printf("cell  relevance=%.4f recovery=%.4f\n", r.cell_relevance,
+              r.cell_recovery);
+
+  if (!matrix_path.empty()) {
+    const matrix::ExpressionMatrix data = LoadMatrixOrDie(matrix_path);
+    int invalid = 0;
+    std::string why;
+    for (const auto& c : found) {
+      if (!core::ValidateRegCluster(data, c, gamma, epsilon, &why)) {
+        ++invalid;
+        std::fprintf(stderr, "invalid cluster: %s\n", why.c_str());
+      }
+    }
+    std::printf("validated %zu clusters, %d invalid (gamma=%.3g eps=%.3g)\n",
+                found.size(), invalid, gamma, epsilon);
+    if (invalid > 0) return 1;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// enrich
+// ---------------------------------------------------------------------------
+
+int CmdEnrich(Flags* flags) {
+  if (flags->GetBool("help")) {
+    std::puts(
+        "regcluster enrich --matrix=PATH --clusters=PATH\n"
+        "  [--annotations=PATH] [--max-p=0.05] [--top=3]\n"
+        "GO-term enrichment per cluster.  Without --annotations a synthetic\n"
+        "database is generated (deterministic, for demos).");
+    return 0;
+  }
+  const std::string matrix_path = flags->GetString("matrix", "");
+  const std::string clusters_path = flags->GetString("clusters", "");
+  if (matrix_path.empty() || clusters_path.empty()) {
+    std::fprintf(stderr, "--matrix and --clusters are required\n");
+    return 2;
+  }
+  const std::string annotations_path = flags->GetString("annotations", "");
+  eval::EnrichmentOptions eopts;
+  eopts.max_p_value = flags->GetDouble("max-p", 0.05);
+  const int top = flags->GetInt("top", 3);
+  flags->RejectUnknown();
+
+  const matrix::ExpressionMatrix data = LoadMatrixOrDie(matrix_path);
+  const auto clusters = LoadClustersOrDie(clusters_path);
+
+  eval::GoAnnotationDb db{0};
+  if (annotations_path.empty()) {
+    std::printf("no --annotations; generating a synthetic database\n");
+    db = eval::GenerateAnnotations(data.num_genes(), {});
+  } else {
+    auto loaded = io::LoadAnnotations(annotations_path, data);
+    if (!loaded.ok()) return Fail(loaded.status());
+    std::printf("loaded %lld annotations (%lld unknown genes skipped)\n",
+                static_cast<long long>(loaded->annotations_loaded),
+                static_cast<long long>(loaded->unknown_genes_skipped));
+    db = std::move(loaded->db);
+  }
+
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    auto results = eval::FindEnrichedTerms(db, clusters[i].AllGenes(), eopts);
+    if (!results.ok()) return Fail(results.status());
+    std::printf("cluster %zu (%d genes):", i, clusters[i].num_genes());
+    if (results->empty()) {
+      std::printf(" no enriched terms\n");
+      continue;
+    }
+    std::printf("\n");
+    for (size_t j = 0; j < results->size() && j < static_cast<size_t>(top);
+         ++j) {
+      const auto& r = (*results)[j];
+      std::printf("  %-14s %-32s k=%d/%d p=%.3e (corrected %.3e)\n",
+                  db.term(r.term).id.c_str(), db.term(r.term).name.c_str(),
+                  r.cluster_count, r.population_count, r.p_value,
+                  r.corrected_p_value);
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// summarize
+// ---------------------------------------------------------------------------
+
+int CmdSummarize(Flags* flags) {
+  if (flags->GetBool("help")) {
+    std::puts(
+        "regcluster summarize --clusters=PATH [--matrix=PATH] [--top=5]\n"
+        "Aggregate statistics; with --matrix also intrinsic quality of the\n"
+        "top-ranked clusters.");
+    return 0;
+  }
+  const std::string clusters_path = flags->GetString("clusters", "");
+  if (clusters_path.empty()) {
+    std::fprintf(stderr, "--clusters is required\n");
+    return 2;
+  }
+  const std::string matrix_path = flags->GetString("matrix", "");
+  const int top = flags->GetInt("top", 5);
+  flags->RejectUnknown();
+
+  const auto clusters = LoadClustersOrDie(clusters_path);
+  const eval::ClusterSetSummary s = eval::Summarize(clusters);
+  std::printf("clusters: %d\n", s.num_clusters);
+  if (s.num_clusters == 0) return 0;
+  std::printf("genes per cluster: min=%d mean=%.1f max=%d\n", s.min_genes,
+              s.mean_genes, s.max_genes);
+  std::printf("conditions per cluster: min=%d mean=%.1f max=%d\n",
+              s.min_conditions, s.mean_conditions, s.max_conditions);
+  std::printf("with negative members: %.0f%%\n", 100 * s.negative_fraction);
+  if (s.num_clusters > 1) {
+    std::printf("pairwise cell overlap: %.0f%% .. %.0f%%\n",
+                100 * s.min_overlap, 100 * s.max_overlap);
+  }
+
+  if (!matrix_path.empty()) {
+    const matrix::ExpressionMatrix data = LoadMatrixOrDie(matrix_path);
+    const std::vector<int> ranked = eval::RankClusters(data, clusters);
+    std::printf("\ntop clusters by size/tightness:\n");
+    for (size_t i = 0; i < ranked.size() && i < static_cast<size_t>(top);
+         ++i) {
+      const auto& c = clusters[static_cast<size_t>(ranked[i])];
+      const eval::ClusterQuality q = eval::ScoreCluster(data, c);
+      std::printf(
+          "  #%d: %dx%d spread=%.4f margin=%.2f fit_residual=%.4f "
+          "|corr|=%.3f\n",
+          ranked[i], c.num_genes(), c.num_conditions(), q.coherence_spread,
+          q.regulation_margin, q.mean_fit_residual, q.mean_abs_correlation);
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// convert
+// ---------------------------------------------------------------------------
+
+int CmdConvert(Flags* flags) {
+  if (flags->GetBool("help")) {
+    std::puts(
+        "regcluster convert --in=PATH --out=PATH\n"
+        "  [--in-delimiter=tab|comma] [--out-delimiter=tab|comma]\n"
+        "  [--impute=none|rowmean|knn] [--knn-k=10]\n"
+        "  [--transform=none|log|exp|zscore] [--normalize=none|quantile]\n"
+        "Format conversion plus the preprocessing pipeline, applied in the\n"
+        "order impute -> transform -> normalize.");
+    return 0;
+  }
+  const std::string in_path = flags->GetString("in", "");
+  const std::string out_path = flags->GetString("out", "");
+  if (in_path.empty() || out_path.empty()) {
+    std::fprintf(stderr, "--in and --out are required\n");
+    return 2;
+  }
+  auto delim = [](const std::string& name, char fallback) {
+    if (name == "tab") return '\t';
+    if (name == "comma") return ',';
+    return fallback;
+  };
+  matrix::TextFormat in_fmt;
+  in_fmt.delimiter = delim(flags->GetString("in-delimiter", "tab"), '\t');
+  matrix::TextFormat out_fmt;
+  out_fmt.delimiter = delim(flags->GetString("out-delimiter", "tab"), '\t');
+  const std::string impute = flags->GetString("impute", "none");
+  const int knn_k = flags->GetInt("knn-k", 10);
+  const std::string transform = flags->GetString("transform", "none");
+  const std::string normalize = flags->GetString("normalize", "none");
+  flags->RejectUnknown();
+
+  auto loaded = matrix::LoadMatrix(in_path, in_fmt);
+  if (!loaded.ok()) return Fail(loaded.status());
+  matrix::ExpressionMatrix data = *std::move(loaded);
+
+  if (impute == "rowmean") {
+    data = matrix::ImputeRowMean(data);
+  } else if (impute == "knn") {
+    auto imputed = matrix::ImputeKnn(data, knn_k);
+    if (!imputed.ok()) return Fail(imputed.status());
+    data = *std::move(imputed);
+  } else if (impute != "none") {
+    std::fprintf(stderr, "unknown --impute=%s\n", impute.c_str());
+    return 2;
+  }
+
+  if (transform == "log") {
+    auto t = matrix::LogTransform(data);
+    if (!t.ok()) return Fail(t.status());
+    data = *std::move(t);
+  } else if (transform == "exp") {
+    auto t = matrix::ExpTransform(data);
+    if (!t.ok()) return Fail(t.status());
+    data = *std::move(t);
+  } else if (transform == "zscore") {
+    data = matrix::ZScoreRows(data);
+  } else if (transform != "none") {
+    std::fprintf(stderr, "unknown --transform=%s\n", transform.c_str());
+    return 2;
+  }
+
+  if (normalize == "quantile") {
+    auto n = matrix::QuantileNormalizeColumns(data);
+    if (!n.ok()) return Fail(n.status());
+    data = *std::move(n);
+  } else if (normalize != "none") {
+    std::fprintf(stderr, "unknown --normalize=%s\n", normalize.c_str());
+    return 2;
+  }
+
+  if (auto st = matrix::SaveMatrix(data, out_path, out_fmt); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("wrote %d x %d matrix to %s\n", data.num_genes(),
+              data.num_conditions(), out_path.c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// stats
+// ---------------------------------------------------------------------------
+
+int CmdStats(Flags* flags) {
+  if (flags->GetBool("help")) {
+    std::puts(
+        "regcluster stats --matrix=PATH [--worst=5]\n"
+        "Data-QC report: matrix summary, per-condition table, flattest "
+        "genes.");
+    return 0;
+  }
+  const std::string matrix_path = flags->GetString("matrix", "");
+  if (matrix_path.empty()) {
+    std::fprintf(stderr, "--matrix is required\n");
+    return 2;
+  }
+  const int worst = flags->GetInt("worst", 5);
+  flags->RejectUnknown();
+  const matrix::ExpressionMatrix data = LoadMatrixOrDie(matrix_path);
+  if (auto st = matrix::WriteStatsReport(data, std::cout, worst); !st.ok()) {
+    return Fail(st);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// significance
+// ---------------------------------------------------------------------------
+
+int CmdSignificance(Flags* flags) {
+  if (flags->GetBool("help")) {
+    std::puts(
+        "regcluster significance --matrix=PATH --clusters=PATH\n"
+        "  [--gamma=0.05] [--epsilon=1.0] [--permutations=2000] [--seed=101]\n"
+        "Permutation test per cluster: how often does a shuffled gene "
+        "profile\nmatch the cluster's chain and coherence?  Reports the "
+        "binomial-tail\np-value for the observed member count.");
+    return 0;
+  }
+  const std::string matrix_path = flags->GetString("matrix", "");
+  const std::string clusters_path = flags->GetString("clusters", "");
+  if (matrix_path.empty() || clusters_path.empty()) {
+    std::fprintf(stderr, "--matrix and --clusters are required\n");
+    return 2;
+  }
+  eval::SignificanceOptions opts;
+  opts.gamma_spec.gamma = flags->GetDouble("gamma", 0.05);
+  opts.epsilon = flags->GetDouble("epsilon", 1.0);
+  opts.permutations = flags->GetInt("permutations", 2000);
+  opts.seed = static_cast<uint64_t>(flags->GetInt("seed", 101));
+  flags->RejectUnknown();
+
+  matrix::ExpressionMatrix data = LoadMatrixOrDie(matrix_path);
+  if (data.HasMissingValues()) data = matrix::ImputeRowMean(data);
+  const auto clusters = LoadClustersOrDie(clusters_path);
+
+  std::printf("%-10s %8s %8s %14s %14s %12s\n", "cluster", "genes", "conds",
+              "null-chain", "null-full", "p-value");
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    auto result = eval::PermutationSignificance(data, clusters[i], opts);
+    if (!result.ok()) return Fail(result.status());
+    std::printf("%-10zu %8d %8d %14.5f %14.5f %12.3e\n", i,
+                clusters[i].num_genes(), clusters[i].num_conditions(),
+                result->null_chain_rate, result->null_full_rate,
+                result->p_value);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// rwave (inspection / debugging)
+// ---------------------------------------------------------------------------
+
+int CmdRWave(Flags* flags) {
+  if (flags->GetBool("help")) {
+    std::puts(
+        "regcluster rwave --matrix=PATH --gene=NAME_OR_INDEX\n"
+        "  [--gamma=0.1] [--gamma-policy=range|stddev|mean|closest-gap|"
+        "absolute]\n"
+        "Prints the gene's RWave^gamma model: the sorted condition order and "
+        "the bordering regulation pointers (paper Figure 3).");
+    return 0;
+  }
+  const std::string matrix_path = flags->GetString("matrix", "");
+  const std::string gene_arg = flags->GetString("gene", "");
+  if (matrix_path.empty() || gene_arg.empty()) {
+    std::fprintf(stderr, "--matrix and --gene are required\n");
+    return 2;
+  }
+  core::GammaSpec spec;
+  spec.gamma = flags->GetDouble("gamma", 0.1);
+  const std::string policy = flags->GetString("gamma-policy", "range");
+  if (!core::ParseGammaPolicy(policy, &spec.policy)) {
+    std::fprintf(stderr, "unknown --gamma-policy=%s\n", policy.c_str());
+    return 2;
+  }
+  flags->RejectUnknown();
+
+  matrix::ExpressionMatrix data = LoadMatrixOrDie(matrix_path);
+  if (data.HasMissingValues()) data = matrix::ImputeRowMean(data);
+  int gene = data.FindGene(gene_arg);
+  if (gene < 0) {
+    char* end = nullptr;
+    gene = static_cast<int>(std::strtol(gene_arg.c_str(), &end, 10));
+    if (*end != '\0' || gene < 0 || gene >= data.num_genes()) {
+      std::fprintf(stderr, "unknown gene: %s\n", gene_arg.c_str());
+      return 1;
+    }
+  }
+
+  const double gamma_abs = core::AbsoluteGamma(data, gene, spec);
+  const core::RWaveModel model =
+      core::RWaveModel::Build(data.row_data(gene), data.num_conditions(),
+                              gamma_abs);
+  std::printf("gene %s, policy %s, gamma = %g -> gamma_i = %g\n",
+              data.gene_name(gene).c_str(), core::GammaPolicyName(spec.policy),
+              spec.gamma, gamma_abs);
+  std::printf("sorted order (value):\n");
+  for (int p = 0; p < model.num_conditions(); ++p) {
+    std::printf("  [%2d] %-12s %10.4f  up-chain %d  down-chain %d\n", p,
+                data.condition_name(model.condition_at(p)).c_str(),
+                model.value_at(p), model.MaxChainUp(p), model.MaxChainDown(p));
+  }
+  std::printf("bordering regulation pointers (tail <- head):\n");
+  for (const auto& ptr : model.pointers()) {
+    std::printf("  %s <- %s  (%.4f <- %.4f)\n",
+                data.condition_name(model.condition_at(ptr.tail_pos)).c_str(),
+                data.condition_name(model.condition_at(ptr.head_pos)).c_str(),
+                model.value_at(ptr.tail_pos), model.value_at(ptr.head_pos));
+  }
+  return 0;
+}
+
+int Usage() {
+  std::puts(
+      "regcluster <command> [--flags]\n"
+      "commands: generate, mine, evaluate, enrich, summarize, rwave, "
+      "significance, stats, convert\n"
+      "run `regcluster <command> --help` for details");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  Flags flags(argc, argv, 2);
+  if (cmd == "generate") return CmdGenerate(&flags);
+  if (cmd == "mine") return CmdMine(&flags);
+  if (cmd == "evaluate") return CmdEvaluate(&flags);
+  if (cmd == "enrich") return CmdEnrich(&flags);
+  if (cmd == "summarize") return CmdSummarize(&flags);
+  if (cmd == "rwave") return CmdRWave(&flags);
+  if (cmd == "significance") return CmdSignificance(&flags);
+  if (cmd == "stats") return CmdStats(&flags);
+  if (cmd == "convert") return CmdConvert(&flags);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace regcluster
+
+int main(int argc, char** argv) { return regcluster::cli::Main(argc, argv); }
