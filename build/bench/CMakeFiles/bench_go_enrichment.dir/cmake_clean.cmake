@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_go_enrichment.dir/bench_go_enrichment.cc.o"
+  "CMakeFiles/bench_go_enrichment.dir/bench_go_enrichment.cc.o.d"
+  "bench_go_enrichment"
+  "bench_go_enrichment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_go_enrichment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_threshold_policies.dir/bench_threshold_policies.cc.o"
+  "CMakeFiles/bench_threshold_policies.dir/bench_threshold_policies.cc.o.d"
+  "bench_threshold_policies"
+  "bench_threshold_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_threshold_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_yeast.dir/bench_yeast.cc.o"
+  "CMakeFiles/bench_yeast.dir/bench_yeast.cc.o.d"
+  "bench_yeast"
+  "bench_yeast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_yeast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/missing_data.dir/missing_data.cpp.o"
+  "CMakeFiles/missing_data.dir/missing_data.cpp.o.d"
+  "missing_data"
+  "missing_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/missing_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/negative_correlation.dir/negative_correlation.cpp.o"
+  "CMakeFiles/negative_correlation.dir/negative_correlation.cpp.o.d"
+  "negative_correlation"
+  "negative_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/negative_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathway_query.dir/pathway_query.cpp.o"
+  "CMakeFiles/pathway_query.dir/pathway_query.cpp.o.d"
+  "pathway_query"
+  "pathway_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathway_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

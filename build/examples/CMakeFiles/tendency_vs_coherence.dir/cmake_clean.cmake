@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tendency_vs_coherence.dir/tendency_vs_coherence.cpp.o"
+  "CMakeFiles/tendency_vs_coherence.dir/tendency_vs_coherence.cpp.o.d"
+  "tendency_vs_coherence"
+  "tendency_vs_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tendency_vs_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

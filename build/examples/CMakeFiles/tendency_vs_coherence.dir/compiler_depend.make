@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tendency_vs_coherence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/yeast_workflow.cpp" "examples/CMakeFiles/yeast_workflow.dir/yeast_workflow.cpp.o" "gcc" "examples/CMakeFiles/yeast_workflow.dir/yeast_workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/regcluster_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/regcluster_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/regcluster_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/regcluster_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/regcluster_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/regcluster_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/regcluster_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yeast_workflow.dir/yeast_workflow.cpp.o"
+  "CMakeFiles/yeast_workflow.dir/yeast_workflow.cpp.o.d"
+  "yeast_workflow"
+  "yeast_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yeast_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cheng_church.cc" "src/baselines/CMakeFiles/regcluster_baselines.dir/cheng_church.cc.o" "gcc" "src/baselines/CMakeFiles/regcluster_baselines.dir/cheng_church.cc.o.d"
+  "/root/repo/src/baselines/floc.cc" "src/baselines/CMakeFiles/regcluster_baselines.dir/floc.cc.o" "gcc" "src/baselines/CMakeFiles/regcluster_baselines.dir/floc.cc.o.d"
+  "/root/repo/src/baselines/fullspace.cc" "src/baselines/CMakeFiles/regcluster_baselines.dir/fullspace.cc.o" "gcc" "src/baselines/CMakeFiles/regcluster_baselines.dir/fullspace.cc.o.d"
+  "/root/repo/src/baselines/opcluster.cc" "src/baselines/CMakeFiles/regcluster_baselines.dir/opcluster.cc.o" "gcc" "src/baselines/CMakeFiles/regcluster_baselines.dir/opcluster.cc.o.d"
+  "/root/repo/src/baselines/opsm.cc" "src/baselines/CMakeFiles/regcluster_baselines.dir/opsm.cc.o" "gcc" "src/baselines/CMakeFiles/regcluster_baselines.dir/opsm.cc.o.d"
+  "/root/repo/src/baselines/pcluster.cc" "src/baselines/CMakeFiles/regcluster_baselines.dir/pcluster.cc.o" "gcc" "src/baselines/CMakeFiles/regcluster_baselines.dir/pcluster.cc.o.d"
+  "/root/repo/src/baselines/scaling_cluster.cc" "src/baselines/CMakeFiles/regcluster_baselines.dir/scaling_cluster.cc.o" "gcc" "src/baselines/CMakeFiles/regcluster_baselines.dir/scaling_cluster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/regcluster_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/regcluster_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/regcluster_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regcluster_baselines.dir/cheng_church.cc.o"
+  "CMakeFiles/regcluster_baselines.dir/cheng_church.cc.o.d"
+  "CMakeFiles/regcluster_baselines.dir/floc.cc.o"
+  "CMakeFiles/regcluster_baselines.dir/floc.cc.o.d"
+  "CMakeFiles/regcluster_baselines.dir/fullspace.cc.o"
+  "CMakeFiles/regcluster_baselines.dir/fullspace.cc.o.d"
+  "CMakeFiles/regcluster_baselines.dir/opcluster.cc.o"
+  "CMakeFiles/regcluster_baselines.dir/opcluster.cc.o.d"
+  "CMakeFiles/regcluster_baselines.dir/opsm.cc.o"
+  "CMakeFiles/regcluster_baselines.dir/opsm.cc.o.d"
+  "CMakeFiles/regcluster_baselines.dir/pcluster.cc.o"
+  "CMakeFiles/regcluster_baselines.dir/pcluster.cc.o.d"
+  "CMakeFiles/regcluster_baselines.dir/scaling_cluster.cc.o"
+  "CMakeFiles/regcluster_baselines.dir/scaling_cluster.cc.o.d"
+  "libregcluster_baselines.a"
+  "libregcluster_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regcluster_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bicluster.cc" "src/core/CMakeFiles/regcluster_core.dir/bicluster.cc.o" "gcc" "src/core/CMakeFiles/regcluster_core.dir/bicluster.cc.o.d"
+  "/root/repo/src/core/coherence.cc" "src/core/CMakeFiles/regcluster_core.dir/coherence.cc.o" "gcc" "src/core/CMakeFiles/regcluster_core.dir/coherence.cc.o.d"
+  "/root/repo/src/core/miner.cc" "src/core/CMakeFiles/regcluster_core.dir/miner.cc.o" "gcc" "src/core/CMakeFiles/regcluster_core.dir/miner.cc.o.d"
+  "/root/repo/src/core/rwave.cc" "src/core/CMakeFiles/regcluster_core.dir/rwave.cc.o" "gcc" "src/core/CMakeFiles/regcluster_core.dir/rwave.cc.o.d"
+  "/root/repo/src/core/threshold.cc" "src/core/CMakeFiles/regcluster_core.dir/threshold.cc.o" "gcc" "src/core/CMakeFiles/regcluster_core.dir/threshold.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/regcluster_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/regcluster_matrix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regcluster_core.dir/bicluster.cc.o"
+  "CMakeFiles/regcluster_core.dir/bicluster.cc.o.d"
+  "CMakeFiles/regcluster_core.dir/coherence.cc.o"
+  "CMakeFiles/regcluster_core.dir/coherence.cc.o.d"
+  "CMakeFiles/regcluster_core.dir/miner.cc.o"
+  "CMakeFiles/regcluster_core.dir/miner.cc.o.d"
+  "CMakeFiles/regcluster_core.dir/rwave.cc.o"
+  "CMakeFiles/regcluster_core.dir/rwave.cc.o.d"
+  "CMakeFiles/regcluster_core.dir/threshold.cc.o"
+  "CMakeFiles/regcluster_core.dir/threshold.cc.o.d"
+  "libregcluster_core.a"
+  "libregcluster_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regcluster_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

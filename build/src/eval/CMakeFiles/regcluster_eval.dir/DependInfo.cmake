@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/annotation_gen.cc" "src/eval/CMakeFiles/regcluster_eval.dir/annotation_gen.cc.o" "gcc" "src/eval/CMakeFiles/regcluster_eval.dir/annotation_gen.cc.o.d"
+  "/root/repo/src/eval/cluster_index.cc" "src/eval/CMakeFiles/regcluster_eval.dir/cluster_index.cc.o" "gcc" "src/eval/CMakeFiles/regcluster_eval.dir/cluster_index.cc.o.d"
+  "/root/repo/src/eval/consensus.cc" "src/eval/CMakeFiles/regcluster_eval.dir/consensus.cc.o" "gcc" "src/eval/CMakeFiles/regcluster_eval.dir/consensus.cc.o.d"
+  "/root/repo/src/eval/go_enrichment.cc" "src/eval/CMakeFiles/regcluster_eval.dir/go_enrichment.cc.o" "gcc" "src/eval/CMakeFiles/regcluster_eval.dir/go_enrichment.cc.o.d"
+  "/root/repo/src/eval/match.cc" "src/eval/CMakeFiles/regcluster_eval.dir/match.cc.o" "gcc" "src/eval/CMakeFiles/regcluster_eval.dir/match.cc.o.d"
+  "/root/repo/src/eval/quality.cc" "src/eval/CMakeFiles/regcluster_eval.dir/quality.cc.o" "gcc" "src/eval/CMakeFiles/regcluster_eval.dir/quality.cc.o.d"
+  "/root/repo/src/eval/significance.cc" "src/eval/CMakeFiles/regcluster_eval.dir/significance.cc.o" "gcc" "src/eval/CMakeFiles/regcluster_eval.dir/significance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/regcluster_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/regcluster_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/regcluster_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regcluster_eval.dir/annotation_gen.cc.o"
+  "CMakeFiles/regcluster_eval.dir/annotation_gen.cc.o.d"
+  "CMakeFiles/regcluster_eval.dir/cluster_index.cc.o"
+  "CMakeFiles/regcluster_eval.dir/cluster_index.cc.o.d"
+  "CMakeFiles/regcluster_eval.dir/consensus.cc.o"
+  "CMakeFiles/regcluster_eval.dir/consensus.cc.o.d"
+  "CMakeFiles/regcluster_eval.dir/go_enrichment.cc.o"
+  "CMakeFiles/regcluster_eval.dir/go_enrichment.cc.o.d"
+  "CMakeFiles/regcluster_eval.dir/match.cc.o"
+  "CMakeFiles/regcluster_eval.dir/match.cc.o.d"
+  "CMakeFiles/regcluster_eval.dir/quality.cc.o"
+  "CMakeFiles/regcluster_eval.dir/quality.cc.o.d"
+  "CMakeFiles/regcluster_eval.dir/significance.cc.o"
+  "CMakeFiles/regcluster_eval.dir/significance.cc.o.d"
+  "libregcluster_eval.a"
+  "libregcluster_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regcluster_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/annotation_io.cc" "src/io/CMakeFiles/regcluster_io.dir/annotation_io.cc.o" "gcc" "src/io/CMakeFiles/regcluster_io.dir/annotation_io.cc.o.d"
+  "/root/repo/src/io/cluster_io.cc" "src/io/CMakeFiles/regcluster_io.dir/cluster_io.cc.o" "gcc" "src/io/CMakeFiles/regcluster_io.dir/cluster_io.cc.o.d"
+  "/root/repo/src/io/gnuplot.cc" "src/io/CMakeFiles/regcluster_io.dir/gnuplot.cc.o" "gcc" "src/io/CMakeFiles/regcluster_io.dir/gnuplot.cc.o.d"
+  "/root/repo/src/io/json_export.cc" "src/io/CMakeFiles/regcluster_io.dir/json_export.cc.o" "gcc" "src/io/CMakeFiles/regcluster_io.dir/json_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/regcluster_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/regcluster_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/regcluster_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/regcluster_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regcluster_io.dir/annotation_io.cc.o"
+  "CMakeFiles/regcluster_io.dir/annotation_io.cc.o.d"
+  "CMakeFiles/regcluster_io.dir/cluster_io.cc.o"
+  "CMakeFiles/regcluster_io.dir/cluster_io.cc.o.d"
+  "CMakeFiles/regcluster_io.dir/gnuplot.cc.o"
+  "CMakeFiles/regcluster_io.dir/gnuplot.cc.o.d"
+  "CMakeFiles/regcluster_io.dir/json_export.cc.o"
+  "CMakeFiles/regcluster_io.dir/json_export.cc.o.d"
+  "libregcluster_io.a"
+  "libregcluster_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regcluster_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libregcluster_io.a"
+)

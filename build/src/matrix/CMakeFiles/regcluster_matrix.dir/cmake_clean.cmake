@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regcluster_matrix.dir/expression_matrix.cc.o"
+  "CMakeFiles/regcluster_matrix.dir/expression_matrix.cc.o.d"
+  "CMakeFiles/regcluster_matrix.dir/matrix_io.cc.o"
+  "CMakeFiles/regcluster_matrix.dir/matrix_io.cc.o.d"
+  "CMakeFiles/regcluster_matrix.dir/stats.cc.o"
+  "CMakeFiles/regcluster_matrix.dir/stats.cc.o.d"
+  "CMakeFiles/regcluster_matrix.dir/transforms.cc.o"
+  "CMakeFiles/regcluster_matrix.dir/transforms.cc.o.d"
+  "libregcluster_matrix.a"
+  "libregcluster_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regcluster_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

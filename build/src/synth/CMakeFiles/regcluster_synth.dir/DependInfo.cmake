@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/generator.cc" "src/synth/CMakeFiles/regcluster_synth.dir/generator.cc.o" "gcc" "src/synth/CMakeFiles/regcluster_synth.dir/generator.cc.o.d"
+  "/root/repo/src/synth/yeast_surrogate.cc" "src/synth/CMakeFiles/regcluster_synth.dir/yeast_surrogate.cc.o" "gcc" "src/synth/CMakeFiles/regcluster_synth.dir/yeast_surrogate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/regcluster_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/regcluster_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/regcluster_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

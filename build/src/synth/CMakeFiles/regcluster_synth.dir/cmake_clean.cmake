@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regcluster_synth.dir/generator.cc.o"
+  "CMakeFiles/regcluster_synth.dir/generator.cc.o.d"
+  "CMakeFiles/regcluster_synth.dir/yeast_surrogate.cc.o"
+  "CMakeFiles/regcluster_synth.dir/yeast_surrogate.cc.o.d"
+  "libregcluster_synth.a"
+  "libregcluster_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regcluster_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libregcluster_synth.a"
+)

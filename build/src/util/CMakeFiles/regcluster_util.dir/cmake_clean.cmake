@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regcluster_util.dir/logging.cc.o"
+  "CMakeFiles/regcluster_util.dir/logging.cc.o.d"
+  "CMakeFiles/regcluster_util.dir/math_util.cc.o"
+  "CMakeFiles/regcluster_util.dir/math_util.cc.o.d"
+  "CMakeFiles/regcluster_util.dir/prng.cc.o"
+  "CMakeFiles/regcluster_util.dir/prng.cc.o.d"
+  "CMakeFiles/regcluster_util.dir/status.cc.o"
+  "CMakeFiles/regcluster_util.dir/status.cc.o.d"
+  "CMakeFiles/regcluster_util.dir/string_util.cc.o"
+  "CMakeFiles/regcluster_util.dir/string_util.cc.o.d"
+  "libregcluster_util.a"
+  "libregcluster_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regcluster_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_stack_test.dir/integration/analysis_stack_test.cc.o"
+  "CMakeFiles/analysis_stack_test.dir/integration/analysis_stack_test.cc.o.d"
+  "analysis_stack_test"
+  "analysis_stack_test.pdb"
+  "analysis_stack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotation_gen_test.dir/eval/annotation_gen_test.cc.o"
+  "CMakeFiles/annotation_gen_test.dir/eval/annotation_gen_test.cc.o.d"
+  "annotation_gen_test"
+  "annotation_gen_test.pdb"
+  "annotation_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotation_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

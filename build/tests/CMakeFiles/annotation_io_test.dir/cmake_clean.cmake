@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotation_io_test.dir/io/annotation_io_test.cc.o"
+  "CMakeFiles/annotation_io_test.dir/io/annotation_io_test.cc.o.d"
+  "annotation_io_test"
+  "annotation_io_test.pdb"
+  "annotation_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotation_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

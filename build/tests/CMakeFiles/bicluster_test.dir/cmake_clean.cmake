@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bicluster_test.dir/core/bicluster_test.cc.o"
+  "CMakeFiles/bicluster_test.dir/core/bicluster_test.cc.o.d"
+  "bicluster_test"
+  "bicluster_test.pdb"
+  "bicluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bicluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

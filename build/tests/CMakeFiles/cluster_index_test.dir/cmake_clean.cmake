@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_index_test.dir/eval/cluster_index_test.cc.o"
+  "CMakeFiles/cluster_index_test.dir/eval/cluster_index_test.cc.o.d"
+  "cluster_index_test"
+  "cluster_index_test.pdb"
+  "cluster_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expression_matrix_test.dir/matrix/expression_matrix_test.cc.o"
+  "CMakeFiles/expression_matrix_test.dir/matrix/expression_matrix_test.cc.o.d"
+  "expression_matrix_test"
+  "expression_matrix_test.pdb"
+  "expression_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expression_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

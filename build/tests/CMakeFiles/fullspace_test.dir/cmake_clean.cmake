@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fullspace_test.dir/baselines/fullspace_test.cc.o"
+  "CMakeFiles/fullspace_test.dir/baselines/fullspace_test.cc.o.d"
+  "fullspace_test"
+  "fullspace_test.pdb"
+  "fullspace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fullspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

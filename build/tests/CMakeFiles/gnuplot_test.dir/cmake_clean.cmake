@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnuplot_test.dir/io/gnuplot_test.cc.o"
+  "CMakeFiles/gnuplot_test.dir/io/gnuplot_test.cc.o.d"
+  "gnuplot_test"
+  "gnuplot_test.pdb"
+  "gnuplot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnuplot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

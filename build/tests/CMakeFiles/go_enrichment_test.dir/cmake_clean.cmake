@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/go_enrichment_test.dir/eval/go_enrichment_test.cc.o"
+  "CMakeFiles/go_enrichment_test.dir/eval/go_enrichment_test.cc.o.d"
+  "go_enrichment_test"
+  "go_enrichment_test.pdb"
+  "go_enrichment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/go_enrichment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

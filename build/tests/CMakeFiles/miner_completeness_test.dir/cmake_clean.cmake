@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_completeness_test.dir/core/miner_completeness_test.cc.o"
+  "CMakeFiles/miner_completeness_test.dir/core/miner_completeness_test.cc.o.d"
+  "miner_completeness_test"
+  "miner_completeness_test.pdb"
+  "miner_completeness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_completeness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_lifecycle_test.dir/core/miner_lifecycle_test.cc.o"
+  "CMakeFiles/miner_lifecycle_test.dir/core/miner_lifecycle_test.cc.o.d"
+  "miner_lifecycle_test"
+  "miner_lifecycle_test.pdb"
+  "miner_lifecycle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

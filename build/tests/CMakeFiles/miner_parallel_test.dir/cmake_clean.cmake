@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_parallel_test.dir/core/miner_parallel_test.cc.o"
+  "CMakeFiles/miner_parallel_test.dir/core/miner_parallel_test.cc.o.d"
+  "miner_parallel_test"
+  "miner_parallel_test.pdb"
+  "miner_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_property_test.dir/core/miner_property_test.cc.o"
+  "CMakeFiles/miner_property_test.dir/core/miner_property_test.cc.o.d"
+  "miner_property_test"
+  "miner_property_test.pdb"
+  "miner_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_targeted_test.dir/core/miner_targeted_test.cc.o"
+  "CMakeFiles/miner_targeted_test.dir/core/miner_targeted_test.cc.o.d"
+  "miner_targeted_test"
+  "miner_targeted_test.pdb"
+  "miner_targeted_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_targeted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

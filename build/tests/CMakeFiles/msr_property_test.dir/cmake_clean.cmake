@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msr_property_test.dir/baselines/msr_property_test.cc.o"
+  "CMakeFiles/msr_property_test.dir/baselines/msr_property_test.cc.o.d"
+  "msr_property_test"
+  "msr_property_test.pdb"
+  "msr_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msr_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opcluster_test.dir/baselines/opcluster_test.cc.o"
+  "CMakeFiles/opcluster_test.dir/baselines/opcluster_test.cc.o.d"
+  "opcluster_test"
+  "opcluster_test.pdb"
+  "opcluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opcluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

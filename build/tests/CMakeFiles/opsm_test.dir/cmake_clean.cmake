@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opsm_test.dir/baselines/opsm_test.cc.o"
+  "CMakeFiles/opsm_test.dir/baselines/opsm_test.cc.o.d"
+  "opsm_test"
+  "opsm_test.pdb"
+  "opsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

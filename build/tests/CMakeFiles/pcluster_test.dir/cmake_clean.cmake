@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcluster_test.dir/baselines/pcluster_test.cc.o"
+  "CMakeFiles/pcluster_test.dir/baselines/pcluster_test.cc.o.d"
+  "pcluster_test"
+  "pcluster_test.pdb"
+  "pcluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

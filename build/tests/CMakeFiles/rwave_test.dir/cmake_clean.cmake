@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwave_test.dir/core/rwave_test.cc.o"
+  "CMakeFiles/rwave_test.dir/core/rwave_test.cc.o.d"
+  "rwave_test"
+  "rwave_test.pdb"
+  "rwave_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwave_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

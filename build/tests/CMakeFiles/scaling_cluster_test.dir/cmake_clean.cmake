@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_cluster_test.dir/baselines/scaling_cluster_test.cc.o"
+  "CMakeFiles/scaling_cluster_test.dir/baselines/scaling_cluster_test.cc.o.d"
+  "scaling_cluster_test"
+  "scaling_cluster_test.pdb"
+  "scaling_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

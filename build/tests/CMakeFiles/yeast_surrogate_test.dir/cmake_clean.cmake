@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yeast_surrogate_test.dir/synth/yeast_surrogate_test.cc.o"
+  "CMakeFiles/yeast_surrogate_test.dir/synth/yeast_surrogate_test.cc.o.d"
+  "yeast_surrogate_test"
+  "yeast_surrogate_test.pdb"
+  "yeast_surrogate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yeast_surrogate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

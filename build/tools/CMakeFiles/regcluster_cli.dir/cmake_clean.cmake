@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regcluster_cli.dir/regcluster_cli.cc.o"
+  "CMakeFiles/regcluster_cli.dir/regcluster_cli.cc.o.d"
+  "regcluster"
+  "regcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regcluster_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
