@@ -1,12 +1,18 @@
 // Micro-benchmarks (google-benchmark) for the core primitives: RWave model
 // construction, regulation lookups, coherence scoring and end-to-end mining
 // at several dataset sizes.  These back the cost model claimed in DESIGN.md
-// (model build O(C log C) per gene, lookups O(log P)).
+// (model build O(C log C) per gene, lookups O(log P)).  Besides the console
+// table, every timing is appended machine-readably to the "micro" section of
+// BENCH_miner.json (override the path with --bench_out=...).
 
 #include <benchmark/benchmark.h>
 
 #include <limits>
+#include <string>
+#include <vector>
 
+#include "bench_common.h"
+#include "bench_json.h"
 #include "core/coherence.h"
 #include "core/miner.h"
 #include "core/rwave.h"
@@ -155,7 +161,54 @@ void BM_ValidateRegCluster(benchmark::State& state) {
 }
 BENCHMARK(BM_ValidateRegCluster);
 
+// Console output as usual, plus a machine-readable record of every
+// completed run (name, per-iteration real/cpu time in the run's time unit).
+class JsonSectionReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      rows_.push_back(bench::JsonObject({
+          bench::JsonField("name", bench::JsonString(run.benchmark_name())),
+          bench::JsonField("real_time", bench::JsonDouble(
+                               run.GetAdjustedRealTime())),
+          bench::JsonField("cpu_time", bench::JsonDouble(
+                               run.GetAdjustedCPUTime())),
+          bench::JsonField("time_unit", bench::JsonString(
+                               benchmark::GetTimeUnitString(run.time_unit))),
+          bench::JsonField("iterations",
+                           bench::JsonInt(static_cast<int64_t>(
+                               run.iterations))),
+      }));
+    }
+  }
+
+  const std::vector<std::string>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> rows_;
+};
+
 }  // namespace
 }  // namespace regcluster
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string out_path = regcluster::bench::FlagValue(
+      argc, argv, "bench_out", "BENCH_miner.json");
+  benchmark::Initialize(&argc, argv);
+  regcluster::JsonSectionReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  using regcluster::bench::JsonArray;
+  using regcluster::bench::JsonField;
+  using regcluster::bench::JsonObject;
+  const std::string section =
+      JsonObject({JsonField("benchmarks", JsonArray(reporter.rows()))});
+  if (!regcluster::bench::UpsertBenchSection(out_path, "micro", section)) {
+    std::fprintf(stderr, "WARNING: could not write %s\n", out_path.c_str());
+  } else {
+    std::printf("wrote section \"micro\" of %s\n", out_path.c_str());
+  }
+  return 0;
+}

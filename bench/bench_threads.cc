@@ -1,14 +1,18 @@
-// Ablation: multi-threaded root search scaling (an extension beyond the
-// paper, which was single-threaded 2006 code).  The level-1 conditions root
-// independent subtrees, so the search parallelizes with a deterministic
-// merge; this harness reports wall-clock speedup and verifies the output is
-// identical at every thread count.
+// Ablation: work-stealing parallel search scaling (an extension beyond the
+// paper, which was single-threaded 2006 code).  Every level-1 condition and
+// every level-2 subtree is an independently schedulable task on a
+// util::TaskPool, merged in canonical order; this harness reports wall-clock
+// speedup, verifies the output is identical at every thread count, and dumps
+// the rows machine-readably into the "threads" section of BENCH_miner.json
+// (see --out).
 
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "util/timer.h"
 
 namespace regcluster {
@@ -21,6 +25,8 @@ int Main(int argc, char** argv) {
   cfg.num_conditions = IntFlag(argc, argv, "conditions", 40);
   cfg.num_clusters = IntFlag(argc, argv, "clusters", 30);
   cfg.seed = 2024;
+  const std::string out_path =
+      FlagValue(argc, argv, "out", "BENCH_miner.json");
   auto ds = synth::GenerateSynthetic(cfg);
   if (!ds.ok()) {
     std::fprintf(stderr, "generator: %s\n", ds.status().ToString().c_str());
@@ -33,7 +39,8 @@ int Main(int argc, char** argv) {
   base.gamma = 0.1;
   base.epsilon = 0.01;
 
-  std::printf("== bench_threads (parallel root search) ==\n");
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("== bench_threads (work-stealing parallel search) ==\n");
   std::printf("dataset %dx%d, MinG=%d MinC=%d gamma=%.2f epsilon=%.2f\n",
               cfg.num_genes, cfg.num_conditions, base.min_genes,
               base.min_conditions, base.gamma, base.epsilon);
@@ -41,13 +48,14 @@ int Main(int argc, char** argv) {
       "hardware threads available: %u (speedup is bounded by this; the "
       "correctness claim -- identical output at every thread count -- is "
       "checked regardless)\n\n",
-      std::thread::hardware_concurrency());
-  std::printf("%8s %12s %10s %10s %10s\n", "threads", "runtime_s", "speedup",
-              "clusters", "identical");
+      hw);
+  std::printf("%8s %12s %10s %12s %10s %10s\n", "threads", "runtime_s",
+              "speedup", "nodes_per_s", "clusters", "identical");
 
   double serial_time = 0.0;
   std::string reference_key;
   bool ok = true;
+  std::vector<std::string> rows;
   for (int threads : {1, 2, 4, 8}) {
     core::MinerOptions o = base;
     o.num_threads = threads;
@@ -68,10 +76,49 @@ int Main(int argc, char** argv) {
     }
     const bool identical = key == reference_key;
     ok = ok && identical;
-    std::printf("%8d %12.4f %9.2fx %10zu %10s\n", threads, secs,
-                serial_time / secs, clusters->size(),
+    const core::MinerStats& st = miner.stats();
+    const double nodes_per_sec =
+        st.mine_seconds > 0
+            ? static_cast<double>(st.nodes_expanded) / st.mine_seconds
+            : 0.0;
+    std::printf("%8d %12.4f %9.2fx %12.0f %10zu %10s\n", threads, secs,
+                serial_time / secs, nodes_per_sec, clusters->size(),
                 identical ? "yes" : "NO!");
+    rows.push_back(JsonObject({
+        JsonField("threads", JsonInt(threads)),
+        JsonField("wall_seconds", JsonDouble(secs)),
+        JsonField("mine_seconds", JsonDouble(st.mine_seconds)),
+        JsonField("speedup", JsonDouble(serial_time / secs)),
+        JsonField("nodes_expanded", JsonInt(st.nodes_expanded)),
+        JsonField("nodes_per_sec", JsonDouble(nodes_per_sec)),
+        JsonField("clusters", JsonInt(static_cast<int64_t>(clusters->size()))),
+        JsonField("identical_to_serial", JsonBool(identical)),
+    }));
   }
+
+  const std::string section = JsonObject({
+      JsonField("dataset", JsonObject({
+                    JsonField("genes", JsonInt(cfg.num_genes)),
+                    JsonField("conditions", JsonInt(cfg.num_conditions)),
+                    JsonField("implanted_clusters", JsonInt(cfg.num_clusters)),
+                    JsonField("seed", JsonInt(static_cast<int64_t>(cfg.seed))),
+                })),
+      JsonField("options", JsonObject({
+                    JsonField("min_genes", JsonInt(base.min_genes)),
+                    JsonField("min_conditions", JsonInt(base.min_conditions)),
+                    JsonField("gamma", JsonDouble(base.gamma)),
+                    JsonField("epsilon", JsonDouble(base.epsilon)),
+                })),
+      JsonField("hardware_threads", JsonInt(static_cast<int64_t>(hw))),
+      JsonField("identical_at_all_thread_counts", JsonBool(ok)),
+      JsonField("runs", JsonArray(rows)),
+  });
+  if (!UpsertBenchSection(out_path, "threads", section)) {
+    std::fprintf(stderr, "WARNING: could not write %s\n", out_path.c_str());
+  } else {
+    std::printf("\nwrote section \"threads\" of %s\n", out_path.c_str());
+  }
+
   if (!ok) {
     std::fprintf(stderr, "FAILED: thread count changed the output\n");
     return 1;

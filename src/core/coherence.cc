@@ -10,12 +10,6 @@
 namespace regcluster {
 namespace core {
 
-double CoherenceScore(const double* row, int c1, int c2, int ck, int ck1) {
-  const double denom = row[c2] - row[c1];
-  const double numer = row[ck1] - row[ck];
-  return numer / denom;
-}
-
 std::vector<double> ChainCoherenceScores(const double* row,
                                          const std::vector<int>& chain) {
   std::vector<double> out;

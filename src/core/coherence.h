@@ -14,6 +14,19 @@
 namespace regcluster {
 namespace core {
 
+/// The coherence score of Equation 7 with a precomputed baseline
+/// denominator `denom = d_i,c2 - d_i,c1`.  Once a chain reaches length 2
+/// its baseline pair (c1, c2) is fixed for the whole branch, so the miner
+/// computes each member's denominator once and scores every later
+/// (gene, candidate) pair with a single subtract and divide.  The division
+/// is kept (rather than multiplying by a cached reciprocal) so the result
+/// is bit-identical to the uncached form -- the completeness tests compare
+/// miner output against an oracle that recomputes scores from scratch.
+inline double CoherenceScoreCached(const double* row, int ck, int ck1,
+                                   double denom) {
+  return (row[ck1] - row[ck]) / denom;
+}
+
 /// The coherence score of Equation 7:
 ///
 ///   H(i, c1, c2, ck, ck1) = (d_i,ck1 - d_i,ck) / (d_i,c2 - d_i,c1)
@@ -24,7 +37,10 @@ namespace core {
 /// shifting-and-scaling relationship on the chain iff all their adjacent
 /// scores agree; n-members produce the same positive scores as p-members
 /// because numerator and denominator flip sign together.
-double CoherenceScore(const double* row, int c1, int c2, int ck, int ck1);
+inline double CoherenceScore(const double* row, int c1, int c2, int ck,
+                             int ck1) {
+  return CoherenceScoreCached(row, ck, ck1, row[c2] - row[c1]);
+}
 
 /// All adjacent coherence scores of `row` along `chain` (size chain-1, the
 /// first entry is always exactly 1 by construction).

@@ -2,23 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <thread>
 
 #include "core/coherence.h"
-#include "util/string_util.h"
+#include "util/task_pool.h"
 #include "util/timer.h"
 
 namespace regcluster {
 namespace core {
 namespace {
-
-/// One (gene, coherence score) entry for the sliding window.
-struct Scored {
-  double h;
-  int gene;
-  int head_pos;  // position of the candidate condition in the gene's model
-  bool positive;
-};
 
 /// True iff the chain is lexicographically smaller than its reversal
 /// (condition ids).  Used for the tie-break of the representative rule.
@@ -44,6 +37,49 @@ void AccumulateStats(const MinerStats& from, MinerStats* to) {
 }
 
 }  // namespace
+
+/// Per-worker scratch arena.  Every container is reused across the whole
+/// search, so after a short warm-up (first visit of each DFS depth) the hot
+/// loop performs zero heap allocations.  Frames live in a deque: references
+/// into it stay valid while deeper frames are appended during recursion.
+struct RegClusterMiner::MinerScratch {
+  /// One (gene, coherence score) entry for the sliding window.
+  struct Scored {
+    double h;
+    int gene;
+    int head_pos;  // position of the candidate condition in the gene's model
+    double denom;  // the member's cached baseline denominator (propagated)
+    bool positive;
+  };
+
+  struct Frame {
+    std::vector<Member> p_members;
+    std::vector<Member> n_members;
+    std::vector<int> first_succ;  // per p-member one-step-up frontier
+    std::vector<int> last_pred;   // per n-member one-step-down frontier
+    std::vector<int> cands;       // candidate conditions, ascending
+    std::vector<Scored> scored;
+  };
+
+  std::vector<int> chain;      ///< the DFS chain stack
+  std::deque<Frame> frames;    ///< frames[d] holds the node of chain length d+2
+  Frame root_frame;            ///< the level-1 node (SeedRoot only)
+  std::vector<uint64_t> cond_epoch;  ///< condition id -> last-marked epoch
+  std::vector<uint64_t> gene_epoch;  ///< gene id -> last-marked epoch
+  uint64_t epoch = 0;
+
+  void Init(int num_conds, int num_genes) {
+    chain.reserve(static_cast<size_t>(num_conds) + 1);
+    cond_epoch.assign(static_cast<size_t>(num_conds), 0);
+    gene_epoch.assign(static_cast<size_t>(num_genes), 0);
+    epoch = 0;
+  }
+
+  Frame& frame(int depth) {
+    while (frames.size() <= static_cast<size_t>(depth)) frames.emplace_back();
+    return frames[static_cast<size_t>(depth)];
+  }
+};
 
 RegClusterMiner::RegClusterMiner(const matrix::ExpressionMatrix& data,
                                  MinerOptions options)
@@ -116,40 +152,61 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Mine() {
 
   timer.Reset();
   const int num_conds = data_.num_conditions();
-  std::vector<SearchContext> contexts(static_cast<size_t>(num_conds));
+  const int num_genes = data_.num_genes();
+  std::vector<RootWork> work(static_cast<size_t>(num_conds));
 
   int threads = options_.num_threads;
   if (threads == 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads < 1) threads = 1;
   }
-  threads = std::min(threads, std::max(num_conds, 1));
 
   if (threads <= 1) {
+    MinerScratch scratch;
+    scratch.Init(num_conds, num_genes);
     for (int c = 0; c < num_conds; ++c) {
-      MineRoot(c, &contexts[static_cast<size_t>(c)]);
+      RootWork& rw = work[static_cast<size_t>(c)];
+      SeedRoot(c, &rw, &scratch);
+      rw.subtree_ctx.resize(rw.seeds.size());
+      for (size_t i = 0; i < rw.seeds.size(); ++i) {
+        MineSubtree(c, &rw.seeds[i], &scratch, &rw.subtree_ctx[i]);
+      }
     }
   } else {
-    std::atomic<int> next_root{0};
-    auto worker = [&]() {
-      while (true) {
-        const int c = next_root.fetch_add(1, std::memory_order_relaxed);
-        if (c >= num_conds) return;
-        MineRoot(c, &contexts[static_cast<size_t>(c)]);
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+    util::TaskPool pool(threads);
+    std::vector<MinerScratch> scratches(
+        static_cast<size_t>(pool.num_workers()));
+    for (MinerScratch& s : scratches) s.Init(num_conds, num_genes);
+    // Each root task seeds its level-2 subtrees and immediately re-submits
+    // them: large subtrees become stealable instead of serializing behind
+    // their root, which is what makes imbalanced trees scale.
+    for (int c = 0; c < num_conds; ++c) {
+      RootWork* rw = &work[static_cast<size_t>(c)];
+      pool.Submit([this, c, rw, &pool, &scratches](int worker) {
+        SeedRoot(c, rw, &scratches[static_cast<size_t>(worker)]);
+        rw->subtree_ctx.resize(rw->seeds.size());
+        for (size_t i = 0; i < rw->seeds.size(); ++i) {
+          SubtreeSeed* seed = &rw->seeds[i];
+          SearchContext* ctx = &rw->subtree_ctx[i];
+          pool.Submit([this, c, seed, ctx, &scratches](int w) {
+            MineSubtree(c, seed, &scratches[static_cast<size_t>(w)], ctx);
+          });
+        }
+      });
+    }
+    pool.Wait();
   }
 
-  // Merge in root order: deterministic regardless of thread count.
+  // Merge in canonical (root, second-condition) order: deterministic
+  // regardless of thread count and of which worker ran which task.
   std::vector<RegCluster> out;
-  for (SearchContext& ctx : contexts) {
-    AccumulateStats(ctx.stats, &stats_);
-    out.insert(out.end(), std::make_move_iterator(ctx.out.begin()),
-               std::make_move_iterator(ctx.out.end()));
+  for (RootWork& rw : work) {
+    AccumulateStats(rw.ctx.stats, &stats_);
+    for (SearchContext& ctx : rw.subtree_ctx) {
+      AccumulateStats(ctx.stats, &stats_);
+      out.insert(out.end(), std::make_move_iterator(ctx.out.begin()),
+                 std::make_move_iterator(ctx.out.end()));
+    }
   }
   if (options_.remove_dominated) out = RemoveDominated(std::move(out));
   stats_.mine_seconds = timer.ElapsedSeconds();
@@ -166,43 +223,41 @@ bool RegClusterMiner::BudgetExceeded() const {
 }
 
 bool RegClusterMiner::HasAllRequired(const std::vector<Member>& p,
-                                     const std::vector<Member>& n) const {
+                                     const std::vector<Member>& n,
+                                     MinerScratch* scratch) const {
   if (num_required_ == 0) return true;
-  int found = 0;
+  // Epoch-stamped distinct count: at level 1 a required gene can sit in both
+  // lists, so presence is deduplicated via the per-gene stamp -- one pass,
+  // no allocation.
+  const uint64_t epoch = ++scratch->epoch;
+  int distinct = 0;
   for (const Member& m : p) {
-    found += required_gene_[static_cast<size_t>(m.gene)];
+    const size_t g = static_cast<size_t>(m.gene);
+    if (required_gene_[g] && scratch->gene_epoch[g] != epoch) {
+      scratch->gene_epoch[g] = epoch;
+      ++distinct;
+    }
   }
   for (const Member& m : n) {
-    found += required_gene_[static_cast<size_t>(m.gene)];
-  }
-  // At level 1 a required gene can sit in both lists; count distinct genes.
-  if (found >= num_required_) {
-    std::vector<char> seen(required_gene_);
-    int distinct = 0;
-    for (const Member& m : p) {
-      if (seen[static_cast<size_t>(m.gene)]) {
-        seen[static_cast<size_t>(m.gene)] = 0;
-        ++distinct;
-      }
+    const size_t g = static_cast<size_t>(m.gene);
+    if (required_gene_[g] && scratch->gene_epoch[g] != epoch) {
+      scratch->gene_epoch[g] = epoch;
+      ++distinct;
     }
-    for (const Member& m : n) {
-      if (seen[static_cast<size_t>(m.gene)]) {
-        seen[static_cast<size_t>(m.gene)] = 0;
-        ++distinct;
-      }
-    }
-    return distinct == num_required_;
   }
-  return false;
+  return distinct == num_required_;
 }
 
-void RegClusterMiner::MineRoot(int root_condition, SearchContext* ctx) {
+void RegClusterMiner::SeedRoot(int root_condition, RootWork* work,
+                               MinerScratch* scratch) {
+  SearchContext* ctx = &work->ctx;
   if (BudgetExceeded()) return;
   if (!allowed_cond_[static_cast<size_t>(root_condition)]) return;
   // Level-1 chain: the root condition, with the genes that can still grow a
   // chain of length MinC through it upward (p) or downward (n).
-  Node node;
-  node.chain.push_back(root_condition);
+  MinerScratch::Frame& node = scratch->root_frame;
+  node.p_members.clear();
+  node.n_members.clear();
   const int num_genes = data_.num_genes();
   for (int g = 0; g < num_genes; ++g) {
     const RWaveModel& w = rwaves_[static_cast<size_t>(g)];
@@ -211,36 +266,147 @@ void RegClusterMiner::MineRoot(int root_condition, SearchContext* ctx) {
                        w.MaxChainUp(pos) >= options_.min_conditions;
     const bool down_ok = !options_.prune_min_conds ||
                          w.MaxChainDown(pos) >= options_.min_conditions;
-    if (up_ok) node.p_members.push_back(Member{g, pos});
-    if (down_ok) node.n_members.push_back(Member{g, pos});
+    if (up_ok) node.p_members.push_back(Member{g, pos, 0.0});
+    if (down_ok) node.n_members.push_back(Member{g, pos, 0.0});
     ctx->stats.genes_dropped_min_conds += (up_ok ? 0 : 1) + (down_ok ? 0 : 1);
   }
-  Extend(&node, ctx);
-}
 
-void RegClusterMiner::Extend(Node* node, SearchContext* ctx) {
-  if (BudgetExceeded()) return;
-  if (!HasAllRequired(node->p_members, node->n_members)) return;
+  // The level-1 body of the search (the m == 1 specialization of Extend):
+  // no emission is possible (MinC >= 2) and every coherence score of the
+  // first extension is identically 1 (Eq. 7), so each candidate yields a
+  // single all-inclusive window -- one SubtreeSeed.
+  if (!HasAllRequired(node.p_members, node.n_members, scratch)) return;
   ++ctx->stats.nodes_expanded;
   nodes_guard_.fetch_add(1, std::memory_order_relaxed);
 
   const int min_g = options_.min_genes;
   const int min_c = options_.min_conditions;
-  const int m = static_cast<int>(node->chain.size());
-
-  // Pruning (1): not enough genes overall.  At level 1 a gene may appear in
-  // both member lists; the sum is then an over-estimate of the union, which
-  // is safe (prunes less), and it is exact for m >= 2 where the lists are
-  // disjoint.
+  // Pruning (1): at level 1 a gene may appear in both member lists; the sum
+  // is then an over-estimate of the union, which is safe (prunes less).
   const int total_members =
-      static_cast<int>(node->p_members.size() + node->n_members.size());
+      static_cast<int>(node.p_members.size() + node.n_members.size());
   if (options_.prune_min_genes && total_members < min_g) {
     ++ctx->stats.pruned_min_genes;
     return;
   }
   // Pruning (3a): fewer than MinG/2 p-members can never be a majority.
   if (options_.prune_p_majority &&
-      2 * static_cast<int>(node->p_members.size()) < min_g) {
+      2 * static_cast<int>(node.p_members.size()) < min_g) {
+    ++ctx->stats.pruned_p_majority;
+    return;
+  }
+
+  // Candidate generation: scan p-members only (licensed by pruning 3a).
+  const int num_conds = data_.num_conditions();
+  const uint64_t epoch = ++scratch->epoch;
+  node.first_succ.resize(node.p_members.size());
+  for (size_t i = 0; i < node.p_members.size(); ++i) {
+    const Member& mem = node.p_members[i];
+    const RWaveModel& w = rwaves_[static_cast<size_t>(mem.gene)];
+    const int h = w.FirstSuccessorPos(mem.head_pos);
+    node.first_succ[i] = h;
+    if (h < 0) continue;
+    for (int q = h; q < num_conds; ++q) {
+      if (options_.prune_min_conds && 1 + w.MaxChainUp(q) < min_c) {
+        continue;
+      }
+      scratch->cond_epoch[static_cast<size_t>(w.condition_at(q))] = epoch;
+    }
+  }
+  node.last_pred.resize(node.n_members.size());
+  for (size_t i = 0; i < node.n_members.size(); ++i) {
+    const Member& mem = node.n_members[i];
+    node.last_pred[i] =
+        rwaves_[static_cast<size_t>(mem.gene)].LastPredecessorPos(mem.head_pos);
+  }
+
+  std::vector<MinerScratch::Scored>& scored = node.scored;
+  for (int cand = 0; cand < num_conds; ++cand) {
+    if (scratch->cond_epoch[static_cast<size_t>(cand)] != epoch) continue;
+    if (!allowed_cond_[static_cast<size_t>(cand)]) continue;
+    if (BudgetExceeded()) return;
+    ++ctx->stats.extensions_tested;
+
+    scored.clear();
+    for (size_t i = 0; i < node.p_members.size(); ++i) {
+      const Member& mem = node.p_members[i];
+      if (node.first_succ[i] < 0) continue;
+      const RWaveModel& w = rwaves_[static_cast<size_t>(mem.gene)];
+      const int q = w.position(cand);
+      if (q < node.first_succ[i]) continue;  // not a regulation successor
+      if (options_.prune_min_conds && 1 + w.MaxChainUp(q) < min_c) {
+        ++ctx->stats.genes_dropped_min_conds;
+        continue;
+      }
+      scored.push_back(MinerScratch::Scored{0.0, mem.gene, q, 0.0, true});
+    }
+    for (size_t i = 0; i < node.n_members.size(); ++i) {
+      const Member& mem = node.n_members[i];
+      if (node.last_pred[i] < 0) continue;
+      const RWaveModel& w = rwaves_[static_cast<size_t>(mem.gene)];
+      const int q = w.position(cand);
+      if (q > node.last_pred[i]) continue;  // not a regulation predecessor
+      if (options_.prune_min_conds && 1 + w.MaxChainDown(q) < min_c) {
+        ++ctx->stats.genes_dropped_min_conds;
+        continue;
+      }
+      scored.push_back(MinerScratch::Scored{0.0, mem.gene, q, 0.0, false});
+    }
+
+    if (options_.prune_min_genes && static_cast<int>(scored.size()) < min_g) {
+      ++ctx->stats.pruned_min_genes;
+      continue;
+    }
+
+    // Materialize the subtree seed.  The baseline pair (root, cand) is now
+    // fixed for the entire branch: cache each member's coherence denominator
+    // d[cand] - d[root] here, once.
+    SubtreeSeed seed;
+    seed.second_condition = cand;
+    for (const MinerScratch::Scored& s : scored) {
+      const double* row = data_.row_data(s.gene);
+      const double denom = row[cand] - row[root_condition];
+      (s.positive ? seed.p_members : seed.n_members)
+          .push_back(Member{s.gene, s.head_pos, denom});
+    }
+    work->seeds.push_back(std::move(seed));
+  }
+}
+
+void RegClusterMiner::MineSubtree(int root_condition, SubtreeSeed* seed,
+                                  MinerScratch* scratch, SearchContext* ctx) {
+  scratch->chain.clear();
+  scratch->chain.push_back(root_condition);
+  scratch->chain.push_back(seed->second_condition);
+  MinerScratch::Frame& node = scratch->frame(0);
+  node.p_members = std::move(seed->p_members);
+  node.n_members = std::move(seed->n_members);
+  Extend(0, scratch, ctx);
+}
+
+void RegClusterMiner::Extend(int depth, MinerScratch* scratch,
+                             SearchContext* ctx) {
+  if (BudgetExceeded()) return;
+  MinerScratch::Frame& node = scratch->frame(depth);
+  if (!HasAllRequired(node.p_members, node.n_members, scratch)) return;
+  ++ctx->stats.nodes_expanded;
+  nodes_guard_.fetch_add(1, std::memory_order_relaxed);
+
+  const int min_g = options_.min_genes;
+  const int min_c = options_.min_conditions;
+  const int m = static_cast<int>(scratch->chain.size());
+
+  // Pruning (1): not enough genes overall.  For m >= 2 the member lists are
+  // disjoint, so the sum is the exact union size.
+  const int total_members =
+      static_cast<int>(node.p_members.size() + node.n_members.size());
+  if (options_.prune_min_genes && total_members < min_g) {
+    ++ctx->stats.pruned_min_genes;
+    return;
+  }
+  // Pruning (3a): fewer than MinG/2 p-members can never be a majority.
+  if (options_.prune_p_majority &&
+      2 * static_cast<int>(node.p_members.size()) < min_g) {
     ++ctx->stats.pruned_p_majority;
     return;
   }
@@ -251,71 +417,90 @@ void RegClusterMiner::Extend(Node* node, SearchContext* ctx) {
   // set (in which case this node is subsumed and stays silent).
   const bool emit_candidate = m >= min_c && total_members >= min_g;
   if (emit_candidate && !options_.closed_chains_only) {
-    if (!MaybeEmit(*node, ctx)) return;
+    if (!MaybeEmit(scratch->chain, node.p_members, node.n_members, ctx)) {
+      return;
+    }
   }
   bool child_kept_all = false;
 
   // Step 4: candidate generation.  Scan p-members only (licensed by pruning
   // 3a): collect every condition reachable by one regulated step up from
-  // the chain head that can still complete a MinC chain.
+  // the chain head that can still complete a MinC chain.  The candidate set
+  // is an epoch-stamped bitmap: marking replaces clearing.
   const int num_conds = data_.num_conditions();
-  std::vector<char> is_candidate(static_cast<size_t>(num_conds), 0);
-  std::vector<int> first_succ(node->p_members.size());
-  for (size_t i = 0; i < node->p_members.size(); ++i) {
-    const Member& mem = node->p_members[i];
+  const uint64_t epoch = ++scratch->epoch;
+  node.first_succ.resize(node.p_members.size());
+  for (size_t i = 0; i < node.p_members.size(); ++i) {
+    const Member& mem = node.p_members[i];
     const RWaveModel& w = rwaves_[static_cast<size_t>(mem.gene)];
     const int h = w.FirstSuccessorPos(mem.head_pos);
-    first_succ[i] = h;
+    node.first_succ[i] = h;
     if (h < 0) continue;
     for (int q = h; q < num_conds; ++q) {
       if (options_.prune_min_conds && m + w.MaxChainUp(q) < min_c) {
         // Chains through this position cannot reach MinC conditions.
         continue;
       }
-      is_candidate[static_cast<size_t>(w.condition_at(q))] = 1;
+      scratch->cond_epoch[static_cast<size_t>(w.condition_at(q))] = epoch;
     }
   }
   // Cache each n-member's one-step-down frontier.
-  std::vector<int> last_pred(node->n_members.size());
-  for (size_t i = 0; i < node->n_members.size(); ++i) {
-    const Member& mem = node->n_members[i];
-    last_pred[i] =
+  node.last_pred.resize(node.n_members.size());
+  for (size_t i = 0; i < node.n_members.size(); ++i) {
+    const Member& mem = node.n_members[i];
+    node.last_pred[i] =
         rwaves_[static_cast<size_t>(mem.gene)].LastPredecessorPos(mem.head_pos);
   }
 
-  std::vector<Scored> scored;
+  // Snapshot the marked candidates: the shared bitmap is re-stamped by the
+  // recursive calls below, so the iteration order must not depend on it.
+  node.cands.clear();
   for (int cand = 0; cand < num_conds; ++cand) {
-    if (!is_candidate[static_cast<size_t>(cand)]) continue;
-    if (!allowed_cond_[static_cast<size_t>(cand)]) continue;
+    if (scratch->cond_epoch[static_cast<size_t>(cand)] == epoch &&
+        allowed_cond_[static_cast<size_t>(cand)]) {
+      node.cands.push_back(cand);
+    }
+  }
+
+  const int ckm = scratch->chain[static_cast<size_t>(m) - 1];
+  std::vector<MinerScratch::Scored>& scored = node.scored;
+  for (const int cand : node.cands) {
     if (BudgetExceeded()) return;
     ++ctx->stats.extensions_tested;
 
     // Genes of X^cand: p-members stepping up to cand, n-members stepping
-    // down to cand, both still able to reach MinC (pruning 2).
+    // down to cand, both still able to reach MinC (pruning 2).  The
+    // coherence score H(j, ck1, ck2, ckm, cand) uses the member's cached
+    // baseline denominator -- identical formula for p- and n-members
+    // (numerator and denominator of an n-member both flip sign, Lemma 3.2).
     scored.clear();
-    for (size_t i = 0; i < node->p_members.size(); ++i) {
-      const Member& mem = node->p_members[i];
-      if (first_succ[i] < 0) continue;
+    for (size_t i = 0; i < node.p_members.size(); ++i) {
+      const Member& mem = node.p_members[i];
+      if (node.first_succ[i] < 0) continue;
       const RWaveModel& w = rwaves_[static_cast<size_t>(mem.gene)];
       const int q = w.position(cand);
-      if (q < first_succ[i]) continue;  // not a regulation successor
+      if (q < node.first_succ[i]) continue;  // not a regulation successor
       if (options_.prune_min_conds && m + w.MaxChainUp(q) < min_c) {
         ++ctx->stats.genes_dropped_min_conds;
         continue;
       }
-      scored.push_back(Scored{0.0, mem.gene, q, true});
+      const double h =
+          CoherenceScoreCached(data_.row_data(mem.gene), ckm, cand, mem.denom);
+      scored.push_back(MinerScratch::Scored{h, mem.gene, q, mem.denom, true});
     }
-    for (size_t i = 0; i < node->n_members.size(); ++i) {
-      const Member& mem = node->n_members[i];
-      if (last_pred[i] < 0) continue;
+    for (size_t i = 0; i < node.n_members.size(); ++i) {
+      const Member& mem = node.n_members[i];
+      if (node.last_pred[i] < 0) continue;
       const RWaveModel& w = rwaves_[static_cast<size_t>(mem.gene)];
       const int q = w.position(cand);
-      if (q > last_pred[i]) continue;  // not a regulation predecessor
+      if (q > node.last_pred[i]) continue;  // not a regulation predecessor
       if (options_.prune_min_conds && m + w.MaxChainDown(q) < min_c) {
         ++ctx->stats.genes_dropped_min_conds;
         continue;
       }
-      scored.push_back(Scored{0.0, mem.gene, q, false});
+      const double h =
+          CoherenceScoreCached(data_.row_data(mem.gene), ckm, cand, mem.denom);
+      scored.push_back(MinerScratch::Scored{h, mem.gene, q, mem.denom, false});
     }
 
     if (options_.prune_min_genes && static_cast<int>(scored.size()) < min_g) {
@@ -323,34 +508,8 @@ void RegClusterMiner::Extend(Node* node, SearchContext* ctx) {
       continue;
     }
 
-    if (m == 1) {
-      // First extension: the new pair *is* the baseline, every gene's score
-      // is identically 1 (Eq. 7), so there is a single all-inclusive window.
-      if (static_cast<int>(scored.size()) == total_members) {
-        child_kept_all = true;
-      }
-      Node child;
-      child.chain = node->chain;
-      child.chain.push_back(cand);
-      for (const Scored& s : scored) {
-        (s.positive ? child.p_members : child.n_members)
-            .push_back(Member{s.gene, s.head_pos});
-      }
-      Extend(&child, ctx);
-      continue;
-    }
-
-    // Coherence scores H(j, ck1, ck2, ckm, cand) -- identical formula for p-
-    // and n-members (numerator and denominator of an n-member both flip
-    // sign, Lemma 3.2).
-    const int ck1 = node->chain[0];
-    const int ck2 = node->chain[1];
-    const int ckm = node->chain[static_cast<size_t>(m) - 1];
-    for (Scored& s : scored) {
-      s.h = CoherenceScore(data_.row_data(s.gene), ck1, ck2, ckm, cand);
-    }
     std::sort(scored.begin(), scored.end(),
-              [](const Scored& a, const Scored& b) {
+              [](const MinerScratch::Scored& a, const MinerScratch::Scored& b) {
                 if (a.h != b.h) return a.h < b.h;
                 return a.gene < b.gene;
               });
@@ -376,12 +535,13 @@ void RegClusterMiner::Extend(Node* node, SearchContext* ctx) {
           static_cast<int>(n_scored) == total_members) {
         child_kept_all = true;
       }
-      Node child;
-      child.chain = node->chain;
-      child.chain.push_back(cand);
+      MinerScratch::Frame& child = scratch->frame(depth + 1);
+      child.p_members.clear();
+      child.n_members.clear();
       for (size_t i = lo; i < hi; ++i) {
         (scored[i].positive ? child.p_members : child.n_members)
-            .push_back(Member{scored[i].gene, scored[i].head_pos});
+            .push_back(
+                Member{scored[i].gene, scored[i].head_pos, scored[i].denom});
       }
       // Keep member lists sorted by gene id for deterministic output.
       auto by_gene = [](const Member& a, const Member& b) {
@@ -389,39 +549,60 @@ void RegClusterMiner::Extend(Node* node, SearchContext* ctx) {
       };
       std::sort(child.p_members.begin(), child.p_members.end(), by_gene);
       std::sort(child.n_members.begin(), child.n_members.end(), by_gene);
-      Extend(&child, ctx);
+      scratch->chain.push_back(cand);
+      Extend(depth + 1, scratch, ctx);
+      scratch->chain.pop_back();
       if (BudgetExceeded()) return;
     }
     if (!any_window) ++ctx->stats.pruned_coherence;
   }
 
   if (emit_candidate && options_.closed_chains_only && !child_kept_all) {
-    (void)MaybeEmit(*node, ctx);
+    (void)MaybeEmit(scratch->chain, node.p_members, node.n_members, ctx);
   }
 }
 
-bool RegClusterMiner::MaybeEmit(const Node& node, SearchContext* ctx) {
-  const size_t np = node.p_members.size();
-  const size_t nn = node.n_members.size();
+bool RegClusterMiner::MaybeEmit(const std::vector<int>& chain,
+                                const std::vector<Member>& p,
+                                const std::vector<Member>& n,
+                                SearchContext* ctx) {
+  const size_t np = p.size();
+  const size_t nn = n.size();
   const bool representative =
-      np > nn || (np == nn && LexSmallerThanReversed(node.chain));
+      np > nn || (np == nn && LexSmallerThanReversed(chain));
   if (!representative) return true;  // keep searching; no output here
 
-  RegCluster cluster;
-  cluster.chain = node.chain;
-  cluster.p_genes.reserve(np);
-  for (const Member& mem : node.p_members) cluster.p_genes.push_back(mem.gene);
-  cluster.n_genes.reserve(nn);
-  for (const Member& mem : node.n_members) cluster.n_genes.push_back(mem.gene);
-
   if (options_.prune_duplicates) {
-    auto [it, inserted] = ctx->seen_keys.insert(cluster.Key());
+    // 128-bit key over (ordered chain | sorted gene union) -- the same
+    // identity as RegCluster::Key(), without building any string.  Emission
+    // requires m >= MinC >= 2, where the member lists are disjoint and
+    // gene-sorted, so the union is a plain merge walk.
+    util::Fnv128 key;
+    for (int c : chain) key.MixInt(c);
+    key.MixInt(-1);  // domain separator between chain and gene ids
+    size_t i = 0;
+    size_t j = 0;
+    while (i < np || j < nn) {
+      if (j >= nn || (i < np && p[i].gene < n[j].gene)) {
+        key.MixInt(p[i++].gene);
+      } else {
+        key.MixInt(n[j++].gene);
+      }
+    }
+    auto [it, inserted] = ctx->seen_keys.insert(key.Digest());
     (void)it;
     if (!inserted) {
       ++ctx->stats.pruned_duplicate;
       return false;  // prune the branch rooted at this duplicate
     }
   }
+
+  RegCluster cluster;
+  cluster.chain = chain;
+  cluster.p_genes.reserve(np);
+  for (const Member& mem : p) cluster.p_genes.push_back(mem.gene);
+  cluster.n_genes.reserve(nn);
+  for (const Member& mem : n) cluster.n_genes.push_back(mem.gene);
   ctx->out.push_back(std::move(cluster));
   ++ctx->stats.clusters_emitted;
   clusters_guard_.fetch_add(1, std::memory_order_relaxed);

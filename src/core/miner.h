@@ -35,7 +35,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -43,6 +42,7 @@
 #include "core/rwave.h"
 #include "core/threshold.h"
 #include "matrix/expression_matrix.h"
+#include "util/hash128.h"
 #include "util/status.h"
 
 namespace regcluster {
@@ -64,10 +64,13 @@ struct MinerOptions {
   GammaPolicy gamma_policy = GammaPolicy::kRangeFraction;
   /// epsilon >= 0: maximum spread of coherence scores within a cluster.
   double epsilon = 0.1;
-  /// Worker threads for the root-level search (each level-1 condition roots
-  /// an independent subtree).  1 = serial; 0 = hardware concurrency.
-  /// Output is deterministic and identical for any thread count unless a
-  /// max_clusters / max_nodes cap truncates the search (caps are enforced
+  /// Worker threads for the search.  1 = serial; 0 = hardware concurrency.
+  /// The parallel engine runs on a work-stealing pool (util::TaskPool):
+  /// every level-1 condition *and* every level-2 subtree is an independently
+  /// schedulable task writing into its own pre-assigned result slot, and the
+  /// slots are merged in canonical (root, second-condition) order -- so the
+  /// output is deterministic and bit-identical for any thread count, unless
+  /// a max_clusters / max_nodes cap truncates the search (caps are enforced
   /// with global atomic counters, so which branch hits the cap first then
   /// depends on scheduling).
   int num_threads = 1;
@@ -137,35 +140,69 @@ class RegClusterMiner {
     int gene;      ///< gene id
     int head_pos;  ///< position of the chain's last condition in the gene's
                    ///< RWave order (for n-members this is the low-value end)
+    double denom;  ///< cached baseline denominator d[ck2] - d[ck1]; set when
+                   ///< the chain reaches length 2 and fixed for the branch
   };
 
-  struct Node {
-    std::vector<int> chain;
+  /// Per-worker reusable DFS state (frame stack, epoch-stamped bitmaps,
+  /// scored buffer).  Defined in miner.cc; one instance per pool worker
+  /// keeps the Extend() hot loop free of heap allocation.
+  struct MinerScratch;
+
+  /// The level-2 root of an independently schedulable search subtree: the
+  /// chain (root, second_condition) plus its surviving members.  Built by
+  /// the root task, consumed by exactly one subtree task.
+  struct SubtreeSeed {
+    int second_condition = -1;
     std::vector<Member> p_members;
     std::vector<Member> n_members;
   };
 
-  /// Per-root search state.  Roots are independent: a chain is enumerated
-  /// exactly once, from its first condition, and duplicate keys cannot
-  /// collide across roots (the key begins with the chain).
+  /// Per-task search state.  Tasks are independent: a chain is enumerated
+  /// exactly once, from its first two conditions, and duplicate keys cannot
+  /// collide across tasks (the key begins with the chain, and all chains of
+  /// one subtree share the same two-condition prefix, distinct from every
+  /// other subtree's).
   struct SearchContext {
     MinerStats stats;
-    std::unordered_set<std::string> seen_keys;
+    std::unordered_set<util::Hash128, util::Hash128Hasher> seen_keys;
     std::vector<RegCluster> out;
   };
 
-  void MineRoot(int root_condition, SearchContext* ctx);
-  void Extend(Node* node, SearchContext* ctx);
+  /// Everything produced under one level-1 condition: the root node's own
+  /// counters plus one (seed, context) pair per level-2 subtree, kept in
+  /// ascending second-condition order for the canonical merge.
+  struct RootWork {
+    SearchContext ctx;
+    std::vector<SubtreeSeed> seeds;
+    std::vector<SearchContext> subtree_ctx;
+  };
+
+  /// Expands the level-1 node of `root_condition`: builds the member lists,
+  /// applies the level-1 prunings, and materializes one SubtreeSeed per
+  /// surviving second condition (ascending).
+  void SeedRoot(int root_condition, RootWork* work, MinerScratch* scratch);
+
+  /// Runs the full DFS below one level-2 seed.
+  void MineSubtree(int root_condition, SubtreeSeed* seed,
+                   MinerScratch* scratch, SearchContext* ctx);
+
+  /// Recursive extension of the node in scratch->frame(depth); the chain
+  /// lives in scratch->chain (length depth + 2).
+  void Extend(int depth, MinerScratch* scratch, SearchContext* ctx);
 
   /// Emits the node's cluster if it validates and is representative.
-  /// Returns false when the branch should be pruned (duplicate or caps hit).
-  bool MaybeEmit(const Node& node, SearchContext* ctx);
+  /// Returns false when the branch should be pruned (duplicate).
+  bool MaybeEmit(const std::vector<int>& chain, const std::vector<Member>& p,
+                 const std::vector<Member>& n, SearchContext* ctx);
 
   bool BudgetExceeded() const;
 
   /// True iff the node (or a scored window) retains every required gene.
+  /// Uses the scratch's epoch-stamped per-gene bitmap: no allocation.
   bool HasAllRequired(const std::vector<Member>& p,
-                      const std::vector<Member>& n) const;
+                      const std::vector<Member>& n,
+                      MinerScratch* scratch) const;
 
   const matrix::ExpressionMatrix& data_;
   MinerOptions options_;

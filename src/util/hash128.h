@@ -1,0 +1,77 @@
+// 128-bit FNV-1a hashing for compact dedup keys.
+//
+// The miner's duplicate-output pruning needs a set membership test over
+// (chain, gene set) identities.  Building the canonical string key for every
+// candidate emission dominates MaybeEmit's cost, so the hot path hashes the
+// integer sequence directly into a 128-bit digest and stores that instead.
+// At 128 bits the collision probability across even billions of emissions is
+// ~2^-64-scale -- far below the probability of a hardware fault -- so a
+// false "duplicate" verdict is not a practical concern (and the canonical
+// string key remains available via RegCluster::Key() for offline auditing).
+
+#ifndef REGCLUSTER_UTIL_HASH128_H_
+#define REGCLUSTER_UTIL_HASH128_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace regcluster {
+namespace util {
+
+/// A 128-bit digest, comparable and hashable (for unordered containers).
+struct Hash128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const Hash128& o) const { return hi == o.hi && lo == o.lo; }
+  bool operator!=(const Hash128& o) const { return !(*this == o); }
+};
+
+/// std::hash-style functor: the low lane is already uniformly mixed.
+struct Hash128Hasher {
+  size_t operator()(const Hash128& h) const {
+    return static_cast<size_t>(h.lo ^ (h.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Incremental FNV-1a over 64-bit words using the 128-bit FNV prime.
+/// Feed values with Mix*(); read the digest at any point.
+class Fnv128 {
+ public:
+  Fnv128() = default;
+
+  /// Absorbs one 64-bit word (as 8 little-endian octets).
+  Fnv128& Mix64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      state_ ^= static_cast<unsigned char>(v >> (8 * i));
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+
+  /// Absorbs a signed int (sign-extended; -1 works as a domain separator).
+  Fnv128& MixInt(int v) {
+    return Mix64(static_cast<uint64_t>(static_cast<int64_t>(v)));
+  }
+
+  Hash128 Digest() const {
+    return Hash128{static_cast<uint64_t>(state_ >> 64),
+                   static_cast<uint64_t>(state_)};
+  }
+
+ private:
+  using U128 = unsigned __int128;
+  /// FNV-1a 128-bit offset basis and prime (Fowler/Noll/Vo).
+  static constexpr U128 kOffset =
+      (static_cast<U128>(0x6c62272e07bb0142ULL) << 64) |
+      0x62b821756295c58dULL;
+  static constexpr U128 kPrime =
+      (static_cast<U128>(0x0000000001000000ULL) << 64) | 0x000000000000013bULL;
+
+  U128 state_ = kOffset;
+};
+
+}  // namespace util
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_UTIL_HASH128_H_

@@ -1,0 +1,117 @@
+// The work-stealing pooled miner must be indistinguishable from the serial
+// run: bit-identical output *and* identical per-counter MinerStats at every
+// thread count.  Matrices are randomized and tie-heavy (quantized values)
+// so the sweep exercises the RWave tie ordering, coherence windows with
+// equal scores, and duplicate-branch pruning under the 128-bit keys.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "matrix/expression_matrix.h"
+#include "util/prng.h"
+
+namespace regcluster {
+namespace core {
+namespace {
+
+matrix::ExpressionMatrix TieHeavyMatrix(int genes, int conds, uint64_t seed) {
+  util::Prng prng(seed);
+  matrix::ExpressionMatrix data(genes, conds);
+  for (int g = 0; g < genes; ++g) {
+    for (int c = 0; c < conds; ++c) {
+      // Half the cells land on a coarse integer grid, so equal values (ties
+      // in the RWave order) and equal coherence scores are frequent.
+      data(g, c) = prng.Bernoulli(0.5)
+                       ? static_cast<double>(prng.UniformInt(0, 7))
+                       : prng.Uniform(0, 10);
+    }
+  }
+  return data;
+}
+
+void ExpectSameStats(const MinerStats& a, const MinerStats& b) {
+  EXPECT_EQ(a.nodes_expanded, b.nodes_expanded);
+  EXPECT_EQ(a.extensions_tested, b.extensions_tested);
+  EXPECT_EQ(a.pruned_min_genes, b.pruned_min_genes);
+  EXPECT_EQ(a.pruned_p_majority, b.pruned_p_majority);
+  EXPECT_EQ(a.pruned_duplicate, b.pruned_duplicate);
+  EXPECT_EQ(a.pruned_coherence, b.pruned_coherence);
+  EXPECT_EQ(a.genes_dropped_min_conds, b.genes_dropped_min_conds);
+  EXPECT_EQ(a.clusters_emitted, b.clusters_emitted);
+}
+
+void ExpectIdenticalRun(const matrix::ExpressionMatrix& data,
+                        const MinerOptions& serial_opts, int threads) {
+  MinerOptions threaded = serial_opts;
+  threaded.num_threads = threads;
+  RegClusterMiner serial_miner(data, serial_opts);
+  RegClusterMiner pooled_miner(data, threaded);
+  auto a = serial_miner.Mine();
+  auto b = pooled_miner.Mine();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i], (*b)[i]) << "cluster " << i;
+  }
+  ExpectSameStats(serial_miner.stats(), pooled_miner.stats());
+}
+
+/// Param: thread count for the pooled run (0 = hardware concurrency).
+class PooledMinerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PooledMinerSweep, MatchesSerialOnTieHeavyMatrices) {
+  for (const uint64_t seed : {11u, 12u, 13u}) {
+    const auto data = TieHeavyMatrix(60, 12, seed);
+    MinerOptions o;
+    o.min_genes = 3;
+    o.min_conditions = 3;
+    o.gamma = 0.05;
+    o.epsilon = 0.25;
+    ExpectIdenticalRun(data, o, GetParam());
+  }
+}
+
+TEST_P(PooledMinerSweep, MatchesSerialWithLooseEpsilon) {
+  // Loose epsilon -> wide windows -> deep chains and many duplicates: the
+  // hardest case for per-task dedup contexts.
+  const auto data = TieHeavyMatrix(30, 10, 99);
+  MinerOptions o;
+  o.min_genes = 2;
+  o.min_conditions = 3;
+  o.gamma = 0.0;
+  o.epsilon = 1.5;
+  ExpectIdenticalRun(data, o, GetParam());
+}
+
+TEST_P(PooledMinerSweep, MatchesSerialWithTargetedMining) {
+  const auto data = TieHeavyMatrix(50, 10, 7);
+  MinerOptions o;
+  o.min_genes = 2;
+  o.min_conditions = 3;
+  o.gamma = 0.05;
+  o.epsilon = 0.5;
+  o.required_genes = {3, 17};
+  ExpectIdenticalRun(data, o, GetParam());
+}
+
+TEST_P(PooledMinerSweep, MatchesSerialWithClosedChainsAndAllowedConditions) {
+  const auto data = TieHeavyMatrix(40, 12, 21);
+  MinerOptions o;
+  o.min_genes = 2;
+  o.min_conditions = 3;
+  o.gamma = 0.05;
+  o.epsilon = 0.5;
+  o.closed_chains_only = true;
+  o.allowed_conditions = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+  ExpectIdenticalRun(data, o, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, PooledMinerSweep,
+                         ::testing::Values(1, 2, 4, 0));
+
+}  // namespace
+}  // namespace core
+}  // namespace regcluster
