@@ -68,6 +68,48 @@ inline std::string JsonField(const std::string& key, const std::string& raw) {
   return JsonString(key) + ": " + raw;
 }
 
+/// One "provenance" object identifying what produced the file: the git
+/// commit of the working tree, the compiler, and the flags the bench
+/// binaries were compiled with (stamped by bench/CMakeLists.txt).  Every
+/// harness upserts this section so a committed BENCH_miner.json can be
+/// audited for comparability before being diffed (tools/bench_check.py).
+inline std::string ProvenanceObject() {
+  std::string sha = "unknown";
+  if (FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[128];
+    if (std::fgets(buf, sizeof(buf), pipe)) {
+      sha.assign(buf);
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+        sha.pop_back();
+      }
+    }
+    if (::pclose(pipe) != 0 || sha.empty()) sha = "unknown";
+  }
+#if defined(__clang__)
+  const std::string compiler = std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  const std::string compiler = std::string("gcc ") + __VERSION__;
+#else
+  const std::string compiler = "unknown";
+#endif
+#ifdef REGCLUSTER_BENCH_OPT_FLAGS
+  const std::string flags = REGCLUSTER_BENCH_OPT_FLAGS;
+#else
+  const std::string flags = "";
+#endif
+#ifdef REGCLUSTER_BENCH_BUILD_TYPE
+  const std::string build_type = REGCLUSTER_BENCH_BUILD_TYPE;
+#else
+  const std::string build_type = "";
+#endif
+  return JsonObject({
+      JsonField("git_commit", JsonString(sha)),
+      JsonField("compiler", JsonString(compiler)),
+      JsonField("build_type", JsonString(build_type)),
+      JsonField("cxx_flags", JsonString(flags)),
+  });
+}
+
 namespace internal {
 
 /// Splits a previously written document into (section name, raw value) pairs.

@@ -210,5 +210,10 @@ int main(int argc, char** argv) {
   } else {
     std::printf("wrote section \"micro\" of %s\n", out_path.c_str());
   }
+  if (!regcluster::bench::UpsertBenchSection(
+          out_path, "provenance", regcluster::bench::ProvenanceObject())) {
+    std::fprintf(stderr, "WARNING: could not write provenance to %s\n",
+                 out_path.c_str());
+  }
   return 0;
 }

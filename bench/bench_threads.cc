@@ -4,8 +4,10 @@
 // util::TaskPool, merged in canonical order; this harness reports wall-clock
 // speedup, verifies the output is identical at every thread count, and dumps
 // the rows machine-readably into the "threads" section of BENCH_miner.json
-// (see --out).
+// (see --out).  A final serial run with phase profiling on records the DFS
+// hot-path breakdown (filter/score/sort/emit) in the same section.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -18,6 +20,23 @@
 namespace regcluster {
 namespace bench {
 namespace {
+
+/// The thread counts to sweep.  When the hardware thread count is known,
+/// powers of two up to the smallest power of two >= that count (always
+/// including 2, so the identical-output claim is exercised even on one
+/// core).  When detection failed we have no better information than a
+/// blind default -- and the JSON says so instead of inventing a count.
+std::vector<int> SweepThreadCounts(unsigned hw, bool detect_failed) {
+  if (detect_failed) return {1, 2, 4, 8};
+  std::vector<int> sweep;
+  int t = 1;
+  while (true) {
+    sweep.push_back(t);
+    if (t >= static_cast<int>(hw) && t >= 2) break;
+    t *= 2;
+  }
+  return sweep;
+}
 
 int Main(int argc, char** argv) {
   synth::SyntheticConfig cfg;
@@ -39,16 +58,29 @@ int Main(int argc, char** argv) {
   base.gamma = 0.1;
   base.epsilon = 0.01;
 
+  // hardware_concurrency() returns 0 when the count is "not computable"
+  // (the standard's wording) -- record that honestly rather than folding it
+  // into a plausible-looking number.
   const unsigned hw = std::thread::hardware_concurrency();
+  const bool hw_detect_failed = hw == 0;
+  const std::vector<int> sweep = SweepThreadCounts(hw, hw_detect_failed);
+
   std::printf("== bench_threads (work-stealing parallel search) ==\n");
   std::printf("dataset %dx%d, MinG=%d MinC=%d gamma=%.2f epsilon=%.2f\n",
               cfg.num_genes, cfg.num_conditions, base.min_genes,
               base.min_conditions, base.gamma, base.epsilon);
-  std::printf(
-      "hardware threads available: %u (speedup is bounded by this; the "
-      "correctness claim -- identical output at every thread count -- is "
-      "checked regardless)\n\n",
-      hw);
+  if (hw_detect_failed) {
+    std::printf(
+        "hardware thread count NOT detectable on this platform; sweeping a "
+        "blind default {1,2,4,8} (speedup numbers are not interpretable, "
+        "the identical-output check still is)\n\n");
+  } else {
+    std::printf(
+        "hardware threads available: %u (speedup is bounded by this; the "
+        "correctness claim -- identical output at every thread count -- is "
+        "checked regardless)\n\n",
+        hw);
+  }
   std::printf("%8s %12s %10s %12s %10s %10s\n", "threads", "runtime_s",
               "speedup", "nodes_per_s", "clusters", "identical");
 
@@ -56,7 +88,7 @@ int Main(int argc, char** argv) {
   std::string reference_key;
   bool ok = true;
   std::vector<std::string> rows;
-  for (int threads : {1, 2, 4, 8}) {
+  for (int threads : sweep) {
     core::MinerOptions o = base;
     o.num_threads = threads;
     core::RegClusterMiner miner(ds->data, o);
@@ -96,7 +128,27 @@ int Main(int argc, char** argv) {
     }));
   }
 
-  const std::string section = JsonObject({
+  // One serial run with phase profiling on: where does the DFS hot path
+  // spend its time?  (profile_phases never changes the mined output; it is
+  // kept out of the sweep so the timed rows carry no clock-read overhead.)
+  core::MinerOptions prof = base;
+  prof.num_threads = 1;
+  prof.profile_phases = true;
+  core::RegClusterMiner prof_miner(ds->data, prof);
+  auto prof_out = prof_miner.Mine();
+  if (!prof_out.ok()) {
+    std::fprintf(stderr, "miner: %s\n", prof_out.status().ToString().c_str());
+    return 1;
+  }
+  const core::MinerStats& ps = prof_miner.stats();
+  std::printf(
+      "\nserial phase breakdown: filter %.1f ms, score %.1f ms, sort %.1f "
+      "ms, emit %.1f ms (mine %.1f ms; index build %.1f ms)\n",
+      ps.filter_ns / 1e6, ps.score_ns / 1e6, ps.sort_ns / 1e6,
+      ps.emit_ns / 1e6, ps.mine_seconds * 1e3,
+      ps.index_build_seconds * 1e3);
+
+  std::vector<std::string> fields = {
       JsonField("dataset", JsonObject({
                     JsonField("genes", JsonInt(cfg.num_genes)),
                     JsonField("conditions", JsonInt(cfg.num_conditions)),
@@ -109,14 +161,35 @@ int Main(int argc, char** argv) {
                     JsonField("gamma", JsonDouble(base.gamma)),
                     JsonField("epsilon", JsonDouble(base.epsilon)),
                 })),
-      JsonField("hardware_threads", JsonInt(static_cast<int64_t>(hw))),
-      JsonField("identical_at_all_thread_counts", JsonBool(ok)),
-      JsonField("runs", JsonArray(rows)),
-  });
+      JsonField("hw_detect_failed", JsonBool(hw_detect_failed)),
+  };
+  if (!hw_detect_failed) {
+    fields.push_back(
+        JsonField("hardware_threads", JsonInt(static_cast<int64_t>(hw))));
+  }
+  fields.push_back(
+      JsonField("identical_at_all_thread_counts", JsonBool(ok)));
+  fields.push_back(JsonField("runs", JsonArray(rows)));
+  fields.push_back(JsonField(
+      "serial_phase_ns",
+      JsonObject({
+          JsonField("filter_ns", JsonInt(ps.filter_ns)),
+          JsonField("score_ns", JsonInt(ps.score_ns)),
+          JsonField("sort_ns", JsonInt(ps.sort_ns)),
+          JsonField("emit_ns", JsonInt(ps.emit_ns)),
+          JsonField("mine_seconds", JsonDouble(ps.mine_seconds)),
+          JsonField("index_build_seconds",
+                    JsonDouble(ps.index_build_seconds)),
+      })));
+  const std::string section = JsonObject(fields);
   if (!UpsertBenchSection(out_path, "threads", section)) {
     std::fprintf(stderr, "WARNING: could not write %s\n", out_path.c_str());
   } else {
-    std::printf("\nwrote section \"threads\" of %s\n", out_path.c_str());
+    std::printf("wrote section \"threads\" of %s\n", out_path.c_str());
+  }
+  if (!UpsertBenchSection(out_path, "provenance", ProvenanceObject())) {
+    std::fprintf(stderr, "WARNING: could not write provenance to %s\n",
+                 out_path.c_str());
   }
 
   if (!ok) {

@@ -1,11 +1,15 @@
 #include "core/miner.h"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 #include <cmath>
 #include <deque>
+#include <numeric>
 #include <thread>
 
 #include "core/coherence.h"
+#include "util/bitset.h"
 #include "util/task_pool.h"
 #include "util/timer.h"
 
@@ -34,48 +38,82 @@ void AccumulateStats(const MinerStats& from, MinerStats* to) {
   to->pruned_coherence += from.pruned_coherence;
   to->genes_dropped_min_conds += from.genes_dropped_min_conds;
   to->clusters_emitted += from.clusters_emitted;
+  to->filter_ns += from.filter_ns;
+  to->score_ns += from.score_ns;
+  to->sort_ns += from.sort_ns;
+  to->emit_ns += from.emit_ns;
+}
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
+
+/// One DFS node's reusable state.  The member columns are struct-of-arrays
+/// (MemberCols), and the per-node caches below are parallel to them:
+///
+///   *_comb   per member, the W-word bitmap of conditions the member can
+///            extend to (successor/predecessor row AND MinC-eligibility
+///            row);
+///   *_trans  the transpose of *_comb restricted to the node's candidate
+///            set: per candidate condition, a bitmap over *member indices*.
+///            The per-candidate filter then walks only the set bits
+///            (surviving members) instead of probing every member;
+///   *_row    per member, the gene's expression row;
+///   *_base   per member, the row value at the chain head ckm, so a
+///            candidate's coherence numerator is row[cand] - base.
+///
+/// The scored columns (sc_*) hold one filtered extension: entries
+/// [0, sc_split) are p-members, the rest n-members; both halves inherit the
+/// member order and are therefore gene-ascending.  `order` index-sorts the
+/// score column without moving the rows.
+struct RegClusterMiner::NodeFrame {
+  MemberCols p, n;
+
+  std::vector<uint64_t> p_comb, n_comb;
+  std::vector<uint64_t> p_trans, n_trans;
+  int p_words = 0;  ///< words per p_trans row (= WordsForBits(p.size()))
+  int n_words = 0;
+  std::vector<const double*> p_row, n_row;
+  std::vector<double> p_base, n_base;
+
+  std::vector<uint64_t> cand_words;  ///< the node's candidate bitmap
+  std::vector<int> cands;            ///< its set bits, ascending
+
+  std::vector<double> sc_h, sc_denom;
+  std::vector<int> sc_gene, sc_head;
+  std::vector<int> order;
+  std::vector<int> win_p, win_n;  ///< window index buffers (child build)
+
+  void ClearScored() {
+    sc_h.clear();
+    sc_denom.clear();
+    sc_gene.clear();
+    sc_head.clear();
+  }
+};
 
 /// Per-worker scratch arena.  Every container is reused across the whole
 /// search, so after a short warm-up (first visit of each DFS depth) the hot
 /// loop performs zero heap allocations.  Frames live in a deque: references
 /// into it stay valid while deeper frames are appended during recursion.
 struct RegClusterMiner::MinerScratch {
-  /// One (gene, coherence score) entry for the sliding window.
-  struct Scored {
-    double h;
-    int gene;
-    int head_pos;  // position of the candidate condition in the gene's model
-    double denom;  // the member's cached baseline denominator (propagated)
-    bool positive;
-  };
-
-  struct Frame {
-    std::vector<Member> p_members;
-    std::vector<Member> n_members;
-    std::vector<int> first_succ;  // per p-member one-step-up frontier
-    std::vector<int> last_pred;   // per n-member one-step-down frontier
-    std::vector<int> cands;       // candidate conditions, ascending
-    std::vector<Scored> scored;
-  };
-
-  std::vector<int> chain;      ///< the DFS chain stack
-  std::deque<Frame> frames;    ///< frames[d] holds the node of chain length d+2
-  Frame root_frame;            ///< the level-1 node (SeedRoot only)
-  std::vector<uint64_t> cond_epoch;  ///< condition id -> last-marked epoch
+  std::vector<int> chain;       ///< the DFS chain stack
+  std::deque<NodeFrame> frames; ///< frames[d] holds the node of chain length d+2
+  NodeFrame root_frame;         ///< the level-1 node (SeedRoot only)
   std::vector<uint64_t> gene_epoch;  ///< gene id -> last-marked epoch
   uint64_t epoch = 0;
 
   void Init(int num_conds, int num_genes) {
     chain.reserve(static_cast<size_t>(num_conds) + 1);
-    cond_epoch.assign(static_cast<size_t>(num_conds), 0);
     gene_epoch.assign(static_cast<size_t>(num_genes), 0);
     epoch = 0;
   }
 
-  Frame& frame(int depth) {
+  NodeFrame& frame(int depth) {
     while (frames.size() <= static_cast<size_t>(depth)) frames.emplace_back();
     return frames[static_cast<size_t>(depth)];
   }
@@ -126,6 +164,13 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Mine() {
   for (int c : options_.allowed_conditions) {
     allowed_cond_[static_cast<size_t>(c)] = 1;
   }
+  allowed_words_.assign(
+      static_cast<size_t>(util::WordsForBits(data_.num_conditions())), 0);
+  for (int c = 0; c < data_.num_conditions(); ++c) {
+    if (allowed_cond_[static_cast<size_t>(c)]) {
+      util::SetBit(allowed_words_.data(), c);
+    }
+  }
   required_gene_.assign(static_cast<size_t>(data_.num_genes()), 0);
   num_required_ = 0;
   for (int g : options_.required_genes) {
@@ -149,6 +194,10 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Mine() {
                                         AbsoluteGamma(data_, g, spec)));
   }
   stats_.rwave_build_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  index_.Build(rwaves_, data_.num_conditions(), options_.min_conditions);
+  stats_.index_build_seconds = timer.ElapsedSeconds();
 
   timer.Reset();
   const int num_conds = data_.num_conditions();
@@ -222,8 +271,7 @@ bool RegClusterMiner::BudgetExceeded() const {
               options_.max_clusters);
 }
 
-bool RegClusterMiner::HasAllRequired(const std::vector<Member>& p,
-                                     const std::vector<Member>& n,
+bool RegClusterMiner::HasAllRequired(const MemberCols& p, const MemberCols& n,
                                      MinerScratch* scratch) const {
   if (num_required_ == 0) return true;
   // Epoch-stamped distinct count: at level 1 a required gene can sit in both
@@ -231,21 +279,144 @@ bool RegClusterMiner::HasAllRequired(const std::vector<Member>& p,
   // no allocation.
   const uint64_t epoch = ++scratch->epoch;
   int distinct = 0;
-  for (const Member& m : p) {
-    const size_t g = static_cast<size_t>(m.gene);
+  for (const int gene : p.gene) {
+    const size_t g = static_cast<size_t>(gene);
     if (required_gene_[g] && scratch->gene_epoch[g] != epoch) {
       scratch->gene_epoch[g] = epoch;
       ++distinct;
     }
   }
-  for (const Member& m : n) {
-    const size_t g = static_cast<size_t>(m.gene);
+  for (const int gene : n.gene) {
+    const size_t g = static_cast<size_t>(gene);
     if (required_gene_[g] && scratch->gene_epoch[g] != epoch) {
       scratch->gene_epoch[g] = epoch;
       ++distinct;
     }
   }
   return distinct == num_required_;
+}
+
+void RegClusterMiner::PrepareNode(int m, int ckm, NodeFrame* node,
+                                  MinerStats* stats) {
+  const int words = index_.num_words();
+  const int need = options_.min_conditions - m;
+  const bool prune2 = options_.prune_min_conds;
+  const uint64_t* ones = index_.ones_row();
+
+  const auto cache = [&](const MemberCols& mem, bool up,
+                         std::vector<uint64_t>& comb,
+                         std::vector<const double*>& rows,
+                         std::vector<double>& base) {
+    const size_t count = static_cast<size_t>(mem.size());
+    comb.resize(count * static_cast<size_t>(words));
+    rows.resize(count);
+    base.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      const int g = mem.gene[i];
+      const int pos = mem.head_pos[i];
+      const uint64_t* cand_row =
+          up ? index_.UpCandidates(g, pos) : index_.DownCandidates(g, pos);
+      const uint64_t* elig =
+          prune2 ? (up ? index_.UpEligible(g, need)
+                       : index_.DownEligible(g, need))
+                 : ones;
+      uint64_t* dst = comb.data() + i * static_cast<size_t>(words);
+      for (int w = 0; w < words; ++w) dst[w] = cand_row[w] & elig[w];
+      const double* row = data_.row_data(g);
+      rows[i] = row;
+      base[i] = row[ckm];
+    }
+  };
+  cache(node->p, /*up=*/true, node->p_comb, node->p_row, node->p_base);
+  cache(node->n, /*up=*/false, node->n_comb, node->n_row, node->n_base);
+
+  // Candidate generation: OR over the p-member rows only (licensed by
+  // pruning 3a), intersected with the allowed set; then snapshot the set
+  // bits in ascending condition order.
+  node->cand_words.assign(static_cast<size_t>(words), 0);
+  const size_t np = static_cast<size_t>(node->p.size());
+  for (size_t i = 0; i < np; ++i) {
+    const uint64_t* src = node->p_comb.data() + i * static_cast<size_t>(words);
+    for (int w = 0; w < words; ++w) node->cand_words[w] |= src[w];
+  }
+  for (int w = 0; w < words; ++w) node->cand_words[w] &= allowed_words_[w];
+  node->cands.clear();
+  util::ForEachSetBit(node->cand_words.data(), words,
+                      [&](int c) { node->cands.push_back(c); });
+
+  // Transpose each member's candidate row (restricted to the node's
+  // candidate set) into per-candidate bitmaps over member indices, so the
+  // per-extension filter touches only surviving members.  Alongside, the
+  // pruning-2 drop counter -- members that are regulation-linked to a
+  // candidate but cut by the MinC bound -- is a popcount over
+  // successor & ~combined & candidates, accumulated for the whole node
+  // here rather than per candidate (identical totals; with an active
+  // max_nodes / max_clusters cap a mid-node budget stop no longer leaves
+  // the counter at a scheduling-dependent prefix).
+  const int num_conds = index_.num_conditions();
+  const auto transpose = [&](const MemberCols& mem, bool up,
+                             const std::vector<uint64_t>& comb,
+                             std::vector<uint64_t>& trans, int* trans_words) {
+    const size_t count = static_cast<size_t>(mem.size());
+    const int mw = util::WordsForBits(static_cast<int>(count));
+    *trans_words = mw;
+    trans.assign(static_cast<size_t>(num_conds) * mw, 0);
+    int64_t drops = 0;
+    for (size_t i = 0; i < count; ++i) {
+      const uint64_t* comb_row = comb.data() + i * static_cast<size_t>(words);
+      const uint64_t* succ_row =
+          prune2 ? (up ? index_.UpCandidates(mem.gene[i], mem.head_pos[i])
+                       : index_.DownCandidates(mem.gene[i], mem.head_pos[i]))
+                 : nullptr;
+      const size_t member_word = i >> 6;
+      const uint64_t member_bit = uint64_t{1} << (i & 63);
+      for (int w = 0; w < words; ++w) {
+        uint64_t live = comb_row[w] & node->cand_words[w];
+        if (prune2) {
+          drops += std::popcount(succ_row[w] & ~comb_row[w] &
+                                 node->cand_words[w]);
+        }
+        while (live) {
+          const int c = w * util::kBitsPerWord + std::countr_zero(live);
+          live &= live - 1;
+          trans[static_cast<size_t>(c) * mw + member_word] |= member_bit;
+        }
+      }
+    }
+    stats->genes_dropped_min_conds += drops;
+  };
+  transpose(node->p, /*up=*/true, node->p_comb, node->p_trans,
+            &node->p_words);
+  transpose(node->n, /*up=*/false, node->n_comb, node->n_trans,
+            &node->n_words);
+}
+
+int RegClusterMiner::FilterCandidate(int cand, NodeFrame* node) const {
+  node->ClearScored();
+
+  // Walk only the members whose candidate row holds `cand` (the set bits of
+  // the transposed bitmap); member indices ascend, so each scored half
+  // inherits the gene-ascending member order.  Survivors get the coherence
+  // *numerator* in sc_h; the caller divides.
+  const auto filter = [&](const MemberCols& mem,
+                          const std::vector<uint64_t>& trans, int trans_words,
+                          const std::vector<const double*>& rows,
+                          const std::vector<double>& base) {
+    const uint64_t* member_bits =
+        trans.data() + static_cast<size_t>(cand) * trans_words;
+    util::ForEachSetBit(member_bits, trans_words, [&](int i) {
+      const int g = mem.gene[static_cast<size_t>(i)];
+      node->sc_gene.push_back(g);
+      node->sc_head.push_back(index_.position(g, cand));
+      node->sc_denom.push_back(mem.denom[static_cast<size_t>(i)]);
+      node->sc_h.push_back(rows[static_cast<size_t>(i)][cand] -
+                           base[static_cast<size_t>(i)]);
+    });
+  };
+  filter(node->p, node->p_trans, node->p_words, node->p_row, node->p_base);
+  const int split = static_cast<int>(node->sc_gene.size());
+  filter(node->n, node->n_trans, node->n_words, node->n_row, node->n_base);
+  return split;
 }
 
 void RegClusterMiner::SeedRoot(int root_condition, RootWork* work,
@@ -255,19 +426,20 @@ void RegClusterMiner::SeedRoot(int root_condition, RootWork* work,
   if (!allowed_cond_[static_cast<size_t>(root_condition)]) return;
   // Level-1 chain: the root condition, with the genes that can still grow a
   // chain of length MinC through it upward (p) or downward (n).
-  MinerScratch::Frame& node = scratch->root_frame;
-  node.p_members.clear();
-  node.n_members.clear();
+  NodeFrame& node = scratch->root_frame;
+  node.p.clear();
+  node.n.clear();
   const int num_genes = data_.num_genes();
+  const int min_c = options_.min_conditions;
+  const bool prune2 = options_.prune_min_conds;
   for (int g = 0; g < num_genes; ++g) {
-    const RWaveModel& w = rwaves_[static_cast<size_t>(g)];
-    const int pos = w.position(root_condition);
-    const bool up_ok = !options_.prune_min_conds ||
-                       w.MaxChainUp(pos) >= options_.min_conditions;
-    const bool down_ok = !options_.prune_min_conds ||
-                         w.MaxChainDown(pos) >= options_.min_conditions;
-    if (up_ok) node.p_members.push_back(Member{g, pos, 0.0});
-    if (down_ok) node.n_members.push_back(Member{g, pos, 0.0});
+    const int pos = index_.position(g, root_condition);
+    const bool up_ok =
+        !prune2 || index_.ChainEligibleUp(g, root_condition, min_c);
+    const bool down_ok =
+        !prune2 || index_.ChainEligibleDown(g, root_condition, min_c);
+    if (up_ok) node.p.push_back(g, pos, 0.0);
+    if (down_ok) node.n.push_back(g, pos, 0.0);
     ctx->stats.genes_dropped_min_conds += (up_ok ? 0 : 1) + (down_ok ? 0 : 1);
   }
 
@@ -275,100 +447,51 @@ void RegClusterMiner::SeedRoot(int root_condition, RootWork* work,
   // no emission is possible (MinC >= 2) and every coherence score of the
   // first extension is identically 1 (Eq. 7), so each candidate yields a
   // single all-inclusive window -- one SubtreeSeed.
-  if (!HasAllRequired(node.p_members, node.n_members, scratch)) return;
+  if (!HasAllRequired(node.p, node.n, scratch)) return;
   ++ctx->stats.nodes_expanded;
   nodes_guard_.fetch_add(1, std::memory_order_relaxed);
 
   const int min_g = options_.min_genes;
-  const int min_c = options_.min_conditions;
   // Pruning (1): at level 1 a gene may appear in both member lists; the sum
   // is then an over-estimate of the union, which is safe (prunes less).
-  const int total_members =
-      static_cast<int>(node.p_members.size() + node.n_members.size());
+  const int total_members = node.p.size() + node.n.size();
   if (options_.prune_min_genes && total_members < min_g) {
     ++ctx->stats.pruned_min_genes;
     return;
   }
   // Pruning (3a): fewer than MinG/2 p-members can never be a majority.
-  if (options_.prune_p_majority &&
-      2 * static_cast<int>(node.p_members.size()) < min_g) {
+  if (options_.prune_p_majority && 2 * node.p.size() < min_g) {
     ++ctx->stats.pruned_p_majority;
     return;
   }
 
-  // Candidate generation: scan p-members only (licensed by pruning 3a).
-  const int num_conds = data_.num_conditions();
-  const uint64_t epoch = ++scratch->epoch;
-  node.first_succ.resize(node.p_members.size());
-  for (size_t i = 0; i < node.p_members.size(); ++i) {
-    const Member& mem = node.p_members[i];
-    const RWaveModel& w = rwaves_[static_cast<size_t>(mem.gene)];
-    const int h = w.FirstSuccessorPos(mem.head_pos);
-    node.first_succ[i] = h;
-    if (h < 0) continue;
-    for (int q = h; q < num_conds; ++q) {
-      if (options_.prune_min_conds && 1 + w.MaxChainUp(q) < min_c) {
-        continue;
-      }
-      scratch->cond_epoch[static_cast<size_t>(w.condition_at(q))] = epoch;
-    }
-  }
-  node.last_pred.resize(node.n_members.size());
-  for (size_t i = 0; i < node.n_members.size(); ++i) {
-    const Member& mem = node.n_members[i];
-    node.last_pred[i] =
-        rwaves_[static_cast<size_t>(mem.gene)].LastPredecessorPos(mem.head_pos);
-  }
-
-  std::vector<MinerScratch::Scored>& scored = node.scored;
-  for (int cand = 0; cand < num_conds; ++cand) {
-    if (scratch->cond_epoch[static_cast<size_t>(cand)] != epoch) continue;
-    if (!allowed_cond_[static_cast<size_t>(cand)]) continue;
+  PrepareNode(/*m=*/1, /*ckm=*/root_condition, &node, &ctx->stats);
+  for (const int cand : node.cands) {
     if (BudgetExceeded()) return;
     ++ctx->stats.extensions_tested;
 
-    scored.clear();
-    for (size_t i = 0; i < node.p_members.size(); ++i) {
-      const Member& mem = node.p_members[i];
-      if (node.first_succ[i] < 0) continue;
-      const RWaveModel& w = rwaves_[static_cast<size_t>(mem.gene)];
-      const int q = w.position(cand);
-      if (q < node.first_succ[i]) continue;  // not a regulation successor
-      if (options_.prune_min_conds && 1 + w.MaxChainUp(q) < min_c) {
-        ++ctx->stats.genes_dropped_min_conds;
-        continue;
-      }
-      scored.push_back(MinerScratch::Scored{0.0, mem.gene, q, 0.0, true});
-    }
-    for (size_t i = 0; i < node.n_members.size(); ++i) {
-      const Member& mem = node.n_members[i];
-      if (node.last_pred[i] < 0) continue;
-      const RWaveModel& w = rwaves_[static_cast<size_t>(mem.gene)];
-      const int q = w.position(cand);
-      if (q > node.last_pred[i]) continue;  // not a regulation predecessor
-      if (options_.prune_min_conds && 1 + w.MaxChainDown(q) < min_c) {
-        ++ctx->stats.genes_dropped_min_conds;
-        continue;
-      }
-      scored.push_back(MinerScratch::Scored{0.0, mem.gene, q, 0.0, false});
-    }
-
-    if (options_.prune_min_genes && static_cast<int>(scored.size()) < min_g) {
+    const int split = FilterCandidate(cand, &node);
+    const int total = static_cast<int>(node.sc_gene.size());
+    if (options_.prune_min_genes && total < min_g) {
       ++ctx->stats.pruned_min_genes;
       continue;
     }
 
     // Materialize the subtree seed.  The baseline pair (root, cand) is now
-    // fixed for the entire branch: cache each member's coherence denominator
-    // d[cand] - d[root] here, once.
+    // fixed for the entire branch, and the filter's numerator column
+    // row[cand] - row[root] *is* each member's coherence denominator.
     SubtreeSeed seed;
     seed.second_condition = cand;
-    for (const MinerScratch::Scored& s : scored) {
-      const double* row = data_.row_data(s.gene);
-      const double denom = row[cand] - row[root_condition];
-      (s.positive ? seed.p_members : seed.n_members)
-          .push_back(Member{s.gene, s.head_pos, denom});
-    }
+    seed.p_members.gene.assign(node.sc_gene.begin(),
+                               node.sc_gene.begin() + split);
+    seed.p_members.head_pos.assign(node.sc_head.begin(),
+                                   node.sc_head.begin() + split);
+    seed.p_members.denom.assign(node.sc_h.begin(), node.sc_h.begin() + split);
+    seed.n_members.gene.assign(node.sc_gene.begin() + split,
+                               node.sc_gene.end());
+    seed.n_members.head_pos.assign(node.sc_head.begin() + split,
+                                   node.sc_head.end());
+    seed.n_members.denom.assign(node.sc_h.begin() + split, node.sc_h.end());
     work->seeds.push_back(std::move(seed));
   }
 }
@@ -378,152 +501,108 @@ void RegClusterMiner::MineSubtree(int root_condition, SubtreeSeed* seed,
   scratch->chain.clear();
   scratch->chain.push_back(root_condition);
   scratch->chain.push_back(seed->second_condition);
-  MinerScratch::Frame& node = scratch->frame(0);
-  node.p_members = std::move(seed->p_members);
-  node.n_members = std::move(seed->n_members);
+  NodeFrame& node = scratch->frame(0);
+  node.p = std::move(seed->p_members);
+  node.n = std::move(seed->n_members);
   Extend(0, scratch, ctx);
 }
 
 void RegClusterMiner::Extend(int depth, MinerScratch* scratch,
                              SearchContext* ctx) {
   if (BudgetExceeded()) return;
-  MinerScratch::Frame& node = scratch->frame(depth);
-  if (!HasAllRequired(node.p_members, node.n_members, scratch)) return;
+  NodeFrame& node = scratch->frame(depth);
+  if (!HasAllRequired(node.p, node.n, scratch)) return;
   ++ctx->stats.nodes_expanded;
   nodes_guard_.fetch_add(1, std::memory_order_relaxed);
 
   const int min_g = options_.min_genes;
-  const int min_c = options_.min_conditions;
   const int m = static_cast<int>(scratch->chain.size());
 
   // Pruning (1): not enough genes overall.  For m >= 2 the member lists are
   // disjoint, so the sum is the exact union size.
-  const int total_members =
-      static_cast<int>(node.p_members.size() + node.n_members.size());
+  const int total_members = node.p.size() + node.n.size();
   if (options_.prune_min_genes && total_members < min_g) {
     ++ctx->stats.pruned_min_genes;
     return;
   }
   // Pruning (3a): fewer than MinG/2 p-members can never be a majority.
-  if (options_.prune_p_majority &&
-      2 * static_cast<int>(node.p_members.size()) < min_g) {
+  if (options_.prune_p_majority && 2 * node.p.size() < min_g) {
     ++ctx->stats.pruned_p_majority;
     return;
   }
 
   // Step 3: emit if validated and representative; a duplicate prunes the
   // whole branch (pruning 3b).  Under closed_chains_only the emission is
-  // deferred until we know whether some extension keeps the full member
+  // deferred until we know whether some extension keeps the entire member
   // set (in which case this node is subsumed and stays silent).
-  const bool emit_candidate = m >= min_c && total_members >= min_g;
+  const bool emit_candidate =
+      m >= options_.min_conditions && total_members >= min_g;
   if (emit_candidate && !options_.closed_chains_only) {
-    if (!MaybeEmit(scratch->chain, node.p_members, node.n_members, ctx)) {
+    if (!MaybeEmit(scratch->chain, node.p, node.n, ctx)) {
       return;
     }
   }
   bool child_kept_all = false;
 
-  // Step 4: candidate generation.  Scan p-members only (licensed by pruning
-  // 3a): collect every condition reachable by one regulated step up from
-  // the chain head that can still complete a MinC chain.  The candidate set
-  // is an epoch-stamped bitmap: marking replaces clearing.
-  const int num_conds = data_.num_conditions();
-  const uint64_t epoch = ++scratch->epoch;
-  node.first_succ.resize(node.p_members.size());
-  for (size_t i = 0; i < node.p_members.size(); ++i) {
-    const Member& mem = node.p_members[i];
-    const RWaveModel& w = rwaves_[static_cast<size_t>(mem.gene)];
-    const int h = w.FirstSuccessorPos(mem.head_pos);
-    node.first_succ[i] = h;
-    if (h < 0) continue;
-    for (int q = h; q < num_conds; ++q) {
-      if (options_.prune_min_conds && m + w.MaxChainUp(q) < min_c) {
-        // Chains through this position cannot reach MinC conditions.
-        continue;
-      }
-      scratch->cond_epoch[static_cast<size_t>(w.condition_at(q))] = epoch;
-    }
-  }
-  // Cache each n-member's one-step-down frontier.
-  node.last_pred.resize(node.n_members.size());
-  for (size_t i = 0; i < node.n_members.size(); ++i) {
-    const Member& mem = node.n_members[i];
-    node.last_pred[i] =
-        rwaves_[static_cast<size_t>(mem.gene)].LastPredecessorPos(mem.head_pos);
-  }
-
-  // Snapshot the marked candidates: the shared bitmap is re-stamped by the
-  // recursive calls below, so the iteration order must not depend on it.
-  node.cands.clear();
-  for (int cand = 0; cand < num_conds; ++cand) {
-    if (scratch->cond_epoch[static_cast<size_t>(cand)] == epoch &&
-        allowed_cond_[static_cast<size_t>(cand)]) {
-      node.cands.push_back(cand);
-    }
-  }
-
+  // Step 4: candidate generation and per-member row caching (bitmap ORs and
+  // bit probes against the RWaveBitmapIndex replace the per-gene model
+  // walks; the sets produced are identical by construction).
+  const bool profile = options_.profile_phases;
+  int64_t t0 = profile ? NowNs() : 0;
   const int ckm = scratch->chain[static_cast<size_t>(m) - 1];
-  std::vector<MinerScratch::Scored>& scored = node.scored;
+  PrepareNode(m, ckm, &node, &ctx->stats);
+  if (profile) ctx->stats.filter_ns += NowNs() - t0;
+
   for (const int cand : node.cands) {
     if (BudgetExceeded()) return;
     ++ctx->stats.extensions_tested;
 
-    // Genes of X^cand: p-members stepping up to cand, n-members stepping
-    // down to cand, both still able to reach MinC (pruning 2).  The
-    // coherence score H(j, ck1, ck2, ckm, cand) uses the member's cached
-    // baseline denominator -- identical formula for p- and n-members
-    // (numerator and denominator of an n-member both flip sign, Lemma 3.2).
-    scored.clear();
-    for (size_t i = 0; i < node.p_members.size(); ++i) {
-      const Member& mem = node.p_members[i];
-      if (node.first_succ[i] < 0) continue;
-      const RWaveModel& w = rwaves_[static_cast<size_t>(mem.gene)];
-      const int q = w.position(cand);
-      if (q < node.first_succ[i]) continue;  // not a regulation successor
-      if (options_.prune_min_conds && m + w.MaxChainUp(q) < min_c) {
-        ++ctx->stats.genes_dropped_min_conds;
-        continue;
-      }
-      const double h =
-          CoherenceScoreCached(data_.row_data(mem.gene), ckm, cand, mem.denom);
-      scored.push_back(MinerScratch::Scored{h, mem.gene, q, mem.denom, true});
-    }
-    for (size_t i = 0; i < node.n_members.size(); ++i) {
-      const Member& mem = node.n_members[i];
-      if (node.last_pred[i] < 0) continue;
-      const RWaveModel& w = rwaves_[static_cast<size_t>(mem.gene)];
-      const int q = w.position(cand);
-      if (q > node.last_pred[i]) continue;  // not a regulation predecessor
-      if (options_.prune_min_conds && m + w.MaxChainDown(q) < min_c) {
-        ++ctx->stats.genes_dropped_min_conds;
-        continue;
-      }
-      const double h =
-          CoherenceScoreCached(data_.row_data(mem.gene), ckm, cand, mem.denom);
-      scored.push_back(MinerScratch::Scored{h, mem.gene, q, mem.denom, false});
-    }
+    // Filter: genes of X^cand -- p-members stepping up to cand, n-members
+    // stepping down, both still able to reach MinC (pruning 2) -- with the
+    // coherence numerator row[cand] - row[ckm] collected alongside.
+    if (profile) t0 = NowNs();
+    const int split = FilterCandidate(cand, &node);
+    const int total = static_cast<int>(node.sc_gene.size());
+    if (profile) ctx->stats.filter_ns += NowNs() - t0;
 
-    if (options_.prune_min_genes && static_cast<int>(scored.size()) < min_g) {
+    if (options_.prune_min_genes && total < min_g) {
       ++ctx->stats.pruned_min_genes;
       continue;
     }
 
-    std::sort(scored.begin(), scored.end(),
-              [](const MinerScratch::Scored& a, const MinerScratch::Scored& b) {
-                if (a.h != b.h) return a.h < b.h;
-                return a.gene < b.gene;
-              });
+    // Score: one contiguous divide pass turns numerators into coherence
+    // scores H (Eq. 7); the member's cached baseline denominator makes the
+    // formula identical for p- and n-members (both flip sign, Lemma 3.2).
+    if (profile) t0 = NowNs();
+    double* h = node.sc_h.data();
+    const double* denom = node.sc_denom.data();
+    for (int k = 0; k < total; ++k) h[k] /= denom[k];
+    if (profile) ctx->stats.score_ns += NowNs() - t0;
+
+    // Sort: index-sort over the score column; rows never move.
+    if (profile) t0 = NowNs();
+    node.order.resize(static_cast<size_t>(total));
+    std::iota(node.order.begin(), node.order.end(), 0);
+    const int* gene = node.sc_gene.data();
+    std::sort(node.order.begin(), node.order.end(), [&](int a, int b) {
+      if (h[a] != h[b]) return h[a] < h[b];
+      return gene[a] < gene[b];
+    });
+    if (profile) ctx->stats.sort_ns += NowNs() - t0;
 
     // Sliding window (step 5): maximal intervals of score span <= epsilon
     // with at least MinG genes; each spawns a child node.
     const double eps = options_.epsilon;
     bool any_window = false;
-    const size_t n_scored = scored.size();
+    const size_t n_scored = static_cast<size_t>(total);
     size_t hi = 0;
     size_t prev_hi = 0;  // hi of the previous lo, for the maximality test
     for (size_t lo = 0; lo < n_scored; ++lo) {
       if (hi < lo + 1) hi = lo + 1;
-      while (hi < n_scored && scored[hi].h - scored[lo].h <= eps) ++hi;
+      while (hi < n_scored &&
+             h[node.order[hi]] - h[node.order[lo]] <= eps) {
+        ++hi;
+      }
       // [lo, hi) is the widest window starting at lo; hi is non-decreasing
       // in lo, so the window is maximal (not contained in the previous
       // window) iff hi advanced.
@@ -531,24 +610,33 @@ void RegClusterMiner::Extend(int depth, MinerScratch* scratch,
       prev_hi = hi;
       if (!maximal || static_cast<int>(hi - lo) < min_g) continue;
       any_window = true;
-      if (lo == 0 && hi == n_scored &&
-          static_cast<int>(n_scored) == total_members) {
+      if (lo == 0 && hi == n_scored && total == total_members) {
         child_kept_all = true;
       }
-      MinerScratch::Frame& child = scratch->frame(depth + 1);
-      child.p_members.clear();
-      child.n_members.clear();
+      // Child build: window indices below the split are p-members.  Each
+      // scored half is gene-ascending, so sorting the index subsets
+      // restores the deterministic by-gene member order.
+      node.win_p.clear();
+      node.win_n.clear();
       for (size_t i = lo; i < hi; ++i) {
-        (scored[i].positive ? child.p_members : child.n_members)
-            .push_back(
-                Member{scored[i].gene, scored[i].head_pos, scored[i].denom});
+        const int idx = node.order[i];
+        (idx < split ? node.win_p : node.win_n).push_back(idx);
       }
-      // Keep member lists sorted by gene id for deterministic output.
-      auto by_gene = [](const Member& a, const Member& b) {
-        return a.gene < b.gene;
-      };
-      std::sort(child.p_members.begin(), child.p_members.end(), by_gene);
-      std::sort(child.n_members.begin(), child.n_members.end(), by_gene);
+      std::sort(node.win_p.begin(), node.win_p.end());
+      std::sort(node.win_n.begin(), node.win_n.end());
+      NodeFrame& child = scratch->frame(depth + 1);
+      child.p.clear();
+      child.n.clear();
+      for (const int idx : node.win_p) {
+        child.p.push_back(node.sc_gene[static_cast<size_t>(idx)],
+                          node.sc_head[static_cast<size_t>(idx)],
+                          node.sc_denom[static_cast<size_t>(idx)]);
+      }
+      for (const int idx : node.win_n) {
+        child.n.push_back(node.sc_gene[static_cast<size_t>(idx)],
+                          node.sc_head[static_cast<size_t>(idx)],
+                          node.sc_denom[static_cast<size_t>(idx)]);
+      }
       scratch->chain.push_back(cand);
       Extend(depth + 1, scratch, ctx);
       scratch->chain.pop_back();
@@ -558,20 +646,21 @@ void RegClusterMiner::Extend(int depth, MinerScratch* scratch,
   }
 
   if (emit_candidate && options_.closed_chains_only && !child_kept_all) {
-    (void)MaybeEmit(scratch->chain, node.p_members, node.n_members, ctx);
+    (void)MaybeEmit(scratch->chain, node.p, node.n, ctx);
   }
 }
 
 bool RegClusterMiner::MaybeEmit(const std::vector<int>& chain,
-                                const std::vector<Member>& p,
-                                const std::vector<Member>& n,
+                                const MemberCols& p, const MemberCols& n,
                                 SearchContext* ctx) {
-  const size_t np = p.size();
-  const size_t nn = n.size();
+  const size_t np = static_cast<size_t>(p.size());
+  const size_t nn = static_cast<size_t>(n.size());
   const bool representative =
       np > nn || (np == nn && LexSmallerThanReversed(chain));
   if (!representative) return true;  // keep searching; no output here
 
+  const bool profile = options_.profile_phases;
+  const int64_t t0 = profile ? NowNs() : 0;
   if (options_.prune_duplicates) {
     // 128-bit key over (ordered chain | sorted gene union) -- the same
     // identity as RegCluster::Key(), without building any string.  Emission
@@ -583,29 +672,29 @@ bool RegClusterMiner::MaybeEmit(const std::vector<int>& chain,
     size_t i = 0;
     size_t j = 0;
     while (i < np || j < nn) {
-      if (j >= nn || (i < np && p[i].gene < n[j].gene)) {
-        key.MixInt(p[i++].gene);
+      if (j >= nn || (i < np && p.gene[i] < n.gene[j])) {
+        key.MixInt(p.gene[i++]);
       } else {
-        key.MixInt(n[j++].gene);
+        key.MixInt(n.gene[j++]);
       }
     }
     auto [it, inserted] = ctx->seen_keys.insert(key.Digest());
     (void)it;
     if (!inserted) {
       ++ctx->stats.pruned_duplicate;
+      if (profile) ctx->stats.emit_ns += NowNs() - t0;
       return false;  // prune the branch rooted at this duplicate
     }
   }
 
   RegCluster cluster;
   cluster.chain = chain;
-  cluster.p_genes.reserve(np);
-  for (const Member& mem : p) cluster.p_genes.push_back(mem.gene);
-  cluster.n_genes.reserve(nn);
-  for (const Member& mem : n) cluster.n_genes.push_back(mem.gene);
+  cluster.p_genes = p.gene;
+  cluster.n_genes = n.gene;
   ctx->out.push_back(std::move(cluster));
   ++ctx->stats.clusters_emitted;
   clusters_guard_.fetch_add(1, std::memory_order_relaxed);
+  if (profile) ctx->stats.emit_ns += NowNs() - t0;
   return true;
 }
 

@@ -40,6 +40,7 @@
 
 #include "core/bicluster.h"
 #include "core/rwave.h"
+#include "core/rwave_index.h"
 #include "core/threshold.h"
 #include "matrix/expression_matrix.h"
 #include "util/hash128.h"
@@ -105,6 +106,12 @@ struct MinerOptions {
   /// Safety caps for interactive use; -1 disables.
   int64_t max_clusters = -1;
   int64_t max_nodes = -1;
+
+  /// Collect per-phase nanosecond counters (MinerStats::*_ns) for the DFS
+  /// hot path.  Costs two clock reads per phase per extension, so it is off
+  /// by default and enabled only by profiling harnesses (bench_threads).
+  /// Never changes the mined output.
+  bool profile_phases = false;
 };
 
 /// Search-effort and pruning counters, populated by Mine().
@@ -118,7 +125,15 @@ struct MinerStats {
   int64_t genes_dropped_min_conds = 0;  ///< gene drops by pruning (2)
   int64_t clusters_emitted = 0;     ///< outputs before any post-pass
   double rwave_build_seconds = 0.0;
+  double index_build_seconds = 0.0;  ///< RWaveBitmapIndex bake time
   double mine_seconds = 0.0;
+
+  /// Hot-path phase breakdown, populated only when
+  /// MinerOptions::profile_phases is set (all zero otherwise):
+  int64_t filter_ns = 0;  ///< bitmap candidate generation + member filtering
+  int64_t score_ns = 0;   ///< coherence numerator/denominator divide pass
+  int64_t sort_ns = 0;    ///< index-sort of the score column
+  int64_t emit_ns = 0;    ///< dedup keying + cluster materialization
 };
 
 /// Mines all validated reg-clusters of `data` under `options`.
@@ -136,17 +151,36 @@ class RegClusterMiner {
   const MinerStats& stats() const { return stats_; }
 
  private:
-  struct Member {
-    int gene;      ///< gene id
-    int head_pos;  ///< position of the chain's last condition in the gene's
-                   ///< RWave order (for n-members this is the low-value end)
-    double denom;  ///< cached baseline denominator d[ck2] - d[ck1]; set when
-                   ///< the chain reaches length 2 and fixed for the branch
+  /// Hot-path member state, struct-of-arrays: parallel columns (gene id,
+  /// chain-head position in the gene's RWave order -- for n-members the
+  /// low-value end -- and the cached baseline denominator d[ck2] - d[ck1],
+  /// fixed once the chain reaches length 2).  Contiguous columns make the
+  /// per-candidate filter and the coherence divide pass linear sweeps.
+  struct MemberCols {
+    std::vector<int> gene;
+    std::vector<int> head_pos;
+    std::vector<double> denom;
+
+    int size() const { return static_cast<int>(gene.size()); }
+    void clear() {
+      gene.clear();
+      head_pos.clear();
+      denom.clear();
+    }
+    void push_back(int g, int pos, double d) {
+      gene.push_back(g);
+      head_pos.push_back(pos);
+      denom.push_back(d);
+    }
   };
 
-  /// Per-worker reusable DFS state (frame stack, epoch-stamped bitmaps,
-  /// scored buffer).  Defined in miner.cc; one instance per pool worker
-  /// keeps the Extend() hot loop free of heap allocation.
+  /// One DFS node's reusable state (member columns, cached bitmap rows,
+  /// scored columns).  Defined in miner.cc.
+  struct NodeFrame;
+
+  /// Per-worker reusable DFS state (frame stack, epoch-stamped gene bitmap).
+  /// Defined in miner.cc; one instance per pool worker keeps the Extend()
+  /// hot loop free of heap allocation.
   struct MinerScratch;
 
   /// The level-2 root of an independently schedulable search subtree: the
@@ -154,8 +188,8 @@ class RegClusterMiner {
   /// the root task, consumed by exactly one subtree task.
   struct SubtreeSeed {
     int second_condition = -1;
-    std::vector<Member> p_members;
-    std::vector<Member> n_members;
+    MemberCols p_members;
+    MemberCols n_members;
   };
 
   /// Per-task search state.  Tasks are independent: a chain is enumerated
@@ -191,24 +225,40 @@ class RegClusterMiner {
   /// lives in scratch->chain (length depth + 2).
   void Extend(int depth, MinerScratch* scratch, SearchContext* ctx);
 
+  /// Caches the node's per-member bitmap rows (successor/predecessor x
+  /// MinC-eligibility) and expression baselines for a chain of length `m`
+  /// ending at condition `ckm`, then lists the node's candidate conditions
+  /// (OR over the p-member rows, intersected with the allowed set).
+  /// Also accumulates the pruning-2 drop counter for the whole node
+  /// (see the transpose comment in miner.cc).
+  void PrepareNode(int m, int ckm, NodeFrame* node, MinerStats* stats);
+
+  /// Filters the node's members against extension candidate `cand` with
+  /// single bit probes, appending survivors to the frame's scored columns;
+  /// the score column receives the coherence *numerator* (the caller runs
+  /// one divide pass over it).  Returns the number of surviving p-members
+  /// (the p/n split point of the scored columns).
+  int FilterCandidate(int cand, NodeFrame* node) const;
+
   /// Emits the node's cluster if it validates and is representative.
   /// Returns false when the branch should be pruned (duplicate).
-  bool MaybeEmit(const std::vector<int>& chain, const std::vector<Member>& p,
-                 const std::vector<Member>& n, SearchContext* ctx);
+  bool MaybeEmit(const std::vector<int>& chain, const MemberCols& p,
+                 const MemberCols& n, SearchContext* ctx);
 
   bool BudgetExceeded() const;
 
   /// True iff the node (or a scored window) retains every required gene.
   /// Uses the scratch's epoch-stamped per-gene bitmap: no allocation.
-  bool HasAllRequired(const std::vector<Member>& p,
-                      const std::vector<Member>& n,
+  bool HasAllRequired(const MemberCols& p, const MemberCols& n,
                       MinerScratch* scratch) const;
 
   const matrix::ExpressionMatrix& data_;
   MinerOptions options_;
   MinerStats stats_;
   std::vector<RWaveModel> rwaves_;
+  RWaveBitmapIndex index_;            // vertical bitmaps over rwaves_
   std::vector<char> allowed_cond_;    // condition id -> allowed in chains
+  std::vector<uint64_t> allowed_words_;  // allowed_cond_ as a bitmap row
   std::vector<char> required_gene_;   // gene id -> must stay in the branch
   int num_required_ = 0;
   // Global budget guards (atomic so the caps also work multi-threaded).

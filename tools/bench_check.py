@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for BENCH_miner.json.
+
+Compares a freshly measured ``micro`` section (written by ``bench_micro
+--bench_out=...``) against the committed baseline and fails when any
+benchmark matching the prefix regressed by more than the threshold in
+per-iteration real time.  Every baseline benchmark matching the prefix must
+be present in the fresh file -- a silently dropped benchmark is treated as a
+failure, not a pass.
+
+Usage (mirrors the CI step):
+
+    bench_micro --benchmark_filter='^BM_MineSynthetic' \
+        --benchmark_min_time=1x --bench_out=build/BENCH_fresh.json
+    python3 tools/bench_check.py --baseline BENCH_miner.json \
+        --fresh build/BENCH_fresh.json
+
+Exit status: 0 when every compared benchmark is within the threshold,
+1 on regression / missing data / malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_micro(path):
+    """Returns {benchmark name: (real_time, time_unit)} from the micro
+    section of a BENCH_miner.json-style document."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    rows = doc.get("micro", {}).get("benchmarks", [])
+    out = {}
+    for row in rows:
+        out[row["name"]] = (float(row["real_time"]), row.get("time_unit", ""))
+    return out
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_miner.json")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly measured BENCH file to check")
+    parser.add_argument("--prefix", default="BM_MineSynthetic",
+                        help="benchmark name prefix to compare "
+                             "(default: %(default)s)")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="maximum tolerated fractional slowdown "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_micro(args.baseline)
+        fresh = load_micro(args.fresh)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"bench_check: cannot load inputs: {err}", file=sys.stderr)
+        return 1
+
+    names = sorted(n for n in baseline if n.startswith(args.prefix))
+    if not names:
+        print(f"bench_check: baseline {args.baseline} has no benchmarks "
+              f"matching prefix {args.prefix!r}", file=sys.stderr)
+        return 1
+
+    failed = False
+    print(f"{'benchmark':<32} {'baseline':>12} {'fresh':>12} {'ratio':>8}")
+    for name in names:
+        base_time, base_unit = baseline[name]
+        if name not in fresh:
+            print(f"{name:<32} {base_time:>10.2f}{base_unit:<2} "
+                  f"{'MISSING':>12}")
+            failed = True
+            continue
+        fresh_time, fresh_unit = fresh[name]
+        if base_unit != fresh_unit:
+            print(f"{name:<32} unit mismatch: baseline {base_unit!r} vs "
+                  f"fresh {fresh_unit!r}")
+            failed = True
+            continue
+        ratio = fresh_time / base_time if base_time > 0 else float("inf")
+        verdict = ""
+        if ratio > 1.0 + args.threshold:
+            verdict = f"  REGRESSION (> {1.0 + args.threshold:.2f}x)"
+            failed = True
+        print(f"{name:<32} {base_time:>10.2f}{base_unit:<2} "
+              f"{fresh_time:>10.2f}{fresh_unit:<2} {ratio:>7.2f}x{verdict}")
+
+    if failed:
+        print(f"bench_check: FAILED (threshold {args.threshold:.0%})",
+              file=sys.stderr)
+        return 1
+    print(f"bench_check: ok ({len(names)} benchmarks within "
+          f"{args.threshold:.0%} of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
