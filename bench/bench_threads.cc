@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -186,6 +187,73 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "WARNING: could not write %s\n", out_path.c_str());
   } else {
     std::printf("wrote section \"threads\" of %s\n", out_path.c_str());
+  }
+
+  // Budget-guard overhead: with every stop source armed but none binding
+  // (huge budgets, a never-tripped token), ShouldStop()/Poll() bookkeeping
+  // is the only difference from an unbudgeted run.  The two variants run as
+  // interleaved pairs (best-of-5 each) so slow machine-load drift hits both
+  // sides equally; the committed overhead_fraction is gated (<2%) by
+  // tools/bench_check.py --max-budget-overhead.
+  auto timed_mine = [&ds](const core::MinerOptions& o) {
+    core::RegClusterMiner m(ds->data, o);
+    util::WallTimer timer;
+    if (!m.Mine().ok()) return -1.0;
+    return timer.ElapsedSeconds();
+  };
+  core::MinerOptions unbudgeted = base;
+  unbudgeted.num_threads = 1;
+  core::MinerOptions budgeted = unbudgeted;
+  budgeted.max_nodes = int64_t{1} << 60;
+  budgeted.max_clusters = int64_t{1} << 60;
+  budgeted.deadline_ms = 1e9;
+  budgeted.soft_memory_limit_bytes = int64_t{1} << 60;
+  budgeted.cancel_token = std::make_shared<util::CancellationToken>();
+  constexpr int kOverheadReps = 8;
+  double off_seconds = 1e300;
+  double on_seconds = 1e300;
+  std::vector<std::unique_ptr<char[]>> heap_shift;
+  for (int rep = 0; rep < kOverheadReps; ++rep) {
+    // Alternate which variant runs first so cache/frequency carry-over
+    // between neighbours biases neither side, and shift the heap frontier
+    // by an odd amount each rep: otherwise malloc hands every rep the same
+    // addresses and whichever variant lucked into better-aligned buffers
+    // keeps that (easily 10%) edge for the whole process.  Taking the min
+    // across shifted layouts converges both variants to their best case.
+    heap_shift.push_back(std::make_unique<char[]>(
+        static_cast<size_t>(rep + 1) * 68923));
+    const bool off_first = (rep % 2) == 0;
+    const double first = timed_mine(off_first ? unbudgeted : budgeted);
+    const double second = timed_mine(off_first ? budgeted : unbudgeted);
+    const double off = off_first ? first : second;
+    const double on = off_first ? second : first;
+    if (off < 0 || on < 0) {
+      std::fprintf(stderr, "budget-overhead runs failed\n");
+      return 1;
+    }
+    std::printf("  overhead rep %d: off %.4f s, on %.4f s\n", rep, off, on);
+    off_seconds = std::min(off_seconds, off);
+    on_seconds = std::min(on_seconds, on);
+  }
+  heap_shift.clear();
+  const double overhead = on_seconds / off_seconds - 1.0;
+  std::printf(
+      "\nbudget-guard overhead (serial, all stop sources armed, none "
+      "binding): off %.4f s, on %.4f s -> %+.2f%%\n",
+      off_seconds, on_seconds, 100.0 * overhead);
+  const std::string overhead_section = JsonObject({
+      JsonField("off_seconds", JsonDouble(off_seconds)),
+      JsonField("on_seconds", JsonDouble(on_seconds)),
+      JsonField("overhead_fraction", JsonDouble(overhead)),
+      JsonField("check_interval",
+                JsonInt(budgeted.budget_check_interval)),
+      JsonField("best_of", JsonInt(kOverheadReps)),
+  });
+  if (!UpsertBenchSection(out_path, "budget_overhead", overhead_section)) {
+    std::fprintf(stderr, "WARNING: could not write %s\n", out_path.c_str());
+  } else {
+    std::printf("wrote section \"budget_overhead\" of %s\n",
+                out_path.c_str());
   }
   if (!UpsertBenchSection(out_path, "provenance", ProvenanceObject())) {
     std::fprintf(stderr, "WARNING: could not write provenance to %s\n",

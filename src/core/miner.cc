@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <numeric>
 #include <thread>
 
@@ -48,6 +49,13 @@ int64_t NowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Approximate heap footprint of a vector (capacity, not size: the arenas
+/// hold their high-water mark).
+template <typename T>
+int64_t VecBytes(const std::vector<T>& v) {
+  return static_cast<int64_t>(v.capacity() * sizeof(T));
 }
 
 }  // namespace
@@ -94,6 +102,17 @@ struct RegClusterMiner::NodeFrame {
     sc_gene.clear();
     sc_head.clear();
   }
+
+  int64_t ApproxBytes() const {
+    return VecBytes(p.gene) + VecBytes(p.head_pos) + VecBytes(p.denom) +
+           VecBytes(n.gene) + VecBytes(n.head_pos) + VecBytes(n.denom) +
+           VecBytes(p_comb) + VecBytes(n_comb) + VecBytes(p_trans) +
+           VecBytes(n_trans) + VecBytes(p_row) + VecBytes(n_row) +
+           VecBytes(p_base) + VecBytes(n_base) + VecBytes(cand_words) +
+           VecBytes(cands) + VecBytes(sc_h) + VecBytes(sc_denom) +
+           VecBytes(sc_gene) + VecBytes(sc_head) + VecBytes(order) +
+           VecBytes(win_p) + VecBytes(win_n);
+  }
 };
 
 /// Per-worker scratch arena.  Every container is reused across the whole
@@ -117,7 +136,124 @@ struct RegClusterMiner::MinerScratch {
     while (frames.size() <= static_cast<size_t>(depth)) frames.emplace_back();
     return frames[static_cast<size_t>(depth)];
   }
+
+  /// Approximate live bytes of this arena -- the quantity the soft memory
+  /// limit bounds.  Capacity-based, so it tracks the high-water mark.
+  int64_t ApproxBytes() const {
+    int64_t total = VecBytes(chain) + VecBytes(gene_epoch) +
+                    root_frame.ApproxBytes();
+    for (const NodeFrame& f : frames) {
+      total += f.ApproxBytes() + static_cast<int64_t>(sizeof(NodeFrame));
+    }
+    return total;
+  }
 };
+
+/// Per-task budget bookkeeping.  One instance lives on the stack of each
+/// task body (or of the serial finalize pass) and is reached through
+/// SearchContext::ctl.  It separates the two costs of budget enforcement:
+///
+///   * every DFS node pays OnNode() -- two local increments, two local
+///     compares and (when a BudgetGuard exists) one relaxed atomic load;
+///   * every `interval` nodes the task additionally flushes its local node
+///     count to the guard and runs BudgetGuard::Poll() (token poll, deadline
+///     read, memory report, global counter compare).
+///
+/// The local node/cluster quotas implement the *deterministic* cut of the
+/// serial finalize pass: a repair task stops as soon as its root alone
+/// exceeds what is left of the count budget.  Parallel phase-A tasks run
+/// with unlimited quotas and react only to the shared guard; a task that
+/// observes a trip abandons its slot (never marks itself complete) and drops
+/// the pool's queued tasks so the batch drains quickly.
+struct RegClusterMiner::TaskControl {
+  util::BudgetGuard* guard = nullptr;  ///< shared stop sources; may be null
+  util::TaskPool* pool = nullptr;      ///< drained on first observed trip
+  MinerScratch* scratch = nullptr;     ///< for the memory reports
+  int slot = 0;                        ///< this task's BudgetGuard byte slot
+  int interval = 32;
+  int countdown = 32;
+  /// Serial-repair mode: exhausted *count* quotas on the shared guard are
+  /// stale phase-A state and must not gate the repair; only hard stops do.
+  bool hard_only = false;
+  int64_t node_quota = std::numeric_limits<int64_t>::max();
+  int64_t cluster_quota = std::numeric_limits<int64_t>::max();
+  int64_t nodes = 0;
+  int64_t clusters = 0;
+  int64_t unflushed_nodes = 0;
+  int64_t output_bytes = 0;
+  bool stopped = false;
+  util::StopReason stop_reason = util::StopReason::kNone;
+
+  void Stop(util::StopReason reason) {
+    stopped = true;
+    stop_reason = reason;
+    if (pool != nullptr) pool->CancelPending();
+  }
+
+  /// The cheap per-check-site probe: local flag plus one relaxed load.
+  bool CheckAbort() {
+    if (stopped) return true;
+    if (guard != nullptr) {
+      const util::StopReason r =
+          hard_only ? guard->hard_reason() : guard->reason();
+      if (r != util::StopReason::kNone) {
+        Stop(r);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Accounts one DFS node.  Returns true when the node must not be
+  /// expanded (the task is abandoning its work unit).
+  bool OnNode() {
+    if (stopped) return true;
+    ++nodes;
+    if (nodes > node_quota) {
+      Stop(util::StopReason::kNodeBudget);
+      return true;
+    }
+    if (guard == nullptr) return false;
+    ++unflushed_nodes;
+    if (--countdown <= 0) {
+      countdown = interval;
+      guard->AddNodes(unflushed_nodes);
+      unflushed_nodes = 0;
+      guard->Poll(slot, (scratch != nullptr ? scratch->ApproxBytes() : 0) +
+                            output_bytes);
+    }
+    return CheckAbort();
+  }
+
+  /// Accounts one emitted cluster of ~`bytes` bytes.  Returns true when the
+  /// emission exhausted the local cluster quota.
+  bool OnEmit(int64_t bytes) {
+    output_bytes += bytes;
+    ++clusters;
+    if (clusters > cluster_quota) {
+      Stop(util::StopReason::kClusterBudget);
+      return true;
+    }
+    if (guard != nullptr) guard->AddClusters(1);
+    return stopped;
+  }
+
+  /// Flushes the residual local node count to the guard (task epilogue).
+  void Finish() {
+    if (guard != nullptr && unflushed_nodes > 0) {
+      guard->AddNodes(unflushed_nodes);
+      unflushed_nodes = 0;
+    }
+  }
+};
+
+void RegClusterMiner::RootWork::Reset() {
+  ctx = SearchContext();
+  seeds.clear();
+  subtree_ctx.clear();
+  seeded.store(false, std::memory_order_relaxed);
+  subtrees_done.store(0, std::memory_order_relaxed);
+}
 
 RegClusterMiner::RegClusterMiner(const matrix::ExpressionMatrix& data,
                                  MinerOptions options)
@@ -159,6 +295,24 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Mine() {
       return util::Status::OutOfRange("allowed condition outside the matrix");
     }
   }
+  if (options_.budget_check_interval < 1) {
+    return util::Status::InvalidArgument("budget_check_interval must be >= 1");
+  }
+  if (options_.resume.can_resume()) {
+    if (options_.resume.options_hash != SemanticOptionsHash(options_)) {
+      return util::Status::InvalidArgument(
+          "resume token was issued under different mining options");
+    }
+    if (options_.resume.next_root > data_.num_conditions()) {
+      return util::Status::OutOfRange("resume token root outside the matrix");
+    }
+    if (options_.remove_dominated) {
+      return util::Status::InvalidArgument(
+          "resume cannot be combined with remove_dominated: dominance is a "
+          "global post-pass, so spliced partial outputs would not match an "
+          "unbudgeted run");
+    }
+  }
   allowed_cond_.assign(static_cast<size_t>(data_.num_conditions()),
                        options_.allowed_conditions.empty() ? 1 : 0);
   for (int c : options_.allowed_conditions) {
@@ -181,9 +335,9 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Mine() {
   }
 
   stats_ = MinerStats();
-  nodes_guard_.store(0, std::memory_order_relaxed);
-  clusters_guard_.store(0, std::memory_order_relaxed);
+  outcome_ = MineOutcome();
 
+  util::WallTimer total_timer;
   util::WallTimer timer;
   const GammaSpec spec{options_.gamma_policy, options_.gamma};
   rwaves_.clear();
@@ -202,6 +356,8 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Mine() {
   timer.Reset();
   const int num_conds = data_.num_conditions();
   const int num_genes = data_.num_genes();
+  const int first_root =
+      options_.resume.can_resume() ? options_.resume.next_root : 0;
   std::vector<RootWork> work(static_cast<size_t>(num_conds));
 
   int threads = options_.num_threads;
@@ -210,18 +366,37 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Mine() {
     if (threads < 1) threads = 1;
   }
 
-  if (threads <= 1) {
-    MinerScratch scratch;
-    scratch.Init(num_conds, num_genes);
-    for (int c = 0; c < num_conds; ++c) {
-      RootWork& rw = work[static_cast<size_t>(c)];
-      SeedRoot(c, &rw, &scratch);
-      rw.subtree_ctx.resize(rw.seeds.size());
-      for (size_t i = 0; i < rw.seeds.size(); ++i) {
-        MineSubtree(c, &rw.seeds[i], &scratch, &rw.subtree_ctx[i]);
-      }
-    }
-  } else {
+  util::BudgetGuard::Limits limits;
+  limits.max_nodes = options_.max_nodes;
+  limits.max_clusters = options_.max_clusters;
+  limits.deadline_ms = options_.deadline_ms;
+  limits.soft_memory_limit_bytes = options_.soft_memory_limit_bytes;
+  limits.token = options_.cancel_token;
+  guard_.reset();
+  if (limits.any()) {
+    // One byte-report slot per pool worker plus one for the finalize pass.
+    guard_ = std::make_unique<util::BudgetGuard>(limits, threads + 1);
+  }
+
+  const auto make_ctl = [&](MinerScratch* scratch, int slot,
+                            util::TaskPool* pool) {
+    TaskControl ctl;
+    ctl.guard = guard_.get();
+    ctl.pool = pool;
+    ctl.scratch = scratch;
+    ctl.slot = slot;
+    ctl.interval = options_.budget_check_interval;
+    ctl.countdown = ctl.interval;
+    return ctl;
+  };
+
+  // Phase A (parallel only): optimistic mining.  Every root / subtree task
+  // runs under the shared guard with unlimited local quotas; on a trip,
+  // in-flight tasks abandon their slot atomically (they simply never mark
+  // themselves complete) and queued tasks are dropped.  Which roots finish
+  // here is scheduling-dependent -- phase B makes the *output* deterministic.
+  int64_t parallel_scratch_bytes = 0;
+  if (threads > 1) {
     util::TaskPool pool(threads);
     std::vector<MinerScratch> scratches(
         static_cast<size_t>(pool.num_workers()));
@@ -229,27 +404,118 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Mine() {
     // Each root task seeds its level-2 subtrees and immediately re-submits
     // them: large subtrees become stealable instead of serializing behind
     // their root, which is what makes imbalanced trees scale.
-    for (int c = 0; c < num_conds; ++c) {
+    for (int c = first_root; c < num_conds; ++c) {
       RootWork* rw = &work[static_cast<size_t>(c)];
-      pool.Submit([this, c, rw, &pool, &scratches](int worker) {
-        SeedRoot(c, rw, &scratches[static_cast<size_t>(worker)]);
+      pool.Submit([this, c, rw, &pool, &scratches, &make_ctl](int worker) {
+        MinerScratch* scratch = &scratches[static_cast<size_t>(worker)];
+        TaskControl ctl = make_ctl(scratch, worker, &pool);
+        rw->ctx.ctl = &ctl;
+        const bool seed_ok = !ctl.CheckAbort() && SeedRoot(c, rw, scratch);
+        ctl.Finish();
+        rw->ctx.ctl = nullptr;
+        if (!seed_ok) return;  // abandoned: the root stays incomplete
         rw->subtree_ctx.resize(rw->seeds.size());
+        rw->seeded.store(true, std::memory_order_release);
         for (size_t i = 0; i < rw->seeds.size(); ++i) {
-          SubtreeSeed* seed = &rw->seeds[i];
-          SearchContext* ctx = &rw->subtree_ctx[i];
-          pool.Submit([this, c, seed, ctx, &scratches](int w) {
-            MineSubtree(c, seed, &scratches[static_cast<size_t>(w)], ctx);
+          pool.Submit([this, c, rw, i, &pool, &scratches, &make_ctl](int w) {
+            MinerScratch* s = &scratches[static_cast<size_t>(w)];
+            TaskControl sub_ctl = make_ctl(s, w, &pool);
+            SearchContext* ctx = &rw->subtree_ctx[i];
+            ctx->ctl = &sub_ctl;
+            if (!sub_ctl.CheckAbort()) {
+              MineSubtree(c, &rw->seeds[i], s, ctx);
+            }
+            sub_ctl.Finish();
+            ctx->ctl = nullptr;
+            if (!sub_ctl.stopped) {
+              rw->subtrees_done.fetch_add(1, std::memory_order_acq_rel);
+            }
           });
         }
       });
     }
     pool.Wait();
+    for (const MinerScratch& s : scratches) {
+      parallel_scratch_bytes += s.ApproxBytes();
+    }
   }
 
-  // Merge in canonical (root, second-condition) order: deterministic
-  // regardless of thread count and of which worker ran which task.
+  // Phase B: canonical finalize -- the whole mining pass when threads <= 1.
+  // Walk the roots in canonical order; re-run any incomplete root serially
+  // under the *remaining* count budget; include a root iff its own
+  // deterministic node/cluster totals fit what is left.  The totals are
+  // per-root DFS invariants, so the cut root -- and hence the output -- is
+  // identical for every thread count; only the scheduling-dependent question
+  // "was this root mined in phase A or re-run here?" varies, and it is
+  // unobservable in the result.  Hard stops (cancel / deadline / memory)
+  // forbid repair work, so they cut at the first root that is not already
+  // complete: still a valid canonical prefix, but its length legitimately
+  // depends on machine speed.
+  MinerScratch fin_scratch;
+  fin_scratch.Init(num_conds, num_genes);
+  const int64_t kUnlimited = std::numeric_limits<int64_t>::max();
+  int64_t node_rem = options_.max_nodes >= 0 ? options_.max_nodes : kUnlimited;
+  int64_t cluster_rem =
+      options_.max_clusters >= 0 ? options_.max_clusters : kUnlimited;
+  util::StopReason stop = util::StopReason::kNone;
+  int cut_root = num_conds;
+  int roots_included = 0;
   std::vector<RegCluster> out;
-  for (RootWork& rw : work) {
+  for (int c = first_root; c < num_conds; ++c) {
+    RootWork& rw = work[static_cast<size_t>(c)];
+    if (!rw.Complete()) {
+      if (guard_ != nullptr &&
+          guard_->hard_reason() != util::StopReason::kNone) {
+        stop = guard_->hard_reason();
+        cut_root = c;
+        break;
+      }
+      rw.Reset();
+      TaskControl ctl = make_ctl(&fin_scratch, threads, nullptr);
+      ctl.hard_only = true;
+      ctl.node_quota = node_rem;
+      ctl.cluster_quota = cluster_rem;
+      rw.ctx.ctl = &ctl;
+      bool ok = SeedRoot(c, &rw, &fin_scratch);
+      rw.ctx.ctl = nullptr;
+      if (ok) {
+        rw.subtree_ctx.resize(rw.seeds.size());
+        for (size_t i = 0; i < rw.seeds.size() && ok; ++i) {
+          rw.subtree_ctx[i].ctl = &ctl;
+          MineSubtree(c, &rw.seeds[i], &fin_scratch, &rw.subtree_ctx[i]);
+          rw.subtree_ctx[i].ctl = nullptr;
+          ok = !ctl.stopped;
+        }
+      }
+      ctl.Finish();
+      if (!ok) {
+        stop = ctl.stop_reason;
+        cut_root = c;
+        break;
+      }
+    }
+    // Deterministic inclusion test, from the root's recorded totals.
+    int64_t root_nodes = rw.ctx.stats.nodes_expanded;
+    int64_t root_clusters = rw.ctx.stats.clusters_emitted;
+    for (const SearchContext& ctx : rw.subtree_ctx) {
+      root_nodes += ctx.stats.nodes_expanded;
+      root_clusters += ctx.stats.clusters_emitted;
+    }
+    if (root_nodes > node_rem) {
+      stop = util::StopReason::kNodeBudget;
+      cut_root = c;
+      break;
+    }
+    if (root_clusters > cluster_rem) {
+      stop = util::StopReason::kClusterBudget;
+      cut_root = c;
+      break;
+    }
+    node_rem -= root_nodes;
+    cluster_rem -= root_clusters;
+    ++roots_included;
+    // Canonical (root, second-condition) merge: deterministic regardless of
+    // thread count and of which worker ran which task.
     AccumulateStats(rw.ctx.stats, &stats_);
     for (SearchContext& ctx : rw.subtree_ctx) {
       AccumulateStats(ctx.stats, &stats_);
@@ -259,16 +525,43 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Mine() {
   }
   if (options_.remove_dominated) out = RemoveDominated(std::move(out));
   stats_.mine_seconds = timer.ElapsedSeconds();
+
+  const bool truncated = stop != util::StopReason::kNone;
+  outcome_.status = truncated ? MineStatus::kTruncated : MineStatus::kComplete;
+  outcome_.stop_reason = stop;
+  outcome_.nodes_visited =
+      guard_ != nullptr ? guard_->total_nodes() : stats_.nodes_expanded;
+  outcome_.roots_completed = roots_included;
+  outcome_.roots_total = num_conds - first_root;
+  outcome_.wall_seconds = total_timer.ElapsedSeconds();
+  outcome_.peak_scratch_bytes =
+      std::max<int64_t>(guard_ != nullptr ? guard_->peak_bytes() : 0,
+                        parallel_scratch_bytes + fin_scratch.ApproxBytes());
+  if (truncated) {
+    outcome_.resume.next_root = cut_root;
+    outcome_.resume.options_hash = SemanticOptionsHash(options_);
+  }
   return out;
 }
 
-bool RegClusterMiner::BudgetExceeded() const {
-  return (options_.max_nodes >= 0 &&
-          nodes_guard_.load(std::memory_order_relaxed) >=
-              options_.max_nodes) ||
-         (options_.max_clusters >= 0 &&
-          clusters_guard_.load(std::memory_order_relaxed) >=
-              options_.max_clusters);
+uint64_t RegClusterMiner::SemanticOptionsHash(const MinerOptions& options) {
+  util::Fnv128 h;
+  h.MixInt(options.min_genes).MixInt(options.min_conditions);
+  h.Mix64(std::bit_cast<uint64_t>(options.gamma));
+  h.MixInt(static_cast<int>(options.gamma_policy));
+  h.Mix64(std::bit_cast<uint64_t>(options.epsilon));
+  h.MixInt(options.prune_min_genes ? 1 : 0);
+  h.MixInt(options.prune_min_conds ? 1 : 0);
+  h.MixInt(options.prune_p_majority ? 1 : 0);
+  h.MixInt(options.prune_duplicates ? 1 : 0);
+  h.MixInt(options.remove_dominated ? 1 : 0);
+  h.MixInt(options.closed_chains_only ? 1 : 0);
+  h.MixInt(-1);  // domain separators around the variable-length lists
+  for (int g : options.required_genes) h.MixInt(g);
+  h.MixInt(-1);
+  for (int c : options.allowed_conditions) h.MixInt(c);
+  h.MixInt(-1);
+  return h.Digest().lo;
 }
 
 bool RegClusterMiner::HasAllRequired(const MemberCols& p, const MemberCols& n,
@@ -419,11 +712,10 @@ int RegClusterMiner::FilterCandidate(int cand, NodeFrame* node) const {
   return split;
 }
 
-void RegClusterMiner::SeedRoot(int root_condition, RootWork* work,
+bool RegClusterMiner::SeedRoot(int root_condition, RootWork* work,
                                MinerScratch* scratch) {
   SearchContext* ctx = &work->ctx;
-  if (BudgetExceeded()) return;
-  if (!allowed_cond_[static_cast<size_t>(root_condition)]) return;
+  if (!allowed_cond_[static_cast<size_t>(root_condition)]) return true;
   // Level-1 chain: the root condition, with the genes that can still grow a
   // chain of length MinC through it upward (p) or downward (n).
   NodeFrame& node = scratch->root_frame;
@@ -447,9 +739,9 @@ void RegClusterMiner::SeedRoot(int root_condition, RootWork* work,
   // no emission is possible (MinC >= 2) and every coherence score of the
   // first extension is identically 1 (Eq. 7), so each candidate yields a
   // single all-inclusive window -- one SubtreeSeed.
-  if (!HasAllRequired(node.p, node.n, scratch)) return;
+  if (!HasAllRequired(node.p, node.n, scratch)) return true;
+  if (ctx->ctl->OnNode()) return false;
   ++ctx->stats.nodes_expanded;
-  nodes_guard_.fetch_add(1, std::memory_order_relaxed);
 
   const int min_g = options_.min_genes;
   // Pruning (1): at level 1 a gene may appear in both member lists; the sum
@@ -457,17 +749,17 @@ void RegClusterMiner::SeedRoot(int root_condition, RootWork* work,
   const int total_members = node.p.size() + node.n.size();
   if (options_.prune_min_genes && total_members < min_g) {
     ++ctx->stats.pruned_min_genes;
-    return;
+    return true;
   }
   // Pruning (3a): fewer than MinG/2 p-members can never be a majority.
   if (options_.prune_p_majority && 2 * node.p.size() < min_g) {
     ++ctx->stats.pruned_p_majority;
-    return;
+    return true;
   }
 
   PrepareNode(/*m=*/1, /*ckm=*/root_condition, &node, &ctx->stats);
   for (const int cand : node.cands) {
-    if (BudgetExceeded()) return;
+    if (ctx->ctl->CheckAbort()) return false;
     ++ctx->stats.extensions_tested;
 
     const int split = FilterCandidate(cand, &node);
@@ -494,6 +786,7 @@ void RegClusterMiner::SeedRoot(int root_condition, RootWork* work,
     seed.n_members.denom.assign(node.sc_h.begin() + split, node.sc_h.end());
     work->seeds.push_back(std::move(seed));
   }
+  return true;
 }
 
 void RegClusterMiner::MineSubtree(int root_condition, SubtreeSeed* seed,
@@ -509,11 +802,10 @@ void RegClusterMiner::MineSubtree(int root_condition, SubtreeSeed* seed,
 
 void RegClusterMiner::Extend(int depth, MinerScratch* scratch,
                              SearchContext* ctx) {
-  if (BudgetExceeded()) return;
   NodeFrame& node = scratch->frame(depth);
   if (!HasAllRequired(node.p, node.n, scratch)) return;
+  if (ctx->ctl->OnNode()) return;
   ++ctx->stats.nodes_expanded;
-  nodes_guard_.fetch_add(1, std::memory_order_relaxed);
 
   const int min_g = options_.min_genes;
   const int m = static_cast<int>(scratch->chain.size());
@@ -541,6 +833,7 @@ void RegClusterMiner::Extend(int depth, MinerScratch* scratch,
     if (!MaybeEmit(scratch->chain, node.p, node.n, ctx)) {
       return;
     }
+    if (ctx->ctl->stopped) return;  // the emission exhausted a quota
   }
   bool child_kept_all = false;
 
@@ -554,7 +847,7 @@ void RegClusterMiner::Extend(int depth, MinerScratch* scratch,
   if (profile) ctx->stats.filter_ns += NowNs() - t0;
 
   for (const int cand : node.cands) {
-    if (BudgetExceeded()) return;
+    if (ctx->ctl->CheckAbort()) return;
     ++ctx->stats.extensions_tested;
 
     // Filter: genes of X^cand -- p-members stepping up to cand, n-members
@@ -640,7 +933,7 @@ void RegClusterMiner::Extend(int depth, MinerScratch* scratch,
       scratch->chain.push_back(cand);
       Extend(depth + 1, scratch, ctx);
       scratch->chain.pop_back();
-      if (BudgetExceeded()) return;
+      if (ctx->ctl->stopped) return;
     }
     if (!any_window) ++ctx->stats.pruned_coherence;
   }
@@ -693,7 +986,8 @@ bool RegClusterMiner::MaybeEmit(const std::vector<int>& chain,
   cluster.n_genes = n.gene;
   ctx->out.push_back(std::move(cluster));
   ++ctx->stats.clusters_emitted;
-  clusters_guard_.fetch_add(1, std::memory_order_relaxed);
+  ctx->ctl->OnEmit(static_cast<int64_t>(
+      (chain.size() + np + nn) * sizeof(int) + sizeof(RegCluster)));
   if (profile) ctx->stats.emit_ns += NowNs() - t0;
   return true;
 }

@@ -35,6 +35,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
@@ -43,11 +44,55 @@
 #include "core/rwave_index.h"
 #include "core/threshold.h"
 #include "matrix/expression_matrix.h"
+#include "util/cancellation.h"
 #include "util/hash128.h"
 #include "util/status.h"
 
 namespace regcluster {
 namespace core {
+
+/// Continuation handle for a truncated Mine() call.  A truncated run covers
+/// the canonical roots (level-1 conditions) [first, next_root); a follow-up
+/// run with MinerOptions::resume set to this token covers [next_root, end),
+/// and because roots are searched independently the concatenation of the two
+/// cluster lists is bit-identical to a single unbudgeted run.
+struct ResumeToken {
+  /// First canonical root *not* covered by the output; -1 when complete.
+  int next_root = -1;
+  /// Fingerprint of the semantic mining options the token was issued under
+  /// (see RegClusterMiner::SemanticOptionsHash); resuming under different
+  /// semantics would splice incompatible outputs, so Mine() rejects it.
+  uint64_t options_hash = 0;
+
+  bool can_resume() const { return next_root >= 0; }
+};
+
+enum class MineStatus {
+  kComplete,   ///< every root searched; the output is the full answer
+  kTruncated,  ///< a budget/cancel stop cut the search; output is a prefix
+};
+
+/// What a Mine() call actually did -- the partial-result contract.  Always
+/// populated (also for complete runs); read it via RegClusterMiner::outcome().
+struct MineOutcome {
+  MineStatus status = MineStatus::kComplete;
+  /// Why the run stopped (kNone when complete).
+  util::StopReason stop_reason = util::StopReason::kNone;
+  /// Total DFS nodes visited, *including* work on roots that were abandoned
+  /// or re-run and do not contribute to the output (stats().nodes_expanded
+  /// counts only the deterministic included prefix).
+  int64_t nodes_visited = 0;
+  /// Canonical roots whose clusters are in the output, vs. roots this call
+  /// was asked to search (after any resume offset).
+  int roots_completed = 0;
+  int roots_total = 0;
+  double wall_seconds = 0.0;
+  /// Peak of the approximate per-worker scratch + pending-output bytes
+  /// (the quantity soft_memory_limit_bytes bounds).
+  int64_t peak_scratch_bytes = 0;
+  /// Set (can_resume() true) iff status == kTruncated.
+  ResumeToken resume;
+};
 
 /// Mining parameters (paper notation in comments).
 struct MinerOptions {
@@ -70,10 +115,8 @@ struct MinerOptions {
   /// every level-1 condition *and* every level-2 subtree is an independently
   /// schedulable task writing into its own pre-assigned result slot, and the
   /// slots are merged in canonical (root, second-condition) order -- so the
-  /// output is deterministic and bit-identical for any thread count, unless
-  /// a max_clusters / max_nodes cap truncates the search (caps are enforced
-  /// with global atomic counters, so which branch hits the cap first then
-  /// depends on scheduling).
+  /// output is deterministic and bit-identical for any thread count, with or
+  /// without budget truncation (see max_nodes below and DESIGN.md).
   int num_threads = 1;
 
   /// Ablation toggles -- leave on for the paper's algorithm.
@@ -103,9 +146,42 @@ struct MinerOptions {
   /// Targeted mining: when non-empty, chains may only use these conditions.
   std::vector<int> allowed_conditions;
 
-  /// Safety caps for interactive use; -1 disables.
+  /// Resource budgets; -1 disables each.  Truncation is *deterministic and
+  /// root-granular*: the output is the clusters of the longest canonical
+  /// prefix of roots whose cumulative node / cluster counts fit the budget --
+  /// the same prefix (hence byte-identical output) for any thread count --
+  /// and outcome().resume lets a follow-up call continue where it stopped.
   int64_t max_clusters = -1;
   int64_t max_nodes = -1;
+
+  /// Wall-clock budget in milliseconds; < 0 disables.  A deadline is a
+  /// *hard* stop: the run ends at a root boundary as soon as the expiry is
+  /// observed, so the output is still a valid canonical prefix, but (unlike
+  /// the count budgets above) its length depends on machine speed and
+  /// thread count.
+  double deadline_ms = -1.0;
+
+  /// Approximate ceiling on live mining memory (per-worker scratch arenas +
+  /// buffered output clusters; the fixed model/index allocations are not
+  /// counted).  Hard stop like deadline_ms; < 0 disables.
+  int64_t soft_memory_limit_bytes = -1;
+
+  /// Optional external cancel signal (SIGINT handlers, RPC contexts).  Hard
+  /// stop like deadline_ms.  Shared: many miners may watch one token.
+  std::shared_ptr<util::CancellationToken> cancel_token;
+
+  /// Every worker re-evaluates the expensive stop sources (token, deadline,
+  /// memory, global counters) once per this many DFS nodes; in between it
+  /// only performs one relaxed atomic load per node.  Smaller = faster stop
+  /// response, more overhead.  Must be >= 1.  Fault-injection tests use 1
+  /// to make every node a potential trip point.
+  int budget_check_interval = 32;
+
+  /// Continue a truncated run: search only roots [resume.next_root, end).
+  /// The token must come from outcome().resume of a run with semantically
+  /// identical options (enforced via resume.options_hash); budgets and
+  /// thread counts may differ freely between the calls.
+  ResumeToken resume;
 
   /// Collect per-phase nanosecond counters (MinerStats::*_ns) for the DFS
   /// hot path.  Costs two clock reads per phase per extension, so it is off
@@ -144,11 +220,26 @@ class RegClusterMiner {
 
   /// Runs the search.  Fails (InvalidArgument / FailedPrecondition) on bad
   /// parameters or a matrix with missing values.  Deterministic: output
-  /// order depends only on the input.
+  /// order depends only on the input, including under budget truncation
+  /// (count budgets cut at a root boundary computed from per-root totals,
+  /// not from scheduling).  A budgeted or cancelled run still returns OK
+  /// with the partial clusters; consult outcome() for what was covered.
   util::StatusOr<std::vector<RegCluster>> Mine();
 
-  /// Counters from the last Mine() call.
+  /// Counters from the last Mine() call.  Under truncation these describe
+  /// exactly the included canonical prefix (deterministic); total effort
+  /// including abandoned work is outcome().nodes_visited.
   const MinerStats& stats() const { return stats_; }
+
+  /// Completion status, stop reason, coverage and resume token of the last
+  /// Mine() call.
+  const MineOutcome& outcome() const { return outcome_; }
+
+  /// Fingerprint of the options fields that define *what* is mined (MinG,
+  /// MinC, gamma, epsilon, prunings, targeting, ...), excluding execution
+  /// knobs (threads, budgets, profiling, resume).  Two runs with equal
+  /// hashes produce outputs that can be spliced via ResumeToken.
+  static uint64_t SemanticOptionsHash(const MinerOptions& options);
 
  private:
   /// Hot-path member state, struct-of-arrays: parallel columns (gene id,
@@ -192,6 +283,11 @@ class RegClusterMiner {
     MemberCols n_members;
   };
 
+  /// Per-task budget bookkeeping: amortizes BudgetGuard polls over a check
+  /// interval and enforces the local node/cluster quotas of a serial repair
+  /// pass.  Defined in miner.cc.
+  struct TaskControl;
+
   /// Per-task search state.  Tasks are independent: a chain is enumerated
   /// exactly once, from its first two conditions, and duplicate keys cannot
   /// collide across tasks (the key begins with the chain, and all chains of
@@ -201,21 +297,39 @@ class RegClusterMiner {
     MinerStats stats;
     std::unordered_set<util::Hash128, util::Hash128Hasher> seen_keys;
     std::vector<RegCluster> out;
+    /// Budget hook for the task currently driving this context; owned by the
+    /// task body (stack), valid only while the task runs.
+    TaskControl* ctl = nullptr;
   };
 
   /// Everything produced under one level-1 condition: the root node's own
   /// counters plus one (seed, context) pair per level-2 subtree, kept in
-  /// ascending second-condition order for the canonical merge.
+  /// ascending second-condition order for the canonical merge.  The two
+  /// completion fields make "did every task of this root finish?" a
+  /// race-free question after TaskPool::Wait(): a task that abandons its
+  /// slot on a budget trip simply never counts itself done, and the merge
+  /// re-runs or excludes the root.
   struct RootWork {
     SearchContext ctx;
     std::vector<SubtreeSeed> seeds;
     std::vector<SearchContext> subtree_ctx;
+    std::atomic<bool> seeded{false};
+    std::atomic<int> subtrees_done{0};
+
+    bool Complete() const {
+      return seeded.load(std::memory_order_acquire) &&
+             subtrees_done.load(std::memory_order_acquire) ==
+                 static_cast<int>(seeds.size());
+    }
+    void Reset();
   };
 
   /// Expands the level-1 node of `root_condition`: builds the member lists,
   /// applies the level-1 prunings, and materializes one SubtreeSeed per
-  /// surviving second condition (ascending).
-  void SeedRoot(int root_condition, RootWork* work, MinerScratch* scratch);
+  /// surviving second condition (ascending).  Returns false when a budget
+  /// stop abandoned the node mid-expansion (the RootWork is then incomplete
+  /// and must not be merged).
+  bool SeedRoot(int root_condition, RootWork* work, MinerScratch* scratch);
 
   /// Runs the full DFS below one level-2 seed.
   void MineSubtree(int root_condition, SubtreeSeed* seed,
@@ -245,8 +359,6 @@ class RegClusterMiner {
   bool MaybeEmit(const std::vector<int>& chain, const MemberCols& p,
                  const MemberCols& n, SearchContext* ctx);
 
-  bool BudgetExceeded() const;
-
   /// True iff the node (or a scored window) retains every required gene.
   /// Uses the scratch's epoch-stamped per-gene bitmap: no allocation.
   bool HasAllRequired(const MemberCols& p, const MemberCols& n,
@@ -255,15 +367,16 @@ class RegClusterMiner {
   const matrix::ExpressionMatrix& data_;
   MinerOptions options_;
   MinerStats stats_;
+  MineOutcome outcome_;
   std::vector<RWaveModel> rwaves_;
   RWaveBitmapIndex index_;            // vertical bitmaps over rwaves_
   std::vector<char> allowed_cond_;    // condition id -> allowed in chains
   std::vector<uint64_t> allowed_words_;  // allowed_cond_ as a bitmap row
   std::vector<char> required_gene_;   // gene id -> must stay in the branch
   int num_required_ = 0;
-  // Global budget guards (atomic so the caps also work multi-threaded).
-  std::atomic<int64_t> nodes_guard_{0};
-  std::atomic<int64_t> clusters_guard_{0};
+  /// Shared stop sources of the current Mine() call; null when no budget,
+  /// deadline or token is configured (the common case pays nothing).
+  std::unique_ptr<util::BudgetGuard> guard_;
 };
 
 }  // namespace core

@@ -65,6 +65,13 @@ std::string JsonEscape(const std::string& s) {
 util::Status WriteClustersJson(const std::vector<core::RegCluster>& clusters,
                                const matrix::ExpressionMatrix* data,
                                std::ostream& out) {
+  return WriteClustersJson(clusters, data, /*outcome=*/nullptr, out);
+}
+
+util::Status WriteClustersJson(const std::vector<core::RegCluster>& clusters,
+                               const matrix::ExpressionMatrix* data,
+                               const core::MineOutcome* outcome,
+                               std::ostream& out) {
   if (data != nullptr) {
     for (const core::RegCluster& c : clusters) {
       for (int g : c.AllGenes()) {
@@ -82,7 +89,23 @@ util::Status WriteClustersJson(const std::vector<core::RegCluster>& clusters,
     }
   }
 
-  out << "{\n  \"num_clusters\": " << clusters.size()
+  out << "{\n";
+  if (outcome != nullptr) {
+    const bool truncated = outcome->status == core::MineStatus::kTruncated;
+    out << "  \"outcome\": {\n"
+        << "    \"status\": \"" << (truncated ? "truncated" : "complete")
+        << "\",\n    \"stop_reason\": \""
+        << util::StopReasonName(outcome->stop_reason)
+        << "\",\n    \"nodes_visited\": " << outcome->nodes_visited
+        << ",\n    \"roots_completed\": " << outcome->roots_completed
+        << ",\n    \"roots_total\": " << outcome->roots_total
+        << ",\n    \"wall_seconds\": " << outcome->wall_seconds
+        << ",\n    \"peak_scratch_bytes\": " << outcome->peak_scratch_bytes
+        << ",\n    \"resume_next_root\": " << outcome->resume.next_root
+        << ",\n    \"resume_options_hash\": " << outcome->resume.options_hash
+        << "\n  },\n";
+  }
+  out << "  \"num_clusters\": " << clusters.size()
       << ",\n  \"clusters\": [";
   for (size_t i = 0; i < clusters.size(); ++i) {
     const core::RegCluster& c = clusters[i];

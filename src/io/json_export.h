@@ -3,6 +3,14 @@
 //
 // Output schema (stable):
 //   {
+//     "outcome": {                     // only when a MineOutcome is supplied
+//       "status": "complete"|"truncated",
+//       "stop_reason": "none"|"cancelled"|"deadline"|"memory_budget"|
+//                      "node_budget"|"cluster_budget",
+//       "nodes_visited": N, "roots_completed": R, "roots_total": T,
+//       "wall_seconds": S, "peak_scratch_bytes": B,
+//       "resume_next_root": -1|r, "resume_options_hash": H
+//     },
 //     "num_clusters": N,
 //     "clusters": [
 //       {
@@ -24,6 +32,7 @@
 #include <vector>
 
 #include "core/bicluster.h"
+#include "core/miner.h"
 #include "matrix/expression_matrix.h"
 #include "util/status.h"
 
@@ -34,6 +43,14 @@ namespace io {
 /// valid for it when given.
 util::Status WriteClustersJson(const std::vector<core::RegCluster>& clusters,
                                const matrix::ExpressionMatrix* data,
+                               std::ostream& out);
+
+/// Same, with a leading "outcome" block describing the partial-result
+/// contract of the Mine() call that produced `clusters` (pass
+/// miner.outcome()); `outcome == nullptr` writes the plain document.
+util::Status WriteClustersJson(const std::vector<core::RegCluster>& clusters,
+                               const matrix::ExpressionMatrix* data,
+                               const core::MineOutcome* outcome,
                                std::ostream& out);
 
 /// Escapes a string for inclusion in a JSON string literal.

@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <unordered_map>
 
 #include "util/string_util.h"
 
@@ -18,6 +19,7 @@ util::StatusOr<ExpressionMatrix> ReadMatrix(std::istream& in,
   }
   std::vector<std::string> condition_names;
   std::vector<std::string> gene_names;
+  std::unordered_map<std::string, int> gene_label_lines;  // label -> line no
   std::vector<std::vector<double>> rows;
   std::string line;
   bool header_pending = format.has_header;
@@ -64,6 +66,13 @@ util::StatusOr<ExpressionMatrix> ReadMatrix(std::istream& in,
         return util::Status::Corruption(
             util::StrFormat("line %d: empty row", line_no));
       }
+      auto [it, inserted] = gene_label_lines.emplace(fields[0], line_no);
+      if (!inserted) {
+        return util::Status::Corruption(util::StrFormat(
+            "line %d, column 1: duplicate gene label \"%s\" (first seen on "
+            "line %d)",
+            line_no, fields[0].c_str(), it->second));
+      }
       gene_names.push_back(fields[0]);
       first = 1;
     }
@@ -78,8 +87,10 @@ util::StatusOr<ExpressionMatrix> ReadMatrix(std::istream& in,
     for (size_t i = first; i < fields.size(); ++i) {
       auto v = util::ParseDouble(fields[i]);
       if (!v.ok()) {
+        // 1-based column over *all* fields of the line (including any gene
+        // label / annotation columns), matching what an editor shows.
         return util::Status::Corruption(util::StrFormat(
-            "line %d, field %d: %s", line_no, static_cast<int>(i),
+            "line %d, column %d: %s", line_no, static_cast<int>(i) + 1,
             v.status().message().c_str()));
       }
       row.push_back(*v);
@@ -87,6 +98,10 @@ util::StatusOr<ExpressionMatrix> ReadMatrix(std::istream& in,
     rows.push_back(std::move(row));
   }
 
+  if (rows.empty()) {
+    return util::Status::Corruption(util::StrFormat(
+        "no data rows in %d line(s) of input: the matrix is empty", line_no));
+  }
   auto m = ExpressionMatrix::FromRows(rows);
   if (!m.ok()) return m.status();
 

@@ -1,0 +1,115 @@
+#include "util/cancellation.h"
+
+#include <limits>
+
+namespace regcluster {
+namespace util {
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kMemoryBudget:
+      return "memory_budget";
+    case StopReason::kNodeBudget:
+      return "node_budget";
+    case StopReason::kClusterBudget:
+      return "cluster_budget";
+  }
+  return "unknown";
+}
+
+void CancellationToken::Cancel(StopReason reason) {
+  if (reason == StopReason::kNone) return;
+  int32_t expected = static_cast<int32_t>(StopReason::kNone);
+  reason_.compare_exchange_strong(expected, static_cast<int32_t>(reason),
+                                  std::memory_order_relaxed,
+                                  std::memory_order_relaxed);
+}
+
+void CancellationToken::CancelAfterPolls(int64_t k) {
+  polls_until_cancel_.store(k, std::memory_order_relaxed);
+}
+
+bool CancellationToken::Poll() {
+  if (polls_until_cancel_.load(std::memory_order_relaxed) >= 0) {
+    // fetch_sub returns the pre-decrement value: the k-th poll observes 1.
+    if (polls_until_cancel_.fetch_sub(1, std::memory_order_relaxed) == 1) {
+      Cancel(StopReason::kCancelled);
+    }
+  }
+  return cancelled();
+}
+
+DeadlineSource DeadlineSource::AfterMillis(double ms) {
+  DeadlineSource source;
+  source.active_ = true;
+  source.limit_ms_ = ms > 0 ? ms : 0.0;
+  source.timer_.Reset();
+  return source;
+}
+
+double DeadlineSource::RemainingMillis() const {
+  if (!active_) return std::numeric_limits<double>::infinity();
+  const double left = limit_ms_ - timer_.ElapsedMillis();
+  return left > 0 ? left : 0.0;
+}
+
+BudgetGuard::BudgetGuard(const Limits& limits, int num_slots)
+    : limits_(limits), slot_bytes_(num_slots > 0 ? num_slots : 1) {
+  if (limits_.deadline_ms >= 0) {
+    deadline_ = DeadlineSource::AfterMillis(limits_.deadline_ms);
+  }
+  for (auto& bytes : slot_bytes_) bytes.store(0, std::memory_order_relaxed);
+}
+
+StopReason BudgetGuard::reason() const {
+  const StopReason hard = hard_reason();
+  if (hard != StopReason::kNone) return hard;
+  return static_cast<StopReason>(soft_.load(std::memory_order_relaxed));
+}
+
+void BudgetGuard::Trip(StopReason reason) {
+  if (reason == StopReason::kNone) return;
+  std::atomic<int32_t>& cell = IsHardStop(reason) ? hard_ : soft_;
+  int32_t expected = static_cast<int32_t>(StopReason::kNone);
+  cell.compare_exchange_strong(expected, static_cast<int32_t>(reason),
+                               std::memory_order_relaxed,
+                               std::memory_order_relaxed);
+}
+
+StopReason BudgetGuard::Poll(int slot, int64_t slot_bytes) {
+  if (limits_.token != nullptr && limits_.token->Poll()) {
+    Trip(limits_.token->reason());
+  }
+  if (deadline_.Expired()) Trip(StopReason::kDeadline);
+  if (slot >= 0 && slot < static_cast<int>(slot_bytes_.size())) {
+    slot_bytes_[slot].store(slot_bytes, std::memory_order_relaxed);
+    int64_t total = 0;
+    for (const auto& bytes : slot_bytes_) {
+      total += bytes.load(std::memory_order_relaxed);
+    }
+    int64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+    while (total > peak && !peak_bytes_.compare_exchange_weak(
+                               peak, total, std::memory_order_relaxed)) {
+    }
+    if (limits_.soft_memory_limit_bytes >= 0 &&
+        total > limits_.soft_memory_limit_bytes) {
+      Trip(StopReason::kMemoryBudget);
+    }
+  }
+  if (limits_.max_nodes >= 0 && total_nodes() >= limits_.max_nodes) {
+    Trip(StopReason::kNodeBudget);
+  }
+  if (limits_.max_clusters >= 0 && total_clusters() >= limits_.max_clusters) {
+    Trip(StopReason::kClusterBudget);
+  }
+  return reason();
+}
+
+}  // namespace util
+}  // namespace regcluster

@@ -1,0 +1,202 @@
+// Cooperative cancellation and resource budgets for long-running searches.
+//
+// The miner's depth-first enumeration has worst-case exponential node counts,
+// so every caller that feeds it untrusted parameters needs a way to bound the
+// run: a wall-clock deadline, a node/cluster budget, an approximate memory
+// ceiling, or an external interrupt (SIGINT, an RPC peer going away).  This
+// header provides the three pieces, composable and cheap enough to consult at
+// DFS-node granularity:
+//
+//   * CancellationToken -- a shared atomic "stop requested" flag carrying a
+//     StopReason.  Safe to trip from any thread or from a signal handler
+//     (Cancel() is lock-free and async-signal-safe).  For fault-injection
+//     tests the token can be armed to self-trip on the k-th Poll().
+//   * DeadlineSource -- a wall-clock deadline on top of util::WallTimer.
+//   * BudgetGuard -- composes token + deadline + node / cluster / memory
+//     limits behind one cheap ShouldStop() (a single relaxed atomic load).
+//     Workers add their progress with amortized Poll() calls; the guard
+//     latches the *first* reason that tripped.
+//
+// Reasons are split into two severities that truncating searches treat
+// differently (see core::RegClusterMiner):
+//
+//   * hard stops (kCancelled, kDeadline, kMemoryBudget) -- the caller wants
+//     the process to let go *now*; a truncating search may not start any
+//     recovery work after one trips.
+//   * soft stops (kNodeBudget, kClusterBudget) -- a deterministic work quota
+//     ran out; the search may still spend bounded effort making the
+//     truncation point deterministic (e.g. re-running a partial unit of work
+//     serially under the remaining quota).
+
+#ifndef REGCLUSTER_UTIL_CANCELLATION_H_
+#define REGCLUSTER_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace regcluster {
+namespace util {
+
+/// Why a budgeted run stopped.  kNone means "ran to completion".
+enum class StopReason : int32_t {
+  kNone = 0,
+  kCancelled = 1,      ///< external CancellationToken tripped (hard)
+  kDeadline = 2,       ///< wall-clock deadline expired (hard)
+  kMemoryBudget = 3,   ///< approximate scratch memory over the soft limit (hard)
+  kNodeBudget = 4,     ///< DFS node budget exhausted (soft)
+  kClusterBudget = 5,  ///< emitted-cluster budget exhausted (soft)
+};
+
+/// Stable lower_snake_case name for reports and JSON exports.
+const char* StopReasonName(StopReason reason);
+
+/// True for reasons that forbid any post-trip recovery work.
+inline bool IsHardStop(StopReason reason) {
+  return reason == StopReason::kCancelled || reason == StopReason::kDeadline ||
+         reason == StopReason::kMemoryBudget;
+}
+
+/// A shared stop flag.  Typically owned via shared_ptr by the party that may
+/// cancel (a signal handler, an RPC context) and observed by the workers.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cancellation.  Idempotent; the first reason wins.  Lock-free
+  /// and async-signal-safe (a single atomic compare-exchange).
+  void Cancel(StopReason reason = StopReason::kCancelled);
+
+  bool cancelled() const {
+    return reason_.load(std::memory_order_relaxed) !=
+           static_cast<int32_t>(StopReason::kNone);
+  }
+
+  StopReason reason() const {
+    return static_cast<StopReason>(reason_.load(std::memory_order_relaxed));
+  }
+
+  /// Arms the token to self-cancel on the k-th Poll() (k >= 1), counted
+  /// across all threads.  Fault-injection hook: lets a test trip the token at
+  /// an exact, reproducible point in the search without timing races.
+  void CancelAfterPolls(int64_t k);
+
+  /// Counts one poll against an armed CancelAfterPolls() countdown (no-op
+  /// when unarmed) and returns cancelled().
+  bool Poll();
+
+ private:
+  std::atomic<int32_t> reason_{static_cast<int32_t>(StopReason::kNone)};
+  /// Remaining polls before self-cancel; negative = unarmed.
+  std::atomic<int64_t> polls_until_cancel_{-1};
+};
+
+/// A wall-clock deadline.  Default-constructed sources never expire.
+class DeadlineSource {
+ public:
+  DeadlineSource() = default;
+
+  /// A deadline `ms` milliseconds from now.  ms <= 0 expires immediately.
+  static DeadlineSource AfterMillis(double ms);
+
+  bool active() const { return active_; }
+
+  bool Expired() const {
+    return active_ && timer_.ElapsedMillis() >= limit_ms_;
+  }
+
+  /// Milliseconds until expiry (never negative); +inf when inactive.
+  double RemainingMillis() const;
+
+ private:
+  bool active_ = false;
+  double limit_ms_ = 0.0;
+  WallTimer timer_;
+};
+
+/// Composes every stop source behind one cheap check.  Shared by all workers
+/// of one run; each worker reports progress via Poll(slot, bytes) at an
+/// amortized interval and consults ShouldStop() (one relaxed load) in between.
+class BudgetGuard {
+ public:
+  struct Limits {
+    int64_t max_nodes = -1;              ///< total DFS nodes; < 0 = unlimited
+    int64_t max_clusters = -1;           ///< total emissions; < 0 = unlimited
+    double deadline_ms = -1.0;           ///< wall clock; < 0 = none
+    int64_t soft_memory_limit_bytes = -1;  ///< approx scratch; < 0 = none
+    std::shared_ptr<CancellationToken> token;  ///< optional external token
+
+    bool any() const {
+      return max_nodes >= 0 || max_clusters >= 0 || deadline_ms >= 0 ||
+             soft_memory_limit_bytes >= 0 || token != nullptr;
+    }
+  };
+
+  /// `num_slots` is the number of independent progress reporters (workers);
+  /// each owns one slot for its approximate-memory reports.
+  BudgetGuard(const Limits& limits, int num_slots);
+
+  BudgetGuard(const BudgetGuard&) = delete;
+  BudgetGuard& operator=(const BudgetGuard&) = delete;
+
+  /// The cheap check: true once any limit has tripped.  One relaxed load.
+  bool ShouldStop() const { return reason() != StopReason::kNone; }
+
+  /// First reason that tripped, hard reasons taking precedence; kNone if
+  /// still running.
+  StopReason reason() const;
+
+  /// First *hard* reason that tripped (kCancelled / kDeadline /
+  /// kMemoryBudget), ignoring exhausted work quotas.
+  StopReason hard_reason() const {
+    return static_cast<StopReason>(hard_.load(std::memory_order_relaxed));
+  }
+
+  /// Latches a stop reason directly.  Idempotent per severity; first wins.
+  void Trip(StopReason reason);
+
+  /// Adds finished DFS nodes / emitted clusters to the global totals.
+  void AddNodes(int64_t n) { nodes_.fetch_add(n, std::memory_order_relaxed); }
+  void AddClusters(int64_t n) {
+    clusters_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// The amortized check: records this slot's approximate live bytes, then
+  /// evaluates every limit (token poll, deadline, memory, node / cluster
+  /// totals) and latches the first violation.  Returns reason().
+  StopReason Poll(int slot, int64_t slot_bytes);
+
+  int64_t total_nodes() const {
+    return nodes_.load(std::memory_order_relaxed);
+  }
+  int64_t total_clusters() const {
+    return clusters_.load(std::memory_order_relaxed);
+  }
+
+  /// Peak of the summed per-slot byte reports seen by any Poll().
+  int64_t peak_bytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
+
+  const Limits& limits() const { return limits_; }
+
+ private:
+  Limits limits_;
+  DeadlineSource deadline_;
+  std::atomic<int32_t> hard_{static_cast<int32_t>(StopReason::kNone)};
+  std::atomic<int32_t> soft_{static_cast<int32_t>(StopReason::kNone)};
+  std::atomic<int64_t> nodes_{0};
+  std::atomic<int64_t> clusters_{0};
+  std::atomic<int64_t> peak_bytes_{0};
+  std::vector<std::atomic<int64_t>> slot_bytes_;
+};
+
+}  // namespace util
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_UTIL_CANCELLATION_H_

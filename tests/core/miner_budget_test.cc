@@ -1,0 +1,332 @@
+// The budget layer's partial-result contract: a truncated Mine() returns OK
+// with a *canonical prefix* of the unbudgeted output -- the same prefix for
+// any thread count when the stop is a deterministic count budget -- and its
+// ResumeToken continues the search such that the concatenation is
+// bit-identical to the unbudgeted run.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "synth/generator.h"
+#include "util/cancellation.h"
+
+namespace regcluster {
+namespace core {
+namespace {
+
+matrix::ExpressionMatrix TestData() {
+  synth::SyntheticConfig cfg;
+  cfg.num_genes = 300;
+  cfg.num_conditions = 18;
+  cfg.num_clusters = 6;
+  cfg.avg_cluster_genes_fraction = 0.04;
+  cfg.seed = 808;
+  auto ds = synth::GenerateSynthetic(cfg);
+  EXPECT_TRUE(ds.ok());
+  return ds->data;
+}
+
+MinerOptions BaseOptions() {
+  MinerOptions o;
+  o.min_genes = 5;
+  o.min_conditions = 5;
+  o.gamma = 0.1;
+  o.epsilon = 0.05;
+  return o;
+}
+
+std::vector<RegCluster> Reference(const matrix::ExpressionMatrix& data) {
+  RegClusterMiner miner(data, BaseOptions());
+  auto clusters = miner.Mine();
+  EXPECT_TRUE(clusters.ok());
+  EXPECT_EQ(miner.outcome().status, MineStatus::kComplete);
+  return *std::move(clusters);
+}
+
+bool IsPrefixOf(const std::vector<RegCluster>& prefix,
+                const std::vector<RegCluster>& full) {
+  if (prefix.size() > full.size()) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (!(prefix[i] == full[i])) return false;
+  }
+  return true;
+}
+
+TEST(MinerBudgetTest, CompleteRunOutcomeContract) {
+  const auto data = TestData();
+  RegClusterMiner miner(data, BaseOptions());
+  auto clusters = miner.Mine();
+  ASSERT_TRUE(clusters.ok());
+  const MineOutcome& outcome = miner.outcome();
+  EXPECT_EQ(outcome.status, MineStatus::kComplete);
+  EXPECT_EQ(outcome.stop_reason, util::StopReason::kNone);
+  EXPECT_EQ(outcome.roots_completed, outcome.roots_total);
+  EXPECT_EQ(outcome.roots_total, data.num_conditions());
+  EXPECT_FALSE(outcome.resume.can_resume());
+  EXPECT_GT(outcome.nodes_visited, 0);
+  EXPECT_GE(outcome.wall_seconds, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic count budgets: byte-identical prefix for any thread count.
+// ---------------------------------------------------------------------------
+
+class NodeBudgetSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(NodeBudgetSweep, PrefixIdenticalAcrossThreadCounts) {
+  const auto data = TestData();
+  const auto reference = Reference(data);
+
+  MinerOptions base = BaseOptions();
+  base.max_nodes = GetParam();
+
+  std::vector<RegCluster> first_out;
+  MineOutcome first_outcome;
+  for (const int threads : {1, 4, 8}) {
+    MinerOptions o = base;
+    o.num_threads = threads;
+    RegClusterMiner miner(data, o);
+    auto clusters = miner.Mine();
+    ASSERT_TRUE(clusters.ok()) << "threads=" << threads;
+    const MineOutcome& outcome = miner.outcome();
+    EXPECT_TRUE(IsPrefixOf(*clusters, reference)) << "threads=" << threads;
+    if (outcome.status == MineStatus::kTruncated) {
+      EXPECT_EQ(outcome.stop_reason, util::StopReason::kNodeBudget);
+      EXPECT_TRUE(outcome.resume.can_resume());
+      EXPECT_LT(outcome.roots_completed, outcome.roots_total);
+      EXPECT_EQ(outcome.resume.next_root, outcome.roots_completed);
+    } else {
+      EXPECT_EQ(*clusters, reference);
+    }
+    // The included prefix -- both the clusters and the coverage metadata --
+    // must not depend on the thread count.
+    if (threads == 1) {
+      first_out = *clusters;
+      first_outcome = outcome;
+    } else {
+      EXPECT_EQ(*clusters, first_out) << "threads=" << threads;
+      EXPECT_EQ(outcome.status, first_outcome.status);
+      EXPECT_EQ(outcome.roots_completed, first_outcome.roots_completed);
+      EXPECT_EQ(outcome.resume.next_root, first_outcome.resume.next_root);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, NodeBudgetSweep,
+                         ::testing::Values(int64_t{1}, int64_t{50},
+                                           int64_t{200}, int64_t{1000},
+                                           int64_t{100000}));
+
+class ClusterBudgetSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ClusterBudgetSweep, PrefixIdenticalAcrossThreadCounts) {
+  const auto data = TestData();
+  const auto reference = Reference(data);
+
+  MinerOptions base = BaseOptions();
+  base.max_clusters = GetParam();
+
+  std::vector<RegCluster> first_out;
+  int first_roots = -1;
+  for (const int threads : {1, 4, 8}) {
+    MinerOptions o = base;
+    o.num_threads = threads;
+    RegClusterMiner miner(data, o);
+    auto clusters = miner.Mine();
+    ASSERT_TRUE(clusters.ok()) << "threads=" << threads;
+    EXPECT_TRUE(IsPrefixOf(*clusters, reference)) << "threads=" << threads;
+    EXPECT_LE(static_cast<int64_t>(clusters->size()), GetParam());
+    if (threads == 1) {
+      first_out = *clusters;
+      first_roots = miner.outcome().roots_completed;
+    } else {
+      EXPECT_EQ(*clusters, first_out) << "threads=" << threads;
+      EXPECT_EQ(miner.outcome().roots_completed, first_roots);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, ClusterBudgetSweep,
+                         ::testing::Values(int64_t{0}, int64_t{1},
+                                           int64_t{7}, int64_t{1000000}));
+
+// ---------------------------------------------------------------------------
+// Resume: the concatenation across truncated runs is the unbudgeted answer.
+// ---------------------------------------------------------------------------
+
+TEST(MinerBudgetTest, ResumeConcatenationIsBitIdentical) {
+  const auto data = TestData();
+  const auto reference = Reference(data);
+
+  MinerOptions budgeted = BaseOptions();
+  budgeted.max_nodes = 300;
+  RegClusterMiner first(data, budgeted);
+  auto head = first.Mine();
+  ASSERT_TRUE(head.ok());
+  ASSERT_EQ(first.outcome().status, MineStatus::kTruncated);
+  ASSERT_TRUE(first.outcome().resume.can_resume());
+
+  MinerOptions rest = BaseOptions();  // unbudgeted continuation
+  rest.resume = first.outcome().resume;
+  RegClusterMiner second(data, rest);
+  auto tail = second.Mine();
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(second.outcome().status, MineStatus::kComplete);
+
+  std::vector<RegCluster> spliced = *head;
+  spliced.insert(spliced.end(), tail->begin(), tail->end());
+  EXPECT_EQ(spliced, reference);
+}
+
+TEST(MinerBudgetTest, ResumeChainOfBudgetedRunsReconstructsReference) {
+  // Walk the whole search in small budgeted hops, alternating thread counts;
+  // the concatenation of every hop must equal the unbudgeted reference.
+  const auto data = TestData();
+  const auto reference = Reference(data);
+
+  std::vector<RegCluster> spliced;
+  ResumeToken token;
+  int hops = 0;
+  int64_t budget = 500;
+  while (true) {
+    MinerOptions o = BaseOptions();
+    o.max_nodes = budget;
+    o.num_threads = (hops % 2 == 0) ? 1 : 4;
+    o.resume = token;
+    RegClusterMiner miner(data, o);
+    auto part = miner.Mine();
+    ASSERT_TRUE(part.ok()) << "hop " << hops;
+    spliced.insert(spliced.end(), part->begin(), part->end());
+    if (miner.outcome().status == MineStatus::kComplete) break;
+    // A hop whose budget is smaller than its next root's subtree completes
+    // zero roots; double the budget so the chain always terminates.
+    if (miner.outcome().resume.next_root == token.next_root ||
+        (token.next_root < 0 && miner.outcome().resume.next_root == 0)) {
+      budget *= 2;
+    }
+    token = miner.outcome().resume;
+    ASSERT_TRUE(token.can_resume());
+    ASSERT_LE(++hops, 1000) << "resume chain failed to make progress";
+  }
+  EXPECT_GE(hops, 1);  // the budget actually bit
+  EXPECT_EQ(spliced, reference);
+}
+
+TEST(MinerBudgetTest, ResumeUnderDifferentSemanticsRejected) {
+  const auto data = TestData();
+  MinerOptions budgeted = BaseOptions();
+  budgeted.max_nodes = 300;
+  RegClusterMiner first(data, budgeted);
+  ASSERT_TRUE(first.Mine().ok());
+  ASSERT_TRUE(first.outcome().resume.can_resume());
+
+  MinerOptions other = BaseOptions();
+  other.min_genes += 1;  // semantically different search
+  other.resume = first.outcome().resume;
+  auto result = RegClusterMiner(data, other).Mine();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(MinerBudgetTest, ResumeWithRemoveDominatedRejected) {
+  // remove_dominated is a global post-pass; splicing per-root prefixes under
+  // it would not be bit-identical, so the combination is refused outright.
+  const auto data = TestData();
+  MinerOptions budgeted = BaseOptions();
+  budgeted.max_nodes = 300;
+  RegClusterMiner first(data, budgeted);
+  ASSERT_TRUE(first.Mine().ok());
+
+  MinerOptions rest = BaseOptions();
+  rest.remove_dominated = true;
+  rest.resume = first.outcome().resume;
+  // The hash covers semantic fields, so this already fails the hash check;
+  // assert the rejection regardless of which validation fires.
+  EXPECT_FALSE(RegClusterMiner(data, rest).Mine().ok());
+}
+
+TEST(MinerBudgetTest, SemanticHashIgnoresExecutionKnobs) {
+  MinerOptions a = BaseOptions();
+  MinerOptions b = BaseOptions();
+  b.num_threads = 8;
+  b.max_nodes = 123;
+  b.deadline_ms = 5.0;
+  b.budget_check_interval = 1;
+  b.profile_phases = true;
+  EXPECT_EQ(RegClusterMiner::SemanticOptionsHash(a),
+            RegClusterMiner::SemanticOptionsHash(b));
+  b.epsilon = 0.06;
+  EXPECT_NE(RegClusterMiner::SemanticOptionsHash(a),
+            RegClusterMiner::SemanticOptionsHash(b));
+}
+
+// ---------------------------------------------------------------------------
+// Hard stops: valid canonical prefix, reason surfaced.
+// ---------------------------------------------------------------------------
+
+TEST(MinerBudgetTest, ZeroDeadlineTruncatesToValidPrefix) {
+  const auto data = TestData();
+  const auto reference = Reference(data);
+  MinerOptions o = BaseOptions();
+  o.deadline_ms = 0.0;
+  RegClusterMiner miner(data, o);
+  auto clusters = miner.Mine();
+  ASSERT_TRUE(clusters.ok());
+  EXPECT_EQ(miner.outcome().status, MineStatus::kTruncated);
+  EXPECT_EQ(miner.outcome().stop_reason, util::StopReason::kDeadline);
+  EXPECT_TRUE(IsPrefixOf(*clusters, reference));
+}
+
+TEST(MinerBudgetTest, PreCancelledTokenStopsBeforeAnyRoot) {
+  const auto data = TestData();
+  MinerOptions o = BaseOptions();
+  o.cancel_token = std::make_shared<util::CancellationToken>();
+  o.cancel_token->Cancel();
+  RegClusterMiner miner(data, o);
+  auto clusters = miner.Mine();
+  ASSERT_TRUE(clusters.ok());
+  EXPECT_TRUE(clusters->empty());
+  EXPECT_EQ(miner.outcome().status, MineStatus::kTruncated);
+  EXPECT_EQ(miner.outcome().stop_reason, util::StopReason::kCancelled);
+  EXPECT_EQ(miner.outcome().resume.next_root, 0);
+}
+
+TEST(MinerBudgetTest, TinyMemoryLimitTripsMemoryBudget) {
+  const auto data = TestData();
+  const auto reference = Reference(data);
+  MinerOptions o = BaseOptions();
+  o.soft_memory_limit_bytes = 1;  // any scratch report exceeds this
+  o.budget_check_interval = 1;
+  RegClusterMiner miner(data, o);
+  auto clusters = miner.Mine();
+  ASSERT_TRUE(clusters.ok());
+  EXPECT_EQ(miner.outcome().status, MineStatus::kTruncated);
+  EXPECT_EQ(miner.outcome().stop_reason, util::StopReason::kMemoryBudget);
+  EXPECT_TRUE(IsPrefixOf(*clusters, reference));
+  EXPECT_GT(miner.outcome().peak_scratch_bytes, 1);
+}
+
+TEST(MinerBudgetTest, BadResumeRootRejected) {
+  const auto data = TestData();
+  MinerOptions o = BaseOptions();
+  o.resume.next_root = data.num_conditions() + 1;
+  o.resume.options_hash = RegClusterMiner::SemanticOptionsHash(o);
+  EXPECT_FALSE(RegClusterMiner(data, o).Mine().ok());
+}
+
+TEST(MinerBudgetTest, BadCheckIntervalRejected) {
+  const auto data = TestData();
+  MinerOptions o = BaseOptions();
+  o.budget_check_interval = 0;
+  auto result = RegClusterMiner(data, o).Mine();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace regcluster

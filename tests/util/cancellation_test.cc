@@ -1,0 +1,267 @@
+// util::CancellationToken / DeadlineSource / BudgetGuard: trip semantics,
+// first-reason-wins latching, hard/soft severity split, the fault-injection
+// poll countdown, and thread-safety of concurrent cancellation.
+
+#include "util/cancellation.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace regcluster {
+namespace util {
+namespace {
+
+TEST(StopReasonTest, NamesAreStable) {
+  EXPECT_STREQ(StopReasonName(StopReason::kNone), "none");
+  EXPECT_STREQ(StopReasonName(StopReason::kCancelled), "cancelled");
+  EXPECT_STREQ(StopReasonName(StopReason::kDeadline), "deadline");
+  EXPECT_STREQ(StopReasonName(StopReason::kMemoryBudget), "memory_budget");
+  EXPECT_STREQ(StopReasonName(StopReason::kNodeBudget), "node_budget");
+  EXPECT_STREQ(StopReasonName(StopReason::kClusterBudget), "cluster_budget");
+}
+
+TEST(StopReasonTest, HardnessSplit) {
+  EXPECT_FALSE(IsHardStop(StopReason::kNone));
+  EXPECT_TRUE(IsHardStop(StopReason::kCancelled));
+  EXPECT_TRUE(IsHardStop(StopReason::kDeadline));
+  EXPECT_TRUE(IsHardStop(StopReason::kMemoryBudget));
+  EXPECT_FALSE(IsHardStop(StopReason::kNodeBudget));
+  EXPECT_FALSE(IsHardStop(StopReason::kClusterBudget));
+}
+
+TEST(CancellationTokenTest, StartsClean) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), StopReason::kNone);
+  EXPECT_FALSE(token.Poll());  // unarmed Poll is a no-op
+}
+
+TEST(CancellationTokenTest, CancelIsIdempotentFirstReasonWins) {
+  CancellationToken token;
+  token.Cancel(StopReason::kDeadline);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), StopReason::kDeadline);
+  token.Cancel(StopReason::kCancelled);  // too late; ignored
+  EXPECT_EQ(token.reason(), StopReason::kDeadline);
+}
+
+TEST(CancellationTokenTest, CancelAfterPollsTripsOnExactPoll) {
+  CancellationToken token;
+  token.CancelAfterPolls(3);
+  EXPECT_FALSE(token.Poll());  // 1st
+  EXPECT_FALSE(token.Poll());  // 2nd
+  EXPECT_TRUE(token.Poll());   // 3rd trips
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), StopReason::kCancelled);
+  EXPECT_TRUE(token.Poll());  // stays tripped
+}
+
+TEST(CancellationTokenTest, CancelAfterOnePollTripsImmediately) {
+  CancellationToken token;
+  token.CancelAfterPolls(1);
+  EXPECT_TRUE(token.Poll());
+}
+
+TEST(CancellationTokenTest, ConcurrentCancelLatchesExactlyOneReason) {
+  for (int round = 0; round < 20; ++round) {
+    CancellationToken token;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&token, t] {
+        token.Cancel(t % 2 == 0 ? StopReason::kCancelled
+                                : StopReason::kDeadline);
+      });
+    }
+    for (auto& th : threads) th.join();
+    const StopReason r = token.reason();
+    EXPECT_TRUE(r == StopReason::kCancelled || r == StopReason::kDeadline);
+  }
+}
+
+TEST(CancellationTokenTest, ConcurrentPollCountdownTripsExactlyOnce) {
+  // 4 threads x 100 polls against a countdown of 200: the token must trip
+  // exactly at the 200th global poll, never twice, never not at all.
+  CancellationToken token;
+  token.CancelAfterPolls(200);
+  std::atomic<int> trips{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      bool was_cancelled = false;
+      for (int i = 0; i < 100; ++i) {
+        const bool now = token.Poll();
+        if (now && !was_cancelled) was_cancelled = true;
+      }
+      if (was_cancelled) trips.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_GE(trips.load(), 1);
+}
+
+TEST(DeadlineSourceTest, DefaultNeverExpires) {
+  DeadlineSource d;
+  EXPECT_FALSE(d.active());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingMillis(), 1e12);
+}
+
+TEST(DeadlineSourceTest, ZeroDeadlineExpiresImmediately) {
+  DeadlineSource d = DeadlineSource::AfterMillis(0.0);
+  EXPECT_TRUE(d.active());
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.RemainingMillis(), 0.0);
+}
+
+TEST(DeadlineSourceTest, GenerousDeadlineStillPending) {
+  DeadlineSource d = DeadlineSource::AfterMillis(60'000.0);
+  EXPECT_TRUE(d.active());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingMillis(), 0.0);
+}
+
+TEST(BudgetGuardTest, LimitsAnyDetectsEachSource) {
+  EXPECT_FALSE(BudgetGuard::Limits{}.any());
+  BudgetGuard::Limits nodes;
+  nodes.max_nodes = 10;
+  EXPECT_TRUE(nodes.any());
+  BudgetGuard::Limits clusters;
+  clusters.max_clusters = 0;
+  EXPECT_TRUE(clusters.any());
+  BudgetGuard::Limits deadline;
+  deadline.deadline_ms = 5.0;
+  EXPECT_TRUE(deadline.any());
+  BudgetGuard::Limits memory;
+  memory.soft_memory_limit_bytes = 1 << 20;
+  EXPECT_TRUE(memory.any());
+  BudgetGuard::Limits token;
+  token.token = std::make_shared<CancellationToken>();
+  EXPECT_TRUE(token.any());
+}
+
+TEST(BudgetGuardTest, UnlimitedGuardNeverStops) {
+  BudgetGuard guard(BudgetGuard::Limits{}, 2);
+  EXPECT_FALSE(guard.ShouldStop());
+  guard.AddNodes(1'000'000);
+  guard.AddClusters(1'000'000);
+  EXPECT_EQ(guard.Poll(0, 1 << 30), StopReason::kNone);
+  EXPECT_FALSE(guard.ShouldStop());
+}
+
+TEST(BudgetGuardTest, NodeBudgetTripsAtLimit) {
+  BudgetGuard::Limits limits;
+  limits.max_nodes = 100;
+  BudgetGuard guard(limits, 1);
+  guard.AddNodes(99);
+  EXPECT_EQ(guard.Poll(0, 0), StopReason::kNone);
+  guard.AddNodes(1);
+  EXPECT_EQ(guard.Poll(0, 0), StopReason::kNodeBudget);
+  EXPECT_TRUE(guard.ShouldStop());
+  EXPECT_EQ(guard.hard_reason(), StopReason::kNone);  // soft stop only
+  EXPECT_EQ(guard.total_nodes(), 100);
+}
+
+TEST(BudgetGuardTest, ClusterBudgetTripsAtLimit) {
+  BudgetGuard::Limits limits;
+  limits.max_clusters = 5;
+  BudgetGuard guard(limits, 1);
+  guard.AddClusters(5);
+  EXPECT_EQ(guard.Poll(0, 0), StopReason::kClusterBudget);
+  EXPECT_EQ(guard.hard_reason(), StopReason::kNone);
+}
+
+TEST(BudgetGuardTest, MemoryLimitSumsSlotsAndRecordsPeak) {
+  BudgetGuard::Limits limits;
+  limits.soft_memory_limit_bytes = 1000;
+  BudgetGuard guard(limits, 3);
+  EXPECT_EQ(guard.Poll(0, 400), StopReason::kNone);
+  EXPECT_EQ(guard.Poll(1, 500), StopReason::kNone);
+  EXPECT_EQ(guard.peak_bytes(), 900);
+  // Third slot pushes the sum over the limit -> hard stop.
+  EXPECT_EQ(guard.Poll(2, 200), StopReason::kMemoryBudget);
+  EXPECT_EQ(guard.hard_reason(), StopReason::kMemoryBudget);
+  EXPECT_EQ(guard.peak_bytes(), 1100);
+}
+
+TEST(BudgetGuardTest, TokenCancellationIsHard) {
+  BudgetGuard::Limits limits;
+  limits.token = std::make_shared<CancellationToken>();
+  BudgetGuard guard(limits, 1);
+  EXPECT_EQ(guard.Poll(0, 0), StopReason::kNone);
+  limits.token->Cancel();
+  EXPECT_EQ(guard.Poll(0, 0), StopReason::kCancelled);
+  EXPECT_EQ(guard.hard_reason(), StopReason::kCancelled);
+}
+
+TEST(BudgetGuardTest, ArmedTokenCountsGuardPolls) {
+  BudgetGuard::Limits limits;
+  limits.token = std::make_shared<CancellationToken>();
+  limits.token->CancelAfterPolls(2);
+  BudgetGuard guard(limits, 1);
+  EXPECT_EQ(guard.Poll(0, 0), StopReason::kNone);
+  EXPECT_EQ(guard.Poll(0, 0), StopReason::kCancelled);
+}
+
+TEST(BudgetGuardTest, ExpiredDeadlineTripsOnPoll) {
+  BudgetGuard::Limits limits;
+  limits.deadline_ms = 0.0;
+  BudgetGuard guard(limits, 1);
+  EXPECT_EQ(guard.Poll(0, 0), StopReason::kDeadline);
+  EXPECT_EQ(guard.hard_reason(), StopReason::kDeadline);
+}
+
+TEST(BudgetGuardTest, HardReasonShadowsEarlierSoftReason) {
+  // A soft node-budget trip must not mask a later hard cancellation:
+  // reason() reports hard reasons with precedence so that recovery phases
+  // keyed on hard_reason() and callers keyed on reason() agree.
+  BudgetGuard::Limits limits;
+  limits.max_nodes = 1;
+  limits.token = std::make_shared<CancellationToken>();
+  BudgetGuard guard(limits, 1);
+  guard.AddNodes(5);
+  EXPECT_EQ(guard.Poll(0, 0), StopReason::kNodeBudget);
+  limits.token->Cancel();
+  EXPECT_EQ(guard.Poll(0, 0), StopReason::kCancelled);
+  EXPECT_EQ(guard.reason(), StopReason::kCancelled);
+}
+
+TEST(BudgetGuardTest, TripLatchesFirstReasonPerSeverity) {
+  BudgetGuard guard(BudgetGuard::Limits{}, 1);
+  guard.Trip(StopReason::kNodeBudget);
+  guard.Trip(StopReason::kClusterBudget);  // second soft reason ignored
+  EXPECT_EQ(guard.reason(), StopReason::kNodeBudget);
+  guard.Trip(StopReason::kDeadline);
+  guard.Trip(StopReason::kCancelled);  // second hard reason ignored
+  EXPECT_EQ(guard.reason(), StopReason::kDeadline);
+  EXPECT_EQ(guard.hard_reason(), StopReason::kDeadline);
+}
+
+TEST(BudgetGuardTest, ConcurrentPollsAreRaceFree) {
+  // 4 workers each report 10k nodes in chunks against a 20k budget; the
+  // guard must latch kNodeBudget exactly once and totals must be exact.
+  BudgetGuard::Limits limits;
+  limits.max_nodes = 20'000;
+  BudgetGuard guard(limits, 4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&guard, t] {
+      for (int i = 0; i < 100; ++i) {
+        guard.AddNodes(100);
+        guard.Poll(t, 64 * i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(guard.total_nodes(), 40'000);
+  EXPECT_EQ(guard.reason(), StopReason::kNodeBudget);
+  EXPECT_GE(guard.peak_bytes(), 64 * 99);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace regcluster

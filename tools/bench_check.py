@@ -15,6 +15,13 @@ Usage (mirrors the CI step):
     python3 tools/bench_check.py --baseline BENCH_miner.json \
         --fresh build/BENCH_fresh.json
 
+Also gates the cancellation layer: the ``budget_overhead`` section written
+by ``bench_threads`` records how much slower a serial mine runs with every
+budget source armed but none binding; ``--max-budget-overhead`` (default 2%)
+fails the check when that fraction is exceeded.  The gate is skipped with a
+notice when neither input has the section (e.g. ``bench_threads`` has not
+run), so the micro comparison stays usable on its own.
+
 Exit status: 0 when every compared benchmark is within the threshold,
 1 on regression / missing data / malformed input.
 """
@@ -24,16 +31,38 @@ import json
 import sys
 
 
-def load_micro(path):
+def load_doc(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def load_micro(doc):
     """Returns {benchmark name: (real_time, time_unit)} from the micro
     section of a BENCH_miner.json-style document."""
-    with open(path, "r", encoding="utf-8") as f:
-        doc = json.load(f)
     rows = doc.get("micro", {}).get("benchmarks", [])
     out = {}
     for row in rows:
         out[row["name"]] = (float(row["real_time"]), row.get("time_unit", ""))
     return out
+
+
+def check_budget_overhead(fresh_doc, baseline_doc, max_overhead):
+    """Gates budget_overhead.overhead_fraction.  Prefers the fresh
+    measurement, falls back to the committed baseline; returns True (pass)
+    with a notice when neither document carries the section."""
+    for label, doc in (("fresh", fresh_doc), ("baseline", baseline_doc)):
+        section = doc.get("budget_overhead")
+        if not section:
+            continue
+        overhead = float(section["overhead_fraction"])
+        ok = overhead <= max_overhead
+        print(f"budget-guard overhead ({label}): {overhead:+.2%} "
+              f"(limit {max_overhead:.2%})"
+              f"{'' if ok else '  REGRESSION'}")
+        return ok
+    print("budget-guard overhead: no budget_overhead section in either "
+          "input; skipping gate (run bench_threads to measure)")
+    return True
 
 
 def main(argv):
@@ -48,11 +77,17 @@ def main(argv):
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="maximum tolerated fractional slowdown "
                              "(default: %(default)s)")
+    parser.add_argument("--max-budget-overhead", type=float, default=0.02,
+                        help="maximum tolerated budget-guard overhead "
+                             "fraction from the budget_overhead section "
+                             "(default: %(default)s)")
     args = parser.parse_args(argv)
 
     try:
-        baseline = load_micro(args.baseline)
-        fresh = load_micro(args.fresh)
+        baseline_doc = load_doc(args.baseline)
+        fresh_doc = load_doc(args.fresh)
+        baseline = load_micro(baseline_doc)
+        fresh = load_micro(fresh_doc)
     except (OSError, ValueError, KeyError) as err:
         print(f"bench_check: cannot load inputs: {err}", file=sys.stderr)
         return 1
@@ -85,6 +120,10 @@ def main(argv):
             failed = True
         print(f"{name:<32} {base_time:>10.2f}{base_unit:<2} "
               f"{fresh_time:>10.2f}{fresh_unit:<2} {ratio:>7.2f}x{verdict}")
+
+    if not check_budget_overhead(fresh_doc, baseline_doc,
+                                 args.max_budget_overhead):
+        failed = True
 
     if failed:
         print(f"bench_check: FAILED (threshold {args.threshold:.0%})",

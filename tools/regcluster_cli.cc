@@ -9,13 +9,23 @@
 //
 // Run `regcluster <subcommand> --help` for per-command flags.  All flags
 // are --name=value; every run is deterministic given its --seed.
+//
+// Exit codes (stable contract, also documented in README.md):
+//   0  success
+//   1  runtime error (I/O failure, invalid data, failed validation)
+//   2  usage error (unknown command/flag, missing required flag)
+//   3  mining truncated by a budget, deadline or cancellation -- the
+//      partial outputs on disk are valid and complete as written
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -37,11 +47,18 @@
 #include "matrix/transforms.h"
 #include "synth/generator.h"
 #include "synth/yeast_surrogate.h"
+#include "util/cancellation.h"
 #include "util/string_util.h"
 
 namespace regcluster {
 namespace cli {
 namespace {
+
+// Exit codes; see the file comment for the contract.
+constexpr int kExitOk = 0;
+constexpr int kExitRuntimeError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitTruncated = 3;
 
 // ---------------------------------------------------------------------------
 // Flag plumbing.
@@ -49,21 +66,25 @@ namespace {
 
 class Flags {
  public:
-  Flags(int argc, char** argv, int first) {
+  /// Parses `argv[first..argc)` as --name[=value] flags.  Returns
+  /// InvalidArgument on a positional argument; only main() exits the
+  /// process.
+  static util::StatusOr<Flags> Parse(int argc, char** argv, int first) {
+    Flags flags;
     for (int i = first; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) != 0) {
-        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
-        std::exit(2);
+        return util::Status::InvalidArgument("unexpected argument: " + arg);
       }
       arg = arg.substr(2);
       const size_t eq = arg.find('=');
       if (eq == std::string::npos) {
-        values_[arg] = "true";
+        flags.values_[arg] = "true";
       } else {
-        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
       }
     }
+    return flags;
   }
 
   bool Has(const std::string& name) const { return values_.count(name) > 0; }
@@ -80,6 +101,12 @@ class Flags {
     return v.empty() ? fallback : std::atoi(v.c_str());
   }
 
+  int64_t GetInt64(const std::string& name, int64_t fallback) {
+    const std::string v = GetString(name, "");
+    if (v.empty()) return fallback;
+    return static_cast<int64_t>(std::strtoll(v.c_str(), nullptr, 10));
+  }
+
   double GetDouble(const std::string& name, double fallback) {
     const std::string v = GetString(name, "");
     return v.empty() ? fallback : std::atof(v.c_str());
@@ -91,45 +118,69 @@ class Flags {
     return v == "true" || v == "1" || v == "yes";
   }
 
-  /// Exits with an error when an unconsumed flag remains (typo protection).
-  void RejectUnknown() const {
+  /// Returns InvalidArgument when an unconsumed flag remains (typo
+  /// protection).  Call after the last Get*.
+  util::Status RejectUnknown() const {
     for (const auto& [name, value] : values_) {
       (void)value;
       if (used_.find(name) == used_.end()) {
-        std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
-        std::exit(2);
+        return util::Status::InvalidArgument("unknown flag: --" + name);
       }
     }
+    return util::Status::OK();
   }
 
  private:
+  Flags() = default;
+
   std::map<std::string, std::string> values_;
   std::set<std::string> used_;
 };
 
 int Fail(const util::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
+  return kExitRuntimeError;
 }
 
-matrix::ExpressionMatrix LoadMatrixOrDie(const std::string& path) {
+int UsageError(const util::Status& status) {
+  std::fprintf(stderr, "%s\n", status.message().c_str());
+  return kExitUsage;
+}
+
+// ---------------------------------------------------------------------------
+// Interrupt plumbing: SIGINT/SIGTERM trip the mining cancellation token so
+// a long `mine` run shuts down at the next budget poll, writes whatever
+// canonical prefix it completed, and exits with kExitTruncated.
+// CancellationToken::Cancel is a single lock-free CAS, so calling it from a
+// signal handler through a lock-free atomic pointer is async-signal-safe.
+// ---------------------------------------------------------------------------
+
+std::atomic<util::CancellationToken*> g_interrupt_token{nullptr};
+
+extern "C" void HandleInterrupt(int /*signum*/) {
+  util::CancellationToken* token =
+      g_interrupt_token.load(std::memory_order_acquire);
+  if (token != nullptr) token->Cancel(util::StopReason::kCancelled);
+}
+
+util::StatusOr<matrix::ExpressionMatrix> LoadMatrixArg(
+    const std::string& path) {
   auto m = matrix::LoadMatrix(path);
   if (!m.ok()) {
-    std::fprintf(stderr, "error loading %s: %s\n", path.c_str(),
-                 m.status().ToString().c_str());
-    std::exit(1);
+    return util::Status(m.status().code(),
+                        "loading " + path + ": " + m.status().message());
   }
-  return *std::move(m);
+  return m;
 }
 
-std::vector<core::RegCluster> LoadClustersOrDie(const std::string& path) {
+util::StatusOr<std::vector<core::RegCluster>> LoadClustersArg(
+    const std::string& path) {
   auto c = io::LoadClusters(path);
   if (!c.ok()) {
-    std::fprintf(stderr, "error loading %s: %s\n", path.c_str(),
-                 c.status().ToString().c_str());
-    std::exit(1);
+    return util::Status(c.status().code(),
+                        "loading " + path + ": " + c.status().message());
   }
-  return *std::move(c);
+  return c;
 }
 
 // ---------------------------------------------------------------------------
@@ -160,7 +211,7 @@ int CmdGenerate(Flags* flags) {
     cfg.seed = static_cast<uint64_t>(flags->GetInt("seed", 1999));
     cfg.num_modules = flags->GetInt("clusters", 25);
     cfg.noise_fraction = flags->GetDouble("noise", 0.05);
-    flags->RejectUnknown();
+    if (auto st = flags->RejectUnknown(); !st.ok()) return UsageError(st);
     auto made = synth::MakeYeastSurrogate(cfg);
     if (!made.ok()) return Fail(made.status());
     ds = *std::move(made);
@@ -174,7 +225,7 @@ int CmdGenerate(Flags* flags) {
     cfg.negative_fraction = flags->GetDouble("negative-fraction", 0.3);
     cfg.noise_fraction = flags->GetDouble("noise", 0.0);
     cfg.seed = static_cast<uint64_t>(flags->GetInt("seed", 42));
-    flags->RejectUnknown();
+    if (auto st = flags->RejectUnknown(); !st.ok()) return UsageError(st);
     auto made = synth::GenerateSynthetic(cfg);
     if (!made.ok()) return Fail(made.status());
     ds = *std::move(made);
@@ -210,9 +261,14 @@ int CmdMine(Flags* flags) {
         "  [--epsilon=1.0] [--threads=1] [--remove-dominated=true]\n"
         "  [--impute=rowmean|knn] [--knn-k=10] [--normalize=none|quantile]\n"
         "  [--merge-overlap=0] [--require-gene=NAME_OR_INDEX]\n"
-        "  [--report=PATH] [--json=PATH] [--max-clusters=-1]\n"
+        "  [--report=PATH] [--json=PATH]\n"
+        "  [--max-clusters=-1] [--max-nodes=-1] [--deadline-ms=-1]\n"
         "Mines reg-clusters and writes the machine-format archive to --out.\n"
-        "--merge-overlap > 0 runs the consensus merge post-pass.");
+        "--merge-overlap > 0 runs the consensus merge post-pass.\n"
+        "Budgets (--max-clusters/--max-nodes/--deadline-ms) and Ctrl-C stop\n"
+        "the search at a deterministic root boundary: the outputs are then a\n"
+        "canonical prefix of the full result, the JSON export carries an\n"
+        "\"outcome\" block with a resume point, and the exit code is 3.");
     return 0;
   }
   const std::string matrix_path = flags->GetString("matrix", "");
@@ -229,7 +285,9 @@ int CmdMine(Flags* flags) {
   opts.epsilon = flags->GetDouble("epsilon", 1.0);
   opts.num_threads = flags->GetInt("threads", 1);
   opts.remove_dominated = flags->GetBool("remove-dominated", true);
-  opts.max_clusters = flags->GetInt("max-clusters", -1);
+  opts.max_clusters = flags->GetInt64("max-clusters", -1);
+  opts.max_nodes = flags->GetInt64("max-nodes", -1);
+  opts.deadline_ms = flags->GetDouble("deadline-ms", -1.0);
   const std::string policy = flags->GetString("gamma-policy", "range");
   if (!core::ParseGammaPolicy(policy, &opts.gamma_policy)) {
     std::fprintf(stderr, "unknown --gamma-policy=%s\n", policy.c_str());
@@ -242,9 +300,11 @@ int CmdMine(Flags* flags) {
   const std::string normalize = flags->GetString("normalize", "none");
   const double merge_overlap = flags->GetDouble("merge-overlap", 0.0);
   const std::string require_gene = flags->GetString("require-gene", "");
-  flags->RejectUnknown();
+  if (auto st = flags->RejectUnknown(); !st.ok()) return UsageError(st);
 
-  matrix::ExpressionMatrix data = LoadMatrixOrDie(matrix_path);
+  auto loaded = LoadMatrixArg(matrix_path);
+  if (!loaded.ok()) return Fail(loaded.status());
+  matrix::ExpressionMatrix data = *std::move(loaded);
   if (!require_gene.empty()) {
     int gene = data.FindGene(require_gene);
     if (gene < 0) {
@@ -286,9 +346,32 @@ int CmdMine(Flags* flags) {
     return 2;
   }
 
+  // Route SIGINT/SIGTERM into the miner's cancellation token for the
+  // duration of the search; a second signal after restoration falls back to
+  // the default (immediate) disposition.
+  auto token = std::make_shared<util::CancellationToken>();
+  opts.cancel_token = token;
   core::RegClusterMiner miner(data, opts);
+  g_interrupt_token.store(token.get(), std::memory_order_release);
+  auto prev_int = std::signal(SIGINT, HandleInterrupt);
+  auto prev_term = std::signal(SIGTERM, HandleInterrupt);
   auto clusters = miner.Mine();
+  std::signal(SIGINT, prev_int == SIG_ERR ? SIG_DFL : prev_int);
+  std::signal(SIGTERM, prev_term == SIG_ERR ? SIG_DFL : prev_term);
+  g_interrupt_token.store(nullptr, std::memory_order_release);
   if (!clusters.ok()) return Fail(clusters.status());
+
+  const core::MineOutcome outcome = miner.outcome();
+  const bool truncated = outcome.status == core::MineStatus::kTruncated;
+  if (truncated) {
+    std::fprintf(
+        stderr,
+        "warning: search truncated (%s) after %d of %d roots; the outputs\n"
+        "warning: below are a canonical prefix of the full result"
+        " (resume root %d)\n",
+        util::StopReasonName(outcome.stop_reason), outcome.roots_completed,
+        outcome.roots_total, outcome.resume.next_root);
+  }
   if (merge_overlap > 0.0) {
     eval::ConsensusOptions copts;
     copts.min_overlap = merge_overlap;
@@ -322,12 +405,13 @@ int CmdMine(Flags* flags) {
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     if (!out) return Fail(util::Status::IoError("cannot open " + json_path));
-    if (auto st = io::WriteClustersJson(*clusters, &data, out); !st.ok()) {
+    if (auto st = io::WriteClustersJson(*clusters, &data, &outcome, out);
+        !st.ok()) {
       return Fail(st);
     }
     std::printf("json: %s\n", json_path.c_str());
   }
-  return 0;
+  return truncated ? kExitTruncated : kExitOk;
 }
 
 // ---------------------------------------------------------------------------
@@ -352,10 +436,14 @@ int CmdEvaluate(Flags* flags) {
   const std::string matrix_path = flags->GetString("matrix", "");
   const double gamma = flags->GetDouble("gamma", 0.05);
   const double epsilon = flags->GetDouble("epsilon", 1.0);
-  flags->RejectUnknown();
+  if (auto st = flags->RejectUnknown(); !st.ok()) return UsageError(st);
 
-  const auto found = LoadClustersOrDie(found_path);
-  const auto truth = LoadClustersOrDie(truth_path);
+  auto found_or = LoadClustersArg(found_path);
+  if (!found_or.ok()) return Fail(found_or.status());
+  auto truth_or = LoadClustersArg(truth_path);
+  if (!truth_or.ok()) return Fail(truth_or.status());
+  const auto found = *std::move(found_or);
+  const auto truth = *std::move(truth_or);
   std::vector<core::Bicluster> found_feet, truth_feet;
   for (const auto& c : found) found_feet.push_back(core::ToBicluster(c));
   for (const auto& c : truth) truth_feet.push_back(core::ToBicluster(c));
@@ -368,7 +456,9 @@ int CmdEvaluate(Flags* flags) {
               r.cell_recovery);
 
   if (!matrix_path.empty()) {
-    const matrix::ExpressionMatrix data = LoadMatrixOrDie(matrix_path);
+    auto data_or = LoadMatrixArg(matrix_path);
+    if (!data_or.ok()) return Fail(data_or.status());
+    const matrix::ExpressionMatrix data = *std::move(data_or);
     int invalid = 0;
     std::string why;
     for (const auto& c : found) {
@@ -407,10 +497,14 @@ int CmdEnrich(Flags* flags) {
   eval::EnrichmentOptions eopts;
   eopts.max_p_value = flags->GetDouble("max-p", 0.05);
   const int top = flags->GetInt("top", 3);
-  flags->RejectUnknown();
+  if (auto st = flags->RejectUnknown(); !st.ok()) return UsageError(st);
 
-  const matrix::ExpressionMatrix data = LoadMatrixOrDie(matrix_path);
-  const auto clusters = LoadClustersOrDie(clusters_path);
+  auto data_or = LoadMatrixArg(matrix_path);
+  if (!data_or.ok()) return Fail(data_or.status());
+  const matrix::ExpressionMatrix data = *std::move(data_or);
+  auto clusters_or = LoadClustersArg(clusters_path);
+  if (!clusters_or.ok()) return Fail(clusters_or.status());
+  const auto clusters = *std::move(clusters_or);
 
   eval::GoAnnotationDb db{0};
   if (annotations_path.empty()) {
@@ -465,9 +559,11 @@ int CmdSummarize(Flags* flags) {
   }
   const std::string matrix_path = flags->GetString("matrix", "");
   const int top = flags->GetInt("top", 5);
-  flags->RejectUnknown();
+  if (auto st = flags->RejectUnknown(); !st.ok()) return UsageError(st);
 
-  const auto clusters = LoadClustersOrDie(clusters_path);
+  auto clusters_or = LoadClustersArg(clusters_path);
+  if (!clusters_or.ok()) return Fail(clusters_or.status());
+  const auto clusters = *std::move(clusters_or);
   const eval::ClusterSetSummary s = eval::Summarize(clusters);
   std::printf("clusters: %d\n", s.num_clusters);
   if (s.num_clusters == 0) return 0;
@@ -482,7 +578,9 @@ int CmdSummarize(Flags* flags) {
   }
 
   if (!matrix_path.empty()) {
-    const matrix::ExpressionMatrix data = LoadMatrixOrDie(matrix_path);
+    auto data_or = LoadMatrixArg(matrix_path);
+    if (!data_or.ok()) return Fail(data_or.status());
+    const matrix::ExpressionMatrix data = *std::move(data_or);
     const std::vector<int> ranked = eval::RankClusters(data, clusters);
     std::printf("\ntop clusters by size/tightness:\n");
     for (size_t i = 0; i < ranked.size() && i < static_cast<size_t>(top);
@@ -533,7 +631,7 @@ int CmdConvert(Flags* flags) {
   const int knn_k = flags->GetInt("knn-k", 10);
   const std::string transform = flags->GetString("transform", "none");
   const std::string normalize = flags->GetString("normalize", "none");
-  flags->RejectUnknown();
+  if (auto st = flags->RejectUnknown(); !st.ok()) return UsageError(st);
 
   auto loaded = matrix::LoadMatrix(in_path, in_fmt);
   if (!loaded.ok()) return Fail(loaded.status());
@@ -600,8 +698,10 @@ int CmdStats(Flags* flags) {
     return 2;
   }
   const int worst = flags->GetInt("worst", 5);
-  flags->RejectUnknown();
-  const matrix::ExpressionMatrix data = LoadMatrixOrDie(matrix_path);
+  if (auto st = flags->RejectUnknown(); !st.ok()) return UsageError(st);
+  auto data_or = LoadMatrixArg(matrix_path);
+  if (!data_or.ok()) return Fail(data_or.status());
+  const matrix::ExpressionMatrix data = *std::move(data_or);
   if (auto st = matrix::WriteStatsReport(data, std::cout, worst); !st.ok()) {
     return Fail(st);
   }
@@ -633,11 +733,15 @@ int CmdSignificance(Flags* flags) {
   opts.epsilon = flags->GetDouble("epsilon", 1.0);
   opts.permutations = flags->GetInt("permutations", 2000);
   opts.seed = static_cast<uint64_t>(flags->GetInt("seed", 101));
-  flags->RejectUnknown();
+  if (auto st = flags->RejectUnknown(); !st.ok()) return UsageError(st);
 
-  matrix::ExpressionMatrix data = LoadMatrixOrDie(matrix_path);
+  auto data_or = LoadMatrixArg(matrix_path);
+  if (!data_or.ok()) return Fail(data_or.status());
+  matrix::ExpressionMatrix data = *std::move(data_or);
   if (data.HasMissingValues()) data = matrix::ImputeRowMean(data);
-  const auto clusters = LoadClustersOrDie(clusters_path);
+  auto clusters_or = LoadClustersArg(clusters_path);
+  if (!clusters_or.ok()) return Fail(clusters_or.status());
+  const auto clusters = *std::move(clusters_or);
 
   std::printf("%-10s %8s %8s %14s %14s %12s\n", "cluster", "genes", "conds",
               "null-chain", "null-full", "p-value");
@@ -679,9 +783,11 @@ int CmdRWave(Flags* flags) {
     std::fprintf(stderr, "unknown --gamma-policy=%s\n", policy.c_str());
     return 2;
   }
-  flags->RejectUnknown();
+  if (auto st = flags->RejectUnknown(); !st.ok()) return UsageError(st);
 
-  matrix::ExpressionMatrix data = LoadMatrixOrDie(matrix_path);
+  auto data_or = LoadMatrixArg(matrix_path);
+  if (!data_or.ok()) return Fail(data_or.status());
+  matrix::ExpressionMatrix data = *std::move(data_or);
   if (data.HasMissingValues()) data = matrix::ImputeRowMean(data);
   int gene = data.FindGene(gene_arg);
   if (gene < 0) {
@@ -721,23 +827,25 @@ int Usage() {
       "regcluster <command> [--flags]\n"
       "commands: generate, mine, evaluate, enrich, summarize, rwave, "
       "significance, stats, convert\n"
-      "run `regcluster <command> --help` for details");
-  return 2;
+      "run `regcluster <command> --help` for details\n"
+      "exit codes: 0 ok, 1 runtime error, 2 usage, 3 truncated by budget");
+  return kExitUsage;
 }
 
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
-  Flags flags(argc, argv, 2);
-  if (cmd == "generate") return CmdGenerate(&flags);
-  if (cmd == "mine") return CmdMine(&flags);
-  if (cmd == "evaluate") return CmdEvaluate(&flags);
-  if (cmd == "enrich") return CmdEnrich(&flags);
-  if (cmd == "summarize") return CmdSummarize(&flags);
-  if (cmd == "rwave") return CmdRWave(&flags);
-  if (cmd == "significance") return CmdSignificance(&flags);
-  if (cmd == "stats") return CmdStats(&flags);
-  if (cmd == "convert") return CmdConvert(&flags);
+  auto flags = Flags::Parse(argc, argv, 2);
+  if (!flags.ok()) return UsageError(flags.status());
+  if (cmd == "generate") return CmdGenerate(&*flags);
+  if (cmd == "mine") return CmdMine(&*flags);
+  if (cmd == "evaluate") return CmdEvaluate(&*flags);
+  if (cmd == "enrich") return CmdEnrich(&*flags);
+  if (cmd == "summarize") return CmdSummarize(&*flags);
+  if (cmd == "rwave") return CmdRWave(&*flags);
+  if (cmd == "significance") return CmdSignificance(&*flags);
+  if (cmd == "stats") return CmdStats(&*flags);
+  if (cmd == "convert") return CmdConvert(&*flags);
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   return Usage();
 }
