@@ -88,6 +88,7 @@ int Main(int argc, char** argv) {
   double serial_time = 0.0;
   std::string reference_key;
   bool ok = true;
+  core::MinerStats serial_stats;
   std::vector<std::string> rows;
   for (int threads : sweep) {
     core::MinerOptions o = base;
@@ -106,6 +107,7 @@ int Main(int argc, char** argv) {
     if (threads == 1) {
       serial_time = secs;
       reference_key = key;
+      serial_stats = miner.stats();
     }
     const bool identical = key == reference_key;
     ok = ok && identical;
@@ -189,71 +191,163 @@ int Main(int argc, char** argv) {
     std::printf("wrote section \"threads\" of %s\n", out_path.c_str());
   }
 
-  // Budget-guard overhead: with every stop source armed but none binding
-  // (huge budgets, a never-tripped token), ShouldStop()/Poll() bookkeeping
-  // is the only difference from an unbudgeted run.  The two variants run as
-  // interleaved pairs (best-of-5 each) so slow machine-load drift hits both
-  // sides equally; the committed overhead_fraction is gated (<2%) by
-  // tools/bench_check.py --max-budget-overhead.
+  // Deterministic work counters of the serial run.  These are a pure
+  // function of data + options, so tools/bench_check.py compares them
+  // *exactly* against the committed baseline: an unintended change to the
+  // search (a pruning regression, an index bug) shows up as a work-count
+  // diff even when wall time happens to look fine.
+  const std::string stats_section = JsonObject({
+      JsonField("dataset",
+                JsonObject({
+                    JsonField("genes", JsonInt(cfg.num_genes)),
+                    JsonField("conditions", JsonInt(cfg.num_conditions)),
+                    JsonField("implanted_clusters", JsonInt(cfg.num_clusters)),
+                    JsonField("seed", JsonInt(static_cast<int64_t>(cfg.seed))),
+                })),
+      JsonField("options",
+                JsonObject({
+                    JsonField("min_genes", JsonInt(base.min_genes)),
+                    JsonField("min_conditions", JsonInt(base.min_conditions)),
+                    JsonField("gamma", JsonDouble(base.gamma)),
+                    JsonField("epsilon", JsonDouble(base.epsilon)),
+                })),
+      JsonField("nodes_expanded", JsonInt(serial_stats.nodes_expanded)),
+      JsonField("extensions_tested", JsonInt(serial_stats.extensions_tested)),
+      JsonField("pruned_min_genes", JsonInt(serial_stats.pruned_min_genes)),
+      JsonField("pruned_p_majority", JsonInt(serial_stats.pruned_p_majority)),
+      JsonField("pruned_duplicate", JsonInt(serial_stats.pruned_duplicate)),
+      JsonField("pruned_coherence", JsonInt(serial_stats.pruned_coherence)),
+      JsonField("genes_dropped_min_conds",
+                JsonInt(serial_stats.genes_dropped_min_conds)),
+      JsonField("clusters_emitted", JsonInt(serial_stats.clusters_emitted)),
+      JsonField("index_word_ops", JsonInt(serial_stats.index_word_ops)),
+      JsonField("coherence_divide_calls",
+                JsonInt(serial_stats.coherence_divide_calls)),
+      JsonField("coherence_scores", JsonInt(serial_stats.coherence_scores)),
+      JsonField("dedup_probes", JsonInt(serial_stats.dedup_probes)),
+  });
+  if (!UpsertBenchSection(out_path, "stats", stats_section)) {
+    std::fprintf(stderr, "WARNING: could not write %s\n", out_path.c_str());
+  } else {
+    std::printf("wrote section \"stats\" of %s\n", out_path.c_str());
+  }
+
+  // Overhead measurements: each compares an "off" and an "on" variant as
+  // interleaved pairs (best-of-8 per side).  Alternating which variant runs
+  // first means cache/frequency carry-over between neighbours biases
+  // neither side, and shifting the heap frontier by an odd amount each rep
+  // stops malloc from handing every rep the same addresses (whichever
+  // variant lucked into better-aligned buffers would keep that -- easily
+  // 10% -- edge for the whole process).  Taking the min across shifted
+  // layouts converges both variants to their best case.
+  // --skip-overhead skips the measurements (16 extra serial mines each) so
+  // quick reruns can refresh the deterministic sections alone; the gates in
+  // tools/bench_check.py then fall back to the committed baseline.
+  const bool skip_overhead = BoolFlag(argc, argv, "skip-overhead");
   auto timed_mine = [&ds](const core::MinerOptions& o) {
     core::RegClusterMiner m(ds->data, o);
     util::WallTimer timer;
     if (!m.Mine().ok()) return -1.0;
     return timer.ElapsedSeconds();
   };
-  core::MinerOptions unbudgeted = base;
-  unbudgeted.num_threads = 1;
-  core::MinerOptions budgeted = unbudgeted;
-  budgeted.max_nodes = int64_t{1} << 60;
-  budgeted.max_clusters = int64_t{1} << 60;
-  budgeted.deadline_ms = 1e9;
-  budgeted.soft_memory_limit_bytes = int64_t{1} << 60;
-  budgeted.cancel_token = std::make_shared<util::CancellationToken>();
   constexpr int kOverheadReps = 8;
-  double off_seconds = 1e300;
-  double on_seconds = 1e300;
-  std::vector<std::unique_ptr<char[]>> heap_shift;
-  for (int rep = 0; rep < kOverheadReps; ++rep) {
-    // Alternate which variant runs first so cache/frequency carry-over
-    // between neighbours biases neither side, and shift the heap frontier
-    // by an odd amount each rep: otherwise malloc hands every rep the same
-    // addresses and whichever variant lucked into better-aligned buffers
-    // keeps that (easily 10%) edge for the whole process.  Taking the min
-    // across shifted layouts converges both variants to their best case.
-    heap_shift.push_back(std::make_unique<char[]>(
-        static_cast<size_t>(rep + 1) * 68923));
-    const bool off_first = (rep % 2) == 0;
-    const double first = timed_mine(off_first ? unbudgeted : budgeted);
-    const double second = timed_mine(off_first ? budgeted : unbudgeted);
-    const double off = off_first ? first : second;
-    const double on = off_first ? second : first;
-    if (off < 0 || on < 0) {
-      std::fprintf(stderr, "budget-overhead runs failed\n");
-      return 1;
+  struct OverheadResult {
+    double off_seconds = 1e300;
+    double on_seconds = 1e300;
+    double fraction = 0.0;
+    bool ok = true;
+  };
+  auto measure_overhead = [&](const char* label, const core::MinerOptions& off,
+                              const core::MinerOptions& on) {
+    OverheadResult r;
+    std::vector<std::unique_ptr<char[]>> heap_shift;
+    for (int rep = 0; rep < kOverheadReps; ++rep) {
+      heap_shift.push_back(
+          std::make_unique<char[]>(static_cast<size_t>(rep + 1) * 68923));
+      const bool off_first = (rep % 2) == 0;
+      const double first = timed_mine(off_first ? off : on);
+      const double second = timed_mine(off_first ? on : off);
+      const double off_secs = off_first ? first : second;
+      const double on_secs = off_first ? second : first;
+      if (off_secs < 0 || on_secs < 0) {
+        std::fprintf(stderr, "%s overhead runs failed\n", label);
+        r.ok = false;
+        return r;
+      }
+      std::printf("  %s overhead rep %d: off %.4f s, on %.4f s\n", label, rep,
+                  off_secs, on_secs);
+      r.off_seconds = std::min(r.off_seconds, off_secs);
+      r.on_seconds = std::min(r.on_seconds, on_secs);
     }
-    std::printf("  overhead rep %d: off %.4f s, on %.4f s\n", rep, off, on);
-    off_seconds = std::min(off_seconds, off);
-    on_seconds = std::min(on_seconds, on);
-  }
-  heap_shift.clear();
-  const double overhead = on_seconds / off_seconds - 1.0;
-  std::printf(
-      "\nbudget-guard overhead (serial, all stop sources armed, none "
-      "binding): off %.4f s, on %.4f s -> %+.2f%%\n",
-      off_seconds, on_seconds, 100.0 * overhead);
-  const std::string overhead_section = JsonObject({
-      JsonField("off_seconds", JsonDouble(off_seconds)),
-      JsonField("on_seconds", JsonDouble(on_seconds)),
-      JsonField("overhead_fraction", JsonDouble(overhead)),
-      JsonField("check_interval",
-                JsonInt(budgeted.budget_check_interval)),
-      JsonField("best_of", JsonInt(kOverheadReps)),
-  });
-  if (!UpsertBenchSection(out_path, "budget_overhead", overhead_section)) {
-    std::fprintf(stderr, "WARNING: could not write %s\n", out_path.c_str());
+    r.fraction = r.on_seconds / r.off_seconds - 1.0;
+    return r;
+  };
+
+  if (!skip_overhead) {
+    // Budget-guard overhead: with every stop source armed but none binding
+    // (huge budgets, a never-tripped token), ShouldStop()/Poll() bookkeeping
+    // is the only difference from an unbudgeted run.  Gated (<2%) by
+    // tools/bench_check.py --max-budget-overhead.
+    core::MinerOptions unbudgeted = base;
+    unbudgeted.num_threads = 1;
+    core::MinerOptions budgeted = unbudgeted;
+    budgeted.max_nodes = int64_t{1} << 60;
+    budgeted.max_clusters = int64_t{1} << 60;
+    budgeted.deadline_ms = 1e9;
+    budgeted.soft_memory_limit_bytes = int64_t{1} << 60;
+    budgeted.cancel_token = std::make_shared<util::CancellationToken>();
+    const OverheadResult budget =
+        measure_overhead("budget", unbudgeted, budgeted);
+    if (!budget.ok) return 1;
+    std::printf(
+        "\nbudget-guard overhead (serial, all stop sources armed, none "
+        "binding): off %.4f s, on %.4f s -> %+.2f%%\n",
+        budget.off_seconds, budget.on_seconds, 100.0 * budget.fraction);
+    const std::string overhead_section = JsonObject({
+        JsonField("off_seconds", JsonDouble(budget.off_seconds)),
+        JsonField("on_seconds", JsonDouble(budget.on_seconds)),
+        JsonField("overhead_fraction", JsonDouble(budget.fraction)),
+        JsonField("check_interval", JsonInt(budgeted.budget_check_interval)),
+        JsonField("best_of", JsonInt(kOverheadReps)),
+    });
+    if (!UpsertBenchSection(out_path, "budget_overhead", overhead_section)) {
+      std::fprintf(stderr, "WARNING: could not write %s\n", out_path.c_str());
+    } else {
+      std::printf("wrote section \"budget_overhead\" of %s\n",
+                  out_path.c_str());
+    }
+
+    // Stats-collection overhead: collect_stats=true (the default; detail
+    // counters live) vs. false (the instrumentation is compiled out via the
+    // kCollect template).  Gated (<1%) by tools/bench_check.py
+    // --max-stats-overhead.
+    core::MinerOptions stats_off = base;
+    stats_off.num_threads = 1;
+    stats_off.collect_stats = false;
+    core::MinerOptions stats_on = stats_off;
+    stats_on.collect_stats = true;
+    const OverheadResult stats_oh =
+        measure_overhead("stats", stats_off, stats_on);
+    if (!stats_oh.ok) return 1;
+    std::printf(
+        "\nstats-collection overhead (serial, collect_stats on vs off): "
+        "off %.4f s, on %.4f s -> %+.2f%%\n",
+        stats_oh.off_seconds, stats_oh.on_seconds, 100.0 * stats_oh.fraction);
+    const std::string stats_overhead_section = JsonObject({
+        JsonField("off_seconds", JsonDouble(stats_oh.off_seconds)),
+        JsonField("on_seconds", JsonDouble(stats_oh.on_seconds)),
+        JsonField("overhead_fraction", JsonDouble(stats_oh.fraction)),
+        JsonField("best_of", JsonInt(kOverheadReps)),
+    });
+    if (!UpsertBenchSection(out_path, "stats_overhead",
+                            stats_overhead_section)) {
+      std::fprintf(stderr, "WARNING: could not write %s\n", out_path.c_str());
+    } else {
+      std::printf("wrote section \"stats_overhead\" of %s\n",
+                  out_path.c_str());
+    }
   } else {
-    std::printf("wrote section \"budget_overhead\" of %s\n",
-                out_path.c_str());
+    std::printf("\n--skip-overhead: overhead sections left untouched\n");
   }
   if (!UpsertBenchSection(out_path, "provenance", ProvenanceObject())) {
     std::fprintf(stderr, "WARNING: could not write provenance to %s\n",

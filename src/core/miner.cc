@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "core/coherence.h"
+#include "obs/metrics.h"
 #include "util/bitset.h"
 #include "util/task_pool.h"
 #include "util/timer.h"
@@ -39,6 +40,10 @@ void AccumulateStats(const MinerStats& from, MinerStats* to) {
   to->pruned_coherence += from.pruned_coherence;
   to->genes_dropped_min_conds += from.genes_dropped_min_conds;
   to->clusters_emitted += from.clusters_emitted;
+  to->index_word_ops += from.index_word_ops;
+  to->coherence_divide_calls += from.coherence_divide_calls;
+  to->coherence_scores += from.coherence_scores;
+  to->dedup_probes += from.dedup_probes;
   to->filter_ns += from.filter_ns;
   to->score_ns += from.score_ns;
   to->sort_ns += from.sort_ns;
@@ -397,6 +402,7 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Mine() {
   // here is scheduling-dependent -- phase B makes the *output* deterministic.
   int64_t parallel_scratch_bytes = 0;
   if (threads > 1) {
+    obs::PhaseSpan phase_a(&outcome_.phase_a_seconds);
     util::TaskPool pool(threads);
     std::vector<MinerScratch> scratches(
         static_cast<size_t>(pool.num_workers()));
@@ -438,6 +444,8 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Mine() {
     for (const MinerScratch& s : scratches) {
       parallel_scratch_bytes += s.ApproxBytes();
     }
+    outcome_.pool_steals = pool.total_steals();
+    outcome_.pool_queue_high_water = pool.queue_depth_high_water();
   }
 
   // Phase B: canonical finalize -- the whole mining pass when threads <= 1.
@@ -451,6 +459,7 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Mine() {
   // forbid repair work, so they cut at the first root that is not already
   // complete: still a valid canonical prefix, but its length legitimately
   // depends on machine speed.
+  obs::PhaseSpan phase_b(&outcome_.phase_b_seconds);
   MinerScratch fin_scratch;
   fin_scratch.Init(num_conds, num_genes);
   const int64_t kUnlimited = std::numeric_limits<int64_t>::max();
@@ -523,6 +532,7 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Mine() {
                  std::make_move_iterator(ctx.out.end()));
     }
   }
+  phase_b.Stop();
   if (options_.remove_dominated) out = RemoveDominated(std::move(out));
   stats_.mine_seconds = timer.ElapsedSeconds();
 
@@ -537,6 +547,7 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Mine() {
   outcome_.peak_scratch_bytes =
       std::max<int64_t>(guard_ != nullptr ? guard_->peak_bytes() : 0,
                         parallel_scratch_bytes + fin_scratch.ApproxBytes());
+  outcome_.budget_polls = guard_ != nullptr ? guard_->total_polls() : 0;
   if (truncated) {
     outcome_.resume.next_root = cut_root;
     outcome_.resume.options_hash = SemanticOptionsHash(options_);
@@ -589,6 +600,7 @@ bool RegClusterMiner::HasAllRequired(const MemberCols& p, const MemberCols& n,
   return distinct == num_required_;
 }
 
+template <bool kCollect>
 void RegClusterMiner::PrepareNode(int m, int ckm, NodeFrame* node,
                                   MinerStats* stats) {
   const int words = index_.num_words();
@@ -619,6 +631,11 @@ void RegClusterMiner::PrepareNode(int m, int ckm, NodeFrame* node,
       rows[i] = row;
       base[i] = row[ckm];
     }
+    // One AND per word per member; a bulk add outside the loop keeps the
+    // accounting off the hot path entirely.
+    if constexpr (kCollect) {
+      stats->index_word_ops += static_cast<int64_t>(count) * words;
+    }
   };
   cache(node->p, /*up=*/true, node->p_comb, node->p_row, node->p_base);
   cache(node->n, /*up=*/false, node->n_comb, node->n_row, node->n_base);
@@ -633,6 +650,9 @@ void RegClusterMiner::PrepareNode(int m, int ckm, NodeFrame* node,
     for (int w = 0; w < words; ++w) node->cand_words[w] |= src[w];
   }
   for (int w = 0; w < words; ++w) node->cand_words[w] &= allowed_words_[w];
+  if constexpr (kCollect) {
+    stats->index_word_ops += static_cast<int64_t>(np + 1) * words;
+  }
   node->cands.clear();
   util::ForEachSetBit(node->cand_words.data(), words,
                       [&](int c) { node->cands.push_back(c); });
@@ -677,6 +697,9 @@ void RegClusterMiner::PrepareNode(int m, int ckm, NodeFrame* node,
       }
     }
     stats->genes_dropped_min_conds += drops;
+    if constexpr (kCollect) {
+      stats->index_word_ops += static_cast<int64_t>(count) * words;
+    }
   };
   transpose(node->p, /*up=*/true, node->p_comb, node->p_trans,
             &node->p_words);
@@ -714,6 +737,14 @@ int RegClusterMiner::FilterCandidate(int cand, NodeFrame* node) const {
 
 bool RegClusterMiner::SeedRoot(int root_condition, RootWork* work,
                                MinerScratch* scratch) {
+  return options_.collect_stats
+             ? SeedRootImpl<true>(root_condition, work, scratch)
+             : SeedRootImpl<false>(root_condition, work, scratch);
+}
+
+template <bool kCollect>
+bool RegClusterMiner::SeedRootImpl(int root_condition, RootWork* work,
+                                   MinerScratch* scratch) {
   SearchContext* ctx = &work->ctx;
   if (!allowed_cond_[static_cast<size_t>(root_condition)]) return true;
   // Level-1 chain: the root condition, with the genes that can still grow a
@@ -757,7 +788,7 @@ bool RegClusterMiner::SeedRoot(int root_condition, RootWork* work,
     return true;
   }
 
-  PrepareNode(/*m=*/1, /*ckm=*/root_condition, &node, &ctx->stats);
+  PrepareNode<kCollect>(/*m=*/1, /*ckm=*/root_condition, &node, &ctx->stats);
   for (const int cand : node.cands) {
     if (ctx->ctl->CheckAbort()) return false;
     ++ctx->stats.extensions_tested;
@@ -791,15 +822,27 @@ bool RegClusterMiner::SeedRoot(int root_condition, RootWork* work,
 
 void RegClusterMiner::MineSubtree(int root_condition, SubtreeSeed* seed,
                                   MinerScratch* scratch, SearchContext* ctx) {
+  if (options_.collect_stats) {
+    MineSubtreeImpl<true>(root_condition, seed, scratch, ctx);
+  } else {
+    MineSubtreeImpl<false>(root_condition, seed, scratch, ctx);
+  }
+}
+
+template <bool kCollect>
+void RegClusterMiner::MineSubtreeImpl(int root_condition, SubtreeSeed* seed,
+                                      MinerScratch* scratch,
+                                      SearchContext* ctx) {
   scratch->chain.clear();
   scratch->chain.push_back(root_condition);
   scratch->chain.push_back(seed->second_condition);
   NodeFrame& node = scratch->frame(0);
   node.p = std::move(seed->p_members);
   node.n = std::move(seed->n_members);
-  Extend(0, scratch, ctx);
+  Extend<kCollect>(0, scratch, ctx);
 }
 
+template <bool kCollect>
 void RegClusterMiner::Extend(int depth, MinerScratch* scratch,
                              SearchContext* ctx) {
   NodeFrame& node = scratch->frame(depth);
@@ -830,7 +873,7 @@ void RegClusterMiner::Extend(int depth, MinerScratch* scratch,
   const bool emit_candidate =
       m >= options_.min_conditions && total_members >= min_g;
   if (emit_candidate && !options_.closed_chains_only) {
-    if (!MaybeEmit(scratch->chain, node.p, node.n, ctx)) {
+    if (!MaybeEmit<kCollect>(scratch->chain, node.p, node.n, ctx)) {
       return;
     }
     if (ctx->ctl->stopped) return;  // the emission exhausted a quota
@@ -843,7 +886,7 @@ void RegClusterMiner::Extend(int depth, MinerScratch* scratch,
   const bool profile = options_.profile_phases;
   int64_t t0 = profile ? NowNs() : 0;
   const int ckm = scratch->chain[static_cast<size_t>(m) - 1];
-  PrepareNode(m, ckm, &node, &ctx->stats);
+  PrepareNode<kCollect>(m, ckm, &node, &ctx->stats);
   if (profile) ctx->stats.filter_ns += NowNs() - t0;
 
   for (const int cand : node.cands) {
@@ -870,6 +913,10 @@ void RegClusterMiner::Extend(int depth, MinerScratch* scratch,
     double* h = node.sc_h.data();
     const double* denom = node.sc_denom.data();
     for (int k = 0; k < total; ++k) h[k] /= denom[k];
+    if constexpr (kCollect) {
+      ++ctx->stats.coherence_divide_calls;
+      ctx->stats.coherence_scores += total;
+    }
     if (profile) ctx->stats.score_ns += NowNs() - t0;
 
     // Sort: index-sort over the score column; rows never move.
@@ -931,7 +978,7 @@ void RegClusterMiner::Extend(int depth, MinerScratch* scratch,
                           node.sc_denom[static_cast<size_t>(idx)]);
       }
       scratch->chain.push_back(cand);
-      Extend(depth + 1, scratch, ctx);
+      Extend<kCollect>(depth + 1, scratch, ctx);
       scratch->chain.pop_back();
       if (ctx->ctl->stopped) return;
     }
@@ -939,10 +986,11 @@ void RegClusterMiner::Extend(int depth, MinerScratch* scratch,
   }
 
   if (emit_candidate && options_.closed_chains_only && !child_kept_all) {
-    (void)MaybeEmit(scratch->chain, node.p, node.n, ctx);
+    (void)MaybeEmit<kCollect>(scratch->chain, node.p, node.n, ctx);
   }
 }
 
+template <bool kCollect>
 bool RegClusterMiner::MaybeEmit(const std::vector<int>& chain,
                                 const MemberCols& p, const MemberCols& n,
                                 SearchContext* ctx) {
@@ -971,6 +1019,7 @@ bool RegClusterMiner::MaybeEmit(const std::vector<int>& chain,
         key.MixInt(n.gene[j++]);
       }
     }
+    if constexpr (kCollect) ++ctx->stats.dedup_probes;
     auto [it, inserted] = ctx->seen_keys.insert(key.Digest());
     (void)it;
     if (!inserted) {

@@ -92,6 +92,16 @@ struct MineOutcome {
   int64_t peak_scratch_bytes = 0;
   /// Set (can_resume() true) iff status == kTruncated.
   ResumeToken resume;
+
+  /// Execution telemetry.  Everything below describes *how* the run was
+  /// scheduled, not *what* was mined: the values legitimately vary with
+  /// thread count, machine speed and stealing luck, which is why they live
+  /// here and not in the deterministic MinerStats.
+  double phase_a_seconds = 0.0;  ///< parallel optimistic phase (0 if serial)
+  double phase_b_seconds = 0.0;  ///< canonical finalize / serial mining phase
+  int64_t pool_steals = 0;       ///< TaskPool cross-worker task transfers
+  int64_t pool_queue_high_water = 0;  ///< deepest single worker deque seen
+  int64_t budget_polls = 0;      ///< BudgetGuard::Poll() calls, all workers
 };
 
 /// Mining parameters (paper notation in comments).
@@ -188,6 +198,15 @@ struct MinerOptions {
   /// by default and enabled only by profiling harnesses (bench_threads).
   /// Never changes the mined output.
   bool profile_phases = false;
+
+  /// Collect the detailed work counters of MinerStats (index_word_ops,
+  /// coherence_divide_calls, dedup_probes, ...).  The search hot path is
+  /// compiled twice behind a template parameter, so with collect_stats off
+  /// the instrumentation compiles to nothing -- those counters then read 0.
+  /// The structural counters (nodes_expanded, pruned_*, clusters_emitted)
+  /// are *always* maintained: the deterministic budget-truncation contract
+  /// depends on them.  Never changes the mined output.
+  bool collect_stats = true;
 };
 
 /// Search-effort and pruning counters, populated by Mine().
@@ -203,6 +222,18 @@ struct MinerStats {
   double rwave_build_seconds = 0.0;
   double index_build_seconds = 0.0;  ///< RWaveBitmapIndex bake time
   double mine_seconds = 0.0;
+
+  /// Detailed work counters, collected only when
+  /// MinerOptions::collect_stats is set (all zero otherwise -- the
+  /// instrumentation is compiled out).  Like every counter above they are
+  /// deterministic: the same data + options give the same values at any
+  /// thread count, because each task counts into its own shard and the
+  /// shards are merged in canonical root order.
+  int64_t index_word_ops = 0;  ///< 64-bit bitmap words touched building and
+                               ///< transposing candidate rows (PrepareNode)
+  int64_t coherence_divide_calls = 0;  ///< divide passes over a scored column
+  int64_t coherence_scores = 0;        ///< individual H scores computed
+  int64_t dedup_probes = 0;            ///< duplicate-key set probes (MaybeEmit)
 
   /// Hot-path phase breakdown, populated only when
   /// MinerOptions::profile_phases is set (all zero otherwise):
@@ -329,14 +360,26 @@ class RegClusterMiner {
   /// surviving second condition (ascending).  Returns false when a budget
   /// stop abandoned the node mid-expansion (the RootWork is then incomplete
   /// and must not be merged).
+  ///
+  /// The search body (SeedRoot / MineSubtree / Extend / PrepareNode /
+  /// MaybeEmit) is compiled twice behind `kCollect`: the <false>
+  /// instantiation contains no detail-counter instrumentation at all
+  /// (if constexpr), which is how MinerOptions::collect_stats=false costs
+  /// nothing.  The non-template wrappers dispatch on that option once.
+  template <bool kCollect>
+  bool SeedRootImpl(int root_condition, RootWork* work, MinerScratch* scratch);
   bool SeedRoot(int root_condition, RootWork* work, MinerScratch* scratch);
 
   /// Runs the full DFS below one level-2 seed.
+  template <bool kCollect>
+  void MineSubtreeImpl(int root_condition, SubtreeSeed* seed,
+                       MinerScratch* scratch, SearchContext* ctx);
   void MineSubtree(int root_condition, SubtreeSeed* seed,
                    MinerScratch* scratch, SearchContext* ctx);
 
   /// Recursive extension of the node in scratch->frame(depth); the chain
   /// lives in scratch->chain (length depth + 2).
+  template <bool kCollect>
   void Extend(int depth, MinerScratch* scratch, SearchContext* ctx);
 
   /// Caches the node's per-member bitmap rows (successor/predecessor x
@@ -345,6 +388,7 @@ class RegClusterMiner {
   /// (OR over the p-member rows, intersected with the allowed set).
   /// Also accumulates the pruning-2 drop counter for the whole node
   /// (see the transpose comment in miner.cc).
+  template <bool kCollect>
   void PrepareNode(int m, int ckm, NodeFrame* node, MinerStats* stats);
 
   /// Filters the node's members against extension candidate `cand` with
@@ -356,6 +400,7 @@ class RegClusterMiner {
 
   /// Emits the node's cluster if it validates and is representative.
   /// Returns false when the branch should be pruned (duplicate).
+  template <bool kCollect>
   bool MaybeEmit(const std::vector<int>& chain, const MemberCols& p,
                  const MemberCols& n, SearchContext* ctx);
 

@@ -72,6 +72,14 @@ util::Status WriteClustersJson(const std::vector<core::RegCluster>& clusters,
                                const matrix::ExpressionMatrix* data,
                                const core::MineOutcome* outcome,
                                std::ostream& out) {
+  return WriteClustersJson(clusters, data, outcome, /*stats=*/nullptr, out);
+}
+
+util::Status WriteClustersJson(const std::vector<core::RegCluster>& clusters,
+                               const matrix::ExpressionMatrix* data,
+                               const core::MineOutcome* outcome,
+                               const core::MinerStats* stats,
+                               std::ostream& out) {
   if (data != nullptr) {
     for (const core::RegCluster& c : clusters) {
       for (int g : c.AllGenes()) {
@@ -104,6 +112,26 @@ util::Status WriteClustersJson(const std::vector<core::RegCluster>& clusters,
         << ",\n    \"resume_next_root\": " << outcome->resume.next_root
         << ",\n    \"resume_options_hash\": " << outcome->resume.options_hash
         << "\n  },\n";
+  }
+  if (stats != nullptr) {
+    out << "  \"stats\": {\n"
+        << "    \"nodes_expanded\": " << stats->nodes_expanded
+        << ",\n    \"extensions_tested\": " << stats->extensions_tested
+        << ",\n    \"pruned_min_genes\": " << stats->pruned_min_genes
+        << ",\n    \"pruned_p_majority\": " << stats->pruned_p_majority
+        << ",\n    \"pruned_duplicate\": " << stats->pruned_duplicate
+        << ",\n    \"pruned_coherence\": " << stats->pruned_coherence
+        << ",\n    \"genes_dropped_min_conds\": "
+        << stats->genes_dropped_min_conds
+        << ",\n    \"clusters_emitted\": " << stats->clusters_emitted
+        << ",\n    \"index_word_ops\": " << stats->index_word_ops
+        << ",\n    \"coherence_divide_calls\": "
+        << stats->coherence_divide_calls
+        << ",\n    \"coherence_scores\": " << stats->coherence_scores
+        << ",\n    \"dedup_probes\": " << stats->dedup_probes
+        << ",\n    \"rwave_build_seconds\": " << stats->rwave_build_seconds
+        << ",\n    \"index_build_seconds\": " << stats->index_build_seconds
+        << ",\n    \"mine_seconds\": " << stats->mine_seconds << "\n  },\n";
   }
   out << "  \"num_clusters\": " << clusters.size()
       << ",\n  \"clusters\": [";

@@ -11,6 +11,16 @@
 //       "wall_seconds": S, "peak_scratch_bytes": B,
 //       "resume_next_root": -1|r, "resume_options_hash": H
 //     },
+//     "stats": {                       // only when MinerStats is supplied
+//       "nodes_expanded": N, "extensions_tested": N,
+//       "pruned_min_genes": N, "pruned_p_majority": N,
+//       "pruned_duplicate": N, "pruned_coherence": N,
+//       "genes_dropped_min_conds": N, "clusters_emitted": N,
+//       "index_word_ops": N, "coherence_divide_calls": N,
+//       "coherence_scores": N, "dedup_probes": N,
+//       "rwave_build_seconds": S, "index_build_seconds": S,
+//       "mine_seconds": S
+//     },
 //     "num_clusters": N,
 //     "clusters": [
 //       {
@@ -51,6 +61,16 @@ util::Status WriteClustersJson(const std::vector<core::RegCluster>& clusters,
 util::Status WriteClustersJson(const std::vector<core::RegCluster>& clusters,
                                const matrix::ExpressionMatrix* data,
                                const core::MineOutcome* outcome,
+                               std::ostream& out);
+
+/// Same, plus a "stats" block with the deterministic search-effort counters
+/// of the run (pass miner.stats()); `stats == nullptr` omits the block.
+/// The counters are written even when they are all zero
+/// (collect_stats=false): a reader can rely on the keys being present.
+util::Status WriteClustersJson(const std::vector<core::RegCluster>& clusters,
+                               const matrix::ExpressionMatrix* data,
+                               const core::MineOutcome* outcome,
+                               const core::MinerStats* stats,
                                std::ostream& out);
 
 /// Escapes a string for inclusion in a JSON string literal.

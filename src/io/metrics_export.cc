@@ -1,0 +1,148 @@
+#include "io/metrics_export.h"
+
+#include <ostream>
+
+namespace regcluster {
+namespace io {
+namespace {
+
+/// Registers one counter and sets it; propagates the registry error.
+util::Status SetCounter(obs::MetricsRegistry* registry, const std::string& name,
+                        const std::string& help, int64_t value) {
+  auto counter = registry->AddCounter(name, help);
+  if (!counter.ok()) return counter.status();
+  (*counter)->Add(value);
+  return util::Status::OK();
+}
+
+util::Status SetGauge(obs::MetricsRegistry* registry, const std::string& name,
+                      const std::string& help, double value) {
+  auto gauge = registry->AddGauge(name, help);
+  if (!gauge.ok()) return gauge.status();
+  (*gauge)->Set(value);
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::StatusOr<MetricsFormat> ParseMetricsFormat(const std::string& name) {
+  if (name == "json") return MetricsFormat::kJson;
+  if (name == "prom" || name == "prometheus") return MetricsFormat::kPrometheus;
+  return util::Status::InvalidArgument("unknown metrics format \"" + name +
+                                       "\" (expected json or prom)");
+}
+
+util::Status RegisterMinerMetrics(const core::MinerStats& stats,
+                                  const core::MineOutcome& outcome,
+                                  obs::MetricsRegistry* registry) {
+#define REGCLUSTER_COUNTER(name, help, value)                       \
+  do {                                                              \
+    util::Status s = SetCounter(registry, (name), (help), (value)); \
+    if (!s.ok()) return s;                                          \
+  } while (0)
+#define REGCLUSTER_GAUGE(name, help, value)                       \
+  do {                                                            \
+    util::Status s = SetGauge(registry, (name), (help), (value)); \
+    if (!s.ok()) return s;                                        \
+  } while (0)
+
+  // Deterministic search-work counters (pure function of data + options).
+  REGCLUSTER_COUNTER("regcluster_nodes_expanded_total",
+                     "Chain nodes expanded by the DFS (canonical prefix)",
+                     stats.nodes_expanded);
+  REGCLUSTER_COUNTER("regcluster_extensions_tested_total",
+                     "(node, candidate condition) pairs examined",
+                     stats.extensions_tested);
+  REGCLUSTER_COUNTER("regcluster_pruned_min_genes_total",
+                     "Branches cut by pruning 1 (MinG)",
+                     stats.pruned_min_genes);
+  REGCLUSTER_COUNTER("regcluster_pruned_p_majority_total",
+                     "Branches cut by pruning 3a (p-majority)",
+                     stats.pruned_p_majority);
+  REGCLUSTER_COUNTER("regcluster_pruned_duplicate_total",
+                     "Branches cut by pruning 3b (duplicate emission)",
+                     stats.pruned_duplicate);
+  REGCLUSTER_COUNTER("regcluster_pruned_coherence_total",
+                     "Candidates with no valid coherence window (pruning 4)",
+                     stats.pruned_coherence);
+  REGCLUSTER_COUNTER("regcluster_genes_dropped_min_conds_total",
+                     "Gene drops by pruning 2 (MinC chain bound)",
+                     stats.genes_dropped_min_conds);
+  REGCLUSTER_COUNTER("regcluster_clusters_emitted_total",
+                     "Validated clusters emitted before post-passes",
+                     stats.clusters_emitted);
+  REGCLUSTER_COUNTER("regcluster_index_word_ops_total",
+                     "64-bit bitmap-index words touched by candidate "
+                     "generation (collect_stats only)",
+                     stats.index_word_ops);
+  REGCLUSTER_COUNTER("regcluster_coherence_divide_calls_total",
+                     "Coherence divide passes over a scored column "
+                     "(collect_stats only)",
+                     stats.coherence_divide_calls);
+  REGCLUSTER_COUNTER("regcluster_coherence_scores_total",
+                     "Individual coherence scores computed "
+                     "(collect_stats only)",
+                     stats.coherence_scores);
+  REGCLUSTER_COUNTER("regcluster_dedup_probes_total",
+                     "Duplicate-key set probes (collect_stats only)",
+                     stats.dedup_probes);
+
+  // Phase durations (wall-clock; machine-dependent).
+  REGCLUSTER_GAUGE("regcluster_rwave_build_seconds",
+                   "RWave model construction time", stats.rwave_build_seconds);
+  REGCLUSTER_GAUGE("regcluster_index_build_seconds",
+                   "Bitmap index bake time", stats.index_build_seconds);
+  REGCLUSTER_GAUGE("regcluster_mine_seconds", "Search time (both phases)",
+                   stats.mine_seconds);
+
+  // Execution telemetry (scheduling-dependent; from MineOutcome).
+  REGCLUSTER_GAUGE("regcluster_wall_seconds", "Total Mine() wall time",
+                   outcome.wall_seconds);
+  REGCLUSTER_GAUGE("regcluster_phase_a_seconds",
+                   "Parallel optimistic phase (0 when serial)",
+                   outcome.phase_a_seconds);
+  REGCLUSTER_GAUGE("regcluster_phase_b_seconds",
+                   "Canonical finalize / serial mining phase",
+                   outcome.phase_b_seconds);
+  REGCLUSTER_COUNTER("regcluster_nodes_visited_total",
+                     "All DFS nodes visited, including abandoned work",
+                     outcome.nodes_visited);
+  REGCLUSTER_COUNTER("regcluster_pool_steals_total",
+                     "Work-stealing task transfers between pool workers",
+                     outcome.pool_steals);
+  REGCLUSTER_GAUGE("regcluster_pool_queue_high_water",
+                   "Deepest single worker deque observed",
+                   static_cast<double>(outcome.pool_queue_high_water));
+  REGCLUSTER_COUNTER("regcluster_budget_polls_total",
+                     "BudgetGuard::Poll() calls across all workers",
+                     outcome.budget_polls);
+  REGCLUSTER_GAUGE("regcluster_roots_completed",
+                   "Canonical roots whose clusters are in the output",
+                   static_cast<double>(outcome.roots_completed));
+  REGCLUSTER_GAUGE("regcluster_roots_total",
+                   "Roots this call was asked to search",
+                   static_cast<double>(outcome.roots_total));
+  REGCLUSTER_GAUGE("regcluster_peak_scratch_bytes",
+                   "Peak approximate live mining memory",
+                   static_cast<double>(outcome.peak_scratch_bytes));
+  REGCLUSTER_GAUGE("regcluster_truncated",
+                   "1 when the run was budget/cancel truncated, else 0",
+                   outcome.status == core::MineStatus::kTruncated ? 1.0 : 0.0);
+
+#undef REGCLUSTER_COUNTER
+#undef REGCLUSTER_GAUGE
+  return util::Status::OK();
+}
+
+util::Status WriteMinerMetrics(const core::MinerStats& stats,
+                               const core::MineOutcome& outcome,
+                               MetricsFormat format, std::ostream& out) {
+  obs::MetricsRegistry registry;
+  util::Status s = RegisterMinerMetrics(stats, outcome, &registry);
+  if (!s.ok()) return s;
+  return format == MetricsFormat::kJson ? registry.WriteJson(out)
+                                        : registry.WritePrometheus(out);
+}
+
+}  // namespace io
+}  // namespace regcluster

@@ -1,0 +1,306 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+namespace regcluster {
+namespace obs {
+namespace {
+
+/// Shortest double representation that round-trips (%.17g is lossless for
+/// IEEE doubles; %.9g would already be ambiguous for long mining runs).
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Escapes a metric help string for a JSON string literal (the Prometheus
+/// writer needs only backslash/newline handling, done inline there).
+std::string JsonEscapeHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Prometheus HELP text: backslash and line feed must be escaped.
+std::string PromEscapeHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (size_t i = 1; i < name.size(); ++i) {
+    const char c = name[i];
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+/// Relaxed atomic max/min update (no ordering needed: the fields are
+/// monotone summaries read only after recording quiesces or approximately).
+void AtomicMax(std::atomic<int64_t>* target, int64_t v) {
+  int64_t cur = target->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<int64_t>* target, int64_t v) {
+  int64_t cur = target->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Counter::Add(int64_t delta) {
+  assert(delta >= 0 && "Counter is monotone; negative deltas are a bug");
+  if (delta <= 0) return;
+  value_.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Gauge::Add(double delta) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Record(int64_t value) {
+  assert(value >= 0 && "Histogram samples must be non-negative");
+  if (value < 0) value = 0;
+  const int bucket = std::bit_width(static_cast<uint64_t>(value));
+  buckets_[static_cast<size_t>(bucket)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+int64_t Histogram::min() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+int64_t Histogram::max() const {
+  return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+}
+
+int64_t Histogram::BucketUpperBound(int i) {
+  assert(i >= 0 && i < kNumBuckets);
+  if (i >= 63) return std::numeric_limits<int64_t>::max();
+  return (int64_t{1} << i) - 1;
+}
+
+int Histogram::HighestBucket() const {
+  for (int i = kNumBuckets - 1; i >= 0; --i) {
+    if (bucket_count(i) > 0) return i;
+  }
+  return -1;
+}
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+util::StatusOr<size_t> MetricsRegistry::AddEntry(const std::string& name,
+                                                 const std::string& help,
+                                                 MetricKind kind) {
+  if (!ValidMetricName(name)) {
+    return util::Status::InvalidArgument(
+        "metric name must match [a-zA-Z_:][a-zA-Z0-9_:]*: \"" + name + "\"");
+  }
+  if (index_.count(name) > 0) {
+    return util::Status::InvalidArgument("duplicate metric name: \"" + name +
+                                         "\"");
+  }
+  Entry entry;
+  entry.name = name;
+  entry.help = help;
+  entry.kind = kind;
+  metrics_.push_back(std::move(entry));
+  index_[name] = metrics_.size() - 1;
+  return metrics_.size() - 1;
+}
+
+util::StatusOr<Counter*> MetricsRegistry::AddCounter(const std::string& name,
+                                                     const std::string& help) {
+  auto idx = AddEntry(name, help, MetricKind::kCounter);
+  if (!idx.ok()) return idx.status();
+  metrics_[*idx].counter = std::make_unique<Counter>();
+  return metrics_[*idx].counter.get();
+}
+
+util::StatusOr<Gauge*> MetricsRegistry::AddGauge(const std::string& name,
+                                                 const std::string& help) {
+  auto idx = AddEntry(name, help, MetricKind::kGauge);
+  if (!idx.ok()) return idx.status();
+  metrics_[*idx].gauge = std::make_unique<Gauge>();
+  return metrics_[*idx].gauge.get();
+}
+
+util::StatusOr<Histogram*> MetricsRegistry::AddHistogram(
+    const std::string& name, const std::string& help) {
+  auto idx = AddEntry(name, help, MetricKind::kHistogram);
+  if (!idx.ok()) return idx.status();
+  metrics_[*idx].histogram = std::make_unique<Histogram>();
+  return metrics_[*idx].histogram.get();
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name,
+                                                    MetricKind kind) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  const Entry& entry = metrics_[it->second];
+  return entry.kind == kind ? &entry : nullptr;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  const Entry* e = Find(name, MetricKind::kCounter);
+  return e != nullptr ? e->counter.get() : nullptr;
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  const Entry* e = Find(name, MetricKind::kGauge);
+  return e != nullptr ? e->gauge.get() : nullptr;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  const Entry* e = Find(name, MetricKind::kHistogram);
+  return e != nullptr ? e->histogram.get() : nullptr;
+}
+
+util::Status MetricsRegistry::WriteJson(std::ostream& out) const {
+  out << "{\n  \"metrics\": [";
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    const Entry& m = metrics_[i];
+    out << (i > 0 ? ",\n    {" : "\n    {");
+    out << "\"name\": \"" << m.name << "\", \"type\": \""
+        << MetricKindName(m.kind) << "\", \"help\": \""
+        << JsonEscapeHelp(m.help) << "\"";
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out << ", \"value\": " << m.counter->value();
+        break;
+      case MetricKind::kGauge:
+        out << ", \"value\": " << FormatDouble(m.gauge->value());
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *m.histogram;
+        out << ", \"count\": " << h.count() << ", \"sum\": " << h.sum()
+            << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+            << ", \"buckets\": [";
+        const int top = h.HighestBucket();
+        int64_t cumulative = 0;
+        for (int b = 0; b <= top; ++b) {
+          cumulative += h.bucket_count(b);
+          if (b > 0) out << ", ";
+          out << "{\"le\": " << Histogram::BucketUpperBound(b)
+              << ", \"count\": " << cumulative << "}";
+        }
+        out << "]";
+        break;
+      }
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+  if (!out) return util::Status::IoError("stream write failed");
+  return util::Status::OK();
+}
+
+util::Status MetricsRegistry::WritePrometheus(std::ostream& out) const {
+  for (const Entry& m : metrics_) {
+    out << "# HELP " << m.name << ' ' << PromEscapeHelp(m.help) << '\n';
+    out << "# TYPE " << m.name << ' ' << MetricKindName(m.kind) << '\n';
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out << m.name << ' ' << m.counter->value() << '\n';
+        break;
+      case MetricKind::kGauge:
+        out << m.name << ' ' << FormatDouble(m.gauge->value()) << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *m.histogram;
+        const int top = h.HighestBucket();
+        int64_t cumulative = 0;
+        for (int b = 0; b <= top; ++b) {
+          cumulative += h.bucket_count(b);
+          out << m.name << "_bucket{le=\"" << Histogram::BucketUpperBound(b)
+              << "\"} " << cumulative << '\n';
+        }
+        out << m.name << "_bucket{le=\"+Inf\"} " << h.count() << '\n';
+        out << m.name << "_sum " << h.sum() << '\n';
+        out << m.name << "_count " << h.count() << '\n';
+        break;
+      }
+    }
+  }
+  if (!out) return util::Status::IoError("stream write failed");
+  return util::Status::OK();
+}
+
+double PhaseSpan::Stop() {
+  if (stopped_) return 0.0;
+  stopped_ = true;
+  const double seconds = timer_.ElapsedSeconds();
+  if (gauge_ != nullptr) gauge_->Add(seconds);
+  if (counter_ != nullptr) {
+    counter_->Add(static_cast<int64_t>(seconds * 1e9));
+  }
+  if (accum_ != nullptr) *accum_ += seconds;
+  return seconds;
+}
+
+}  // namespace obs
+}  // namespace regcluster

@@ -1,0 +1,216 @@
+// Low-overhead observability primitives for the mining engine.
+//
+// The paper's Section 5 evaluation reasons about *search behavior* -- nodes
+// expanded, branches cut per pruning rule, where the runtime goes -- so every
+// mine should leave behind an experiment record instead of requiring an
+// ad-hoc re-run.  This header provides the export surface for that record:
+//
+//   * Counter   -- monotone int64 (events, work units).
+//   * Gauge     -- last-written double (durations, ratios, high-water marks).
+//   * Histogram -- power-of-two bucketed int64 distribution (bucket i holds
+//     values v with bit_width(v) == i, i.e. upper bounds 0, 1, 3, 7, ...,
+//     2^i - 1), tracking count / sum / min / max alongside the buckets.
+//   * MetricsRegistry -- owns named metrics in *stable registration order*
+//     (exports are diffable byte-for-byte across runs) and rejects duplicate
+//     or malformed names with a util::Status error.
+//   * PhaseSpan -- RAII wall-clock span that adds its elapsed time to a
+//     Gauge, Counter (nanoseconds) or plain double (seconds) on destruction.
+//
+// Threading contract: Counter / Gauge / Histogram recording is thread-safe
+// (relaxed atomics) so a live registry can be scraped while workers record.
+// The *miner* does not record into a registry from its hot path at all: it
+// counts into per-task plain-int64 shards (core::MinerStats) that are merged
+// deterministically after the search (see DESIGN.md "Observability"), and
+// the merged struct is registered here only for export.  Registration and
+// export are not synchronized against each other; register everything before
+// sharing the registry.
+//
+// The registry serializes to the two formats operators actually consume:
+// a JSON document (stable field order) and the Prometheus text exposition
+// format (HELP/TYPE comments plus sample lines).
+
+#ifndef REGCLUSTER_OBS_METRICS_H_
+#define REGCLUSTER_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace regcluster {
+namespace obs {
+
+/// Monotone event counter.  Add() with a negative delta is a programming
+/// error (debug-asserted, clamped to 0 in release builds).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment() { Add(1); }
+  void Add(int64_t delta);
+
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written double value (durations, ratios, high-water marks).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta);
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Power-of-two bucketed distribution of non-negative int64 samples.
+///
+/// Bucket i counts samples v with std::bit_width(v) == i: bucket 0 holds
+/// exactly {0}, bucket i >= 1 holds [2^(i-1), 2^i - 1].  The cumulative
+/// upper bound of bucket i is therefore 2^i - 1, which is what the
+/// Prometheus `le` labels report.  Negative samples are clamped to 0
+/// (debug-asserted).
+class Histogram {
+ public:
+  /// One bucket per possible bit_width of a non-negative int64 (0..63).
+  static constexpr int kNumBuckets = 64;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(int64_t value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest recorded sample; 0 when count() == 0.
+  int64_t min() const;
+  int64_t max() const;
+  int64_t bucket_count(int i) const {
+    return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket i (0, 1, 3, 7, ..., 2^i - 1).
+  static int64_t BucketUpperBound(int i);
+  /// Index of the highest non-empty bucket, or -1 when empty.  Exports only
+  /// go this far (plus the +Inf catch-all), keeping documents compact.
+  int HighestBucket() const;
+
+ private:
+  std::atomic<int64_t> buckets_[kNumBuckets]{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{std::numeric_limits<int64_t>::max()};
+  std::atomic<int64_t> max_{std::numeric_limits<int64_t>::min()};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Stable lower-case name ("counter", "gauge", "histogram").
+const char* MetricKindName(MetricKind kind);
+
+/// Owns named metrics in registration order.  Names must match the
+/// Prometheus grammar [a-zA-Z_:][a-zA-Z0-9_:]* and be unique within the
+/// registry; violations are reported as InvalidArgument, never asserted,
+/// so dynamically-named metrics (per-dataset, per-shard) fail soft.
+///
+/// Returned metric pointers are owned by the registry and remain valid for
+/// its lifetime (metrics are never removed).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  util::StatusOr<Counter*> AddCounter(const std::string& name,
+                                      const std::string& help);
+  util::StatusOr<Gauge*> AddGauge(const std::string& name,
+                                  const std::string& help);
+  util::StatusOr<Histogram*> AddHistogram(const std::string& name,
+                                          const std::string& help);
+
+  int num_metrics() const { return static_cast<int>(metrics_.size()); }
+
+  /// Lookup by exact name; nullptr / wrong-kind lookups return nullptr.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  /// JSON document: {"metrics": [{"name", "type", "help", ...}, ...]} in
+  /// registration order.  Counter values are integers, gauge values doubles;
+  /// histograms carry count/sum/min/max plus a bucket array of
+  /// {"le": bound, "count": cumulative}.
+  util::Status WriteJson(std::ostream& out) const;
+
+  /// Prometheus text exposition format, version 0.0.4: per metric a
+  /// "# HELP", a "# TYPE" and the sample line(s); histograms emit
+  /// cumulative _bucket{le="..."} samples, _sum and _count.
+  util::Status WritePrometheus(std::ostream& out) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  /// Validates the name and claims it; on success appends the new entry and
+  /// returns its index.
+  util::StatusOr<size_t> AddEntry(const std::string& name,
+                                  const std::string& help, MetricKind kind);
+  const Entry* Find(const std::string& name, MetricKind kind) const;
+
+  std::vector<Entry> metrics_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// RAII wall-clock span.  On destruction (or an explicit Stop()) the elapsed
+/// time is *added* to the target: seconds into a Gauge or a plain double,
+/// nanoseconds into a Counter.  Construction with a null target is a no-op
+/// span, so call sites can stay unconditional while collection is disabled.
+class PhaseSpan {
+ public:
+  explicit PhaseSpan(Gauge* seconds_gauge) : gauge_(seconds_gauge) {}
+  explicit PhaseSpan(Counter* ns_counter) : counter_(ns_counter) {}
+  explicit PhaseSpan(double* seconds_accum) : accum_(seconds_accum) {}
+
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+  ~PhaseSpan() { Stop(); }
+
+  /// Ends the span early; returns the elapsed seconds (0 if already
+  /// stopped).  Idempotent.
+  double Stop();
+
+ private:
+  Gauge* gauge_ = nullptr;
+  Counter* counter_ = nullptr;
+  double* accum_ = nullptr;
+  bool stopped_ = false;
+  util::WallTimer timer_;
+};
+
+}  // namespace obs
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_OBS_METRICS_H_

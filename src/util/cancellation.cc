@@ -83,6 +83,7 @@ void BudgetGuard::Trip(StopReason reason) {
 }
 
 StopReason BudgetGuard::Poll(int slot, int64_t slot_bytes) {
+  polls_.fetch_add(1, std::memory_order_relaxed);
   if (limits_.token != nullptr && limits_.token->Poll()) {
     Trip(limits_.token->reason());
   }

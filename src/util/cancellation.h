@@ -183,6 +183,12 @@ class BudgetGuard {
     return peak_bytes_.load(std::memory_order_relaxed);
   }
 
+  /// Number of Poll() calls across all slots (telemetry; depends on how
+  /// workers amortize their polling, not on the data alone).
+  int64_t total_polls() const {
+    return polls_.load(std::memory_order_relaxed);
+  }
+
   const Limits& limits() const { return limits_; }
 
  private:
@@ -193,6 +199,7 @@ class BudgetGuard {
   std::atomic<int64_t> nodes_{0};
   std::atomic<int64_t> clusters_{0};
   std::atomic<int64_t> peak_bytes_{0};
+  std::atomic<int64_t> polls_{0};
   std::vector<std::atomic<int64_t>> slot_bytes_;
 };
 

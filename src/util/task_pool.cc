@@ -63,9 +63,16 @@ void TaskPool::Submit(Task task) {
                 : static_cast<size_t>(external_cursor_.fetch_add(
                       1, std::memory_order_relaxed)) %
                       queues_.size();
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(queues_[slot]->mu);
     queues_[slot]->tasks.push_back(std::move(task));
+    depth = queues_[slot]->tasks.size();
+  }
+  int64_t hw = queue_high_water_.load(std::memory_order_relaxed);
+  while (static_cast<int64_t>(depth) > hw &&
+         !queue_high_water_.compare_exchange_weak(
+             hw, static_cast<int64_t>(depth), std::memory_order_relaxed)) {
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -97,6 +104,7 @@ bool TaskPool::StealFrom(int thief, Task* out) {
     if (q.tasks.empty()) continue;
     *out = std::move(q.tasks.front());
     q.tasks.pop_front();
+    steals_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   return false;

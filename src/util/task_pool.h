@@ -83,6 +83,18 @@ class TaskPool {
   /// caller is not one of this pool's workers.
   int current_worker() const;
 
+  /// Telemetry (relaxed atomics, monotone over the pool's lifetime).  These
+  /// describe *scheduling*, not results: values depend on thread timing and
+  /// are only comparable between runs statistically.  Read them after Wait()
+  /// for a settled snapshot.
+  int64_t total_steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  /// Largest single-deque depth observed at any Submit().
+  int64_t queue_depth_high_water() const {
+    return queue_high_water_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct WorkerQueue {
     std::mutex mu;
@@ -101,6 +113,10 @@ class TaskPool {
   std::atomic<int64_t> pending_{0};
   /// Round-robin cursor for submissions from non-worker threads.
   std::atomic<uint64_t> external_cursor_{0};
+  /// Successful StealFrom() transfers (telemetry only).
+  std::atomic<int64_t> steals_{0};
+  /// High-water mark of any single deque's depth (telemetry only).
+  std::atomic<int64_t> queue_high_water_{0};
 
   /// Pool-wide state below is only touched on the idle/blocked paths.
   std::mutex mu_;

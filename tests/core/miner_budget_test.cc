@@ -18,16 +18,19 @@ namespace regcluster {
 namespace core {
 namespace {
 
-matrix::ExpressionMatrix TestData() {
-  synth::SyntheticConfig cfg;
-  cfg.num_genes = 300;
-  cfg.num_conditions = 18;
-  cfg.num_clusters = 6;
-  cfg.avg_cluster_genes_fraction = 0.04;
-  cfg.seed = 808;
-  auto ds = synth::GenerateSynthetic(cfg);
-  EXPECT_TRUE(ds.ok());
-  return ds->data;
+const matrix::ExpressionMatrix& TestData() {
+  static const matrix::ExpressionMatrix* data = [] {
+    synth::SyntheticConfig cfg;
+    cfg.num_genes = 300;
+    cfg.num_conditions = 18;
+    cfg.num_clusters = 6;
+    cfg.avg_cluster_genes_fraction = 0.04;
+    cfg.seed = 808;
+    auto ds = synth::GenerateSynthetic(cfg);
+    EXPECT_TRUE(ds.ok());
+    return new matrix::ExpressionMatrix(std::move(ds->data));
+  }();
+  return *data;
 }
 
 MinerOptions BaseOptions() {
@@ -39,12 +42,26 @@ MinerOptions BaseOptions() {
   return o;
 }
 
-std::vector<RegCluster> Reference(const matrix::ExpressionMatrix& data) {
-  RegClusterMiner miner(data, BaseOptions());
-  auto clusters = miner.Mine();
-  EXPECT_TRUE(clusters.ok());
-  EXPECT_EQ(miner.outcome().status, MineStatus::kComplete);
-  return *std::move(clusters);
+/// The unbudgeted run every test compares against.  Mined once and cached:
+/// its deterministic MinerStats are the ground truth for node accounting,
+/// so tests assert against `Reference().stats.nodes_expanded` instead of
+/// re-mining to re-derive expected totals.
+struct ReferenceRun {
+  std::vector<RegCluster> clusters;
+  MinerStats stats;
+  MineOutcome outcome;
+};
+
+const ReferenceRun& Reference() {
+  static const ReferenceRun* ref = [] {
+    RegClusterMiner miner(TestData(), BaseOptions());
+    auto clusters = miner.Mine();
+    EXPECT_TRUE(clusters.ok());
+    EXPECT_EQ(miner.outcome().status, MineStatus::kComplete);
+    return new ReferenceRun{*std::move(clusters), miner.stats(),
+                            miner.outcome()};
+  }();
+  return *ref;
 }
 
 bool IsPrefixOf(const std::vector<RegCluster>& prefix,
@@ -57,11 +74,9 @@ bool IsPrefixOf(const std::vector<RegCluster>& prefix,
 }
 
 TEST(MinerBudgetTest, CompleteRunOutcomeContract) {
-  const auto data = TestData();
-  RegClusterMiner miner(data, BaseOptions());
-  auto clusters = miner.Mine();
-  ASSERT_TRUE(clusters.ok());
-  const MineOutcome& outcome = miner.outcome();
+  const auto& data = TestData();
+  const ReferenceRun& ref = Reference();
+  const MineOutcome& outcome = ref.outcome;
   EXPECT_EQ(outcome.status, MineStatus::kComplete);
   EXPECT_EQ(outcome.stop_reason, util::StopReason::kNone);
   EXPECT_EQ(outcome.roots_completed, outcome.roots_total);
@@ -69,6 +84,11 @@ TEST(MinerBudgetTest, CompleteRunOutcomeContract) {
   EXPECT_FALSE(outcome.resume.can_resume());
   EXPECT_GT(outcome.nodes_visited, 0);
   EXPECT_GE(outcome.wall_seconds, 0.0);
+  // On a complete run the visited total (all work, including any that a
+  // truncation would have discarded) can never undercut the canonical
+  // expanded count.
+  EXPECT_GT(ref.stats.nodes_expanded, 0);
+  EXPECT_GE(outcome.nodes_visited, ref.stats.nodes_expanded);
 }
 
 // ---------------------------------------------------------------------------
@@ -78,8 +98,8 @@ TEST(MinerBudgetTest, CompleteRunOutcomeContract) {
 class NodeBudgetSweep : public ::testing::TestWithParam<int64_t> {};
 
 TEST_P(NodeBudgetSweep, PrefixIdenticalAcrossThreadCounts) {
-  const auto data = TestData();
-  const auto reference = Reference(data);
+  const auto& data = TestData();
+  const auto& reference = Reference().clusters;
 
   MinerOptions base = BaseOptions();
   base.max_nodes = GetParam();
@@ -101,6 +121,10 @@ TEST_P(NodeBudgetSweep, PrefixIdenticalAcrossThreadCounts) {
       EXPECT_EQ(outcome.resume.next_root, outcome.roots_completed);
     } else {
       EXPECT_EQ(*clusters, reference);
+      // A non-binding budget changes no search work: the deterministic node
+      // accounting matches the cached unbudgeted reference exactly.
+      EXPECT_EQ(miner.stats().nodes_expanded,
+                Reference().stats.nodes_expanded);
     }
     // The included prefix -- both the clusters and the coverage metadata --
     // must not depend on the thread count.
@@ -124,8 +148,8 @@ INSTANTIATE_TEST_SUITE_P(Budgets, NodeBudgetSweep,
 class ClusterBudgetSweep : public ::testing::TestWithParam<int64_t> {};
 
 TEST_P(ClusterBudgetSweep, PrefixIdenticalAcrossThreadCounts) {
-  const auto data = TestData();
-  const auto reference = Reference(data);
+  const auto& data = TestData();
+  const auto& reference = Reference().clusters;
 
   MinerOptions base = BaseOptions();
   base.max_clusters = GetParam();
@@ -159,8 +183,8 @@ INSTANTIATE_TEST_SUITE_P(Budgets, ClusterBudgetSweep,
 // ---------------------------------------------------------------------------
 
 TEST(MinerBudgetTest, ResumeConcatenationIsBitIdentical) {
-  const auto data = TestData();
-  const auto reference = Reference(data);
+  const auto& data = TestData();
+  const auto& reference = Reference().clusters;
 
   MinerOptions budgeted = BaseOptions();
   budgeted.max_nodes = 300;
@@ -180,18 +204,23 @@ TEST(MinerBudgetTest, ResumeConcatenationIsBitIdentical) {
   std::vector<RegCluster> spliced = *head;
   spliced.insert(spliced.end(), tail->begin(), tail->end());
   EXPECT_EQ(spliced, reference);
+  // Node accounting splices too: stats describe exactly the included
+  // canonical prefix, so head + tail partition the reference's expansions.
+  EXPECT_EQ(first.stats().nodes_expanded + second.stats().nodes_expanded,
+            Reference().stats.nodes_expanded);
 }
 
 TEST(MinerBudgetTest, ResumeChainOfBudgetedRunsReconstructsReference) {
   // Walk the whole search in small budgeted hops, alternating thread counts;
   // the concatenation of every hop must equal the unbudgeted reference.
-  const auto data = TestData();
-  const auto reference = Reference(data);
+  const auto& data = TestData();
+  const auto& reference = Reference().clusters;
 
   std::vector<RegCluster> spliced;
   ResumeToken token;
   int hops = 0;
   int64_t budget = 500;
+  int64_t nodes_accounted = 0;
   while (true) {
     MinerOptions o = BaseOptions();
     o.max_nodes = budget;
@@ -201,6 +230,7 @@ TEST(MinerBudgetTest, ResumeChainOfBudgetedRunsReconstructsReference) {
     auto part = miner.Mine();
     ASSERT_TRUE(part.ok()) << "hop " << hops;
     spliced.insert(spliced.end(), part->begin(), part->end());
+    nodes_accounted += miner.stats().nodes_expanded;
     if (miner.outcome().status == MineStatus::kComplete) break;
     // A hop whose budget is smaller than its next root's subtree completes
     // zero roots; double the budget so the chain always terminates.
@@ -214,10 +244,12 @@ TEST(MinerBudgetTest, ResumeChainOfBudgetedRunsReconstructsReference) {
   }
   EXPECT_GE(hops, 1);  // the budget actually bit
   EXPECT_EQ(spliced, reference);
+  // Every root's expansions were counted in exactly one hop.
+  EXPECT_EQ(nodes_accounted, Reference().stats.nodes_expanded);
 }
 
 TEST(MinerBudgetTest, ResumeUnderDifferentSemanticsRejected) {
-  const auto data = TestData();
+  const auto& data = TestData();
   MinerOptions budgeted = BaseOptions();
   budgeted.max_nodes = 300;
   RegClusterMiner first(data, budgeted);
@@ -235,7 +267,7 @@ TEST(MinerBudgetTest, ResumeUnderDifferentSemanticsRejected) {
 TEST(MinerBudgetTest, ResumeWithRemoveDominatedRejected) {
   // remove_dominated is a global post-pass; splicing per-root prefixes under
   // it would not be bit-identical, so the combination is refused outright.
-  const auto data = TestData();
+  const auto& data = TestData();
   MinerOptions budgeted = BaseOptions();
   budgeted.max_nodes = 300;
   RegClusterMiner first(data, budgeted);
@@ -269,8 +301,8 @@ TEST(MinerBudgetTest, SemanticHashIgnoresExecutionKnobs) {
 // ---------------------------------------------------------------------------
 
 TEST(MinerBudgetTest, ZeroDeadlineTruncatesToValidPrefix) {
-  const auto data = TestData();
-  const auto reference = Reference(data);
+  const auto& data = TestData();
+  const auto& reference = Reference().clusters;
   MinerOptions o = BaseOptions();
   o.deadline_ms = 0.0;
   RegClusterMiner miner(data, o);
@@ -282,7 +314,7 @@ TEST(MinerBudgetTest, ZeroDeadlineTruncatesToValidPrefix) {
 }
 
 TEST(MinerBudgetTest, PreCancelledTokenStopsBeforeAnyRoot) {
-  const auto data = TestData();
+  const auto& data = TestData();
   MinerOptions o = BaseOptions();
   o.cancel_token = std::make_shared<util::CancellationToken>();
   o.cancel_token->Cancel();
@@ -296,8 +328,8 @@ TEST(MinerBudgetTest, PreCancelledTokenStopsBeforeAnyRoot) {
 }
 
 TEST(MinerBudgetTest, TinyMemoryLimitTripsMemoryBudget) {
-  const auto data = TestData();
-  const auto reference = Reference(data);
+  const auto& data = TestData();
+  const auto& reference = Reference().clusters;
   MinerOptions o = BaseOptions();
   o.soft_memory_limit_bytes = 1;  // any scratch report exceeds this
   o.budget_check_interval = 1;
@@ -311,7 +343,7 @@ TEST(MinerBudgetTest, TinyMemoryLimitTripsMemoryBudget) {
 }
 
 TEST(MinerBudgetTest, BadResumeRootRejected) {
-  const auto data = TestData();
+  const auto& data = TestData();
   MinerOptions o = BaseOptions();
   o.resume.next_root = data.num_conditions() + 1;
   o.resume.options_hash = RegClusterMiner::SemanticOptionsHash(o);
@@ -319,7 +351,7 @@ TEST(MinerBudgetTest, BadResumeRootRejected) {
 }
 
 TEST(MinerBudgetTest, BadCheckIntervalRejected) {
-  const auto data = TestData();
+  const auto& data = TestData();
   MinerOptions o = BaseOptions();
   o.budget_check_interval = 0;
   auto result = RegClusterMiner(data, o).Mine();

@@ -33,45 +33,59 @@ std::vector<core::Bicluster> Footprints(const synth::SyntheticDataset& ds) {
   return out;
 }
 
-TEST(RecoveryTest, MinerRecoversAllImplants) {
-  auto ds = synth::GenerateSynthetic(SmallConfig(101));
-  ASSERT_TRUE(ds.ok());
+/// The recovery tests interrogate one dataset under one option set; mine it
+/// once and cache the clusters together with the run's MinerStats, so each
+/// assertion reads the cached record instead of re-mining.
+struct RecoveryRun {
+  synth::SyntheticDataset ds;
+  std::vector<core::RegCluster> clusters;
+  core::MinerStats stats;
+};
 
-  core::MinerOptions o;
-  o.min_genes = 6;
-  o.min_conditions = 5;
-  o.gamma = 0.1;
-  o.epsilon = 0.01;
-  o.remove_dominated = true;
-  core::RegClusterMiner miner(ds->data, o);
-  auto clusters = miner.Mine();
-  ASSERT_TRUE(clusters.ok()) << clusters.status().ToString();
-  ASSERT_FALSE(clusters->empty());
+const RecoveryRun& CachedRecoveryRun() {
+  static const RecoveryRun* run = [] {
+    auto ds = synth::GenerateSynthetic(SmallConfig(101));
+    EXPECT_TRUE(ds.ok());
+    core::MinerOptions o;
+    o.min_genes = 6;
+    o.min_conditions = 5;
+    o.gamma = 0.1;
+    o.epsilon = 0.01;
+    o.remove_dominated = true;
+    core::RegClusterMiner miner(ds->data, o);
+    auto clusters = miner.Mine();
+    EXPECT_TRUE(clusters.ok()) << clusters.status().ToString();
+    return new RecoveryRun{*std::move(ds), *std::move(clusters),
+                           miner.stats()};
+  }();
+  return *run;
+}
+
+TEST(RecoveryTest, MinerRecoversAllImplants) {
+  const RecoveryRun& run = CachedRecoveryRun();
+  ASSERT_FALSE(run.clusters.empty());
 
   std::vector<core::Bicluster> found;
-  for (const auto& c : *clusters) found.push_back(core::ToBicluster(c));
-  const auto report = eval::ScoreAgainstTruth(found, Footprints(*ds));
+  for (const auto& c : run.clusters) found.push_back(core::ToBicluster(c));
+  const auto report = eval::ScoreAgainstTruth(found, Footprints(run.ds));
   EXPECT_GT(report.gene_recovery, 0.95);
   EXPECT_GT(report.cell_recovery, 0.8);
+
+  // The cached run's node accounting is self-consistent: the search did
+  // real work and emitted at least the clusters that survived the
+  // dominated-removal post-pass.
+  EXPECT_GT(run.stats.nodes_expanded, 0);
+  EXPECT_GE(run.stats.clusters_emitted,
+            static_cast<int64_t>(run.clusters.size()));
 }
 
 TEST(RecoveryTest, MinerSeparatesPAndNMembersCorrectly) {
-  auto ds = synth::GenerateSynthetic(SmallConfig(202));
-  ASSERT_TRUE(ds.ok());
-
-  core::MinerOptions o;
-  o.min_genes = 6;
-  o.min_conditions = 5;
-  o.gamma = 0.1;
-  o.epsilon = 0.01;
-  o.remove_dominated = true;
-  core::RegClusterMiner miner(ds->data, o);
-  auto clusters = miner.Mine();
-  ASSERT_TRUE(clusters.ok());
+  const RecoveryRun& run = CachedRecoveryRun();
+  const auto* clusters = &run.clusters;
 
   // For each implant, find the best-matching output and check the p/n split
   // matches (up to global inversion of the chain).
-  for (const auto& imp : ds->implants) {
+  for (const auto& imp : run.ds.implants) {
     const auto truth = imp.Footprint();
     const core::RegCluster* best = nullptr;
     double best_score = 0;

@@ -1,0 +1,237 @@
+// Property tests for the obs metrics primitives.
+//
+// The histogram invariants hold for *any* sample stream:
+//   * sum over all buckets == count()
+//   * cumulative bucket counts are monotone non-decreasing
+//   * min()/max() bound every recorded sample, and every sample lands in
+//     the bucket whose range [2^(i-1), 2^i - 1] contains it
+// They are exercised under PRNG streams spanning several magnitude regimes
+// (small ints, full 62-bit range, constant, zero-heavy) rather than
+// hand-picked examples.  The registry half checks the Status-based name
+// contract: duplicates and malformed names are rejected, never asserted.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/prng.h"
+
+namespace regcluster {
+namespace obs {
+namespace {
+
+/// Feeds `n` samples drawn by `draw` into a histogram and checks every
+/// structural invariant against an independently computed reference.
+template <typename DrawFn>
+void CheckHistogramInvariants(uint64_t seed, int n, DrawFn draw) {
+  util::Prng prng(seed);
+  Histogram h;
+  int64_t ref_count = 0;
+  int64_t ref_sum = 0;
+  int64_t ref_min = std::numeric_limits<int64_t>::max();
+  int64_t ref_max = std::numeric_limits<int64_t>::min();
+  std::vector<int64_t> ref_buckets(Histogram::kNumBuckets, 0);
+  for (int i = 0; i < n; ++i) {
+    const int64_t v = draw(&prng);
+    ASSERT_GE(v, 0) << "test draws must be non-negative";
+    h.Record(v);
+    ++ref_count;
+    ref_sum += v;
+    ref_min = std::min(ref_min, v);
+    ref_max = std::max(ref_max, v);
+    ++ref_buckets[static_cast<size_t>(
+        std::bit_width(static_cast<uint64_t>(v)))];
+  }
+
+  EXPECT_EQ(h.count(), ref_count);
+  EXPECT_EQ(h.sum(), ref_sum);
+  EXPECT_EQ(h.min(), ref_count > 0 ? ref_min : 0);
+  EXPECT_EQ(h.max(), ref_count > 0 ? ref_max : 0);
+
+  // Bucket identity: per-bucket counts match the reference exactly, their
+  // total is count(), and every sample respects its bucket's bounds.
+  int64_t total = 0;
+  int64_t cumulative = 0;
+  int64_t prev_cumulative = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    const int64_t b = h.bucket_count(i);
+    EXPECT_EQ(b, ref_buckets[static_cast<size_t>(i)]) << "bucket " << i;
+    total += b;
+    prev_cumulative = cumulative;
+    cumulative += b;
+    EXPECT_GE(cumulative, prev_cumulative) << "bucket " << i;
+    if (b > 0) {
+      // Non-empty bucket i implies the recorded range intersects
+      // [lower bound of i, upper bound of i].
+      const int64_t hi = Histogram::BucketUpperBound(i);
+      const int64_t lo = i == 0 ? 0 : Histogram::BucketUpperBound(i - 1) + 1;
+      EXPECT_LE(lo, h.max());
+      EXPECT_GE(hi, h.min());
+    }
+  }
+  EXPECT_EQ(total, h.count());
+
+  // HighestBucket agrees with max(): the max sample's bucket is the
+  // highest non-empty one.
+  if (ref_count > 0) {
+    EXPECT_EQ(h.HighestBucket(),
+              std::bit_width(static_cast<uint64_t>(h.max())));
+  } else {
+    EXPECT_EQ(h.HighestBucket(), -1);
+  }
+}
+
+TEST(ObsHistogramTest, InvariantsUnderSmallUniformStream) {
+  CheckHistogramInvariants(17, 5000, [](util::Prng* p) {
+    return p->UniformInt(0, 1000);
+  });
+}
+
+TEST(ObsHistogramTest, InvariantsUnderFullRangeStream) {
+  CheckHistogramInvariants(23, 5000, [](util::Prng* p) {
+    return p->UniformInt(0, int64_t{1} << 62);
+  });
+}
+
+TEST(ObsHistogramTest, InvariantsUnderZeroHeavyStream) {
+  CheckHistogramInvariants(31, 5000, [](util::Prng* p) {
+    return p->Bernoulli(0.8) ? int64_t{0} : p->UniformInt(1, 7);
+  });
+}
+
+TEST(ObsHistogramTest, InvariantsUnderConstantStream) {
+  CheckHistogramInvariants(41, 100, [](util::Prng*) { return int64_t{42}; });
+}
+
+TEST(ObsHistogramTest, EmptyHistogram) {
+  CheckHistogramInvariants(0, 0, [](util::Prng*) { return int64_t{0}; });
+}
+
+TEST(ObsHistogramTest, BucketBoundsArePowersOfTwoMinusOne) {
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023);
+  // Boundary samples land on the correct side.
+  Histogram h;
+  h.Record(7);   // bucket 3 (bit_width 3)
+  h.Record(8);   // bucket 4 (bit_width 4)
+  EXPECT_EQ(h.bucket_count(3), 1);
+  EXPECT_EQ(h.bucket_count(4), 1);
+}
+
+TEST(ObsRegistryTest, RejectsDuplicateNames) {
+  MetricsRegistry reg;
+  ASSERT_TRUE(reg.AddCounter("regcluster_demo_total", "first").ok());
+  // Same name again -- same kind or any other -- is InvalidArgument.
+  auto dup_counter = reg.AddCounter("regcluster_demo_total", "again");
+  ASSERT_FALSE(dup_counter.ok());
+  EXPECT_EQ(dup_counter.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(dup_counter.status().message().find("duplicate"),
+            std::string::npos);
+  EXPECT_FALSE(reg.AddGauge("regcluster_demo_total", "as gauge").ok());
+  EXPECT_FALSE(reg.AddHistogram("regcluster_demo_total", "as histo").ok());
+  // The registry is not poisoned: fresh names still register.
+  EXPECT_TRUE(reg.AddGauge("regcluster_demo_seconds", "ok").ok());
+  EXPECT_EQ(reg.num_metrics(), 2);
+}
+
+TEST(ObsRegistryTest, RejectsMalformedNames) {
+  MetricsRegistry reg;
+  EXPECT_FALSE(reg.AddCounter("", "empty").ok());
+  EXPECT_FALSE(reg.AddCounter("9starts_with_digit", "bad").ok());
+  EXPECT_FALSE(reg.AddCounter("has space", "bad").ok());
+  EXPECT_FALSE(reg.AddCounter("has-dash", "bad").ok());
+  EXPECT_TRUE(reg.AddCounter("_ok:name123", "good").ok());
+  EXPECT_EQ(reg.num_metrics(), 1);
+}
+
+TEST(ObsRegistryTest, FindReturnsRegisteredMetricOrNull) {
+  MetricsRegistry reg;
+  auto c = reg.AddCounter("regcluster_x_total", "x");
+  auto g = reg.AddGauge("regcluster_y_seconds", "y");
+  auto h = reg.AddHistogram("regcluster_z", "z");
+  ASSERT_TRUE(c.ok() && g.ok() && h.ok());
+  (*c)->Increment();
+  EXPECT_EQ(reg.FindCounter("regcluster_x_total"), *c);
+  EXPECT_EQ(reg.FindGauge("regcluster_y_seconds"), *g);
+  EXPECT_EQ(reg.FindHistogram("regcluster_z"), *h);
+  // Wrong kind and unknown names come back null, never a different entry.
+  EXPECT_EQ(reg.FindGauge("regcluster_x_total"), nullptr);
+  EXPECT_EQ(reg.FindCounter("regcluster_z"), nullptr);
+  EXPECT_EQ(reg.FindHistogram("no_such"), nullptr);
+}
+
+TEST(ObsMetricsTest, GaugeAddAccumulates) {
+  Gauge g;
+  g.Set(1.5);
+  g.Add(2.0);
+  g.Add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+}
+
+TEST(ObsMetricsTest, PhaseSpanAddsToEveryTargetKind) {
+  Gauge gauge;
+  Counter ns_counter;
+  double accum = 0.0;
+  {
+    PhaseSpan a(&gauge);
+    PhaseSpan b(&ns_counter);
+    PhaseSpan c(&accum);
+    // Explicit Stop is idempotent; the destructor must not double-add.
+    const double first = c.Stop();
+    EXPECT_GE(first, 0.0);
+    EXPECT_EQ(c.Stop(), 0.0);
+  }
+  EXPECT_GE(gauge.value(), 0.0);
+  EXPECT_GE(ns_counter.value(), 0);
+  EXPECT_GE(accum, 0.0);
+  // A null target is a no-op span.
+  PhaseSpan null_span(static_cast<Gauge*>(nullptr));
+  EXPECT_GE(null_span.Stop(), 0.0);
+}
+
+TEST(ObsMetricsTest, MetricKindNamesAreStable) {
+  EXPECT_STREQ(MetricKindName(MetricKind::kCounter), "counter");
+  EXPECT_STREQ(MetricKindName(MetricKind::kGauge), "gauge");
+  EXPECT_STREQ(MetricKindName(MetricKind::kHistogram), "histogram");
+}
+
+TEST(ObsRegistryTest, ExportsAreByteStableAcrossIdenticalRuns) {
+  auto build = [](std::string* json, std::string* prom) {
+    MetricsRegistry reg;
+    auto c = reg.AddCounter("regcluster_a_total", "a");
+    auto g = reg.AddGauge("regcluster_b_seconds", "b");
+    auto h = reg.AddHistogram("regcluster_c", "c");
+    ASSERT_TRUE(c.ok() && g.ok() && h.ok());
+    (*c)->Add(12);
+    (*g)->Set(3.5);
+    for (int64_t v : {0, 1, 5, 900, 900}) (*h)->Record(v);
+    std::ostringstream js, ps;
+    ASSERT_TRUE(reg.WriteJson(js).ok());
+    ASSERT_TRUE(reg.WritePrometheus(ps).ok());
+    *json = js.str();
+    *prom = ps.str();
+  };
+  std::string json1, prom1, json2, prom2;
+  build(&json1, &prom1);
+  build(&json2, &prom2);
+  EXPECT_EQ(json1, json2);
+  EXPECT_EQ(prom1, prom2);
+  EXPECT_NE(json1.find("\"regcluster_a_total\""), std::string::npos);
+  EXPECT_NE(prom1.find("# TYPE regcluster_c histogram"), std::string::npos);
+  EXPECT_NE(prom1.find("regcluster_c_bucket{le=\"+Inf\"} 5"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace regcluster

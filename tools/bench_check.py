@@ -22,6 +22,17 @@ fails the check when that fraction is exceeded.  The gate is skipped with a
 notice when neither input has the section (e.g. ``bench_threads`` has not
 run), so the micro comparison stays usable on its own.
 
+The observability layer is gated the same way: ``stats_overhead`` records
+how much slower a serial mine runs with ``collect_stats`` on vs off, capped
+by ``--max-stats-overhead`` (default 1%); and the ``stats`` section carries
+the miner's deterministic work counters (nodes expanded, per-rule prunes,
+index word ops, ...) for the reference synthetic dataset.  Those counters
+are a pure function of data + options, so baseline and fresh must agree
+*exactly* when they describe the same dataset/options -- any drift means a
+search-behaviour change (pruning regression, index bug) that wall-clock
+noise could mask.  Both gates skip with a notice when the sections are
+absent or describe different configurations.
+
 Exit status: 0 when every compared benchmark is within the threshold,
 1 on regression / missing data / malformed input.
 """
@@ -65,6 +76,68 @@ def check_budget_overhead(fresh_doc, baseline_doc, max_overhead):
     return True
 
 
+def check_stats_overhead(fresh_doc, baseline_doc, max_overhead):
+    """Gates stats_overhead.overhead_fraction (collect_stats on vs off),
+    mirroring check_budget_overhead's fresh-then-baseline fallback."""
+    for label, doc in (("fresh", fresh_doc), ("baseline", baseline_doc)):
+        section = doc.get("stats_overhead")
+        if not section:
+            continue
+        overhead = float(section["overhead_fraction"])
+        ok = overhead <= max_overhead
+        print(f"stats-collection overhead ({label}): {overhead:+.2%} "
+              f"(limit {max_overhead:.2%})"
+              f"{'' if ok else '  REGRESSION'}")
+        return ok
+    print("stats-collection overhead: no stats_overhead section in either "
+          "input; skipping gate (run bench_threads to measure)")
+    return True
+
+
+def check_stats_counters(fresh_doc, baseline_doc):
+    """Compares the deterministic work counters of the ``stats`` sections.
+
+    The counters are a pure function of dataset + options, so when both
+    documents carry a ``stats`` section for the same configuration every
+    integer field must match exactly.  Skips with a notice when either
+    section is missing or the configurations differ (dataset regenerated
+    with new parameters)."""
+    fresh = fresh_doc.get("stats")
+    baseline = baseline_doc.get("stats")
+    if not fresh or not baseline:
+        print("work counters: no stats section in "
+              f"{'fresh' if not fresh else 'baseline'} input; skipping gate "
+              "(run bench_threads to measure)")
+        return True
+    if (fresh.get("dataset") != baseline.get("dataset")
+            or fresh.get("options") != baseline.get("options")):
+        print("work counters: stats sections describe different "
+              "dataset/options; skipping exact comparison")
+        return True
+    ok = True
+    compared = 0
+    for key in sorted(baseline):
+        if key in ("dataset", "options"):
+            continue
+        base_val = baseline[key]
+        fresh_val = fresh.get(key)
+        if not isinstance(base_val, int):
+            continue
+        compared += 1
+        if fresh_val != base_val:
+            print(f"work counters: {key}: baseline {base_val} != "
+                  f"fresh {fresh_val}  MISMATCH")
+            ok = False
+    if ok:
+        print(f"work counters: {compared} deterministic counters match "
+              "exactly")
+    else:
+        print("work counters: deterministic counter drift -- the search "
+              "visited different work than the committed baseline "
+              "(pruning/index behaviour changed)")
+    return ok
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -80,6 +153,10 @@ def main(argv):
     parser.add_argument("--max-budget-overhead", type=float, default=0.02,
                         help="maximum tolerated budget-guard overhead "
                              "fraction from the budget_overhead section "
+                             "(default: %(default)s)")
+    parser.add_argument("--max-stats-overhead", type=float, default=0.01,
+                        help="maximum tolerated stats-collection overhead "
+                             "fraction from the stats_overhead section "
                              "(default: %(default)s)")
     args = parser.parse_args(argv)
 
@@ -123,6 +200,11 @@ def main(argv):
 
     if not check_budget_overhead(fresh_doc, baseline_doc,
                                  args.max_budget_overhead):
+        failed = True
+    if not check_stats_overhead(fresh_doc, baseline_doc,
+                                args.max_stats_overhead):
+        failed = True
+    if not check_stats_counters(fresh_doc, baseline_doc):
         failed = True
 
     if failed:

@@ -42,6 +42,7 @@
 #include "io/annotation_io.h"
 #include "io/cluster_io.h"
 #include "io/json_export.h"
+#include "io/metrics_export.h"
 #include "matrix/matrix_io.h"
 #include "matrix/stats.h"
 #include "matrix/transforms.h"
@@ -262,8 +263,13 @@ int CmdMine(Flags* flags) {
         "  [--impute=rowmean|knn] [--knn-k=10] [--normalize=none|quantile]\n"
         "  [--merge-overlap=0] [--require-gene=NAME_OR_INDEX]\n"
         "  [--report=PATH] [--json=PATH]\n"
+        "  [--metrics-out=PATH] [--metrics-format=json|prom]\n"
+        "  [--collect-stats=true]\n"
         "  [--max-clusters=-1] [--max-nodes=-1] [--deadline-ms=-1]\n"
         "Mines reg-clusters and writes the machine-format archive to --out.\n"
+        "--metrics-out writes the run's search counters and phase timings\n"
+        "(regcluster_* metrics) as JSON or Prometheus text; --collect-stats\n"
+        "=false disables the detailed work counters (they export as 0).\n"
         "--merge-overlap > 0 runs the consensus merge post-pass.\n"
         "Budgets (--max-clusters/--max-nodes/--deadline-ms) and Ctrl-C stop\n"
         "the search at a deterministic root boundary: the outputs are then a\n"
@@ -293,8 +299,16 @@ int CmdMine(Flags* flags) {
     std::fprintf(stderr, "unknown --gamma-policy=%s\n", policy.c_str());
     return 2;
   }
+  opts.collect_stats = flags->GetBool("collect-stats", true);
   const std::string report_path = flags->GetString("report", "");
   const std::string json_path = flags->GetString("json", "");
+  const std::string metrics_path = flags->GetString("metrics-out", "");
+  const std::string metrics_format_name =
+      flags->GetString("metrics-format", "json");
+  auto metrics_format = io::ParseMetricsFormat(metrics_format_name);
+  if (!metrics_format.ok()) {
+    return UsageError(metrics_format.status());
+  }
   const std::string impute = flags->GetString("impute", "rowmean");
   const int knn_k = flags->GetInt("knn-k", 10);
   const std::string normalize = flags->GetString("normalize", "none");
@@ -405,11 +419,23 @@ int CmdMine(Flags* flags) {
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     if (!out) return Fail(util::Status::IoError("cannot open " + json_path));
-    if (auto st = io::WriteClustersJson(*clusters, &data, &outcome, out);
+    if (auto st =
+            io::WriteClustersJson(*clusters, &data, &outcome, &stats, out);
         !st.ok()) {
       return Fail(st);
     }
     std::printf("json: %s\n", json_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      return Fail(util::Status::IoError("cannot open " + metrics_path));
+    }
+    if (auto st = io::WriteMinerMetrics(stats, outcome, *metrics_format, out);
+        !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("metrics: %s\n", metrics_path.c_str());
   }
   return truncated ? kExitTruncated : kExitOk;
 }
