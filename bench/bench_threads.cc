@@ -16,6 +16,8 @@
 
 #include "bench_common.h"
 #include "bench_json.h"
+#include "core/sweep.h"
+#include "matrix/matrix_io.h"
 #include "util/timer.h"
 
 namespace regcluster {
@@ -230,6 +232,128 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "WARNING: could not write %s\n", out_path.c_str());
   } else {
     std::printf("wrote section \"stats\" of %s\n", out_path.c_str());
+  }
+
+  // Batch-sweep sharing: a 4-point equal-gamma grid run through
+  // core::SweepEngine (one TSV load, one shared model, four mines) against
+  // the same four mines done the way four CLI invocations would do them
+  // (each loads the TSV and builds its own model).  The grid uses a MinG
+  // strict enough that the mines themselves are cheap, so the measured
+  // speedup isolates what the engine actually shares; on a single core
+  // there is no parallelism to hide behind.  Gated (>= 1.5x) by
+  // tools/bench_check.py --min-sweep-speedup.
+  {
+    const std::string tsv_path =
+        FlagValue(argc, argv, "sweep-tsv", "bench_sweep_scratch.tsv");
+    if (auto s = matrix::SaveMatrix(ds->data, tsv_path); !s.ok()) {
+      std::fprintf(stderr, "save matrix: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    core::MinerOptions sweep_base = base;
+    sweep_base.num_threads = 1;
+    sweep_base.min_genes = std::max(2, static_cast<int>(0.04 * cfg.num_genes));
+    const std::vector<int> minc_grid = {8, 9, 10, 11};
+    std::vector<core::MinerOptions> points;
+    for (int minc : minc_grid) {
+      core::MinerOptions p = sweep_base;
+      p.min_conditions = minc;
+      points.push_back(p);
+    }
+    auto cluster_key = [](const std::vector<core::RegCluster>& clusters) {
+      std::string key;
+      for (const auto& c : clusters) key += c.Key() + ";";
+      return key;
+    };
+
+    util::WallTimer independent_timer;
+    std::vector<std::string> independent_keys;
+    for (const core::MinerOptions& p : points) {
+      auto loaded = matrix::LoadMatrix(tsv_path);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "load matrix: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      core::RegClusterMiner m(*loaded, p);
+      auto clusters = m.Mine();
+      if (!clusters.ok()) {
+        std::fprintf(stderr, "miner: %s\n",
+                     clusters.status().ToString().c_str());
+        return 1;
+      }
+      independent_keys.push_back(cluster_key(*clusters));
+    }
+    const double independent_secs = independent_timer.ElapsedSeconds();
+
+    util::WallTimer engine_timer;
+    auto loaded = matrix::LoadMatrix(tsv_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load matrix: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    core::SweepOptions sweep_opts;
+    sweep_opts.num_threads = 1;
+    auto report = core::SweepEngine(*loaded, sweep_opts).Run(points);
+    const double engine_secs = engine_timer.ElapsedSeconds();
+    std::remove(tsv_path.c_str());
+    if (!report.ok()) {
+      std::fprintf(stderr, "sweep: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    bool sweep_identical = report->runs_executed ==
+                           static_cast<int>(points.size());
+    for (size_t i = 0; i < points.size() && sweep_identical; ++i) {
+      sweep_identical = cluster_key(report->runs[i].clusters) ==
+                        independent_keys[i];
+    }
+    const double sweep_speedup =
+        engine_secs > 0 ? independent_secs / engine_secs : 0.0;
+    std::printf(
+        "\nsweep sharing (%zu-point equal-gamma grid, MinG=%d, serial): "
+        "independent %.4f s, engine %.4f s -> %.2fx, %d shared index "
+        "build(s), identical %s\n",
+        points.size(), sweep_base.min_genes, independent_secs, engine_secs,
+        sweep_speedup, report->index_builds,
+        sweep_identical ? "yes" : "NO!");
+    std::vector<std::string> minc_json;
+    for (int minc : minc_grid) minc_json.push_back(JsonInt(minc));
+    const std::string sweep_section = JsonObject({
+        JsonField("dataset",
+                  JsonObject({
+                      JsonField("genes", JsonInt(cfg.num_genes)),
+                      JsonField("conditions", JsonInt(cfg.num_conditions)),
+                      JsonField("implanted_clusters",
+                                JsonInt(cfg.num_clusters)),
+                      JsonField("seed",
+                                JsonInt(static_cast<int64_t>(cfg.seed))),
+                  })),
+        JsonField("options",
+                  JsonObject({
+                      JsonField("min_genes", JsonInt(sweep_base.min_genes)),
+                      JsonField("min_conditions_grid", JsonArray(minc_json)),
+                      JsonField("gamma", JsonDouble(sweep_base.gamma)),
+                      JsonField("epsilon", JsonDouble(sweep_base.epsilon)),
+                  })),
+        JsonField("points", JsonInt(static_cast<int64_t>(points.size()))),
+        JsonField("independent_seconds", JsonDouble(independent_secs)),
+        JsonField("engine_seconds", JsonDouble(engine_secs)),
+        JsonField("speedup", JsonDouble(sweep_speedup)),
+        JsonField("index_builds", JsonInt(report->index_builds)),
+        JsonField("identical_to_independent", JsonBool(sweep_identical)),
+    });
+    if (!UpsertBenchSection(out_path, "sweep", sweep_section)) {
+      std::fprintf(stderr, "WARNING: could not write %s\n", out_path.c_str());
+    } else {
+      std::printf("wrote section \"sweep\" of %s\n", out_path.c_str());
+    }
+    if (!sweep_identical) {
+      std::fprintf(stderr,
+                   "FAILED: sweep engine output differs from independent "
+                   "mines\n");
+      return 1;
+    }
   }
 
   // Overhead measurements: each compares an "off" and an "on" variant as

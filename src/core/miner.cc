@@ -260,11 +260,73 @@ void RegClusterMiner::RootWork::Reset() {
   subtrees_done.store(0, std::memory_order_relaxed);
 }
 
+/// Execution state of one staged run, created by Prepare() and consumed by
+/// Finalize().  Living on the miner (not on a Mine() stack frame) is what
+/// lets a batch driver keep many runs in flight on one pool between the two
+/// calls.
+struct RegClusterMiner::RunState {
+  util::WallTimer total_timer;  ///< Prepare() entry -> Finalize() exit
+  util::WallTimer mine_timer;   ///< model ready -> Finalize() exit
+  std::vector<RootWork> work;   ///< one slot per level-1 condition
+  std::vector<MinerScratch> scratches;  ///< phase-A per-worker arenas
+  int first_root = 0;
+  int threads = 1;
+  int fin_slot = 0;  ///< guard byte-report slot of the finalize pass
+};
+
+std::shared_ptr<const SharedGammaModel> SharedGammaModel::Build(
+    const matrix::ExpressionMatrix& data, const GammaSpec& spec,
+    int max_chain_need) {
+  auto model = std::make_shared<SharedGammaModel>();
+  model->spec = spec;
+  model->max_chain_need = max_chain_need;
+  util::WallTimer timer;
+  model->rwaves.reserve(static_cast<size_t>(data.num_genes()));
+  for (int g = 0; g < data.num_genes(); ++g) {
+    model->rwaves.push_back(RWaveModel::Build(data.row_data(g),
+                                              data.num_conditions(),
+                                              AbsoluteGamma(data, g, spec)));
+  }
+  model->rwave_build_seconds = timer.ElapsedSeconds();
+  timer.Reset();
+  model->index.Build(model->rwaves, data.num_conditions(), max_chain_need);
+  model->index_build_seconds = timer.ElapsedSeconds();
+  return model;
+}
+
+size_t SharedGammaModel::MemoryBytes() const {
+  // Index tables exactly; per-gene models from their container sizes (four
+  // int columns + one double column per condition, plus the pointer list).
+  size_t total = index.MemoryBytes();
+  for (const RWaveModel& m : rwaves) {
+    const size_t c = static_cast<size_t>(m.num_conditions());
+    total += c * (4 * sizeof(int) + sizeof(double)) +
+             m.pointers().size() * sizeof(RegulationPointer);
+  }
+  return total;
+}
+
 RegClusterMiner::RegClusterMiner(const matrix::ExpressionMatrix& data,
                                  MinerOptions options)
     : data_(data), options_(options) {}
 
+RegClusterMiner::~RegClusterMiner() = default;
+
 util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Mine() {
+  util::Status prep = Prepare();
+  if (!prep.ok()) return prep;
+  if (run_->threads > 1) {
+    obs::PhaseSpan phase_a(&outcome_.phase_a_seconds);
+    util::TaskPool pool(run_->threads);
+    SubmitRoots(&pool, /*exclusive_pool=*/true);
+    pool.Wait();
+    outcome_.pool_steals = pool.total_steals();
+    outcome_.pool_queue_high_water = pool.queue_depth_high_water();
+  }
+  return Finalize();
+}
+
+util::Status RegClusterMiner::Prepare() {
   if (options_.min_genes < 1) {
     return util::Status::InvalidArgument("MinG must be >= 1");
   }
@@ -341,111 +403,161 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Mine() {
 
   stats_ = MinerStats();
   outcome_ = MineOutcome();
+  guard_.reset();
+  run_.reset();
+  index_ = nullptr;
+  model_.reset();
 
-  util::WallTimer total_timer;
-  util::WallTimer timer;
+  auto run = std::make_unique<RunState>();
+
   const GammaSpec spec{options_.gamma_policy, options_.gamma};
-  rwaves_.clear();
-  rwaves_.reserve(static_cast<size_t>(data_.num_genes()));
-  for (int g = 0; g < data_.num_genes(); ++g) {
-    rwaves_.push_back(RWaveModel::Build(data_.row_data(g),
-                                        data_.num_conditions(),
-                                        AbsoluteGamma(data_, g, spec)));
+  if (options_.shared_model != nullptr) {
+    // Adopt a pre-built model.  Reuse is only sound when the model answers
+    // exactly the queries this run would bake itself: same matrix shape,
+    // bitwise-equal gamma spec, and an eligibility ceiling covering MinC
+    // (queries clamp into [0, max_chain_need], so a *larger* ceiling is
+    // exact, a smaller one is not).
+    const SharedGammaModel& m = *options_.shared_model;
+    if (m.spec.policy != spec.policy ||
+        std::bit_cast<uint64_t>(m.spec.gamma) !=
+            std::bit_cast<uint64_t>(spec.gamma)) {
+      return util::Status::InvalidArgument(
+          "shared_model was built under a different gamma spec");
+    }
+    if (m.index.num_genes() != data_.num_genes() ||
+        m.index.num_conditions() != data_.num_conditions()) {
+      return util::Status::FailedPrecondition(
+          "shared_model dimensions do not match this matrix");
+    }
+    if (m.max_chain_need < options_.min_conditions) {
+      return util::Status::InvalidArgument(
+          "shared_model max_chain_need is below MinC; build the model with "
+          "the largest MinC it will serve");
+    }
+    model_ = options_.shared_model;
+  } else {
+    model_ = SharedGammaModel::Build(data_, spec, options_.min_conditions);
+    stats_.index_builds = 1;
+    stats_.rwave_build_seconds = model_->rwave_build_seconds;
+    stats_.index_build_seconds = model_->index_build_seconds;
   }
-  stats_.rwave_build_seconds = timer.ElapsedSeconds();
+  index_ = &model_->index;
 
-  timer.Reset();
-  index_.Build(rwaves_, data_.num_conditions(), options_.min_conditions);
-  stats_.index_build_seconds = timer.ElapsedSeconds();
-
-  timer.Reset();
-  const int num_conds = data_.num_conditions();
-  const int num_genes = data_.num_genes();
-  const int first_root =
+  run->work = std::vector<RootWork>(
+      static_cast<size_t>(data_.num_conditions()));
+  run->first_root =
       options_.resume.can_resume() ? options_.resume.next_root : 0;
-  std::vector<RootWork> work(static_cast<size_t>(num_conds));
-
-  int threads = options_.num_threads;
-  if (threads == 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads < 1) threads = 1;
+  run->threads = options_.num_threads;
+  if (run->threads == 0) {
+    run->threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (run->threads < 1) run->threads = 1;
   }
+  run->mine_timer.Reset();
+  run_ = std::move(run);
+  return util::Status::OK();
+}
 
+void RegClusterMiner::EnsureGuard(int num_slots) {
+  if (guard_ != nullptr) return;
   util::BudgetGuard::Limits limits;
   limits.max_nodes = options_.max_nodes;
   limits.max_clusters = options_.max_clusters;
   limits.deadline_ms = options_.deadline_ms;
   limits.soft_memory_limit_bytes = options_.soft_memory_limit_bytes;
   limits.token = options_.cancel_token;
-  guard_.reset();
-  if (limits.any()) {
-    // One byte-report slot per pool worker plus one for the finalize pass.
-    guard_ = std::make_unique<util::BudgetGuard>(limits, threads + 1);
+  if (!limits.any()) return;
+  // One byte-report slot per pool worker plus one for the finalize pass.
+  guard_ = std::make_unique<util::BudgetGuard>(limits, num_slots);
+  run_->fin_slot = num_slots - 1;
+}
+
+RegClusterMiner::TaskControl RegClusterMiner::MakeControl(
+    MinerScratch* scratch, int slot, util::TaskPool* pool) {
+  TaskControl ctl;
+  ctl.guard = guard_.get();
+  ctl.pool = pool;
+  ctl.scratch = scratch;
+  ctl.slot = slot;
+  ctl.interval = options_.budget_check_interval;
+  ctl.countdown = ctl.interval;
+  return ctl;
+}
+
+void RegClusterMiner::SubmitParallelWork(util::TaskPool* pool) {
+  SubmitRoots(pool, /*exclusive_pool=*/false);
+}
+
+// Phase A: optimistic mining.  Every root / subtree task runs under the
+// shared guard with unlimited local quotas; on a trip, in-flight tasks
+// abandon their slot atomically (they simply never mark themselves
+// complete), and -- when the pool is exclusively this run's -- its queued
+// tasks are dropped so the batch drains quickly.  On a shared pool the
+// queued tasks may belong to other runs, so a tripped task only abandons
+// its own work; the stale tasks of this run then observe the trip on entry
+// and return immediately.  Which roots finish here is scheduling-dependent
+// -- phase B makes the *output* deterministic.
+void RegClusterMiner::SubmitRoots(util::TaskPool* pool, bool exclusive_pool) {
+  if (run_ == nullptr) return;
+  EnsureGuard(pool->num_workers() + 1);
+  const int num_conds = data_.num_conditions();
+  const int num_genes = data_.num_genes();
+  run_->scratches =
+      std::vector<MinerScratch>(static_cast<size_t>(pool->num_workers()));
+  for (MinerScratch& s : run_->scratches) s.Init(num_conds, num_genes);
+  MinerScratch* scratches = run_->scratches.data();
+  RootWork* work = run_->work.data();
+  util::TaskPool* ctl_pool = exclusive_pool ? pool : nullptr;
+  // Each root task seeds its level-2 subtrees and immediately re-submits
+  // them: large subtrees become stealable instead of serializing behind
+  // their root, which is what makes imbalanced trees scale.
+  for (int c = run_->first_root; c < num_conds; ++c) {
+    RootWork* rw = &work[c];
+    pool->Submit([this, c, rw, pool, scratches, ctl_pool](int worker) {
+      MinerScratch* scratch = &scratches[worker];
+      TaskControl ctl = MakeControl(scratch, worker, ctl_pool);
+      rw->ctx.ctl = &ctl;
+      const bool seed_ok = !ctl.CheckAbort() && SeedRoot(c, rw, scratch);
+      ctl.Finish();
+      rw->ctx.ctl = nullptr;
+      if (!seed_ok) return;  // abandoned: the root stays incomplete
+      rw->subtree_ctx.resize(rw->seeds.size());
+      rw->seeded.store(true, std::memory_order_release);
+      for (size_t i = 0; i < rw->seeds.size(); ++i) {
+        pool->Submit([this, c, rw, i, scratches, ctl_pool](int w) {
+          MinerScratch* s = &scratches[w];
+          TaskControl sub_ctl = MakeControl(s, w, ctl_pool);
+          SearchContext* ctx = &rw->subtree_ctx[i];
+          ctx->ctl = &sub_ctl;
+          if (!sub_ctl.CheckAbort()) {
+            MineSubtree(c, &rw->seeds[i], s, ctx);
+          }
+          sub_ctl.Finish();
+          ctx->ctl = nullptr;
+          if (!sub_ctl.stopped) {
+            rw->subtrees_done.fetch_add(1, std::memory_order_acq_rel);
+          }
+        });
+      }
+    });
   }
+}
 
-  const auto make_ctl = [&](MinerScratch* scratch, int slot,
-                            util::TaskPool* pool) {
-    TaskControl ctl;
-    ctl.guard = guard_.get();
-    ctl.pool = pool;
-    ctl.scratch = scratch;
-    ctl.slot = slot;
-    ctl.interval = options_.budget_check_interval;
-    ctl.countdown = ctl.interval;
-    return ctl;
-  };
-
-  // Phase A (parallel only): optimistic mining.  Every root / subtree task
-  // runs under the shared guard with unlimited local quotas; on a trip,
-  // in-flight tasks abandon their slot atomically (they simply never mark
-  // themselves complete) and queued tasks are dropped.  Which roots finish
-  // here is scheduling-dependent -- phase B makes the *output* deterministic.
+util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Finalize() {
+  if (run_ == nullptr) {
+    return util::Status::FailedPrecondition(
+        "Finalize() requires a successful Prepare()");
+  }
+  const int num_conds = data_.num_conditions();
+  const int num_genes = data_.num_genes();
+  const int threads = run_->threads;
+  const int first_root = run_->first_root;
+  std::vector<RootWork>& work = run_->work;
+  // Serial staged runs reach here without a phase A; the guard (and with it
+  // the deadline clock) then starts now.
+  EnsureGuard(threads + 1);
   int64_t parallel_scratch_bytes = 0;
-  if (threads > 1) {
-    obs::PhaseSpan phase_a(&outcome_.phase_a_seconds);
-    util::TaskPool pool(threads);
-    std::vector<MinerScratch> scratches(
-        static_cast<size_t>(pool.num_workers()));
-    for (MinerScratch& s : scratches) s.Init(num_conds, num_genes);
-    // Each root task seeds its level-2 subtrees and immediately re-submits
-    // them: large subtrees become stealable instead of serializing behind
-    // their root, which is what makes imbalanced trees scale.
-    for (int c = first_root; c < num_conds; ++c) {
-      RootWork* rw = &work[static_cast<size_t>(c)];
-      pool.Submit([this, c, rw, &pool, &scratches, &make_ctl](int worker) {
-        MinerScratch* scratch = &scratches[static_cast<size_t>(worker)];
-        TaskControl ctl = make_ctl(scratch, worker, &pool);
-        rw->ctx.ctl = &ctl;
-        const bool seed_ok = !ctl.CheckAbort() && SeedRoot(c, rw, scratch);
-        ctl.Finish();
-        rw->ctx.ctl = nullptr;
-        if (!seed_ok) return;  // abandoned: the root stays incomplete
-        rw->subtree_ctx.resize(rw->seeds.size());
-        rw->seeded.store(true, std::memory_order_release);
-        for (size_t i = 0; i < rw->seeds.size(); ++i) {
-          pool.Submit([this, c, rw, i, &pool, &scratches, &make_ctl](int w) {
-            MinerScratch* s = &scratches[static_cast<size_t>(w)];
-            TaskControl sub_ctl = make_ctl(s, w, &pool);
-            SearchContext* ctx = &rw->subtree_ctx[i];
-            ctx->ctl = &sub_ctl;
-            if (!sub_ctl.CheckAbort()) {
-              MineSubtree(c, &rw->seeds[i], s, ctx);
-            }
-            sub_ctl.Finish();
-            ctx->ctl = nullptr;
-            if (!sub_ctl.stopped) {
-              rw->subtrees_done.fetch_add(1, std::memory_order_acq_rel);
-            }
-          });
-        }
-      });
-    }
-    pool.Wait();
-    for (const MinerScratch& s : scratches) {
-      parallel_scratch_bytes += s.ApproxBytes();
-    }
-    outcome_.pool_steals = pool.total_steals();
-    outcome_.pool_queue_high_water = pool.queue_depth_high_water();
+  for (const MinerScratch& s : run_->scratches) {
+    parallel_scratch_bytes += s.ApproxBytes();
   }
 
   // Phase B: canonical finalize -- the whole mining pass when threads <= 1.
@@ -480,7 +592,7 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Mine() {
         break;
       }
       rw.Reset();
-      TaskControl ctl = make_ctl(&fin_scratch, threads, nullptr);
+      TaskControl ctl = MakeControl(&fin_scratch, run_->fin_slot, nullptr);
       ctl.hard_only = true;
       ctl.node_quota = node_rem;
       ctl.cluster_quota = cluster_rem;
@@ -534,7 +646,7 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Mine() {
   }
   phase_b.Stop();
   if (options_.remove_dominated) out = RemoveDominated(std::move(out));
-  stats_.mine_seconds = timer.ElapsedSeconds();
+  stats_.mine_seconds = run_->mine_timer.ElapsedSeconds();
 
   const bool truncated = stop != util::StopReason::kNone;
   outcome_.status = truncated ? MineStatus::kTruncated : MineStatus::kComplete;
@@ -543,7 +655,7 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Mine() {
       guard_ != nullptr ? guard_->total_nodes() : stats_.nodes_expanded;
   outcome_.roots_completed = roots_included;
   outcome_.roots_total = num_conds - first_root;
-  outcome_.wall_seconds = total_timer.ElapsedSeconds();
+  outcome_.wall_seconds = run_->total_timer.ElapsedSeconds();
   outcome_.peak_scratch_bytes =
       std::max<int64_t>(guard_ != nullptr ? guard_->peak_bytes() : 0,
                         parallel_scratch_bytes + fin_scratch.ApproxBytes());
@@ -552,6 +664,7 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Mine() {
     outcome_.resume.next_root = cut_root;
     outcome_.resume.options_hash = SemanticOptionsHash(options_);
   }
+  run_.reset();
   return out;
 }
 
@@ -603,10 +716,10 @@ bool RegClusterMiner::HasAllRequired(const MemberCols& p, const MemberCols& n,
 template <bool kCollect>
 void RegClusterMiner::PrepareNode(int m, int ckm, NodeFrame* node,
                                   MinerStats* stats) {
-  const int words = index_.num_words();
+  const int words = index_->num_words();
   const int need = options_.min_conditions - m;
   const bool prune2 = options_.prune_min_conds;
-  const uint64_t* ones = index_.ones_row();
+  const uint64_t* ones = index_->ones_row();
 
   const auto cache = [&](const MemberCols& mem, bool up,
                          std::vector<uint64_t>& comb,
@@ -620,10 +733,10 @@ void RegClusterMiner::PrepareNode(int m, int ckm, NodeFrame* node,
       const int g = mem.gene[i];
       const int pos = mem.head_pos[i];
       const uint64_t* cand_row =
-          up ? index_.UpCandidates(g, pos) : index_.DownCandidates(g, pos);
+          up ? index_->UpCandidates(g, pos) : index_->DownCandidates(g, pos);
       const uint64_t* elig =
-          prune2 ? (up ? index_.UpEligible(g, need)
-                       : index_.DownEligible(g, need))
+          prune2 ? (up ? index_->UpEligible(g, need)
+                       : index_->DownEligible(g, need))
                  : ones;
       uint64_t* dst = comb.data() + i * static_cast<size_t>(words);
       for (int w = 0; w < words; ++w) dst[w] = cand_row[w] & elig[w];
@@ -666,7 +779,7 @@ void RegClusterMiner::PrepareNode(int m, int ckm, NodeFrame* node,
   // here rather than per candidate (identical totals; with an active
   // max_nodes / max_clusters cap a mid-node budget stop no longer leaves
   // the counter at a scheduling-dependent prefix).
-  const int num_conds = index_.num_conditions();
+  const int num_conds = index_->num_conditions();
   const auto transpose = [&](const MemberCols& mem, bool up,
                              const std::vector<uint64_t>& comb,
                              std::vector<uint64_t>& trans, int* trans_words) {
@@ -678,8 +791,8 @@ void RegClusterMiner::PrepareNode(int m, int ckm, NodeFrame* node,
     for (size_t i = 0; i < count; ++i) {
       const uint64_t* comb_row = comb.data() + i * static_cast<size_t>(words);
       const uint64_t* succ_row =
-          prune2 ? (up ? index_.UpCandidates(mem.gene[i], mem.head_pos[i])
-                       : index_.DownCandidates(mem.gene[i], mem.head_pos[i]))
+          prune2 ? (up ? index_->UpCandidates(mem.gene[i], mem.head_pos[i])
+                       : index_->DownCandidates(mem.gene[i], mem.head_pos[i]))
                  : nullptr;
       const size_t member_word = i >> 6;
       const uint64_t member_bit = uint64_t{1} << (i & 63);
@@ -723,7 +836,7 @@ int RegClusterMiner::FilterCandidate(int cand, NodeFrame* node) const {
     util::ForEachSetBit(member_bits, trans_words, [&](int i) {
       const int g = mem.gene[static_cast<size_t>(i)];
       node->sc_gene.push_back(g);
-      node->sc_head.push_back(index_.position(g, cand));
+      node->sc_head.push_back(index_->position(g, cand));
       node->sc_denom.push_back(mem.denom[static_cast<size_t>(i)]);
       node->sc_h.push_back(rows[static_cast<size_t>(i)][cand] -
                            base[static_cast<size_t>(i)]);
@@ -756,11 +869,11 @@ bool RegClusterMiner::SeedRootImpl(int root_condition, RootWork* work,
   const int min_c = options_.min_conditions;
   const bool prune2 = options_.prune_min_conds;
   for (int g = 0; g < num_genes; ++g) {
-    const int pos = index_.position(g, root_condition);
+    const int pos = index_->position(g, root_condition);
     const bool up_ok =
-        !prune2 || index_.ChainEligibleUp(g, root_condition, min_c);
+        !prune2 || index_->ChainEligibleUp(g, root_condition, min_c);
     const bool down_ok =
-        !prune2 || index_.ChainEligibleDown(g, root_condition, min_c);
+        !prune2 || index_->ChainEligibleDown(g, root_condition, min_c);
     if (up_ok) node.p.push_back(g, pos, 0.0);
     if (down_ok) node.n.push_back(g, pos, 0.0);
     ctx->stats.genes_dropped_min_conds += (up_ok ? 0 : 1) + (down_ok ? 0 : 1);

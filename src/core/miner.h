@@ -49,6 +49,9 @@
 #include "util/status.h"
 
 namespace regcluster {
+namespace util {
+class TaskPool;
+}  // namespace util
 namespace core {
 
 /// Continuation handle for a truncated Mine() call.  A truncated run covers
@@ -102,6 +105,35 @@ struct MineOutcome {
   int64_t pool_steals = 0;       ///< TaskPool cross-worker task transfers
   int64_t pool_queue_high_water = 0;  ///< deepest single worker deque seen
   int64_t budget_polls = 0;      ///< BudgetGuard::Poll() calls, all workers
+};
+
+/// Immutable per-gamma model state: the per-gene RWave^gamma models plus the
+/// successor-bitmap index baked from them.  Everything the miner derives from
+/// (matrix, gamma spec) alone -- independent of MinG / MinC / epsilon / budget
+/// knobs -- lives here, so one instance can back any number of concurrent
+/// Mine() calls that agree on the gamma spec (see MinerOptions::shared_model).
+/// The index is built with eligibility rows for chain requirements up to
+/// `max_chain_need`; index queries clamp into that range, so a model built
+/// with the *largest* MinC of a batch answers every smaller MinC with
+/// bit-identical results.
+struct SharedGammaModel {
+  GammaSpec spec;
+  int max_chain_need = 0;
+  std::vector<RWaveModel> rwaves;
+  RWaveBitmapIndex index;
+  double rwave_build_seconds = 0.0;
+  double index_build_seconds = 0.0;
+
+  /// Builds the models and the index for `data` under `spec`.  The matrix
+  /// must outlive the returned model.  `max_chain_need` must be >= the
+  /// largest MinC any sharing run will use (Mine() rejects a model whose
+  /// ceiling is below its MinC).
+  static std::shared_ptr<const SharedGammaModel> Build(
+      const matrix::ExpressionMatrix& data, const GammaSpec& spec,
+      int max_chain_need);
+
+  /// Heap footprint of the baked tables (models + index), for reporting.
+  size_t MemoryBytes() const;
 };
 
 /// Mining parameters (paper notation in comments).
@@ -207,6 +239,15 @@ struct MinerOptions {
   /// are *always* maintained: the deterministic budget-truncation contract
   /// depends on them.  Never changes the mined output.
   bool collect_stats = true;
+
+  /// Pre-built model state to reuse instead of building per run (batch
+  /// drivers: core::SweepEngine).  Must have been built for the same matrix
+  /// under the same (gamma_policy, gamma) with max_chain_need >=
+  /// min_conditions; Mine() rejects mismatches.  Purely an execution knob:
+  /// the mined output is bit-identical with or without sharing (index
+  /// queries clamp, so a larger eligibility ceiling answers exactly).  When
+  /// set, MinerStats reports index_builds == 0 and zero build seconds.
+  std::shared_ptr<const SharedGammaModel> shared_model;
 };
 
 /// Search-effort and pruning counters, populated by Mine().
@@ -219,8 +260,12 @@ struct MinerStats {
   int64_t pruned_coherence = 0;     ///< candidates with no valid window (4)
   int64_t genes_dropped_min_conds = 0;  ///< gene drops by pruning (2)
   int64_t clusters_emitted = 0;     ///< outputs before any post-pass
-  double rwave_build_seconds = 0.0;
-  double index_build_seconds = 0.0;  ///< RWaveBitmapIndex bake time
+  /// Model builds performed by this run: 1 when Mine() built its own
+  /// RWave models + index, 0 when MinerOptions::shared_model was reused.
+  /// This is how index sharing is observable (sweep_test asserts it).
+  int64_t index_builds = 0;
+  double rwave_build_seconds = 0.0;  ///< 0 when the model was shared
+  double index_build_seconds = 0.0;  ///< RWaveBitmapIndex bake time (0 if shared)
   double mine_seconds = 0.0;
 
   /// Detailed work counters, collected only when
@@ -248,6 +293,7 @@ class RegClusterMiner {
  public:
   /// The matrix must outlive the miner.
   RegClusterMiner(const matrix::ExpressionMatrix& data, MinerOptions options);
+  ~RegClusterMiner();  // out-of-line: RunState is incomplete here
 
   /// Runs the search.  Fails (InvalidArgument / FailedPrecondition) on bad
   /// parameters or a matrix with missing values.  Deterministic: output
@@ -256,6 +302,32 @@ class RegClusterMiner {
   /// not from scheduling).  A budgeted or cancelled run still returns OK
   /// with the partial clusters; consult outcome() for what was covered.
   util::StatusOr<std::vector<RegCluster>> Mine();
+
+  /// Staged execution for batch drivers (core::SweepEngine).  The sequence
+  ///
+  ///   Prepare();  SubmitParallelWork(&pool);  pool.Wait();  Finalize();
+  ///
+  /// is equivalent to one Mine() call, except that the optimistic phase-A
+  /// tasks run on a caller-owned pool that may be shared with *other*
+  /// miners: inter-run parallelism composes with intra-run root/subtree
+  /// tasks, and work stealing balances across runs.  Skipping
+  /// SubmitParallelWork yields a serial run.  Differences from Mine():
+  ///   * a task that observes a budget trip abandons its slot but does not
+  ///     drop the pool's queued tasks (they may belong to other runs); the
+  ///     abandoned roots are repaired or excluded by Finalize() exactly as
+  ///     in the single-run path, so the output contract is unchanged;
+  ///   * the pool telemetry of MineOutcome (phase_a_seconds, pool_steals,
+  ///     pool_queue_high_water) stays 0 -- a shared pool's scheduling is not
+  ///     attributable to one run -- and wall-clock figures (mine_seconds,
+  ///     wall_seconds) span Prepare() to Finalize(), overlapping whatever
+  ///     else ran on the pool in between.
+  /// Prepare() validates options and builds (or adopts) the gamma model;
+  /// calling it again restarts the staged run.  Finalize() runs the
+  /// canonical serial merge/repair phase and returns the clusters; it fails
+  /// (FailedPrecondition) without a preceding successful Prepare().
+  util::Status Prepare();
+  void SubmitParallelWork(util::TaskPool* pool);
+  util::StatusOr<std::vector<RegCluster>> Finalize();
 
   /// Counters from the last Mine() call.  Under truncation these describe
   /// exactly the included canonical prefix (deterministic); total effort
@@ -409,12 +481,33 @@ class RegClusterMiner {
   bool HasAllRequired(const MemberCols& p, const MemberCols& n,
                       MinerScratch* scratch) const;
 
+  /// Per-staged-run execution state (root slots, phase-A scratches, timers,
+  /// budget remainder bookkeeping).  Defined in miner.cc; created by
+  /// Prepare(), consumed by Finalize().
+  struct RunState;
+
+  /// Phase-A submission body shared by Mine() (exclusive internal pool) and
+  /// SubmitParallelWork() (shared external pool).  Only an exclusive pool
+  /// may be drained via CancelPending() when a task observes a trip.
+  void SubmitRoots(util::TaskPool* pool, bool exclusive_pool);
+
+  /// Creates guard_ from the options' limits with `num_slots` byte-report
+  /// slots (workers + 1 for the finalize pass) unless already created or no
+  /// limit is configured.  The deadline starts ticking here.
+  void EnsureGuard(int num_slots);
+
+  TaskControl MakeControl(MinerScratch* scratch, int slot,
+                          util::TaskPool* pool);
+
   const matrix::ExpressionMatrix& data_;
   MinerOptions options_;
   MinerStats stats_;
   MineOutcome outcome_;
-  std::vector<RWaveModel> rwaves_;
-  RWaveBitmapIndex index_;            // vertical bitmaps over rwaves_
+  /// Model state of the current run: either adopted from
+  /// options_.shared_model or built (and owned) by Prepare().
+  std::shared_ptr<const SharedGammaModel> model_;
+  const RWaveBitmapIndex* index_ = nullptr;  // = &model_->index (hot path)
+  std::unique_ptr<RunState> run_;
   std::vector<char> allowed_cond_;    // condition id -> allowed in chains
   std::vector<uint64_t> allowed_words_;  // allowed_cond_ as a bitmap row
   std::vector<char> required_gene_;   // gene id -> must stay in the branch

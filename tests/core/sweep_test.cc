@@ -1,0 +1,251 @@
+// Property tests for the batch parameter-sweep engine (core/sweep.h):
+//
+//  * every executed sweep point is byte-identical to an independent Mine()
+//    at that point's options, at 1/2/4 threads;
+//  * index sharing is observable: the engine builds one model per distinct
+//    gamma (report.index_builds) and shared runs report stats.index_builds
+//    == 0, while share_models=false restores per-run builds;
+//  * sweep-level budgets truncate on a run boundary with the PR 3 contract:
+//    a deterministic, thread-count-invariant prefix plus first_unfinished
+//    as the resume point, and re-running the remaining points completes
+//    the grid.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/miner.h"
+#include "core/sweep.h"
+#include "matrix/expression_matrix.h"
+#include "synth/generator.h"
+#include "util/cancellation.h"
+
+namespace regcluster {
+namespace core {
+namespace {
+
+matrix::ExpressionMatrix TestMatrix() {
+  synth::SyntheticConfig cfg;
+  cfg.num_genes = 150;
+  cfg.num_conditions = 14;
+  cfg.num_clusters = 4;
+  cfg.avg_cluster_genes_fraction = 0.06;
+  cfg.seed = 515;
+  auto ds = synth::GenerateSynthetic(cfg);
+  EXPECT_TRUE(ds.ok());
+  return ds->data;
+}
+
+// A small mixed grid: two gamma groups, with MinC/epsilon variation inside
+// the 0.1 group (the shared index is built with the group's largest MinC).
+std::vector<MinerOptions> TestGrid() {
+  MinerOptions base;
+  base.min_genes = 5;
+  base.epsilon = 0.05;
+  std::vector<MinerOptions> points;
+  for (double gamma : {0.1, 0.15}) {
+    for (int minc : {4, 5}) {
+      MinerOptions p = base;
+      p.gamma = gamma;
+      p.min_conditions = minc;
+      points.push_back(p);
+    }
+  }
+  points[1].epsilon = 0.1;  // epsilon variation reuses the same index
+  return points;
+}
+
+std::vector<RegCluster> IndependentMine(const matrix::ExpressionMatrix& data,
+                                        const MinerOptions& point) {
+  auto mined = RegClusterMiner(data, point).Mine();
+  EXPECT_TRUE(mined.ok()) << mined.status().ToString();
+  return *std::move(mined);
+}
+
+class SweepThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(SweepThreads, EveryPointByteIdenticalToIndependentMine) {
+  const matrix::ExpressionMatrix data = TestMatrix();
+  const std::vector<MinerOptions> points = TestGrid();
+
+  SweepOptions sopts;
+  sopts.num_threads = GetParam();
+  auto report = SweepEngine(data, sopts).Run(points);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->runs.size(), points.size());
+  EXPECT_EQ(report->runs_executed, static_cast<int>(points.size()));
+  EXPECT_EQ(report->status, MineStatus::kComplete);
+  EXPECT_EQ(report->first_unfinished, -1);
+
+  int64_t clusters_total = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepRun& run = report->runs[i];
+    ASSERT_TRUE(run.executed) << "point " << i;
+    const std::vector<RegCluster> want = IndependentMine(data, points[i]);
+    ASSERT_EQ(run.clusters.size(), want.size()) << "point " << i;
+    for (size_t c = 0; c < want.size(); ++c) {
+      ASSERT_EQ(run.clusters[c], want[c]) << "point " << i << " cluster "
+                                          << c;
+    }
+    clusters_total += static_cast<int64_t>(run.clusters.size());
+  }
+  EXPECT_GT(clusters_total, 0) << "grid produced no output; test is vacuous";
+  EXPECT_EQ(report->clusters_total, clusters_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SweepThreads, ::testing::Values(1, 2, 4));
+
+TEST(SweepEngineTest, SharesOneIndexPerDistinctGamma) {
+  const matrix::ExpressionMatrix data = TestMatrix();
+  const std::vector<MinerOptions> points = TestGrid();  // gammas {0.1, 0.15}
+
+  SweepOptions sopts;
+  auto report = SweepEngine(data, sopts).Run(points);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->index_builds, 2);
+  EXPECT_GT(report->shared_model_bytes, 0);
+  for (const SweepRun& run : report->runs) {
+    EXPECT_TRUE(run.used_shared_model);
+    EXPECT_EQ(run.stats.index_builds, 0);
+    EXPECT_EQ(run.stats.rwave_build_seconds, 0.0);
+    EXPECT_EQ(run.stats.index_build_seconds, 0.0);
+  }
+
+  SweepOptions unshared;
+  unshared.share_models = false;
+  auto report2 = SweepEngine(data, unshared).Run(points);
+  ASSERT_TRUE(report2.ok());
+  EXPECT_EQ(report2->index_builds, 0);
+  EXPECT_EQ(report2->shared_model_bytes, 0);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepRun& run = report2->runs[i];
+    EXPECT_FALSE(run.used_shared_model);
+    EXPECT_EQ(run.stats.index_builds, 1);
+    // Sharing is purely an execution knob: the output is unchanged.
+    EXPECT_EQ(run.clusters, report->runs[i].clusters);
+  }
+}
+
+TEST(SweepEngineTest, NodeBudgetTruncatesOnRunBoundaryAtAnyThreadCount) {
+  const matrix::ExpressionMatrix data = TestMatrix();
+  const std::vector<MinerOptions> points = TestGrid();
+
+  // Size the budget from the real per-run costs: enough for the first run
+  // plus half the second, so the cut lands inside run 1.
+  SweepOptions unbounded;
+  auto full = SweepEngine(data, unbounded).Run(points);
+  ASSERT_TRUE(full.ok());
+  const int64_t run0 = full->runs[0].stats.nodes_expanded;
+  const int64_t run1 = full->runs[1].stats.nodes_expanded;
+  ASSERT_GT(run1, 1);
+
+  int prev_first_unfinished = -2;
+  for (int threads : {1, 2, 4}) {
+    SweepOptions sopts;
+    sopts.num_threads = threads;
+    sopts.max_nodes = run0 + run1 / 2;
+    auto report = SweepEngine(data, sopts).Run(points);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->status, MineStatus::kTruncated);
+    EXPECT_EQ(report->stop_reason, util::StopReason::kNodeBudget);
+    EXPECT_EQ(report->first_unfinished, 1);
+    EXPECT_EQ(report->runs_executed, 1);
+    // Run 0 is complete and untouched by the cut; run 1 is excluded whole.
+    EXPECT_EQ(report->runs[0].clusters, full->runs[0].clusters);
+    EXPECT_FALSE(report->runs[1].executed);
+    EXPECT_TRUE(report->runs[1].clusters.empty());
+    // Identical boundary at every thread count.
+    if (prev_first_unfinished != -2) {
+      EXPECT_EQ(report->first_unfinished, prev_first_unfinished);
+    }
+    prev_first_unfinished = report->first_unfinished;
+
+    // PR 3 resume contract at sweep granularity: re-run the tail and the
+    // concatenation covers the grid exactly.
+    const std::vector<MinerOptions> tail(
+        points.begin() + report->first_unfinished, points.end());
+    auto rest = SweepEngine(data, unbounded).Run(tail);
+    ASSERT_TRUE(rest.ok());
+    EXPECT_EQ(rest->status, MineStatus::kComplete);
+    for (size_t i = 0; i < tail.size(); ++i) {
+      EXPECT_EQ(rest->runs[i].clusters,
+                full->runs[report->first_unfinished + i].clusters);
+    }
+  }
+}
+
+TEST(SweepEngineTest, PerPointBudgetTruncatesThatRunOnlyAndMatchesMine) {
+  const matrix::ExpressionMatrix data = TestMatrix();
+  std::vector<MinerOptions> points = TestGrid();
+  // Give point 0 its own tight node budget; its truncated output must match
+  // the independent truncated mine byte-for-byte, and the sweep continues.
+  points[0].max_nodes = 50;
+
+  SweepOptions sopts;
+  auto report = SweepEngine(data, sopts).Run(points);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->status, MineStatus::kComplete);
+  EXPECT_EQ(report->runs_executed, static_cast<int>(points.size()));
+  ASSERT_TRUE(report->runs[0].executed);
+  EXPECT_EQ(report->runs[0].outcome.status, MineStatus::kTruncated);
+  EXPECT_EQ(report->runs[0].outcome.stop_reason,
+            util::StopReason::kNodeBudget);
+  EXPECT_EQ(report->runs[0].clusters, IndependentMine(data, points[0]));
+}
+
+TEST(SweepEngineTest, ZeroDeadlineTruncatesBeforeTheFirstRun) {
+  const matrix::ExpressionMatrix data = TestMatrix();
+  SweepOptions sopts;
+  sopts.deadline_ms = 0.0;
+  auto report = SweepEngine(data, sopts).Run(TestGrid());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->status, MineStatus::kTruncated);
+  EXPECT_EQ(report->stop_reason, util::StopReason::kDeadline);
+  EXPECT_EQ(report->runs_executed, 0);
+  EXPECT_EQ(report->first_unfinished, 0);
+  for (const SweepRun& run : report->runs) EXPECT_FALSE(run.executed);
+}
+
+TEST(SweepEngineTest, PreCancelledTokenTruncatesAtTheFirstBoundary) {
+  const matrix::ExpressionMatrix data = TestMatrix();
+  SweepOptions sopts;
+  sopts.cancel_token = std::make_shared<util::CancellationToken>();
+  sopts.cancel_token->Cancel(util::StopReason::kCancelled);
+  auto report = SweepEngine(data, sopts).Run(TestGrid());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->status, MineStatus::kTruncated);
+  EXPECT_EQ(report->stop_reason, util::StopReason::kCancelled);
+  EXPECT_EQ(report->runs_executed, 0);
+  EXPECT_EQ(report->first_unfinished, 0);
+}
+
+TEST(SweepEngineTest, InvalidPointIsSoftFailureOthersRun) {
+  const matrix::ExpressionMatrix data = TestMatrix();
+  std::vector<MinerOptions> points = TestGrid();
+  points[2].gamma = 2.0;  // out of range for the range-fraction policy
+
+  SweepOptions sopts;
+  auto report = SweepEngine(data, sopts).Run(points);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->status, MineStatus::kComplete);
+  EXPECT_EQ(report->runs_executed, static_cast<int>(points.size()) - 1);
+  EXPECT_FALSE(report->runs[2].status.ok());
+  EXPECT_FALSE(report->runs[2].executed);
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (i == 2) continue;
+    EXPECT_TRUE(report->runs[i].executed) << i;
+    EXPECT_EQ(report->runs[i].clusters, IndependentMine(data, points[i]))
+        << i;
+  }
+}
+
+TEST(SweepEngineTest, EmptyPointListIsAnError) {
+  const matrix::ExpressionMatrix data = TestMatrix();
+  auto report = SweepEngine(data, SweepOptions{}).Run({});
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace regcluster

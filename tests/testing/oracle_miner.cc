@@ -1,0 +1,205 @@
+#include "testing/oracle_miner.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace regcluster {
+namespace testing {
+namespace {
+
+// +1 when gene g's raw values rise by more than gamma_g at *every* adjacent
+// chain step, -1 when the exact inversion holds at every step, 0 otherwise.
+// Always evaluated over the full chain -- no incremental head positions.
+int ChainDirection(const matrix::ExpressionMatrix& data, int g,
+                   const std::vector<int>& chain, double gamma_g) {
+  bool up = true;
+  bool down = true;
+  for (size_t k = 0; k + 1 < chain.size(); ++k) {
+    const double delta = data(g, chain[k + 1]) - data(g, chain[k]);
+    if (!(delta > gamma_g)) up = false;
+    if (!(-delta > gamma_g)) down = false;
+  }
+  if (up) return 1;
+  if (down) return -1;
+  return 0;
+}
+
+// Eq. 7, written out from the paper: the adjacent step (ck, ck1) scored
+// against the chain's baseline pair (c1, c2).
+double CoherenceScore(const matrix::ExpressionMatrix& data, int g, int c1,
+                      int c2, int ck, int ck1) {
+  return (data(g, ck1) - data(g, ck)) / (data(g, c2) - data(g, c1));
+}
+
+// The representative-chain rule's tie-breaker: a chain represents itself
+// (rather than its reversal) when it is lexicographically smaller.
+bool LexSmallerThanReversed(const std::vector<int>& chain) {
+  const size_t n = chain.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (chain[i] != chain[n - 1 - i]) return chain[i] < chain[n - 1 - i];
+  }
+  return false;
+}
+
+class Oracle {
+ public:
+  Oracle(const matrix::ExpressionMatrix& data, const OracleOptions& options)
+      : data_(data), options_(options) {
+    gamma_abs_.reserve(data.num_genes());
+    for (int g = 0; g < data.num_genes(); ++g) {
+      gamma_abs_.push_back(core::AbsoluteGamma(data, g, options.gamma));
+    }
+  }
+
+  std::vector<core::RegCluster> Mine() {
+    std::vector<int> all_genes(data_.num_genes());
+    for (int g = 0; g < data_.num_genes(); ++g) all_genes[g] = g;
+    for (int c = 0; c < data_.num_conditions(); ++c) {
+      Enumerate({c}, {all_genes});
+    }
+    std::vector<core::RegCluster> out;
+    out.reserve(found_.size());
+    for (auto& [key, cluster] : found_) out.push_back(std::move(cluster));
+    return out;  // map order == Key() order
+  }
+
+ private:
+  /// Walks every ordered condition sequence extending `chain`.  `sets` are
+  /// the candidate member sets surviving the definition's refinement at
+  /// `chain`; each extension re-checks regulation over the *whole* extended
+  /// chain for every gene and re-derives the coherence windows from
+  /// scratch.
+  void Enumerate(const std::vector<int>& chain,
+                 const std::vector<std::vector<int>>& sets) {
+    if (static_cast<int>(chain.size()) >= options_.min_conditions) {
+      for (const std::vector<int>& members : sets) Emit(chain, members);
+    }
+    if (static_cast<int>(chain.size()) == data_.num_conditions()) return;
+
+    for (int cand = 0; cand < data_.num_conditions(); ++cand) {
+      if (std::find(chain.begin(), chain.end(), cand) != chain.end()) {
+        continue;
+      }
+      std::vector<int> extended = chain;
+      extended.push_back(cand);
+      std::set<std::vector<int>> next;  // dedup across parent sets
+      for (const std::vector<int>& members : sets) {
+        Refine(extended, members, &next);
+      }
+      if (next.empty()) continue;  // member sets only shrink
+      Enumerate(extended,
+                std::vector<std::vector<int>>(next.begin(), next.end()));
+    }
+  }
+
+  /// One refinement step of Definition 3.3: keep the genes regulating along
+  /// the full extended chain, then split into maximal epsilon-coherent
+  /// windows (windows below MinG can never grow back and are dropped).
+  void Refine(const std::vector<int>& extended,
+              const std::vector<int>& members,
+              std::set<std::vector<int>>* out) const {
+    std::vector<int> kept;
+    for (int g : members) {
+      if (ChainDirection(data_, g, extended, gamma_abs_[g]) != 0) {
+        kept.push_back(g);
+      }
+    }
+    if (static_cast<int>(kept.size()) < options_.min_genes) return;
+    if (extended.size() == 2) {
+      // The baseline pair itself: every surviving gene scores exactly 1,
+      // so there is a single all-inclusive window.
+      out->insert(std::move(kept));
+      return;
+    }
+
+    struct Scored {
+      double h;
+      int gene;
+    };
+    std::vector<Scored> scored;
+    scored.reserve(kept.size());
+    const int c1 = extended[0], c2 = extended[1];
+    const int ck = extended[extended.size() - 2];
+    const int ck1 = extended.back();
+    for (int g : kept) {
+      scored.push_back(Scored{CoherenceScore(data_, g, c1, c2, ck, ck1), g});
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const Scored& a, const Scored& b) {
+                if (a.h != b.h) return a.h < b.h;
+                return a.gene < b.gene;
+              });
+    const size_t n = scored.size();
+    size_t hi = 0, prev_hi = 0;
+    for (size_t lo = 0; lo < n; ++lo) {
+      if (hi < lo + 1) hi = lo + 1;
+      while (hi < n && scored[hi].h - scored[lo].h <= options_.epsilon) ++hi;
+      const bool maximal = lo == 0 || hi > prev_hi;
+      prev_hi = hi;
+      if (!maximal || static_cast<int>(hi - lo) < options_.min_genes) {
+        continue;
+      }
+      std::vector<int> window;
+      window.reserve(hi - lo);
+      for (size_t i = lo; i < hi; ++i) window.push_back(scored[i].gene);
+      std::sort(window.begin(), window.end());
+      out->insert(std::move(window));
+    }
+  }
+
+  /// Definition 3.3's final checks at an enumerated (chain, members) pair:
+  /// every member is a p-member (strictly up beyond gamma_i at every step)
+  /// or an n-member (the exact inversion), sizes meet MinG/MinC, and the
+  /// chain is the representative of the (chain, reversal) pair.
+  void Emit(const std::vector<int>& chain, const std::vector<int>& members) {
+    if (static_cast<int>(members.size()) < options_.min_genes) return;
+    std::vector<int> p, n;
+    for (int g : members) {
+      const int dir = ChainDirection(data_, g, chain, gamma_abs_[g]);
+      if (dir > 0) {
+        p.push_back(g);
+      } else if (dir < 0) {
+        n.push_back(g);
+      } else {
+        return;  // not a member under the definition
+      }
+    }
+    if (!(p.size() > n.size() ||
+          (p.size() == n.size() && LexSmallerThanReversed(chain)))) {
+      return;  // the reversed chain represents this cluster
+    }
+    core::RegCluster cluster;
+    cluster.chain = chain;
+    cluster.p_genes = std::move(p);
+    cluster.n_genes = std::move(n);
+    found_.emplace(cluster.Key(), std::move(cluster));
+  }
+
+  const matrix::ExpressionMatrix& data_;
+  const OracleOptions& options_;
+  std::vector<double> gamma_abs_;
+  std::map<std::string, core::RegCluster> found_;
+};
+
+}  // namespace
+
+std::vector<core::RegCluster> OracleMine(const matrix::ExpressionMatrix& data,
+                                         const OracleOptions& options) {
+  return Oracle(data, options).Mine();
+}
+
+std::vector<core::RegCluster> Canonicalize(
+    std::vector<core::RegCluster> clusters) {
+  std::sort(clusters.begin(), clusters.end(),
+            [](const core::RegCluster& a, const core::RegCluster& b) {
+              return a.Key() < b.Key();
+            });
+  return clusters;
+}
+
+}  // namespace testing
+}  // namespace regcluster

@@ -1,0 +1,56 @@
+// Brute-force oracle miner for differential testing.
+//
+// A deliberately naive reference: it enumerates *every ordered condition
+// subset* of the matrix (O(sum_k |C|!/(|C|-k)!), exponential in |C| -- tiny
+// matrices only) and checks Definition 3.3 directly against the raw
+// expression values at each one -- per-gene regulation along the chain
+// (p-members strictly up by more than gamma_i per step, n-members the exact
+// inversion), the epsilon window over Eq. 7 coherence scores, MinG/MinC, and
+// the representative-chain rule.  No RWave models, no bitmap index, no
+// pruning strategies, no incremental search state: the only things shared
+// with src/core are public value types (RegCluster, GammaSpec) and the
+// matrix container, so a bug in the optimized search machinery cannot also
+// hide here.
+//
+// The member sets at a chain are derived exactly as the definition's
+// recursive refinement prescribes: start from all genes, and for each chain
+// prefix drop the genes that stop regulating, then split the survivors into
+// maximal epsilon-coherent windows (the score sort is tie-broken by gene id,
+// matching the miner's canonical order).  Everything is recomputed from the
+// full prefix at every enumerated sequence.
+
+#ifndef REGCLUSTER_TESTS_TESTING_ORACLE_MINER_H_
+#define REGCLUSTER_TESTS_TESTING_ORACLE_MINER_H_
+
+#include <vector>
+
+#include "core/bicluster.h"
+#include "core/threshold.h"
+#include "matrix/expression_matrix.h"
+
+namespace regcluster {
+namespace testing {
+
+struct OracleOptions {
+  core::GammaSpec gamma;         // policy + scale (default: range fraction)
+  double epsilon = 0.1;
+  int min_genes = 2;             // MinG
+  int min_conditions = 2;        // MinC
+};
+
+/// Mines every reg-cluster of `data` by exhaustive enumeration.  The result
+/// is canonical: unique clusters sorted by RegCluster::Key().  Cost is
+/// exponential in num_conditions -- keep matrices at or below ~12 genes x
+/// ~8 conditions.
+std::vector<core::RegCluster> OracleMine(const matrix::ExpressionMatrix& data,
+                                         const OracleOptions& options);
+
+/// Canonicalizes any cluster list the same way OracleMine orders its output
+/// (sort by Key()), so two mines compare with operator== on the vectors.
+std::vector<core::RegCluster> Canonicalize(
+    std::vector<core::RegCluster> clusters);
+
+}  // namespace testing
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_TESTS_TESTING_ORACLE_MINER_H_

@@ -33,6 +33,12 @@ search-behaviour change (pruning regression, index bug) that wall-clock
 noise could mask.  Both gates skip with a notice when the sections are
 absent or describe different configurations.
 
+The batch-sweep engine is gated through the ``sweep`` section, also written
+by ``bench_threads``: one SweepEngine run over an equal-gamma grid must beat
+the same mines done independently (each paying its own matrix load and model
+build) by ``--min-sweep-speedup`` (default 1.5x), with byte-identical
+output.  Same fresh-then-baseline fallback and skip-with-notice behaviour.
+
 Exit status: 0 when every compared benchmark is within the threshold,
 1 on regression / missing data / malformed input.
 """
@@ -91,6 +97,31 @@ def check_stats_overhead(fresh_doc, baseline_doc, max_overhead):
         return ok
     print("stats-collection overhead: no stats_overhead section in either "
           "input; skipping gate (run bench_threads to measure)")
+    return True
+
+
+def check_sweep_speedup(fresh_doc, baseline_doc, min_speedup):
+    """Gates the shared-index batch sweep: sweep.speedup (one SweepEngine run
+    over an equal-gamma grid vs the same mines done independently, each with
+    its own load + model build) must stay >= --min-sweep-speedup, and the
+    engine's output must have matched the independent mines.  Same
+    fresh-then-baseline fallback and skip-with-notice as the overhead
+    gates."""
+    for label, doc in (("fresh", fresh_doc), ("baseline", baseline_doc)):
+        section = doc.get("sweep")
+        if not section:
+            continue
+        speedup = float(section["speedup"])
+        identical = bool(section.get("identical_to_independent"))
+        ok = speedup >= min_speedup and identical
+        print(f"sweep sharing ({label}): {speedup:.2f}x over "
+              f"{section.get('points', '?')} independent mines "
+              f"(minimum {min_speedup:.2f}x)"
+              f"{'' if identical else '  OUTPUT MISMATCH'}"
+              f"{'' if ok else '  REGRESSION'}")
+        return ok
+    print("sweep sharing: no sweep section in either input; skipping gate "
+          "(run bench_threads to measure)")
     return True
 
 
@@ -158,6 +189,10 @@ def main(argv):
                         help="maximum tolerated stats-collection overhead "
                              "fraction from the stats_overhead section "
                              "(default: %(default)s)")
+    parser.add_argument("--min-sweep-speedup", type=float, default=1.5,
+                        help="minimum required shared-index sweep speedup "
+                             "from the sweep section "
+                             "(default: %(default)s)")
     args = parser.parse_args(argv)
 
     try:
@@ -203,6 +238,9 @@ def main(argv):
         failed = True
     if not check_stats_overhead(fresh_doc, baseline_doc,
                                 args.max_stats_overhead):
+        failed = True
+    if not check_sweep_speedup(fresh_doc, baseline_doc,
+                               args.min_sweep_speedup):
         failed = True
     if not check_stats_counters(fresh_doc, baseline_doc):
         failed = True

@@ -33,6 +33,7 @@
 #include "core/coherence.h"
 #include "core/miner.h"
 #include "core/rwave.h"
+#include "core/sweep.h"
 #include "eval/annotation_gen.h"
 #include "eval/consensus.h"
 #include "eval/go_enrichment.h"
@@ -43,6 +44,7 @@
 #include "io/cluster_io.h"
 #include "io/json_export.h"
 #include "io/metrics_export.h"
+#include "io/sweep_io.h"
 #include "matrix/matrix_io.h"
 #include "matrix/stats.h"
 #include "matrix/transforms.h"
@@ -250,6 +252,90 @@ int CmdGenerate(Flags* flags) {
 }
 
 // ---------------------------------------------------------------------------
+// mine --sweep: batch parameter sweep through core::SweepEngine.
+// ---------------------------------------------------------------------------
+
+int RunSweep(const matrix::ExpressionMatrix& data, core::MinerOptions base,
+             const std::vector<core::MinerOptions>& points,
+             const std::string& json_path, const std::string& csv_path,
+             bool share_models, const std::string& metrics_path,
+             io::MetricsFormat metrics_format) {
+  // The budget flags act at sweep level (one budget spanning all points);
+  // ParseSweepSpec already copied the budget-free base into every point.
+  core::SweepOptions sopts;
+  sopts.num_threads = base.num_threads;
+  sopts.share_models = share_models;
+  sopts.max_nodes = base.max_nodes;
+  sopts.max_clusters = base.max_clusters;
+  sopts.deadline_ms = base.deadline_ms;
+  auto token = std::make_shared<util::CancellationToken>();
+  sopts.cancel_token = token;
+
+  core::SweepEngine engine(data, sopts);
+  g_interrupt_token.store(token.get(), std::memory_order_release);
+  auto prev_int = std::signal(SIGINT, HandleInterrupt);
+  auto prev_term = std::signal(SIGTERM, HandleInterrupt);
+  auto report_or = engine.Run(points);
+  std::signal(SIGINT, prev_int == SIG_ERR ? SIG_DFL : prev_int);
+  std::signal(SIGTERM, prev_term == SIG_ERR ? SIG_DFL : prev_term);
+  g_interrupt_token.store(nullptr, std::memory_order_release);
+  if (!report_or.ok()) return Fail(report_or.status());
+  const core::SweepReport& report = *report_or;
+
+  const bool truncated = report.status == core::MineStatus::kTruncated;
+  if (truncated) {
+    std::fprintf(stderr,
+                 "warning: sweep truncated (%s) after %d of %zu runs; re-run\n"
+                 "warning: the points from index %d to finish the grid\n",
+                 util::StopReasonName(report.stop_reason),
+                 report.runs_executed, report.runs.size(),
+                 report.first_unfinished);
+  }
+  for (const core::SweepRun& run : report.runs) {
+    if (!run.status.ok()) {
+      std::fprintf(stderr, "warning: sweep point skipped: %s\n",
+                   run.status.ToString().c_str());
+    }
+  }
+  std::printf(
+      "sweep: %d/%zu runs, %lld clusters, %lld nodes, %d shared index "
+      "build%s, %.3f s\n",
+      report.runs_executed, report.runs.size(),
+      static_cast<long long>(report.clusters_total),
+      static_cast<long long>(report.nodes_total), report.index_builds,
+      report.index_builds == 1 ? "" : "s", report.wall_seconds);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) return Fail(util::Status::IoError("cannot open " + json_path));
+    if (auto st = io::WriteSweepJson(report, out); !st.ok()) return Fail(st);
+    std::printf("sweep json: %s\n", json_path.c_str());
+  }
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out) return Fail(util::Status::IoError("cannot open " + csv_path));
+    if (auto st = io::WriteSweepCsv(report, out); !st.ok()) return Fail(st);
+    std::printf("sweep csv: %s\n", csv_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      return Fail(util::Status::IoError("cannot open " + metrics_path));
+    }
+    obs::MetricsRegistry registry;
+    if (auto st = io::RegisterSweepMetrics(report, &registry); !st.ok()) {
+      return Fail(st);
+    }
+    auto st = metrics_format == io::MetricsFormat::kPrometheus
+                  ? registry.WritePrometheus(out)
+                  : registry.WriteJson(out);
+    if (!st.ok()) return Fail(st);
+    std::printf("metrics: %s\n", metrics_path.c_str());
+  }
+  return truncated ? kExitTruncated : kExitOk;
+}
+
+// ---------------------------------------------------------------------------
 // mine
 // ---------------------------------------------------------------------------
 
@@ -266,7 +352,18 @@ int CmdMine(Flags* flags) {
         "  [--metrics-out=PATH] [--metrics-format=json|prom]\n"
         "  [--collect-stats=true]\n"
         "  [--max-clusters=-1] [--max-nodes=-1] [--deadline-ms=-1]\n"
+        "  [--sweep=SPEC --sweep-out=PATH [--sweep-csv=PATH]\n"
+        "   [--share-models=true]]\n"
         "Mines reg-clusters and writes the machine-format archive to --out.\n"
+        "--sweep runs a batch parameter sweep instead of a single mine:\n"
+        "SPEC is axis=values pairs (gamma|eps|ming|minc; lo:hi:step range or\n"
+        "v;v list, cross product) or a JSON list of points, e.g.\n"
+        "  --sweep=gamma=0.1:0.5:0.1,eps=0.01;0.02,ming=20\n"
+        "Equal-gamma points share one model/index; every point's clusters\n"
+        "are byte-identical to a single mine at those options.  The report\n"
+        "goes to --sweep-out (JSON) / --sweep-csv (summary); the budget\n"
+        "flags bound the sweep as a whole, truncating on a run boundary\n"
+        "(exit 3, resume from first_unfinished).\n"
         "--metrics-out writes the run's search counters and phase timings\n"
         "(regcluster_* metrics) as JSON or Prometheus text; --collect-stats\n"
         "=false disables the detailed work counters (they export as 0).\n"
@@ -279,8 +376,21 @@ int CmdMine(Flags* flags) {
   }
   const std::string matrix_path = flags->GetString("matrix", "");
   const std::string out_path = flags->GetString("out", "");
-  if (matrix_path.empty() || out_path.empty()) {
+  const std::string sweep_spec = flags->GetString("sweep", "");
+  const std::string sweep_out = flags->GetString("sweep-out", "");
+  const std::string sweep_csv = flags->GetString("sweep-csv", "");
+  const bool share_models = flags->GetBool("share-models", true);
+  const bool sweeping = !sweep_spec.empty();
+  if (matrix_path.empty() || (out_path.empty() && !sweeping)) {
     std::fprintf(stderr, "--matrix and --out are required\n");
+    return 2;
+  }
+  if (sweeping && sweep_out.empty() && sweep_csv.empty()) {
+    std::fprintf(stderr, "--sweep needs --sweep-out and/or --sweep-csv\n");
+    return 2;
+  }
+  if (!sweeping && (!sweep_out.empty() || !sweep_csv.empty())) {
+    std::fprintf(stderr, "--sweep-out/--sweep-csv need --sweep\n");
     return 2;
   }
 
@@ -315,6 +425,29 @@ int CmdMine(Flags* flags) {
   const double merge_overlap = flags->GetDouble("merge-overlap", 0.0);
   const std::string require_gene = flags->GetString("require-gene", "");
   if (auto st = flags->RejectUnknown(); !st.ok()) return UsageError(st);
+
+  // Sweep mode: expand the grid before touching the matrix, so a malformed
+  // spec is a fast usage error.  The budget flags become sweep-level (the
+  // per-point options carry none), and the single-run output flags do not
+  // apply.
+  std::vector<core::MinerOptions> sweep_points;
+  if (sweeping) {
+    if (!out_path.empty() || !report_path.empty() || !json_path.empty() ||
+        merge_overlap > 0.0 || !require_gene.empty()) {
+      std::fprintf(stderr,
+                   "--out/--report/--json/--merge-overlap/--require-gene do "
+                   "not apply with --sweep\n");
+      return 2;
+    }
+    core::MinerOptions base = opts;
+    base.max_nodes = -1;
+    base.max_clusters = -1;
+    base.deadline_ms = -1.0;
+    base.num_threads = 1;
+    auto points = io::ParseSweepSpec(sweep_spec, base);
+    if (!points.ok()) return UsageError(points.status());
+    sweep_points = *std::move(points);
+  }
 
   auto loaded = LoadMatrixArg(matrix_path);
   if (!loaded.ok()) return Fail(loaded.status());
@@ -358,6 +491,11 @@ int CmdMine(Flags* flags) {
   } else if (normalize != "none") {
     std::fprintf(stderr, "unknown --normalize=%s\n", normalize.c_str());
     return 2;
+  }
+
+  if (sweeping) {
+    return RunSweep(data, opts, sweep_points, sweep_out, sweep_csv,
+                    share_models, metrics_path, *metrics_format);
   }
 
   // Route SIGINT/SIGTERM into the miner's cancellation token for the
