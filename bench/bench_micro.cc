@@ -20,6 +20,7 @@
 #include "synth/generator.h"
 #include "util/math_util.h"
 #include "util/prng.h"
+#include "util/simd/dispatch.h"
 
 namespace regcluster {
 namespace {
@@ -109,6 +110,166 @@ void BM_CoherenceWindowExtension(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CoherenceWindowExtension)->Unit(benchmark::kMillisecond);
+
+// -- SIMD kernel microbenches -------------------------------------------
+//
+// Each pair compares the portable scalar kernel against the level the
+// dispatcher would pick on this machine ("dispatched"; identical to scalar
+// on a host without AVX2/NEON).  The kernels are fetched once with the level
+// pinned and called through the captured table, so the numbers isolate the
+// kernel itself -- no per-call dispatch resolution, no Auto-wrapper width
+// shortcut.  bench_check.py gates the dispatched sort against the committed
+// baseline like any other micro row; the end-to-end win is gated separately
+// through the threads section's sort_speedup.
+
+/// The SimdOps table that level `level` resolves to, without leaving the
+/// process-wide level changed.
+util::simd::SimdOps OpsAt(util::simd::Level level) {
+  const util::simd::Level entry = util::simd::CurrentLevel();
+  if (!util::simd::SetLevel(level).ok()) std::abort();
+  const util::simd::SimdOps ops = util::simd::Ops();
+  if (!util::simd::SetLevel(entry).ok()) std::abort();
+  return ops;
+}
+
+util::simd::Level BenchLevel(bool dispatched) {
+  return dispatched ? util::simd::DetectBestLevel()
+                    : util::simd::Level::kScalar;
+}
+
+/// One scored column shaped like the miner's: two gene-ascending halves
+/// (surviving members then re-tested drops) and scores that are a mix of a
+/// tight cluster near 1.0 (the coherent mass radix sort must split on low
+/// mantissa bytes) and a smooth spread.
+struct ScoredColumn {
+  std::vector<double> h;
+  std::vector<int> gene;
+  int split;
+};
+
+ScoredColumn MakeScoredColumn(int n, util::Prng* prng) {
+  ScoredColumn col;
+  col.split = n / 2;
+  col.h.resize(static_cast<size_t>(n));
+  col.gene.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    col.h[static_cast<size_t>(i)] = prng->Bernoulli(0.5)
+                                        ? 1.0 + prng->Uniform(0.0, 1e-3)
+                                        : prng->Uniform(0.0, 1.0);
+    // Evens ascending, then odds ascending: both halves sorted by gene, as
+    // RadixSortScored's merge precondition requires.
+    col.gene[static_cast<size_t>(i)] =
+        i < col.split ? 2 * i : 2 * (i - col.split) + 1;
+  }
+  return col;
+}
+
+void BM_RadixSortPhase(benchmark::State& state, bool dispatched) {
+  const int n = static_cast<int>(state.range(0));
+  const util::simd::SimdOps ops = OpsAt(BenchLevel(dispatched));
+  constexpr int kPool = 64;  // rotate columns so none stays cache-resident
+  util::Prng prng(2026);
+  std::vector<ScoredColumn> pool;
+  pool.reserve(kPool);
+  for (int p = 0; p < kPool; ++p) pool.push_back(MakeScoredColumn(n, &prng));
+  std::vector<int> order(static_cast<size_t>(n));
+  std::vector<double> sorted_h(static_cast<size_t>(n));
+  util::simd::SortScratch scratch;
+  size_t p = 0;
+  for (auto _ : state) {
+    const ScoredColumn& col = pool[p];
+    ops.sort_scored(col.h.data(), col.gene.data(), col.split, n, order.data(),
+                    sorted_h.data(), &scratch);
+    benchmark::DoNotOptimize(order.data());
+    benchmark::ClobberMemory();
+    p = (p + 1) % kPool;
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+// 80 sits in the miner's typical per-node range (n in [48, 96] on the
+// reference dataset); 320 is the hybrid/full-LSD boundary; 2000 is the
+// root-level sort of a large dataset.
+BENCHMARK_CAPTURE(BM_RadixSortPhase, scalar, false)
+    ->Arg(80)->Arg(320)->Arg(2000);
+BENCHMARK_CAPTURE(BM_RadixSortPhase, dispatched, true)
+    ->Arg(80)->Arg(320)->Arg(2000);
+
+void BM_FilterKernel(benchmark::State& state, bool dispatched) {
+  // FilterCandidate's dense pass: gather each surviving member's gene id,
+  // denominator and numerator, then one vector divide.
+  const int n = static_cast<int>(state.range(0));
+  const util::simd::SimdOps ops = OpsAt(BenchLevel(dispatched));
+  constexpr int kConds = 30;
+  const int genes = 2 * n + 8;
+  util::Prng prng(4242);
+  std::vector<double> matrix(static_cast<size_t>(genes) * kConds);
+  for (double& x : matrix) x = prng.Uniform(0.0, 10.0);
+  std::vector<int> member_gene(static_cast<size_t>(n));
+  std::vector<double> denoms(static_cast<size_t>(n));
+  std::vector<double> bases(static_cast<size_t>(n));
+  std::vector<int64_t> row_off(static_cast<size_t>(n));
+  std::vector<int> idx(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    member_gene[static_cast<size_t>(i)] = 2 * i;  // sparse member subset
+    row_off[static_cast<size_t>(i)] = static_cast<int64_t>(2 * i) * kConds;
+    denoms[static_cast<size_t>(i)] = prng.Uniform(0.5, 2.0);
+    bases[static_cast<size_t>(i)] =
+        matrix[static_cast<size_t>(row_off[static_cast<size_t>(i)])];
+    idx[static_cast<size_t>(i)] = i;
+  }
+  util::simd::GatherScoredArgs args;
+  args.genes = member_gene.data();
+  args.denoms = denoms.data();
+  args.bases = bases.data();
+  args.row_off = row_off.data();
+  args.matrix = matrix.data();
+  args.cand = kConds - 1;
+  std::vector<int> out_gene(static_cast<size_t>(n));
+  std::vector<double> out_denom(static_cast<size_t>(n));
+  std::vector<double> out_h(static_cast<size_t>(n));
+  for (auto _ : state) {
+    ops.gather_scored(args, n, idx.data(), out_gene.data(), out_denom.data(),
+                      out_h.data());
+    ops.divide_columns(out_h.data(), out_denom.data(), n);
+    benchmark::DoNotOptimize(out_h.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+// 80 ~ the average surviving-member count per extension on the reference
+// dataset; 512 stresses the streaming regime.
+BENCHMARK_CAPTURE(BM_FilterKernel, scalar, false)->Arg(80)->Arg(512);
+BENCHMARK_CAPTURE(BM_FilterKernel, dispatched, true)->Arg(80)->Arg(512);
+
+void BM_BitsetAndCount(benchmark::State& state, bool dispatched) {
+  // The index row combine the miner leans on: dst = a & b, then the pruned
+  // popcount a & ~b & mask.  At 1 word (a <= 64-condition matrix) the Auto
+  // wrappers would bypass dispatch entirely; the wide rows are where the
+  // vector kernels earn their keep.
+  const int words = static_cast<int>(state.range(0));
+  const util::simd::SimdOps ops = OpsAt(BenchLevel(dispatched));
+  util::Prng prng(99);
+  std::vector<uint64_t> a(static_cast<size_t>(words));
+  std::vector<uint64_t> b(static_cast<size_t>(words));
+  std::vector<uint64_t> mask(static_cast<size_t>(words));
+  std::vector<uint64_t> dst(static_cast<size_t>(words));
+  for (int w = 0; w < words; ++w) {
+    a[static_cast<size_t>(w)] = prng.Next64();
+    b[static_cast<size_t>(w)] = prng.Next64();
+    mask[static_cast<size_t>(w)] = prng.Next64();
+  }
+  for (auto _ : state) {
+    ops.and_words(dst.data(), a.data(), b.data(), words);
+    const int64_t count =
+        ops.andnot_mask_popcount(a.data(), b.data(), mask.data(), words);
+    benchmark::DoNotOptimize(count);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * words);
+}
+BENCHMARK_CAPTURE(BM_BitsetAndCount, scalar, false)->Arg(8)->Arg(64);
+BENCHMARK_CAPTURE(BM_BitsetAndCount, dispatched, true)->Arg(8)->Arg(64);
 
 void BM_CoherenceScore(benchmark::State& state) {
   const std::vector<double> row = RandomProfile(64, 77);

@@ -75,7 +75,10 @@ int64_t VecBytes(const std::vector<T>& v) {
 ///            set: per candidate condition, a bitmap over *member indices*.
 ///            The per-candidate filter then walks only the set bits
 ///            (surviving members) instead of probing every member;
-///   *_row    per member, the gene's expression row;
+///   *_off    per member, the gene's flat row offset (gene * C).  One int64
+///            offset serves both the expression matrix and the index's
+///            position table, which share the gene-major stride -- and it is
+///            what the SIMD gather kernels consume;
 ///   *_base   per member, the row value at the chain head ckm, so a
 ///            candidate's coherence numerator is row[cand] - base.
 ///
@@ -90,14 +93,16 @@ struct RegClusterMiner::NodeFrame {
   std::vector<uint64_t> p_trans, n_trans;
   int p_words = 0;  ///< words per p_trans row (= WordsForBits(p.size()))
   int n_words = 0;
-  std::vector<const double*> p_row, n_row;
+  std::vector<int64_t> p_off, n_off;
   std::vector<double> p_base, n_base;
 
   std::vector<uint64_t> cand_words;  ///< the node's candidate bitmap
   std::vector<int> cands;            ///< its set bits, ascending
 
   std::vector<double> sc_h, sc_denom;
-  std::vector<int> sc_gene, sc_head;
+  std::vector<double> sc_hs;  ///< sorted score column (sort kernel output)
+  std::vector<int> sc_gene;
+  std::vector<int> filt;  ///< surviving member indices of one filter half
   std::vector<int> order;
   std::vector<int> win_p, win_n;  ///< window index buffers (child build)
 
@@ -105,18 +110,18 @@ struct RegClusterMiner::NodeFrame {
     sc_h.clear();
     sc_denom.clear();
     sc_gene.clear();
-    sc_head.clear();
   }
 
   int64_t ApproxBytes() const {
     return VecBytes(p.gene) + VecBytes(p.head_pos) + VecBytes(p.denom) +
            VecBytes(n.gene) + VecBytes(n.head_pos) + VecBytes(n.denom) +
            VecBytes(p_comb) + VecBytes(n_comb) + VecBytes(p_trans) +
-           VecBytes(n_trans) + VecBytes(p_row) + VecBytes(n_row) +
+           VecBytes(n_trans) + VecBytes(p_off) + VecBytes(n_off) +
            VecBytes(p_base) + VecBytes(n_base) + VecBytes(cand_words) +
-           VecBytes(cands) + VecBytes(sc_h) + VecBytes(sc_denom) +
-           VecBytes(sc_gene) + VecBytes(sc_head) + VecBytes(order) +
-           VecBytes(win_p) + VecBytes(win_n);
+           VecBytes(cands) + VecBytes(sc_h) + VecBytes(sc_hs) +
+           VecBytes(sc_denom) +
+           VecBytes(sc_gene) + VecBytes(filt) +
+           VecBytes(order) + VecBytes(win_p) + VecBytes(win_n);
   }
 };
 
@@ -130,6 +135,7 @@ struct RegClusterMiner::MinerScratch {
   NodeFrame root_frame;         ///< the level-1 node (SeedRoot only)
   std::vector<uint64_t> gene_epoch;  ///< gene id -> last-marked epoch
   uint64_t epoch = 0;
+  util::simd::SortScratch sort_scratch;  ///< radix-sort key/index buffers
 
   void Init(int num_conds, int num_genes) {
     chain.reserve(static_cast<size_t>(num_conds) + 1);
@@ -146,7 +152,7 @@ struct RegClusterMiner::MinerScratch {
   /// limit bounds.  Capacity-based, so it tracks the high-water mark.
   int64_t ApproxBytes() const {
     int64_t total = VecBytes(chain) + VecBytes(gene_epoch) +
-                    root_frame.ApproxBytes();
+                    root_frame.ApproxBytes() + sort_scratch.ApproxBytes();
     for (const NodeFrame& f : frames) {
       total += f.ApproxBytes() + static_cast<int64_t>(sizeof(NodeFrame));
     }
@@ -403,6 +409,10 @@ util::Status RegClusterMiner::Prepare() {
 
   stats_ = MinerStats();
   outcome_ = MineOutcome();
+  // Resolve the kernel dispatch once per run: the hot loops then pay a plain
+  // indirect call, and the outcome records which kernel set actually ran.
+  ops_ = &util::simd::Ops();
+  outcome_.simd_level = ops_->level;
   guard_.reset();
   run_.reset();
   index_ = nullptr;
@@ -720,14 +730,15 @@ void RegClusterMiner::PrepareNode(int m, int ckm, NodeFrame* node,
   const int need = options_.min_conditions - m;
   const bool prune2 = options_.prune_min_conds;
   const uint64_t* ones = index_->ones_row();
+  const int num_conds = index_->num_conditions();
 
   const auto cache = [&](const MemberCols& mem, bool up,
                          std::vector<uint64_t>& comb,
-                         std::vector<const double*>& rows,
+                         std::vector<int64_t>& off,
                          std::vector<double>& base) {
     const size_t count = static_cast<size_t>(mem.size());
     comb.resize(count * static_cast<size_t>(words));
-    rows.resize(count);
+    off.resize(count);
     base.resize(count);
     for (size_t i = 0; i < count; ++i) {
       const int g = mem.gene[i];
@@ -739,10 +750,9 @@ void RegClusterMiner::PrepareNode(int m, int ckm, NodeFrame* node,
                        : index_->DownEligible(g, need))
                  : ones;
       uint64_t* dst = comb.data() + i * static_cast<size_t>(words);
-      for (int w = 0; w < words; ++w) dst[w] = cand_row[w] & elig[w];
-      const double* row = data_.row_data(g);
-      rows[i] = row;
-      base[i] = row[ckm];
+      util::simd::AndWordsAuto(*ops_, dst, cand_row, elig, words);
+      off[i] = static_cast<int64_t>(g) * num_conds;
+      base[i] = data_.row_data(g)[ckm];
     }
     // One AND per word per member; a bulk add outside the loop keeps the
     // accounting off the hot path entirely.
@@ -750,8 +760,8 @@ void RegClusterMiner::PrepareNode(int m, int ckm, NodeFrame* node,
       stats->index_word_ops += static_cast<int64_t>(count) * words;
     }
   };
-  cache(node->p, /*up=*/true, node->p_comb, node->p_row, node->p_base);
-  cache(node->n, /*up=*/false, node->n_comb, node->n_row, node->n_base);
+  cache(node->p, /*up=*/true, node->p_comb, node->p_off, node->p_base);
+  cache(node->n, /*up=*/false, node->n_comb, node->n_off, node->n_base);
 
   // Candidate generation: OR over the p-member rows only (licensed by
   // pruning 3a), intersected with the allowed set; then snapshot the set
@@ -760,9 +770,11 @@ void RegClusterMiner::PrepareNode(int m, int ckm, NodeFrame* node,
   const size_t np = static_cast<size_t>(node->p.size());
   for (size_t i = 0; i < np; ++i) {
     const uint64_t* src = node->p_comb.data() + i * static_cast<size_t>(words);
-    for (int w = 0; w < words; ++w) node->cand_words[w] |= src[w];
+    util::simd::OrWordsIntoAuto(*ops_, node->cand_words.data(), src, words);
   }
-  for (int w = 0; w < words; ++w) node->cand_words[w] &= allowed_words_[w];
+  util::simd::AndWordsAuto(*ops_, node->cand_words.data(),
+                           node->cand_words.data(), allowed_words_.data(),
+                           words);
   if constexpr (kCollect) {
     stats->index_word_ops += static_cast<int64_t>(np + 1) * words;
   }
@@ -779,7 +791,6 @@ void RegClusterMiner::PrepareNode(int m, int ckm, NodeFrame* node,
   // here rather than per candidate (identical totals; with an active
   // max_nodes / max_clusters cap a mid-node budget stop no longer leaves
   // the counter at a scheduling-dependent prefix).
-  const int num_conds = index_->num_conditions();
   const auto transpose = [&](const MemberCols& mem, bool up,
                              const std::vector<uint64_t>& comb,
                              std::vector<uint64_t>& trans, int* trans_words) {
@@ -790,18 +801,17 @@ void RegClusterMiner::PrepareNode(int m, int ckm, NodeFrame* node,
     int64_t drops = 0;
     for (size_t i = 0; i < count; ++i) {
       const uint64_t* comb_row = comb.data() + i * static_cast<size_t>(words);
-      const uint64_t* succ_row =
-          prune2 ? (up ? index_->UpCandidates(mem.gene[i], mem.head_pos[i])
-                       : index_->DownCandidates(mem.gene[i], mem.head_pos[i]))
-                 : nullptr;
       const size_t member_word = i >> 6;
       const uint64_t member_bit = uint64_t{1} << (i & 63);
+      if (prune2) {
+        const uint64_t* succ_row =
+            up ? index_->UpCandidates(mem.gene[i], mem.head_pos[i])
+               : index_->DownCandidates(mem.gene[i], mem.head_pos[i]);
+        drops += util::simd::AndNotMaskPopcountAuto(
+            *ops_, succ_row, comb_row, node->cand_words.data(), words);
+      }
       for (int w = 0; w < words; ++w) {
         uint64_t live = comb_row[w] & node->cand_words[w];
-        if (prune2) {
-          drops += std::popcount(succ_row[w] & ~comb_row[w] &
-                                 node->cand_words[w]);
-        }
         while (live) {
           const int c = w * util::kBitsPerWord + std::countr_zero(live);
           live &= live - 1;
@@ -825,26 +835,36 @@ int RegClusterMiner::FilterCandidate(int cand, NodeFrame* node) const {
 
   // Walk only the members whose candidate row holds `cand` (the set bits of
   // the transposed bitmap); member indices ascend, so each scored half
-  // inherits the gene-ascending member order.  Survivors get the coherence
-  // *numerator* in sc_h; the caller divides.
+  // inherits the gene-ascending member order.  The survivor indices are
+  // decoded into `filt`, then one dispatched gather kernel pulls each
+  // survivor's gene, head position, denominator and coherence *numerator*
+  // (row[cand] - base; the caller divides) into the scored columns.
+  const double* matrix = data_.row_data(0);
   const auto filter = [&](const MemberCols& mem,
                           const std::vector<uint64_t>& trans, int trans_words,
-                          const std::vector<const double*>& rows,
+                          const std::vector<int64_t>& off,
                           const std::vector<double>& base) {
     const uint64_t* member_bits =
         trans.data() + static_cast<size_t>(cand) * trans_words;
-    util::ForEachSetBit(member_bits, trans_words, [&](int i) {
-      const int g = mem.gene[static_cast<size_t>(i)];
-      node->sc_gene.push_back(g);
-      node->sc_head.push_back(index_->position(g, cand));
-      node->sc_denom.push_back(mem.denom[static_cast<size_t>(i)]);
-      node->sc_h.push_back(rows[static_cast<size_t>(i)][cand] -
-                           base[static_cast<size_t>(i)]);
-    });
+    node->filt.clear();
+    util::ForEachSetBit(member_bits, trans_words,
+                        [&](int i) { node->filt.push_back(i); });
+    const int count = static_cast<int>(node->filt.size());
+    const size_t old = node->sc_gene.size();
+    const size_t grown = old + static_cast<size_t>(count);
+    node->sc_gene.resize(grown);
+    node->sc_denom.resize(grown);
+    node->sc_h.resize(grown);
+    const util::simd::GatherScoredArgs args{mem.gene.data(), mem.denom.data(),
+                                            base.data(), off.data(), matrix,
+                                            cand};
+    ops_->gather_scored(args, count, node->filt.data(),
+                        node->sc_gene.data() + old,
+                        node->sc_denom.data() + old, node->sc_h.data() + old);
   };
-  filter(node->p, node->p_trans, node->p_words, node->p_row, node->p_base);
+  filter(node->p, node->p_trans, node->p_words, node->p_off, node->p_base);
   const int split = static_cast<int>(node->sc_gene.size());
-  filter(node->n, node->n_trans, node->n_words, node->n_row, node->n_base);
+  filter(node->n, node->n_trans, node->n_words, node->n_off, node->n_base);
   return split;
 }
 
@@ -918,16 +938,26 @@ bool RegClusterMiner::SeedRootImpl(int root_condition, RootWork* work,
     // row[cand] - row[root] *is* each member's coherence denominator.
     SubtreeSeed seed;
     seed.second_condition = cand;
+    const int seed_total = static_cast<int>(node.sc_gene.size());
     seed.p_members.gene.assign(node.sc_gene.begin(),
                                node.sc_gene.begin() + split);
-    seed.p_members.head_pos.assign(node.sc_head.begin(),
-                                   node.sc_head.begin() + split);
     seed.p_members.denom.assign(node.sc_h.begin(), node.sc_h.begin() + split);
+    seed.p_members.head_pos.resize(static_cast<size_t>(split));
     seed.n_members.gene.assign(node.sc_gene.begin() + split,
                                node.sc_gene.end());
-    seed.n_members.head_pos.assign(node.sc_head.begin() + split,
-                                   node.sc_head.end());
     seed.n_members.denom.assign(node.sc_h.begin() + split, node.sc_h.end());
+    seed.n_members.head_pos.resize(static_cast<size_t>(seed_total - split));
+    // Head positions are looked up here, not gathered by the filter kernel:
+    // level-1 survivors all get materialized, so the cost is identical, and
+    // the deep-search filter (where ~97% of extensions die) skips them.
+    for (int i = 0; i < split; ++i) {
+      seed.p_members.head_pos[static_cast<size_t>(i)] =
+          index_->position(seed.p_members.gene[static_cast<size_t>(i)], cand);
+    }
+    for (int i = 0; i < seed_total - split; ++i) {
+      seed.n_members.head_pos[static_cast<size_t>(i)] =
+          index_->position(seed.n_members.gene[static_cast<size_t>(i)], cand);
+    }
     work->seeds.push_back(std::move(seed));
   }
   return true;
@@ -1025,22 +1055,23 @@ void RegClusterMiner::Extend(int depth, MinerScratch* scratch,
     if (profile) t0 = NowNs();
     double* h = node.sc_h.data();
     const double* denom = node.sc_denom.data();
-    for (int k = 0; k < total; ++k) h[k] /= denom[k];
+    ops_->divide_columns(h, denom, total);
     if constexpr (kCollect) {
       ++ctx->stats.coherence_divide_calls;
       ctx->stats.coherence_scores += total;
     }
     if (profile) ctx->stats.score_ns += NowNs() - t0;
 
-    // Sort: index-sort over the score column; rows never move.
+    // Sort: index-sort over the score column; rows never move.  The
+    // dispatched kernel reproduces the (score asc, gene asc) comparator
+    // order byte for byte, and also emits the sorted score column so the
+    // window scan below runs over contiguous memory instead of chasing
+    // order[] indirections (see util/simd/radix_sort.h).
     if (profile) t0 = NowNs();
     node.order.resize(static_cast<size_t>(total));
-    std::iota(node.order.begin(), node.order.end(), 0);
-    const int* gene = node.sc_gene.data();
-    std::sort(node.order.begin(), node.order.end(), [&](int a, int b) {
-      if (h[a] != h[b]) return h[a] < h[b];
-      return gene[a] < gene[b];
-    });
+    node.sc_hs.resize(static_cast<size_t>(total));
+    ops_->sort_scored(h, node.sc_gene.data(), split, total, node.order.data(),
+                      node.sc_hs.data(), &scratch->sort_scratch);
     if (profile) ctx->stats.sort_ns += NowNs() - t0;
 
     // Sliding window (step 5): maximal intervals of score span <= epsilon
@@ -1048,12 +1079,12 @@ void RegClusterMiner::Extend(int depth, MinerScratch* scratch,
     const double eps = options_.epsilon;
     bool any_window = false;
     const size_t n_scored = static_cast<size_t>(total);
+    const double* hs = node.sc_hs.data();
     size_t hi = 0;
     size_t prev_hi = 0;  // hi of the previous lo, for the maximality test
     for (size_t lo = 0; lo < n_scored; ++lo) {
       if (hi < lo + 1) hi = lo + 1;
-      while (hi < n_scored &&
-             h[node.order[hi]] - h[node.order[lo]] <= eps) {
+      while (hi < n_scored && hs[hi] - hs[lo] <= eps) {
         ++hi;
       }
       // [lo, hi) is the widest window starting at lo; hi is non-decreasing
@@ -1080,14 +1111,16 @@ void RegClusterMiner::Extend(int depth, MinerScratch* scratch,
       NodeFrame& child = scratch->frame(depth + 1);
       child.p.clear();
       child.n.clear();
+      // Lazy head lookup: only members of a window that actually spawns a
+      // child ever need their position at `cand` (see GatherScoredArgs).
       for (const int idx : node.win_p) {
-        child.p.push_back(node.sc_gene[static_cast<size_t>(idx)],
-                          node.sc_head[static_cast<size_t>(idx)],
+        const int g = node.sc_gene[static_cast<size_t>(idx)];
+        child.p.push_back(g, index_->position(g, cand),
                           node.sc_denom[static_cast<size_t>(idx)]);
       }
       for (const int idx : node.win_n) {
-        child.n.push_back(node.sc_gene[static_cast<size_t>(idx)],
-                          node.sc_head[static_cast<size_t>(idx)],
+        const int g = node.sc_gene[static_cast<size_t>(idx)];
+        child.n.push_back(g, index_->position(g, cand),
                           node.sc_denom[static_cast<size_t>(idx)]);
       }
       scratch->chain.push_back(cand);

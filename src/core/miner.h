@@ -46,6 +46,7 @@
 #include "matrix/expression_matrix.h"
 #include "util/cancellation.h"
 #include "util/hash128.h"
+#include "util/simd/dispatch.h"
 #include "util/status.h"
 
 namespace regcluster {
@@ -105,6 +106,10 @@ struct MineOutcome {
   int64_t pool_steals = 0;       ///< TaskPool cross-worker task transfers
   int64_t pool_queue_high_water = 0;  ///< deepest single worker deque seen
   int64_t budget_polls = 0;      ///< BudgetGuard::Poll() calls, all workers
+  /// Which SIMD kernel set the run's hot loops dispatched to (resolved once
+  /// in Prepare(); see util/simd/dispatch.h).  Execution telemetry: the
+  /// mined output is byte-identical across levels by contract.
+  util::simd::Level simd_level = util::simd::Level::kScalar;
 };
 
 /// Immutable per-gamma model state: the per-gene RWave^gamma models plus the
@@ -503,6 +508,9 @@ class RegClusterMiner {
   MinerOptions options_;
   MinerStats stats_;
   MineOutcome outcome_;
+  /// The dispatched kernel table, resolved once per run in Prepare() so the
+  /// hot loops pay one indirect call, never a dispatch lookup.
+  const util::simd::SimdOps* ops_ = &util::simd::Ops();
   /// Model state of the current run: either adopted from
   /// options_.shared_model or built (and owned) by Prepare().
   std::shared_ptr<const SharedGammaModel> model_;

@@ -5,27 +5,46 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/simd/radix_sort.h"
+
 namespace regcluster {
 namespace core {
 
 RWaveModel RWaveModel::Build(const double* values, int n, double gamma_abs) {
+  util::simd::SortScratch scratch;
+  return Build(values, n, gamma_abs, &scratch);
+}
+
+RWaveModel RWaveModel::Build(const double* values, int n, double gamma_abs,
+                             util::simd::SortScratch* scratch) {
   assert(n >= 0);
   assert(gamma_abs >= 0.0);
   RWaveModel m;
   m.gamma_abs_ = gamma_abs;
   m.order_.resize(static_cast<size_t>(n));
-  std::iota(m.order_.begin(), m.order_.end(), 0);
-  // Non-descending by value; ties broken by condition id for determinism.
-  std::sort(m.order_.begin(), m.order_.end(), [&](int a, int b) {
-    if (values[a] != values[b]) return values[a] < values[b];
-    return a < b;
-  });
   m.pos_.resize(static_cast<size_t>(n));
   m.sorted_values_.resize(static_cast<size_t>(n));
+  // Non-descending by value; ties broken by condition id for determinism.
+  // The radix pipeline over order-preserving keys with an ascending-id base
+  // order is exactly that comparator: stable passes keep the id order on
+  // value ties (see util/simd/radix_sort.h).
+  if (n > 0) {
+    scratch->Reserve(n);
+    uint64_t* keys = scratch->keys.data();
+    int* idx = scratch->idx.data();
+    for (int i = 0; i < n; ++i) {
+      assert(std::isfinite(values[i]) && "RWave input must be imputed");
+      keys[i] = util::simd::OrderKey(values[i]);
+      idx[i] = i;
+    }
+    util::simd::SortPairsByKeyStable(n, scratch, m.order_.data(),
+                                     m.sorted_values_.data());
+  }
   for (int p = 0; p < n; ++p) {
     const int cond = m.order_[static_cast<size_t>(p)];
-    assert(std::isfinite(values[cond]) && "RWave input must be imputed");
     m.pos_[static_cast<size_t>(cond)] = p;
+    // Re-gather the raw bytes: the key round trip canonicalizes -0.0 to
+    // +0.0, but value_at() promises the original matrix values.
     m.sorted_values_[static_cast<size_t>(p)] = values[cond];
   }
 
@@ -35,16 +54,19 @@ RWaveModel RWaveModel::Build(const double* values, int n, double gamma_abs) {
   // bordering pointer (k, j) unless the previous pointer already certifies
   // the pair, i.e. its tail >= k (its head is always <= j since heads are
   // the positions at which pointers were inserted, in increasing order).
+  //
+  // The predecessor boundary -- the first position k with vj - vk <= gamma,
+  // by the exact Eq. 3 comparison so that floating-point rounding cannot
+  // disagree with direct pairwise checks -- is non-decreasing in j (vj is
+  // non-descending), so one forward-only edge pointer replaces the per-j
+  // binary search: O(n) total instead of O(n log n).
+  const double* sv = m.sorted_values_.data();
+  int k_edge = 0;  // first position in [0, j) whose value is NOT regulated
   for (int j = 1; j < n; ++j) {
-    const double vj = m.sorted_values_[static_cast<size_t>(j)];
-    // Largest k < j whose value is regulated against vj, using the exact
-    // Eq. 3 comparison (vj - vk > gamma) so that floating-point rounding
-    // cannot disagree with direct pairwise checks.
-    auto it = std::partition_point(
-        m.sorted_values_.begin(), m.sorted_values_.begin() + j,
-        [&](double vk) { return vj - vk > gamma_abs; });
-    if (it == m.sorted_values_.begin()) continue;  // no predecessor
-    const int k = static_cast<int>(it - m.sorted_values_.begin()) - 1;
+    const double vj = sv[j];
+    while (k_edge < j && vj - sv[k_edge] > gamma_abs) ++k_edge;
+    if (k_edge == 0) continue;  // no predecessor
+    const int k = k_edge - 1;
     if (!m.pointers_.empty() && m.pointers_.back().tail_pos >= k) continue;
     m.pointers_.push_back(RegulationPointer{k, j});
   }
@@ -52,18 +74,32 @@ RWaveModel RWaveModel::Build(const double* values, int n, double gamma_abs) {
   // Longest-chain tables.  A regulated step up from position p lands at any
   // position >= head of the first pointer with tail >= p; jumping to exactly
   // that head is optimal because the reachable-length function is
-  // non-increasing in position (heads/tails are monotone).
+  // non-increasing in position (heads/tails are monotone).  Pointer tails
+  // and heads are strictly increasing, so the "first pointer with tail >= p"
+  // (resp. "last pointer with head <= p") index moves monotonically with p
+  // and each sweep amortizes to O(n + P) -- same answers as the binary
+  // searches in FirstSuccessorPos / LastPredecessorPos.
+  const int num_ptrs = static_cast<int>(m.pointers_.size());
   m.max_up_.assign(static_cast<size_t>(n), 1);
+  int j0 = num_ptrs;  // first pointer with tail_pos >= p (p descending)
   for (int p = n - 1; p >= 0; --p) {
-    const int h = m.FirstSuccessorPos(p);
-    if (h >= 0) {
+    while (j0 > 0 && m.pointers_[static_cast<size_t>(j0 - 1)].tail_pos >= p) {
+      --j0;
+    }
+    if (j0 < num_ptrs) {
+      const int h = m.pointers_[static_cast<size_t>(j0)].head_pos;
       m.max_up_[static_cast<size_t>(p)] = 1 + m.max_up_[static_cast<size_t>(h)];
     }
   }
   m.max_down_.assign(static_cast<size_t>(n), 1);
+  int j1 = -1;  // last pointer with head_pos <= p (p ascending)
   for (int p = 0; p < n; ++p) {
-    const int t = m.LastPredecessorPos(p);
-    if (t >= 0) {
+    while (j1 + 1 < num_ptrs &&
+           m.pointers_[static_cast<size_t>(j1 + 1)].head_pos <= p) {
+      ++j1;
+    }
+    if (j1 >= 0) {
+      const int t = m.pointers_[static_cast<size_t>(j1)].tail_pos;
       m.max_down_[static_cast<size_t>(p)] =
           1 + m.max_down_[static_cast<size_t>(t)];
     }
@@ -107,8 +143,12 @@ int RWaveModel::LastPredecessorPos(int pos) const {
 RWaveSet::RWaveSet(const matrix::ExpressionMatrix& data, double gamma)
     : gamma_(gamma) {
   models_.reserve(static_cast<size_t>(data.num_genes()));
+  util::simd::SortScratch scratch;  // shared: one allocation for all genes
   for (int g = 0; g < data.num_genes(); ++g) {
-    models_.push_back(RWaveModel::BuildForGene(data, g, gamma));
+    const auto [lo, hi] = data.RowRange(g);
+    models_.push_back(RWaveModel::Build(data.row_data(g),
+                                        data.num_conditions(),
+                                        gamma * (hi - lo), &scratch));
   }
 }
 

@@ -25,6 +25,11 @@
 #include "matrix/expression_matrix.h"
 
 namespace regcluster {
+namespace util {
+namespace simd {
+struct SortScratch;
+}  // namespace simd
+}  // namespace util
 namespace core {
 
 /// One bordering regulation pointer, in *position* coordinates (indices into
@@ -47,6 +52,12 @@ class RWaveModel {
   /// threshold: conditions a, b are regulated iff |values[a] - values[b]| >
   /// gamma_abs.  Values must be finite (impute missing values first).
   static RWaveModel Build(const double* values, int n, double gamma_abs);
+
+  /// Same, reusing caller-owned sort buffers so bulk builders (RWaveSet,
+  /// SharedGammaModel) do not allocate per gene.  `scratch` may be shared
+  /// across calls but not across threads.
+  static RWaveModel Build(const double* values, int n, double gamma_abs,
+                          util::simd::SortScratch* scratch);
 
   /// Convenience overload for a whole matrix row with the paper's relative
   /// threshold gamma in [0, 1]: gamma_i = gamma * (row max - row min), Eq. 4.

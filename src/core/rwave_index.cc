@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/simd/dispatch.h"
+
 namespace regcluster {
 namespace core {
 
@@ -16,6 +18,10 @@ void RWaveBitmapIndex::Build(const std::vector<RWaveModel>& models,
   const size_t c_count = static_cast<size_t>(num_conditions_);
   const size_t w_count = static_cast<size_t>(words_);
   const size_t need_rows = static_cast<size_t>(max_chain_need_) + 1;
+  // Row copies below go through the dispatched word-copy kernel: Build()
+  // moves one full bitmap row per (gene, position), which is the index
+  // construction's memory-bound inner loop.
+  const util::simd::SimdOps& ops = util::simd::Ops();
 
   pos_.assign(g_count * c_count, 0);
   up_cand_.assign(g_count * c_count * w_count, 0);
@@ -42,12 +48,12 @@ void RWaveBitmapIndex::Build(const std::vector<RWaveModel>& models,
                 w_count * sizeof(uint64_t));
     for (int p = num_conditions_ - 1; p >= 0; --p) {
       uint64_t* row = suffix.data() + static_cast<size_t>(p) * w_count;
-      std::memcpy(row, row + w_count, w_count * sizeof(uint64_t));
+      util::simd::CopyWordsAuto(ops, row, row + w_count, words_);
       util::SetBit(row, m.condition_at(p));
     }
     for (int p = 0; p < num_conditions_; ++p) {
       uint64_t* row = prefix.data() + static_cast<size_t>(p) * w_count;
-      if (p > 0) std::memcpy(row, row - w_count, w_count * sizeof(uint64_t));
+      if (p > 0) util::simd::CopyWordsAuto(ops, row, row - w_count, words_);
       else std::memset(row, 0, w_count * sizeof(uint64_t));
       util::SetBit(row, m.condition_at(p));
     }
@@ -62,15 +68,15 @@ void RWaveBitmapIndex::Build(const std::vector<RWaveModel>& models,
     for (int p = 0; p < num_conditions_; ++p) {
       const int h = m.FirstSuccessorPos(p);
       if (h >= 0) {
-        std::memcpy(up_base + static_cast<size_t>(p) * w_count,
-                    suffix.data() + static_cast<size_t>(h) * w_count,
-                    w_count * sizeof(uint64_t));
+        util::simd::CopyWordsAuto(ops, up_base + static_cast<size_t>(p) * w_count,
+                       suffix.data() + static_cast<size_t>(h) * w_count,
+                       words_);
       }
       const int t = m.LastPredecessorPos(p);
       if (t >= 0) {
-        std::memcpy(down_base + static_cast<size_t>(p) * w_count,
-                    prefix.data() + static_cast<size_t>(t) * w_count,
-                    w_count * sizeof(uint64_t));
+        util::simd::CopyWordsAuto(ops, down_base + static_cast<size_t>(p) * w_count,
+                       prefix.data() + static_cast<size_t>(t) * w_count,
+                       words_);
       }
     }
 
@@ -83,8 +89,8 @@ void RWaveBitmapIndex::Build(const std::vector<RWaveModel>& models,
     util::FillOnes(up_e, num_conditions_);
     util::FillOnes(down_e, num_conditions_);
     if (max_chain_need_ >= 1) {
-      std::memcpy(up_e + w_count, up_e, w_count * sizeof(uint64_t));
-      std::memcpy(down_e + w_count, down_e, w_count * sizeof(uint64_t));
+      util::simd::CopyWordsAuto(ops, up_e + w_count, up_e, words_);
+      util::simd::CopyWordsAuto(ops, down_e + w_count, down_e, words_);
     }
     for (int need = 2; need <= max_chain_need_; ++need) {
       uint64_t* up_row = up_e + static_cast<size_t>(need) * w_count;

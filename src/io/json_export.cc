@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "util/simd/dispatch.h"
 #include "util/string_util.h"
 
 namespace regcluster {
@@ -111,7 +112,8 @@ util::Status WriteClustersJson(const std::vector<core::RegCluster>& clusters,
         << ",\n    \"peak_scratch_bytes\": " << outcome->peak_scratch_bytes
         << ",\n    \"resume_next_root\": " << outcome->resume.next_root
         << ",\n    \"resume_options_hash\": " << outcome->resume.options_hash
-        << "\n  },\n";
+        << ",\n    \"simd\": \""
+        << util::simd::LevelName(outcome->simd_level) << "\"\n  },\n";
   }
   if (stats != nullptr) {
     out << "  \"stats\": {\n"

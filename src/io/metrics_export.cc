@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "util/simd/dispatch.h"
+
 namespace regcluster {
 namespace io {
 namespace {
@@ -87,6 +89,22 @@ util::Status RegisterMinerMetrics(const core::MinerStats& stats,
                      "Duplicate-key set probes (collect_stats only)",
                      stats.dedup_probes);
 
+  // Hot-path phase breakdown (profile_phases only; 0 otherwise).
+  REGCLUSTER_COUNTER("regcluster_phase_filter_ns_total",
+                     "Candidate generation + member filtering time "
+                     "(profile_phases only)",
+                     stats.filter_ns);
+  REGCLUSTER_COUNTER("regcluster_phase_score_ns_total",
+                     "Coherence divide pass time (profile_phases only)",
+                     stats.score_ns);
+  REGCLUSTER_COUNTER("regcluster_phase_sort_ns_total",
+                     "Scored-column index-sort time (profile_phases only)",
+                     stats.sort_ns);
+  REGCLUSTER_COUNTER("regcluster_phase_emit_ns_total",
+                     "Dedup keying + cluster materialization time "
+                     "(profile_phases only)",
+                     stats.emit_ns);
+
   // Phase durations (wall-clock; machine-dependent).
   REGCLUSTER_GAUGE("regcluster_rwave_build_seconds",
                    "RWave model construction time", stats.rwave_build_seconds);
@@ -128,6 +146,10 @@ util::Status RegisterMinerMetrics(const core::MinerStats& stats,
   REGCLUSTER_GAUGE("regcluster_truncated",
                    "1 when the run was budget/cancel truncated, else 0",
                    outcome.status == core::MineStatus::kTruncated ? 1.0 : 0.0);
+  REGCLUSTER_GAUGE("regcluster_simd_level",
+                   "Resolved SIMD kernel set (0 scalar, 1 avx2, 2 neon); "
+                   "every level is bit-identical",
+                   static_cast<double>(static_cast<int>(outcome.simd_level)));
 
 #undef REGCLUSTER_COUNTER
 #undef REGCLUSTER_GAUGE

@@ -50,6 +50,37 @@ inline void ForEachSetBit(const uint64_t* words, int num_words, Fn&& fn) {
   }
 }
 
+// Word-loop primitives of the index hot path.  These are the portable scalar
+// reference implementations; util/simd/ dispatches to vector versions of the
+// same contracts, and the forced-scalar differential gate compares the two
+// (see DESIGN.md).  Keeping the scalar bodies here -- with no simd include --
+// means every non-dispatched caller shares one source of truth.
+
+/// dst[w] = a[w] & b[w].  `dst` may alias `a` or `b`.
+inline void AndWords(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                     int words) {
+  for (int w = 0; w < words; ++w) dst[w] = a[w] & b[w];
+}
+
+/// dst[w] |= src[w].
+inline void OrWordsInto(uint64_t* dst, const uint64_t* src, int words) {
+  for (int w = 0; w < words; ++w) dst[w] |= src[w];
+}
+
+/// dst[w] = src[w].  Rows must not overlap.
+inline void CopyWords(uint64_t* dst, const uint64_t* src, int words) {
+  for (int w = 0; w < words; ++w) dst[w] = src[w];
+}
+
+/// Population count of a[w] & ~b[w] & mask[w] over the row (the pruning-2
+/// drop counter of miner PrepareNode: regulation-linked but MinC-cut).
+inline int64_t AndNotMaskPopcount(const uint64_t* a, const uint64_t* b,
+                                  const uint64_t* mask, int words) {
+  int64_t count = 0;
+  for (int w = 0; w < words; ++w) count += std::popcount(a[w] & ~b[w] & mask[w]);
+  return count;
+}
+
 }  // namespace util
 }  // namespace regcluster
 

@@ -1,0 +1,28 @@
+// AVX2 kernel set.  The implementation lives in kernels_avx2.cc, the only
+// translation unit in the tree compiled with -mavx2 (per-TU flag isolation:
+// src/util/CMakeLists.txt).  This header stays includable everywhere -- it
+// declares the accessor and nothing else, so no AVX2 code can leak into TUs
+// built for baseline x86-64.  REGCLUSTER_HAVE_AVX2 is defined by CMake iff
+// the TU is part of the build (x86-64 target, compiler supports -mavx2);
+// callers must still check __builtin_cpu_supports("avx2") at runtime, which
+// dispatch.cc does via LevelAvailable().
+
+#ifndef REGCLUSTER_UTIL_SIMD_KERNELS_AVX2_H_
+#define REGCLUSTER_UTIL_SIMD_KERNELS_AVX2_H_
+
+#include "util/simd/dispatch.h"
+
+namespace regcluster {
+namespace util {
+namespace simd {
+
+#if defined(REGCLUSTER_HAVE_AVX2)
+/// The AVX2 SimdOps table.  Call only when LevelAvailable(Level::kAvx2).
+const SimdOps& GetAvx2Ops();
+#endif
+
+}  // namespace simd
+}  // namespace util
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_UTIL_SIMD_KERNELS_AVX2_H_

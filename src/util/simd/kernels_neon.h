@@ -1,0 +1,24 @@
+// ARM NEON kernel set.  Implementation in kernels_neon.cc, compiled only on
+// AArch64 targets (REGCLUSTER_HAVE_NEON, src/util/CMakeLists.txt).  NEON is
+// baseline for AArch64, so no runtime CPU probe is needed -- compile-time
+// presence is availability.
+
+#ifndef REGCLUSTER_UTIL_SIMD_KERNELS_NEON_H_
+#define REGCLUSTER_UTIL_SIMD_KERNELS_NEON_H_
+
+#include "util/simd/dispatch.h"
+
+namespace regcluster {
+namespace util {
+namespace simd {
+
+#if defined(REGCLUSTER_HAVE_NEON)
+/// The NEON SimdOps table.
+const SimdOps& GetNeonOps();
+#endif
+
+}  // namespace simd
+}  // namespace util
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_UTIL_SIMD_KERNELS_NEON_H_

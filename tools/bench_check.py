@@ -39,6 +39,20 @@ the same mines done independently (each paying its own matrix load and model
 build) by ``--min-sweep-speedup`` (default 1.5x), with byte-identical
 output.  Same fresh-then-baseline fallback and skip-with-notice behaviour.
 
+The SIMD kernel layer is gated two ways, both through the ``threads``
+section.  The ``simd`` object records a forced-scalar vs best-level
+ablation of the serial sort phase; ``--min-sort-speedup`` (default 1.5x)
+fails when the radix pipeline no longer beats the scalar comparator sort by
+that much.  The gate skips with a notice when the best compiled-in level is
+scalar (nothing to compare) or when the run recorded ``degraded_hw``
+(unknown or single hardware thread -- bench_threads sets the flag and all
+speedup gates stand down, since contention noise on such a host can fake
+either verdict).  Separately, the ``serial_phase_ns`` breakdown is compared
+fresh-vs-baseline per phase (filter/score/sort/emit): any phase above the
+``--phase-floor-ns`` noise floor that regressed by more than
+``--phase-threshold`` fails, so a hot-path regression is pinned to the
+phase that caused it instead of hiding inside total wall time.
+
 Exit status: 0 when every compared benchmark is within the threshold,
 1 on regression / missing data / malformed input.
 """
@@ -125,6 +139,77 @@ def check_sweep_speedup(fresh_doc, baseline_doc, min_speedup):
     return True
 
 
+def check_sort_speedup(fresh_doc, baseline_doc, min_speedup):
+    """Gates the SIMD sort ablation: threads.simd.sort_speedup (serial sort
+    phase, forced-scalar vs the best kernel level, best-of-3 interleaved)
+    must stay >= --min-sort-speedup.  Skips with a notice when no threads
+    section carries the ablation, when the best level is scalar (the
+    comparison is vacuous), or when the run flagged degraded_hw."""
+    for label, doc in (("fresh", fresh_doc), ("baseline", baseline_doc)):
+        threads = doc.get("threads") or {}
+        simd = threads.get("simd")
+        if not simd:
+            continue
+        speedup = float(simd["sort_speedup"])
+        best_level = simd.get("best_level", "scalar")
+        if best_level == "scalar":
+            print(f"simd sort speedup ({label}): best level is scalar on "
+                  "this host; skipping gate (needs an AVX2/NEON machine)")
+            return True
+        if threads.get("degraded_hw"):
+            print(f"simd sort speedup ({label}): {speedup:.2f}x scalar vs "
+                  f"{best_level}, but degraded_hw recorded; skipping gate")
+            return True
+        ok = speedup >= min_speedup
+        print(f"simd sort speedup ({label}): {speedup:.2f}x scalar vs "
+              f"{best_level} (minimum {min_speedup:.2f}x)"
+              f"{'' if ok else '  REGRESSION'}")
+        return ok
+    print("simd sort speedup: no threads.simd section in either input; "
+          "skipping gate (run bench_threads to measure)")
+    return True
+
+
+def check_phase_ns(fresh_doc, baseline_doc, threshold, floor_ns):
+    """Compares threads.serial_phase_ns per phase, fresh vs baseline.
+
+    Phases below the noise floor in the baseline are reported but not
+    gated (a 15% swing on a sub-millisecond phase is scheduler noise).
+    Skips with a notice when either document lacks the section or the runs
+    describe different dataset/options."""
+    fresh_threads = fresh_doc.get("threads") or {}
+    baseline_threads = baseline_doc.get("threads") or {}
+    fresh = fresh_threads.get("serial_phase_ns")
+    baseline = baseline_threads.get("serial_phase_ns")
+    if not fresh or not baseline:
+        print("phase breakdown: no serial_phase_ns in "
+              f"{'fresh' if not fresh else 'baseline'} input; skipping gate "
+              "(run bench_threads to measure)")
+        return True
+    if (fresh_threads.get("dataset") != baseline_threads.get("dataset")
+            or fresh_threads.get("options") != baseline_threads.get(
+                "options")):
+        print("phase breakdown: threads sections describe different "
+              "dataset/options; skipping comparison")
+        return True
+    ok = True
+    for key in ("filter_ns", "score_ns", "sort_ns", "emit_ns"):
+        base_val = baseline.get(key)
+        fresh_val = fresh.get(key)
+        if base_val is None or fresh_val is None:
+            continue
+        ratio = fresh_val / base_val if base_val > 0 else float("inf")
+        gated = base_val >= floor_ns
+        verdict = ""
+        if gated and ratio > 1.0 + threshold:
+            verdict = f"  REGRESSION (> {1.0 + threshold:.2f}x)"
+            ok = False
+        note = "" if gated else "  (below noise floor, not gated)"
+        print(f"phase {key:<10} baseline {base_val / 1e6:8.1f} ms  fresh "
+              f"{fresh_val / 1e6:8.1f} ms  {ratio:5.2f}x{verdict}{note}")
+    return ok
+
+
 def check_stats_counters(fresh_doc, baseline_doc):
     """Compares the deterministic work counters of the ``stats`` sections.
 
@@ -193,6 +278,18 @@ def main(argv):
                         help="minimum required shared-index sweep speedup "
                              "from the sweep section "
                              "(default: %(default)s)")
+    parser.add_argument("--min-sort-speedup", type=float, default=1.5,
+                        help="minimum required forced-scalar vs best-level "
+                             "sort-phase speedup from threads.simd "
+                             "(default: %(default)s)")
+    parser.add_argument("--phase-threshold", type=float, default=0.15,
+                        help="maximum tolerated fractional slowdown per "
+                             "serial phase (filter/score/sort/emit) "
+                             "(default: %(default)s)")
+    parser.add_argument("--phase-floor-ns", type=float, default=5e6,
+                        help="serial phases below this many baseline ns are "
+                             "reported but not gated "
+                             "(default: %(default)s)")
     args = parser.parse_args(argv)
 
     try:
@@ -241,6 +338,12 @@ def main(argv):
         failed = True
     if not check_sweep_speedup(fresh_doc, baseline_doc,
                                args.min_sweep_speedup):
+        failed = True
+    if not check_sort_speedup(fresh_doc, baseline_doc,
+                              args.min_sort_speedup):
+        failed = True
+    if not check_phase_ns(fresh_doc, baseline_doc, args.phase_threshold,
+                          args.phase_floor_ns):
         failed = True
     if not check_stats_counters(fresh_doc, baseline_doc):
         failed = True

@@ -48,6 +48,7 @@
 #include "matrix/matrix_io.h"
 #include "matrix/stats.h"
 #include "matrix/transforms.h"
+#include "util/simd/dispatch.h"
 #include "synth/generator.h"
 #include "synth/yeast_surrogate.h"
 #include "util/cancellation.h"
@@ -350,7 +351,7 @@ int CmdMine(Flags* flags) {
         "  [--merge-overlap=0] [--require-gene=NAME_OR_INDEX]\n"
         "  [--report=PATH] [--json=PATH]\n"
         "  [--metrics-out=PATH] [--metrics-format=json|prom]\n"
-        "  [--collect-stats=true]\n"
+        "  [--collect-stats=true] [--simd=auto|scalar|avx2|neon]\n"
         "  [--max-clusters=-1] [--max-nodes=-1] [--deadline-ms=-1]\n"
         "  [--sweep=SPEC --sweep-out=PATH [--sweep-csv=PATH]\n"
         "   [--share-models=true]]\n"
@@ -367,6 +368,8 @@ int CmdMine(Flags* flags) {
         "--metrics-out writes the run's search counters and phase timings\n"
         "(regcluster_* metrics) as JSON or Prometheus text; --collect-stats\n"
         "=false disables the detailed work counters (they export as 0).\n"
+        "--simd pins the kernel set (default auto-detects; every level\n"
+        "produces byte-identical output, so this is a perf/debug knob).\n"
         "--merge-overlap > 0 runs the consensus merge post-pass.\n"
         "Budgets (--max-clusters/--max-nodes/--deadline-ms) and Ctrl-C stop\n"
         "the search at a deterministic root boundary: the outputs are then a\n"
@@ -424,7 +427,11 @@ int CmdMine(Flags* flags) {
   const std::string normalize = flags->GetString("normalize", "none");
   const double merge_overlap = flags->GetDouble("merge-overlap", 0.0);
   const std::string require_gene = flags->GetString("require-gene", "");
+  const std::string simd_name = flags->GetString("simd", "auto");
   if (auto st = flags->RejectUnknown(); !st.ok()) return UsageError(st);
+  if (auto st = util::simd::ApplySimdFlag(simd_name); !st.ok()) {
+    return UsageError(st);
+  }
 
   // Sweep mode: expand the grid before touching the matrix, so a malformed
   // spec is a fast usage error.  The budget flags become sweep-level (the
