@@ -70,6 +70,20 @@ void BM_RWaveSetBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_RWaveSetBuild)->Arg(500)->Arg(3000);
 
+void BM_RWaveSetBuildParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  synth::SyntheticConfig cfg;
+  cfg.num_genes = 3000;
+  cfg.num_conditions = 30;
+  cfg.num_clusters = 0;
+  auto ds = synth::GenerateSynthetic(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::RWaveSet(ds->data, 0.1, threads));
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.num_genes);
+}
+BENCHMARK(BM_RWaveSetBuildParallel)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_MineSynthetic(benchmark::State& state) {
   const int genes = static_cast<int>(state.range(0));
   synth::SyntheticConfig cfg;

@@ -14,11 +14,24 @@
 // Absolute numbers differ from the paper's 2006-era 3 GHz Windows PC; the
 // claims under reproduction are the *shapes*: slightly superlinear in #g,
 // superlinear in #cond, roughly linear in #clus (see EXPERIMENTS.md).
+//
+// A fourth, memory-capped scenario exercises the out-of-core path at
+// genome scale and records its peak RSS into BENCH_miner.json:
+//   bench_scalability --sweep=outofcore --oc-genes=100000 --oc-cache-mb=64
+// The dataset is written to disk in the binary matrix format, mined through
+// an mmap-backed MappedMatrix with a bounded model cache, and the
+// "scalability" section (gated by tools/bench_check.py --max-peak-rss)
+// reports wall time, peak RSS and the cache counters.
 
+#include <sys/resource.h>
+
+#include <cstdint>
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "io/gnuplot.h"
+#include "matrix/store.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -109,11 +122,142 @@ void Sweep(const char* name, const std::vector<int>& values, double scale,
   }
 }
 
+/// High-water resident set of this process, in bytes.
+int64_t PeakRssBytes() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<int64_t>(ru.ru_maxrss);  // bytes on Darwin
+#else
+  return static_cast<int64_t>(ru.ru_maxrss) * 1024;  // kilobytes on Linux
+#endif
+}
+
+int RunOutOfCore(int argc, char** argv) {
+  const int genes = IntFlag(argc, argv, "oc-genes", 100000);
+  const int conditions = IntFlag(argc, argv, "oc-conditions", 40);
+  const int implants = IntFlag(argc, argv, "oc-clusters", 30);
+  const int cache_mb = IntFlag(argc, argv, "oc-cache-mb", 64);
+  const int shards = IntFlag(argc, argv, "oc-shards", 8);
+  const int threads = IntFlag(argc, argv, "oc-threads", 1);
+  const uint64_t seed =
+      static_cast<uint64_t>(IntFlag(argc, argv, "oc-seed", 2026));
+  const std::string bench_json =
+      FlagValue(argc, argv, "bench-json", "BENCH_miner.json");
+  const std::string matrix_path = FlagValue(
+      argc, argv, "oc-matrix", "/tmp/regcluster_bench_outofcore.rgx");
+
+  std::printf("\n# out-of-core: %d x %d, cache %d MiB over %d shards\n",
+              genes, conditions, cache_mb, shards);
+
+  util::WallTimer total_timer;
+  int64_t file_bytes = 0;
+  {
+    // Generate and spill inside a scope so the resident copy is freed
+    // before mining; the high-water mark then reflects the mining path,
+    // not the generator.
+    synth::SyntheticConfig cfg;
+    cfg.num_genes = genes;
+    cfg.num_conditions = conditions;
+    cfg.num_clusters = implants;
+    cfg.seed = seed;
+    auto ds = synth::GenerateSynthetic(cfg);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "generator: %s\n", ds.status().ToString().c_str());
+      return 1;
+    }
+    if (auto st = matrix::WriteBinaryMatrix(ds->data, matrix_path);
+        !st.ok()) {
+      std::fprintf(stderr, "spill: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    file_bytes = static_cast<int64_t>(ds->data.num_genes()) *
+                     ds->data.num_conditions() *
+                     static_cast<int64_t>(sizeof(double));
+  }
+  const double generate_seconds = total_timer.ElapsedSeconds();
+
+  auto mapped = matrix::MappedMatrix::Open(matrix_path);
+  if (!mapped.ok()) {
+    std::fprintf(stderr, "map: %s\n", mapped.status().ToString().c_str());
+    return 1;
+  }
+
+  core::MinerOptions opts;
+  opts.min_genes = std::max(2, static_cast<int>(0.01 * genes));
+  opts.min_conditions = 6;
+  opts.gamma = 0.1;
+  opts.epsilon = 0.01;
+  opts.num_threads = threads;
+  opts.model_cache_bytes = static_cast<int64_t>(cache_mb) << 20;
+  opts.model_cache_shards = shards;
+
+  util::WallTimer mine_timer;
+  core::RegClusterMiner miner(*mapped, opts);
+  auto clusters = miner.Mine();
+  const double mine_seconds = mine_timer.ElapsedSeconds();
+  if (!clusters.ok()) {
+    std::fprintf(stderr, "miner: %s\n", clusters.status().ToString().c_str());
+    return 1;
+  }
+  const auto& outcome = miner.outcome();
+  const int64_t peak_rss = PeakRssBytes();
+
+  std::printf("%-24s %12.3f s\n", "generate+spill", generate_seconds);
+  std::printf("%-24s %12.3f s\n", "mine (mapped)", mine_seconds);
+  std::printf("%-24s %12lld\n", "clusters",
+              static_cast<long long>(clusters->size()));
+  std::printf("%-24s %12.1f MiB\n", "peak RSS",
+              static_cast<double>(peak_rss) / (1 << 20));
+  std::printf("%-24s %12.1f MiB mapped, %.1f MiB models\n", "footprint",
+              static_cast<double>(outcome.mapped_bytes) / (1 << 20),
+              static_cast<double>(outcome.model_bytes) / (1 << 20));
+  std::printf("%-24s %12lld hits, %lld misses, %lld evictions\n", "cache",
+              static_cast<long long>(outcome.model_cache_hits),
+              static_cast<long long>(outcome.model_cache_misses),
+              static_cast<long long>(outcome.model_cache_evictions));
+
+  const std::string section = JsonObject({
+      JsonField("dataset",
+                JsonObject({JsonField("genes", JsonInt(genes)),
+                            JsonField("conditions", JsonInt(conditions)),
+                            JsonField("implanted_clusters", JsonInt(implants)),
+                            JsonField("seed",
+                                      JsonInt(static_cast<int64_t>(seed)))})),
+      JsonField("cache_budget_bytes", JsonInt(opts.model_cache_bytes)),
+      JsonField("cache_shards", JsonInt(shards)),
+      JsonField("threads", JsonInt(threads)),
+      JsonField("matrix_file_bytes", JsonInt(file_bytes)),
+      JsonField("generate_seconds", JsonDouble(generate_seconds)),
+      JsonField("mine_wall_seconds", JsonDouble(mine_seconds)),
+      JsonField("clusters", JsonInt(static_cast<int64_t>(clusters->size()))),
+      JsonField("peak_rss_bytes", JsonInt(peak_rss)),
+      JsonField("mapped_bytes", JsonInt(outcome.mapped_bytes)),
+      JsonField("model_bytes", JsonInt(outcome.model_bytes)),
+      JsonField("model_cache_hits", JsonInt(outcome.model_cache_hits)),
+      JsonField("model_cache_misses", JsonInt(outcome.model_cache_misses)),
+      JsonField("model_cache_evictions",
+                JsonInt(outcome.model_cache_evictions)),
+      JsonField("model_cache_resident_bytes",
+                JsonInt(outcome.model_cache_resident_bytes)),
+  });
+  if (!UpsertBenchSection(bench_json, "scalability", section) ||
+      !UpsertBenchSection(bench_json, "provenance", ProvenanceObject())) {
+    std::fprintf(stderr, "cannot write %s\n", bench_json.c_str());
+    return 1;
+  }
+  std::printf("(scalability section upserted into %s)\n", bench_json.c_str());
+  std::remove(matrix_path.c_str());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const std::string sweep = FlagValue(argc, argv, "sweep", "all");
   const double scale = DoubleFlag(argc, argv, "scale", 1.0);
   const int repeats = IntFlag(argc, argv, "repeats", 2);
   const std::string out_dir = FlagValue(argc, argv, "out-dir", "");
+
+  if (sweep == "outofcore") return RunOutOfCore(argc, argv);
 
   std::printf("== bench_scalability (Figure 7) ==\n");
   std::printf(

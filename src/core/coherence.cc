@@ -22,7 +22,7 @@ std::vector<double> ChainCoherenceScores(const double* row,
   return out;
 }
 
-bool FitPairShiftScale(const matrix::ExpressionMatrix& data, int gene_i,
+bool FitPairShiftScale(const matrix::MatrixStore& data, int gene_i,
                        int gene_j, const std::vector<int>& conds, double* s1,
                        double* s2) {
   const std::vector<double> x = data.RowOnConditions(gene_i, conds);
@@ -56,7 +56,7 @@ bool CheckRegulation(const double* row, const std::vector<int>& chain,
 
 }  // namespace
 
-bool ValidateRegCluster(const matrix::ExpressionMatrix& data,
+bool ValidateRegCluster(const matrix::MatrixStore& data,
                         const RegCluster& cluster, double gamma,
                         double epsilon, std::string* why, double slack) {
   return ValidateRegCluster(data, cluster,
@@ -64,7 +64,7 @@ bool ValidateRegCluster(const matrix::ExpressionMatrix& data,
                             epsilon, why, slack);
 }
 
-bool ValidateRegCluster(const matrix::ExpressionMatrix& data,
+bool ValidateRegCluster(const matrix::MatrixStore& data,
                         const RegCluster& cluster, const GammaSpec& spec,
                         double epsilon, std::string* why, double slack) {
   if (cluster.chain.size() < 2) {

@@ -9,7 +9,7 @@
 
 #include "core/bicluster.h"
 #include "core/threshold.h"
-#include "matrix/expression_matrix.h"
+#include "matrix/store.h"
 
 namespace regcluster {
 namespace core {
@@ -49,7 +49,7 @@ std::vector<double> ChainCoherenceScores(const double* row,
 
 /// Fits d_j = s1 * d_i + s2 between two gene profiles restricted to `conds`
 /// and reports the scaling/shifting factors.  Returns false if degenerate.
-bool FitPairShiftScale(const matrix::ExpressionMatrix& data, int gene_i,
+bool FitPairShiftScale(const matrix::MatrixStore& data, int gene_i,
                        int gene_j, const std::vector<int>& conds, double* s1,
                        double* s2);
 
@@ -66,14 +66,14 @@ bool FitPairShiftScale(const matrix::ExpressionMatrix& data, int gene_i,
 ///      floating-point robustness).
 ///
 /// On failure returns false and, if `why` is non-null, stores a description.
-bool ValidateRegCluster(const matrix::ExpressionMatrix& data,
+bool ValidateRegCluster(const matrix::MatrixStore& data,
                         const RegCluster& cluster, double gamma,
                         double epsilon, std::string* why = nullptr,
                         double slack = 1e-9);
 
 /// As above, but with an explicit regulation-threshold policy (the plain
 /// overload uses the paper's default range-fraction policy, Eq. 4).
-bool ValidateRegCluster(const matrix::ExpressionMatrix& data,
+bool ValidateRegCluster(const matrix::MatrixStore& data,
                         const RegCluster& cluster, const GammaSpec& spec,
                         double epsilon, std::string* why = nullptr,
                         double slack = 1e-9);

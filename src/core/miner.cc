@@ -12,6 +12,7 @@
 #include "core/coherence.h"
 #include "obs/metrics.h"
 #include "util/bitset.h"
+#include "util/simd/radix_sort.h"
 #include "util/task_pool.h"
 #include "util/timer.h"
 
@@ -280,39 +281,108 @@ struct RegClusterMiner::RunState {
   int fin_slot = 0;  ///< guard byte-report slot of the finalize pass
 };
 
+namespace {
+
+/// Gene-striped index bake shared by both model builders: each stripe task
+/// fetches its genes' models via `model_of` and writes their (disjoint)
+/// index slices.  Byte-identical at any thread count because a gene's slice
+/// depends only on its own model.
+template <typename ModelOf>
+void BakeIndexStriped(RWaveBitmapIndex* index, int num_genes, int num_conds,
+                      int max_chain_need, int num_threads,
+                      const ModelOf& model_of) {
+  index->BeginBuild(num_genes, num_conds, max_chain_need);
+  if (num_threads == 1 || num_genes == 0) {
+    RWaveBitmapIndex::BuildScratch scratch;
+    for (int g = 0; g < num_genes; ++g) {
+      index->BuildGene(g, *model_of(g), &scratch);
+    }
+    return;
+  }
+  util::TaskPool pool(num_threads);
+  const int workers = pool.num_workers();
+  int stripe = (num_genes + workers * 4 - 1) / (workers * 4);
+  stripe = std::max(stripe, 64);
+  std::vector<RWaveBitmapIndex::BuildScratch> scratches(
+      static_cast<size_t>(workers));
+  for (int begin = 0; begin < num_genes; begin += stripe) {
+    const int end = std::min(begin + stripe, num_genes);
+    pool.Submit([&, begin, end](int worker) {
+      auto& scratch = scratches[static_cast<size_t>(worker)];
+      for (int g = begin; g < end; ++g) {
+        index->BuildGene(g, *model_of(g), &scratch);
+      }
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace
+
 std::shared_ptr<const SharedGammaModel> SharedGammaModel::Build(
-    const matrix::ExpressionMatrix& data, const GammaSpec& spec,
-    int max_chain_need) {
+    const matrix::MatrixStore& data, const GammaSpec& spec,
+    int max_chain_need, int num_threads) {
   auto model = std::make_shared<SharedGammaModel>();
   model->spec = spec;
   model->max_chain_need = max_chain_need;
   util::WallTimer timer;
-  model->rwaves.reserve(static_cast<size_t>(data.num_genes()));
-  for (int g = 0; g < data.num_genes(); ++g) {
-    model->rwaves.push_back(RWaveModel::Build(data.row_data(g),
-                                              data.num_conditions(),
-                                              AbsoluteGamma(data, g, spec)));
-  }
+  model->rwaves = BuildRWaveModels(
+      data, [&data, &spec](int g) { return AbsoluteGamma(data, g, spec); },
+      num_threads);
   model->rwave_build_seconds = timer.ElapsedSeconds();
   timer.Reset();
-  model->index.Build(model->rwaves, data.num_conditions(), max_chain_need);
+  BakeIndexStriped(&model->index, data.num_genes(), data.num_conditions(),
+                   max_chain_need, num_threads,
+                   [&model](int g) { return &model->rwaves[static_cast<size_t>(g)]; });
+  model->index_build_seconds = timer.ElapsedSeconds();
+  return model;
+}
+
+std::shared_ptr<const SharedGammaModel> SharedGammaModel::BuildOutOfCore(
+    const matrix::MatrixStore& data, const GammaSpec& spec,
+    int max_chain_need, int64_t cache_bytes, int cache_shards,
+    int num_threads) {
+  auto model = std::make_shared<SharedGammaModel>();
+  model->spec = spec;
+  model->max_chain_need = max_chain_need;
+  ModelCache::Options copts;
+  copts.byte_budget = cache_bytes;
+  copts.num_shards = cache_shards;
+  const int num_conds = data.num_conditions();
+  model->cache = std::make_shared<ModelCache>(
+      data.num_genes(),
+      [&data, spec, num_conds](int g) {
+        thread_local util::simd::SortScratch scratch;
+        return RWaveModel::Build(data.row_data(g), num_conds,
+                                 AbsoluteGamma(data, g, spec), &scratch);
+      },
+      copts);
+  // The index bake *is* the model-build pass here: every gene streams
+  // through the cache exactly where its index slice needs it, so no
+  // separate rwave phase exists and its time reports as 0.
+  util::WallTimer timer;
+  BakeIndexStriped(&model->index, data.num_genes(), num_conds, max_chain_need,
+                   num_threads,
+                   [&model](int g) { return model->cache->Get(g); });
   model->index_build_seconds = timer.ElapsedSeconds();
   return model;
 }
 
 size_t SharedGammaModel::MemoryBytes() const {
-  // Index tables exactly; per-gene models from their container sizes (four
-  // int columns + one double column per condition, plus the pointer list).
+  // Index tables exactly; resident per-gene models by their table capacities
+  // (the same figure the ModelCache charges per entry); plus whatever the
+  // cache currently retains on the out-of-core path.
   size_t total = index.MemoryBytes();
   for (const RWaveModel& m : rwaves) {
-    const size_t c = static_cast<size_t>(m.num_conditions());
-    total += c * (4 * sizeof(int) + sizeof(double)) +
-             m.pointers().size() * sizeof(RegulationPointer);
+    total += m.MemoryBytes();
+  }
+  if (cache != nullptr) {
+    total += static_cast<size_t>(cache->resident_bytes());
   }
   return total;
 }
 
-RegClusterMiner::RegClusterMiner(const matrix::ExpressionMatrix& data,
+RegClusterMiner::RegClusterMiner(const matrix::MatrixStore& data,
                                  MinerOptions options)
     : data_(data), options_(options) {}
 
@@ -371,6 +441,9 @@ util::Status RegClusterMiner::Prepare() {
   if (options_.budget_check_interval < 1) {
     return util::Status::InvalidArgument("budget_check_interval must be >= 1");
   }
+  if (options_.model_cache_shards < 1) {
+    return util::Status::InvalidArgument("model_cache_shards must be >= 1");
+  }
   if (options_.resume.can_resume()) {
     if (options_.resume.options_hash != SemanticOptionsHash(options_)) {
       return util::Status::InvalidArgument(
@@ -419,6 +492,13 @@ util::Status RegClusterMiner::Prepare() {
   model_.reset();
 
   auto run = std::make_unique<RunState>();
+  // Resolve the worker count before the model build so the build itself can
+  // run striped on the same number of threads as the search.
+  run->threads = options_.num_threads;
+  if (run->threads == 0) {
+    run->threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (run->threads < 1) run->threads = 1;
+  }
 
   const GammaSpec spec{options_.gamma_policy, options_.gamma};
   if (options_.shared_model != nullptr) {
@@ -445,8 +525,15 @@ util::Status RegClusterMiner::Prepare() {
           "the largest MinC it will serve");
     }
     model_ = options_.shared_model;
+  } else if (options_.model_cache_bytes >= 0) {
+    model_ = SharedGammaModel::BuildOutOfCore(
+        data_, spec, options_.min_conditions, options_.model_cache_bytes,
+        options_.model_cache_shards, run->threads);
+    stats_.index_builds = 1;
+    stats_.index_build_seconds = model_->index_build_seconds;
   } else {
-    model_ = SharedGammaModel::Build(data_, spec, options_.min_conditions);
+    model_ = SharedGammaModel::Build(data_, spec, options_.min_conditions,
+                                     run->threads);
     stats_.index_builds = 1;
     stats_.rwave_build_seconds = model_->rwave_build_seconds;
     stats_.index_build_seconds = model_->index_build_seconds;
@@ -457,11 +544,6 @@ util::Status RegClusterMiner::Prepare() {
       static_cast<size_t>(data_.num_conditions()));
   run->first_root =
       options_.resume.can_resume() ? options_.resume.next_root : 0;
-  run->threads = options_.num_threads;
-  if (run->threads == 0) {
-    run->threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (run->threads < 1) run->threads = 1;
-  }
   run->mine_timer.Reset();
   run_ = std::move(run);
   return util::Status::OK();
@@ -478,6 +560,14 @@ void RegClusterMiner::EnsureGuard(int num_slots) {
   if (!limits.any()) return;
   // One byte-report slot per pool worker plus one for the finalize pass.
   guard_ = std::make_unique<util::BudgetGuard>(limits, num_slots);
+  if (options_.model_cache_bytes >= 0 && options_.shared_model == nullptr) {
+    // Out-of-core: the memory stop bounds what the process actually holds
+    // live, so the mapped matrix + resident model/index/cache bytes enter
+    // the summed total exactly once as a fixed base (never per slot).
+    guard_->set_base_bytes(
+        data_.mapped_bytes() +
+        static_cast<int64_t>(model_->MemoryBytes()));
+  }
   run_->fin_slot = num_slots - 1;
 }
 
@@ -670,6 +760,15 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Finalize() {
       std::max<int64_t>(guard_ != nullptr ? guard_->peak_bytes() : 0,
                         parallel_scratch_bytes + fin_scratch.ApproxBytes());
   outcome_.budget_polls = guard_ != nullptr ? guard_->total_polls() : 0;
+  outcome_.model_bytes = static_cast<int64_t>(model_->MemoryBytes());
+  outcome_.mapped_bytes = data_.mapped_bytes();
+  if (model_->cache != nullptr) {
+    const ModelCache::Stats cs = model_->cache->stats();
+    outcome_.model_cache_hits = cs.hits;
+    outcome_.model_cache_misses = cs.misses;
+    outcome_.model_cache_evictions = cs.evictions;
+    outcome_.model_cache_resident_bytes = cs.resident_bytes;
+  }
   if (truncated) {
     outcome_.resume.next_root = cut_root;
     outcome_.resume.options_hash = SemanticOptionsHash(options_);

@@ -40,10 +40,11 @@
 #include <vector>
 
 #include "core/bicluster.h"
+#include "core/model_cache.h"
 #include "core/rwave.h"
 #include "core/rwave_index.h"
 #include "core/threshold.h"
-#include "matrix/expression_matrix.h"
+#include "matrix/store.h"
 #include "util/cancellation.h"
 #include "util/hash128.h"
 #include "util/simd/dispatch.h"
@@ -110,6 +111,21 @@ struct MineOutcome {
   /// in Prepare(); see util/simd/dispatch.h).  Execution telemetry: the
   /// mined output is byte-identical across levels by contract.
   util::simd::Level simd_level = util::simd::Level::kScalar;
+
+  /// Out-of-core telemetry (all 0 on the eager path).  The hit/miss split is
+  /// schedule-dependent when the model build runs parallel -- racing misses
+  /// on one gene each count a miss -- but totals are exact, and with a
+  /// serial build they are a pure function of the access sequence.
+  int64_t model_cache_hits = 0;
+  int64_t model_cache_misses = 0;
+  int64_t model_cache_evictions = 0;
+  /// Bytes of RWave models resident in the cache when the run finished.
+  int64_t model_cache_resident_bytes = 0;
+  /// Heap bytes of the gamma model (index + resident models + cache).
+  int64_t model_bytes = 0;
+  /// Bytes of the input matrix served by a file mapping (matrix::MappedMatrix)
+  /// rather than heap; 0 for resident matrices.
+  int64_t mapped_bytes = 0;
 };
 
 /// Immutable per-gamma model state: the per-gene RWave^gamma models plus the
@@ -124,7 +140,14 @@ struct MineOutcome {
 struct SharedGammaModel {
   GammaSpec spec;
   int max_chain_need = 0;
+  /// Every gene's model, resident (eager Build); empty on the out-of-core
+  /// path, where models live in `cache` instead.
   std::vector<RWaveModel> rwaves;
+  /// Lazily built models (BuildOutOfCore); null on the eager path.  The
+  /// index bakes eagerly either way -- it is the structure the search
+  /// actually probes -- so post-build the cache only serves explicit
+  /// model lookups and may shrink to its floor untouched.
+  std::shared_ptr<ModelCache> cache;
   RWaveBitmapIndex index;
   double rwave_build_seconds = 0.0;
   double index_build_seconds = 0.0;
@@ -132,12 +155,29 @@ struct SharedGammaModel {
   /// Builds the models and the index for `data` under `spec`.  The matrix
   /// must outlive the returned model.  `max_chain_need` must be >= the
   /// largest MinC any sharing run will use (Mine() rejects a model whose
-  /// ceiling is below its MinC).
+  /// ceiling is below its MinC).  `num_threads` != 1 builds gene stripes on
+  /// a TaskPool (0 = hardware concurrency); models land in pre-assigned
+  /// slots and each gene's index slice is disjoint, so the result is
+  /// byte-identical at any thread count.
   static std::shared_ptr<const SharedGammaModel> Build(
-      const matrix::ExpressionMatrix& data, const GammaSpec& spec,
-      int max_chain_need);
+      const matrix::MatrixStore& data, const GammaSpec& spec,
+      int max_chain_need, int num_threads = 1);
 
-  /// Heap footprint of the baked tables (models + index), for reporting.
+  /// Out-of-core variant: never materializes the full model vector.  Genes
+  /// stream through a ModelCache bounded by `cache_bytes` (< 0 = unbounded)
+  /// split over `cache_shards` LRU shards while the index builds in gene
+  /// stripes; afterwards only the index plus at most `cache_bytes` of hot
+  /// models stay resident.  Model construction is deterministic, so the
+  /// baked index -- and hence the mined output -- is byte-identical to the
+  /// eager path at any thread count and any budget (>= the one-model-per-
+  /// shard floor).
+  static std::shared_ptr<const SharedGammaModel> BuildOutOfCore(
+      const matrix::MatrixStore& data, const GammaSpec& spec,
+      int max_chain_need, int64_t cache_bytes, int cache_shards,
+      int num_threads);
+
+  /// Heap footprint of the baked tables (models + index + cache residents),
+  /// for reporting.
   size_t MemoryBytes() const;
 };
 
@@ -209,9 +249,24 @@ struct MinerOptions {
   double deadline_ms = -1.0;
 
   /// Approximate ceiling on live mining memory (per-worker scratch arenas +
-  /// buffered output clusters; the fixed model/index allocations are not
-  /// counted).  Hard stop like deadline_ms; < 0 disables.
+  /// buffered output clusters).  On the eager path the fixed model/index
+  /// allocations are not counted; on the out-of-core path
+  /// (model_cache_bytes >= 0) the mapped matrix + model/index/cache
+  /// resident bytes enter the sum once as a fixed base, so the limit bounds
+  /// what the process actually holds live.  Hard stop like deadline_ms;
+  /// < 0 disables.
   int64_t soft_memory_limit_bytes = -1;
+
+  /// Out-of-core execution: >= 0 builds the gamma model lazily through a
+  /// byte-budgeted ModelCache (that many bytes across all shards; 0 =
+  /// degenerate one-model-per-shard floor) instead of materializing every
+  /// gene's RWave model.  Purely an execution knob -- excluded from
+  /// SemanticOptionsHash, so resume tokens splice across paths -- and the
+  /// mined output is byte-identical to the resident path at any thread
+  /// count.  Ignored when shared_model is set.  < 0 = eager (default).
+  int64_t model_cache_bytes = -1;
+  /// LRU shards of the out-of-core model cache (clamped to [1, num_genes]).
+  int model_cache_shards = 8;
 
   /// Optional external cancel signal (SIGINT handlers, RPC contexts).  Hard
   /// stop like deadline_ms.  Shared: many miners may watch one token.
@@ -296,8 +351,9 @@ struct MinerStats {
 /// Mines all validated reg-clusters of `data` under `options`.
 class RegClusterMiner {
  public:
-  /// The matrix must outlive the miner.
-  RegClusterMiner(const matrix::ExpressionMatrix& data, MinerOptions options);
+  /// The matrix must outlive the miner.  Any MatrixStore works: a resident
+  /// ExpressionMatrix or an mmap-backed matrix::MappedMatrix.
+  RegClusterMiner(const matrix::MatrixStore& data, MinerOptions options);
   ~RegClusterMiner();  // out-of-line: RunState is incomplete here
 
   /// Runs the search.  Fails (InvalidArgument / FailedPrecondition) on bad
@@ -504,7 +560,7 @@ class RegClusterMiner {
   TaskControl MakeControl(MinerScratch* scratch, int slot,
                           util::TaskPool* pool);
 
-  const matrix::ExpressionMatrix& data_;
+  const matrix::MatrixStore& data_;
   MinerOptions options_;
   MinerStats stats_;
   MineOutcome outcome_;

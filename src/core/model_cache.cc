@@ -1,0 +1,76 @@
+#include "core/model_cache.h"
+
+#include <algorithm>
+
+namespace regcluster {
+namespace core {
+
+ModelCache::ModelCache(int num_genes, Builder builder, const Options& options)
+    : builder_(std::move(builder)), byte_budget_(options.byte_budget) {
+  int shards = std::max(1, options.num_shards);
+  // More shards than genes would leave some permanently empty while
+  // shrinking every other shard's budget slice.
+  if (num_genes > 0) shards = std::min(shards, num_genes);
+  shard_budget_ = byte_budget_ < 0 ? -1 : byte_budget_ / shards;
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const RWaveModel> ModelCache::Get(int gene) {
+  Shard& shard = *shards_[static_cast<size_t>(gene) % shards_.size()];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(gene);
+    if (it != shard.index.end()) {
+      // Refresh recency and serve the pinned handle.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second->second;
+    }
+  }
+
+  // Miss: build outside the lock so one shard's construction never blocks
+  // hits on its other genes.  Two threads may race to build the same gene;
+  // construction is deterministic, so the loser adopts the winner's entry.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto model = std::make_shared<const RWaveModel>(builder_(gene));
+  const int64_t cost = EntryBytes(*model);
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(gene);
+  if (it != shard.index.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->second;
+  }
+  shard.lru.emplace_front(gene, std::move(model));
+  shard.index.emplace(gene, shard.lru.begin());
+  shard.bytes += cost;
+  resident_bytes_.fetch_add(cost, std::memory_order_relaxed);
+  // Evict cold entries past the shard's budget slice, but always keep the
+  // entry just inserted (the one-model-per-shard floor).
+  while (shard_budget_ >= 0 && shard.bytes > shard_budget_ &&
+         shard.lru.size() > 1) {
+    const auto& victim = shard.lru.back();
+    const int64_t victim_cost = EntryBytes(*victim.second);
+    shard.index.erase(victim.first);
+    shard.lru.pop_back();
+    shard.bytes -= victim_cost;
+    resident_bytes_.fetch_sub(victim_cost, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return shard.lru.front().second;
+}
+
+ModelCache::Stats ModelCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace core
+}  // namespace regcluster

@@ -1,0 +1,123 @@
+// Sharded, byte-budgeted LRU cache of per-gene RWave models, backing the
+// miner's out-of-core execution path.
+//
+// Eager mining materializes every gene's RWaveModel up front -- ~1.3 KB per
+// gene at 40 conditions, which is the largest resident structure after the
+// bitmap index at genome scale.  The index build (and any other bulk
+// consumer) only ever needs one gene's model at a time, so the out-of-core
+// path builds models on first use through this cache and lets cold ones be
+// evicted once the byte budget is exceeded.
+//
+// Correctness rests on deterministic construction: RWaveModel::Build is a
+// pure function of (profile bytes, gamma_abs), so a model rebuilt after
+// eviction is byte-identical to the evicted one, and a cached result is
+// byte-identical to what the eager path would have produced.  Eviction
+// order can therefore affect *when* work is redone, never *what* any query
+// answers.
+//
+// Sharding: gene g lives in shard g % num_shards, each shard with its own
+// mutex, LRU list and bytes/num_shards budget slice.  Concurrent Get()s of
+// different genes in different shards never contend.  Each shard always
+// retains at least its most recently used entry regardless of budget (the
+// "one model per shard" floor), so a Get() result is always usable and a
+// degenerate budget degrades to rebuild-per-stripe, not a failure.
+//
+// Handles are shared_ptr<const RWaveModel>: eviction drops the cache's
+// reference, but a holder's pin keeps the model alive until released, so a
+// caller can never observe a model disappearing mid-use.
+//
+// Stats: hit/miss/eviction totals are exact under any schedule, but their
+// split is schedule-dependent when several threads miss the same gene at
+// once (each builds; one insert wins).  With construction forced serial the
+// totals are a pure function of the access sequence -- the property the obs
+// export tests pin down.
+
+#ifndef REGCLUSTER_CORE_MODEL_CACHE_H_
+#define REGCLUSTER_CORE_MODEL_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/rwave.h"
+
+namespace regcluster {
+namespace core {
+
+class ModelCache {
+ public:
+  struct Options {
+    /// Total byte budget across all shards; < 0 = unbounded.  Each shard
+    /// keeps its most recently used entry even when over budget.
+    int64_t byte_budget = -1;
+    /// Number of independent LRU shards (>= 1; clamped).
+    int num_shards = 8;
+  };
+
+  /// Monotone counters plus the current resident footprint.
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t resident_bytes = 0;
+  };
+
+  /// Builds gene `gene`'s model; must be deterministic (pure function of
+  /// the gene id) -- see the file comment.  Called outside any shard lock,
+  /// possibly concurrently from several threads.
+  using Builder = std::function<RWaveModel(int gene)>;
+
+  ModelCache(int num_genes, Builder builder, const Options& options);
+
+  ModelCache(const ModelCache&) = delete;
+  ModelCache& operator=(const ModelCache&) = delete;
+
+  /// Returns gene `gene`'s model, building it on a miss.  The returned
+  /// handle pins the model independently of the cache's own retention.
+  std::shared_ptr<const RWaveModel> Get(int gene);
+
+  Stats stats() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int64_t byte_budget() const { return byte_budget_; }
+
+  /// Bytes currently held by cached models (same figure as
+  /// stats().resident_bytes; callable concurrently with Get()).
+  int64_t resident_bytes() const {
+    return resident_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.  Entries pair the gene id with its
+    /// pinned model handle.
+    std::list<std::pair<int, std::shared_ptr<const RWaveModel>>> lru;
+    std::unordered_map<int, decltype(lru)::iterator> index;
+    int64_t bytes = 0;
+  };
+
+  static int64_t EntryBytes(const RWaveModel& m) {
+    return static_cast<int64_t>(sizeof(RWaveModel) + m.MemoryBytes());
+  }
+
+  Builder builder_;
+  int64_t byte_budget_;
+  int64_t shard_budget_;  // byte_budget_ / shards, <0 = unbounded
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> resident_bytes_{0};
+};
+
+}  // namespace core
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_CORE_MODEL_CACHE_H_

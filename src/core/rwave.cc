@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "util/simd/radix_sort.h"
+#include "util/task_pool.h"
 
 namespace regcluster {
 namespace core {
@@ -107,8 +108,8 @@ RWaveModel RWaveModel::Build(const double* values, int n, double gamma_abs,
   return m;
 }
 
-RWaveModel RWaveModel::BuildForGene(const matrix::ExpressionMatrix& data,
-                                    int gene, double gamma) {
+RWaveModel RWaveModel::BuildForGene(const matrix::MatrixStore& data, int gene,
+                                    double gamma) {
   const auto [lo, hi] = data.RowRange(gene);
   const double gamma_abs = gamma * (hi - lo);
   return Build(data.row_data(gene), data.num_conditions(), gamma_abs);
@@ -140,16 +141,53 @@ int RWaveModel::LastPredecessorPos(int pos) const {
   return std::prev(it)->tail_pos;
 }
 
-RWaveSet::RWaveSet(const matrix::ExpressionMatrix& data, double gamma)
+RWaveSet::RWaveSet(const matrix::MatrixStore& data, double gamma,
+                   int num_threads)
     : gamma_(gamma) {
-  models_.reserve(static_cast<size_t>(data.num_genes()));
-  util::simd::SortScratch scratch;  // shared: one allocation for all genes
-  for (int g = 0; g < data.num_genes(); ++g) {
-    const auto [lo, hi] = data.RowRange(g);
-    models_.push_back(RWaveModel::Build(data.row_data(g),
-                                        data.num_conditions(),
-                                        gamma * (hi - lo), &scratch));
+  models_ = BuildRWaveModels(
+      data,
+      [&data, gamma](int g) {
+        const auto [lo, hi] = data.RowRange(g);
+        return gamma * (hi - lo);
+      },
+      num_threads);
+}
+
+std::vector<RWaveModel> BuildRWaveModels(
+    const matrix::MatrixStore& data,
+    const std::function<double(int)>& gamma_abs_fn, int num_threads) {
+  const int num_genes = data.num_genes();
+  const int num_conds = data.num_conditions();
+  std::vector<RWaveModel> models(static_cast<size_t>(num_genes));
+  const auto build_range = [&](int begin, int end,
+                               util::simd::SortScratch* scratch) {
+    for (int g = begin; g < end; ++g) {
+      models[static_cast<size_t>(g)] = RWaveModel::Build(
+          data.row_data(g), num_conds, gamma_abs_fn(g), scratch);
+    }
+  };
+  if (num_threads == 1 || num_genes == 0) {
+    util::simd::SortScratch scratch;  // shared: one allocation for all genes
+    build_range(0, num_genes, &scratch);
+    return models;
   }
+  // Parallel path: contiguous gene stripes, one task per stripe, each with
+  // its own sort scratch.  Slot-assigned writes keep the result
+  // byte-identical to the serial loop at any thread count.
+  util::TaskPool pool(num_threads);
+  const int workers = pool.num_workers();
+  int stripe = (num_genes + workers * 4 - 1) / (workers * 4);
+  stripe = std::max(stripe, 64);
+  std::vector<util::simd::SortScratch> scratches(
+      static_cast<size_t>(workers));
+  for (int begin = 0; begin < num_genes; begin += stripe) {
+    const int end = std::min(begin + stripe, num_genes);
+    pool.Submit([&, begin, end](int worker) {
+      build_range(begin, end, &scratches[static_cast<size_t>(worker)]);
+    });
+  }
+  pool.Wait();
+  return models;
 }
 
 }  // namespace core

@@ -20,9 +20,11 @@
 #ifndef REGCLUSTER_CORE_RWAVE_H_
 #define REGCLUSTER_CORE_RWAVE_H_
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
-#include "matrix/expression_matrix.h"
+#include "matrix/store.h"
 
 namespace regcluster {
 namespace util {
@@ -61,8 +63,8 @@ class RWaveModel {
 
   /// Convenience overload for a whole matrix row with the paper's relative
   /// threshold gamma in [0, 1]: gamma_i = gamma * (row max - row min), Eq. 4.
-  static RWaveModel BuildForGene(const matrix::ExpressionMatrix& data,
-                                 int gene, double gamma);
+  static RWaveModel BuildForGene(const matrix::MatrixStore& data, int gene,
+                                 double gamma);
 
   int num_conditions() const { return static_cast<int>(order_.size()); }
 
@@ -106,6 +108,16 @@ class RWaveModel {
   /// downward (including `pos` itself); >= 1.
   int MaxChainDown(int pos) const { return max_down_[static_cast<size_t>(pos)]; }
 
+  /// Heap bytes held by this model's tables (capacity, not size -- the
+  /// figure the ModelCache budget charges per entry).
+  size_t MemoryBytes() const {
+    return (order_.capacity() + pos_.capacity() + max_up_.capacity() +
+            max_down_.capacity()) *
+               sizeof(int) +
+           sorted_values_.capacity() * sizeof(double) +
+           pointers_.capacity() * sizeof(RegulationPointer);
+  }
+
  private:
   double gamma_abs_ = 0.0;
   std::vector<int> order_;            // position -> condition id
@@ -121,7 +133,11 @@ class RWaveModel {
 class RWaveSet {
  public:
   /// Builds all models.  `gamma` is the user parameter in [0, 1].
-  RWaveSet(const matrix::ExpressionMatrix& data, double gamma);
+  /// `num_threads` > 1 builds gene stripes in parallel on a TaskPool; the
+  /// models land in pre-assigned slots, so the result is byte-identical at
+  /// any thread count (0 = hardware concurrency).
+  explicit RWaveSet(const matrix::MatrixStore& data, double gamma,
+                    int num_threads = 1);
 
   const RWaveModel& model(int gene) const {
     return models_[static_cast<size_t>(gene)];
@@ -133,6 +149,16 @@ class RWaveSet {
   double gamma_;
   std::vector<RWaveModel> models_;
 };
+
+/// Builds one RWave model per gene of `data`, with the absolute threshold
+/// for gene g supplied by `gamma_abs_fn(g)`.  num_threads != 1 stripes gene
+/// ranges over a TaskPool (0 = hardware concurrency); every model lands in
+/// its pre-assigned slot, so the output is byte-identical at any thread
+/// count.  This is the shared bulk builder behind RWaveSet and the miner's
+/// SharedGammaModel.
+std::vector<RWaveModel> BuildRWaveModels(
+    const matrix::MatrixStore& data,
+    const std::function<double(int)>& gamma_abs_fn, int num_threads);
 
 }  // namespace core
 }  // namespace regcluster

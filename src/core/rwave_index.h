@@ -47,12 +47,31 @@ namespace core {
 
 class RWaveBitmapIndex {
  public:
+  /// Reusable per-builder scratch for BuildGene(): the suffix/prefix
+  /// position bitmaps of the gene being baked.  One instance per thread;
+  /// sized lazily on first use.
+  struct BuildScratch {
+    std::vector<uint64_t> suffix;
+    std::vector<uint64_t> prefix;
+  };
+
   /// Builds the index for all `models` (one per gene, each over
   /// `num_conditions` conditions).  Eligibility rows are materialized for
   /// chain requirements 0..max_chain_need; queries clamp into that range,
   /// so pass the largest MinC the caller will ask about.
   void Build(const std::vector<RWaveModel>& models, int num_conditions,
              int max_chain_need);
+
+  /// Striped build, for callers that materialize models lazily or bake
+  /// genes in parallel: BeginBuild() sizes every table (all rows zero,
+  /// shared ones row filled), then each gene is baked independently with
+  /// BuildGene().  BuildGene() writes only gene `gene`'s disjoint slices,
+  /// so distinct genes may be baked concurrently from different threads
+  /// (each with its own scratch); the result is byte-identical to Build()
+  /// regardless of order or interleaving.  Every gene must be baked exactly
+  /// once before the index is queried.
+  void BeginBuild(int num_genes, int num_conditions, int max_chain_need);
+  void BuildGene(int gene, const RWaveModel& model, BuildScratch* scratch);
 
   int num_genes() const { return num_genes_; }
   int num_conditions() const { return num_conditions_; }

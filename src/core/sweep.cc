@@ -42,7 +42,7 @@ bool GammaLooksValid(const MinerOptions& opts) {
 
 }  // namespace
 
-SweepEngine::SweepEngine(const matrix::ExpressionMatrix& data,
+SweepEngine::SweepEngine(const matrix::MatrixStore& data,
                          SweepOptions options)
     : data_(data), options_(std::move(options)) {}
 

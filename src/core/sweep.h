@@ -46,7 +46,7 @@
 #include <vector>
 
 #include "core/miner.h"
-#include "matrix/expression_matrix.h"
+#include "matrix/store.h"
 #include "util/cancellation.h"
 #include "util/status.h"
 
@@ -122,7 +122,7 @@ struct SweepReport {
 /// all work happens in Run().  The matrix must outlive the engine.
 class SweepEngine {
  public:
-  SweepEngine(const matrix::ExpressionMatrix& data, SweepOptions options);
+  SweepEngine(const matrix::MatrixStore& data, SweepOptions options);
 
   /// Runs every point.  Fails only on an empty point list or an invalid
   /// engine configuration; per-point option errors are recorded in the
@@ -131,7 +131,7 @@ class SweepEngine {
   util::StatusOr<SweepReport> Run(const std::vector<MinerOptions>& points);
 
  private:
-  const matrix::ExpressionMatrix& data_;
+  const matrix::MatrixStore& data_;
   SweepOptions options_;
 };
 

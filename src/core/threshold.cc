@@ -43,7 +43,7 @@ bool ParseGammaPolicy(const std::string& name, GammaPolicy* policy) {
   return true;
 }
 
-double AbsoluteGamma(const matrix::ExpressionMatrix& data, int gene,
+double AbsoluteGamma(const matrix::MatrixStore& data, int gene,
                      const GammaSpec& spec) {
   if (spec.policy == GammaPolicy::kAbsolute) return spec.gamma;
 

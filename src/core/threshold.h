@@ -12,7 +12,7 @@
 #ifndef REGCLUSTER_CORE_THRESHOLD_H_
 #define REGCLUSTER_CORE_THRESHOLD_H_
 
-#include "matrix/expression_matrix.h"
+#include "matrix/store.h"
 
 namespace regcluster {
 namespace core {
@@ -51,7 +51,7 @@ struct GammaSpec {
 
 /// Absolute threshold gamma_i for one gene under the spec.  NaN cells are
 /// ignored; an all-NaN or constant row yields 0 for the relative policies.
-double AbsoluteGamma(const matrix::ExpressionMatrix& data, int gene,
+double AbsoluteGamma(const matrix::MatrixStore& data, int gene,
                      const GammaSpec& spec);
 
 }  // namespace core

@@ -9,7 +9,7 @@ namespace eval {
 namespace {
 
 /// +1 / -1 / 0 direction of gene g along the chain at the given thresholds.
-int Direction(const matrix::ExpressionMatrix& data, int g,
+int Direction(const matrix::MatrixStore& data, int g,
               const std::vector<int>& chain,
               const core::GammaSpec& gamma_spec) {
   const double gabs = core::AbsoluteGamma(data, g, gamma_spec);
@@ -33,7 +33,7 @@ bool Contains(const std::vector<int>& v, int x) {
 
 }  // namespace
 
-bool TryMerge(const matrix::ExpressionMatrix& data,
+bool TryMerge(const matrix::MatrixStore& data,
               const core::RegCluster& a, const core::RegCluster& b,
               const core::GammaSpec& gamma_spec, double epsilon,
               core::RegCluster* merged) {
@@ -61,7 +61,7 @@ bool TryMerge(const matrix::ExpressionMatrix& data,
 }
 
 std::vector<core::RegCluster> MergeOverlapping(
-    const matrix::ExpressionMatrix& data,
+    const matrix::MatrixStore& data,
     std::vector<core::RegCluster> clusters, const ConsensusOptions& options) {
   bool changed = true;
   std::vector<bool> dead(clusters.size(), false);

@@ -15,7 +15,7 @@
 
 #include "core/bicluster.h"
 #include "core/threshold.h"
-#include "matrix/expression_matrix.h"
+#include "matrix/store.h"
 
 namespace regcluster {
 namespace eval {
@@ -34,14 +34,14 @@ struct ConsensusOptions {
 /// Greedy overlap merging.  Clusters whose union does not validate stay
 /// separate.  Output order: survivors in their original order.
 std::vector<core::RegCluster> MergeOverlapping(
-    const matrix::ExpressionMatrix& data,
+    const matrix::MatrixStore& data,
     std::vector<core::RegCluster> clusters, const ConsensusOptions& options);
 
 /// Attempts to fold cluster `b` into cluster `a`: keeps a's chain and adds
 /// every gene of b (deduplicated) whose profile complies with a's chain in
 /// either direction, then validates the result.  Returns true and writes
 /// *merged on success.
-bool TryMerge(const matrix::ExpressionMatrix& data,
+bool TryMerge(const matrix::MatrixStore& data,
               const core::RegCluster& a, const core::RegCluster& b,
               const core::GammaSpec& gamma_spec, double epsilon,
               core::RegCluster* merged);

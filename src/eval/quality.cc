@@ -10,7 +10,7 @@
 namespace regcluster {
 namespace eval {
 
-ClusterQuality ScoreCluster(const matrix::ExpressionMatrix& data,
+ClusterQuality ScoreCluster(const matrix::MatrixStore& data,
                             const core::RegCluster& cluster,
                             const core::GammaSpec& spec) {
   ClusterQuality q;
@@ -110,7 +110,7 @@ ClusterSetSummary Summarize(const std::vector<core::RegCluster>& clusters) {
   return s;
 }
 
-std::vector<int> RankClusters(const matrix::ExpressionMatrix& data,
+std::vector<int> RankClusters(const matrix::MatrixStore& data,
                               const std::vector<core::RegCluster>& clusters) {
   struct Entry {
     int index;

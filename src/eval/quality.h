@@ -10,7 +10,7 @@
 
 #include "core/bicluster.h"
 #include "core/threshold.h"
-#include "matrix/expression_matrix.h"
+#include "matrix/store.h"
 
 namespace regcluster {
 namespace eval {
@@ -35,7 +35,7 @@ struct ClusterQuality {
 
 /// Computes the intrinsic scores.  `spec` supplies the regulation-threshold
 /// policy used for the margin.
-ClusterQuality ScoreCluster(const matrix::ExpressionMatrix& data,
+ClusterQuality ScoreCluster(const matrix::MatrixStore& data,
                             const core::RegCluster& cluster,
                             const core::GammaSpec& spec = {});
 
@@ -58,7 +58,7 @@ ClusterSetSummary Summarize(const std::vector<core::RegCluster>& clusters);
 /// Returns indices of `clusters` sorted best-first by a composite quality
 /// rank: primarily more genes x conditions, ties broken by tighter
 /// coherence spread.
-std::vector<int> RankClusters(const matrix::ExpressionMatrix& data,
+std::vector<int> RankClusters(const matrix::MatrixStore& data,
                               const std::vector<core::RegCluster>& clusters);
 
 }  // namespace eval

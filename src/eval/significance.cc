@@ -50,7 +50,7 @@ bool FollowsChain(const std::vector<double>& profile,
 }  // namespace
 
 util::StatusOr<SignificanceResult> PermutationSignificance(
-    const matrix::ExpressionMatrix& data, const core::RegCluster& cluster,
+    const matrix::MatrixStore& data, const core::RegCluster& cluster,
     const SignificanceOptions& options) {
   if (cluster.chain.size() < 2 || cluster.num_genes() < 1) {
     return util::Status::InvalidArgument("degenerate cluster");

@@ -16,7 +16,7 @@
 
 #include "core/bicluster.h"
 #include "core/threshold.h"
-#include "matrix/expression_matrix.h"
+#include "matrix/store.h"
 #include "util/status.h"
 
 namespace regcluster {
@@ -46,7 +46,7 @@ struct SignificanceResult {
 /// Runs the permutation test for one cluster.  Fails on invalid clusters
 /// (empty chain / genes) or matrices with missing values.
 util::StatusOr<SignificanceResult> PermutationSignificance(
-    const matrix::ExpressionMatrix& data, const core::RegCluster& cluster,
+    const matrix::MatrixStore& data, const core::RegCluster& cluster,
     const SignificanceOptions& options = {});
 
 }  // namespace eval

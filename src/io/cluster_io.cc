@@ -11,7 +11,7 @@ namespace regcluster {
 namespace io {
 
 util::Status WriteReport(const std::vector<core::RegCluster>& clusters,
-                         const matrix::ExpressionMatrix* data,
+                         const matrix::MatrixStore* data,
                          std::ostream& out) {
   if (data != nullptr) {
     for (const core::RegCluster& c : clusters) {
@@ -159,7 +159,7 @@ util::StatusOr<std::vector<core::RegCluster>> LoadClusters(
 }
 
 util::Status WriteProfileCsv(const core::RegCluster& cluster,
-                             const matrix::ExpressionMatrix& data,
+                             const matrix::MatrixStore& data,
                              std::ostream& out) {
   for (int g : cluster.AllGenes()) {
     if (g < 0 || g >= data.num_genes()) {

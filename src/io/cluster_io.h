@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "core/bicluster.h"
-#include "matrix/expression_matrix.h"
+#include "matrix/store.h"
 #include "util/status.h"
 
 namespace regcluster {
@@ -29,7 +29,7 @@ namespace io {
 /// Writes the human-readable report.  `data` supplies names and values for
 /// the per-cluster profile dump; pass nullptr to omit values.
 util::Status WriteReport(const std::vector<core::RegCluster>& clusters,
-                         const matrix::ExpressionMatrix* data,
+                         const matrix::MatrixStore* data,
                          std::ostream& out);
 
 /// Writes the machine format.
@@ -52,7 +52,7 @@ util::StatusOr<std::vector<core::RegCluster>> LoadClusters(
 /// then one row per member gene ("member" is "p" or "n") with its values on
 /// the chain's conditions in chain order.
 util::Status WriteProfileCsv(const core::RegCluster& cluster,
-                             const matrix::ExpressionMatrix& data,
+                             const matrix::MatrixStore& data,
                              std::ostream& out);
 
 }  // namespace io

@@ -18,7 +18,7 @@ void WriteIntArray(std::ostream& out, const std::vector<int>& v) {
   out << ']';
 }
 
-void WriteNameArray(std::ostream& out, const matrix::ExpressionMatrix& data,
+void WriteNameArray(std::ostream& out, const matrix::MatrixStore& data,
                     const std::vector<int>& ids, bool genes) {
   out << '[';
   for (size_t i = 0; i < ids.size(); ++i) {
@@ -64,20 +64,20 @@ std::string JsonEscape(const std::string& s) {
 }
 
 util::Status WriteClustersJson(const std::vector<core::RegCluster>& clusters,
-                               const matrix::ExpressionMatrix* data,
+                               const matrix::MatrixStore* data,
                                std::ostream& out) {
   return WriteClustersJson(clusters, data, /*outcome=*/nullptr, out);
 }
 
 util::Status WriteClustersJson(const std::vector<core::RegCluster>& clusters,
-                               const matrix::ExpressionMatrix* data,
+                               const matrix::MatrixStore* data,
                                const core::MineOutcome* outcome,
                                std::ostream& out) {
   return WriteClustersJson(clusters, data, outcome, /*stats=*/nullptr, out);
 }
 
 util::Status WriteClustersJson(const std::vector<core::RegCluster>& clusters,
-                               const matrix::ExpressionMatrix* data,
+                               const matrix::MatrixStore* data,
                                const core::MineOutcome* outcome,
                                const core::MinerStats* stats,
                                std::ostream& out) {

@@ -43,7 +43,7 @@
 
 #include "core/bicluster.h"
 #include "core/miner.h"
-#include "matrix/expression_matrix.h"
+#include "matrix/store.h"
 #include "util/status.h"
 
 namespace regcluster {
@@ -52,14 +52,14 @@ namespace io {
 /// Writes the JSON document.  `data` (optional) supplies names; ids must be
 /// valid for it when given.
 util::Status WriteClustersJson(const std::vector<core::RegCluster>& clusters,
-                               const matrix::ExpressionMatrix* data,
+                               const matrix::MatrixStore* data,
                                std::ostream& out);
 
 /// Same, with a leading "outcome" block describing the partial-result
 /// contract of the Mine() call that produced `clusters` (pass
 /// miner.outcome()); `outcome == nullptr` writes the plain document.
 util::Status WriteClustersJson(const std::vector<core::RegCluster>& clusters,
-                               const matrix::ExpressionMatrix* data,
+                               const matrix::MatrixStore* data,
                                const core::MineOutcome* outcome,
                                std::ostream& out);
 
@@ -68,7 +68,7 @@ util::Status WriteClustersJson(const std::vector<core::RegCluster>& clusters,
 /// The counters are written even when they are all zero
 /// (collect_stats=false): a reader can rely on the keys being present.
 util::Status WriteClustersJson(const std::vector<core::RegCluster>& clusters,
-                               const matrix::ExpressionMatrix* data,
+                               const matrix::MatrixStore* data,
                                const core::MineOutcome* outcome,
                                const core::MinerStats* stats,
                                std::ostream& out);

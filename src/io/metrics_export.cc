@@ -151,6 +151,30 @@ util::Status RegisterMinerMetrics(const core::MinerStats& stats,
                    "every level is bit-identical",
                    static_cast<double>(static_cast<int>(outcome.simd_level)));
 
+  // Out-of-core telemetry (all 0 on the eager resident path).  With the
+  // model build forced serial the hit/miss totals are a pure function of
+  // the access sequence; under a parallel build racing misses on one gene
+  // can split differently, but hits + misses still equals total accesses.
+  REGCLUSTER_COUNTER("regcluster_model_cache_hits_total",
+                     "RWave model cache lookups served from a resident entry",
+                     outcome.model_cache_hits);
+  REGCLUSTER_COUNTER("regcluster_model_cache_misses_total",
+                     "RWave model cache lookups that built the model",
+                     outcome.model_cache_misses);
+  REGCLUSTER_COUNTER("regcluster_model_cache_evictions_total",
+                     "RWave models evicted past the cache byte budget",
+                     outcome.model_cache_evictions);
+  REGCLUSTER_GAUGE("regcluster_model_cache_resident_bytes",
+                   "Bytes of RWave models resident in the cache at run end",
+                   static_cast<double>(outcome.model_cache_resident_bytes));
+  REGCLUSTER_GAUGE("regcluster_model_bytes",
+                   "Heap bytes of the gamma model (index + models + cache)",
+                   static_cast<double>(outcome.model_bytes));
+  REGCLUSTER_GAUGE("regcluster_mapped_bytes",
+                   "Input matrix bytes served by a file mapping (0 when "
+                   "resident)",
+                   static_cast<double>(outcome.mapped_bytes));
+
 #undef REGCLUSTER_COUNTER
 #undef REGCLUSTER_GAUGE
   return util::Status::OK();

@@ -1,8 +1,5 @@
 #include "matrix/expression_matrix.h"
 
-#include <cmath>
-#include <limits>
-
 #include "util/string_util.h"
 
 namespace regcluster {
@@ -21,12 +18,13 @@ std::vector<std::string> DefaultNames(const char* prefix, int n) {
 }  // namespace
 
 ExpressionMatrix::ExpressionMatrix(int rows, int cols, double fill)
-    : rows_(rows),
-      cols_(cols),
-      data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill),
-      gene_names_(DefaultNames("g", rows)),
-      condition_names_(DefaultNames("c", cols)) {
+    : data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill) {
   assert(rows >= 0 && cols >= 0);
+  rows_ = rows;
+  cols_ = cols;
+  values_ = data_.data();
+  gene_names_ = DefaultNames("g", rows);
+  condition_names_ = DefaultNames("c", cols);
 }
 
 util::StatusOr<ExpressionMatrix> ExpressionMatrix::FromRows(
@@ -43,70 +41,6 @@ util::StatusOr<ExpressionMatrix> ExpressionMatrix::FromRows(
     for (int j = 0; j < c; ++j) m(i, j) = rows[static_cast<size_t>(i)][static_cast<size_t>(j)];
   }
   return m;
-}
-
-std::vector<double> ExpressionMatrix::Row(int gene) const {
-  const double* p = row_data(gene);
-  return std::vector<double>(p, p + cols_);
-}
-
-std::vector<double> ExpressionMatrix::RowOnConditions(
-    int gene, const std::vector<int>& conds) const {
-  std::vector<double> out;
-  out.reserve(conds.size());
-  for (int c : conds) out.push_back((*this)(gene, c));
-  return out;
-}
-
-util::Status ExpressionMatrix::SetGeneNames(std::vector<std::string> names) {
-  if (static_cast<int>(names.size()) != rows_) {
-    return util::Status::InvalidArgument("gene name count mismatch");
-  }
-  gene_names_ = std::move(names);
-  return util::Status::OK();
-}
-
-util::Status ExpressionMatrix::SetConditionNames(
-    std::vector<std::string> names) {
-  if (static_cast<int>(names.size()) != cols_) {
-    return util::Status::InvalidArgument("condition name count mismatch");
-  }
-  condition_names_ = std::move(names);
-  return util::Status::OK();
-}
-
-int ExpressionMatrix::FindGene(const std::string& name) const {
-  for (int i = 0; i < rows_; ++i) {
-    if (gene_names_[static_cast<size_t>(i)] == name) return i;
-  }
-  return -1;
-}
-
-int ExpressionMatrix::FindCondition(const std::string& name) const {
-  for (int j = 0; j < cols_; ++j) {
-    if (condition_names_[static_cast<size_t>(j)] == name) return j;
-  }
-  return -1;
-}
-
-std::pair<double, double> ExpressionMatrix::RowRange(int gene) const {
-  double lo = std::numeric_limits<double>::infinity();
-  double hi = -std::numeric_limits<double>::infinity();
-  const double* p = row_data(gene);
-  for (int j = 0; j < cols_; ++j) {
-    if (std::isnan(p[j])) continue;
-    lo = std::min(lo, p[j]);
-    hi = std::max(hi, p[j]);
-  }
-  if (lo > hi) return {0.0, 0.0};
-  return {lo, hi};
-}
-
-bool ExpressionMatrix::HasMissingValues() const {
-  for (double v : data_) {
-    if (std::isnan(v)) return true;
-  }
-  return false;
 }
 
 ExpressionMatrix ExpressionMatrix::Submatrix(
@@ -128,6 +62,11 @@ ExpressionMatrix ExpressionMatrix::Submatrix(
   (void)out.SetGeneNames(std::move(gnames));
   (void)out.SetConditionNames(std::move(cnames));
   return out;
+}
+
+int64_t ExpressionMatrix::resident_bytes() const {
+  return MatrixStore::resident_bytes() +
+         static_cast<int64_t>(data_.capacity() * sizeof(double));
 }
 
 }  // namespace matrix

@@ -5,21 +5,27 @@
 // algorithms address them by dense integer index.  Values are doubles;
 // missing values are quiet NaN and are imputed (or rejected) explicitly by
 // the caller -- see transforms.h.
+//
+// ExpressionMatrix is the mutable, heap-owned implementation of the
+// MatrixStore view (store.h); mmap-backed matrices (MappedMatrix) present
+// the same read interface without owning their payload.
 
 #ifndef REGCLUSTER_MATRIX_EXPRESSION_MATRIX_H_
 #define REGCLUSTER_MATRIX_EXPRESSION_MATRIX_H_
 
 #include <cassert>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "matrix/store.h"
 #include "util/status.h"
 
 namespace regcluster {
 namespace matrix {
 
 /// Dense row-major matrix of expression levels with named rows and columns.
-class ExpressionMatrix {
+class ExpressionMatrix : public MatrixStore {
  public:
   /// Creates an empty matrix (0 x 0).
   ExpressionMatrix() = default;
@@ -28,75 +34,53 @@ class ExpressionMatrix {
   /// labels ("g0", "g1", ... / "c0", "c1", ...).
   ExpressionMatrix(int rows, int cols, double fill = 0.0);
 
+  // The base caches a raw pointer into data_, so every copy/move rebinds it
+  // to the destination's own storage.
+  ExpressionMatrix(const ExpressionMatrix& other)
+      : MatrixStore(other), data_(other.data_) {
+    values_ = data_.data();
+  }
+  ExpressionMatrix(ExpressionMatrix&& other) noexcept
+      : MatrixStore(std::move(other)), data_(std::move(other.data_)) {
+    values_ = data_.data();
+    other.values_ = other.data_.data();
+  }
+  ExpressionMatrix& operator=(const ExpressionMatrix& other) {
+    MatrixStore::operator=(other);
+    data_ = other.data_;
+    values_ = data_.data();
+    return *this;
+  }
+  ExpressionMatrix& operator=(ExpressionMatrix&& other) noexcept {
+    MatrixStore::operator=(std::move(other));
+    data_ = std::move(other.data_);
+    values_ = data_.data();
+    other.values_ = other.data_.data();
+    return *this;
+  }
+
   /// Builds a matrix from explicit row data.  Every row must have the same
   /// length.  Labels are auto-generated.
   static util::StatusOr<ExpressionMatrix> FromRows(
       const std::vector<std::vector<double>>& rows);
 
-  int num_genes() const { return rows_; }
-  int num_conditions() const { return cols_; }
-
-  /// Element access (unchecked in release builds).
-  double operator()(int gene, int cond) const {
-    assert(gene >= 0 && gene < rows_ && cond >= 0 && cond < cols_);
-    return data_[static_cast<size_t>(gene) * cols_ + cond];
-  }
+  /// Element access (unchecked in release builds).  The const overload
+  /// comes from MatrixStore.
+  using MatrixStore::operator();
   double& operator()(int gene, int cond) {
     assert(gene >= 0 && gene < rows_ && cond >= 0 && cond < cols_);
     return data_[static_cast<size_t>(gene) * cols_ + cond];
   }
-
-  /// Pointer to the first element of a gene's profile (contiguous, length
-  /// num_conditions()).
-  const double* row_data(int gene) const {
-    assert(gene >= 0 && gene < rows_);
-    return data_.data() + static_cast<size_t>(gene) * cols_;
-  }
-
-  /// Copies a gene's full profile.
-  std::vector<double> Row(int gene) const;
-
-  /// Copies a gene's profile restricted to `conds`, in the order given.
-  std::vector<double> RowOnConditions(int gene,
-                                      const std::vector<int>& conds) const;
-
-  /// Row (gene) and column (condition) labels.
-  const std::string& gene_name(int gene) const { return gene_names_[gene]; }
-  const std::string& condition_name(int cond) const {
-    return condition_names_[cond];
-  }
-  const std::vector<std::string>& gene_names() const { return gene_names_; }
-  const std::vector<std::string>& condition_names() const {
-    return condition_names_;
-  }
-
-  /// Replaces all labels.  Sizes must match the matrix dimensions.
-  util::Status SetGeneNames(std::vector<std::string> names);
-  util::Status SetConditionNames(std::vector<std::string> names);
-
-  /// Index of the gene with the given name, or -1 if absent (linear scan;
-  /// intended for tests and small lookups).
-  int FindGene(const std::string& name) const;
-  int FindCondition(const std::string& name) const;
-
-  /// Min / max expression of a gene across all conditions, ignoring NaNs.
-  /// Returns {0, 0} for an all-NaN row.
-  std::pair<double, double> RowRange(int gene) const;
-
-  /// True if any cell is NaN.
-  bool HasMissingValues() const;
 
   /// Returns the submatrix restricted to the given genes and conditions (in
   /// the given orders), carrying labels along.
   ExpressionMatrix Submatrix(const std::vector<int>& genes,
                              const std::vector<int>& conds) const;
 
+  int64_t resident_bytes() const override;
+
  private:
-  int rows_ = 0;
-  int cols_ = 0;
   std::vector<double> data_;
-  std::vector<std::string> gene_names_;
-  std::vector<std::string> condition_names_;
 };
 
 }  // namespace matrix

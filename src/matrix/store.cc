@@ -1,0 +1,476 @@
+#include "matrix/store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "matrix/expression_matrix.h"
+#include "util/string_util.h"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define REGCLUSTER_HAVE_MMAP 1
+#endif
+
+namespace regcluster {
+namespace matrix {
+namespace {
+
+constexpr char kMagic[8] = {'R', 'G', 'C', 'X', 'M', 'A', 'T', '1'};
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kEndianTag = 0x01020304u;
+constexpr uint32_t kEndianTagSwapped = 0x04030201u;
+constexpr size_t kHeaderBytes = 64;
+constexpr size_t kPayloadAlign = 4096;  // page aligned for the mapping
+// A dimension cap that keeps rows * cols * 8 far from size_t overflow while
+// allowing matrices three orders of magnitude past the 100k-gene target.
+constexpr uint32_t kMaxDim = 1u << 30;
+
+struct Header {
+  uint32_t rows = 0;
+  uint32_t cols = 0;
+  uint64_t values_offset = 0;
+  uint64_t names_offset = 0;
+  uint64_t names_bytes = 0;
+  uint64_t file_bytes = 0;
+};
+
+void PutU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+void PutU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Validates the fixed 64-byte header against the actual file size.  Every
+/// failure is a kCorruption status naming the offending field.
+util::Status ParseHeader(const uint8_t* raw, uint64_t actual_file_bytes,
+                         Header* out) {
+  if (actual_file_bytes < kHeaderBytes) {
+    return util::Status::Corruption(util::StrFormat(
+        "truncated header: file is %lld bytes, header needs %d",
+        static_cast<long long>(actual_file_bytes),
+        static_cast<int>(kHeaderBytes)));
+  }
+  if (std::memcmp(raw, kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::Corruption(
+        "bad magic: not a regcluster binary matrix");
+  }
+  const uint32_t version = GetU32(raw + 8);
+  if (version != kVersion) {
+    return util::Status::Corruption(
+        util::StrFormat("unsupported binary matrix version %u (reader "
+                        "understands version %u)",
+                        version, kVersion));
+  }
+  const uint32_t endian = GetU32(raw + 12);
+  if (endian == kEndianTagSwapped) {
+    return util::Status::Corruption(
+        "endianness mismatch: file was written on an opposite-endian "
+        "machine");
+  }
+  if (endian != kEndianTag) {
+    return util::Status::Corruption(
+        util::StrFormat("bad endianness tag 0x%08x", endian));
+  }
+  out->rows = GetU32(raw + 16);
+  out->cols = GetU32(raw + 20);
+  out->values_offset = GetU64(raw + 24);
+  out->names_offset = GetU64(raw + 32);
+  out->names_bytes = GetU64(raw + 40);
+  out->file_bytes = GetU64(raw + 48);
+  if (out->rows > kMaxDim || out->cols > kMaxDim) {
+    return util::Status::Corruption(
+        util::StrFormat("implausible dimensions %u x %u", out->rows,
+                        out->cols));
+  }
+  if (out->file_bytes != actual_file_bytes) {
+    return util::Status::Corruption(util::StrFormat(
+        "file size mismatch: header records %llu bytes, file has %llu "
+        "(truncated or over-appended)",
+        static_cast<unsigned long long>(out->file_bytes),
+        static_cast<unsigned long long>(actual_file_bytes)));
+  }
+  if (out->names_offset < kHeaderBytes ||
+      out->names_offset + out->names_bytes < out->names_offset ||
+      out->names_offset + out->names_bytes > actual_file_bytes) {
+    return util::Status::Corruption("label section out of file bounds");
+  }
+  const uint64_t payload_bytes =
+      static_cast<uint64_t>(out->rows) * out->cols * sizeof(double);
+  if (out->values_offset % sizeof(double) != 0) {
+    return util::Status::Corruption(util::StrFormat(
+        "values offset %llu is not 8-byte aligned",
+        static_cast<unsigned long long>(out->values_offset)));
+  }
+  if (out->values_offset < kHeaderBytes ||
+      out->values_offset + payload_bytes < out->values_offset ||
+      out->values_offset + payload_bytes > actual_file_bytes) {
+    return util::Status::Corruption(util::StrFormat(
+        "truncated values section: %u x %u doubles need %llu bytes at "
+        "offset %llu, file has %llu",
+        out->rows, out->cols,
+        static_cast<unsigned long long>(payload_bytes),
+        static_cast<unsigned long long>(out->values_offset),
+        static_cast<unsigned long long>(actual_file_bytes)));
+  }
+  return util::Status::OK();
+}
+
+/// Decodes the label section: `count` strings of u32 length + bytes.
+util::Status ReadNames(const uint8_t* base, uint64_t limit, uint64_t* pos,
+                       int count, const char* what,
+                       std::vector<std::string>* out) {
+  out->clear();
+  out->reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    if (*pos + sizeof(uint32_t) > limit) {
+      return util::Status::Corruption(util::StrFormat(
+          "label section overrun reading %s name %d of %d", what, i + 1,
+          count));
+    }
+    const uint32_t len = GetU32(base + *pos);
+    *pos += sizeof(uint32_t);
+    if (*pos + len > limit) {
+      return util::Status::Corruption(util::StrFormat(
+          "label section overrun: %s name %d of %d claims %u bytes", what,
+          i + 1, count, len));
+    }
+    out->emplace_back(reinterpret_cast<const char*>(base + *pos), len);
+    *pos += len;
+  }
+  return util::Status::OK();
+}
+
+struct ParsedFile {
+  Header header;
+  std::vector<std::string> gene_names;
+  std::vector<std::string> condition_names;
+};
+
+/// Header + labels from a fully readable byte range.
+util::Status ParseFile(const uint8_t* data, uint64_t size, ParsedFile* out) {
+  REGCLUSTER_RETURN_IF_ERROR(ParseHeader(data, size, &out->header));
+  const Header& h = out->header;
+  uint64_t pos = h.names_offset;
+  const uint64_t limit = h.names_offset + h.names_bytes;
+  REGCLUSTER_RETURN_IF_ERROR(ReadNames(data, limit, &pos,
+                                       static_cast<int>(h.rows), "gene",
+                                       &out->gene_names));
+  REGCLUSTER_RETURN_IF_ERROR(ReadNames(data, limit, &pos,
+                                       static_cast<int>(h.cols), "condition",
+                                       &out->condition_names));
+  return util::Status::OK();
+}
+
+/// Reads the whole file into `bytes`.  kIoError when unreadable.
+util::Status SlurpFile(const std::string& path, std::vector<uint8_t>* bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    return util::Status::IoError("cannot open " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return util::Status::IoError("cannot stat " + path);
+  }
+  bytes->resize(static_cast<size_t>(size));
+  const size_t got = size == 0 ? 0 : std::fread(bytes->data(), 1,
+                                                bytes->size(), f);
+  std::fclose(f);
+  if (got != bytes->size()) {
+    return util::Status::IoError("short read on " + path);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+std::vector<double> MatrixStore::Row(int gene) const {
+  const double* p = row_data(gene);
+  return std::vector<double>(p, p + cols_);
+}
+
+std::vector<double> MatrixStore::RowOnConditions(
+    int gene, const std::vector<int>& conds) const {
+  std::vector<double> out;
+  out.reserve(conds.size());
+  for (int c : conds) out.push_back((*this)(gene, c));
+  return out;
+}
+
+util::Status MatrixStore::SetGeneNames(std::vector<std::string> names) {
+  if (static_cast<int>(names.size()) != rows_) {
+    return util::Status::InvalidArgument("gene name count mismatch");
+  }
+  gene_names_ = std::move(names);
+  return util::Status::OK();
+}
+
+util::Status MatrixStore::SetConditionNames(std::vector<std::string> names) {
+  if (static_cast<int>(names.size()) != cols_) {
+    return util::Status::InvalidArgument("condition name count mismatch");
+  }
+  condition_names_ = std::move(names);
+  return util::Status::OK();
+}
+
+int MatrixStore::FindGene(const std::string& name) const {
+  for (int i = 0; i < rows_; ++i) {
+    if (gene_names_[static_cast<size_t>(i)] == name) return i;
+  }
+  return -1;
+}
+
+int MatrixStore::FindCondition(const std::string& name) const {
+  for (int j = 0; j < cols_; ++j) {
+    if (condition_names_[static_cast<size_t>(j)] == name) return j;
+  }
+  return -1;
+}
+
+std::pair<double, double> MatrixStore::RowRange(int gene) const {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  const double* p = row_data(gene);
+  for (int j = 0; j < cols_; ++j) {
+    if (std::isnan(p[j])) continue;
+    lo = std::min(lo, p[j]);
+    hi = std::max(hi, p[j]);
+  }
+  if (lo > hi) return {0.0, 0.0};
+  return {lo, hi};
+}
+
+bool MatrixStore::HasMissingValues() const {
+  const size_t n = static_cast<size_t>(rows_) * cols_;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::isnan(values_[i])) return true;
+  }
+  return false;
+}
+
+int64_t MatrixStore::resident_bytes() const {
+  int64_t bytes = 0;
+  for (const std::string& s : gene_names_) {
+    bytes += static_cast<int64_t>(sizeof(std::string) + s.capacity());
+  }
+  for (const std::string& s : condition_names_) {
+    bytes += static_cast<int64_t>(sizeof(std::string) + s.capacity());
+  }
+  return bytes;
+}
+
+MappedMatrix::~MappedMatrix() { Release(); }
+
+MappedMatrix::MappedMatrix(MappedMatrix&& other) noexcept
+    : MatrixStore(std::move(other)),
+      map_base_(other.map_base_),
+      map_len_(other.map_len_),
+      heap_values_(std::move(other.heap_values_)) {
+  if (!map_base_) values_ = heap_values_.data();
+  other.map_base_ = nullptr;
+  other.map_len_ = 0;
+  other.values_ = nullptr;
+  other.rows_ = 0;
+  other.cols_ = 0;
+}
+
+MappedMatrix& MappedMatrix::operator=(MappedMatrix&& other) noexcept {
+  if (this == &other) return *this;
+  Release();
+  MatrixStore::operator=(std::move(other));
+  map_base_ = other.map_base_;
+  map_len_ = other.map_len_;
+  heap_values_ = std::move(other.heap_values_);
+  if (!map_base_) values_ = heap_values_.data();
+  other.map_base_ = nullptr;
+  other.map_len_ = 0;
+  other.values_ = nullptr;
+  other.rows_ = 0;
+  other.cols_ = 0;
+  return *this;
+}
+
+void MappedMatrix::Release() {
+#ifdef REGCLUSTER_HAVE_MMAP
+  if (map_base_) ::munmap(map_base_, map_len_);
+#endif
+  map_base_ = nullptr;
+  map_len_ = 0;
+  heap_values_.clear();
+  values_ = nullptr;
+}
+
+util::StatusOr<MappedMatrix> MappedMatrix::Open(const std::string& path) {
+  MappedMatrix m;
+#ifdef REGCLUSTER_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return util::Status::IoError("cannot open " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return util::Status::IoError("cannot stat " + path);
+  }
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+  if (size < kHeaderBytes) {
+    ::close(fd);
+    Header dummy;
+    uint8_t empty[kHeaderBytes] = {0};
+    return ParseHeader(empty, size, &dummy);  // canonical truncation error
+  }
+  void* base = ::mmap(nullptr, static_cast<size_t>(size), PROT_READ,
+                      MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    return util::Status::IoError("mmap failed for " + path);
+  }
+  ParsedFile parsed;
+  util::Status s =
+      ParseFile(static_cast<const uint8_t*>(base), size, &parsed);
+  if (!s.ok()) {
+    ::munmap(base, static_cast<size_t>(size));
+    return s;
+  }
+  m.map_base_ = base;
+  m.map_len_ = static_cast<size_t>(size);
+  m.rows_ = static_cast<int>(parsed.header.rows);
+  m.cols_ = static_cast<int>(parsed.header.cols);
+  m.values_ = reinterpret_cast<const double*>(
+      static_cast<const uint8_t*>(base) + parsed.header.values_offset);
+  m.gene_names_ = std::move(parsed.gene_names);
+  m.condition_names_ = std::move(parsed.condition_names);
+  return m;
+#else
+  // No mmap on this platform: fall back to a private heap copy with the
+  // same validation and accessor semantics (mapped_bytes() reports 0).
+  std::vector<uint8_t> bytes;
+  REGCLUSTER_RETURN_IF_ERROR(SlurpFile(path, &bytes));
+  ParsedFile parsed;
+  REGCLUSTER_RETURN_IF_ERROR(
+      ParseFile(bytes.data(), bytes.size(), &parsed));
+  const size_t n = static_cast<size_t>(parsed.header.rows) *
+                   parsed.header.cols;
+  m.heap_values_.resize(n);
+  std::memcpy(m.heap_values_.data(), bytes.data() + parsed.header.values_offset,
+              n * sizeof(double));
+  m.rows_ = static_cast<int>(parsed.header.rows);
+  m.cols_ = static_cast<int>(parsed.header.cols);
+  m.values_ = m.heap_values_.data();
+  m.gene_names_ = std::move(parsed.gene_names);
+  m.condition_names_ = std::move(parsed.condition_names);
+  return m;
+#endif
+}
+
+int64_t MappedMatrix::resident_bytes() const {
+  return MatrixStore::resident_bytes() +
+         static_cast<int64_t>(heap_values_.capacity() * sizeof(double));
+}
+
+util::Status WriteBinaryMatrix(const MatrixStore& m, const std::string& path) {
+  // Render the label section first so the header can point past it.
+  std::vector<uint8_t> names;
+  const auto append_name = [&names](const std::string& s) {
+    uint8_t len[4];
+    PutU32(len, static_cast<uint32_t>(s.size()));
+    names.insert(names.end(), len, len + 4);
+    names.insert(names.end(), s.begin(), s.end());
+  };
+  for (int g = 0; g < m.num_genes(); ++g) append_name(m.gene_name(g));
+  for (int c = 0; c < m.num_conditions(); ++c) {
+    append_name(m.condition_name(c));
+  }
+
+  const uint64_t names_offset = kHeaderBytes;
+  const uint64_t names_end = names_offset + names.size();
+  const uint64_t values_offset =
+      (names_end + kPayloadAlign - 1) / kPayloadAlign * kPayloadAlign;
+  const uint64_t payload_bytes = static_cast<uint64_t>(m.num_genes()) *
+                                 m.num_conditions() * sizeof(double);
+  const uint64_t file_bytes = values_offset + payload_bytes;
+
+  uint8_t header[kHeaderBytes] = {0};
+  std::memcpy(header, kMagic, sizeof(kMagic));
+  PutU32(header + 8, kVersion);
+  PutU32(header + 12, kEndianTag);
+  PutU32(header + 16, static_cast<uint32_t>(m.num_genes()));
+  PutU32(header + 20, static_cast<uint32_t>(m.num_conditions()));
+  PutU64(header + 24, values_offset);
+  PutU64(header + 32, names_offset);
+  PutU64(header + 40, names.size());
+  PutU64(header + 48, file_bytes);
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    return util::Status::IoError("cannot open " + path + " for writing");
+  }
+  bool ok = std::fwrite(header, 1, kHeaderBytes, f) == kHeaderBytes;
+  ok = ok && (names.empty() ||
+              std::fwrite(names.data(), 1, names.size(), f) == names.size());
+  const std::vector<uint8_t> pad(
+      static_cast<size_t>(values_offset - names_end), 0);
+  ok = ok && (pad.empty() ||
+              std::fwrite(pad.data(), 1, pad.size(), f) == pad.size());
+  // One gene profile at a time: the writer never needs the whole payload
+  // contiguous, so converting never doubles peak memory.
+  for (int g = 0; ok && g < m.num_genes(); ++g) {
+    ok = std::fwrite(m.row_data(g), sizeof(double),
+                     static_cast<size_t>(m.num_conditions()),
+                     f) == static_cast<size_t>(m.num_conditions());
+  }
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(path.c_str());
+    return util::Status::IoError("short write on " + path);
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<ExpressionMatrix> ReadBinaryMatrix(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  REGCLUSTER_RETURN_IF_ERROR(SlurpFile(path, &bytes));
+  ParsedFile parsed;
+  REGCLUSTER_RETURN_IF_ERROR(ParseFile(bytes.data(), bytes.size(), &parsed));
+  ExpressionMatrix m(static_cast<int>(parsed.header.rows),
+                     static_cast<int>(parsed.header.cols));
+  if (m.num_genes() > 0 && m.num_conditions() > 0) {
+    std::memcpy(&m(0, 0), bytes.data() + parsed.header.values_offset,
+                static_cast<size_t>(m.num_genes()) * m.num_conditions() *
+                    sizeof(double));
+  }
+  REGCLUSTER_RETURN_IF_ERROR(m.SetGeneNames(std::move(parsed.gene_names)));
+  REGCLUSTER_RETURN_IF_ERROR(
+      m.SetConditionNames(std::move(parsed.condition_names)));
+  return m;
+}
+
+util::StatusOr<bool> IsBinaryMatrixFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    return util::Status::IoError("cannot open " + path);
+  }
+  char magic[sizeof(kMagic)];
+  const size_t got = std::fread(magic, 1, sizeof(magic), f);
+  std::fclose(f);
+  return got == sizeof(kMagic) &&
+         std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+}
+
+}  // namespace matrix
+}  // namespace regcluster

@@ -1,0 +1,197 @@
+// Storage abstraction over the dense expression matrix, plus the binary
+// on-disk format that backs out-of-core mining.
+//
+// MatrixStore is the read-only view every consumer in src/core addresses:
+// dense (gene, condition) doubles with a flat, gene-profile-contiguous
+// payload (`values()` / `row_data()`), named rows and columns, and byte
+// accounting that distinguishes heap-resident from mmap-backed storage.
+// Two implementations exist:
+//
+//   * ExpressionMatrix (expression_matrix.h) -- the mutable in-memory
+//     matrix, payload owned by a std::vector<double>;
+//   * MappedMatrix (below) -- an immutable view of a binary matrix file
+//     mapped into the address space, so the payload competes for physical
+//     memory only through the page cache and can be reclaimed under
+//     pressure instead of counting against the miner's budget.
+//
+// The hot accessors are deliberately non-virtual: they read protected
+// fields set once by the concrete class, so a MatrixStore& in the miner's
+// inner loop costs the same as the concrete matrix did.
+//
+// On-disk layout (version 1): the payload is stored column-major over the
+// paper's conditions x genes orientation -- i.e. each gene's profile is
+// contiguous, matching the in-memory layout -- so a mapped file serves the
+// miner's flat base pointer directly, with no deserialization pass.
+//
+//   offset 0    8 bytes   magic "RGCXMAT1"
+//          8    u32       format version (1)
+//         12    u32       endianness tag 0x01020304, written in host order
+//         16    u32       num_genes
+//         20    u32       num_conditions
+//         24    u64       byte offset of the values payload (page aligned)
+//         32    u64       byte offset of the label section
+//         40    u64       byte length of the label section
+//         48    u64       total file size in bytes (truncation check)
+//         56    8 bytes   reserved, zero
+//   labels     num_genes then num_conditions strings, each u32 length +
+//              raw bytes (no terminator)
+//   values     num_genes * num_conditions doubles, gene-major
+//
+// Every structural violation (short header, bad magic, foreign byte order,
+// section overrun, size mismatch) is a distinct kCorruption Status naming
+// the field, mirroring the text reader's error contract (matrix_io.h).
+
+#ifndef REGCLUSTER_MATRIX_STORE_H_
+#define REGCLUSTER_MATRIX_STORE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace regcluster {
+namespace matrix {
+
+class ExpressionMatrix;
+
+/// Read-only dense matrix view: the single input type of the mining core.
+class MatrixStore {
+ public:
+  virtual ~MatrixStore() = default;
+
+  int num_genes() const { return rows_; }
+  int num_conditions() const { return cols_; }
+
+  /// Element access (unchecked in release builds).
+  double operator()(int gene, int cond) const {
+    assert(gene >= 0 && gene < rows_ && cond >= 0 && cond < cols_);
+    return values_[static_cast<size_t>(gene) * cols_ + cond];
+  }
+
+  /// Pointer to the first element of a gene's profile (contiguous, length
+  /// num_conditions()).  row_data(0) is the base of the whole payload:
+  /// gene g's profile starts g * num_conditions() doubles later.
+  const double* row_data(int gene) const {
+    assert(gene >= 0 && gene < rows_);
+    return values_ + static_cast<size_t>(gene) * cols_;
+  }
+
+  /// Copies a gene's full profile.
+  std::vector<double> Row(int gene) const;
+
+  /// Copies a gene's profile restricted to `conds`, in the order given.
+  std::vector<double> RowOnConditions(int gene,
+                                      const std::vector<int>& conds) const;
+
+  /// Row (gene) and column (condition) labels.
+  const std::string& gene_name(int gene) const {
+    return gene_names_[static_cast<size_t>(gene)];
+  }
+  const std::string& condition_name(int cond) const {
+    return condition_names_[static_cast<size_t>(cond)];
+  }
+  const std::vector<std::string>& gene_names() const { return gene_names_; }
+  const std::vector<std::string>& condition_names() const {
+    return condition_names_;
+  }
+
+  /// Replaces all labels.  Sizes must match the matrix dimensions.
+  util::Status SetGeneNames(std::vector<std::string> names);
+  util::Status SetConditionNames(std::vector<std::string> names);
+
+  /// Index of the gene with the given name, or -1 if absent (linear scan;
+  /// intended for tests and small lookups).
+  int FindGene(const std::string& name) const;
+  int FindCondition(const std::string& name) const;
+
+  /// Min / max expression of a gene across all conditions, ignoring NaNs.
+  /// Returns {0, 0} for an all-NaN row.
+  std::pair<double, double> RowRange(int gene) const;
+
+  /// True if any cell is NaN.
+  bool HasMissingValues() const;
+
+  /// Heap bytes owned by this store (labels plus any heap payload).
+  virtual int64_t resident_bytes() const;
+
+  /// Bytes of payload served through a file mapping (0 for heap stores).
+  /// Mapped pages are reclaimable clean pages, not committed heap, so the
+  /// miner's memory budget accounts them separately.
+  virtual int64_t mapped_bytes() const { return 0; }
+
+ protected:
+  MatrixStore() = default;
+  // Copying the base copies dimensions and labels; the concrete class must
+  // rebind `values_` to its own payload afterwards (the pointer targets
+  // storage the base does not own).
+  MatrixStore(const MatrixStore&) = default;
+  MatrixStore(MatrixStore&&) noexcept = default;
+  MatrixStore& operator=(const MatrixStore&) = default;
+  MatrixStore& operator=(MatrixStore&&) noexcept = default;
+
+  int rows_ = 0;
+  int cols_ = 0;
+  /// Flat gene-major payload, rows_ * cols_ doubles; set by the concrete
+  /// class and rebound on every copy/move/resize of the backing storage.
+  const double* values_ = nullptr;
+  std::vector<std::string> gene_names_;
+  std::vector<std::string> condition_names_;
+};
+
+/// An immutable MatrixStore view of a binary matrix file, mapped into the
+/// address space (falling back to a private heap copy where mmap is
+/// unavailable).  Movable, not copyable; the mapping lives until
+/// destruction.
+class MappedMatrix : public MatrixStore {
+ public:
+  MappedMatrix() = default;
+  ~MappedMatrix() override;
+
+  MappedMatrix(const MappedMatrix&) = delete;
+  MappedMatrix& operator=(const MappedMatrix&) = delete;
+  MappedMatrix(MappedMatrix&& other) noexcept;
+  MappedMatrix& operator=(MappedMatrix&& other) noexcept;
+
+  /// Maps the binary matrix at `path`.  Fails with kIoError when the file
+  /// cannot be opened and kCorruption when it is not a valid version-1
+  /// binary matrix (see the header-format contract above).
+  static util::StatusOr<MappedMatrix> Open(const std::string& path);
+
+  /// True when the payload is served by an actual file mapping (false on
+  /// the heap fallback path).
+  bool is_mapped() const { return map_base_ != nullptr; }
+
+  int64_t resident_bytes() const override;
+  int64_t mapped_bytes() const override {
+    return static_cast<int64_t>(map_len_);
+  }
+
+ private:
+  void Release();
+
+  void* map_base_ = nullptr;
+  size_t map_len_ = 0;
+  std::vector<double> heap_values_;  // fallback payload when not mapped
+};
+
+/// Writes `m` to `path` in the binary format described above.  NaNs are
+/// stored verbatim; convert-time imputation is the supported way to clear
+/// them (the miner rejects missing values in any store).
+util::Status WriteBinaryMatrix(const MatrixStore& m, const std::string& path);
+
+/// Reads a binary matrix fully into the heap.  Same validation as
+/// MappedMatrix::Open; useful for tools and tests that want a mutable copy.
+util::StatusOr<ExpressionMatrix> ReadBinaryMatrix(const std::string& path);
+
+/// True when the file at `path` starts with the binary-matrix magic.  A
+/// short or magic-less file is simply `false` (it may be a text matrix);
+/// only an unreadable file is an error.
+util::StatusOr<bool> IsBinaryMatrixFile(const std::string& path);
+
+}  // namespace matrix
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_MATRIX_STORE_H_

@@ -90,7 +90,7 @@ StopReason BudgetGuard::Poll(int slot, int64_t slot_bytes) {
   if (deadline_.Expired()) Trip(StopReason::kDeadline);
   if (slot >= 0 && slot < static_cast<int>(slot_bytes_.size())) {
     slot_bytes_[slot].store(slot_bytes, std::memory_order_relaxed);
-    int64_t total = 0;
+    int64_t total = base_bytes_.load(std::memory_order_relaxed);
     for (const auto& bytes : slot_bytes_) {
       total += bytes.load(std::memory_order_relaxed);
     }

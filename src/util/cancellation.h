@@ -171,6 +171,17 @@ class BudgetGuard {
   /// totals) and latches the first violation.  Returns reason().
   StopReason Poll(int slot, int64_t slot_bytes);
 
+  /// Fixed byte component added to every Poll()'s summed slot total (and
+  /// hence to peak_bytes()).  Out-of-core miners report their mapped matrix
+  /// + resident model bytes here exactly once, instead of inflating every
+  /// worker's slot.
+  void set_base_bytes(int64_t bytes) {
+    base_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  int64_t base_bytes() const {
+    return base_bytes_.load(std::memory_order_relaxed);
+  }
+
   int64_t total_nodes() const {
     return nodes_.load(std::memory_order_relaxed);
   }
@@ -200,6 +211,7 @@ class BudgetGuard {
   std::atomic<int64_t> clusters_{0};
   std::atomic<int64_t> peak_bytes_{0};
   std::atomic<int64_t> polls_{0};
+  std::atomic<int64_t> base_bytes_{0};
   std::vector<std::atomic<int64_t>> slot_bytes_;
 };
 

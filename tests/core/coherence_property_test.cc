@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/coherence.h"
+#include "matrix/expression_matrix.h"
 #include "util/math_util.h"
 #include "util/prng.h"
 

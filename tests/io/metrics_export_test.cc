@@ -1,0 +1,106 @@
+// Export-stability contract for the miner metrics surface: dashboards key
+// on metric names, so every published name must appear in both the JSON and
+// Prometheus renderings, including the out-of-core cache telemetry added
+// alongside the mmap-backed mining path.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gmock/gmock.h"
+#include "gtest/gtest.h"
+#include "core/miner.h"
+#include "io/metrics_export.h"
+
+namespace regcluster {
+namespace io {
+namespace {
+
+using ::testing::HasSubstr;
+
+core::MineOutcome FilledOutcome() {
+  core::MineOutcome outcome;
+  outcome.model_cache_hits = 11;
+  outcome.model_cache_misses = 7;
+  outcome.model_cache_evictions = 3;
+  outcome.model_cache_resident_bytes = 4096;
+  outcome.model_bytes = 8192;
+  outcome.mapped_bytes = 1 << 20;
+  return outcome;
+}
+
+const std::vector<std::string>& CacheMetricNames() {
+  static const std::vector<std::string> names = {
+      "regcluster_model_cache_hits_total",
+      "regcluster_model_cache_misses_total",
+      "regcluster_model_cache_evictions_total",
+      "regcluster_model_cache_resident_bytes",
+      "regcluster_model_bytes",
+      "regcluster_mapped_bytes",
+  };
+  return names;
+}
+
+TEST(MetricsExportTest, JsonContainsOutOfCoreNames) {
+  std::ostringstream out;
+  ASSERT_TRUE(WriteMinerMetrics(core::MinerStats{}, FilledOutcome(),
+                                MetricsFormat::kJson, out)
+                  .ok());
+  for (const std::string& name : CacheMetricNames()) {
+    EXPECT_THAT(out.str(), HasSubstr("\"" + name + "\"")) << name;
+  }
+}
+
+TEST(MetricsExportTest, PrometheusContainsOutOfCoreNames) {
+  std::ostringstream out;
+  ASSERT_TRUE(WriteMinerMetrics(core::MinerStats{}, FilledOutcome(),
+                                MetricsFormat::kPrometheus, out)
+                  .ok());
+  const std::string text = out.str();
+  for (const std::string& name : CacheMetricNames()) {
+    EXPECT_THAT(text, HasSubstr("\n" + name + " ")) << name;
+    EXPECT_THAT(text, HasSubstr("# HELP " + name)) << name;
+  }
+}
+
+TEST(MetricsExportTest, ValuesSurviveBothRenderings) {
+  std::ostringstream json;
+  std::ostringstream prom;
+  ASSERT_TRUE(WriteMinerMetrics(core::MinerStats{}, FilledOutcome(),
+                                MetricsFormat::kJson, json)
+                  .ok());
+  ASSERT_TRUE(WriteMinerMetrics(core::MinerStats{}, FilledOutcome(),
+                                MetricsFormat::kPrometheus, prom)
+                  .ok());
+  EXPECT_THAT(json.str(), HasSubstr("11"));  // hits
+  EXPECT_THAT(prom.str(), HasSubstr("regcluster_model_cache_hits_total 11"));
+  EXPECT_THAT(prom.str(),
+              HasSubstr("regcluster_model_cache_misses_total 7"));
+  EXPECT_THAT(prom.str(),
+              HasSubstr("regcluster_model_cache_evictions_total 3"));
+}
+
+TEST(MetricsExportTest, EagerRunExportsZerosNotAbsence) {
+  // The names must exist even on the resident path so dashboards never see
+  // a series vanish when a run switches execution modes.
+  std::ostringstream out;
+  ASSERT_TRUE(WriteMinerMetrics(core::MinerStats{}, core::MineOutcome{},
+                                MetricsFormat::kPrometheus, out)
+                  .ok());
+  EXPECT_THAT(out.str(), HasSubstr("regcluster_model_cache_hits_total 0"));
+  EXPECT_THAT(out.str(), HasSubstr("regcluster_mapped_bytes 0"));
+}
+
+TEST(MetricsExportTest, ParseFormatRoundTrips) {
+  auto json = ParseMetricsFormat("json");
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(*json, MetricsFormat::kJson);
+  auto prom = ParseMetricsFormat("prom");
+  ASSERT_TRUE(prom.ok());
+  EXPECT_EQ(*prom, MetricsFormat::kPrometheus);
+  EXPECT_FALSE(ParseMetricsFormat("xml").ok());
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace regcluster

@@ -1,0 +1,221 @@
+// Hardened binary-format error paths, mirroring the text reader's
+// malformed-input suite (matrix_io_malformed_test.cc): every structural
+// violation of the 64-byte header or the label/values sections must come
+// back as a kCorruption Status naming the offending field -- never a crash,
+// never a silently wrong matrix.  Both readers (MappedMatrix::Open and
+// ReadBinaryMatrix) share the validation, so each corruption is checked
+// through both.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gmock/gmock.h"
+#include "gtest/gtest.h"
+#include "matrix/expression_matrix.h"
+#include "matrix/store.h"
+#include "util/status.h"
+
+namespace regcluster {
+namespace matrix {
+namespace {
+
+using ::testing::AllOf;
+using ::testing::HasSubstr;
+
+// Header field offsets of the version-1 layout (see store.h).
+constexpr size_t kOffVersion = 8;
+constexpr size_t kOffEndian = 12;
+constexpr size_t kOffRows = 16;
+constexpr size_t kOffValuesOffset = 24;
+constexpr size_t kOffNamesOffset = 32;
+constexpr size_t kOffFileBytes = 48;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Bytes of a small valid binary matrix file.
+std::vector<char> ValidFileBytes() {
+  ExpressionMatrix m(3, 4);
+  for (int g = 0; g < 3; ++g) {
+    for (int c = 0; c < 4; ++c) m(g, c) = g * 10.0 + c;
+  }
+  const std::string path = TempPath("store_malformed_seed.rgx");
+  EXPECT_TRUE(WriteBinaryMatrix(m, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  std::remove(path.c_str());
+  EXPECT_GT(bytes.size(), 64u);
+  return bytes;
+}
+
+std::string WriteBytes(const std::vector<char>& bytes,
+                       const std::string& name) {
+  const std::string path = TempPath(name);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  return path;
+}
+
+void Put32(std::vector<char>* bytes, size_t off, uint32_t v) {
+  std::memcpy(bytes->data() + off, &v, sizeof(v));
+}
+
+void Put64(std::vector<char>* bytes, size_t off, uint64_t v) {
+  std::memcpy(bytes->data() + off, &v, sizeof(v));
+}
+
+uint64_t Get64(const std::vector<char>& bytes, size_t off) {
+  uint64_t v = 0;
+  std::memcpy(&v, bytes.data() + off, sizeof(v));
+  return v;
+}
+
+/// Expects both readers to reject the file with kCorruption carrying
+/// `substr`.
+void ExpectCorruption(const std::string& path, const std::string& substr) {
+  auto mapped = MappedMatrix::Open(path);
+  ASSERT_FALSE(mapped.ok()) << "MappedMatrix::Open accepted " << path;
+  EXPECT_EQ(mapped.status().code(), util::StatusCode::kCorruption);
+  EXPECT_THAT(mapped.status().message(), HasSubstr(substr));
+
+  auto heap = ReadBinaryMatrix(path);
+  ASSERT_FALSE(heap.ok()) << "ReadBinaryMatrix accepted " << path;
+  EXPECT_EQ(heap.status().code(), util::StatusCode::kCorruption);
+  EXPECT_THAT(heap.status().message(), HasSubstr(substr));
+}
+
+TEST(MatrixStoreMalformedTest, ShortFileIsTruncatedHeader) {
+  auto bytes = ValidFileBytes();
+  bytes.resize(17);
+  const std::string path = WriteBytes(bytes, "short.rgx");
+  ExpectCorruption(path, "truncated header");
+  std::remove(path.c_str());
+}
+
+TEST(MatrixStoreMalformedTest, EmptyFileIsTruncatedHeader) {
+  const std::string path = WriteBytes({}, "empty.rgx");
+  ExpectCorruption(path, "truncated header");
+  std::remove(path.c_str());
+}
+
+TEST(MatrixStoreMalformedTest, BadMagicRejected) {
+  auto bytes = ValidFileBytes();
+  bytes[0] = 'X';
+  const std::string path = WriteBytes(bytes, "badmagic.rgx");
+  ExpectCorruption(path, "bad magic");
+  std::remove(path.c_str());
+}
+
+TEST(MatrixStoreMalformedTest, UnsupportedVersionNamesBothVersions) {
+  auto bytes = ValidFileBytes();
+  Put32(&bytes, kOffVersion, 7);
+  const std::string path = WriteBytes(bytes, "badversion.rgx");
+  ExpectCorruption(path, "unsupported binary matrix version 7");
+  std::remove(path.c_str());
+}
+
+TEST(MatrixStoreMalformedTest, OppositeEndianFileIsDistinctError) {
+  auto bytes = ValidFileBytes();
+  // The byte-swapped tag is what an opposite-endian writer would produce.
+  Put32(&bytes, kOffEndian, 0x04030201u);
+  const std::string path = WriteBytes(bytes, "endian.rgx");
+  ExpectCorruption(path, "endianness mismatch");
+  std::remove(path.c_str());
+}
+
+TEST(MatrixStoreMalformedTest, GarbageEndianTagRejected) {
+  auto bytes = ValidFileBytes();
+  Put32(&bytes, kOffEndian, 0xdeadbeefu);
+  const std::string path = WriteBytes(bytes, "badendian.rgx");
+  ExpectCorruption(path, "bad endianness tag");
+  std::remove(path.c_str());
+}
+
+TEST(MatrixStoreMalformedTest, ImplausibleDimensionsRejected) {
+  auto bytes = ValidFileBytes();
+  Put32(&bytes, kOffRows, 0xfffffff0u);
+  const std::string path = WriteBytes(bytes, "huge.rgx");
+  ExpectCorruption(path, "implausible dimensions");
+  std::remove(path.c_str());
+}
+
+TEST(MatrixStoreMalformedTest, TruncatedFileFailsSizeCheck) {
+  auto bytes = ValidFileBytes();
+  bytes.resize(bytes.size() - 8);  // still > header, payload cut short
+  const std::string path = WriteBytes(bytes, "cut.rgx");
+  ExpectCorruption(path, "file size mismatch");
+  std::remove(path.c_str());
+}
+
+TEST(MatrixStoreMalformedTest, OverAppendedFileFailsSizeCheck) {
+  auto bytes = ValidFileBytes();
+  bytes.push_back('\0');
+  const std::string path = WriteBytes(bytes, "overappend.rgx");
+  ExpectCorruption(path, "file size mismatch");
+  std::remove(path.c_str());
+}
+
+TEST(MatrixStoreMalformedTest, LabelSectionOutOfBoundsRejected) {
+  auto bytes = ValidFileBytes();
+  Put64(&bytes, kOffNamesOffset, bytes.size() + 1024);
+  const std::string path = WriteBytes(bytes, "labelbounds.rgx");
+  ExpectCorruption(path, "label section out of file bounds");
+  std::remove(path.c_str());
+}
+
+TEST(MatrixStoreMalformedTest, MisalignedValuesOffsetRejected) {
+  auto bytes = ValidFileBytes();
+  const uint64_t values_offset = Get64(bytes, kOffValuesOffset);
+  Put64(&bytes, kOffValuesOffset, values_offset + 3);
+  const std::string path = WriteBytes(bytes, "misaligned.rgx");
+  ExpectCorruption(path, "not 8-byte aligned");
+  std::remove(path.c_str());
+}
+
+TEST(MatrixStoreMalformedTest, ValuesSectionPastEndRejected) {
+  auto bytes = ValidFileBytes();
+  const uint64_t values_offset = Get64(bytes, kOffValuesOffset);
+  Put64(&bytes, kOffValuesOffset, values_offset + 4096);
+  const std::string path = WriteBytes(bytes, "valuesbounds.rgx");
+  ExpectCorruption(path, "truncated values section");
+  std::remove(path.c_str());
+}
+
+TEST(MatrixStoreMalformedTest, LabelOverrunInsideSectionRejected) {
+  // Corrupt the first gene-name length to claim more bytes than the label
+  // section holds; the header itself stays consistent.
+  auto bytes = ValidFileBytes();
+  const uint64_t names_offset = Get64(bytes, kOffNamesOffset);
+  Put32(&bytes, static_cast<size_t>(names_offset), 0x00ffffffu);
+  const std::string path = WriteBytes(bytes, "labeloverrun.rgx");
+  ExpectCorruption(path, "label section overrun");
+  std::remove(path.c_str());
+}
+
+TEST(MatrixStoreMalformedTest, FileSizeFieldLyingAboutItselfRejected) {
+  auto bytes = ValidFileBytes();
+  Put64(&bytes, kOffFileBytes, Get64(bytes, kOffFileBytes) + 64);
+  const std::string path = WriteBytes(bytes, "lyingsize.rgx");
+  ExpectCorruption(path, "file size mismatch");
+  std::remove(path.c_str());
+}
+
+TEST(MatrixStoreMalformedTest, MissingFileIsIoErrorNotCorruption) {
+  auto mapped = MappedMatrix::Open(TempPath("nope.rgx"));
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), util::StatusCode::kIoError);
+  EXPECT_THAT(mapped.status().message(),
+              AllOf(HasSubstr("cannot open"), HasSubstr("nope.rgx")));
+}
+
+}  // namespace
+}  // namespace matrix
+}  // namespace regcluster

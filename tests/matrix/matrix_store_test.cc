@@ -1,0 +1,190 @@
+// MatrixStore / binary-format behavior: write-read roundtrips, the mmap
+// path serving the identical payload, base-pointer rebinding across
+// copy/move of the concrete stores, and the byte-accounting split between
+// resident and mapped storage.
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "matrix/expression_matrix.h"
+#include "matrix/store.h"
+
+namespace regcluster {
+namespace matrix {
+namespace {
+
+ExpressionMatrix MakeMatrix(int genes, int conds) {
+  ExpressionMatrix m(genes, conds);
+  for (int g = 0; g < genes; ++g) {
+    for (int c = 0; c < conds; ++c) {
+      m(g, c) = g * 100.0 + c + 0.25;
+    }
+  }
+  std::vector<std::string> gnames;
+  std::vector<std::string> cnames;
+  for (int g = 0; g < genes; ++g) gnames.push_back("gene_" + std::to_string(g));
+  for (int c = 0; c < conds; ++c) cnames.push_back("cond_" + std::to_string(c));
+  EXPECT_TRUE(m.SetGeneNames(gnames).ok());
+  EXPECT_TRUE(m.SetConditionNames(cnames).ok());
+  return m;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void ExpectSameContents(const MatrixStore& a, const MatrixStore& b) {
+  ASSERT_EQ(a.num_genes(), b.num_genes());
+  ASSERT_EQ(a.num_conditions(), b.num_conditions());
+  for (int g = 0; g < a.num_genes(); ++g) {
+    for (int c = 0; c < a.num_conditions(); ++c) {
+      EXPECT_EQ(a(g, c), b(g, c)) << "cell (" << g << ", " << c << ")";
+    }
+  }
+  EXPECT_EQ(a.gene_names(), b.gene_names());
+  EXPECT_EQ(a.condition_names(), b.condition_names());
+}
+
+TEST(MatrixStoreTest, BinaryRoundtripViaHeapReader) {
+  const ExpressionMatrix m = MakeMatrix(7, 5);
+  const std::string path = TempPath("store_roundtrip.rgx");
+  ASSERT_TRUE(WriteBinaryMatrix(m, path).ok());
+  auto back = ReadBinaryMatrix(path);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  ExpectSameContents(m, *back);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixStoreTest, MappedMatrixServesIdenticalPayload) {
+  const ExpressionMatrix m = MakeMatrix(11, 4);
+  const std::string path = TempPath("store_mapped.rgx");
+  ASSERT_TRUE(WriteBinaryMatrix(m, path).ok());
+  auto mapped = MappedMatrix::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().message();
+  ExpectSameContents(m, *mapped);
+  // The mapped payload must be the flat base pointer the miner walks.
+  const double* base = mapped->row_data(0);
+  for (int g = 0; g < mapped->num_genes(); ++g) {
+    EXPECT_EQ(mapped->row_data(g), base + g * mapped->num_conditions());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MatrixStoreTest, MappedByteAccountingSplitsFromResident) {
+  const ExpressionMatrix m = MakeMatrix(16, 8);
+  EXPECT_EQ(m.mapped_bytes(), 0);
+  EXPECT_GE(m.resident_bytes(),
+            static_cast<int64_t>(16 * 8 * sizeof(double)));
+
+  const std::string path = TempPath("store_bytes.rgx");
+  ASSERT_TRUE(WriteBinaryMatrix(m, path).ok());
+  auto mapped = MappedMatrix::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().message();
+  if (mapped->is_mapped()) {
+    // Payload bytes live in the mapping, not the heap.
+    EXPECT_GE(mapped->mapped_bytes(),
+              static_cast<int64_t>(16 * 8 * sizeof(double)));
+    EXPECT_LT(mapped->resident_bytes(), mapped->mapped_bytes());
+  } else {
+    EXPECT_EQ(mapped->mapped_bytes(), 0);
+    EXPECT_GE(mapped->resident_bytes(),
+              static_cast<int64_t>(16 * 8 * sizeof(double)));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MatrixStoreTest, NaNsRoundtripVerbatim) {
+  ExpressionMatrix m = MakeMatrix(3, 3);
+  m(1, 2) = std::numeric_limits<double>::quiet_NaN();
+  const std::string path = TempPath("store_nan.rgx");
+  ASSERT_TRUE(WriteBinaryMatrix(m, path).ok());
+  auto back = ReadBinaryMatrix(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->HasMissingValues());
+  EXPECT_TRUE(std::isnan((*back)(1, 2)));
+  EXPECT_EQ((*back)(0, 0), m(0, 0));
+  std::remove(path.c_str());
+}
+
+TEST(MatrixStoreTest, IsBinaryMatrixFileSniffsMagic) {
+  const ExpressionMatrix m = MakeMatrix(2, 2);
+  const std::string bin_path = TempPath("store_sniff.rgx");
+  ASSERT_TRUE(WriteBinaryMatrix(m, bin_path).ok());
+  auto is_bin = IsBinaryMatrixFile(bin_path);
+  ASSERT_TRUE(is_bin.ok());
+  EXPECT_TRUE(*is_bin);
+
+  const std::string text_path = TempPath("store_sniff.tsv");
+  {
+    std::FILE* f = std::fopen(text_path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("gene\ta\tb\ng1\t1\t2\n", f);
+    std::fclose(f);
+  }
+  auto is_text = IsBinaryMatrixFile(text_path);
+  ASSERT_TRUE(is_text.ok());
+  EXPECT_FALSE(*is_text);
+
+  // A missing file is an error, not "false".
+  EXPECT_FALSE(IsBinaryMatrixFile(TempPath("does_not_exist.rgx")).ok());
+  std::remove(bin_path.c_str());
+  std::remove(text_path.c_str());
+}
+
+TEST(MatrixStoreTest, ExpressionMatrixCopyRebindsBasePointer) {
+  const ExpressionMatrix a = MakeMatrix(4, 3);
+  ExpressionMatrix b = a;  // copy: b must point at its own payload
+  EXPECT_NE(b.row_data(0), a.row_data(0));
+  ExpectSameContents(a, b);
+  b(0, 0) = -1.0;
+  EXPECT_EQ(a(0, 0), 0.25) << "copy must not alias the source payload";
+
+  ExpressionMatrix c = std::move(b);  // move: c adopts, reads stay valid
+  EXPECT_EQ(c(0, 0), -1.0);
+  EXPECT_EQ(c(3, 2), a(3, 2));
+
+  ExpressionMatrix d(1, 1);
+  d = c;  // copy-assign over a different shape
+  ExpectSameContents(c, d);
+  EXPECT_NE(d.row_data(0), c.row_data(0));
+}
+
+TEST(MatrixStoreTest, MappedMatrixMoveKeepsPayloadValid) {
+  const ExpressionMatrix m = MakeMatrix(5, 6);
+  const std::string path = TempPath("store_move.rgx");
+  ASSERT_TRUE(WriteBinaryMatrix(m, path).ok());
+  auto opened = MappedMatrix::Open(path);
+  ASSERT_TRUE(opened.ok());
+  MappedMatrix a = *std::move(opened);
+  const double first = a(0, 0);
+  MappedMatrix b = std::move(a);
+  EXPECT_EQ(b(0, 0), first);
+  ExpectSameContents(m, b);
+  MappedMatrix c;
+  c = std::move(b);
+  ExpectSameContents(m, c);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixStoreTest, PolymorphicAccessThroughBaseReference) {
+  const ExpressionMatrix m = MakeMatrix(3, 4);
+  const MatrixStore& store = m;
+  EXPECT_EQ(store.num_genes(), 3);
+  EXPECT_EQ(store(2, 3), m(2, 3));
+  EXPECT_EQ(store.FindGene("gene_1"), 1);
+  EXPECT_EQ(store.FindCondition("cond_2"), 2);
+  EXPECT_EQ(store.Row(1), m.Row(1));
+  const auto [lo, hi] = store.RowRange(0);
+  EXPECT_EQ(lo, 0.25);
+  EXPECT_EQ(hi, 3.25);
+}
+
+}  // namespace
+}  // namespace matrix
+}  // namespace regcluster

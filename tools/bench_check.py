@@ -53,6 +53,14 @@ fresh-vs-baseline per phase (filter/score/sort/emit): any phase above the
 ``--phase-threshold`` fails, so a hot-path regression is pinned to the
 phase that caused it instead of hiding inside total wall time.
 
+The out-of-core path is gated through the ``scalability`` section written
+by ``bench_scalability --sweep=outofcore``: it records the peak RSS of a
+memory-capped genome-scale mine through the mmap + model-cache path.
+``--max-peak-rss`` (bytes; 0 disables) fails the check when the recorded
+high-water mark exceeds the cap -- the section is the committed proof that
+the bounded-memory contract holds.  Same fresh-then-baseline fallback and
+skip-with-notice behaviour as the other section gates.
+
 Exit status: 0 when every compared benchmark is within the threshold,
 1 on regression / missing data / malformed input.
 """
@@ -254,6 +262,32 @@ def check_stats_counters(fresh_doc, baseline_doc):
     return ok
 
 
+def check_peak_rss(fresh_doc, baseline_doc, max_peak_rss):
+    """Gates scalability.peak_rss_bytes (memory-capped out-of-core mine).
+
+    Prefers the fresh measurement, falls back to the committed baseline;
+    skips with a notice when neither document carries the section or when
+    the gate is disabled (--max-peak-rss 0)."""
+    if max_peak_rss <= 0:
+        return True
+    for label, doc in (("fresh", fresh_doc), ("baseline", baseline_doc)):
+        section = doc.get("scalability")
+        if not section or "peak_rss_bytes" not in section:
+            continue
+        peak = int(section["peak_rss_bytes"])
+        dataset = section.get("dataset", {})
+        ok = peak <= max_peak_rss
+        print(f"out-of-core peak RSS ({label}): {peak / 2**20:.1f} MiB at "
+              f"{dataset.get('genes', '?')} x "
+              f"{dataset.get('conditions', '?')} "
+              f"(limit {max_peak_rss / 2**20:.1f} MiB)"
+              f"{'' if ok else '  OVER BUDGET'}")
+        return ok
+    print("out-of-core peak RSS: no scalability section in either input; "
+          "skipping gate (run bench_scalability --sweep=outofcore)")
+    return True
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -290,6 +324,10 @@ def main(argv):
                         help="serial phases below this many baseline ns are "
                              "reported but not gated "
                              "(default: %(default)s)")
+    parser.add_argument("--max-peak-rss", type=float, default=0,
+                        help="maximum tolerated peak_rss_bytes from the "
+                             "scalability section, in bytes; 0 disables "
+                             "the gate (default: %(default)s)")
     args = parser.parse_args(argv)
 
     try:
@@ -346,6 +384,8 @@ def main(argv):
                           args.phase_floor_ns):
         failed = True
     if not check_stats_counters(fresh_doc, baseline_doc):
+        failed = True
+    if not check_peak_rss(fresh_doc, baseline_doc, args.max_peak_rss):
         failed = True
 
     if failed:

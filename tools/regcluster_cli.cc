@@ -26,6 +26,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -47,6 +48,7 @@
 #include "io/sweep_io.h"
 #include "matrix/matrix_io.h"
 #include "matrix/stats.h"
+#include "matrix/store.h"
 #include "matrix/transforms.h"
 #include "util/simd/dispatch.h"
 #include "synth/generator.h"
@@ -256,7 +258,7 @@ int CmdGenerate(Flags* flags) {
 // mine --sweep: batch parameter sweep through core::SweepEngine.
 // ---------------------------------------------------------------------------
 
-int RunSweep(const matrix::ExpressionMatrix& data, core::MinerOptions base,
+int RunSweep(const matrix::MatrixStore& data, core::MinerOptions base,
              const std::vector<core::MinerOptions>& points,
              const std::string& json_path, const std::string& csv_path,
              bool share_models, const std::string& metrics_path,
@@ -347,6 +349,8 @@ int CmdMine(Flags* flags) {
         "  [--ming=20] [--minc=6] [--gamma=0.05]\n"
         "  [--gamma-policy=range|stddev|mean|closest-gap|absolute]\n"
         "  [--epsilon=1.0] [--threads=1] [--remove-dominated=true]\n"
+        "  [--matrix-format=auto|bin|text] [--model-cache-mb=-1]\n"
+        "  [--model-cache-shards=8]\n"
         "  [--impute=rowmean|knn] [--knn-k=10] [--normalize=none|quantile]\n"
         "  [--merge-overlap=0] [--require-gene=NAME_OR_INDEX]\n"
         "  [--report=PATH] [--json=PATH]\n"
@@ -370,6 +374,15 @@ int CmdMine(Flags* flags) {
         "=false disables the detailed work counters (they export as 0).\n"
         "--simd pins the kernel set (default auto-detects; every level\n"
         "produces byte-identical output, so this is a perf/debug knob).\n"
+        "--matrix-format selects the input reader: text (TSV/CSV), bin (the\n"
+        "mmap-backed binary format written by convert --out-format=bin), or\n"
+        "auto (sniff the binary magic; the default).  Binary matrices are\n"
+        "mapped, not loaded, so genome-scale inputs mine without slurping\n"
+        "the matrix into RAM; impute/normalize must happen at convert time.\n"
+        "--model-cache-mb >= 0 additionally builds the per-gene RWave\n"
+        "models out-of-core through a byte-budgeted LRU cache of that many\n"
+        "MiB (split over --model-cache-shards) instead of materializing all\n"
+        "of them; the mined output is byte-identical either way.\n"
         "--merge-overlap > 0 runs the consensus merge post-pass.\n"
         "Budgets (--max-clusters/--max-nodes/--deadline-ms) and Ctrl-C stop\n"
         "the search at a deterministic root boundary: the outputs are then a\n"
@@ -428,6 +441,12 @@ int CmdMine(Flags* flags) {
   const double merge_overlap = flags->GetDouble("merge-overlap", 0.0);
   const std::string require_gene = flags->GetString("require-gene", "");
   const std::string simd_name = flags->GetString("simd", "auto");
+  const std::string matrix_format = flags->GetString("matrix-format", "auto");
+  const int64_t model_cache_mb = flags->GetInt64("model-cache-mb", -1);
+  opts.model_cache_shards = flags->GetInt("model-cache-shards", 8);
+  if (model_cache_mb >= 0) {
+    opts.model_cache_bytes = model_cache_mb * (int64_t{1} << 20);
+  }
   if (auto st = flags->RejectUnknown(); !st.ok()) return UsageError(st);
   if (auto st = util::simd::ApplySimdFlag(simd_name); !st.ok()) {
     return UsageError(st);
@@ -456,52 +475,92 @@ int CmdMine(Flags* flags) {
     sweep_points = *std::move(points);
   }
 
-  auto loaded = LoadMatrixArg(matrix_path);
-  if (!loaded.ok()) return Fail(loaded.status());
-  matrix::ExpressionMatrix data = *std::move(loaded);
+  // Resolve the input reader: explicit --matrix-format, else sniff the
+  // binary magic (a text matrix can never start with it).
+  bool use_binary = false;
+  if (matrix_format == "bin") {
+    use_binary = true;
+  } else if (matrix_format == "auto") {
+    auto is_bin = matrix::IsBinaryMatrixFile(matrix_path);
+    use_binary = is_bin.ok() && *is_bin;
+  } else if (matrix_format != "text") {
+    std::fprintf(stderr, "unknown --matrix-format=%s\n",
+                 matrix_format.c_str());
+    return 2;
+  }
+
+  matrix::ExpressionMatrix data;               // resident (text) storage
+  std::optional<matrix::MappedMatrix> mapped;  // mmap-backed (bin) storage
+  if (use_binary) {
+    if (normalize != "none") {
+      std::fprintf(stderr,
+                   "--normalize applies at convert time for binary matrices "
+                   "(regcluster convert --out-format=bin --normalize=...)\n");
+      return 2;
+    }
+    auto m = matrix::MappedMatrix::Open(matrix_path);
+    if (!m.ok()) return Fail(m.status());
+    mapped.emplace(*std::move(m));
+    if (mapped->HasMissingValues()) {
+      return Fail(util::Status::FailedPrecondition(
+          "binary matrix contains missing values; impute when converting "
+          "(regcluster convert --impute=rowmean --out-format=bin)"));
+    }
+    std::printf("%s %d x %d binary matrix\n",
+                mapped->is_mapped() ? "mapped" : "loaded",
+                mapped->num_genes(), mapped->num_conditions());
+  } else {
+    auto loaded = LoadMatrixArg(matrix_path);
+    if (!loaded.ok()) return Fail(loaded.status());
+    data = *std::move(loaded);
+    if (data.HasMissingValues()) {
+      const int64_t missing = matrix::CountMissing(data);
+      if (impute == "knn") {
+        auto imputed = matrix::ImputeKnn(data, knn_k);
+        if (!imputed.ok()) return Fail(imputed.status());
+        data = *std::move(imputed);
+        std::printf("imputed %lld missing cells with %d-NN\n",
+                    static_cast<long long>(missing), knn_k);
+      } else if (impute == "rowmean") {
+        data = matrix::ImputeRowMean(data);
+        std::printf("imputed %lld missing cells with row means\n",
+                    static_cast<long long>(missing));
+      } else {
+        std::fprintf(stderr, "unknown --impute=%s\n", impute.c_str());
+        return 2;
+      }
+    }
+    if (normalize == "quantile") {
+      auto normalized = matrix::QuantileNormalizeColumns(data);
+      if (!normalized.ok()) return Fail(normalized.status());
+      data = *std::move(normalized);
+      std::printf("quantile-normalized columns\n");
+    } else if (normalize != "none") {
+      std::fprintf(stderr, "unknown --normalize=%s\n", normalize.c_str());
+      return 2;
+    }
+  }
+  const matrix::MatrixStore& store =
+      mapped ? static_cast<const matrix::MatrixStore&>(*mapped)
+             : static_cast<const matrix::MatrixStore&>(data);
+
   if (!require_gene.empty()) {
-    int gene = data.FindGene(require_gene);
+    int gene = store.FindGene(require_gene);
     if (gene < 0) {
       char* end = nullptr;
       gene = static_cast<int>(std::strtol(require_gene.c_str(), &end, 10));
-      if (*end != '\0' || gene < 0 || gene >= data.num_genes()) {
+      if (*end != '\0' || gene < 0 || gene >= store.num_genes()) {
         std::fprintf(stderr, "unknown gene: %s\n", require_gene.c_str());
         return 1;
       }
     }
     opts.required_genes = {gene};
     std::printf("targeted mining: clusters must contain %s\n",
-                data.gene_name(gene).c_str());
-  }
-  if (data.HasMissingValues()) {
-    const int64_t missing = matrix::CountMissing(data);
-    if (impute == "knn") {
-      auto imputed = matrix::ImputeKnn(data, knn_k);
-      if (!imputed.ok()) return Fail(imputed.status());
-      data = *std::move(imputed);
-      std::printf("imputed %lld missing cells with %d-NN\n",
-                  static_cast<long long>(missing), knn_k);
-    } else if (impute == "rowmean") {
-      data = matrix::ImputeRowMean(data);
-      std::printf("imputed %lld missing cells with row means\n",
-                  static_cast<long long>(missing));
-    } else {
-      std::fprintf(stderr, "unknown --impute=%s\n", impute.c_str());
-      return 2;
-    }
-  }
-  if (normalize == "quantile") {
-    auto normalized = matrix::QuantileNormalizeColumns(data);
-    if (!normalized.ok()) return Fail(normalized.status());
-    data = *std::move(normalized);
-    std::printf("quantile-normalized columns\n");
-  } else if (normalize != "none") {
-    std::fprintf(stderr, "unknown --normalize=%s\n", normalize.c_str());
-    return 2;
+                store.gene_name(gene).c_str());
   }
 
   if (sweeping) {
-    return RunSweep(data, opts, sweep_points, sweep_out, sweep_csv,
+    return RunSweep(store, opts, sweep_points, sweep_out, sweep_csv,
                     share_models, metrics_path, *metrics_format);
   }
 
@@ -510,7 +569,7 @@ int CmdMine(Flags* flags) {
   // the default (immediate) disposition.
   auto token = std::make_shared<util::CancellationToken>();
   opts.cancel_token = token;
-  core::RegClusterMiner miner(data, opts);
+  core::RegClusterMiner miner(store, opts);
   g_interrupt_token.store(token.get(), std::memory_order_release);
   auto prev_int = std::signal(SIGINT, HandleInterrupt);
   auto prev_term = std::signal(SIGTERM, HandleInterrupt);
@@ -537,7 +596,7 @@ int CmdMine(Flags* flags) {
     copts.gamma_spec = {opts.gamma_policy, opts.gamma};
     copts.epsilon = opts.epsilon;
     const size_t before = clusters->size();
-    *clusters = eval::MergeOverlapping(data, *std::move(clusters), copts);
+    *clusters = eval::MergeOverlapping(store, *std::move(clusters), copts);
     std::printf("consensus merge at overlap >= %.2f: %zu -> %zu clusters\n",
                 merge_overlap, before, clusters->size());
   }
@@ -556,7 +615,7 @@ int CmdMine(Flags* flags) {
   if (!report_path.empty()) {
     std::ofstream out(report_path);
     if (!out) return Fail(util::Status::IoError("cannot open " + report_path));
-    if (auto st = io::WriteReport(*clusters, &data, out); !st.ok()) {
+    if (auto st = io::WriteReport(*clusters, &store, out); !st.ok()) {
       return Fail(st);
     }
     std::printf("report: %s\n", report_path.c_str());
@@ -565,7 +624,7 @@ int CmdMine(Flags* flags) {
     std::ofstream out(json_path);
     if (!out) return Fail(util::Status::IoError("cannot open " + json_path));
     if (auto st =
-            io::WriteClustersJson(*clusters, &data, &outcome, &stats, out);
+            io::WriteClustersJson(*clusters, &store, &outcome, &stats, out);
         !st.ok()) {
       return Fail(st);
     }
@@ -776,11 +835,17 @@ int CmdConvert(Flags* flags) {
   if (flags->GetBool("help")) {
     std::puts(
         "regcluster convert --in=PATH --out=PATH\n"
+        "  [--in-format=auto|bin|text] [--out-format=text|bin]\n"
         "  [--in-delimiter=tab|comma] [--out-delimiter=tab|comma]\n"
         "  [--impute=none|rowmean|knn] [--knn-k=10]\n"
         "  [--transform=none|log|exp|zscore] [--normalize=none|quantile]\n"
         "Format conversion plus the preprocessing pipeline, applied in the\n"
-        "order impute -> transform -> normalize.");
+        "order impute -> transform -> normalize.\n"
+        "--out-format=bin writes the mmap-backed binary matrix format\n"
+        "(64-byte header + page-aligned gene-contiguous doubles) that\n"
+        "`mine --matrix-format=bin` maps instead of loading; impute here,\n"
+        "since the mapped file is read-only at mine time.  --in-format\n"
+        "defaults to sniffing the binary magic.");
     return 0;
   }
   const std::string in_path = flags->GetString("in", "");
@@ -802,11 +867,35 @@ int CmdConvert(Flags* flags) {
   const int knn_k = flags->GetInt("knn-k", 10);
   const std::string transform = flags->GetString("transform", "none");
   const std::string normalize = flags->GetString("normalize", "none");
+  const std::string in_format = flags->GetString("in-format", "auto");
+  const std::string out_format = flags->GetString("out-format", "text");
   if (auto st = flags->RejectUnknown(); !st.ok()) return UsageError(st);
+  if (out_format != "text" && out_format != "bin") {
+    std::fprintf(stderr, "unknown --out-format=%s\n", out_format.c_str());
+    return 2;
+  }
 
-  auto loaded = matrix::LoadMatrix(in_path, in_fmt);
-  if (!loaded.ok()) return Fail(loaded.status());
-  matrix::ExpressionMatrix data = *std::move(loaded);
+  bool in_binary = false;
+  if (in_format == "bin") {
+    in_binary = true;
+  } else if (in_format == "auto") {
+    auto is_bin = matrix::IsBinaryMatrixFile(in_path);
+    in_binary = is_bin.ok() && *is_bin;
+  } else if (in_format != "text") {
+    std::fprintf(stderr, "unknown --in-format=%s\n", in_format.c_str());
+    return 2;
+  }
+
+  matrix::ExpressionMatrix data;
+  if (in_binary) {
+    auto loaded = matrix::ReadBinaryMatrix(in_path);
+    if (!loaded.ok()) return Fail(loaded.status());
+    data = *std::move(loaded);
+  } else {
+    auto loaded = matrix::LoadMatrix(in_path, in_fmt);
+    if (!loaded.ok()) return Fail(loaded.status());
+    data = *std::move(loaded);
+  }
 
   if (impute == "rowmean") {
     data = matrix::ImputeRowMean(data);
@@ -843,11 +932,16 @@ int CmdConvert(Flags* flags) {
     return 2;
   }
 
-  if (auto st = matrix::SaveMatrix(data, out_path, out_fmt); !st.ok()) {
+  if (out_format == "bin") {
+    if (auto st = matrix::WriteBinaryMatrix(data, out_path); !st.ok()) {
+      return Fail(st);
+    }
+  } else if (auto st = matrix::SaveMatrix(data, out_path, out_fmt);
+             !st.ok()) {
     return Fail(st);
   }
-  std::printf("wrote %d x %d matrix to %s\n", data.num_genes(),
-              data.num_conditions(), out_path.c_str());
+  std::printf("wrote %d x %d %s matrix to %s\n", data.num_genes(),
+              data.num_conditions(), out_format.c_str(), out_path.c_str());
   return 0;
 }
 
