@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -18,6 +19,7 @@
 #include "bench_common.h"
 #include "bench_json.h"
 #include "core/sweep.h"
+#include "io/checkpoint.h"
 #include "matrix/matrix_io.h"
 #include "util/simd/dispatch.h"
 #include "util/timer.h"
@@ -451,16 +453,17 @@ int Main(int argc, char** argv) {
     double fraction = 0.0;
     bool ok = true;
   };
-  auto measure_overhead = [&](const char* label, const core::MinerOptions& off,
-                              const core::MinerOptions& on) {
+  auto measure_overhead = [&](const char* label,
+                              const std::function<double()>& run_off,
+                              const std::function<double()>& run_on) {
     OverheadResult r;
     std::vector<std::unique_ptr<char[]>> heap_shift;
     for (int rep = 0; rep < kOverheadReps; ++rep) {
       heap_shift.push_back(
           std::make_unique<char[]>(static_cast<size_t>(rep + 1) * 68923));
       const bool off_first = (rep % 2) == 0;
-      const double first = timed_mine(off_first ? off : on);
-      const double second = timed_mine(off_first ? on : off);
+      const double first = off_first ? run_off() : run_on();
+      const double second = off_first ? run_on() : run_off();
       const double off_secs = off_first ? first : second;
       const double on_secs = off_first ? second : first;
       if (off_secs < 0 || on_secs < 0) {
@@ -490,8 +493,9 @@ int Main(int argc, char** argv) {
     budgeted.deadline_ms = 1e9;
     budgeted.soft_memory_limit_bytes = int64_t{1} << 60;
     budgeted.cancel_token = std::make_shared<util::CancellationToken>();
-    const OverheadResult budget =
-        measure_overhead("budget", unbudgeted, budgeted);
+    const OverheadResult budget = measure_overhead(
+        "budget", [&] { return timed_mine(unbudgeted); },
+        [&] { return timed_mine(budgeted); });
     if (!budget.ok) return 1;
     std::printf(
         "\nbudget-guard overhead (serial, all stop sources armed, none "
@@ -520,8 +524,9 @@ int Main(int argc, char** argv) {
     stats_off.collect_stats = false;
     core::MinerOptions stats_on = stats_off;
     stats_on.collect_stats = true;
-    const OverheadResult stats_oh =
-        measure_overhead("stats", stats_off, stats_on);
+    const OverheadResult stats_oh = measure_overhead(
+        "stats", [&] { return timed_mine(stats_off); },
+        [&] { return timed_mine(stats_on); });
     if (!stats_oh.ok) return 1;
     std::printf(
         "\nstats-collection overhead (serial, collect_stats on vs off): "
@@ -538,6 +543,56 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "WARNING: could not write %s\n", out_path.c_str());
     } else {
       std::printf("wrote section \"stats_overhead\" of %s\n",
+                  out_path.c_str());
+    }
+
+    // Durability overhead: the same serial mine run through
+    // io::RunCheckpointedMine -- chunked at root boundaries, snapshotting to
+    // a real double-buffered file at the default 1 s cadence on the
+    // background writer thread -- vs the plain Mine() it must reproduce
+    // byte-for-byte.  The difference is everything a durable run pays:
+    // chunk splicing, snapshot encoding, and the writer's file I/O.  The
+    // final snapshot of a run is written synchronously whatever the run's
+    // length, so the comparison uses a looser MinC than the sweep above:
+    // durability is for long mines, and on a sub-second one that fixed
+    // write would dominate the fraction instead of amortizing as it does
+    // in practice.  Gated (<2%) by tools/bench_check.py
+    // --max-checkpoint-overhead.
+    core::MinerOptions durable = base;
+    durable.num_threads = 1;
+    durable.min_conditions = 5;
+    const std::string ckpt_scratch =
+        FlagValue(argc, argv, "checkpoint-scratch", "bench_ckpt_scratch");
+    io::CheckpointConfig ckpt_cfg;
+    ckpt_cfg.path = ckpt_scratch;
+    auto timed_durable_mine = [&]() {
+      util::WallTimer timer;
+      auto r = io::RunCheckpointedMine(ds->data, durable, ckpt_cfg, nullptr);
+      if (!r.ok() || !r->checkpoint_status.ok()) return -1.0;
+      return timer.ElapsedSeconds();
+    };
+    const OverheadResult ckpt_oh = measure_overhead(
+        "checkpoint", [&] { return timed_mine(durable); },
+        timed_durable_mine);
+    std::remove((ckpt_scratch + ".a").c_str());
+    std::remove((ckpt_scratch + ".b").c_str());
+    if (!ckpt_oh.ok) return 1;
+    std::printf(
+        "\ncheckpoint overhead (serial, durable chunked mine + snapshots vs "
+        "plain): off %.4f s, on %.4f s -> %+.2f%%\n",
+        ckpt_oh.off_seconds, ckpt_oh.on_seconds, 100.0 * ckpt_oh.fraction);
+    const std::string ckpt_overhead_section = JsonObject({
+        JsonField("off_seconds", JsonDouble(ckpt_oh.off_seconds)),
+        JsonField("on_seconds", JsonDouble(ckpt_oh.on_seconds)),
+        JsonField("overhead_fraction", JsonDouble(ckpt_oh.fraction)),
+        JsonField("every_ms", JsonInt(ckpt_cfg.every_ms)),
+        JsonField("best_of", JsonInt(kOverheadReps)),
+    });
+    if (!UpsertBenchSection(out_path, "checkpoint_overhead",
+                            ckpt_overhead_section)) {
+      std::fprintf(stderr, "WARNING: could not write %s\n", out_path.c_str());
+    } else {
+      std::printf("wrote section \"checkpoint_overhead\" of %s\n",
                   out_path.c_str());
     }
   } else {

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/durable_file.h"
 #include "util/string_util.h"
 
 namespace regcluster {
@@ -93,9 +94,11 @@ util::Status WriteClusters(const std::vector<core::RegCluster>& clusters,
 
 util::Status SaveClusters(const std::vector<core::RegCluster>& clusters,
                           const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return util::Status::IoError("cannot open for writing: " + path);
-  return WriteClusters(clusters, out);
+  // Atomic replace: a crash mid-save must never leave a half-written
+  // archive where a previous complete one existed (see util/durable_file.h).
+  std::ostringstream out;
+  REGCLUSTER_RETURN_IF_ERROR(WriteClusters(clusters, out));
+  return util::AtomicWriteFile(path, out.str());
 }
 
 util::StatusOr<std::vector<core::RegCluster>> ReadClusters(std::istream& in) {

@@ -34,9 +34,31 @@ util::StatusOr<MetricsFormat> ParseMetricsFormat(const std::string& name) {
                                        "\" (expected json or prom)");
 }
 
+util::Status RegisterCheckpointMetrics(const CheckpointStats* checkpoint,
+                                       obs::MetricsRegistry* registry) {
+  // Zeros, not absence, when checkpointing is off: a dashboard must be able
+  // to tell "feature disabled" (all 0) from "metrics missing".
+  static const CheckpointStats kDisabled;
+  const CheckpointStats& cs = checkpoint != nullptr ? *checkpoint : kDisabled;
+  util::Status s = SetCounter(registry, "regcluster_checkpoint_writes_total",
+                              "Durable snapshots written (both buffers)",
+                              cs.writes);
+  if (!s.ok()) return s;
+  s = SetCounter(registry, "regcluster_checkpoint_bytes_total",
+                 "Encoded snapshot bytes written", cs.bytes);
+  if (!s.ok()) return s;
+  s = SetGauge(registry, "regcluster_checkpoint_last_write_ns",
+               "Wall duration of the most recent snapshot write",
+               static_cast<double>(cs.last_write_ns));
+  if (!s.ok()) return s;
+  return SetCounter(registry, "regcluster_checkpoint_resumes_total",
+                    "Runs continued from an on-disk snapshot", cs.resumes);
+}
+
 util::Status RegisterMinerMetrics(const core::MinerStats& stats,
                                   const core::MineOutcome& outcome,
-                                  obs::MetricsRegistry* registry) {
+                                  obs::MetricsRegistry* registry,
+                                  const CheckpointStats* checkpoint) {
 #define REGCLUSTER_COUNTER(name, help, value)                       \
   do {                                                              \
     util::Status s = SetCounter(registry, (name), (help), (value)); \
@@ -177,14 +199,15 @@ util::Status RegisterMinerMetrics(const core::MinerStats& stats,
 
 #undef REGCLUSTER_COUNTER
 #undef REGCLUSTER_GAUGE
-  return util::Status::OK();
+  return RegisterCheckpointMetrics(checkpoint, registry);
 }
 
 util::Status WriteMinerMetrics(const core::MinerStats& stats,
                                const core::MineOutcome& outcome,
-                               MetricsFormat format, std::ostream& out) {
+                               MetricsFormat format, std::ostream& out,
+                               const CheckpointStats* checkpoint) {
   obs::MetricsRegistry registry;
-  util::Status s = RegisterMinerMetrics(stats, outcome, &registry);
+  util::Status s = RegisterMinerMetrics(stats, outcome, &registry, checkpoint);
   if (!s.ok()) return s;
   return format == MetricsFormat::kJson ? registry.WriteJson(out)
                                         : registry.WritePrometheus(out);

@@ -28,6 +28,7 @@
 #include <string>
 
 #include "core/miner.h"
+#include "io/checkpoint.h"
 #include "obs/metrics.h"
 #include "util/status.h"
 
@@ -45,15 +46,27 @@ util::StatusOr<MetricsFormat> ParseMetricsFormat(const std::string& name);
 
 /// Registers the run record under the stable regcluster_* names above.
 /// Fails only on registry conflicts (e.g. called twice on one registry).
+/// `checkpoint` adds the regcluster_checkpoint_* durability counters; pass
+/// nullptr for a run without checkpointing -- the counters are still
+/// registered with value 0 (absence would make dashboards treat a disabled
+/// feature as a scrape failure).
 util::Status RegisterMinerMetrics(const core::MinerStats& stats,
                                   const core::MineOutcome& outcome,
-                                  obs::MetricsRegistry* registry);
+                                  obs::MetricsRegistry* registry,
+                                  const CheckpointStats* checkpoint = nullptr);
+
+/// Registers only the regcluster_checkpoint_{writes,bytes,last_write_ns,
+/// resumes} durability counters (zeros when `checkpoint` is null).  Used by
+/// both the miner and sweep exports.
+util::Status RegisterCheckpointMetrics(const CheckpointStats* checkpoint,
+                                       obs::MetricsRegistry* registry);
 
 /// One-shot convenience: builds a registry from the run record and writes it
 /// to `out` in `format`.
 util::Status WriteMinerMetrics(const core::MinerStats& stats,
                                const core::MineOutcome& outcome,
-                               MetricsFormat format, std::ostream& out);
+                               MetricsFormat format, std::ostream& out,
+                               const CheckpointStats* checkpoint = nullptr);
 
 }  // namespace io
 }  // namespace regcluster

@@ -11,6 +11,7 @@
 
 #include "core/threshold.h"
 #include "io/json_export.h"
+#include "io/metrics_export.h"
 #include "util/string_util.h"
 
 namespace regcluster {
@@ -393,7 +394,8 @@ Status WriteSweepCsv(const core::SweepReport& report, std::ostream& out) {
 }
 
 Status RegisterSweepMetrics(const core::SweepReport& report,
-                            obs::MetricsRegistry* registry) {
+                            obs::MetricsRegistry* registry,
+                            const CheckpointStats* checkpoint) {
   struct CounterSpec {
     const char* name;
     const char* help;
@@ -428,7 +430,7 @@ Status RegisterSweepMetrics(const core::SweepReport& report,
       "regcluster_sweep_wall_seconds", "Wall clock of the whole sweep");
   if (!wall.ok()) return wall.status();
   (*wall)->Set(report.wall_seconds);
-  return Status::OK();
+  return RegisterCheckpointMetrics(checkpoint, registry);
 }
 
 }  // namespace io

@@ -58,6 +58,7 @@
 
 #include "core/miner.h"
 #include "core/sweep.h"
+#include "io/checkpoint.h"
 #include "obs/metrics.h"
 #include "util/status.h"
 
@@ -82,9 +83,12 @@ util::Status WriteSweepCsv(const core::SweepReport& report, std::ostream& out);
 ///   regcluster_sweep_index_builds, regcluster_sweep_shared_model_bytes,
 ///   regcluster_sweep_nodes_total, regcluster_sweep_clusters_total,
 ///   regcluster_sweep_wall_seconds, regcluster_sweep_truncated
-/// Fails only on registry name conflicts.
+/// Fails only on registry name conflicts.  `checkpoint` adds the
+/// regcluster_checkpoint_* durability counters (registered as zeros when
+/// null, so a non-durable sweep still exposes them).
 util::Status RegisterSweepMetrics(const core::SweepReport& report,
-                                  obs::MetricsRegistry* registry);
+                                  obs::MetricsRegistry* registry,
+                                  const CheckpointStats* checkpoint = nullptr);
 
 }  // namespace io
 }  // namespace regcluster

@@ -1,0 +1,187 @@
+#include "util/durable_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace regcluster {
+namespace util {
+
+namespace {
+
+// Software CRC32C table for the reflected Castagnoli polynomial, generated
+// once at first use (thread-safe via static-local initialization).
+const uint32_t* Crc32cTable() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xFF);
+  buf[1] = static_cast<char>((v >> 8) & 0xFF);
+  buf[2] = static_cast<char>((v >> 16) & 0xFF);
+  buf[3] = static_cast<char>((v >> 24) & 0xFF);
+  out->append(buf, 4);
+}
+
+uint32_t LoadU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+// Directory portion of `path` ("." when there is no separator), for the
+// post-rename directory fsync.
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  const uint32_t* table = Crc32cTable();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::IoError("open failed for " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::string contents;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      return Status::IoError("read failed for " + path + ": " +
+                             std::strerror(err));
+    }
+    if (n == 0) break;
+    contents.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return contents;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open failed for " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  size_t off = 0;
+  while (off < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IoError("write failed for " + tmp + ": " +
+                             std::strerror(err));
+    }
+    off += static_cast<size_t>(n);
+  }
+  // File fsync BEFORE rename: the rename must never become visible while
+  // the new contents are still only in the page cache.
+  if (::fsync(fd) != 0) {
+    int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IoError("fsync failed for " + tmp + ": " +
+                           std::strerror(err));
+  }
+  if (::close(fd) != 0) {
+    int err = errno;
+    ::unlink(tmp.c_str());
+    return Status::IoError("close failed for " + tmp + ": " +
+                           std::strerror(err));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    int err = errno;
+    ::unlink(tmp.c_str());
+    return Status::IoError("rename " + tmp + " -> " + path + " failed: " +
+                           std::strerror(err));
+  }
+  // Directory fsync AFTER rename: makes the new directory entry durable, so
+  // a crash cannot roll the file back to the old contents after the caller
+  // has been told the write succeeded.
+  const std::string dir = DirName(path);
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    // Some filesystems refuse fsync on directories; best effort is the
+    // accepted practice (the rename itself is already atomic).
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+void AppendRecord(std::string* out, std::string_view payload) {
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  AppendU32(out, Crc32c(payload.data(), payload.size()));
+  out->append(payload.data(), payload.size());
+}
+
+StatusOr<std::string_view> RecordReader::Next() {
+  if (AtEnd()) {
+    return Status::OutOfRange("no more records");
+  }
+  if (buffer_.size() - pos_ < 8) {
+    return Status::Corruption("truncated record header at offset " +
+                              std::to_string(pos_));
+  }
+  const char* p = buffer_.data() + pos_;
+  uint32_t len = LoadU32(p);
+  uint32_t stored_crc = LoadU32(p + 4);
+  if (buffer_.size() - pos_ - 8 < len) {
+    return Status::Corruption("truncated record payload at offset " +
+                              std::to_string(pos_) + ": declared " +
+                              std::to_string(len) + " bytes, " +
+                              std::to_string(buffer_.size() - pos_ - 8) +
+                              " available");
+  }
+  std::string_view payload(p + 8, len);
+  uint32_t actual_crc = Crc32c(payload.data(), payload.size());
+  if (actual_crc != stored_crc) {
+    return Status::Corruption("record checksum mismatch at offset " +
+                              std::to_string(pos_));
+  }
+  pos_ += 8 + static_cast<size_t>(len);
+  return payload;
+}
+
+}  // namespace util
+}  // namespace regcluster

@@ -1,0 +1,86 @@
+// Crash-safe file primitives: atomic-replace writes and CRC32C-framed
+// record I/O.
+//
+// The durability contract is the standard one from write-ahead-logging
+// systems: a file produced by `AtomicWriteFile` is, after any crash, either
+// the complete new contents or the complete previous contents — never a
+// truncated or interleaved mix.  This is achieved by writing to a temp file
+// in the same directory, fsync'ing the file, rename(2)'ing over the target,
+// and fsync'ing the directory so the rename itself is durable.
+//
+// On top of raw bytes, `AppendRecord` / `RecordReader` provide a framed
+// record stream ([u32 length][u32 crc32c][payload]) whose reader detects
+// torn writes and truncation: every malformed shape is rejected with a
+// distinct `kCorruption` status, mirroring the matrix-store hardening
+// (src/matrix/store.cc).  Checkpoint snapshots (src/io/checkpoint.h) are
+// built from these two layers.
+
+#ifndef REGCLUSTER_UTIL_DURABLE_FILE_H_
+#define REGCLUSTER_UTIL_DURABLE_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace regcluster {
+namespace util {
+
+/// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) over
+/// `size` bytes.  Software table implementation; the framing layer's
+/// integrity check, chosen over plain CRC32 for its better error-detection
+/// properties on short records.  `seed` allows incremental composition:
+/// Crc32c(b, nb, Crc32c(a, na)) == Crc32c(concat(a, b)).
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+/// Reads the entire file at `path` into a string.  kNotFound when the file
+/// does not exist; kIoError on any other failure.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Atomically replaces `path` with `contents`.
+///
+/// Writes to a fixed-name sibling temp file (`path` + ".tmp"), fsyncs it,
+/// renames it over `path`, and fsyncs the containing directory.  After a
+/// crash at any instant, `path` holds either the previous complete contents
+/// or the new complete contents.  The fixed temp name means repeated
+/// crashes never accumulate orphan temp files: the next write reuses (and
+/// the rename consumes) the same name.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// Appends one framed record to `out`: [u32 payload length][u32 CRC32C of
+/// payload][payload bytes].  All integers little-endian.
+void AppendRecord(std::string* out, std::string_view payload);
+
+/// Sequential reader over a buffer of `AppendRecord` frames.  Distinguishes
+/// every malformed shape with its own kCorruption message so torn writes,
+/// truncation, and bit flips are reported precisely:
+///   - header extends past the buffer  -> "truncated record header"
+///   - declared payload length overruns -> "truncated record payload"
+///   - stored CRC != computed CRC       -> "record checksum mismatch"
+class RecordReader {
+ public:
+  /// `buffer` must outlive the reader (records are returned as views).
+  explicit RecordReader(std::string_view buffer) : buffer_(buffer) {}
+
+  /// True when the reader is positioned at the end of the buffer (a clean
+  /// stream ends exactly on a frame boundary).
+  bool AtEnd() const { return pos_ == buffer_.size(); }
+
+  /// Reads the next record, advancing past it.  kOutOfRange when `AtEnd()`;
+  /// a distinct kCorruption per malformed shape (see class comment).
+  StatusOr<std::string_view> Next();
+
+  /// Bytes consumed so far (for error reporting offsets).
+  size_t position() const { return pos_; }
+
+ private:
+  std::string_view buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace util
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_UTIL_DURABLE_FILE_H_

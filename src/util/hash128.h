@@ -54,6 +54,17 @@ class Fnv128 {
     return Mix64(static_cast<uint64_t>(static_cast<int64_t>(v)));
   }
 
+  /// Absorbs `size` raw bytes (octet-at-a-time FNV-1a, so the digest is
+  /// independent of how the input was chunked across calls).
+  Fnv128& MixBytes(const void* data, size_t size) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      state_ ^= p[i];
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+
   Hash128 Digest() const {
     return Hash128{static_cast<uint64_t>(state_ >> 64),
                    static_cast<uint64_t>(state_)};

@@ -91,6 +91,47 @@ TEST(MetricsExportTest, EagerRunExportsZerosNotAbsence) {
   EXPECT_THAT(out.str(), HasSubstr("regcluster_mapped_bytes 0"));
 }
 
+TEST(MetricsExportTest, CheckpointMetricsExportZerosWhenDisabled) {
+  // Durability off (null CheckpointStats) still publishes the names, as
+  // zeros -- same contract as the cache telemetry above.
+  std::ostringstream out;
+  ASSERT_TRUE(WriteMinerMetrics(core::MinerStats{}, core::MineOutcome{},
+                                MetricsFormat::kPrometheus, out)
+                  .ok());
+  EXPECT_THAT(out.str(), HasSubstr("regcluster_checkpoint_writes_total 0"));
+  EXPECT_THAT(out.str(), HasSubstr("regcluster_checkpoint_bytes_total 0"));
+  EXPECT_THAT(out.str(), HasSubstr("regcluster_checkpoint_last_write_ns 0"));
+  EXPECT_THAT(out.str(), HasSubstr("regcluster_checkpoint_resumes_total 0"));
+}
+
+TEST(MetricsExportTest, CheckpointMetricsCarryValues) {
+  CheckpointStats ckpt;
+  ckpt.writes = 5;
+  ckpt.bytes = 12345;
+  ckpt.last_write_ns = 678;
+  ckpt.resumes = 2;
+  std::ostringstream out;
+  ASSERT_TRUE(WriteMinerMetrics(core::MinerStats{}, core::MineOutcome{},
+                                MetricsFormat::kPrometheus, out, &ckpt)
+                  .ok());
+  EXPECT_THAT(out.str(), HasSubstr("regcluster_checkpoint_writes_total 5"));
+  EXPECT_THAT(out.str(),
+              HasSubstr("regcluster_checkpoint_bytes_total 12345"));
+  EXPECT_THAT(out.str(), HasSubstr("regcluster_checkpoint_resumes_total 2"));
+}
+
+TEST(MetricsExportTest, RegisterCheckpointMetricsStandsAlone) {
+  // The sweep export path registers only the checkpoint block; the four
+  // names must come through a bare registry too.
+  obs::MetricsRegistry registry;
+  ASSERT_TRUE(RegisterCheckpointMetrics(nullptr, &registry).ok());
+  std::ostringstream out;
+  ASSERT_TRUE(registry.WriteJson(out).ok());
+  EXPECT_THAT(out.str(), HasSubstr("\"regcluster_checkpoint_writes_total\""));
+  EXPECT_THAT(out.str(),
+              HasSubstr("\"regcluster_checkpoint_resumes_total\""));
+}
+
 TEST(MetricsExportTest, ParseFormatRoundTrips) {
   auto json = ParseMetricsFormat("json");
   ASSERT_TRUE(json.ok());

@@ -1,0 +1,228 @@
+// util::durable_file contract: CRC32C correctness (known vectors +
+// incremental composition), atomic-replace writes, and the framed record
+// stream whose reader reports a distinct kCorruption per malformed shape.
+// Torn-write scenarios are simulated by truncating / flipping bytes in an
+// encoded stream; the process-level counterpart lives in
+// tests/integration/crash_harness.cc.
+
+#include "util/durable_file.h"
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gmock/gmock.h"
+#include "gtest/gtest.h"
+
+namespace regcluster {
+namespace util {
+namespace {
+
+using ::testing::HasSubstr;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ---------------------------------------------------------------------------
+// Crc32c
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 appendix test vectors for CRC32C (Castagnoli).
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  const std::string digits = "123456789";
+  EXPECT_EQ(Crc32c(digits.data(), digits.size()), 0xE3069283u);
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  const std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, IncrementalCompositionMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    const uint32_t head = Crc32c(data.data(), split);
+    const uint32_t both = Crc32c(data.data() + split, data.size() - split,
+                                 head);
+    EXPECT_EQ(both, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, SensitiveToSingleBitFlip) {
+  std::string data = "payload bytes under test";
+  const uint32_t clean = Crc32c(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string flipped = data;
+    flipped[i] ^= 0x01;
+    EXPECT_NE(Crc32c(flipped.data(), flipped.size()), clean) << "byte " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ReadFileToString / AtomicWriteFile
+
+TEST(AtomicWriteFileTest, RoundTripsContents) {
+  const std::string path = TempPath("durable_roundtrip.bin");
+  const std::string contents = std::string("binary\0payload\n", 15);
+  ASSERT_TRUE(AtomicWriteFile(path, contents).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, contents);
+}
+
+TEST(AtomicWriteFileTest, ReplacesExistingFileCompletely) {
+  const std::string path = TempPath("durable_replace.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, std::string(1000, 'x')).ok());
+  ASSERT_TRUE(AtomicWriteFile(path, "short").ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "short");  // no stale tail from the longer predecessor
+}
+
+TEST(AtomicWriteFileTest, LeavesNoTempFileBehind) {
+  const std::string path = TempPath("durable_notemp.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "contents").ok());
+  EXPECT_FALSE(ReadFileToString(path + ".tmp").ok());
+}
+
+TEST(ReadFileToStringTest, MissingFileIsNotFound) {
+  auto read = ReadFileToString(TempPath("durable_never_written.bin"));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AtomicWriteFileTest, MissingDirectoryIsAnError) {
+  const std::string path =
+      TempPath("no_such_subdir") + "/no_such_file.bin";
+  EXPECT_FALSE(AtomicWriteFile(path, "contents").ok());
+}
+
+// ---------------------------------------------------------------------------
+// AppendRecord / RecordReader
+
+std::string TwoRecordStream() {
+  std::string out;
+  AppendRecord(&out, "first record");
+  AppendRecord(&out, "second");
+  return out;
+}
+
+TEST(RecordReaderTest, RoundTripsRecordsInOrder) {
+  const std::string stream = TwoRecordStream();
+  RecordReader reader(stream);
+  ASSERT_FALSE(reader.AtEnd());
+  auto first = reader.Next();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, "first record");
+  auto second = reader.Next();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, "second");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(RecordReaderTest, EmptyPayloadIsAValidRecord) {
+  std::string stream;
+  AppendRecord(&stream, "");
+  RecordReader reader(stream);
+  auto rec = reader.Next();
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec->empty());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(RecordReaderTest, NextPastEndIsOutOfRange) {
+  const std::string stream = TwoRecordStream();
+  RecordReader reader(stream);
+  ASSERT_TRUE(reader.Next().ok());
+  ASSERT_TRUE(reader.Next().ok());
+  auto past = reader.Next();
+  ASSERT_FALSE(past.ok());
+  EXPECT_EQ(past.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(RecordReaderTest, TruncatedHeaderIsDistinctCorruption) {
+  const std::string stream = TwoRecordStream();
+  // Cut inside the second record's 8-byte header.
+  const std::string torn = stream.substr(0, stream.size() - 6 - 4);
+  RecordReader reader(torn);
+  ASSERT_TRUE(reader.Next().ok());
+  auto bad = reader.Next();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+  EXPECT_THAT(bad.status().message(), HasSubstr("truncated record header"));
+}
+
+TEST(RecordReaderTest, TruncatedPayloadIsDistinctCorruption) {
+  const std::string stream = TwoRecordStream();
+  // Keep the second record's header but cut its payload short.
+  const std::string torn = stream.substr(0, stream.size() - 2);
+  RecordReader reader(torn);
+  ASSERT_TRUE(reader.Next().ok());
+  auto bad = reader.Next();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+  EXPECT_THAT(bad.status().message(), HasSubstr("truncated record payload"));
+}
+
+TEST(RecordReaderTest, BitFlipInPayloadIsChecksumMismatch) {
+  std::string stream = TwoRecordStream();
+  stream[8] ^= 0x40;  // first byte of the first payload
+  RecordReader reader(stream);
+  auto bad = reader.Next();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+  EXPECT_THAT(bad.status().message(), HasSubstr("record checksum mismatch"));
+}
+
+TEST(RecordReaderTest, BitFlipInStoredCrcIsChecksumMismatch) {
+  std::string stream = TwoRecordStream();
+  stream[4] ^= 0x01;  // low byte of the first record's stored CRC
+  RecordReader reader(stream);
+  auto bad = reader.Next();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+  EXPECT_THAT(bad.status().message(), HasSubstr("record checksum mismatch"));
+}
+
+TEST(RecordReaderTest, EveryTruncationPointIsRejectedNotMisread) {
+  // A torn write can stop at any byte.  Whatever the cut, the reader must
+  // return the intact prefix records and then a kCorruption (never a wrong
+  // payload, never a crash).
+  const std::string stream = TwoRecordStream();
+  for (size_t cut = 0; cut < stream.size(); ++cut) {
+    const std::string torn = stream.substr(0, cut);
+    RecordReader reader(torn);
+    int intact = 0;
+    while (true) {
+      auto rec = reader.Next();
+      if (rec.ok()) {
+        ++intact;
+        continue;
+      }
+      if (reader.AtEnd()) {
+        EXPECT_EQ(rec.status().code(), StatusCode::kOutOfRange);
+      } else {
+        EXPECT_EQ(rec.status().code(), StatusCode::kCorruption)
+            << "cut at " << cut;
+      }
+      break;
+    }
+    EXPECT_LE(intact, 2);
+  }
+}
+
+TEST(RecordReaderTest, PositionTracksConsumedBytes) {
+  const std::string stream = TwoRecordStream();
+  RecordReader reader(stream);
+  EXPECT_EQ(reader.position(), 0u);
+  ASSERT_TRUE(reader.Next().ok());
+  EXPECT_EQ(reader.position(), 8u + 12u);  // header + "first record"
+  ASSERT_TRUE(reader.Next().ok());
+  EXPECT_EQ(reader.position(), stream.size());
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace regcluster

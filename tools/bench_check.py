@@ -22,6 +22,12 @@ fails the check when that fraction is exceeded.  The gate is skipped with a
 notice when neither input has the section (e.g. ``bench_threads`` has not
 run), so the micro comparison stays usable on its own.
 
+The durability layer is gated the same way: ``checkpoint_overhead`` records
+how much slower a serial mine runs through the chunked, snapshot-writing
+``RunCheckpointedMine`` driver (real checkpoint file, default cadence) than
+through a plain ``Mine()``; ``--max-checkpoint-overhead`` (default 2%)
+fails the check when that fraction is exceeded.
+
 The observability layer is gated the same way: ``stats_overhead`` records
 how much slower a serial mine runs with ``collect_stats`` on vs off, capped
 by ``--max-stats-overhead`` (default 1%); and the ``stats`` section carries
@@ -118,6 +124,25 @@ def check_stats_overhead(fresh_doc, baseline_doc, max_overhead):
               f"{'' if ok else '  REGRESSION'}")
         return ok
     print("stats-collection overhead: no stats_overhead section in either "
+          "input; skipping gate (run bench_threads to measure)")
+    return True
+
+
+def check_checkpoint_overhead(fresh_doc, baseline_doc, max_overhead):
+    """Gates checkpoint_overhead.overhead_fraction (durable chunked mine
+    with snapshot writes vs plain mine), mirroring check_budget_overhead's
+    fresh-then-baseline fallback."""
+    for label, doc in (("fresh", fresh_doc), ("baseline", baseline_doc)):
+        section = doc.get("checkpoint_overhead")
+        if not section:
+            continue
+        overhead = float(section["overhead_fraction"])
+        ok = overhead <= max_overhead
+        print(f"checkpoint overhead ({label}): {overhead:+.2%} "
+              f"(limit {max_overhead:.2%})"
+              f"{'' if ok else '  REGRESSION'}")
+        return ok
+    print("checkpoint overhead: no checkpoint_overhead section in either "
           "input; skipping gate (run bench_threads to measure)")
     return True
 
@@ -304,6 +329,10 @@ def main(argv):
                         help="maximum tolerated budget-guard overhead "
                              "fraction from the budget_overhead section "
                              "(default: %(default)s)")
+    parser.add_argument("--max-checkpoint-overhead", type=float, default=0.02,
+                        help="maximum tolerated durable-mine overhead "
+                             "fraction from the checkpoint_overhead section "
+                             "(default: %(default)s)")
     parser.add_argument("--max-stats-overhead", type=float, default=0.01,
                         help="maximum tolerated stats-collection overhead "
                              "fraction from the stats_overhead section "
@@ -373,6 +402,9 @@ def main(argv):
         failed = True
     if not check_stats_overhead(fresh_doc, baseline_doc,
                                 args.max_stats_overhead):
+        failed = True
+    if not check_checkpoint_overhead(fresh_doc, baseline_doc,
+                                     args.max_checkpoint_overhead):
         failed = True
     if not check_sweep_speedup(fresh_doc, baseline_doc,
                                args.min_sweep_speedup):

@@ -28,6 +28,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,7 @@
 #include "eval/quality.h"
 #include "eval/significance.h"
 #include "io/annotation_io.h"
+#include "io/checkpoint.h"
 #include "io/cluster_io.h"
 #include "io/json_export.h"
 #include "io/metrics_export.h"
@@ -54,6 +56,7 @@
 #include "synth/generator.h"
 #include "synth/yeast_surrogate.h"
 #include "util/cancellation.h"
+#include "util/durable_file.h"
 #include "util/string_util.h"
 
 namespace regcluster {
@@ -189,6 +192,17 @@ util::StatusOr<std::vector<core::RegCluster>> LoadClustersArg(
   return c;
 }
 
+/// Renders a report through `write` into memory and atomically replaces
+/// `path` with it.  Every CLI report (archive, JSON, CSV, metrics) goes
+/// through here so a crash mid-write can never leave a torn file where a
+/// previous complete report existed.
+template <typename WriteFn>
+util::Status WriteReportAtomic(const std::string& path, WriteFn&& write) {
+  std::ostringstream buffer;
+  if (util::Status st = write(buffer); !st.ok()) return st;
+  return util::AtomicWriteFile(path, buffer.str());
+}
+
 // ---------------------------------------------------------------------------
 // generate
 // ---------------------------------------------------------------------------
@@ -262,7 +276,9 @@ int RunSweep(const matrix::MatrixStore& data, core::MinerOptions base,
              const std::vector<core::MinerOptions>& points,
              const std::string& json_path, const std::string& csv_path,
              bool share_models, const std::string& metrics_path,
-             io::MetricsFormat metrics_format) {
+             io::MetricsFormat metrics_format, bool durable,
+             const io::CheckpointConfig& ckpt_config,
+             const io::SweepCheckpoint* resume, bool deterministic_output) {
   // The budget flags act at sweep level (one budget spanning all points);
   // ParseSweepSpec already copied the budget-free base into every point.
   core::SweepOptions sopts;
@@ -274,16 +290,40 @@ int RunSweep(const matrix::MatrixStore& data, core::MinerOptions base,
   auto token = std::make_shared<util::CancellationToken>();
   sopts.cancel_token = token;
 
-  core::SweepEngine engine(data, sopts);
   g_interrupt_token.store(token.get(), std::memory_order_release);
   auto prev_int = std::signal(SIGINT, HandleInterrupt);
   auto prev_term = std::signal(SIGTERM, HandleInterrupt);
-  auto report_or = engine.Run(points);
+  core::SweepReport report;
+  io::CheckpointStats ckpt_stats;
+  const io::CheckpointStats* ckpt_for_metrics = nullptr;
+  util::Status run_status;
+  if (durable) {
+    auto result = io::RunCheckpointedSweep(data, points, sopts, ckpt_config,
+                                           resume);
+    if (result.ok()) {
+      report = std::move(result->report);
+      ckpt_stats = result->checkpoint;
+      ckpt_for_metrics = &ckpt_stats;
+      if (!result->checkpoint_status.ok()) {
+        std::fprintf(stderr, "warning: checkpoint write failed: %s\n",
+                     result->checkpoint_status.ToString().c_str());
+      }
+    } else {
+      run_status = result.status();
+    }
+  } else {
+    core::SweepEngine engine(data, sopts);
+    auto report_or = engine.Run(points);
+    if (report_or.ok()) {
+      report = *std::move(report_or);
+    } else {
+      run_status = report_or.status();
+    }
+  }
   std::signal(SIGINT, prev_int == SIG_ERR ? SIG_DFL : prev_int);
   std::signal(SIGTERM, prev_term == SIG_ERR ? SIG_DFL : prev_term);
   g_interrupt_token.store(nullptr, std::memory_order_release);
-  if (!report_or.ok()) return Fail(report_or.status());
-  const core::SweepReport& report = *report_or;
+  if (!run_status.ok()) return Fail(run_status);
 
   const bool truncated = report.status == core::MineStatus::kTruncated;
   if (truncated) {
@@ -293,6 +333,13 @@ int RunSweep(const matrix::MatrixStore& data, core::MinerOptions base,
                  util::StopReasonName(report.stop_reason),
                  report.runs_executed, report.runs.size(),
                  report.first_unfinished);
+    if (durable && !ckpt_config.path.empty()) {
+      std::fprintf(stderr,
+                   "warning: checkpoint saved; re-run the same command with\n"
+                   "warning:   --resume-from=%s\n"
+                   "warning: to continue from this point\n",
+                   ckpt_config.path.c_str());
+    }
   }
   for (const core::SweepRun& run : report.runs) {
     if (!run.status.ok()) {
@@ -308,30 +355,34 @@ int RunSweep(const matrix::MatrixStore& data, core::MinerOptions base,
       static_cast<long long>(report.nodes_total), report.index_builds,
       report.index_builds == 1 ? "" : "s", report.wall_seconds);
 
+  if (deterministic_output) io::ZeroVolatileSweepFields(&report);
+
   if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    if (!out) return Fail(util::Status::IoError("cannot open " + json_path));
-    if (auto st = io::WriteSweepJson(report, out); !st.ok()) return Fail(st);
+    auto st = WriteReportAtomic(json_path, [&](std::ostream& out) {
+      return io::WriteSweepJson(report, out);
+    });
+    if (!st.ok()) return Fail(st);
     std::printf("sweep json: %s\n", json_path.c_str());
   }
   if (!csv_path.empty()) {
-    std::ofstream out(csv_path);
-    if (!out) return Fail(util::Status::IoError("cannot open " + csv_path));
-    if (auto st = io::WriteSweepCsv(report, out); !st.ok()) return Fail(st);
+    auto st = WriteReportAtomic(csv_path, [&](std::ostream& out) {
+      return io::WriteSweepCsv(report, out);
+    });
+    if (!st.ok()) return Fail(st);
     std::printf("sweep csv: %s\n", csv_path.c_str());
   }
   if (!metrics_path.empty()) {
-    std::ofstream out(metrics_path);
-    if (!out) {
-      return Fail(util::Status::IoError("cannot open " + metrics_path));
-    }
-    obs::MetricsRegistry registry;
-    if (auto st = io::RegisterSweepMetrics(report, &registry); !st.ok()) {
-      return Fail(st);
-    }
-    auto st = metrics_format == io::MetricsFormat::kPrometheus
-                  ? registry.WritePrometheus(out)
-                  : registry.WriteJson(out);
+    auto st = WriteReportAtomic(metrics_path, [&](std::ostream& out) {
+      obs::MetricsRegistry registry;
+      if (auto rs = io::RegisterSweepMetrics(report, &registry,
+                                             ckpt_for_metrics);
+          !rs.ok()) {
+        return rs;
+      }
+      return metrics_format == io::MetricsFormat::kPrometheus
+                 ? registry.WritePrometheus(out)
+                 : registry.WriteJson(out);
+    });
     if (!st.ok()) return Fail(st);
     std::printf("metrics: %s\n", metrics_path.c_str());
   }
@@ -357,6 +408,8 @@ int CmdMine(Flags* flags) {
         "  [--metrics-out=PATH] [--metrics-format=json|prom]\n"
         "  [--collect-stats=true] [--simd=auto|scalar|avx2|neon]\n"
         "  [--max-clusters=-1] [--max-nodes=-1] [--deadline-ms=-1]\n"
+        "  [--checkpoint=PATH] [--checkpoint-every-ms=1000]\n"
+        "  [--resume-from=PATH] [--deterministic-output]\n"
         "  [--sweep=SPEC --sweep-out=PATH [--sweep-csv=PATH]\n"
         "   [--share-models=true]]\n"
         "Mines reg-clusters and writes the machine-format archive to --out.\n"
@@ -387,7 +440,17 @@ int CmdMine(Flags* flags) {
         "Budgets (--max-clusters/--max-nodes/--deadline-ms) and Ctrl-C stop\n"
         "the search at a deterministic root boundary: the outputs are then a\n"
         "canonical prefix of the full result, the JSON export carries an\n"
-        "\"outcome\" block with a resume point, and the exit code is 3.");
+        "\"outcome\" block with a resume point, and the exit code is 3.\n"
+        "--checkpoint=PATH makes the run durable: progress is snapshotted to\n"
+        "PATH.a/PATH.b (atomic-replace, CRC-framed, double-buffered) about\n"
+        "every --checkpoint-every-ms, so a SIGKILL at any instant loses at\n"
+        "most one interval.  --resume-from=PATH continues from the newest\n"
+        "valid snapshot after validating it against the matrix and options;\n"
+        "the final output is byte-identical to an uninterrupted run.  A\n"
+        "missing snapshot starts fresh (so supervisors can always pass both\n"
+        "flags); a corrupt or mismatched one is an error (exit 1).\n"
+        "--deterministic-output zeroes the wall-clock and scheduling fields\n"
+        "of the JSON/metrics reports so byte comparison across runs works.");
     return 0;
   }
   const std::string matrix_path = flags->GetString("matrix", "");
@@ -447,7 +510,17 @@ int CmdMine(Flags* flags) {
   if (model_cache_mb >= 0) {
     opts.model_cache_bytes = model_cache_mb * (int64_t{1} << 20);
   }
+  const std::string checkpoint_path = flags->GetString("checkpoint", "");
+  const int checkpoint_every_ms = flags->GetInt("checkpoint-every-ms", 1000);
+  const std::string resume_from = flags->GetString("resume-from", "");
+  const bool deterministic_output =
+      flags->GetBool("deterministic-output", false);
   if (auto st = flags->RejectUnknown(); !st.ok()) return UsageError(st);
+  if (checkpoint_every_ms <= 0) {
+    std::fprintf(stderr, "--checkpoint-every-ms must be positive\n");
+    return 2;
+  }
+  const bool durable = !checkpoint_path.empty() || !resume_from.empty();
   if (auto st = util::simd::ApplySimdFlag(simd_name); !st.ok()) {
     return UsageError(st);
   }
@@ -473,6 +546,38 @@ int CmdMine(Flags* flags) {
     auto points = io::ParseSweepSpec(sweep_spec, base);
     if (!points.ok()) return UsageError(points.status());
     sweep_points = *std::move(points);
+  }
+
+  // Durable-run setup: load the resume snapshot (if any) before touching
+  // the matrix so a corrupt or wrong-kind checkpoint fails fast.  A missing
+  // snapshot is a fresh start -- supervisors always pass both --checkpoint
+  // and --resume-from and get correct behaviour on the first launch too.
+  io::CheckpointConfig ckpt_config;
+  ckpt_config.path = !checkpoint_path.empty() ? checkpoint_path : resume_from;
+  ckpt_config.every_ms = checkpoint_every_ms;
+  std::optional<io::Checkpoint> loaded;
+  if (!resume_from.empty()) {
+    auto l = io::LoadCheckpoint(resume_from);
+    if (l.ok()) {
+      loaded = *std::move(l);
+      ckpt_config.next_generation = loaded->generation + 1;
+    } else if (l.status().code() == util::StatusCode::kNotFound) {
+      std::fprintf(stderr, "note: no checkpoint at %s yet; starting fresh\n",
+                   resume_from.c_str());
+    } else {
+      return Fail(l.status());
+    }
+  }
+  if (loaded) {
+    const auto want =
+        sweeping ? io::CheckpointKind::kSweep : io::CheckpointKind::kMine;
+    if (loaded->kind != want) {
+      return Fail(util::Status::FailedPrecondition(
+          std::string("checkpoint at ") + resume_from + " is a " +
+          (loaded->kind == io::CheckpointKind::kSweep ? "sweep" : "mine") +
+          " snapshot, but this command runs a " +
+          (sweeping ? "sweep" : "mine")));
+    }
   }
 
   // Resolve the input reader: explicit --matrix-format, else sniff the
@@ -561,25 +666,56 @@ int CmdMine(Flags* flags) {
 
   if (sweeping) {
     return RunSweep(store, opts, sweep_points, sweep_out, sweep_csv,
-                    share_models, metrics_path, *metrics_format);
+                    share_models, metrics_path, *metrics_format, durable,
+                    ckpt_config, loaded ? &loaded->sweep : nullptr,
+                    deterministic_output);
   }
 
   // Route SIGINT/SIGTERM into the miner's cancellation token for the
   // duration of the search; a second signal after restoration falls back to
-  // the default (immediate) disposition.
+  // the default (immediate) disposition.  In a durable run the cancellation
+  // surfaces as a hard stop inside the driver, which writes a final
+  // synchronous snapshot before returning -- so Ctrl-C leaves a resumable
+  // checkpoint behind.
   auto token = std::make_shared<util::CancellationToken>();
   opts.cancel_token = token;
-  core::RegClusterMiner miner(store, opts);
   g_interrupt_token.store(token.get(), std::memory_order_release);
   auto prev_int = std::signal(SIGINT, HandleInterrupt);
   auto prev_term = std::signal(SIGTERM, HandleInterrupt);
-  auto clusters = miner.Mine();
+  util::StatusOr<std::vector<core::RegCluster>> clusters;
+  core::MinerStats stats;
+  core::MineOutcome outcome;
+  io::CheckpointStats ckpt_stats;
+  const io::CheckpointStats* ckpt_for_metrics = nullptr;
+  if (durable) {
+    auto result = io::RunCheckpointedMine(store, opts, ckpt_config,
+                                          loaded ? &loaded->mine : nullptr);
+    if (result.ok()) {
+      clusters = std::move(result->clusters);
+      stats = result->stats;
+      outcome = result->outcome;
+      ckpt_stats = result->checkpoint;
+      ckpt_for_metrics = &ckpt_stats;
+      if (!result->checkpoint_status.ok()) {
+        std::fprintf(stderr, "warning: checkpoint write failed: %s\n",
+                     result->checkpoint_status.ToString().c_str());
+      }
+    } else {
+      clusters = result.status();
+    }
+  } else {
+    core::RegClusterMiner miner(store, opts);
+    clusters = miner.Mine();
+    if (clusters.ok()) {
+      stats = miner.stats();
+      outcome = miner.outcome();
+    }
+  }
   std::signal(SIGINT, prev_int == SIG_ERR ? SIG_DFL : prev_int);
   std::signal(SIGTERM, prev_term == SIG_ERR ? SIG_DFL : prev_term);
   g_interrupt_token.store(nullptr, std::memory_order_release);
   if (!clusters.ok()) return Fail(clusters.status());
 
-  const core::MineOutcome outcome = miner.outcome();
   const bool truncated = outcome.status == core::MineStatus::kTruncated;
   if (truncated) {
     std::fprintf(
@@ -589,6 +725,13 @@ int CmdMine(Flags* flags) {
         " (resume root %d)\n",
         util::StopReasonName(outcome.stop_reason), outcome.roots_completed,
         outcome.roots_total, outcome.resume.next_root);
+    if (durable && !ckpt_config.path.empty()) {
+      std::fprintf(stderr,
+                   "warning: checkpoint saved; re-run the same command with\n"
+                   "warning:   --resume-from=%s\n"
+                   "warning: to continue from this point\n",
+                   ckpt_config.path.c_str());
+    }
   }
   if (merge_overlap > 0.0) {
     eval::ConsensusOptions copts;
@@ -600,7 +743,6 @@ int CmdMine(Flags* flags) {
     std::printf("consensus merge at overlap >= %.2f: %zu -> %zu clusters\n",
                 merge_overlap, before, clusters->size());
   }
-  const auto& stats = miner.stats();
   std::printf(
       "mined %zu clusters in %.3f s (model build %.3f s, %lld nodes, "
       "%lld extensions)\n",
@@ -608,37 +750,32 @@ int CmdMine(Flags* flags) {
       static_cast<long long>(stats.nodes_expanded),
       static_cast<long long>(stats.extensions_tested));
 
+  if (deterministic_output) io::ZeroVolatileMineFields(&stats, &outcome);
+
   if (auto st = io::SaveClusters(*clusters, out_path); !st.ok()) {
     return Fail(st);
   }
   std::printf("archive: %s\n", out_path.c_str());
   if (!report_path.empty()) {
-    std::ofstream out(report_path);
-    if (!out) return Fail(util::Status::IoError("cannot open " + report_path));
-    if (auto st = io::WriteReport(*clusters, &store, out); !st.ok()) {
-      return Fail(st);
-    }
+    auto st = WriteReportAtomic(report_path, [&](std::ostream& out) {
+      return io::WriteReport(*clusters, &store, out);
+    });
+    if (!st.ok()) return Fail(st);
     std::printf("report: %s\n", report_path.c_str());
   }
   if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    if (!out) return Fail(util::Status::IoError("cannot open " + json_path));
-    if (auto st =
-            io::WriteClustersJson(*clusters, &store, &outcome, &stats, out);
-        !st.ok()) {
-      return Fail(st);
-    }
+    auto st = WriteReportAtomic(json_path, [&](std::ostream& out) {
+      return io::WriteClustersJson(*clusters, &store, &outcome, &stats, out);
+    });
+    if (!st.ok()) return Fail(st);
     std::printf("json: %s\n", json_path.c_str());
   }
   if (!metrics_path.empty()) {
-    std::ofstream out(metrics_path);
-    if (!out) {
-      return Fail(util::Status::IoError("cannot open " + metrics_path));
-    }
-    if (auto st = io::WriteMinerMetrics(stats, outcome, *metrics_format, out);
-        !st.ok()) {
-      return Fail(st);
-    }
+    auto st = WriteReportAtomic(metrics_path, [&](std::ostream& out) {
+      return io::WriteMinerMetrics(stats, outcome, *metrics_format, out,
+                                   ckpt_for_metrics);
+    });
+    if (!st.ok()) return Fail(st);
     std::printf("metrics: %s\n", metrics_path.c_str());
   }
   return truncated ? kExitTruncated : kExitOk;
