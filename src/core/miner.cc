@@ -1,11 +1,14 @@
 #include "core/miner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <deque>
 #include <limits>
+#include <mutex>
 #include <numeric>
 #include <thread>
 
@@ -279,6 +282,24 @@ struct RegClusterMiner::RunState {
   int first_root = 0;
   int threads = 1;
   int fin_slot = 0;  ///< guard byte-report slot of the finalize pass
+
+  /// Phase-A tasks of *this run* still queued or running on a shared pool.
+  /// Incremented before each Submit, decremented as the last action of the
+  /// task body, so a transient zero cannot be observed while a root still
+  /// has subtrees to submit (the root's own count covers the submission
+  /// window).  Only the shared-pool path maintains it: an exclusive pool
+  /// may drop queued tasks via CancelPending, which would strand the count.
+  std::atomic<int64_t> outstanding{0};
+  std::mutex wait_mu;
+  std::condition_variable wait_cv;
+
+  /// Marks one phase-A task finished and wakes WaitParallelWork().
+  void TaskDone() {
+    if (outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(wait_mu);
+      wait_cv.notify_all();
+    }
+  }
 };
 
 namespace {
@@ -607,23 +628,38 @@ void RegClusterMiner::SubmitRoots(util::TaskPool* pool, bool exclusive_pool) {
   MinerScratch* scratches = run_->scratches.data();
   RootWork* work = run_->work.data();
   util::TaskPool* ctl_pool = exclusive_pool ? pool : nullptr;
+  // Shared pools track per-run completion so WaitParallelWork() can drain
+  // this run without the pool's global barrier; `track` stays null on the
+  // exclusive path, where CancelPending may drop queued tasks unrun.
+  RunState* track = exclusive_pool ? nullptr : run_.get();
+  if (track != nullptr) {
+    track->outstanding.fetch_add(num_conds - run_->first_root,
+                                 std::memory_order_relaxed);
+  }
   // Each root task seeds its level-2 subtrees and immediately re-submits
   // them: large subtrees become stealable instead of serializing behind
   // their root, which is what makes imbalanced trees scale.
   for (int c = run_->first_root; c < num_conds; ++c) {
     RootWork* rw = &work[c];
-    pool->Submit([this, c, rw, pool, scratches, ctl_pool](int worker) {
+    pool->Submit([this, c, rw, pool, scratches, ctl_pool, track](int worker) {
       MinerScratch* scratch = &scratches[worker];
       TaskControl ctl = MakeControl(scratch, worker, ctl_pool);
       rw->ctx.ctl = &ctl;
       const bool seed_ok = !ctl.CheckAbort() && SeedRoot(c, rw, scratch);
       ctl.Finish();
       rw->ctx.ctl = nullptr;
-      if (!seed_ok) return;  // abandoned: the root stays incomplete
+      if (!seed_ok) {  // abandoned: the root stays incomplete
+        if (track != nullptr) track->TaskDone();
+        return;
+      }
       rw->subtree_ctx.resize(rw->seeds.size());
       rw->seeded.store(true, std::memory_order_release);
+      if (track != nullptr) {
+        track->outstanding.fetch_add(static_cast<int64_t>(rw->seeds.size()),
+                                     std::memory_order_relaxed);
+      }
       for (size_t i = 0; i < rw->seeds.size(); ++i) {
-        pool->Submit([this, c, rw, i, scratches, ctl_pool](int w) {
+        pool->Submit([this, c, rw, i, scratches, ctl_pool, track](int w) {
           MinerScratch* s = &scratches[w];
           TaskControl sub_ctl = MakeControl(s, w, ctl_pool);
           SearchContext* ctx = &rw->subtree_ctx[i];
@@ -636,10 +672,22 @@ void RegClusterMiner::SubmitRoots(util::TaskPool* pool, bool exclusive_pool) {
           if (!sub_ctl.stopped) {
             rw->subtrees_done.fetch_add(1, std::memory_order_acq_rel);
           }
+          if (track != nullptr) track->TaskDone();
         });
       }
+      if (track != nullptr) track->TaskDone();
     });
   }
+}
+
+void RegClusterMiner::WaitParallelWork() {
+  if (run_ == nullptr) return;
+  RunState* run = run_.get();
+  if (run->outstanding.load(std::memory_order_acquire) == 0) return;
+  std::unique_lock<std::mutex> lock(run->wait_mu);
+  run->wait_cv.wait(lock, [run] {
+    return run->outstanding.load(std::memory_order_acquire) == 0;
+  });
 }
 
 util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Finalize() {

@@ -390,6 +390,16 @@ class RegClusterMiner {
   void SubmitParallelWork(util::TaskPool* pool);
   util::StatusOr<std::vector<RegCluster>> Finalize();
 
+  /// Blocks until every phase-A task submitted by the last
+  /// SubmitParallelWork() call has finished.  util::TaskPool::Wait() is a
+  /// *global* barrier -- it waits for every task in the pool, including
+  /// other runs' -- so a request/session driver sharing one pool across
+  /// concurrent mines must use this instead: each session drains only its
+  /// own tasks and proceeds to Finalize() while the others keep mining.
+  /// Returns immediately when no parallel work was submitted (serial
+  /// staged run, or a pool exclusively owned by this run via Mine()).
+  void WaitParallelWork();
+
   /// Counters from the last Mine() call.  Under truncation these describe
   /// exactly the included canonical prefix (deterministic); total effort
   /// including abandoned work is outcome().nodes_visited.

@@ -1,0 +1,264 @@
+#include "server/daemon.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "io/json_export.h"
+#include "server/protocol.h"
+
+namespace regcluster {
+namespace server {
+namespace {
+
+using util::Status;
+
+Status IoErrno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+ServerDaemon::ServerDaemon(const Options& options)
+    : options_(options), service_(options.service) {}
+
+ServerDaemon::~ServerDaemon() {
+  CloseListeners();
+  for (Conn& c : conns_) {
+    if (c.thread.joinable()) c.thread.join();
+  }
+  if (!options_.unix_socket.empty()) {
+    ::unlink(options_.unix_socket.c_str());
+  }
+}
+
+util::Status ServerDaemon::Start() {
+  if (options_.port < 0 && options_.unix_socket.empty()) {
+    return Status::InvalidArgument("serve needs --port and/or --socket");
+  }
+  if (::pipe(wake_pipe_) != 0) return IoErrno("pipe");
+
+  if (options_.port >= 0) {
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_fd_ < 0) return IoErrno("socket");
+    const int one = 1;
+    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+    if (::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      return IoErrno("bind port " + std::to_string(options_.port));
+    }
+    if (::listen(tcp_fd_, 64) != 0) return IoErrno("listen");
+    socklen_t len = sizeof(addr);
+    if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+        0) {
+      return IoErrno("getsockname");
+    }
+    bound_port_ = static_cast<int>(ntohs(addr.sin_port));
+  }
+
+  if (!options_.unix_socket.empty()) {
+    sockaddr_un addr{};
+    if (options_.unix_socket.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("--socket path too long");
+    }
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd_ < 0) return IoErrno("socket");
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options_.unix_socket.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options_.unix_socket.c_str());
+    if (::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      return IoErrno("bind " + options_.unix_socket);
+    }
+    if (::listen(unix_fd_, 64) != 0) return IoErrno("listen");
+  }
+  return Status::OK();
+}
+
+void ServerDaemon::RequestShutdown() {
+  // One byte through the self-pipe: write() is async-signal-safe, so the
+  // CLI's SIGTERM handler may call this directly.
+  const char b = 1;
+  [[maybe_unused]] ssize_t unused = ::write(wake_pipe_[1], &b, 1);
+}
+
+void ServerDaemon::CloseListeners() {
+  if (tcp_fd_ >= 0) {
+    ::close(tcp_fd_);
+    tcp_fd_ = -1;
+  }
+  if (unix_fd_ >= 0) {
+    ::close(unix_fd_);
+    unix_fd_ = -1;
+  }
+  if (wake_pipe_[0] >= 0) {
+    ::close(wake_pipe_[0]);
+    ::close(wake_pipe_[1]);
+    wake_pipe_[0] = wake_pipe_[1] = -1;
+  }
+}
+
+void ServerDaemon::Run() {
+  while (true) {
+    pollfd fds[3];
+    nfds_t nfds = 0;
+    const int wake_index = static_cast<int>(nfds);
+    fds[nfds++] = {wake_pipe_[0], POLLIN, 0};
+    int tcp_index = -1, unix_index = -1;
+    if (tcp_fd_ >= 0) {
+      tcp_index = static_cast<int>(nfds);
+      fds[nfds++] = {tcp_fd_, POLLIN, 0};
+    }
+    if (unix_fd_ >= 0) {
+      unix_index = static_cast<int>(nfds);
+      fds[nfds++] = {unix_fd_, POLLIN, 0};
+    }
+    if (::poll(fds, nfds, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[wake_index].revents & POLLIN) != 0) break;
+    for (const int idx : {tcp_index, unix_index}) {
+      if (idx < 0 || (fds[idx].revents & POLLIN) == 0) continue;
+      const int conn = ::accept(fds[idx].fd, nullptr, nullptr);
+      if (conn < 0) continue;
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (shutting_down_) {
+        ::close(conn);
+        continue;
+      }
+      ReapFinishedLocked();
+      Conn c;
+      c.fd = conn;
+      c.done = std::make_shared<std::atomic<bool>>(false);
+      auto done = c.done;
+      c.thread =
+          std::thread([this, conn, done] { HandleConnection(conn, done); });
+      conns_.push_back(std::move(c));
+    }
+  }
+
+  // Drain: stop reading new requests on every open connection (the
+  // in-flight request keeps running and its response still writes), then
+  // join.  New accepts are refused above via shutting_down_.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    shutting_down_ = true;
+    for (const Conn& c : conns_) ::shutdown(c.fd, SHUT_RD);
+  }
+  for (Conn& c : conns_) {
+    if (c.thread.joinable()) c.thread.join();
+  }
+  conns_.clear();
+  CloseListeners();
+}
+
+void ServerDaemon::ReapFinishedLocked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->done->load(std::memory_order_acquire)) {
+      if (it->thread.joinable()) it->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ServerDaemon::HandleConnection(int fd,
+                                    std::shared_ptr<std::atomic<bool>> done) {
+  FdStream stream(fd);
+  char first = 0;
+  while (true) {
+    // Sniff the transport from the first byte of each request
+    // (FdStream::Read already retries EINTR).
+    const int r = stream.Read(&first, 1);
+    if (r <= 0) break;  // EOF or error between requests: done
+
+    if (std::isalpha(static_cast<unsigned char>(first)) != 0) {
+      // HTTP: one request, one response, close (Connection: close).
+      auto request = ReadHttpRequest(&stream, first);
+      ServiceResponse response;
+      if (!request.ok()) {
+        const bool oversized =
+            request.status().code() == util::StatusCode::kOutOfRange;
+        response.http_status = oversized ? 413 : 400;
+        response.status_name = oversized ? "body_too_large" : "bad_http";
+        response.body = "{\"status\":\"error\",\"error_name\":\"" +
+                        response.status_name + "\",\"error\":\"" +
+                        io::JsonEscape(request.status().message()) + "\"}\n";
+      } else {
+        response = service_.HandleHttp(request->method, request->target,
+                                       request->body);
+      }
+      const std::string wire =
+          FormatHttpResponse(response.http_status, response.content_type,
+                             response.body, response.retry_after_s);
+      stream.Write(wire.data(), wire.size());
+      break;
+    }
+
+    // Binary framing: persistent -- frames until EOF.  The sniffed byte is
+    // the length prefix's high byte; feed it back through a tiny shim.
+    class PrefixedStream : public ByteStream {
+     public:
+      PrefixedStream(char first, ByteStream* rest)
+          : first_(first), rest_(rest) {}
+      int Read(char* buf, size_t n) override {
+        if (!served_ && n > 0) {
+          served_ = true;
+          buf[0] = first_;
+          return 1;
+        }
+        return rest_->Read(buf, n);
+      }
+      bool Write(const char* buf, size_t n) override {
+        return rest_->Write(buf, n);
+      }
+
+     private:
+      char first_;
+      ByteStream* rest_;
+      bool served_ = false;
+    } prefixed(first, &stream);
+
+    auto payload = ReadFrame(&prefixed);
+    if (!payload.ok()) {
+      // Torn frames / oversized lengths leave the stream position
+      // untrustworthy: answer with a framed error, then close.
+      std::string name;
+      switch (payload.status().code()) {
+        case util::StatusCode::kOutOfRange:
+          name = "frame_too_large";
+          break;
+        case util::StatusCode::kCorruption:
+          name = "torn_frame";
+          break;
+        default:
+          name = "io_error";
+          break;
+      }
+      const std::string body = "{\"status\":\"error\",\"error_name\":\"" +
+                               name + "\"}";
+      (void)WriteFrame(&stream, body);
+      break;
+    }
+    ServiceResponse response = service_.HandleFrame(*payload);
+    if (!WriteFrame(&stream, response.body).ok()) break;
+  }
+  ::close(fd);
+  done->store(true, std::memory_order_release);
+}
+
+}  // namespace server
+}  // namespace regcluster

@@ -1,0 +1,97 @@
+// The long-lived socket daemon behind `regcluster serve`: binds a TCP port
+// and/or a unix socket, accepts connections, sniffs the transport (HTTP vs
+// length-prefixed binary, see server/protocol.h) and dispatches requests
+// into the MiningService.
+//
+// Threading: one thread per connection, bounded indirectly by the
+// service's admission control (a connection over the limits gets a shed
+// response, not a thread convoy -- parsing and shedding are cheap).  The
+// accept loop polls the listening sockets plus a self-pipe.
+//
+// Shutdown contract (the cli_serve lifecycle test): RequestShutdown() is
+// async-signal-safe (one write to the self-pipe), so the CLI's SIGTERM /
+// SIGINT handler may call it directly.  The accept loop then stops
+// accepting, half-closes every open connection for reading (in-flight
+// requests complete and their responses are written; no new requests are
+// read), joins the connection threads, and Run() returns -- a clean drain,
+// exit 0.
+
+#ifndef REGCLUSTER_SERVER_DAEMON_H_
+#define REGCLUSTER_SERVER_DAEMON_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/service.h"
+#include "util/status.h"
+
+namespace regcluster {
+namespace server {
+
+class ServerDaemon {
+ public:
+  struct Options {
+    /// TCP port to listen on; 0 picks an ephemeral port (see bound_port()),
+    /// -1 disables TCP.  Binds 127.0.0.1 -- this daemon has no auth layer,
+    /// so it never listens on the open network.
+    int port = -1;
+    /// Unix-domain socket path; empty disables.
+    std::string unix_socket;
+    MiningService::Options service;
+  };
+
+  explicit ServerDaemon(const Options& options);
+  ~ServerDaemon();
+
+  ServerDaemon(const ServerDaemon&) = delete;
+  ServerDaemon& operator=(const ServerDaemon&) = delete;
+
+  /// Binds and listens.  InvalidArgument when neither listener is
+  /// configured; IoError on bind/listen failures (port in use, bad path).
+  util::Status Start();
+
+  /// The TCP port actually bound (resolves port 0); -1 without TCP.
+  int bound_port() const { return bound_port_; }
+
+  /// Serves until RequestShutdown(); returns after the drain completes.
+  void Run();
+
+  /// Async-signal-safe shutdown trigger.
+  void RequestShutdown();
+
+  MiningService* service() { return &service_; }
+
+ private:
+  void HandleConnection(int fd, std::shared_ptr<std::atomic<bool>> done);
+  void CloseListeners();
+
+  const Options options_;
+  MiningService service_;
+  int tcp_fd_ = -1;
+  int unix_fd_ = -1;
+  int bound_port_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+
+  /// One accepted connection; `done` lets the accept loop reap finished
+  /// threads instead of accumulating one join per connection ever served.
+  struct Conn {
+    std::thread thread;
+    int fd = -1;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  void ReapFinishedLocked();
+
+  std::mutex conn_mu_;
+  std::vector<Conn> conns_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace server
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_SERVER_DAEMON_H_

@@ -1,0 +1,233 @@
+#include "server/protocol.h"
+
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <string_view>
+
+#include "util/string_util.h"
+
+namespace regcluster {
+namespace server {
+namespace {
+
+using util::Status;
+using util::StatusOr;
+
+/// Strict non-negative decimal (no sign, no whitespace, no overflow).
+bool ParseContentLength(std::string_view s, int64_t* out) {
+  if (s.empty()) return false;
+  int64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    const int digit = c - '0';
+    if (v > (std::numeric_limits<int64_t>::max() - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+/// Reads exactly `n` bytes.  Returns the count actually read (< n only on
+/// EOF) or -1 on a stream error.
+int64_t ReadFully(ByteStream* stream, char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    const int r = stream->Read(buf + got, n - got);
+    if (r < 0) return -1;
+    if (r == 0) break;
+    got += static_cast<size_t>(r);
+  }
+  return static_cast<int64_t>(got);
+}
+
+}  // namespace
+
+int FdStream::Read(char* buf, size_t n) {
+  while (true) {
+    const ssize_t r = ::read(fd_, buf, n);
+    if (r >= 0) return static_cast<int>(r);
+    if (errno != EINTR) return -1;
+  }
+}
+
+bool FdStream::Write(const char* buf, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::write(fd_, buf + sent, n - sent);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+util::StatusOr<std::string> ReadFrame(ByteStream* stream) {
+  char len_bytes[4];
+  const int64_t len_got = ReadFully(stream, len_bytes, sizeof(len_bytes));
+  if (len_got < 0) return Status::IoError("frame length read failed");
+  if (len_got == 0) return Status::NotFound("end of stream");
+  if (len_got < 4) {
+    return Status::Corruption(util::StrFormat(
+        "torn frame: stream ended %lld bytes into the length prefix",
+        static_cast<long long>(len_got)));
+  }
+  const uint32_t length = (static_cast<uint32_t>(
+                               static_cast<unsigned char>(len_bytes[0]))
+                           << 24) |
+                          (static_cast<uint32_t>(
+                               static_cast<unsigned char>(len_bytes[1]))
+                           << 16) |
+                          (static_cast<uint32_t>(
+                               static_cast<unsigned char>(len_bytes[2]))
+                           << 8) |
+                          static_cast<uint32_t>(
+                              static_cast<unsigned char>(len_bytes[3]));
+  if (length > kMaxFrameBytes) {
+    return Status::OutOfRange(util::StrFormat(
+        "frame declares %u bytes (cap %u)", length, kMaxFrameBytes));
+  }
+  std::string payload(length, '\0');
+  const int64_t got = ReadFully(stream, payload.data(), length);
+  if (got < 0) return Status::IoError("frame payload read failed");
+  if (got < static_cast<int64_t>(length)) {
+    return Status::Corruption(util::StrFormat(
+        "torn frame: %lld of %u payload bytes before the stream ended",
+        static_cast<long long>(got), length));
+  }
+  return payload;
+}
+
+util::Status WriteFrame(ByteStream* stream, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::OutOfRange("frame payload over the cap");
+  }
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  const char len_bytes[4] = {
+      static_cast<char>((length >> 24) & 0xFF),
+      static_cast<char>((length >> 16) & 0xFF),
+      static_cast<char>((length >> 8) & 0xFF),
+      static_cast<char>(length & 0xFF),
+  };
+  if (!stream->Write(len_bytes, sizeof(len_bytes)) ||
+      !stream->Write(payload.data(), payload.size())) {
+    return Status::IoError("frame write failed");
+  }
+  return Status::OK();
+}
+
+util::StatusOr<HttpRequest> ReadHttpRequest(ByteStream* stream,
+                                            char first_byte) {
+  // Accumulate the head byte-by-byte until the blank line; request heads
+  // are tiny and this keeps us from over-reading into a pipelined body.
+  std::string head(1, first_byte);
+  while (head.size() < kMaxHttpHeadBytes) {
+    if (head.size() >= 4 &&
+        head.compare(head.size() - 4, 4, "\r\n\r\n") == 0) {
+      break;
+    }
+    char c;
+    const int r = stream->Read(&c, 1);
+    if (r < 0) return Status::IoError("request head read failed");
+    if (r == 0) {
+      return Status::Corruption("connection closed mid request head");
+    }
+    head.push_back(c);
+  }
+  if (head.size() >= kMaxHttpHeadBytes) {
+    return Status::OutOfRange("request head over 64 KiB");
+  }
+
+  HttpRequest request;
+  const size_t line_end = head.find("\r\n");
+  const std::string request_line = head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    return Status::Corruption("malformed request line");
+  }
+  request.method = request_line.substr(0, sp1);
+  request.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = request_line.substr(sp2 + 1);
+  if (version.rfind("HTTP/1.", 0) != 0) {
+    return Status::Corruption("malformed request line: not HTTP/1.x");
+  }
+
+  // Headers: only Content-Length matters; everything else is skipped.
+  int64_t content_length = 0;
+  size_t pos = line_end + 2;
+  while (pos + 2 <= head.size()) {
+    const size_t eol = head.find("\r\n", pos);
+    if (eol == pos) break;  // blank line
+    std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Status::Corruption("malformed header line");
+    }
+    std::string name = line.substr(0, colon);
+    for (char& c : name) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (name == "content-length") {
+      if (!ParseContentLength(util::Trim(line.substr(colon + 1)),
+                              &content_length)) {
+        return Status::Corruption("malformed Content-Length");
+      }
+    }
+  }
+  if (content_length > static_cast<int64_t>(kMaxFrameBytes)) {
+    return Status::OutOfRange(util::StrFormat(
+        "Content-Length %lld over the %u byte cap",
+        static_cast<long long>(content_length), kMaxFrameBytes));
+  }
+  if (content_length > 0) {
+    request.body.resize(static_cast<size_t>(content_length));
+    const int64_t got =
+        ReadFully(stream, request.body.data(), request.body.size());
+    if (got < 0) return Status::IoError("request body read failed");
+    if (got < content_length) {
+      return Status::Corruption(util::StrFormat(
+          "connection closed %lld bytes into a %lld byte body",
+          static_cast<long long>(got),
+          static_cast<long long>(content_length)));
+    }
+  }
+  return request;
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 413: return "Content Too Large";
+    case 503: return "Service Unavailable";
+    case 500:
+    default: return "Internal Server Error";
+  }
+}
+
+std::string FormatHttpResponse(int status, const std::string& content_type,
+                               const std::string& body, int retry_after_s) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    HttpReasonPhrase(status) + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  if (retry_after_s > 0) {
+    out += "Retry-After: " + std::to_string(retry_after_s) + "\r\n";
+  }
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace server
+}  // namespace regcluster

@@ -1,0 +1,99 @@
+// Wire codecs of the mining daemon: the length-prefixed binary framing and
+// the minimal HTTP/1.1 front, both over an abstract byte stream so the
+// protocol fault tests exercise torn frames, oversized lengths and
+// mid-request disconnects without sockets.
+//
+// Binary framing: a 4-byte big-endian payload length followed by that many
+// payload bytes (JSON, see server/request.h).  Responses use the same
+// framing.  A declared length over kMaxFrameBytes is refused *before*
+// reading the payload -- the daemon answers with a framed "frame_too_large"
+// error and closes, since the stream position is no longer trustworthy.  A
+// stream that ends mid-length or mid-payload is a torn frame; clean EOF on
+// a frame boundary ends the connection without error.
+//
+// HTTP front: request line + headers + Content-Length body; enough for
+// curl / Prometheus / load balancers, deliberately nothing more (no
+// chunked encoding, no keep-alive -- every response closes).  Both fronts
+// share one listening socket: the first byte distinguishes them (an HTTP
+// method starts with an ASCII letter; a sane frame length's high byte is
+// far below 'A').
+
+#ifndef REGCLUSTER_SERVER_PROTOCOL_H_
+#define REGCLUSTER_SERVER_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace regcluster {
+namespace server {
+
+/// Frames (and HTTP bodies) above this are refused: 16 MiB holds any sane
+/// request and bounds what one connection can make the daemon buffer.
+constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Largest accepted HTTP request head (request line + headers).
+constexpr size_t kMaxHttpHeadBytes = 64u << 10;
+
+/// Blocking byte stream the codecs read/write.  Implementations: FdStream
+/// (sockets, below) and the tests' in-memory stream.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+  /// Reads up to `n` bytes; returns the count, 0 on EOF, < 0 on error.
+  virtual int Read(char* buf, size_t n) = 0;
+  /// Writes all `n` bytes; false on error.
+  virtual bool Write(const char* buf, size_t n) = 0;
+};
+
+/// ByteStream over a file descriptor (not owned).  Retries EINTR.
+class FdStream : public ByteStream {
+ public:
+  explicit FdStream(int fd) : fd_(fd) {}
+  int Read(char* buf, size_t n) override;
+  bool Write(const char* buf, size_t n) override;
+
+ private:
+  int fd_;
+};
+
+/// Reads one length-prefixed frame payload.  Distinct failures:
+///   kOutOfRange     "frame_too_large" -- declared length over the cap;
+///   kCorruption     "torn_frame"      -- EOF mid-length or mid-payload;
+///   kIoError        read error / disconnect.
+/// Clean EOF before any length byte returns kNotFound ("end of stream"):
+/// the connection ended between frames, which is not a fault.
+util::StatusOr<std::string> ReadFrame(ByteStream* stream);
+
+/// Writes one length-prefixed frame.
+util::Status WriteFrame(ByteStream* stream, const std::string& payload);
+
+/// One decoded HTTP request.
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string body;
+};
+
+/// Reads one HTTP/1.1 request.  `first_byte` is the transport-sniff byte
+/// already consumed by the caller.  Failures mirror ReadFrame's contract:
+/// kOutOfRange for an oversized head or Content-Length, kCorruption for a
+/// malformed head or a body cut short by disconnect, kIoError for read
+/// errors.
+util::StatusOr<HttpRequest> ReadHttpRequest(ByteStream* stream,
+                                            char first_byte);
+
+/// Serializes an HTTP/1.1 response (Connection: close; Retry-After header
+/// when `retry_after_s` > 0).
+std::string FormatHttpResponse(int status, const std::string& content_type,
+                               const std::string& body, int retry_after_s);
+
+/// Stable reason phrase for the status codes the service emits.
+const char* HttpReasonPhrase(int status);
+
+}  // namespace server
+}  // namespace regcluster
+
+#endif  // REGCLUSTER_SERVER_PROTOCOL_H_

@@ -44,8 +44,12 @@ namespace {
 const char* CliPath() { return std::getenv("REGCLUSTER_CLI"); }
 
 std::string WorkDir() {
+  // Per-process: ctest runs each discovered test as its own filtered
+  // process, and concurrent instances (ctest -j) must not race on the
+  // shared dataset + reference files SetUpTestSuite writes here.
   static const std::string dir = [] {
-    std::string d = ::testing::TempDir() + "/crash_harness";
+    std::string d = ::testing::TempDir() + "/crash_harness_" +
+                    std::to_string(static_cast<long>(::getpid()));
     ::mkdir(d.c_str(), 0755);
     return d;
   }();
@@ -335,20 +339,25 @@ TEST_F(CrashHarness, TornSnapshotFilesFallBackOrFailLoud) {
   args.push_back("--checkpoint-every-ms=20");
   args.push_back("--resume-from=" + ckpt);
 
-  // Kill once mid-run to get real snapshot buffers on disk.
+  // Kill mid-run until BOTH snapshot buffers exist: tearing one buffer
+  // only exercises the fallback when the other remains on disk.  A kill
+  // that lands before the second generation leaves a single buffer, and
+  // tearing the only snapshot is the (separately pinned) refusal path,
+  // not this test.
   util::Prng prng(99);
   for (int attempt = 0; attempt < 10; ++attempt) {
     RunResult r = RunCli(args, prng.UniformInt(40'000, 120'000));
-    if (FileExists(ckpt + ".a") || FileExists(ckpt + ".b")) break;
+    if (FileExists(ckpt + ".a") && FileExists(ckpt + ".b")) break;
     if (r.exited && r.exit_code == 0) break;
   }
-  const std::string torn_buffer =
-      FileExists(ckpt + ".b") ? ckpt + ".b" : ckpt + ".a";
-  auto bytes = util::ReadFileToString(torn_buffer);
-  if (bytes.ok() && bytes->size() > 8) {
-    ASSERT_TRUE(util::AtomicWriteFile(torn_buffer,
-                                      bytes->substr(0, bytes->size() / 2))
-                    .ok());
+  if (FileExists(ckpt + ".a") && FileExists(ckpt + ".b")) {
+    const std::string torn_buffer = ckpt + ".b";
+    auto bytes = util::ReadFileToString(torn_buffer);
+    if (bytes.ok() && bytes->size() > 8) {
+      ASSERT_TRUE(util::AtomicWriteFile(torn_buffer,
+                                        bytes->substr(0, bytes->size() / 2))
+                      .ok());
+    }
   }
 
   RunResult r = RunCli(args, -1);

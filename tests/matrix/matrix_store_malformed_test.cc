@@ -6,6 +6,8 @@
 // ReadBinaryMatrix) share the validation, so each corruption is checked
 // through both.
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -35,7 +37,11 @@ constexpr size_t kOffNamesOffset = 32;
 constexpr size_t kOffFileBytes = 48;
 
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  // Per-process: ctest runs each discovered test as its own filtered
+  // process; concurrent instances (ctest -j) all build ValidFileBytes()
+  // through the same seed filename and must not clobber each other.
+  return ::testing::TempDir() + "/" +
+         std::to_string(static_cast<long>(getpid())) + "_" + name;
 }
 
 /// Bytes of a small valid binary matrix file.

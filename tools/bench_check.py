@@ -59,6 +59,14 @@ fresh-vs-baseline per phase (filter/score/sort/emit): any phase above the
 ``--phase-threshold`` fails, so a hot-path regression is pinned to the
 phase that caused it instead of hiding inside total wall time.
 
+The mining service's resource cache is gated through the ``server``
+section written by ``bench_server``: the same mine request is issued cold
+(matrix load + model build + mine) and warm (both cache levels hit)
+through one MiningService, and ``--min-warm-speedup`` (default 4x, i.e.
+warm at most 0.25x cold) fails the check when the cache no longer removes
+the load + build work -- with the warm responses required byte-identical
+to the cold one.  Same fallback and skip-with-notice behaviour.
+
 The out-of-core path is gated through the ``scalability`` section written
 by ``bench_scalability --sweep=outofcore``: it records the peak RSS of a
 memory-capped genome-scale mine through the mmap + model-cache path.
@@ -203,13 +211,43 @@ def check_sort_speedup(fresh_doc, baseline_doc, min_speedup):
     return True
 
 
+def check_warm_speedup(fresh_doc, baseline_doc, min_speedup):
+    """Gates the mining service's resource cache: server.warm_speedup (cold
+    request latency over best warm-repeat latency for the same request, as
+    measured by bench_server) must stay >= --min-warm-speedup, and the warm
+    responses must have been byte-identical to the cold one.  Same
+    fresh-then-baseline fallback and skip-with-notice as the other section
+    gates."""
+    for label, doc in (("fresh", fresh_doc), ("baseline", baseline_doc)):
+        section = doc.get("server")
+        if not section:
+            continue
+        speedup = float(section["warm_speedup"])
+        identical = bool(section.get("identical_to_cold"))
+        ok = speedup >= min_speedup and identical
+        print(f"server warm cache ({label}): cold "
+              f"{float(section.get('cold_ms', 0)):.1f} ms, warm "
+              f"{float(section.get('warm_ms', 0)):.1f} ms, {speedup:.2f}x "
+              f"(minimum {min_speedup:.2f}x)"
+              f"{'' if identical else '  OUTPUT MISMATCH'}"
+              f"{'' if ok else '  REGRESSION'}")
+        return ok
+    print("server warm cache: no server section in either input; skipping "
+          "gate (run bench_server to measure)")
+    return True
+
+
 def check_phase_ns(fresh_doc, baseline_doc, threshold, floor_ns):
     """Compares threads.serial_phase_ns per phase, fresh vs baseline.
 
     Phases below the noise floor in the baseline are reported but not
     gated (a 15% swing on a sub-millisecond phase is scheduler noise).
-    Skips with a notice when either document lacks the section or the runs
-    describe different dataset/options."""
+    Skips with a notice when either document lacks the section, the runs
+    describe different dataset/options, or either run recorded degraded_hw
+    -- phase timings measured on an unknown or single-core host (like the
+    committed baseline's 0.96x "speedup" at 2 threads) carry contention
+    noise that can fake a regression or mask one, the same reason
+    check_sort_speedup stands down."""
     fresh_threads = fresh_doc.get("threads") or {}
     baseline_threads = baseline_doc.get("threads") or {}
     fresh = fresh_threads.get("serial_phase_ns")
@@ -219,6 +257,13 @@ def check_phase_ns(fresh_doc, baseline_doc, threshold, floor_ns):
               f"{'fresh' if not fresh else 'baseline'} input; skipping gate "
               "(run bench_threads to measure)")
         return True
+    for label, threads in (("fresh", fresh_threads),
+                           ("baseline", baseline_threads)):
+        if threads.get("degraded_hw"):
+            print(f"phase breakdown: {label} threads section recorded "
+                  "degraded_hw; skipping comparison (timings from an "
+                  "unknown/single-core host are not interpretable)")
+            return True
     if (fresh_threads.get("dataset") != baseline_threads.get("dataset")
             or fresh_threads.get("options") != baseline_threads.get(
                 "options")):
@@ -357,6 +402,10 @@ def main(argv):
                         help="maximum tolerated peak_rss_bytes from the "
                              "scalability section, in bytes; 0 disables "
                              "the gate (default: %(default)s)")
+    parser.add_argument("--min-warm-speedup", type=float, default=4.0,
+                        help="minimum required cold/warm request latency "
+                             "ratio from the server section (4.0 == warm "
+                             "at most 0.25x cold) (default: %(default)s)")
     args = parser.parse_args(argv)
 
     try:
@@ -411,6 +460,9 @@ def main(argv):
         failed = True
     if not check_sort_speedup(fresh_doc, baseline_doc,
                               args.min_sort_speedup):
+        failed = True
+    if not check_warm_speedup(fresh_doc, baseline_doc,
+                              args.min_warm_speedup):
         failed = True
     if not check_phase_ns(fresh_doc, baseline_doc, args.phase_threshold,
                           args.phase_floor_ns):

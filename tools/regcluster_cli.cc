@@ -52,6 +52,7 @@
 #include "matrix/stats.h"
 #include "matrix/store.h"
 #include "matrix/transforms.h"
+#include "server/daemon.h"
 #include "util/simd/dispatch.h"
 #include "synth/generator.h"
 #include "synth/yeast_surrogate.h"
@@ -1224,11 +1225,101 @@ int CmdRWave(Flags* flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------------
+
+std::atomic<server::ServerDaemon*> g_serve_daemon{nullptr};
+
+extern "C" void HandleServeSignal(int /*signum*/) {
+  // RequestShutdown is one write() to a self-pipe: async-signal-safe.
+  server::ServerDaemon* daemon =
+      g_serve_daemon.load(std::memory_order_acquire);
+  if (daemon != nullptr) daemon->RequestShutdown();
+}
+
+int CmdServe(Flags* flags) {
+  if (flags->GetBool("help")) {
+    std::puts(
+        "regcluster serve [--port=N] [--socket=PATH]\n"
+        "  [--threads=1] [--max-active=2] [--max-queued=8]\n"
+        "  [--memory-budget-mb=512] [--cache-mb=256] [--retry-after-s=1]\n"
+        "  [--ming=20] [--minc=6] [--gamma=0.05] [--gamma-policy=range]\n"
+        "  [--epsilon=1.0] [--simd=auto]\n"
+        "Long-lived mining daemon.  --port binds 127.0.0.1:N over TCP (0\n"
+        "picks an ephemeral port, printed on the 'listening' line);\n"
+        "--socket binds a unix socket; at least one is required.  Both\n"
+        "speak HTTP/1.1 (POST /mine, POST /sweep, GET /metrics,\n"
+        "GET /healthz) and the length-prefixed binary framing -- the first\n"
+        "byte of each connection picks the transport.  Loaded matrices and\n"
+        "gamma models are cached across requests in an LRU bounded by\n"
+        "--cache-mb; admission sheds (503 + Retry-After) beyond\n"
+        "--max-active/--max-queued sessions or --memory-budget-mb.  The\n"
+        "--ming/--minc/... flags are the request defaults; request bodies\n"
+        "override them per call.  SIGTERM/SIGINT drain: in-flight requests\n"
+        "complete, then the daemon exits 0.");
+    return 0;
+  }
+  server::ServerDaemon::Options opts;
+  opts.port = flags->GetInt("port", -1);
+  opts.unix_socket = flags->GetString("socket", "");
+  opts.service.num_threads = flags->GetInt("threads", 1);
+  opts.service.max_active = flags->GetInt("max-active", 2);
+  opts.service.max_queued = flags->GetInt("max-queued", 8);
+  opts.service.memory_budget_bytes =
+      flags->GetInt64("memory-budget-mb", 512) * (int64_t{1} << 20);
+  opts.service.cache_bytes =
+      flags->GetInt64("cache-mb", 256) * (int64_t{1} << 20);
+  opts.service.retry_after_s = flags->GetInt("retry-after-s", 1);
+  core::MinerOptions& defaults = opts.service.defaults;
+  defaults.min_genes = flags->GetInt("ming", 20);
+  defaults.min_conditions = flags->GetInt("minc", 6);
+  defaults.gamma = flags->GetDouble("gamma", 0.05);
+  defaults.epsilon = flags->GetDouble("epsilon", 1.0);
+  defaults.collect_stats = true;
+  const std::string policy = flags->GetString("gamma-policy", "range");
+  if (!core::ParseGammaPolicy(policy, &defaults.gamma_policy)) {
+    std::fprintf(stderr, "unknown --gamma-policy=%s\n", policy.c_str());
+    return 2;
+  }
+  const std::string simd_name = flags->GetString("simd", "auto");
+  if (auto st = flags->RejectUnknown(); !st.ok()) return UsageError(st);
+  if (auto st = util::simd::ApplySimdFlag(simd_name); !st.ok()) {
+    return UsageError(st);
+  }
+  if (opts.service.num_threads < 1 || opts.service.max_active < 1 ||
+      opts.service.max_queued < 0) {
+    std::fprintf(stderr,
+                 "--threads/--max-active must be >= 1, --max-queued >= 0\n");
+    return 2;
+  }
+
+  server::ServerDaemon daemon(opts);
+  if (auto st = daemon.Start(); !st.ok()) {
+    return st.code() == util::StatusCode::kInvalidArgument ? UsageError(st)
+                                                           : Fail(st);
+  }
+  // Machine-readable readiness line -- the lifecycle test waits for it.
+  std::printf("listening port=%d socket=%s\n", daemon.bound_port(),
+              opts.unix_socket.empty() ? "-" : opts.unix_socket.c_str());
+  std::fflush(stdout);
+
+  g_serve_daemon.store(&daemon, std::memory_order_release);
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  daemon.Run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_serve_daemon.store(nullptr, std::memory_order_release);
+  std::printf("drained, exiting\n");
+  return 0;
+}
+
 int Usage() {
   std::puts(
       "regcluster <command> [--flags]\n"
       "commands: generate, mine, evaluate, enrich, summarize, rwave, "
-      "significance, stats, convert\n"
+      "significance, stats, convert, serve\n"
       "run `regcluster <command> --help` for details\n"
       "exit codes: 0 ok, 1 runtime error, 2 usage, 3 truncated by budget");
   return kExitUsage;
@@ -1248,6 +1339,7 @@ int Main(int argc, char** argv) {
   if (cmd == "significance") return CmdSignificance(&*flags);
   if (cmd == "stats") return CmdStats(&*flags);
   if (cmd == "convert") return CmdConvert(&*flags);
+  if (cmd == "serve") return CmdServe(&*flags);
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   return Usage();
 }
