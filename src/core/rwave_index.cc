@@ -22,6 +22,14 @@ void RWaveBitmapIndex::BeginBuild(int num_genes, int num_conditions,
   num_conditions_ = num_conditions;
   words_ = util::WordsForBits(num_conditions);
   max_chain_need_ = max_chain_need < 1 ? 1 : max_chain_need;
+  // No chain exceeds num_conditions, so every eligibility row past
+  // num_conditions + 1 would be all-zero anyway; ceilings above that clamp
+  // to num_conditions + 1 (its row stays all-zero, and queries with a
+  // larger need clamp onto it) instead of sizing the tables O(need).  An
+  // unchecked request-supplied MinC must not become a giant allocation.
+  if (max_chain_need_ > num_conditions_ + 1) {
+    max_chain_need_ = num_conditions_ + 1;
+  }
 
   const size_t g_count = static_cast<size_t>(num_genes_);
   const size_t c_count = static_cast<size_t>(num_conditions_);

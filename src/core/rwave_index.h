@@ -58,7 +58,9 @@ class RWaveBitmapIndex {
   /// Builds the index for all `models` (one per gene, each over
   /// `num_conditions` conditions).  Eligibility rows are materialized for
   /// chain requirements 0..max_chain_need; queries clamp into that range,
-  /// so pass the largest MinC the caller will ask about.
+  /// so pass the largest MinC the caller will ask about.  The ceiling
+  /// itself clamps to num_conditions + 1 (rows past it are provably
+  /// all-zero), so an oversized MinC cannot inflate the tables.
   void Build(const std::vector<RWaveModel>& models, int num_conditions,
              int max_chain_need);
 

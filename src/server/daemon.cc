@@ -7,8 +7,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <cstring>
+#include <utility>
 
 #include "io/json_export.h"
 #include "server/protocol.h"
@@ -140,22 +142,27 @@ void ServerDaemon::Run() {
       }
       ReapFinishedLocked();
       Conn c;
-      c.fd = conn;
-      c.done = std::make_shared<std::atomic<bool>>(false);
-      auto done = c.done;
-      c.thread =
-          std::thread([this, conn, done] { HandleConnection(conn, done); });
+      c.state = std::make_shared<ConnState>();
+      c.state->fd = conn;
+      auto state = c.state;
+      c.thread = std::thread(
+          [this, state = std::move(state)] { HandleConnection(state); });
       conns_.push_back(std::move(c));
     }
   }
 
   // Drain: stop reading new requests on every open connection (the
   // in-flight request keeps running and its response still writes), then
-  // join.  New accepts are refused above via shutting_down_.
+  // join.  New accepts are refused above via shutting_down_.  Handlers
+  // close their fd under conn_mu_ and mark it -1, so every fd shut down
+  // here is still owned by its connection -- never a number the process
+  // reused for something else.
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     shutting_down_ = true;
-    for (const Conn& c : conns_) ::shutdown(c.fd, SHUT_RD);
+    for (const Conn& c : conns_) {
+      if (c.state->fd >= 0) ::shutdown(c.state->fd, SHUT_RD);
+    }
   }
   for (Conn& c : conns_) {
     if (c.thread.joinable()) c.thread.join();
@@ -166,7 +173,7 @@ void ServerDaemon::Run() {
 
 void ServerDaemon::ReapFinishedLocked() {
   for (auto it = conns_.begin(); it != conns_.end();) {
-    if (it->done->load(std::memory_order_acquire)) {
+    if (it->state->done.load(std::memory_order_acquire)) {
       if (it->thread.joinable()) it->thread.join();
       it = conns_.erase(it);
     } else {
@@ -175,8 +182,8 @@ void ServerDaemon::ReapFinishedLocked() {
   }
 }
 
-void ServerDaemon::HandleConnection(int fd,
-                                    std::shared_ptr<std::atomic<bool>> done) {
+void ServerDaemon::HandleConnection(std::shared_ptr<ConnState> state) {
+  const int fd = state->fd;
   FdStream stream(fd);
   char first = 0;
   while (true) {
@@ -256,8 +263,14 @@ void ServerDaemon::HandleConnection(int fd,
     ServiceResponse response = service_.HandleFrame(*payload);
     if (!WriteFrame(&stream, response.body).ok()) break;
   }
-  ::close(fd);
-  done->store(true, std::memory_order_release);
+  // Close under conn_mu_ and mark the slot dead first: the drain must
+  // never shutdown() an fd number this close released for reuse.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    ::close(fd);
+    state->fd = -1;
+  }
+  state->done.store(true, std::memory_order_release);
 }
 
 }  // namespace server

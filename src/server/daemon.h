@@ -66,8 +66,24 @@ class ServerDaemon {
   MiningService* service() { return &service_; }
 
  private:
-  void HandleConnection(int fd, std::shared_ptr<std::atomic<bool>> done);
+  /// State shared between a connection's handler thread and the accept
+  /// loop.  The handler closes `fd` under conn_mu_ and marks it -1 before
+  /// setting `done`, so the drain's shutdown() can never hit a closed fd
+  /// number the process has since reused; `done` lets the accept loop reap
+  /// finished threads instead of accumulating one join per connection ever
+  /// served.
+  struct ConnState {
+    int fd = -1;
+    std::atomic<bool> done{false};
+  };
+  struct Conn {
+    std::thread thread;
+    std::shared_ptr<ConnState> state;
+  };
+
+  void HandleConnection(std::shared_ptr<ConnState> state);
   void CloseListeners();
+  void ReapFinishedLocked();
 
   const Options options_;
   MiningService service_;
@@ -75,16 +91,6 @@ class ServerDaemon {
   int unix_fd_ = -1;
   int bound_port_ = -1;
   int wake_pipe_[2] = {-1, -1};
-
-  /// One accepted connection; `done` lets the accept loop reap finished
-  /// threads instead of accumulating one join per connection ever served.
-  struct Conn {
-    std::thread thread;
-    int fd = -1;
-    std::shared_ptr<std::atomic<bool>> done;
-  };
-
-  void ReapFinishedLocked();
 
   std::mutex conn_mu_;
   std::vector<Conn> conns_;

@@ -33,6 +33,48 @@ ServiceResponse ErrorResponse(int http_status, const std::string& name,
   return r;
 }
 
+/// Mirrors RegClusterMiner::Prepare's gamma screen (and the sweep engine's
+/// GammaLooksValid): a spec failing this must never reach a model build.
+bool GammaLooksValid(const core::MinerOptions& opts) {
+  if (opts.gamma < 0.0) return false;
+  if (opts.gamma_policy != core::GammaPolicy::kAbsolute && opts.gamma > 1.0) {
+    return false;
+  }
+  return true;
+}
+
+/// Request-option validation that needs the loaded matrix.  Runs before
+/// any model is built or cached: a bad request must cost parsing plus one
+/// matrix lookup, never a model build under the cache mutex -- and an
+/// unbounded MinC must never size an allocation (the bitmap index clamps
+/// its ceiling as defense in depth, but the service rejects outright).
+Status ValidateMineOptions(const core::MinerOptions& opts,
+                           const matrix::MatrixStore& data) {
+  if (opts.min_genes < 1) {
+    return Status::InvalidArgument("ming must be >= 1");
+  }
+  if (opts.min_conditions < 2) {
+    return Status::InvalidArgument(
+        "minc must be >= 2 (a chain needs at least one regulation step)");
+  }
+  if (opts.min_conditions > data.num_conditions()) {
+    return Status::InvalidArgument(
+        "minc " + std::to_string(opts.min_conditions) +
+        " exceeds the matrix's " + std::to_string(data.num_conditions()) +
+        " conditions; no cluster can satisfy it");
+  }
+  if (!GammaLooksValid(opts)) {
+    return Status::InvalidArgument(
+        opts.gamma_policy != core::GammaPolicy::kAbsolute
+            ? "gamma must be in [0, 1] for relative policies"
+            : "absolute gamma must be >= 0");
+  }
+  if (opts.epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be >= 0");
+  }
+  return Status::OK();
+}
+
 /// Maps a util::Status from the cache / miner onto an HTTP status.
 int HttpStatusOf(const Status& status) {
   switch (status.code()) {
@@ -237,6 +279,10 @@ ServiceResponse MiningService::ExecuteMine(const MineRequest& request) {
     return ErrorResponse(HttpStatusOf(handle.status()), "matrix_error",
                          handle.status().message());
   }
+  if (Status st = ValidateMineOptions(request.options, *(*handle)->store);
+      !st.ok()) {
+    return ErrorResponse(400, "bad_request", st.message());
+  }
   core::GammaSpec spec;
   spec.policy = request.options.gamma_policy;
   spec.gamma = request.options.gamma;
@@ -308,13 +354,18 @@ ServiceResponse MiningService::ExecuteSweep(const MineRequest& request) {
   // One model per distinct (policy, gamma), built with the group's largest
   // MinC so every point of the group reuses it (and later requests reuse
   // it through the cache).  First-appearance order keeps the cache
-  // counters a pure function of the request stream.
+  // counters a pure function of the request stream.  Points that fail the
+  // request-option screen never join a group (a garbage spec or unbounded
+  // MinC must not build or pollute a cached model, cf. SweepEngine); they
+  // run without a shared model and Prepare() records the rejection
+  // per-run.
   core::SweepReport report;
   report.runs.resize(points->size());
   std::vector<std::pair<core::GammaSpec, int>> groups;
-  std::vector<size_t> group_of(points->size(), 0);
+  std::vector<int> group_of(points->size(), -1);
   for (size_t i = 0; i < points->size(); ++i) {
     const core::MinerOptions& p = (*points)[i];
+    if (!ValidateMineOptions(p, *(*handle)->store).ok()) continue;
     size_t g = 0;
     for (; g < groups.size(); ++g) {
       if (groups[g].first.policy == p.gamma_policy &&
@@ -329,7 +380,7 @@ ServiceResponse MiningService::ExecuteSweep(const MineRequest& request) {
       groups.emplace_back(spec, p.min_conditions);
     }
     groups[g].second = std::max(groups[g].second, p.min_conditions);
-    group_of[i] = g;
+    group_of[i] = static_cast<int>(g);
   }
   std::vector<std::shared_ptr<const core::SharedGammaModel>> models;
   models.reserve(groups.size());
@@ -349,8 +400,10 @@ ServiceResponse MiningService::ExecuteSweep(const MineRequest& request) {
   for (size_t i = 0; i < points->size(); ++i) {
     core::SweepRun& run = report.runs[i];
     run.options = (*points)[i];
-    run.options.shared_model = models[group_of[i]];
-    run.used_shared_model = true;
+    if (group_of[i] >= 0) {
+      run.options.shared_model = models[static_cast<size_t>(group_of[i])];
+      run.used_shared_model = true;
+    }
     core::RegClusterMiner miner(*(*handle)->store, run.options);
     run.status = miner.Prepare();
     if (!run.status.ok()) continue;

@@ -212,6 +212,40 @@ TEST(RWaveIndexTest, NeedIsClampedIntoBuiltRange) {
   }
 }
 
+TEST(RWaveIndexTest, OversizedCeilingClampsWithoutChangingAnswers) {
+  // A request-supplied MinC far beyond the condition count must not size
+  // the eligibility tables O(MinC): the ceiling clamps to conds + 1, whose
+  // row is provably all-zero (no chain exceeds conds), so every query
+  // still answers exactly like a sanely-built index.
+  util::Prng prng(17);
+  const int conds = 20;
+  std::vector<RWaveModel> models;
+  const auto v = RandomProfile(conds, &prng, false);
+  models.push_back(RWaveModel::Build(v.data(), conds, 0.0));
+
+  RWaveBitmapIndex huge;
+  huge.Build(models, conds, 2'000'000'000);
+  EXPECT_EQ(huge.max_chain_need(), conds + 1);
+  EXPECT_LT(huge.MemoryBytes(), size_t{1} << 20);
+
+  RWaveBitmapIndex exact;
+  exact.Build(models, conds, conds + 1);
+  for (int c = 0; c < conds; ++c) {
+    // Unsatisfiable needs are false, not clamped onto a satisfiable row.
+    EXPECT_FALSE(huge.ChainEligibleUp(0, c, conds + 1));
+    EXPECT_FALSE(huge.ChainEligibleUp(0, c, 2'000'000'000));
+    EXPECT_FALSE(huge.ChainEligibleDown(0, c, 2'000'000'000));
+    for (int need = 0; need <= conds + 2; ++need) {
+      EXPECT_EQ(huge.ChainEligibleUp(0, c, need),
+                exact.ChainEligibleUp(0, c, need))
+          << "cond " << c << " need " << need;
+      EXPECT_EQ(huge.ChainEligibleDown(0, c, need),
+                exact.ChainEligibleDown(0, c, need))
+          << "cond " << c << " need " << need;
+    }
+  }
+}
+
 TEST(RWaveIndexTest, MemoryBytesAccountsForTheTables) {
   util::Prng prng(13);
   const int conds = 40;

@@ -5,12 +5,17 @@
 // never answers with an unlabeled failure.  Runs entirely over in-memory
 // byte streams (the reason server/protocol.h takes a ByteStream).
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "matrix/expression_matrix.h"
+#include "matrix/matrix_io.h"
 #include "server/json_reader.h"
 #include "server/protocol.h"
 #include "server/request.h"
@@ -324,6 +329,90 @@ TEST_F(ServiceDispatch, FrameWithoutOpIsBadRequest) {
 TEST_F(ServiceDispatch, UnknownOpIsNamed) {
   ExpectNamedError(service_.HandleFrame("{\"op\":\"mien\"}"), 400,
                    "unknown_op");
+}
+
+// ---------------------------------------------------------------------------
+// Request-option validation against a real (tiny) matrix: a well-formed
+// request carrying hostile options must be rejected with a named 400
+// BEFORE any model is built or cached.  In particular an unbounded minc
+// must never size a model allocation -- the remote-OOM the admission
+// contract promises away -- and a garbage gamma must not burn a model
+// build under the cache mutex only to be rejected by Prepare().
+
+const std::string& TinyMatrixPath() {
+  static const std::string* path = [] {
+    std::vector<std::vector<double>> rows;
+    for (int g = 0; g < 6; ++g) {
+      std::vector<double> row;
+      for (int c = 0; c < 5; ++c) {
+        row.push_back(10.0 * g + c * (g % 2 == 0 ? 1.0 : -1.0));
+      }
+      rows.push_back(std::move(row));
+    }
+    auto m = matrix::ExpressionMatrix::FromRows(rows);
+    EXPECT_TRUE(m.ok());
+    auto* p = new std::string(
+        ::testing::TempDir() + std::to_string(static_cast<long>(getpid())) +
+        "_proto_tiny.tsv");
+    EXPECT_TRUE(matrix::SaveMatrix(*m, *p).ok());
+    return p;
+  }();
+  return *path;
+}
+
+std::string TinyMineBody(const std::string& option_fields) {
+  return "{\"matrix\":\"" + TinyMatrixPath() + "\"" +
+         (option_fields.empty() ? "" : "," + option_fields) + "}";
+}
+
+TEST_F(ServiceDispatch, OversizedMincIsRejectedBeforeAnyModelBuild) {
+  // The tiny matrix has 5 conditions; every minc outside [2, 5] is a named
+  // 400 -- answered from the validation screen, never from an O(minc)
+  // eligibility-table allocation.
+  for (const char* minc : {"2000000000", "6", "1", "0", "-7"}) {
+    ExpectNamedError(service_.HandleHttp(
+                         "POST", "/mine",
+                         TinyMineBody(std::string("\"minc\":") + minc)),
+                     400, "bad_request");
+  }
+  // The boundary itself still mines.
+  EXPECT_EQ(
+      service_.HandleHttp("POST", "/mine", TinyMineBody("\"minc\":5"))
+          .http_status,
+      200);
+}
+
+TEST_F(ServiceDispatch, InvalidGammaOrEpsilonIsRejectedBeforeModelBuild) {
+  for (const char* fields : {
+           "\"gamma\":-1",                               // negative
+           "\"gamma\":1.5",                              // relative > 1
+           "\"gamma\":2,\"gamma_policy\":\"range\"",     // explicit relative
+           "\"epsilon\":-0.25",                          // negative epsilon
+           "\"ming\":0",                                 // ming floor
+       }) {
+    ExpectNamedError(service_.HandleHttp("POST", "/mine",
+                                         TinyMineBody(fields)),
+                     400, "bad_request");
+  }
+  // An absolute-policy gamma > 1 is legal and must still mine.
+  EXPECT_EQ(service_.HandleHttp(
+                    "POST", "/mine",
+                    TinyMineBody(
+                        "\"gamma\":2.5,\"gamma_policy\":\"absolute\""))
+                .http_status,
+            200);
+}
+
+TEST_F(ServiceDispatch, SweepPointsWithHostileOptionsDoNotKillTheSweep) {
+  // A sweep whose minc axis runs past the condition count: the valid
+  // points mine, the impossible ones are recorded per-run, and nothing
+  // allocates O(minc).
+  const ServiceResponse r = service_.HandleHttp(
+      "POST", "/sweep",
+      TinyMineBody("\"spec\":\"minc=4:2000000000:1999999996\""));
+  EXPECT_EQ(r.http_status, 200) << r.body;
+  const ServiceResponse health = service_.HandleHttp("GET", "/healthz", "");
+  EXPECT_EQ(health.http_status, 200);
 }
 
 TEST_F(ServiceDispatch, HealthAndMetricsStayUpAfterFaults) {

@@ -222,7 +222,12 @@ def check_warm_speedup(fresh_doc, baseline_doc, min_speedup):
         section = doc.get("server")
         if not section:
             continue
-        speedup = float(section["warm_speedup"])
+        raw = section.get("warm_speedup")
+        if raw is None:
+            print(f"server warm cache ({label}): server section has no "
+                  "warm_speedup; skipping gate (re-run bench_server)")
+            return True
+        speedup = float(raw)
         identical = bool(section.get("identical_to_cold"))
         ok = speedup >= min_speedup and identical
         print(f"server warm cache ({label}): cold "
