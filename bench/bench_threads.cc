@@ -20,6 +20,8 @@
 #include "bench_json.h"
 #include "core/sweep.h"
 #include "io/checkpoint.h"
+#include "io/incremental.h"
+#include "matrix/expression_matrix.h"
 #include "matrix/matrix_io.h"
 #include "util/simd/dispatch.h"
 #include "util/timer.h"
@@ -424,6 +426,183 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr,
                    "FAILED: sweep engine output differs from independent "
                    "mines\n");
+      return 1;
+    }
+  }
+
+  // Incremental time-course append: one new condition arrives at the
+  // steady-state expression level, and MineIncremental (delta gamma-model
+  // update + dirty roots only, clean roots spliced from the recorded state)
+  // races a from-scratch Mine() of the grown matrix it must reproduce
+  // byte-for-byte.  The matrix is a pure shift pattern over flat levels --
+  // 10 apart under an absolute gamma of 4, so same-level conditions are
+  // unregulated -- with most conditions at level 0 and a handful of
+  // singleton upper levels.  Appending a level-0 condition keeps every
+  // level-0 root clean (the new value is within gamma of theirs in every
+  // gene), so only the upper-level roots and the appended root re-mine.
+  // The level design also bounds the search: on a shift pattern no gene is
+  // ever dropped, and with dense distinct values the chain enumeration is
+  // exponential in the condition count.  Gated (>= 1.5x) by
+  // tools/bench_check.py --min-incremental-speedup; byte-identity is
+  // enforced here.
+  {
+    const int inc_base_conds = cfg.num_conditions - 6;  // level-0 block
+    auto inc_level = [&](int c) {
+      return c < inc_base_conds ? 0 : c - inc_base_conds + 1;
+    };
+    matrix::ExpressionMatrix inc_prefix(cfg.num_genes, cfg.num_conditions);
+    for (int g = 0; g < cfg.num_genes; ++g) {
+      for (int c = 0; c < cfg.num_conditions; ++c) {
+        inc_prefix(g, c) = 10.0 * inc_level(c) + 1000.0 * g;
+      }
+    }
+    core::MinerOptions inc_opts;
+    inc_opts.num_threads = 1;
+    inc_opts.min_genes = base.min_genes;
+    inc_opts.min_conditions = 6;
+    inc_opts.gamma = 4.0;
+    inc_opts.gamma_policy = core::GammaPolicy::kAbsolute;
+    inc_opts.epsilon = 0.5;
+
+    util::WallTimer seed_timer;
+    auto seeded = io::MineInitial(inc_prefix, inc_opts);
+    const double seed_secs = seed_timer.ElapsedSeconds();
+    if (!seeded.ok()) {
+      std::fprintf(stderr, "incremental seed: %s\n",
+                   seeded.status().ToString().c_str());
+      return 1;
+    }
+
+    matrix::ExpressionMatrix inc_grown = inc_prefix;
+    std::vector<double> new_col(static_cast<size_t>(cfg.num_genes));
+    for (int g = 0; g < cfg.num_genes; ++g) {
+      new_col[static_cast<size_t>(g)] = 1000.0 * g;  // level 0
+    }
+    if (auto s = inc_grown.AppendConditions({"t_new"}, {new_col}); !s.ok()) {
+      std::fprintf(stderr, "incremental append: %s\n", s.ToString().c_str());
+      return 1;
+    }
+
+    // Interleaved best-of-5 per side: both legs are millisecond-scale, so
+    // one noisy run must not invent (or erase) the speedup.
+    constexpr int kIncReps = 5;
+    double inc_secs = 1e300, scratch_secs = 1e300;
+    std::vector<core::RegCluster> inc_clusters, scratch_clusters;
+    core::MinerStats inc_stats, scratch_stats;
+    int roots_remined = 0, roots_spliced = 0;
+    bool inc_failed = false;
+    auto run_incremental = [&]() {
+      util::WallTimer timer;
+      auto r = io::MineIncremental(inc_grown, cfg.num_conditions, inc_opts,
+                                   seeded->state, seeded->model);
+      const double secs = timer.ElapsedSeconds();
+      if (!r.ok()) {
+        std::fprintf(stderr, "incremental mine: %s\n",
+                     r.status().ToString().c_str());
+        inc_failed = true;
+        return;
+      }
+      if (secs < inc_secs) {
+        inc_secs = secs;
+        inc_clusters = std::move(r->clusters);
+        inc_stats = r->stats;
+        roots_remined = r->roots_remined;
+        roots_spliced = r->roots_spliced;
+      }
+    };
+    auto run_scratch = [&]() {
+      core::RegClusterMiner m(inc_grown, inc_opts);
+      util::WallTimer timer;
+      auto clusters = m.Mine();
+      const double secs = timer.ElapsedSeconds();
+      if (!clusters.ok()) {
+        std::fprintf(stderr, "from-scratch mine: %s\n",
+                     clusters.status().ToString().c_str());
+        inc_failed = true;
+        return;
+      }
+      if (secs < scratch_secs) {
+        scratch_secs = secs;
+        scratch_clusters = *std::move(clusters);
+        scratch_stats = m.stats();
+      }
+    };
+    for (int rep = 0; rep < kIncReps && !inc_failed; ++rep) {
+      if ((rep % 2) == 0) {
+        run_incremental();
+        if (!inc_failed) run_scratch();
+      } else {
+        run_scratch();
+        if (!inc_failed) run_incremental();
+      }
+    }
+    if (inc_failed) return 1;
+
+    auto cluster_key = [](const std::vector<core::RegCluster>& clusters) {
+      std::string key;
+      for (const auto& c : clusters) key += c.Key() + ";";
+      return key;
+    };
+    const bool inc_identical =
+        cluster_key(inc_clusters) == cluster_key(scratch_clusters) &&
+        inc_stats.nodes_expanded == scratch_stats.nodes_expanded &&
+        inc_stats.extensions_tested == scratch_stats.extensions_tested &&
+        inc_stats.pruned_min_genes == scratch_stats.pruned_min_genes &&
+        inc_stats.pruned_p_majority == scratch_stats.pruned_p_majority &&
+        inc_stats.pruned_duplicate == scratch_stats.pruned_duplicate &&
+        inc_stats.pruned_coherence == scratch_stats.pruned_coherence &&
+        inc_stats.genes_dropped_min_conds ==
+            scratch_stats.genes_dropped_min_conds &&
+        inc_stats.clusters_emitted == scratch_stats.clusters_emitted &&
+        inc_stats.index_builds == scratch_stats.index_builds &&
+        inc_stats.index_word_ops == scratch_stats.index_word_ops &&
+        inc_stats.coherence_divide_calls ==
+            scratch_stats.coherence_divide_calls &&
+        inc_stats.coherence_scores == scratch_stats.coherence_scores &&
+        inc_stats.dedup_probes == scratch_stats.dedup_probes;
+    const double inc_speedup = inc_secs > 0 ? scratch_secs / inc_secs : 0.0;
+    std::printf(
+        "\nincremental append (1 steady-state condition onto %dx%d, serial): "
+        "from-scratch %.4f s, incremental %.4f s -> %.2fx, %d roots re-mined "
+        "/ %d spliced, identical %s\n",
+        cfg.num_genes, cfg.num_conditions, scratch_secs, inc_secs,
+        inc_speedup, roots_remined, roots_spliced,
+        inc_identical ? "yes" : "NO!");
+    const std::string inc_section = JsonObject({
+        JsonField("dataset",
+                  JsonObject({
+                      JsonField("genes", JsonInt(cfg.num_genes)),
+                      JsonField("conditions_before", JsonInt(cfg.num_conditions)),
+                      JsonField("conditions_appended", JsonInt(1)),
+                      JsonField("level0_conditions", JsonInt(inc_base_conds)),
+                  })),
+        JsonField("options",
+                  JsonObject({
+                      JsonField("min_genes", JsonInt(inc_opts.min_genes)),
+                      JsonField("min_conditions",
+                                JsonInt(inc_opts.min_conditions)),
+                      JsonField("gamma", JsonDouble(inc_opts.gamma)),
+                      JsonField("gamma_policy", JsonString("absolute")),
+                      JsonField("epsilon", JsonDouble(inc_opts.epsilon)),
+                  })),
+        JsonField("seed_seconds", JsonDouble(seed_secs)),
+        JsonField("from_scratch_seconds", JsonDouble(scratch_secs)),
+        JsonField("incremental_seconds", JsonDouble(inc_secs)),
+        JsonField("speedup", JsonDouble(inc_speedup)),
+        JsonField("roots_remined", JsonInt(roots_remined)),
+        JsonField("roots_spliced", JsonInt(roots_spliced)),
+        JsonField("best_of", JsonInt(kIncReps)),
+        JsonField("identical_to_scratch", JsonBool(inc_identical)),
+    });
+    if (!UpsertBenchSection(out_path, "incremental", inc_section)) {
+      std::fprintf(stderr, "WARNING: could not write %s\n", out_path.c_str());
+    } else {
+      std::printf("wrote section \"incremental\" of %s\n", out_path.c_str());
+    }
+    if (!inc_identical) {
+      std::fprintf(stderr,
+                   "FAILED: incremental append output differs from the "
+                   "from-scratch mine\n");
       return 1;
     }
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cassert>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
@@ -389,6 +390,79 @@ std::shared_ptr<const SharedGammaModel> SharedGammaModel::BuildOutOfCore(
   return model;
 }
 
+std::shared_ptr<const SharedGammaModel> SharedGammaModel::UpdateAppend(
+    const SharedGammaModel& prev, const matrix::MatrixStore& new_data,
+    int first_new, int num_threads) {
+  const int num_genes = new_data.num_genes();
+  const int num_conds = new_data.num_conditions();
+  assert(prev.index.num_conditions() == first_new);
+  (void)first_new;
+  if (prev.cache != nullptr ||
+      static_cast<int>(prev.rwaves.size()) != num_genes) {
+    // An out-of-core model keeps no resident per-gene models to delta-update;
+    // rebuild from scratch (byte-identical by the builders' contracts).
+    return Build(new_data, prev.spec, prev.max_chain_need, num_threads);
+  }
+  auto model = std::make_shared<SharedGammaModel>();
+  model->spec = prev.spec;
+  model->max_chain_need = prev.max_chain_need;
+  model->rwaves.resize(static_cast<size_t>(num_genes));
+  util::WallTimer timer;
+  // Per gene: when the append leaves the absolute threshold bitwise
+  // unchanged (e.g. the new values stay inside the row range under
+  // kRangeFraction), the old sorted order is reusable and
+  // RWaveModel::AppendConditions merges just the appended columns; a moved
+  // threshold (or a policy whose statistic shifted) invalidates every
+  // pointer, so those genes rebuild from scratch.  Either path is
+  // byte-identical to a fresh Build at the new width.
+  const auto update_range = [&](int begin, int end,
+                                util::simd::SortScratch* scratch) {
+    for (int g = begin; g < end; ++g) {
+      const double gamma_abs = AbsoluteGamma(new_data, g, model->spec);
+      const RWaveModel& old = prev.rwaves[static_cast<size_t>(g)];
+      if (std::bit_cast<uint64_t>(gamma_abs) ==
+          std::bit_cast<uint64_t>(old.gamma_abs())) {
+        RWaveModel m = old;
+        m.AppendConditions(new_data.row_data(g), num_conds);
+        model->rwaves[static_cast<size_t>(g)] = std::move(m);
+      } else {
+        model->rwaves[static_cast<size_t>(g)] = RWaveModel::Build(
+            new_data.row_data(g), num_conds, gamma_abs, scratch);
+      }
+    }
+  };
+  if (num_threads == 1 || num_genes == 0) {
+    util::simd::SortScratch scratch;
+    update_range(0, num_genes, &scratch);
+  } else {
+    // Same striping as BuildRWaveModels: slot-assigned writes keep the
+    // result byte-identical at any thread count.
+    util::TaskPool pool(num_threads);
+    const int workers = pool.num_workers();
+    int stripe = (num_genes + workers * 4 - 1) / (workers * 4);
+    stripe = std::max(stripe, 64);
+    std::vector<util::simd::SortScratch> scratches(
+        static_cast<size_t>(workers));
+    for (int begin = 0; begin < num_genes; begin += stripe) {
+      const int end = std::min(begin + stripe, num_genes);
+      pool.Submit([&, begin, end](int worker) {
+        update_range(begin, end, &scratches[static_cast<size_t>(worker)]);
+      });
+    }
+    pool.Wait();
+  }
+  model->rwave_build_seconds = timer.ElapsedSeconds();
+  timer.Reset();
+  // The bitmap tables are position-indexed with a word stride of
+  // WordsForBits(num_conditions), so the index re-bakes at the new width
+  // regardless of how many models took the delta path.
+  BakeIndexStriped(
+      &model->index, num_genes, num_conds, model->max_chain_need, num_threads,
+      [&model](int g) { return &model->rwaves[static_cast<size_t>(g)]; });
+  model->index_build_seconds = timer.ElapsedSeconds();
+  return model;
+}
+
 size_t SharedGammaModel::MemoryBytes() const {
   // Index tables exactly; resident per-gene models by their table capacities
   // (the same figure the ModelCache charges per entry); plus whatever the
@@ -480,6 +554,25 @@ util::Status RegClusterMiner::Prepare() {
           "unbudgeted run");
     }
   }
+  if (!options_.root_set.empty()) {
+    if (options_.resume.can_resume()) {
+      return util::Status::InvalidArgument(
+          "root_set cannot be combined with resume: both select the roots "
+          "to search");
+    }
+    int prev_root = -1;
+    for (int c : options_.root_set) {
+      if (c < 0 || c >= data_.num_conditions()) {
+        return util::Status::OutOfRange(
+            "root_set condition outside the matrix");
+      }
+      if (c <= prev_root) {
+        return util::Status::InvalidArgument(
+            "root_set must be sorted strictly ascending");
+      }
+      prev_root = c;
+    }
+  }
   allowed_cond_.assign(static_cast<size_t>(data_.num_conditions()),
                        options_.allowed_conditions.empty() ? 1 : 0);
   for (int c : options_.allowed_conditions) {
@@ -503,6 +596,7 @@ util::Status RegClusterMiner::Prepare() {
 
   stats_ = MinerStats();
   outcome_ = MineOutcome();
+  root_results_.clear();
   // Resolve the kernel dispatch once per run: the hot loops then pay a plain
   // indirect call, and the outcome records which kernel set actually ran.
   ops_ = &util::simd::Ops();
@@ -632,14 +726,21 @@ void RegClusterMiner::SubmitRoots(util::TaskPool* pool, bool exclusive_pool) {
   // this run without the pool's global barrier; `track` stays null on the
   // exclusive path, where CancelPending may drop queued tasks unrun.
   RunState* track = exclusive_pool ? nullptr : run_.get();
+  // Targeted execution searches only the root_set (each root is an
+  // independent search, so skipping the rest changes nothing about the
+  // selected roots' slices); otherwise every root from first_root on.
+  const bool targeted = !options_.root_set.empty();
+  const int num_roots = targeted ? static_cast<int>(options_.root_set.size())
+                                 : num_conds - run_->first_root;
   if (track != nullptr) {
-    track->outstanding.fetch_add(num_conds - run_->first_root,
-                                 std::memory_order_relaxed);
+    track->outstanding.fetch_add(num_roots, std::memory_order_relaxed);
   }
   // Each root task seeds its level-2 subtrees and immediately re-submits
   // them: large subtrees become stealable instead of serializing behind
   // their root, which is what makes imbalanced trees scale.
-  for (int c = run_->first_root; c < num_conds; ++c) {
+  for (int ri = 0; ri < num_roots; ++ri) {
+    const int c = targeted ? options_.root_set[static_cast<size_t>(ri)]
+                           : run_->first_root + ri;
     RootWork* rw = &work[c];
     pool->Submit([this, c, rw, pool, scratches, ctl_pool, track](int worker) {
       MinerScratch* scratch = &scratches[worker];
@@ -730,7 +831,12 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Finalize() {
   int cut_root = num_conds;
   int roots_included = 0;
   std::vector<RegCluster> out;
-  for (int c = first_root; c < num_conds; ++c) {
+  const bool targeted = !options_.root_set.empty();
+  const int num_roots = targeted ? static_cast<int>(options_.root_set.size())
+                                 : num_conds - first_root;
+  for (int ri = 0; ri < num_roots; ++ri) {
+    const int c = targeted ? options_.root_set[static_cast<size_t>(ri)]
+                           : first_root + ri;
     RootWork& rw = work[static_cast<size_t>(c)];
     if (!rw.Complete()) {
       if (guard_ != nullptr &&
@@ -783,6 +889,17 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Finalize() {
     node_rem -= root_nodes;
     cluster_rem -= root_clusters;
     ++roots_included;
+    if (options_.capture_root_results) {
+      // Copy the slice before the canonical merge moves the clusters out.
+      RootMineResult rr;
+      rr.root = c;
+      rr.stats = rw.ctx.stats;
+      for (const SearchContext& ctx : rw.subtree_ctx) {
+        AccumulateStats(ctx.stats, &rr.stats);
+        rr.clusters.insert(rr.clusters.end(), ctx.out.begin(), ctx.out.end());
+      }
+      root_results_.push_back(std::move(rr));
+    }
     // Canonical (root, second-condition) merge: deterministic regardless of
     // thread count and of which worker ran which task.
     AccumulateStats(rw.ctx.stats, &stats_);
@@ -802,7 +919,7 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Finalize() {
   outcome_.nodes_visited =
       guard_ != nullptr ? guard_->total_nodes() : stats_.nodes_expanded;
   outcome_.roots_completed = roots_included;
-  outcome_.roots_total = num_conds - first_root;
+  outcome_.roots_total = num_roots;
   outcome_.wall_seconds = run_->total_timer.ElapsedSeconds();
   outcome_.peak_scratch_bytes =
       std::max<int64_t>(guard_ != nullptr ? guard_->peak_bytes() : 0,
@@ -817,7 +934,10 @@ util::StatusOr<std::vector<RegCluster>> RegClusterMiner::Finalize() {
     outcome_.model_cache_evictions = cs.evictions;
     outcome_.model_cache_resident_bytes = cs.resident_bytes;
   }
-  if (truncated) {
+  if (truncated && !targeted) {
+    // A targeted run's cut point is an index into root_set, not a canonical
+    // prefix boundary, and resume + root_set is rejected anyway -- so no
+    // token is issued for truncated targeted runs.
     outcome_.resume.next_root = cut_root;
     outcome_.resume.options_hash = SemanticOptionsHash(options_);
   }

@@ -176,6 +176,21 @@ struct SharedGammaModel {
       int max_chain_need, int64_t cache_bytes, int cache_shards,
       int num_threads);
 
+  /// Delta update after a condition append.  `prev` must have been built
+  /// over exactly the first `first_new` columns of `new_data` (same genes,
+  /// same values, same spec); the returned model covers all of `new_data`
+  /// and is byte-identical to Build(new_data, prev.spec, ...).  Genes whose
+  /// absolute threshold is unchanged by the append reuse their old sorted
+  /// order via RWaveModel::AppendConditions; genes whose threshold moved
+  /// (e.g. the append widened the row range under kRangeFraction) rebuild
+  /// from scratch.  The bitmap index is re-baked at the new width either
+  /// way (positions shift; see RWaveBitmapIndex::AppendConditions).  A
+  /// `prev` from BuildOutOfCore has no resident models to delta-update and
+  /// falls back to a full Build.
+  static std::shared_ptr<const SharedGammaModel> UpdateAppend(
+      const SharedGammaModel& prev, const matrix::MatrixStore& new_data,
+      int first_new, int num_threads = 1);
+
   /// Heap footprint of the baked tables (models + index + cache residents),
   /// for reporting.
   size_t MemoryBytes() const;
@@ -308,6 +323,23 @@ struct MinerOptions {
   /// queries clamp, so a larger eligibility ceiling answers exactly).  When
   /// set, MinerStats reports index_builds == 0 and zero build seconds.
   std::shared_ptr<const SharedGammaModel> shared_model;
+
+  /// Root-targeted execution: when non-empty, only these level-1 conditions
+  /// are searched (must be sorted strictly ascending and in range).  Roots
+  /// are independent searches, so each selected root's clusters and
+  /// counters are byte-identical to the same root's slice of a full run --
+  /// the contract the incremental miner (io::MineIncremental) splices on.
+  /// Purely an execution knob, excluded from SemanticOptionsHash; rejected
+  /// in combination with resume (both select the roots to search).
+  std::vector<int> root_set;
+
+  /// Record each included root's own (stats, clusters) slice alongside the
+  /// merged output; read via RegClusterMiner::root_results().  The slices
+  /// are exact: summing the per-root stats reproduces every deterministic
+  /// counter of stats(), and concatenating the cluster lists in root order
+  /// reproduces the pre-dominance output.  Costs one copy of the output
+  /// clusters, so it is off by default.
+  bool capture_root_results = false;
 };
 
 /// Search-effort and pruning counters, populated by Mine().
@@ -346,6 +378,17 @@ struct MinerStats {
   int64_t score_ns = 0;   ///< coherence numerator/denominator divide pass
   int64_t sort_ns = 0;    ///< index-sort of the score column
   int64_t emit_ns = 0;    ///< dedup keying + cluster materialization
+};
+
+/// One root's slice of a mining run, captured when
+/// MinerOptions::capture_root_results is set: the root id, the root's own
+/// deterministic counters, and the clusters emitted under it in canonical
+/// (second-condition, DFS) order -- before any remove_dominated post-pass,
+/// which is global and cannot be attributed to single roots.
+struct RootMineResult {
+  int root = -1;
+  MinerStats stats;
+  std::vector<RegCluster> clusters;
 };
 
 /// Mines all validated reg-clusters of `data` under `options`.
@@ -408,6 +451,14 @@ class RegClusterMiner {
   /// Completion status, stop reason, coverage and resume token of the last
   /// Mine() call.
   const MineOutcome& outcome() const { return outcome_; }
+
+  /// Per-root (stats, clusters) slices of the last Mine() call, in ascending
+  /// root order; empty unless MinerOptions::capture_root_results was set.
+  /// Slices are captured before the remove_dominated post-pass (which is
+  /// global and cannot be attributed to single roots).
+  const std::vector<RootMineResult>& root_results() const {
+    return root_results_;
+  }
 
   /// Fingerprint of the options fields that define *what* is mined (MinG,
   /// MinC, gamma, epsilon, prunings, targeting, ...), excluding execution
@@ -574,6 +625,7 @@ class RegClusterMiner {
   MinerOptions options_;
   MinerStats stats_;
   MineOutcome outcome_;
+  std::vector<RootMineResult> root_results_;
   /// The dispatched kernel table, resolved once per run in Prepare() so the
   /// hot loops pay one indirect call, never a dispatch lookup.
   const util::simd::SimdOps* ops_ = &util::simd::Ops();

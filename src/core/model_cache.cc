@@ -6,7 +6,8 @@ namespace regcluster {
 namespace core {
 
 ModelCache::ModelCache(int num_genes, Builder builder, const Options& options)
-    : builder_(std::move(builder)), byte_budget_(options.byte_budget) {
+    : builder_(std::make_shared<const Builder>(std::move(builder))),
+      byte_budget_(options.byte_budget) {
   int shards = std::max(1, options.num_shards);
   // More shards than genes would leave some permanently empty while
   // shrinking every other shard's budget slice.
@@ -20,14 +21,34 @@ ModelCache::ModelCache(int num_genes, Builder builder, const Options& options)
 
 std::shared_ptr<const RWaveModel> ModelCache::Get(int gene) {
   Shard& shard = *shards_[static_cast<size_t>(gene) % shards_.size()];
+  // Snapshot the builder and the generation it serves *before* probing: a
+  // model built from this snapshot is tagged with this generation, so if an
+  // Invalidate() lands mid-build the entry is already stale on insert and
+  // gets dropped on its next touch.
+  std::shared_ptr<const Builder> builder;
+  uint64_t gen;
+  {
+    std::lock_guard<std::mutex> lock(builder_mu_);
+    builder = builder_;
+    gen = generation_.load(std::memory_order_relaxed);
+  }
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(gene);
     if (it != shard.index.end()) {
-      // Refresh recency and serve the pinned handle.
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second->second;
+      if (it->second->gen == gen) {
+        // Refresh recency and serve the pinned handle.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second->model;
+      }
+      // Built under an older generation: drop it and rebuild below.
+      const int64_t stale_cost = EntryBytes(*it->second->model);
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+      shard.bytes -= stale_cost;
+      resident_bytes_.fetch_sub(stale_cost, std::memory_order_relaxed);
+      stale_drops_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -35,16 +56,24 @@ std::shared_ptr<const RWaveModel> ModelCache::Get(int gene) {
   // hits on its other genes.  Two threads may race to build the same gene;
   // construction is deterministic, so the loser adopts the winner's entry.
   misses_.fetch_add(1, std::memory_order_relaxed);
-  auto model = std::make_shared<const RWaveModel>(builder_(gene));
+  auto model = std::make_shared<const RWaveModel>((*builder)(gene));
   const int64_t cost = EntryBytes(*model);
 
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(gene);
-  if (it != shard.index.end()) {
+  if (it != shard.index.end() && it->second->gen == gen) {
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return it->second->second;
+    return it->second->model;
   }
-  shard.lru.emplace_front(gene, std::move(model));
+  if (it != shard.index.end()) {
+    const int64_t stale_cost = EntryBytes(*it->second->model);
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    shard.bytes -= stale_cost;
+    resident_bytes_.fetch_sub(stale_cost, std::memory_order_relaxed);
+    stale_drops_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.push_front(Entry{gene, gen, std::move(model)});
   shard.index.emplace(gene, shard.lru.begin());
   shard.bytes += cost;
   resident_bytes_.fetch_add(cost, std::memory_order_relaxed);
@@ -52,15 +81,21 @@ std::shared_ptr<const RWaveModel> ModelCache::Get(int gene) {
   // entry just inserted (the one-model-per-shard floor).
   while (shard_budget_ >= 0 && shard.bytes > shard_budget_ &&
          shard.lru.size() > 1) {
-    const auto& victim = shard.lru.back();
-    const int64_t victim_cost = EntryBytes(*victim.second);
-    shard.index.erase(victim.first);
+    const Entry& victim = shard.lru.back();
+    const int64_t victim_cost = EntryBytes(*victim.model);
+    shard.index.erase(victim.gene);
     shard.lru.pop_back();
     shard.bytes -= victim_cost;
     resident_bytes_.fetch_sub(victim_cost, std::memory_order_relaxed);
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
-  return shard.lru.front().second;
+  return shard.lru.front().model;
+}
+
+void ModelCache::Invalidate(Builder builder) {
+  std::lock_guard<std::mutex> lock(builder_mu_);
+  builder_ = std::make_shared<const Builder>(std::move(builder));
+  generation_.fetch_add(1, std::memory_order_release);
 }
 
 ModelCache::Stats ModelCache::stats() const {
@@ -68,6 +103,7 @@ ModelCache::Stats ModelCache::stats() const {
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.stale_drops = stale_drops_.load(std::memory_order_relaxed);
   s.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
   return s;
 }

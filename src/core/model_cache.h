@@ -65,6 +65,10 @@ class ModelCache {
     int64_t hits = 0;
     int64_t misses = 0;
     int64_t evictions = 0;
+    /// Entries dropped because their generation tag predated the current
+    /// cache generation (see Invalidate); each is followed by the rebuild's
+    /// miss, so stale_drops never exceeds misses.
+    int64_t stale_drops = 0;
     int64_t resident_bytes = 0;
   };
 
@@ -82,6 +86,21 @@ class ModelCache {
   /// handle pins the model independently of the cache's own retention.
   std::shared_ptr<const RWaveModel> Get(int gene);
 
+  /// Installs a new builder and bumps the cache generation, invalidating
+  /// every cached model without an eager flush: entries carry the
+  /// generation they were built under, and a stale entry is dropped the
+  /// next time its gene is touched (a stale_drop plus the rebuild's miss)
+  /// or when eviction reaches it.  Used after a condition append widens
+  /// the backing matrix -- an old-width model must never serve new-width
+  /// queries -- while leaving the cache object (and any handles pinned by
+  /// in-flight readers) intact.
+  void Invalidate(Builder builder);
+
+  /// Monotone generation tag, bumped by Invalidate().
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
   Stats stats() const;
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
@@ -94,11 +113,16 @@ class ModelCache {
   }
 
  private:
+  struct Entry {
+    int gene = -1;
+    uint64_t gen = 0;  ///< cache generation this model was built under
+    std::shared_ptr<const RWaveModel> model;
+  };
+
   struct Shard {
     std::mutex mu;
-    /// Front = most recently used.  Entries pair the gene id with its
-    /// pinned model handle.
-    std::list<std::pair<int, std::shared_ptr<const RWaveModel>>> lru;
+    /// Front = most recently used.
+    std::list<Entry> lru;
     std::unordered_map<int, decltype(lru)::iterator> index;
     int64_t bytes = 0;
   };
@@ -107,13 +131,18 @@ class ModelCache {
     return static_cast<int64_t>(sizeof(RWaveModel) + m.MemoryBytes());
   }
 
-  Builder builder_;
+  /// Guards builder_ only; shared_ptr-held so a Get() that is mid-build
+  /// keeps its snapshot alive across a concurrent Invalidate().
+  mutable std::mutex builder_mu_;
+  std::shared_ptr<const Builder> builder_;
+  std::atomic<uint64_t> generation_{0};
   int64_t byte_budget_;
   int64_t shard_budget_;  // byte_budget_ / shards, <0 = unbounded
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> stale_drops_{0};
   std::atomic<int64_t> resident_bytes_{0};
 };
 

@@ -66,6 +66,19 @@ class RWaveModel {
   static RWaveModel BuildForGene(const matrix::MatrixStore& data, int gene,
                                  double gamma);
 
+  /// Delta update for appended conditions.  `values` is the gene's *full*
+  /// row after the append (the first num_conditions() entries must be the
+  /// values this model was built from) and `n_new` its new length.  The
+  /// appended conditions are merged into the sorted order and the pointer /
+  /// chain tables are recomputed -- byte-identical to Build(values, n_new,
+  /// gamma_abs()) at a fraction of the sort cost, because the old order is
+  /// reused and only the appended items are sorted.
+  ///
+  /// Only valid while the absolute threshold is unchanged: when the append
+  /// moves the row range (or any other policy input), the caller must
+  /// rebuild from scratch with the new gamma_abs instead.
+  void AppendConditions(const double* values, int n_new);
+
   int num_conditions() const { return static_cast<int>(order_.size()); }
 
   /// Absolute threshold the model was built with.
@@ -119,6 +132,13 @@ class RWaveModel {
   }
 
  private:
+  /// Rebuilds pointers_ / max_up_ / max_down_ from the already-populated
+  /// order_ / pos_ / sorted_values_ tables (the phase of Build that follows
+  /// the sort).  Factored out so AppendConditions can reuse it verbatim:
+  /// identical code over identical sorted arrays is what makes the delta
+  /// path byte-identical to a fresh Build.
+  void FinishFromSortedOrder();
+
   double gamma_abs_ = 0.0;
   std::vector<int> order_;            // position -> condition id
   std::vector<int> pos_;              // condition id -> position

@@ -45,12 +45,16 @@ bool ParseGammaPolicy(const std::string& name, GammaPolicy* policy) {
 
 double AbsoluteGamma(const matrix::MatrixStore& data, int gene,
                      const GammaSpec& spec) {
+  return AbsoluteGammaSpan(data.row_data(gene), data.num_conditions(), spec);
+}
+
+double AbsoluteGammaSpan(const double* values, int n, const GammaSpec& spec) {
   if (spec.policy == GammaPolicy::kAbsolute) return spec.gamma;
 
   std::vector<double> row;
-  row.reserve(static_cast<size_t>(data.num_conditions()));
-  for (int c = 0; c < data.num_conditions(); ++c) {
-    const double v = data(gene, c);
+  row.reserve(static_cast<size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    const double v = values[c];
     if (!std::isnan(v)) row.push_back(v);
   }
   if (row.size() < 2) return 0.0;

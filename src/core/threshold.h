@@ -54,6 +54,12 @@ struct GammaSpec {
 double AbsoluteGamma(const matrix::MatrixStore& data, int gene,
                      const GammaSpec& spec);
 
+/// Same, over a raw value span.  Lets incremental callers recompute the
+/// threshold a model *was* built under from a prefix of an appended row
+/// (conditions only ever append at the end, so the first n values of the
+/// new row are exactly the old row) without retaining the old matrix.
+double AbsoluteGammaSpan(const double* row, int n, const GammaSpec& spec);
+
 }  // namespace core
 }  // namespace regcluster
 

@@ -1,5 +1,7 @@
 #include "matrix/expression_matrix.h"
 
+#include <cstring>
+
 #include "util/string_util.h"
 
 namespace regcluster {
@@ -62,6 +64,39 @@ ExpressionMatrix ExpressionMatrix::Submatrix(
   (void)out.SetGeneNames(std::move(gnames));
   (void)out.SetConditionNames(std::move(cnames));
   return out;
+}
+
+util::Status ExpressionMatrix::AppendConditions(
+    const std::vector<std::string>& names,
+    const std::vector<std::vector<double>>& columns) {
+  if (names.size() != columns.size()) {
+    return util::Status::InvalidArgument(
+        "appended condition names and columns must pair up");
+  }
+  for (const auto& col : columns) {
+    if (static_cast<int>(col.size()) != rows_) {
+      return util::Status::InvalidArgument(
+          "appended column length must equal num_genes()");
+    }
+  }
+  const int added = static_cast<int>(columns.size());
+  if (added == 0) return util::Status::OK();
+  const int new_cols = cols_ + added;
+  // Re-layout at the wider stride, back to front so each gene's old profile
+  // is read before anything overwrites it.
+  data_.resize(static_cast<size_t>(rows_) * static_cast<size_t>(new_cols));
+  for (int g = rows_ - 1; g >= 0; --g) {
+    double* dst = data_.data() + static_cast<size_t>(g) * new_cols;
+    const double* src = data_.data() + static_cast<size_t>(g) * cols_;
+    std::memmove(dst, src, static_cast<size_t>(cols_) * sizeof(double));
+    for (int k = 0; k < added; ++k) {
+      dst[cols_ + k] = columns[static_cast<size_t>(k)][static_cast<size_t>(g)];
+    }
+  }
+  condition_names_.insert(condition_names_.end(), names.begin(), names.end());
+  cols_ = new_cols;
+  values_ = data_.data();
+  return util::Status::OK();
 }
 
 int64_t ExpressionMatrix::resident_bytes() const {

@@ -77,6 +77,14 @@ class ExpressionMatrix : public MatrixStore {
   ExpressionMatrix Submatrix(const std::vector<int>& genes,
                              const std::vector<int>& conds) const;
 
+  /// Appends conditions (columns) at the end of the matrix: columns[k] is
+  /// the new column k, one value per gene, and names[k] its label.  The
+  /// gene-major payload is re-laid out at the new stride in place.  Fails
+  /// (InvalidArgument) on a name/column count mismatch or a column whose
+  /// length is not num_genes(); the matrix is unchanged on failure.
+  util::Status AppendConditions(const std::vector<std::string>& names,
+                                const std::vector<std::vector<double>>& columns);
+
   int64_t resident_bytes() const override;
 
  private:

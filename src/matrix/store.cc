@@ -472,5 +472,23 @@ util::StatusOr<bool> IsBinaryMatrixFile(const std::string& path) {
          std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
 }
 
+util::StatusOr<int> AppendConditionsToBinaryMatrix(
+    const std::string& path, const std::vector<std::string>& names,
+    const std::vector<std::vector<double>>& columns) {
+  // Header offsets shift with the label section, so the append is a rewrite:
+  // read, widen in memory, write to a scratch file, rename over the
+  // original (atomic on POSIX).
+  auto m = ReadBinaryMatrix(path);
+  if (!m.ok()) return m.status();
+  REGCLUSTER_RETURN_IF_ERROR(m->AppendConditions(names, columns));
+  const std::string tmp = path + ".append.tmp";
+  REGCLUSTER_RETURN_IF_ERROR(WriteBinaryMatrix(*m, tmp));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return util::Status::IoError("cannot rename " + tmp + " over " + path);
+  }
+  return m->num_conditions();
+}
+
 }  // namespace matrix
 }  // namespace regcluster

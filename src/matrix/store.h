@@ -191,6 +191,15 @@ util::StatusOr<ExpressionMatrix> ReadBinaryMatrix(const std::string& path);
 /// only an unreadable file is an error.
 util::StatusOr<bool> IsBinaryMatrixFile(const std::string& path);
 
+/// Appends conditions to the binary matrix at `path`: columns[k] is the new
+/// column k (one value per gene), names[k] its label.  The widened matrix is
+/// written to a scratch file and renamed over the original, so a reader (or
+/// a crash) never observes a torn file -- it sees either the old matrix or
+/// the new one.  Returns the new condition count on success.
+util::StatusOr<int> AppendConditionsToBinaryMatrix(
+    const std::string& path, const std::vector<std::string>& names,
+    const std::vector<std::vector<double>>& columns);
+
 }  // namespace matrix
 }  // namespace regcluster
 

@@ -128,5 +128,76 @@ util::StatusOr<MineRequest> ParseSweepRequest(
   return ParseCommon(body, defaults, /*sweep=*/true);
 }
 
+util::StatusOr<AppendRequest> ParseAppendRequest(const JsonValue& body) {
+  if (!body.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  AppendRequest req;
+  bool saw_names = false, saw_columns = false;
+  for (const auto& [key, value] : body.members) {
+    Status s = Status::OK();
+    if (key == "matrix") {
+      s = ReadString(value, key, &req.matrix_path);
+    } else if (key == "names") {
+      saw_names = true;
+      if (value.kind != JsonValue::Kind::kArray) {
+        s = FieldError(key, "must be an array of strings");
+      }
+      for (const JsonValue& e : value.elements) {
+        if (!s.ok()) break;
+        std::string name;
+        s = ReadString(e, key, &name);
+        if (s.ok()) req.names.push_back(std::move(name));
+      }
+    } else if (key == "columns") {
+      saw_columns = true;
+      if (value.kind != JsonValue::Kind::kArray) {
+        s = FieldError(key, "must be an array of number arrays");
+      }
+      for (const JsonValue& col : value.elements) {
+        if (!s.ok()) break;
+        if (col.kind != JsonValue::Kind::kArray) {
+          s = FieldError(key, "must be an array of number arrays");
+          break;
+        }
+        std::vector<double> values;
+        values.reserve(col.elements.size());
+        for (const JsonValue& e : col.elements) {
+          double d = 0.0;
+          s = ReadDouble(e, key, &d);
+          if (!s.ok()) break;
+          values.push_back(d);
+        }
+        if (s.ok()) req.columns.push_back(std::move(values));
+      }
+    } else {
+      s = FieldError(key, "is not a recognized request field");
+    }
+    if (!s.ok()) return s;
+  }
+  if (req.matrix_path.empty()) {
+    return Status::InvalidArgument("request needs a non-empty \"matrix\"");
+  }
+  if (!saw_names || !saw_columns) {
+    return Status::InvalidArgument(
+        "append request needs \"names\" and \"columns\"");
+  }
+  if (req.names.size() != req.columns.size()) {
+    return Status::InvalidArgument(
+        "\"names\" and \"columns\" must have the same length");
+  }
+  if (req.names.empty()) {
+    return Status::InvalidArgument(
+        "append request needs at least one condition");
+  }
+  for (const auto& col : req.columns) {
+    if (col.size() != req.columns.front().size()) {
+      return Status::InvalidArgument(
+          "all appended columns must have the same length");
+    }
+  }
+  return req;
+}
+
 }  // namespace server
 }  // namespace regcluster

@@ -22,6 +22,7 @@
 #define REGCLUSTER_SERVER_REQUEST_H_
 
 #include <string>
+#include <vector>
 
 #include "core/miner.h"
 #include "server/json_reader.h"
@@ -48,6 +49,25 @@ util::StatusOr<MineRequest> ParseMineRequest(const JsonValue& body,
 /// option fields form the sweep's base point.
 util::StatusOr<MineRequest> ParseSweepRequest(
     const JsonValue& body, const core::MinerOptions& defaults);
+
+/// An /append body: new conditions for a binary matrix on the server.
+///
+///   "matrix"   string, required -- binary matrix path on the server
+///   "names"    array of strings, required -- one label per new condition
+///   "columns"  array of number arrays, required -- columns[k][g] is new
+///              condition k's value for gene g; all columns equal length
+///
+/// Same strictness as the mine schema: unknown fields, ragged columns and
+/// a names/columns count mismatch are InvalidArgument.  (Whether the
+/// column length matches the matrix's gene count is checked against the
+/// file by the append itself.)
+struct AppendRequest {
+  std::string matrix_path;
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> columns;
+};
+
+util::StatusOr<AppendRequest> ParseAppendRequest(const JsonValue& body);
 
 }  // namespace server
 }  // namespace regcluster

@@ -65,6 +65,7 @@ ResourceCache::GetMatrix(const std::string& path, bool* hit) {
   handle->store = store;
   handle->content_hash = io::HashMatrixContent(*store);
   handle->bytes = store->resident_bytes();
+  handle->generation = generation_;
 
   Entry entry;
   entry.path = path;
@@ -114,6 +115,43 @@ ResourceCache::GetModel(const std::shared_ptr<const MatrixHandle>& handle,
   entry.model = model;
   Insert(std::move(entry));
   return model;
+}
+
+int ResourceCache::InvalidateAppend(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++generation_;
+  int dropped = 0;
+  util::Hash128 hash{0, 0};
+  bool have_hash = false;
+  if (auto it = by_path_.find(path); it != by_path_.end()) {
+    hash = it->second->matrix->content_hash;
+    have_hash = true;
+    stats_.resident_bytes -= it->second->bytes;
+    ++stats_.invalidations;
+    ++dropped;
+    lru_.erase(it->second);
+    by_path_.erase(it);
+  }
+  if (have_hash) {
+    // Every model keyed by the stale matrix content, regardless of spec.
+    for (auto it = by_model_.begin(); it != by_model_.end();) {
+      if (it->first.matrix_hash == hash) {
+        stats_.resident_bytes -= it->second->bytes;
+        ++stats_.invalidations;
+        ++dropped;
+        lru_.erase(it->second);
+        it = by_model_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dropped;
+}
+
+uint64_t ResourceCache::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
 }
 
 ResourceCache::Stats ResourceCache::stats() const {

@@ -66,14 +66,20 @@ class ResourceCache {
     int64_t model_hits = 0;
     int64_t model_misses = 0;
     int64_t evictions = 0;
+    /// Entries dropped by InvalidateAppend (never double-counted as
+    /// evictions).
+    int64_t invalidations = 0;
     int64_t resident_bytes = 0;
   };
 
-  /// A pinned level-1 entry: the storage handle plus its content hash.
+  /// A pinned level-1 entry: the storage handle plus its content hash and
+  /// the cache generation it was loaded under (stale once the path is
+  /// invalidated; see InvalidateAppend).
   struct MatrixHandle {
     std::shared_ptr<const matrix::MatrixStore> store;
     util::Hash128 content_hash{0, 0};
     int64_t bytes = 0;
+    uint64_t generation = 0;
   };
 
   explicit ResourceCache(const Options& options) : options_(options) {}
@@ -95,6 +101,19 @@ class ResourceCache {
   util::StatusOr<std::shared_ptr<const core::SharedGammaModel>> GetModel(
       const std::shared_ptr<const MatrixHandle>& handle,
       const core::GammaSpec& spec, int max_chain_need, bool* hit = nullptr);
+
+  /// Drops the level-1 entry for `path` and -- through its content hash --
+  /// every level-2 model derived from that matrix, leaving all other
+  /// entries (other paths, other matrices' models) untouched.  Bumps the
+  /// cache generation so handles pinned before the call are identifiable
+  /// as stale.  Called by the daemon's append endpoint after the file on
+  /// disk was widened; the next request on the path reloads and rebuilds.
+  /// Returns the number of entries dropped (0 when the path was not
+  /// cached -- still a generation bump, since the file changed).
+  int InvalidateAppend(const std::string& path);
+
+  /// Monotone generation tag, bumped by InvalidateAppend().
+  uint64_t generation() const;
 
   Stats stats() const;
 
@@ -131,6 +150,7 @@ class ResourceCache {
   std::unordered_map<std::string, LruList::iterator> by_path_;
   std::unordered_map<ModelKey, LruList::iterator, ModelKeyHasher> by_model_;
   Stats stats_;
+  uint64_t generation_ = 0;  // bumped by InvalidateAppend
 };
 
 }  // namespace server

@@ -130,13 +130,16 @@ ServiceResponse MiningService::HandleHttp(const std::string& method,
   std::string path = target.substr(0, target.find('?'));
   if (method == "GET" && path == "/healthz") return HandleHealth();
   if (method == "GET" && path == "/metrics") return HandleMetrics();
-  if (method == "POST" && (path == "/mine" || path == "/sweep")) {
+  if (method == "POST" &&
+      (path == "/mine" || path == "/sweep" || path == "/append")) {
     requests_total_->Increment();
     auto parsed = ParseJson(body);
     if (!parsed.ok()) {
       return ErrorResponse(400, "bad_json", parsed.status().message());
     }
-    return path == "/mine" ? HandleMine(*parsed) : HandleSweep(*parsed);
+    if (path == "/mine") return HandleMine(*parsed);
+    if (path == "/sweep") return HandleSweep(*parsed);
+    return HandleAppend(*parsed);
   }
   return ErrorResponse(404, "unknown_endpoint",
                        method + " " + path + " is not served here");
@@ -178,6 +181,10 @@ ServiceResponse MiningService::HandleFrame(const std::string& payload) {
     requests_total_->Increment();
     return HandleSweep(body);
   }
+  if (op->string_value == "append") {
+    requests_total_->Increment();
+    return HandleAppend(body);
+  }
   return ErrorResponse(400, "unknown_op",
                        "op \"" + op->string_value + "\" is not served here");
 }
@@ -211,6 +218,41 @@ ServiceResponse MiningService::HandleMine(const JsonValue& body) {
   if (options_.session_hook) options_.session_hook();
   ServiceResponse r = ExecuteMine(*request);
   Release();
+  return r;
+}
+
+ServiceResponse MiningService::HandleAppend(const JsonValue& body) {
+  auto request = ParseAppendRequest(body);
+  if (!request.ok()) {
+    return ErrorResponse(400, "bad_request", request.status().message());
+  }
+  // Only the binary format appends in place; a text matrix has no atomic
+  // widen (convert it once with `regcluster convert`).
+  auto is_bin = matrix::IsBinaryMatrixFile(request->matrix_path);
+  if (!is_bin.ok()) {
+    return ErrorResponse(HttpStatusOf(is_bin.status()), "matrix_error",
+                         is_bin.status().message());
+  }
+  if (!*is_bin) {
+    return ErrorResponse(400, "append_error",
+                         request->matrix_path +
+                             " is not a binary matrix; append needs the "
+                             "binary format (regcluster convert)");
+  }
+  auto widened = matrix::AppendConditionsToBinaryMatrix(
+      request->matrix_path, request->names, request->columns);
+  if (!widened.ok()) {
+    return ErrorResponse(HttpStatusOf(widened.status()), "append_error",
+                         widened.status().message());
+  }
+  // Invalidate *after* the rename lands so no request can re-cache the old
+  // file between the drop and the swap.  (A load racing the rewrite itself
+  // still sees a complete old or complete new file, never a torn one.)
+  const int invalidated = cache_.InvalidateAppend(request->matrix_path);
+  ServiceResponse r;
+  r.body = "{\"status\":\"ok\",\"num_conditions\":" +
+           std::to_string(*widened) +
+           ",\"invalidated\":" + std::to_string(invalidated) + "}\n";
   return r;
 }
 

@@ -54,8 +54,8 @@ struct ServiceResponse {
   int http_status = 200;
   /// Stable machine-readable name: "ok", "bad_json", "bad_request",
   /// "unknown_endpoint", "unknown_op", "shed_queue", "shed_memory",
-  /// "matrix_error", "mine_error".  Error bodies carry it as
-  /// "error_name"; transports may log or map it.
+  /// "matrix_error", "mine_error", "append_error".  Error bodies carry it
+  /// as "error_name"; transports may log or map it.
   std::string status_name = "ok";
   std::string content_type = "application/json";
   std::string body;
@@ -91,16 +91,16 @@ class MiningService {
   MiningService(const MiningService&) = delete;
   MiningService& operator=(const MiningService&) = delete;
 
-  /// Dispatches one HTTP request: POST /mine, POST /sweep, GET /metrics
-  /// (Prometheus), GET /healthz.  Never throws; every failure is a
-  /// structured response.
+  /// Dispatches one HTTP request: POST /mine, POST /sweep, POST /append,
+  /// GET /metrics (Prometheus), GET /healthz.  Never throws; every failure
+  /// is a structured response.
   ServiceResponse HandleHttp(const std::string& method,
                              const std::string& target,
                              const std::string& body);
 
   /// Dispatches one binary frame payload: a JSON object with "op" set to
-  /// "mine" | "sweep" | "metrics" | "health"; remaining fields as in the
-  /// HTTP bodies.
+  /// "mine" | "sweep" | "append" | "metrics" | "health"; remaining fields
+  /// as in the HTTP bodies.
   ServiceResponse HandleFrame(const std::string& payload);
 
   /// Server metric registry (regcluster_server_* live here).
@@ -111,6 +111,11 @@ class MiningService {
  private:
   ServiceResponse HandleMine(const JsonValue& body);
   ServiceResponse HandleSweep(const JsonValue& body);
+  /// Widens a binary matrix on disk (atomic rewrite + rename) and drops
+  /// exactly the cache entries the file backed: its path handle plus every
+  /// gamma model keyed by its content hash.  Unrelated entries survive, so
+  /// a warm mine on an untouched matrix stays a pure cache hit.
+  ServiceResponse HandleAppend(const JsonValue& body);
   ServiceResponse HandleMetrics();
   ServiceResponse HandleHealth();
 

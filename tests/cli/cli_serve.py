@@ -106,6 +106,11 @@ def main():
          "--gene-fraction=0.05", "--seed=9"],
         cwd=workdir).returncode
     check(rc == 0, "generate failed")
+    # Binary copy for the /append battery (appends need the binary format).
+    rc = subprocess.run(
+        [cli, "convert", "--in=m.tsv", "--out=m.rgx", "--out-format=bin"],
+        cwd=workdir).returncode
+    check(rc == 0, "convert to binary failed")
 
     daemon = Daemon(cli, workdir)
 
@@ -200,6 +205,58 @@ def main():
     # The daemon survived every fault above.
     status, _, body = daemon.http("GET", "/healthz")
     check(status == 200, "daemon died after protocol faults")
+
+    # -- append: cache invalidation + warm-mine byte-identity ----------------
+    bin_mine_request = json.dumps({
+        "matrix": "m.rgx", "ming": 6, "minc": 5, "gamma": 0.1,
+        "epsilon": 0.05, "collect_stats": True,
+        "deterministic_output": True,
+    })
+    status, _, before = daemon.http("POST", "/mine", bin_mine_request)
+    check(status == 200, "binary mine: %s %r" % (status, before[:200]))
+    status, _, before_warm = daemon.http("POST", "/mine", bin_mine_request)
+    check(status == 200 and before_warm == before,
+          "warm binary mine is not byte-identical")
+
+    append_request = json.dumps({
+        "matrix": "m.rgx", "names": ["t_16"],
+        "columns": [[0.25 * g for g in range(200)]],
+    })
+    status, _, body = daemon.http("POST", "/append", append_request)
+    check(status == 200, "append: %s %r" % (status, body))
+    reply = json.loads(body)
+    check(reply["num_conditions"] == 17,
+          "append widened to %s conditions" % reply.get("num_conditions"))
+    # m.tsv and m.rgx hold the same data, so their models share a content
+    # hash: the append drops the m.rgx matrix mapping plus both cached
+    # gamma models (0.1 from the mines, 0.15 from the sweep).
+    check(reply["invalidated"] == 3,
+          "append invalidated %s entries (want matrix + 2 models = 3)"
+          % reply.get("invalidated"))
+
+    # The next mine reloads the widened matrix (different output), and the
+    # one after that is served warm and byte-identical to it.
+    status, _, after = daemon.http("POST", "/mine", bin_mine_request)
+    check(status == 200, "post-append mine: %s %r" % (status, after[:200]))
+    check(after != before, "mine after append served the stale matrix")
+    check(b'"roots_total": 17' in after,
+          "post-append report does not show the widened matrix")
+    status, _, after_warm = daemon.http("POST", "/mine", bin_mine_request)
+    check(status == 200 and after_warm == after,
+          "warm mine after append is not byte-identical")
+
+    # The untouched text matrix kept its cache entries: still warm.
+    status, _, warm2 = daemon.http("POST", "/mine", mine_request)
+    check(status == 200 and warm2 == cold,
+          "append invalidated an unrelated matrix's entries")
+
+    # A text matrix cannot append in place: named error, nothing changes.
+    status, _, body = daemon.http(
+        "POST", "/append",
+        json.dumps({"matrix": "m.tsv", "names": ["x"],
+                    "columns": [[0.0] * 200]}))
+    check(status == 400 and b'"error_name":"append_error"' in body,
+          "text append: %s %r" % (status, body))
 
     # -- SIGTERM drain with a request in flight -----------------------------
     # An explosive search bounded by its own deadline occupies the daemon,

@@ -214,6 +214,98 @@ TEST(ModelCacheTest, ParallelHammerKeepsTotalsConsistent) {
   for (int g = 0; g < kGenes; ++g) ExpectModelsEqual(DirectBuild(g), *cache.Get(g));
 }
 
+/// A builder over widened rows (one extra condition appended), so an
+/// invalidated cache visibly serves different models afterwards.
+RWaveModel WidenedBuild(int gene) {
+  std::vector<double> v = GeneValues(gene);
+  v.push_back(100.0 + gene);
+  return RWaveModel::Build(v.data(), kConds + 1, 1.0);
+}
+
+TEST(ModelCacheTest, InvalidateDropsStaleEntriesLazily) {
+  ModelCache::Options opts;
+  opts.byte_budget = -1;
+  ModelCache cache(8, TestBuilder(), opts);
+
+  for (int g = 0; g < 8; ++g) cache.Get(g);  // 8 cold misses
+  cache.Get(0);                              // 1 hit
+  EXPECT_EQ(cache.generation(), 0u);
+
+  cache.Invalidate([](int gene) { return WidenedBuild(gene); });
+  EXPECT_EQ(cache.generation(), 1u);
+  // Invalidation is lazy: nothing is dropped until an entry is probed.
+  EXPECT_EQ(cache.stats().stale_drops, 0);
+
+  // Every old entry is a stale drop followed by a rebuild miss against the
+  // NEW builder -- never a stale hit.
+  for (int g = 0; g < 8; ++g) {
+    auto handle = cache.Get(g);
+    ASSERT_NE(handle, nullptr);
+    ExpectModelsEqual(WidenedBuild(g), *handle);
+  }
+  ModelCache::Stats s = cache.stats();
+  EXPECT_EQ(s.stale_drops, 8);
+  EXPECT_EQ(s.misses, 16);
+  EXPECT_EQ(s.hits, 1);
+
+  // The rebuilt entries are current-generation: pure hits now.
+  for (int g = 0; g < 8; ++g) cache.Get(g);
+  s = cache.stats();
+  EXPECT_EQ(s.stale_drops, 8);
+  EXPECT_EQ(s.hits, 9);
+
+  // A second invalidation bumps the generation again.
+  cache.Invalidate(TestBuilder());
+  EXPECT_EQ(cache.generation(), 2u);
+  ExpectModelsEqual(DirectBuild(5), *cache.Get(5));
+  EXPECT_EQ(cache.stats().stale_drops, 9);
+}
+
+TEST(ModelCacheTest, InvalidateDuringParallelHammerNeverServesStale) {
+  constexpr int kGenes = 16;
+  constexpr int kThreads = 8;
+  constexpr int kAccessesPerThread = 400;
+
+  ModelCache::Options opts;
+  opts.byte_budget = -1;
+  opts.num_shards = 4;
+  ModelCache cache(kGenes, TestBuilder(), opts);
+
+  // Readers check a structural property that distinguishes the two
+  // builders: the widened builder's models have kConds + 1 conditions.
+  std::atomic<bool> widened{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kAccessesPerThread; ++i) {
+        const bool widened_before = widened.load(std::memory_order_acquire);
+        auto handle = cache.Get((t * 5 + i * 3) % kGenes);
+        ASSERT_NE(handle, nullptr);
+        // A Get that starts after Invalidate returned (observed via the
+        // flag, released after the swap) must never serve a stale model.
+        if (widened_before) {
+          ASSERT_EQ(handle->num_conditions(), kConds + 1);
+        }
+      }
+    });
+  }
+  std::thread invalidator([&] {
+    cache.Invalidate([](int gene) { return WidenedBuild(gene); });
+    widened.store(true, std::memory_order_release);
+  });
+  invalidator.join();
+  for (auto& th : threads) th.join();
+
+  // Post-quiescence, every entry is the new generation.
+  for (int g = 0; g < kGenes; ++g) {
+    ExpectModelsEqual(WidenedBuild(g), *cache.Get(g));
+  }
+  const ModelCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses,
+            kThreads * kAccessesPerThread + kGenes);
+  EXPECT_LE(s.stale_drops, s.misses);
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace regcluster

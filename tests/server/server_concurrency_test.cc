@@ -29,6 +29,7 @@
 #include "io/json_export.h"
 #include "matrix/expression_matrix.h"
 #include "matrix/matrix_io.h"
+#include "matrix/store.h"
 #include "server/resource_cache.h"
 #include "server/service.h"
 #include "synth/generator.h"
@@ -418,6 +419,162 @@ TEST(ServerConcurrency, QueueShedWhenSaturated) {
   const ServiceResponse retry =
       service.HandleHttp("POST", "/mine", MineBodyJson(other));
   EXPECT_EQ(retry.http_status, 200) << retry.body;
+}
+
+// ---------------------------------------------------------------------------
+// POST /append invalidation: exactly the touched (path, model) entries drop,
+// unrelated entries keep hitting, and a warm mine after the append is
+// byte-identical to a solo mine of the widened matrix.
+
+std::string MineBodyForPath(const std::string& path, const char* gamma) {
+  return "{\"matrix\":\"" + path + "\",\"ming\":5,\"minc\":4,\"gamma\":" +
+         gamma +
+         ",\"epsilon\":0.05,\"collect_stats\":true,"
+         "\"deterministic_output\":true}";
+}
+
+// One new condition for `genes` genes: column value g * 0.25.
+std::string AppendBodyForPath(const std::string& path, int genes,
+                              const std::string& name) {
+  std::ostringstream body;
+  body << "{\"matrix\":\"" << path << "\",\"names\":[\"" << name
+       << "\"],\"columns\":[[";
+  for (int g = 0; g < genes; ++g) {
+    if (g > 0) body << ",";
+    body << (0.25 * g);
+  }
+  body << "]]}";
+  return body.str();
+}
+
+// Solo, serial reference of a binary matrix file under the MineBodyForPath
+// options, rendered like the service renders responses.
+std::string SoloBinaryMineBody(const std::string& path, const char* gamma) {
+  auto data = matrix::ReadBinaryMatrix(path);
+  EXPECT_TRUE(data.ok()) << data.status().ToString();
+  core::MinerOptions opts;
+  opts.min_genes = 5;
+  opts.min_conditions = 4;
+  opts.gamma = std::stod(gamma);
+  opts.epsilon = 0.05;
+  opts.collect_stats = true;
+  opts.num_threads = 1;
+  core::GammaSpec spec;
+  spec.policy = opts.gamma_policy;
+  spec.gamma = opts.gamma;
+  opts.shared_model =
+      core::SharedGammaModel::Build(*data, spec, opts.min_conditions);
+  core::RegClusterMiner miner(*data, opts);
+  auto clusters = miner.Mine();
+  EXPECT_TRUE(clusters.ok()) << clusters.status().ToString();
+  core::MinerStats stats = miner.stats();
+  core::MineOutcome outcome = miner.outcome();
+  io::ZeroVolatileMineFields(&stats, &outcome);
+  std::ostringstream doc;
+  EXPECT_TRUE(
+      io::WriteClustersJson(*clusters, &*data, &outcome, &stats, doc).ok());
+  return doc.str();
+}
+
+TEST(ServerConcurrency, AppendInvalidatesExactlyTheTouchedEntries) {
+  // Fresh binary copies: appends mutate the files, so the shared text
+  // fixtures stay untouched.
+  const std::string prefix =
+      ::testing::TempDir() + std::to_string(static_cast<long>(getpid()));
+  const std::string bin_a = prefix + "_append_a.rgx";
+  const std::string bin_b = prefix + "_append_b.rgx";
+  ASSERT_TRUE(matrix::WriteBinaryMatrix(MatrixA().data, bin_a).ok());
+  ASSERT_TRUE(matrix::WriteBinaryMatrix(MatrixB().data, bin_b).ok());
+
+  MiningService service(MiningService::Options{});
+  auto mine = [&](const std::string& path, const char* gamma) {
+    ServiceResponse r =
+        service.HandleHttp("POST", "/mine", MineBodyForPath(path, gamma));
+    EXPECT_EQ(r.http_status, 200) << r.body;
+    return r.body;
+  };
+  auto expect_stats = [&](int64_t matrix_hits, int64_t matrix_misses,
+                          int64_t model_hits, int64_t model_misses,
+                          int64_t invalidations, const char* at) {
+    const ResourceCache::Stats s = service.cache_stats();
+    EXPECT_EQ(s.matrix_hits, matrix_hits) << at;
+    EXPECT_EQ(s.matrix_misses, matrix_misses) << at;
+    EXPECT_EQ(s.model_hits, model_hits) << at;
+    EXPECT_EQ(s.model_misses, model_misses) << at;
+    EXPECT_EQ(s.invalidations, invalidations) << at;
+    EXPECT_EQ(s.evictions, 0) << at << ": invalidations are not evictions";
+  };
+
+  // Warm A with two gamma models and B with one.
+  mine(bin_a, "0.1");
+  mine(bin_a, "0.15");
+  mine(bin_b, "0.1");
+  expect_stats(1, 2, 0, 3, 0, "warm");
+
+  // Append one condition to A: its path entry + BOTH its models drop --
+  // and nothing else.
+  const ServiceResponse append = service.HandleHttp(
+      "POST", "/append",
+      AppendBodyForPath(bin_a, MatrixA().data.num_genes(), "t_new"));
+  ASSERT_EQ(append.http_status, 200) << append.body;
+  EXPECT_EQ(append.body,
+            "{\"status\":\"ok\",\"num_conditions\":" +
+                std::to_string(MatrixA().data.num_conditions() + 1) +
+                ",\"invalidated\":3}\n");
+  expect_stats(1, 2, 0, 3, 3, "after append");
+
+  // B's entries survived: a repeat is a pure double hit.
+  mine(bin_b, "0.1");
+  expect_stats(2, 2, 1, 3, 3, "B still warm");
+
+  // A is cold again and reloads the WIDENED file; the response is
+  // byte-identical to a solo mine of the widened matrix.
+  const std::string remined = mine(bin_a, "0.1");
+  expect_stats(2, 3, 1, 4, 3, "A cold after append");
+  EXPECT_EQ(remined, SoloBinaryMineBody(bin_a, "0.1"));
+
+  // And it re-warms normally.
+  mine(bin_a, "0.1");
+  expect_stats(3, 3, 2, 4, 3, "A warm again");
+
+  // The binary-frame transport serves the same op: appending B through a
+  // frame drops its path entry + single model.
+  const ServiceResponse frame = service.HandleFrame(
+      "{\"op\":\"append\"," +
+      AppendBodyForPath(bin_b, MatrixB().data.num_genes(), "t_new").substr(1));
+  ASSERT_EQ(frame.http_status, 200) << frame.body;
+  EXPECT_NE(frame.body.find("\"invalidated\":2"), std::string::npos)
+      << frame.body;
+  expect_stats(3, 3, 2, 4, 5, "after frame append");
+
+  // Appending a path nothing cached is fine: zero entries drop.
+  const std::string bin_c = prefix + "_append_c.rgx";
+  ASSERT_TRUE(matrix::WriteBinaryMatrix(MatrixB().data, bin_c).ok());
+  const ServiceResponse cold = service.HandleHttp(
+      "POST", "/append",
+      AppendBodyForPath(bin_c, MatrixB().data.num_genes(), "t_new"));
+  ASSERT_EQ(cold.http_status, 200) << cold.body;
+  EXPECT_NE(cold.body.find("\"invalidated\":0"), std::string::npos)
+      << cold.body;
+
+  // Misuse: a text matrix cannot append in place.
+  const ServiceResponse text = service.HandleHttp(
+      "POST", "/append",
+      AppendBodyForPath(MatrixA().path, MatrixA().data.num_genes(), "t_new"));
+  EXPECT_EQ(text.http_status, 400);
+  EXPECT_EQ(text.status_name, "append_error") << text.body;
+  // Misuse: a column whose length is not the gene count.
+  const ServiceResponse ragged = service.HandleHttp(
+      "POST", "/append", AppendBodyForPath(bin_a, 3, "t_new"));
+  EXPECT_NE(ragged.http_status, 200);
+  EXPECT_EQ(ragged.status_name, "append_error") << ragged.body;
+  // Misuse: unknown fields are rejected, not ignored.
+  const ServiceResponse unknown = service.HandleHttp(
+      "POST", "/append",
+      "{\"matrix\":\"" + bin_a + "\",\"names\":[\"x\"],\"columns\":[[1]],"
+      "\"gamma\":0.1}");
+  EXPECT_EQ(unknown.http_status, 400);
+  EXPECT_EQ(unknown.status_name, "bad_request") << unknown.body;
 }
 
 }  // namespace

@@ -45,6 +45,14 @@ the same mines done independently (each paying its own matrix load and model
 build) by ``--min-sweep-speedup`` (default 1.5x), with byte-identical
 output.  Same fresh-then-baseline fallback and skip-with-notice behaviour.
 
+The incremental time-course path is gated through the ``incremental``
+section, also written by ``bench_threads``: appending one steady-state
+condition and re-mining through ``io::MineIncremental`` (delta gamma-model
+update, dirty roots only, clean roots spliced) must beat the from-scratch
+mine of the grown matrix by ``--min-incremental-speedup`` (default 1.5x),
+with the clusters and deterministic work counters byte-identical.  Same
+fresh-then-baseline fallback and skip-with-notice behaviour.
+
 The SIMD kernel layer is gated two ways, both through the ``threads``
 section.  The ``simd`` object records a forced-scalar vs best-level
 ablation of the serial sort phase; ``--min-sort-speedup`` (default 1.5x)
@@ -177,6 +185,33 @@ def check_sweep_speedup(fresh_doc, baseline_doc, min_speedup):
         return ok
     print("sweep sharing: no sweep section in either input; skipping gate "
           "(run bench_threads to measure)")
+    return True
+
+
+def check_incremental_speedup(fresh_doc, baseline_doc, min_speedup):
+    """Gates the incremental time-course path: incremental.speedup (one
+    steady-state condition appended, MineIncremental's delta update + dirty
+    roots vs a from-scratch mine of the grown matrix) must stay >=
+    --min-incremental-speedup, and the incremental output must have been
+    byte-identical to the from-scratch one (clusters and deterministic work
+    counters).  Same fresh-then-baseline fallback and skip-with-notice as
+    the other section gates."""
+    for label, doc in (("fresh", fresh_doc), ("baseline", baseline_doc)):
+        section = doc.get("incremental")
+        if not section:
+            continue
+        speedup = float(section["speedup"])
+        identical = bool(section.get("identical_to_scratch"))
+        ok = speedup >= min_speedup and identical
+        print(f"incremental append ({label}): {speedup:.2f}x over the "
+              f"from-scratch mine, {section.get('roots_remined', '?')} roots "
+              f"re-mined / {section.get('roots_spliced', '?')} spliced "
+              f"(minimum {min_speedup:.2f}x)"
+              f"{'' if identical else '  OUTPUT MISMATCH'}"
+              f"{'' if ok else '  REGRESSION'}")
+        return ok
+    print("incremental append: no incremental section in either input; "
+          "skipping gate (run bench_threads to measure)")
     return True
 
 
@@ -391,6 +426,10 @@ def main(argv):
                         help="minimum required shared-index sweep speedup "
                              "from the sweep section "
                              "(default: %(default)s)")
+    parser.add_argument("--min-incremental-speedup", type=float, default=1.5,
+                        help="minimum required incremental-append speedup "
+                             "over the from-scratch mine, from the "
+                             "incremental section (default: %(default)s)")
     parser.add_argument("--min-sort-speedup", type=float, default=1.5,
                         help="minimum required forced-scalar vs best-level "
                              "sort-phase speedup from threads.simd "
@@ -462,6 +501,9 @@ def main(argv):
         failed = True
     if not check_sweep_speedup(fresh_doc, baseline_doc,
                                args.min_sweep_speedup):
+        failed = True
+    if not check_incremental_speedup(fresh_doc, baseline_doc,
+                                     args.min_incremental_speedup):
         failed = True
     if not check_sort_speedup(fresh_doc, baseline_doc,
                               args.min_sort_speedup):

@@ -44,6 +44,7 @@
 #include "eval/significance.h"
 #include "io/annotation_io.h"
 #include "io/checkpoint.h"
+#include "io/incremental.h"
 #include "io/cluster_io.h"
 #include "io/json_export.h"
 #include "io/metrics_export.h"
@@ -411,6 +412,8 @@ int CmdMine(Flags* flags) {
         "  [--max-clusters=-1] [--max-nodes=-1] [--deadline-ms=-1]\n"
         "  [--checkpoint=PATH] [--checkpoint-every-ms=1000]\n"
         "  [--resume-from=PATH] [--deterministic-output]\n"
+        "  [--incremental-out=PATH]\n"
+        "  [--append=PATH --prev-outcome=PATH [--matrix-out=PATH]]\n"
         "  [--sweep=SPEC --sweep-out=PATH [--sweep-csv=PATH]\n"
         "   [--share-models=true]]\n"
         "Mines reg-clusters and writes the machine-format archive to --out.\n"
@@ -451,7 +454,18 @@ int CmdMine(Flags* flags) {
         "missing snapshot starts fresh (so supervisors can always pass both\n"
         "flags); a corrupt or mismatched one is an error (exit 1).\n"
         "--deterministic-output zeroes the wall-clock and scheduling fields\n"
-        "of the JSON/metrics reports so byte comparison across runs works.");
+        "of the JSON/metrics reports so byte comparison across runs works.\n"
+        "--incremental-out=PATH records per-root mining state so a later\n"
+        "run can append conditions without re-mining the whole matrix:\n"
+        "  regcluster mine --matrix=M --out=O --incremental-out=S   # seed\n"
+        "  regcluster mine --matrix=M' --append=COLS --prev-outcome=S\n"
+        "    --incremental-out=S --out=O                            # extend\n"
+        "COLS is a matrix over the same genes, one column per appended\n"
+        "condition.  Only roots whose regulation chains can reach a new\n"
+        "condition are re-mined; everything else splices from the state,\n"
+        "and the output is byte-identical to a from-scratch mine of the\n"
+        "widened matrix.  --matrix-out persists the widened matrix (binary\n"
+        "format).  Budgets/checkpoints do not combine with this mode.");
     return 0;
   }
   const std::string matrix_path = flags->GetString("matrix", "");
@@ -514,9 +528,45 @@ int CmdMine(Flags* flags) {
   const std::string checkpoint_path = flags->GetString("checkpoint", "");
   const int checkpoint_every_ms = flags->GetInt("checkpoint-every-ms", 1000);
   const std::string resume_from = flags->GetString("resume-from", "");
+  const std::string append_path = flags->GetString("append", "");
+  const std::string prev_outcome = flags->GetString("prev-outcome", "");
+  const std::string incremental_out = flags->GetString("incremental-out", "");
+  const std::string matrix_out = flags->GetString("matrix-out", "");
   const bool deterministic_output =
       flags->GetBool("deterministic-output", false);
   if (auto st = flags->RejectUnknown(); !st.ok()) return UsageError(st);
+  const bool incremental = !append_path.empty() || !incremental_out.empty();
+  if (!append_path.empty() && prev_outcome.empty()) {
+    std::fprintf(stderr, "--append needs --prev-outcome\n");
+    return 2;
+  }
+  if (append_path.empty() && !prev_outcome.empty()) {
+    std::fprintf(stderr, "--prev-outcome needs --append\n");
+    return 2;
+  }
+  if (!matrix_out.empty() && append_path.empty()) {
+    std::fprintf(stderr, "--matrix-out needs --append\n");
+    return 2;
+  }
+  if (incremental && sweeping) {
+    std::fprintf(stderr,
+                 "--append/--incremental-out do not apply with --sweep\n");
+    return 2;
+  }
+  if (incremental &&
+      (!checkpoint_path.empty() || !resume_from.empty())) {
+    std::fprintf(stderr,
+                 "--append/--incremental-out do not combine with "
+                 "--checkpoint/--resume-from (the incremental state is the "
+                 "durable artifact)\n");
+    return 2;
+  }
+  if (incremental && merge_overlap > 0.0) {
+    std::fprintf(stderr,
+                 "--merge-overlap does not apply with "
+                 "--append/--incremental-out\n");
+    return 2;
+  }
   if (checkpoint_every_ms <= 0) {
     std::fprintf(stderr, "--checkpoint-every-ms must be positive\n");
     return 2;
@@ -670,6 +720,113 @@ int CmdMine(Flags* flags) {
                     share_models, metrics_path, *metrics_format, durable,
                     ckpt_config, loaded ? &loaded->sweep : nullptr,
                     deterministic_output);
+  }
+
+  // Incremental time-course mining: seed a chain (--incremental-out on a
+  // plain mine) or extend one (--append + --prev-outcome).  Appends widen
+  // the matrix in memory, so binary inputs reload resident here.
+  if (incremental) {
+    matrix::ExpressionMatrix inc_data;
+    if (use_binary) {
+      auto m = matrix::ReadBinaryMatrix(matrix_path);
+      if (!m.ok()) return Fail(m.status());
+      inc_data = *std::move(m);
+    } else {
+      inc_data = std::move(data);
+    }
+    util::StatusOr<io::IncrementalMineResult> result =
+        util::Status::Internal("unreachable");
+    if (append_path.empty()) {
+      result = io::MineInitial(inc_data, opts);
+    } else {
+      auto prev = io::LoadIncrementalState(prev_outcome);
+      if (!prev.ok()) return Fail(prev.status());
+      // The appended columns arrive as a matrix over the same genes (same
+      // order): one column per new condition, labels become the new
+      // condition names.
+      auto cols = LoadMatrixArg(append_path);
+      if (!cols.ok()) return Fail(cols.status());
+      if (cols->num_genes() != inc_data.num_genes()) {
+        return Fail(util::Status::InvalidArgument(
+            "--append matrix has " + std::to_string(cols->num_genes()) +
+            " genes; the base matrix has " +
+            std::to_string(inc_data.num_genes())));
+      }
+      const int first_new = inc_data.num_conditions();
+      std::vector<std::vector<double>> columns(
+          static_cast<size_t>(cols->num_conditions()));
+      for (int c = 0; c < cols->num_conditions(); ++c) {
+        columns[static_cast<size_t>(c)].resize(
+            static_cast<size_t>(cols->num_genes()));
+        for (int g = 0; g < cols->num_genes(); ++g) {
+          columns[static_cast<size_t>(c)][static_cast<size_t>(g)] =
+              (*cols)(g, c);
+        }
+      }
+      if (auto st =
+              inc_data.AppendConditions(cols->condition_names(), columns);
+          !st.ok()) {
+        return Fail(st);
+      }
+      result = io::MineIncremental(inc_data, first_new, opts, *prev);
+    }
+    if (!result.ok()) return Fail(result.status());
+    std::printf(
+        "mined %zu clusters in %.3f s (%d roots re-mined, %d spliced)\n",
+        result->clusters.size(), result->stats.mine_seconds,
+        result->roots_remined, result->roots_spliced);
+    if (!incremental_out.empty()) {
+      if (auto st =
+              io::WriteIncrementalStateFile(incremental_out, result->state);
+          !st.ok()) {
+        return Fail(st);
+      }
+      std::printf("incremental state: %s\n", incremental_out.c_str());
+    }
+    if (!matrix_out.empty()) {
+      if (auto st = matrix::WriteBinaryMatrix(inc_data, matrix_out);
+          !st.ok()) {
+        return Fail(st);
+      }
+      std::printf("widened matrix: %s\n", matrix_out.c_str());
+    }
+    core::MinerStats inc_stats = result->stats;
+    core::MineOutcome inc_outcome;
+    inc_outcome.status = core::MineStatus::kComplete;
+    inc_outcome.roots_total = inc_data.num_conditions();
+    inc_outcome.roots_completed = inc_data.num_conditions();
+    inc_outcome.simd_level = util::simd::Ops().level;
+    if (deterministic_output) {
+      io::ZeroVolatileMineFields(&inc_stats, &inc_outcome);
+    }
+    if (auto st = io::SaveClusters(result->clusters, out_path); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("archive: %s\n", out_path.c_str());
+    if (!report_path.empty()) {
+      auto st = WriteReportAtomic(report_path, [&](std::ostream& out) {
+        return io::WriteReport(result->clusters, &inc_data, out);
+      });
+      if (!st.ok()) return Fail(st);
+      std::printf("report: %s\n", report_path.c_str());
+    }
+    if (!json_path.empty()) {
+      auto st = WriteReportAtomic(json_path, [&](std::ostream& out) {
+        return io::WriteClustersJson(result->clusters, &inc_data,
+                                     &inc_outcome, &inc_stats, out);
+      });
+      if (!st.ok()) return Fail(st);
+      std::printf("json: %s\n", json_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      auto st = WriteReportAtomic(metrics_path, [&](std::ostream& out) {
+        return io::WriteMinerMetrics(inc_stats, inc_outcome, *metrics_format,
+                                     out, nullptr);
+      });
+      if (!st.ok()) return Fail(st);
+      std::printf("metrics: %s\n", metrics_path.c_str());
+    }
+    return kExitOk;
   }
 
   // Route SIGINT/SIGTERM into the miner's cancellation token for the
